@@ -1,0 +1,136 @@
+// Microbenchmarks of the library's hot kernels: FFTs, SVD, ray tracing,
+// channel synthesis, frame processing and the control-plane codec. These
+// are the costs a real-time PRESS controller pays inside the coherence
+// window, so their absolute numbers matter to the Section-2 timing
+// argument.
+#include <benchmark/benchmark.h>
+
+#include "control/message.hpp"
+#include "core/scenarios.hpp"
+#include "em/channel.hpp"
+#include "phy/frame.hpp"
+#include "util/fft.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace press;
+
+util::CVec random_cvec(std::size_t n, util::Rng& rng) {
+    util::CVec v(n);
+    for (auto& x : v) x = rng.complex_gaussian(1.0);
+    return v;
+}
+
+void BM_Fft(benchmark::State& state) {
+    util::Rng rng(1);
+    util::CVec x = random_cvec(static_cast<std::size_t>(state.range(0)), rng);
+    for (auto _ : state) {
+        auto y = util::fft(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_Fft)->Arg(64)->Arg(128)->Arg(1024);
+
+void BM_FftBluestein(benchmark::State& state) {
+    util::Rng rng(1);
+    util::CVec x = random_cvec(100, rng);  // non-power-of-two
+    for (auto _ : state) {
+        auto y = util::fft(x);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_FftBluestein);
+
+void BM_SingularValues(benchmark::State& state) {
+    util::Rng rng(2);
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    util::Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            m.at(r, c) = rng.complex_gaussian(1.0);
+    for (auto _ : state) {
+        auto sv = m.singular_values();
+        benchmark::DoNotOptimize(sv.data());
+    }
+}
+BENCHMARK(BM_SingularValues)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EnvironmentTrace(benchmark::State& state) {
+    core::StudyParams p;
+    p.wall_reflection_order = static_cast<int>(state.range(0));
+    core::LinkScenario scenario = core::make_link_scenario(100, false, p);
+    const auto& medium = scenario.system.medium();
+    const auto& link = scenario.system.link(0);
+    for (auto _ : state) {
+        auto paths = medium.environment().trace(
+            link.tx, link.rx, medium.ofdm().carrier_hz());
+        benchmark::DoNotOptimize(paths.data());
+    }
+}
+BENCHMARK(BM_EnvironmentTrace)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FrequencyResponse(benchmark::State& state) {
+    core::LinkScenario scenario = core::make_link_scenario(100, false);
+    const auto& medium = scenario.system.medium();
+    const auto paths = medium.resolve_paths(scenario.system.link(0));
+    const auto freqs = medium.ofdm().used_frequencies_hz();
+    for (auto _ : state) {
+        auto h = em::frequency_response(paths, freqs);
+        benchmark::DoNotOptimize(h.data());
+    }
+}
+BENCHMARK(BM_FrequencyResponse)->Unit(benchmark::kMicrosecond);
+
+void BM_ImpulseResponse(benchmark::State& state) {
+    core::LinkScenario scenario = core::make_link_scenario(100, false);
+    const auto& medium = scenario.system.medium();
+    const auto paths = medium.resolve_paths(scenario.system.link(0));
+    for (auto _ : state) {
+        auto h = em::impulse_response(paths, medium.ofdm().carrier_hz(),
+                                      medium.ofdm().sample_rate_hz(), 64);
+        benchmark::DoNotOptimize(h.data());
+    }
+}
+BENCHMARK(BM_ImpulseResponse)->Unit(benchmark::kMicrosecond);
+
+void BM_FrameBuildParse(benchmark::State& state) {
+    const phy::OfdmParams params = phy::OfdmParams::wifi20();
+    phy::FrameSpec spec;
+    spec.num_ltf = 4;
+    spec.num_data = 4;
+    util::Rng rng(3);
+    for (auto _ : state) {
+        auto tx = phy::build_frame(params, spec, rng);
+        auto rx = phy::parse_frame(params, spec, tx.samples);
+        benchmark::DoNotOptimize(rx.ltf_estimates.data());
+    }
+}
+BENCHMARK(BM_FrameBuildParse)->Unit(benchmark::kMicrosecond);
+
+void BM_MessageRoundtrip(benchmark::State& state) {
+    control::SetConfig msg;
+    msg.array_id = 3;
+    msg.config = {0, 1, 2, 3, 0, 1, 2, 3};
+    for (auto _ : state) {
+        auto bytes = control::encode(control::Message{msg}, 42);
+        auto decoded = control::decode(bytes);
+        benchmark::DoNotOptimize(decoded.seq);
+    }
+}
+BENCHMARK(BM_MessageRoundtrip);
+
+void BM_Crc16(benchmark::State& state) {
+    std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)),
+                                   0xA5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(control::crc16(data));
+    }
+}
+BENCHMARK(BM_Crc16)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

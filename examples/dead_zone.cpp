@@ -1,0 +1,65 @@
+// Dead-zone elimination: the paper's first motivating application.
+//
+// A client walks through a room; behind an obstruction its link falls into
+// a multipath "dead zone" (deep frequency nulls, low MCS). For each client
+// position this example compares the do-nothing channel against a
+// PRESS-optimized one and prints the recovered data rate — the environment
+// adapts to the user instead of the user hunting for a better spot.
+#include <iostream>
+
+#include "control/objective.hpp"
+#include "control/plane.hpp"
+#include "control/search.hpp"
+#include "core/report.hpp"
+#include "core/scenarios.hpp"
+#include "phy/rate.hpp"
+#include "util/stats.hpp"
+
+int main() {
+    using namespace press;
+
+    std::cout << "Dead-zone walk: client moves behind the screen; PRESS "
+                 "re-optimizes per position.\n\n";
+
+    std::vector<std::vector<std::string>> rows;
+    for (int step = 0; step < 6; ++step) {
+        // Rebuild the scenario so each position starts from the same
+        // passive environment (seeded; see core/scenarios.hpp).
+        core::LinkScenario scenario = core::make_link_scenario(100, false);
+        // IoT-class transmit power: the rate ladder reacts to the nulls.
+        scenario.system.link(scenario.link_id).profile.tx_power_dbm = -26.0;
+        // Move the client along the far side of the blocker.
+        em::RadiatingEndpoint& rx =
+            scenario.system.link(scenario.link_id).rx;
+        rx.position.y += 0.4 * (step - 2.5);
+
+        util::Rng rng(300 + step);
+        scenario.system.apply(scenario.array_id, {3, 3, 3});  // array off
+        const auto before =
+            scenario.system.measured_snr_db(scenario.link_id, rng);
+
+        const control::ThroughputObjective objective(0);
+        scenario.system.optimize(
+            scenario.array_id, objective, control::ExhaustiveSearcher(),
+            control::ControlPlaneModel::fast(), 80e-3, rng);
+        const auto after =
+            scenario.system.measured_snr_db(scenario.link_id, rng);
+
+        const double rate_before = phy::expected_throughput_mbps(before);
+        const double rate_after = phy::expected_throughput_mbps(after);
+        rows.push_back(
+            {core::fmt(rx.position.y, 2),
+             core::fmt(util::min_value(before), 1) + " / " +
+                 core::fmt(util::min_value(after), 1),
+             core::fmt(rate_before, 0) + " -> " +
+                 core::fmt(rate_after, 0),
+             core::sparkline(after)});
+    }
+    core::print_table(std::cout,
+                      {"client y (m)", "min SNR off/on (dB)",
+                       "rate (Mb/s)", "optimized profile"},
+                      rows);
+    std::cout << "\nEvery position gets its own wall configuration; the "
+                 "dead zone disappears without touching the endpoints.\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Network harmonization: the paper's Figure-2 vision, end to end.
+//
+// Two co-located networks (AP1 -> client1, AP2 -> client2) share a band.
+// The controller reshapes the environment so each network's communication
+// channel is strongest in its own half of the spectrum while the
+// cross-network interference channels are suppressed there — frequency
+// partitioning done by the walls, not the transmitters.
+#include <iostream>
+
+#include "control/objective.hpp"
+#include "control/plane.hpp"
+#include "control/search.hpp"
+#include "core/report.hpp"
+#include "core/scenarios.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+double band_mean(const std::vector<double>& snr, bool low_half) {
+    const std::size_t half = snr.size() / 2;
+    std::vector<double> band(low_half ? snr.begin() : snr.begin() + half,
+                             low_half ? snr.begin() + half : snr.end());
+    return press::util::mean(band);
+}
+
+}  // namespace
+
+int main() {
+    using namespace press;
+
+    core::HarmonizationScenario scenario =
+        core::make_harmonization_scenario(302);
+    const std::size_t n_sc = scenario.system.medium().ofdm().num_used();
+
+    util::Rng rng(5);
+    const control::Observation before = scenario.system.observe(rng);
+
+    const auto objective =
+        control::make_harmonization_objective(n_sc, true);
+    const auto outcome = scenario.system.optimize(
+        scenario.array_id, *objective, control::SimulatedAnnealingSearcher(),
+        control::ControlPlaneModel::fast(), 80e-3, rng);
+    const control::Observation after = scenario.system.observe(rng);
+
+    std::cout << "Two networks, one band: PRESS assigns the LOW half to "
+                 "network A and the HIGH half to network B.\n\n";
+    const char* names[] = {"A: AP1->client1", "B: AP2->client2",
+                           "X: AP1->client2 (interference)",
+                           "X: AP2->client1 (interference)"};
+    const bool own_low[] = {true, false, false, true};
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t l = 0; l < 4; ++l) {
+        rows.push_back(
+            {names[l],
+             core::fmt(band_mean(before.link_snr_db[l], own_low[l]), 1),
+             core::fmt(band_mean(after.link_snr_db[l], own_low[l]), 1),
+             core::sparkline(after.link_snr_db[l])});
+    }
+    core::print_table(std::cout,
+                      {"channel", "scored band before (dB)",
+                       "after (dB)", "profile after"},
+                      rows);
+    std::cout << "\nharmonization score " << core::fmt(
+                     objective->score(before), 1)
+              << " -> " << core::fmt(outcome.search.best_score, 1) << " in "
+              << outcome.search.evaluations << " trials\n";
+    return 0;
+}

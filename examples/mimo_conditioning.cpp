@@ -1,0 +1,60 @@
+// Large-MIMO conditioning: the paper's third application.
+//
+// A 2x2 MIMO link in non-line-of-sight suffers a poorly conditioned
+// channel matrix on some subcarriers. This example sweeps the PRESS
+// configurations, compares the best and worst by condition number, and
+// translates the difference into spatial-multiplexing capacity — "restoring
+// performance without additional AP processing complexity".
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "phy/mimo.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+    using namespace press;
+
+    core::MimoScenario scenario = core::make_mimo_scenario(500);
+    util::Rng rng(9);
+
+    std::cout << "Sweeping 64 PRESS configurations over a 2x2 NLoS "
+                 "channel (50 measurements each)...\n\n";
+    const core::MimoSweep sweep = core::sweep_mimo(scenario, 50, rng);
+
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t c : {sweep.best_config, sweep.worst_config}) {
+        const auto& cond = sweep.condition_db[c];
+        rows.push_back(
+            {c == sweep.best_config ? "best" : "worst",
+             sweep.config_labels[c],
+             core::fmt(util::median(cond), 2),
+             core::fmt(util::percentile(cond, 90.0), 2),
+             core::sparkline(cond)});
+    }
+    core::print_table(std::cout,
+                      {"setting", "config", "median cond (dB)",
+                       "p90 (dB)", "per-subcarrier"},
+                      rows);
+
+    // Capacity view at a nominal operating SNR.
+    surface::Array& array = scenario.medium.array(scenario.array_id);
+    const auto space = array.config_space();
+    const double snr = util::db_to_linear(20.0);
+    array.apply(space.at(sweep.best_config));
+    const auto best = scenario.medium.sound_mimo(
+        scenario.tx_antennas, scenario.rx_antennas, scenario.profile, 50,
+        rng);
+    array.apply(space.at(sweep.worst_config));
+    const auto worst = scenario.medium.sound_mimo(
+        scenario.tx_antennas, scenario.rx_antennas, scenario.profile, 50,
+        rng);
+    std::cout << "\n2x2 capacity at 20 dB SNR: "
+              << core::fmt(phy::mean_capacity_bps_hz(worst, snr), 2)
+              << " b/s/Hz (worst config) -> "
+              << core::fmt(phy::mean_capacity_bps_hz(best, snr), 2)
+              << " b/s/Hz (best config), condition-number gap "
+              << core::fmt(sweep.median_gap_db, 2) << " dB\n";
+    return 0;
+}

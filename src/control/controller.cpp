@@ -1,0 +1,66 @@
+#include "control/controller.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace press::control {
+
+Controller::Controller(ControlPlaneModel model, ApplyFn apply,
+                       MeasureFn measure, std::size_t num_links,
+                       std::size_t num_subcarriers)
+    : model_(model),
+      apply_(std::move(apply)),
+      measure_(std::move(measure)),
+      num_links_(num_links),
+      num_subcarriers_(num_subcarriers) {
+    PRESS_EXPECTS(apply_ != nullptr, "apply callback required");
+    PRESS_EXPECTS(measure_ != nullptr, "measure callback required");
+    PRESS_EXPECTS(num_links_ >= 1, "controller observes at least one link");
+}
+
+double Controller::trial_cost_s(const surface::ConfigSpace& space) const {
+    SetConfig probe;
+    probe.array_id = 0;
+    probe.config.assign(space.num_elements(), 0);
+    return model_.config_trial_time_s(probe, num_links_, num_subcarriers_);
+}
+
+std::size_t Controller::trials_within(const surface::ConfigSpace& space,
+                                      double time_budget_s) const {
+    PRESS_EXPECTS(time_budget_s > 0.0, "budget must be positive");
+    const double cost = trial_cost_s(space);
+    return static_cast<std::size_t>(time_budget_s / cost);
+}
+
+OptimizationOutcome Controller::optimize(const surface::ConfigSpace& space,
+                                         const Objective& objective,
+                                         const Searcher& searcher,
+                                         double time_budget_s,
+                                         util::Rng& rng) {
+    const double cost = trial_cost_s(space);
+    const std::size_t max_evals =
+        std::max<std::size_t>(1, trials_within(space, time_budget_s));
+
+    OptimizationOutcome outcome;
+    outcome.trial_cost_s = cost;
+
+    const EvalFn eval = [this, &objective, cost](const surface::Config& c) {
+        apply_(c);
+        const Observation obs = measure_();
+        clock_.advance(cost);
+        return objective.score(obs);
+    };
+
+    outcome.search = searcher.search(space, eval, max_evals, rng);
+    outcome.elapsed_s = static_cast<double>(outcome.search.evaluations) * cost;
+    // The space may have fewer points than the budget allows (e.g. an
+    // exhaustive sweep of 64 configurations under a generous budget).
+    outcome.budget_limited = outcome.search.evaluations >= max_evals;
+
+    // Leave the array in its best state.
+    if (!outcome.search.best_config.empty()) apply_(outcome.search.best_config);
+    return outcome;
+}
+
+}  // namespace press::control

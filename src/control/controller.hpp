@@ -1,0 +1,72 @@
+// The PRESS controller: closes the measure -> search -> actuate loop under
+// a wall-clock (coherence-time) budget.
+//
+// The controller is deliberately decoupled from the radio substrate: the
+// caller supplies an `apply` callback (push a configuration to the array,
+// in reality via the SetConfig wire message) and a `measure` callback
+// (sound the observed links and return an Observation). Every trial is
+// priced with the ControlPlaneModel, so a search over a 5-second prototype
+// control plane really does afford ~64 trials per 5 seconds, while the
+// "fast" model fits tens of trials inside a 80 ms coherence window.
+#pragma once
+
+#include <functional>
+
+#include "control/objective.hpp"
+#include "control/plane.hpp"
+#include "control/search.hpp"
+#include "press/config.hpp"
+#include "util/rng.hpp"
+
+namespace press::control {
+
+/// Pushes a configuration to the PRESS array(s).
+using ApplyFn = std::function<void(const surface::Config&)>;
+
+/// Measures the observed links under the currently applied configuration.
+using MeasureFn = std::function<Observation()>;
+
+/// Result of a budgeted optimization run.
+struct OptimizationOutcome {
+    SearchResult search;
+    /// Simulated wall-clock spent (control messages + switching +
+    /// measurements).
+    double elapsed_s = 0.0;
+    /// Cost of one configuration trial under the control-plane model.
+    double trial_cost_s = 0.0;
+    /// True when the time budget (not the search space) ended the run.
+    bool budget_limited = false;
+};
+
+/// Orchestrates searches against live (simulated) measurements.
+class Controller {
+public:
+    Controller(ControlPlaneModel model, ApplyFn apply, MeasureFn measure,
+               std::size_t num_links, std::size_t num_subcarriers);
+
+    /// Runs `searcher` toward `objective` for at most `time_budget_s` of
+    /// simulated wall-clock. The best configuration found is re-applied
+    /// before returning, so the system is left in its optimized state.
+    OptimizationOutcome optimize(const surface::ConfigSpace& space,
+                                 const Objective& objective,
+                                 const Searcher& searcher,
+                                 double time_budget_s, util::Rng& rng);
+
+    /// Number of configuration trials affordable within `time_budget_s`.
+    std::size_t trials_within(const surface::ConfigSpace& space,
+                              double time_budget_s) const;
+
+    const SimClock& clock() const { return clock_; }
+
+private:
+    double trial_cost_s(const surface::ConfigSpace& space) const;
+
+    ControlPlaneModel model_;
+    ApplyFn apply_;
+    MeasureFn measure_;
+    std::size_t num_links_;
+    std::size_t num_subcarriers_;
+    SimClock clock_;
+};
+
+}  // namespace press::control

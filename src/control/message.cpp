@@ -1,0 +1,144 @@
+#include "control/message.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::control {
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0x5052;
+constexpr std::uint8_t kVersion = 1;
+
+void encode_payload(const SetConfig& m, ByteWriter& w) {
+    w.u16(m.array_id);
+    w.u16(static_cast<std::uint16_t>(m.config.size()));
+    for (int s : m.config) {
+        PRESS_EXPECTS(s >= 0 && s <= 255, "element state must fit a byte");
+        w.u8(static_cast<std::uint8_t>(s));
+    }
+}
+
+void encode_payload(const SetConfigAck& m, ByteWriter& w) {
+    w.u16(m.array_id);
+    w.u8(m.status);
+}
+
+void encode_payload(const MeasureRequest& m, ByteWriter& w) {
+    w.u16(m.link_id);
+    w.u16(m.repeats);
+}
+
+void encode_payload(const MeasureReport& m, ByteWriter& w) {
+    w.u16(m.link_id);
+    w.u16(static_cast<std::uint16_t>(m.snr_centi_db.size()));
+    for (std::int16_t v : m.snr_centi_db) w.i16(v);
+}
+
+MessageType type_of(const Message& msg) {
+    if (std::holds_alternative<SetConfig>(msg)) return MessageType::kSetConfig;
+    if (std::holds_alternative<SetConfigAck>(msg))
+        return MessageType::kSetConfigAck;
+    if (std::holds_alternative<MeasureRequest>(msg))
+        return MessageType::kMeasureRequest;
+    return MessageType::kMeasureReport;
+}
+
+}  // namespace
+
+void MeasureReport::set_snr_db(const std::vector<double>& snr) {
+    snr_centi_db.resize(snr.size());
+    for (std::size_t i = 0; i < snr.size(); ++i) {
+        const double c = std::clamp(snr[i] * 100.0, -32768.0, 32767.0);
+        snr_centi_db[i] = static_cast<std::int16_t>(std::lround(c));
+    }
+}
+
+std::vector<double> MeasureReport::snr_db() const {
+    std::vector<double> out(snr_centi_db.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<double>(snr_centi_db[i]) / 100.0;
+    return out;
+}
+
+std::vector<std::uint8_t> encode(const Message& msg, std::uint32_t seq) {
+    ByteWriter payload;
+    std::visit([&payload](const auto& m) { encode_payload(m, payload); }, msg);
+    PRESS_EXPECTS(payload.size() <= 0xFFFF, "payload too large for framing");
+
+    ByteWriter w;
+    w.u16(kMagic);
+    w.u8(kVersion);
+    w.u8(static_cast<std::uint8_t>(type_of(msg)));
+    w.u32(seq);
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+    w.bytes(payload.buffer().data(), payload.size());
+    const std::uint16_t crc = crc16(w.buffer());
+    w.u16(crc);
+    return w.take();
+}
+
+Decoded decode(const std::vector<std::uint8_t>& buffer) {
+    if (buffer.size() < 12) throw ProtocolError("buffer shorter than framing");
+    // Verify the CRC over everything before the trailing two bytes.
+    const std::uint16_t expect = crc16(buffer.data(), buffer.size() - 2);
+    const std::uint16_t got = static_cast<std::uint16_t>(
+        buffer[buffer.size() - 2] |
+        (static_cast<std::uint16_t>(buffer[buffer.size() - 1]) << 8));
+    if (expect != got) throw ProtocolError("CRC mismatch");
+
+    ByteReader r(buffer);
+    if (r.u16() != kMagic) throw ProtocolError("bad magic");
+    if (r.u8() != kVersion) throw ProtocolError("unsupported version");
+    const std::uint8_t type = r.u8();
+    Decoded d;
+    d.seq = r.u32();
+    const std::uint16_t len = r.u16();
+    if (r.remaining() != static_cast<std::size_t>(len) + 2)
+        throw ProtocolError("length field does not match buffer");
+
+    switch (static_cast<MessageType>(type)) {
+        case MessageType::kSetConfig: {
+            SetConfig m;
+            m.array_id = r.u16();
+            const std::uint16_t n = r.u16();
+            m.config.resize(n);
+            for (std::uint16_t i = 0; i < n; ++i)
+                m.config[i] = static_cast<int>(r.u8());
+            d.message = std::move(m);
+            return d;
+        }
+        case MessageType::kSetConfigAck: {
+            SetConfigAck m;
+            m.array_id = r.u16();
+            m.status = r.u8();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kMeasureRequest: {
+            MeasureRequest m;
+            m.link_id = r.u16();
+            m.repeats = r.u16();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kMeasureReport: {
+            MeasureReport m;
+            m.link_id = r.u16();
+            const std::uint16_t n = r.u16();
+            m.snr_centi_db.resize(n);
+            for (std::uint16_t i = 0; i < n; ++i) m.snr_centi_db[i] = r.i16();
+            d.message = std::move(m);
+            return d;
+        }
+    }
+    throw ProtocolError("unknown message type");
+}
+
+std::size_t encoded_size(const Message& msg) {
+    return encode(msg, 0).size();
+}
+
+}  // namespace press::control

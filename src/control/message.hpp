@@ -1,0 +1,82 @@
+// Control-plane message definitions.
+//
+// Frame layout (little-endian):
+//   magic   u16   0x5052 ("PR")
+//   version u8    1
+//   type    u8    MessageType
+//   seq     u32   sender sequence number
+//   len     u16   payload byte count
+//   payload len bytes
+//   crc     u16   CRC-16/CCITT over everything before it
+//
+// Four messages cover the actuation loop: the controller pushes element
+// states with SetConfig (acked), asks an endpoint to measure with
+// MeasureRequest, and receives per-subcarrier SNR in centi-dB fixed point
+// with MeasureReport.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "control/wire.hpp"
+#include "press/config.hpp"
+
+namespace press::control {
+
+enum class MessageType : std::uint8_t {
+    kSetConfig = 1,
+    kSetConfigAck = 2,
+    kMeasureRequest = 3,
+    kMeasureReport = 4,
+};
+
+/// Controller -> array: apply this configuration.
+struct SetConfig {
+    std::uint16_t array_id = 0;
+    surface::Config config;
+};
+
+/// Array -> controller: configuration applied (status 0) or rejected.
+struct SetConfigAck {
+    std::uint16_t array_id = 0;
+    std::uint8_t status = 0;
+};
+
+/// Controller -> receiver endpoint: sound link `link_id` with `repeats`
+/// training repetitions.
+struct MeasureRequest {
+    std::uint16_t link_id = 0;
+    std::uint16_t repeats = 10;
+};
+
+/// Receiver endpoint -> controller: measured per-subcarrier SNR.
+struct MeasureReport {
+    std::uint16_t link_id = 0;
+    /// SNR per used subcarrier in centi-dB (0.01 dB resolution, +-327 dB
+    /// range), the quantization a 2-byte wire format imposes.
+    std::vector<std::int16_t> snr_centi_db;
+
+    void set_snr_db(const std::vector<double>& snr_db);
+    std::vector<double> snr_db() const;
+};
+
+using Message = std::variant<SetConfig, SetConfigAck, MeasureRequest,
+                             MeasureReport>;
+
+/// Serializes a message with header, sequence number and CRC.
+std::vector<std::uint8_t> encode(const Message& msg, std::uint32_t seq);
+
+/// Decoded message plus its header sequence number.
+struct Decoded {
+    Message message;
+    std::uint32_t seq = 0;
+};
+
+/// Parses a buffer; throws ProtocolError on any malformation.
+Decoded decode(const std::vector<std::uint8_t>& buffer);
+
+/// Wire size of a message once encoded (header + payload + CRC).
+std::size_t encoded_size(const Message& msg);
+
+}  // namespace press::control

@@ -1,0 +1,82 @@
+#include "control/objective.hpp"
+
+#include <algorithm>
+
+#include "phy/rate.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace press::control {
+
+namespace {
+const std::vector<double>& link_snr(const Observation& obs,
+                                    std::size_t link) {
+    PRESS_EXPECTS(link < obs.link_snr_db.size(),
+                  "observation lacks the requested link");
+    PRESS_EXPECTS(!obs.link_snr_db[link].empty(), "empty SNR profile");
+    return obs.link_snr_db[link];
+}
+}  // namespace
+
+double MinSnrObjective::score(const Observation& obs) const {
+    return util::min_value(link_snr(obs, link_));
+}
+
+double MeanSnrObjective::score(const Observation& obs) const {
+    return util::mean(link_snr(obs, link_));
+}
+
+double ThroughputObjective::score(const Observation& obs) const {
+    return phy::expected_throughput_mbps(link_snr(obs, link_));
+}
+
+WeightedBandObjective::WeightedBandObjective(std::vector<Term> terms,
+                                             std::string label)
+    : terms_(std::move(terms)), label_(std::move(label)) {
+    PRESS_EXPECTS(!terms_.empty(), "objective needs at least one term");
+    for (const Term& t : terms_)
+        PRESS_EXPECTS(t.first_subcarrier < t.last_subcarrier,
+                      "band must be non-empty");
+}
+
+double WeightedBandObjective::score(const Observation& obs) const {
+    double total = 0.0;
+    for (const Term& t : terms_) {
+        const std::vector<double>& snr = link_snr(obs, t.link);
+        PRESS_EXPECTS(t.last_subcarrier <= snr.size(),
+                      "band exceeds the SNR profile");
+        double acc = 0.0;
+        for (std::size_t k = t.first_subcarrier; k < t.last_subcarrier; ++k)
+            acc += snr[k];
+        total += t.weight * acc /
+                 static_cast<double>(t.last_subcarrier - t.first_subcarrier);
+    }
+    return total;
+}
+
+std::unique_ptr<Objective> make_harmonization_objective(
+    std::size_t num_subcarriers, bool interference_links) {
+    PRESS_EXPECTS(num_subcarriers >= 2, "need at least two subcarriers");
+    const std::size_t half = num_subcarriers / 2;
+    std::vector<WeightedBandObjective::Term> terms;
+    // Communication bands: link 0 owns the low half, link 1 the high half.
+    terms.push_back({0, 0, half, 1.0});
+    terms.push_back({1, half, num_subcarriers, 1.0});
+    if (interference_links) {
+        // Interference channels, observed as links 2 (AP1 -> client 2) and
+        // 3 (AP2 -> client 1), are penalized inside the band their victim
+        // uses for communication.
+        terms.push_back({2, half, num_subcarriers, -1.0});
+        terms.push_back({3, 0, half, -1.0});
+    }
+    return std::make_unique<WeightedBandObjective>(std::move(terms),
+                                                   "harmonization");
+}
+
+double ConditionNumberObjective::score(const Observation& obs) const {
+    PRESS_EXPECTS(!obs.mimo_condition_db.empty(),
+                  "observation lacks MIMO condition numbers");
+    return -util::mean(obs.mimo_condition_db);
+}
+
+}  // namespace press::control

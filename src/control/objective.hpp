@@ -1,0 +1,108 @@
+// Optimization objectives over channel observations.
+//
+// Each of the paper's three applications (Section 1) becomes an Objective:
+// link enhancement maximizes worst-subcarrier SNR (or MCS throughput),
+// network harmonization rewards complementary frequency selectivity across
+// links while punishing interference channels, and large-MIMO improvement
+// minimizes the channel matrix condition number.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace press::control {
+
+/// What a controller sees after measuring under one configuration.
+struct Observation {
+    /// Per observed link, the per-used-subcarrier SNR in dB.
+    std::vector<std::vector<double>> link_snr_db;
+    /// Per-subcarrier MIMO condition numbers in dB (empty when the scenario
+    /// is not MIMO).
+    std::vector<double> mimo_condition_db;
+};
+
+/// A figure of merit; larger is better.
+class Objective {
+public:
+    virtual ~Objective() = default;
+    virtual double score(const Observation& obs) const = 0;
+    virtual std::string name() const = 0;
+};
+
+/// Maximizes the minimum per-subcarrier SNR of one link (removes nulls).
+class MinSnrObjective : public Objective {
+public:
+    explicit MinSnrObjective(std::size_t link = 0) : link_(link) {}
+    double score(const Observation& obs) const override;
+    std::string name() const override { return "max-min-subcarrier-SNR"; }
+
+private:
+    std::size_t link_;
+};
+
+/// Maximizes the mean per-subcarrier SNR of one link.
+class MeanSnrObjective : public Objective {
+public:
+    explicit MeanSnrObjective(std::size_t link = 0) : link_(link) {}
+    double score(const Observation& obs) const override;
+    std::string name() const override { return "max-mean-SNR"; }
+
+private:
+    std::size_t link_;
+};
+
+/// Maximizes the selected-MCS PHY throughput of one link (the paper's
+/// "greater bit rate ... to higher layers").
+class ThroughputObjective : public Objective {
+public:
+    explicit ThroughputObjective(std::size_t link = 0) : link_(link) {}
+    double score(const Observation& obs) const override;
+    std::string name() const override { return "max-throughput"; }
+
+private:
+    std::size_t link_;
+};
+
+/// A weighted sum of band-average SNRs across links. Building block for
+/// harmonization and spatial-partitioning goals: positive weights on
+/// communication bands, negative on interference bands.
+class WeightedBandObjective : public Objective {
+public:
+    /// One term: mean SNR of link `link` over used subcarriers
+    /// [`first_subcarrier`, `last_subcarrier`) scaled by `weight`.
+    struct Term {
+        std::size_t link = 0;
+        std::size_t first_subcarrier = 0;
+        std::size_t last_subcarrier = 0;
+        double weight = 1.0;
+    };
+
+    explicit WeightedBandObjective(std::vector<Term> terms,
+                                   std::string label = "weighted-bands");
+    double score(const Observation& obs) const override;
+    std::string name() const override { return label_; }
+
+private:
+    std::vector<Term> terms_;
+    std::string label_;
+};
+
+/// The Figure-2/Figure-7 harmonization goal for two co-located networks:
+/// link 0 should own the lower half of the band and link 1 the upper half.
+/// When `interference_links` is true, observations carry four links
+/// (comm A, comm B, interference A->B's client, interference B->A's
+/// client) and the interference bands are penalized.
+std::unique_ptr<Objective> make_harmonization_objective(
+    std::size_t num_subcarriers, bool interference_links);
+
+/// Minimizes the mean per-subcarrier MIMO condition number (score is its
+/// negation so larger remains better).
+class ConditionNumberObjective : public Objective {
+public:
+    double score(const Observation& obs) const override;
+    std::string name() const override { return "min-condition-number"; }
+};
+
+}  // namespace press::control

@@ -1,0 +1,58 @@
+#include "control/plane.hpp"
+
+#include "util/contracts.hpp"
+
+namespace press::control {
+
+ControlPlaneModel ControlPlaneModel::prototype() {
+    ControlPlaneModel m;
+    m.bitrate_bps = 115200.0;  // serial link to the switching MCU
+    m.latency_s = 18e-3;       // host round-trip; 4 messages/trial over 64
+                               // trials reproduces the paper's ~5 s sweep
+    m.element_switch_s = 10e-6;
+    m.measurement_s = 1.5e-3;
+    return m;
+}
+
+ControlPlaneModel ControlPlaneModel::fast() {
+    ControlPlaneModel m;
+    m.bitrate_bps = 2e6;
+    m.latency_s = 100e-6;
+    m.element_switch_s = 2e-6;
+    m.measurement_s = 500e-6;
+    return m;
+}
+
+double ControlPlaneModel::transfer_time_s(std::size_t message_bytes) const {
+    PRESS_EXPECTS(bitrate_bps > 0.0, "control bitrate must be positive");
+    return latency_s +
+           static_cast<double>(message_bytes) * 8.0 / bitrate_bps;
+}
+
+double ControlPlaneModel::config_trial_time_s(
+    const SetConfig& set_config, std::size_t num_links,
+    std::size_t num_subcarriers) const {
+    double t = 0.0;
+    // Configuration push and acknowledgment.
+    t += transfer_time_s(encoded_size(Message{set_config}));
+    SetConfigAck ack;
+    t += transfer_time_s(encoded_size(Message{ack}));
+    t += element_switch_s;
+    // Measurements over every observed link.
+    MeasureRequest req;
+    MeasureReport rep;
+    rep.snr_centi_db.assign(num_subcarriers, 0);
+    for (std::size_t l = 0; l < num_links; ++l) {
+        t += transfer_time_s(encoded_size(Message{req}));
+        t += measurement_s;
+        t += transfer_time_s(encoded_size(Message{rep}));
+    }
+    return t;
+}
+
+void SimClock::advance(double seconds) {
+    PRESS_EXPECTS(seconds >= 0.0, "time cannot run backwards");
+    now_s_ += seconds;
+}
+
+}  // namespace press::control

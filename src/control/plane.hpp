@@ -1,0 +1,57 @@
+// Control-plane timing model.
+//
+// The paper's central timing constraint (Section 2): the whole
+// measure -> search -> actuate loop must finish within the channel
+// coherence time (~80 ms quasi-static, ~6 ms at walking speed), and its
+// prototype needed ~5 seconds for a 64-configuration sweep. This model
+// prices every step of the loop so searches can be budgeted in seconds of
+// simulated wall-clock time rather than abstract evaluation counts.
+#pragma once
+
+#include <cstddef>
+
+#include "control/message.hpp"
+
+namespace press::control {
+
+/// Latency/bandwidth description of the out-of-band control channel plus
+/// element actuation and measurement costs.
+struct ControlPlaneModel {
+    /// Control channel bit rate (e.g. a low-rate ISM/whitespace link).
+    double bitrate_bps = 250e3;
+    /// Fixed one-way latency per message (propagation + MCU processing).
+    double latency_s = 1e-3;
+    /// Settling time of one element's RF switch after a state change.
+    double element_switch_s = 10e-6;
+    /// Air time of one sounding frame plus receiver processing.
+    double measurement_s = 1e-3;
+
+    /// The paper's prototype pace: ~5 s for a 64-configuration sweep
+    /// (~78 ms per configuration), dominated by host-side latency.
+    static ControlPlaneModel prototype();
+
+    /// A deployment-grade target: 2 Mb/s control channel, 100 us latency.
+    static ControlPlaneModel fast();
+
+    /// Time for one message to cross the control channel.
+    double transfer_time_s(std::size_t message_bytes) const;
+
+    /// Full cost of trying one configuration on `num_links` links:
+    /// SetConfig + ack, switch settle, then per link a MeasureRequest, the
+    /// sounding itself, and the MeasureReport back.
+    double config_trial_time_s(const SetConfig& set_config,
+                               std::size_t num_links,
+                               std::size_t num_subcarriers) const;
+};
+
+/// Simulated wall clock accumulated by a controller run.
+class SimClock {
+public:
+    void advance(double seconds);
+    double now_s() const { return now_s_; }
+
+private:
+    double now_s_ = 0.0;
+};
+
+}  // namespace press::control

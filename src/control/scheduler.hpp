@@ -1,0 +1,76 @@
+// Multi-link scheduling: the paper's agility-vs-optimization trade-off.
+//
+// Section 2: "a trade-off exists between agility and optimization: one
+// might jointly optimize over a large set of likely communication links,
+// obviating the need to change the PRESS array for each link's
+// communication, but possibly complicating the optimization problem. On
+// the other end of the design space, one might optimize solely over a
+// single communication link ... hard-forcing the above timing
+// constraints." With traffic multiplexed over packet-timescale slots
+// (1-2 ms), per-link reconfiguration buys each link its best channel but
+// pays switching overhead out of every slot; a joint configuration pays
+// nothing per slot but serves every link with one compromise setting.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "control/plane.hpp"
+#include "control/search.hpp"
+#include "press/config.hpp"
+#include "util/rng.hpp"
+
+namespace press::control {
+
+/// How the array serves a set of time-multiplexed links.
+enum class MultiLinkStrategy {
+    kStaticOff,   ///< baseline: elements terminated, never reconfigured
+    kJoint,       ///< one configuration maximizing the mean across links
+    kPerLink,     ///< each link's slot gets its own optimized configuration
+};
+
+const char* to_string(MultiLinkStrategy strategy);
+
+/// Result of serving the link set under one strategy.
+struct MultiLinkOutcome {
+    /// Mean per-link objective score weighted by useful airtime.
+    double mean_effective_score = 0.0;
+    /// Mean raw objective score (ignoring switching overhead).
+    double mean_raw_score = 0.0;
+    /// Fraction of each slot left for data after reconfiguration.
+    double airtime_fraction = 1.0;
+    /// Configuration used per link (identical entries under kJoint).
+    std::vector<surface::Config> configs;
+    /// Measurement trials spent searching.
+    std::size_t evaluations = 0;
+};
+
+/// Evaluates one link's objective (e.g. its throughput in Mb/s) under a
+/// configuration.
+using LinkEval =
+    std::function<double(std::size_t link, const surface::Config& config)>;
+
+/// Explores the agility-vs-optimization spectrum for `num_links` links
+/// sharing the array in round-robin slots of `slot_duration_s`.
+class MultiLinkScheduler {
+public:
+    MultiLinkScheduler(ControlPlaneModel plane, double slot_duration_s);
+
+    /// Runs `strategy`. The search uses `searcher` with `search_budget`
+    /// evaluations per optimization target (one target under kJoint, one
+    /// per link under kPerLink).
+    MultiLinkOutcome run(MultiLinkStrategy strategy,
+                         const surface::ConfigSpace& space,
+                         const LinkEval& eval, std::size_t num_links,
+                         const Searcher& searcher,
+                         std::size_t search_budget, util::Rng& rng) const;
+
+    /// Time lost to reconfiguring the array at a slot boundary.
+    double reconfiguration_time_s(const surface::ConfigSpace& space) const;
+
+private:
+    ControlPlaneModel plane_;
+    double slot_duration_s_;
+};
+
+}  // namespace press::control

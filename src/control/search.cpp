@@ -1,0 +1,219 @@
+#include "control/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::control {
+
+namespace {
+
+/// Shared bookkeeping: runs evaluations, tracks the best and trajectory.
+class Tracker {
+public:
+    Tracker(const EvalFn& eval, std::size_t max_evals)
+        : eval_(eval), max_evals_(max_evals) {}
+
+    bool exhausted() const { return result_.evaluations >= max_evals_; }
+
+    /// Evaluates `c` (unconditionally; strategies wanting memoization
+    /// should avoid repeats themselves). Returns the score.
+    double evaluate(const surface::Config& c) {
+        PRESS_EXPECTS(!exhausted(), "evaluation budget exceeded");
+        const double s = eval_(c);
+        ++result_.evaluations;
+        if (result_.trajectory.empty() || s > result_.best_score) {
+            result_.best_score = s;
+            result_.best_config = c;
+        }
+        result_.trajectory.push_back(result_.best_score);
+        return s;
+    }
+
+    SearchResult take() { return std::move(result_); }
+
+private:
+    const EvalFn& eval_;
+    std::size_t max_evals_;
+    SearchResult result_;
+};
+
+surface::Config random_config(const surface::ConfigSpace& space,
+                              util::Rng& rng) {
+    surface::Config c(space.num_elements());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        c[i] = static_cast<int>(
+            rng.uniform_int(0, space.radices()[i] - 1));
+    return c;
+}
+
+}  // namespace
+
+SearchResult ExhaustiveSearcher::search(const surface::ConfigSpace& space,
+                                        const EvalFn& eval,
+                                        std::size_t max_evals,
+                                        util::Rng& rng) const {
+    (void)rng;
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    Tracker t(eval, max_evals);
+    const std::uint64_t n = space.size();
+    for (std::uint64_t i = 0; i < n && !t.exhausted(); ++i)
+        t.evaluate(space.at(i));
+    return t.take();
+}
+
+SearchResult RandomSearcher::search(const surface::ConfigSpace& space,
+                                    const EvalFn& eval,
+                                    std::size_t max_evals,
+                                    util::Rng& rng) const {
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    Tracker t(eval, max_evals);
+    while (!t.exhausted()) t.evaluate(random_config(space, rng));
+    return t.take();
+}
+
+SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
+                                             const EvalFn& eval,
+                                             std::size_t max_evals,
+                                             util::Rng& rng) const {
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    Tracker t(eval, max_evals);
+    while (!t.exhausted()) {
+        surface::Config current = random_config(space, rng);
+        double current_score = t.evaluate(current);
+        bool improved = true;
+        while (improved && !t.exhausted()) {
+            improved = false;
+            for (std::size_t e = 0;
+                 e < space.num_elements() && !t.exhausted(); ++e) {
+                const int original = current[e];
+                int best_state = original;
+                for (int s = 0; s < space.radices()[e] && !t.exhausted();
+                     ++s) {
+                    if (s == original) continue;
+                    current[e] = s;
+                    const double score = t.evaluate(current);
+                    if (score > current_score) {
+                        current_score = score;
+                        best_state = s;
+                        improved = true;
+                    }
+                }
+                current[e] = best_state;
+            }
+        }
+        // Random restart when a local optimum is reached with budget left.
+    }
+    return t.take();
+}
+
+SimulatedAnnealingSearcher::SimulatedAnnealingSearcher(double initial_temp,
+                                                       double cooling)
+    : initial_temp_(initial_temp), cooling_(cooling) {
+    PRESS_EXPECTS(initial_temp > 0.0, "temperature must be positive");
+    PRESS_EXPECTS(cooling > 0.0 && cooling < 1.0, "cooling must be in (0,1)");
+}
+
+SearchResult SimulatedAnnealingSearcher::search(
+    const surface::ConfigSpace& space, const EvalFn& eval,
+    std::size_t max_evals, util::Rng& rng) const {
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    Tracker t(eval, max_evals);
+    surface::Config current = random_config(space, rng);
+    double current_score = t.evaluate(current);
+    double temp = initial_temp_;
+    while (!t.exhausted()) {
+        // Mutate one element to a different state (when it has one).
+        surface::Config candidate = current;
+        const std::size_t e = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(space.num_elements()) - 1));
+        const int radix = space.radices()[e];
+        if (radix > 1) {
+            int s = static_cast<int>(rng.uniform_int(0, radix - 2));
+            if (s >= candidate[e]) ++s;
+            candidate[e] = s;
+        }
+        const double score = t.evaluate(candidate);
+        const double delta = score - current_score;
+        if (delta >= 0.0 ||
+            rng.chance(std::exp(std::max(delta / temp, -50.0)))) {
+            current = candidate;
+            current_score = score;
+        }
+        temp = std::max(temp * cooling_, 1e-3);
+    }
+    return t.take();
+}
+
+GeneticSearcher::GeneticSearcher(std::size_t population,
+                                 double mutation_rate)
+    : population_(population), mutation_rate_(mutation_rate) {
+    PRESS_EXPECTS(population >= 4, "population must be at least 4");
+    PRESS_EXPECTS(mutation_rate >= 0.0 && mutation_rate <= 1.0,
+                  "mutation rate must be a probability");
+}
+
+SearchResult GeneticSearcher::search(const surface::ConfigSpace& space,
+                                     const EvalFn& eval,
+                                     std::size_t max_evals,
+                                     util::Rng& rng) const {
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    Tracker t(eval, max_evals);
+
+    struct Individual {
+        surface::Config config;
+        double fitness = 0.0;
+    };
+    std::vector<Individual> pop;
+    for (std::size_t i = 0; i < population_ && !t.exhausted(); ++i) {
+        Individual ind{random_config(space, rng), 0.0};
+        ind.fitness = t.evaluate(ind.config);
+        pop.push_back(std::move(ind));
+    }
+
+    auto tournament = [&]() -> const Individual& {
+        const Individual& a = pop[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))];
+        const Individual& b = pop[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1))];
+        return a.fitness >= b.fitness ? a : b;
+    };
+
+    while (!t.exhausted() && !pop.empty()) {
+        // Uniform crossover of two tournament winners, then mutation.
+        const Individual& pa = tournament();
+        const Individual& pb = tournament();
+        Individual child;
+        child.config.resize(space.num_elements());
+        for (std::size_t e = 0; e < space.num_elements(); ++e) {
+            child.config[e] =
+                rng.chance(0.5) ? pa.config[e] : pb.config[e];
+            if (rng.chance(mutation_rate_)) {
+                child.config[e] = static_cast<int>(
+                    rng.uniform_int(0, space.radices()[e] - 1));
+            }
+        }
+        child.fitness = t.evaluate(child.config);
+        // Steady-state replacement of the current worst individual.
+        auto worst = std::min_element(
+            pop.begin(), pop.end(),
+            [](const Individual& x, const Individual& y) {
+                return x.fitness < y.fitness;
+            });
+        if (child.fitness > worst->fitness) *worst = std::move(child);
+    }
+    return t.take();
+}
+
+std::vector<std::unique_ptr<Searcher>> all_searchers() {
+    std::vector<std::unique_ptr<Searcher>> out;
+    out.push_back(std::make_unique<ExhaustiveSearcher>());
+    out.push_back(std::make_unique<RandomSearcher>());
+    out.push_back(std::make_unique<GreedyCoordinateDescent>());
+    out.push_back(std::make_unique<SimulatedAnnealingSearcher>());
+    out.push_back(std::make_unique<GeneticSearcher>());
+    return out;
+}
+
+}  // namespace press::control

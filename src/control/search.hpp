@@ -1,0 +1,108 @@
+// Configuration-space search strategies.
+//
+// "With N PRESS elements, each having M possible reflection coefficients,
+// enumerating the M^N possibilities ... becomes impractical" (Section 4.2).
+// Every strategy shares one interface: propose configurations, learn their
+// measured score through an evaluation callback, and return the best found
+// within an evaluation budget. The controller translates coherence-time
+// budgets into evaluation budgets.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "press/config.hpp"
+#include "util/rng.hpp"
+
+namespace press::control {
+
+/// Measures one configuration; larger scores are better.
+using EvalFn = std::function<double(const surface::Config&)>;
+
+/// Outcome of a search.
+struct SearchResult {
+    surface::Config best_config;
+    double best_score = 0.0;
+    std::size_t evaluations = 0;
+    /// best_score after each evaluation (length == evaluations); lets the
+    /// ablation benches plot anytime curves.
+    std::vector<double> trajectory;
+};
+
+/// Strategy interface.
+class Searcher {
+public:
+    virtual ~Searcher() = default;
+
+    /// Runs at most `max_evals` evaluations of `eval` over `space`.
+    virtual SearchResult search(const surface::ConfigSpace& space,
+                                const EvalFn& eval, std::size_t max_evals,
+                                util::Rng& rng) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// Exhaustive enumeration in index order (optimal when affordable; the
+/// paper's prototype swept all 64 configurations this way).
+class ExhaustiveSearcher : public Searcher {
+public:
+    SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
+                        std::size_t max_evals, util::Rng& rng) const override;
+    std::string name() const override { return "exhaustive"; }
+};
+
+/// Uniform random sampling without early termination.
+class RandomSearcher : public Searcher {
+public:
+    SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
+                        std::size_t max_evals, util::Rng& rng) const override;
+    std::string name() const override { return "random"; }
+};
+
+/// Greedy coordinate descent: sweep elements round-robin, trying every
+/// state of one element while others stay fixed; restart from a random
+/// configuration when a pass makes no progress.
+class GreedyCoordinateDescent : public Searcher {
+public:
+    SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
+                        std::size_t max_evals, util::Rng& rng) const override;
+    std::string name() const override { return "greedy-coordinate"; }
+};
+
+/// Simulated annealing over single-element mutations with a geometric
+/// cooling schedule.
+class SimulatedAnnealingSearcher : public Searcher {
+public:
+    /// `initial_temp` is in score units; `cooling` in (0, 1).
+    explicit SimulatedAnnealingSearcher(double initial_temp = 6.0,
+                                        double cooling = 0.97);
+    SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
+                        std::size_t max_evals, util::Rng& rng) const override;
+    std::string name() const override { return "annealing"; }
+
+private:
+    double initial_temp_;
+    double cooling_;
+};
+
+/// A compact generational genetic algorithm: tournament selection, uniform
+/// crossover, per-element mutation.
+class GeneticSearcher : public Searcher {
+public:
+    explicit GeneticSearcher(std::size_t population = 16,
+                             double mutation_rate = 0.15);
+    SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
+                        std::size_t max_evals, util::Rng& rng) const override;
+    std::string name() const override { return "genetic"; }
+
+private:
+    std::size_t population_;
+    double mutation_rate_;
+};
+
+/// Every strategy, for comparison sweeps.
+std::vector<std::unique_ptr<Searcher>> all_searchers();
+
+}  // namespace press::control

@@ -1,0 +1,113 @@
+#include "control/transport.hpp"
+
+#include "util/contracts.hpp"
+
+namespace press::control {
+
+LossyChannel::LossyChannel(double bit_error_rate, double drop_rate,
+                           util::Rng rng)
+    : bit_error_rate_(bit_error_rate), drop_rate_(drop_rate), rng_(rng) {
+    PRESS_EXPECTS(bit_error_rate >= 0.0 && bit_error_rate < 1.0,
+                  "BER must be a probability below 1");
+    PRESS_EXPECTS(drop_rate >= 0.0 && drop_rate < 1.0,
+                  "drop rate must be a probability below 1");
+}
+
+std::optional<std::vector<std::uint8_t>> LossyChannel::transmit(
+    const std::vector<std::uint8_t>& frame) {
+    if (rng_.chance(drop_rate_)) {
+        ++frames_dropped_;
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> out = frame;
+    if (bit_error_rate_ > 0.0) {
+        for (std::uint8_t& byte : out) {
+            for (int b = 0; b < 8; ++b) {
+                if (rng_.chance(bit_error_rate_)) {
+                    byte ^= static_cast<std::uint8_t>(1u << b);
+                    ++bits_flipped_;
+                }
+            }
+        }
+    }
+    ++frames_carried_;
+    return out;
+}
+
+ArrayAgent::ArrayAgent(surface::Array& array, std::uint16_t array_id)
+    : array_(array), array_id_(array_id) {}
+
+std::optional<std::vector<std::uint8_t>> ArrayAgent::handle(
+    const std::vector<std::uint8_t>& frame) {
+    Decoded decoded;
+    try {
+        decoded = decode(frame);
+    } catch (const ProtocolError&) {
+        ++rejected_;
+        return std::nullopt;  // corrupted frames are silently dropped
+    }
+    const auto* set = std::get_if<SetConfig>(&decoded.message);
+    if (set == nullptr || set->array_id != array_id_) return std::nullopt;
+
+    SetConfigAck ack;
+    ack.array_id = array_id_;
+    if (last_seq_ && *last_seq_ == decoded.seq) {
+        // Retransmission of an already-applied configuration: ack again
+        // without re-applying (the switch has settled; don't disturb it).
+        ++duplicates_;
+        ack.status = 0;
+        return encode(Message{ack}, decoded.seq);
+    }
+    if (!array_.config_space().valid(set->config)) {
+        ++rejected_;
+        ack.status = 1;  // invalid configuration
+        return encode(Message{ack}, decoded.seq);
+    }
+    array_.apply(set->config);
+    last_seq_ = decoded.seq;
+    ++applied_;
+    ack.status = 0;
+    return encode(Message{ack}, decoded.seq);
+}
+
+ReliableSession::ReliableSession(ArrayAgent& agent, LossyChannel downlink,
+                                 LossyChannel uplink, int max_retries)
+    : agent_(agent),
+      downlink_(std::move(downlink)),
+      uplink_(std::move(uplink)),
+      max_retries_(max_retries) {
+    PRESS_EXPECTS(max_retries >= 0, "retry count must be non-negative");
+}
+
+bool ReliableSession::apply(std::uint16_t array_id,
+                            const surface::Config& config) {
+    SetConfig msg;
+    msg.array_id = array_id;
+    msg.config = config;
+    const std::uint32_t seq = next_seq_++;
+    const std::vector<std::uint8_t> frame = encode(Message{msg}, seq);
+
+    for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+        ++stats_.attempts;
+        const auto carried = downlink_.transmit(frame);
+        if (!carried) continue;  // frame lost on the way down
+        const auto response = agent_.handle(*carried);
+        if (!response) continue;  // agent dropped it (corruption)
+        const auto returned = uplink_.transmit(*response);
+        if (!returned) continue;  // ack lost on the way up
+        try {
+            const Decoded decoded = decode(*returned);
+            const auto* ack = std::get_if<SetConfigAck>(&decoded.message);
+            if (ack != nullptr && decoded.seq == seq && ack->status == 0) {
+                ++stats_.acked;
+                return true;
+            }
+        } catch (const ProtocolError&) {
+            ++stats_.bad_responses;
+        }
+    }
+    ++stats_.gave_up;
+    return false;
+}
+
+}  // namespace press::control

@@ -1,0 +1,109 @@
+// Control-plane transport: a lossy byte channel, the array-side agent, and
+// a reliable controller-side session.
+//
+// The paper leaves the control channel open ("low-frequency, low-rate
+// bands", ultrasound, or wires) but any realization is narrowband and
+// noisy, so the protocol must survive corruption and loss. This module
+// simulates exactly that: LossyChannel flips bits and drops frames with
+// configured probabilities; ArrayAgent is the firmware an element cluster
+// runs (decode -> validate -> apply -> ack, with duplicate suppression);
+// ReliableSession is the controller side (sequence numbers, retransmission
+// with a retry limit, statistics).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "control/message.hpp"
+#include "press/array.hpp"
+#include "util/rng.hpp"
+
+namespace press::control {
+
+/// A simulated noisy control channel.
+class LossyChannel {
+public:
+    /// `bit_error_rate` flips each transported bit independently;
+    /// `drop_rate` loses whole frames (e.g. preamble miss).
+    LossyChannel(double bit_error_rate, double drop_rate, util::Rng rng);
+
+    /// Transports one frame; nullopt when the frame is dropped.
+    std::optional<std::vector<std::uint8_t>> transmit(
+        const std::vector<std::uint8_t>& frame);
+
+    /// Frames transported (including corrupted ones).
+    std::size_t frames_carried() const { return frames_carried_; }
+    std::size_t frames_dropped() const { return frames_dropped_; }
+    std::size_t bits_flipped() const { return bits_flipped_; }
+
+private:
+    double bit_error_rate_;
+    double drop_rate_;
+    util::Rng rng_;
+    std::size_t frames_carried_ = 0;
+    std::size_t frames_dropped_ = 0;
+    std::size_t bits_flipped_ = 0;
+};
+
+/// The array-side protocol endpoint ("element cluster firmware"): decodes
+/// frames, rejects corruption via the CRC, applies valid SetConfig
+/// messages to its array, suppresses duplicates by sequence number, and
+/// produces acknowledgment frames.
+class ArrayAgent {
+public:
+    /// The agent controls `array` (not owned; must outlive the agent).
+    ArrayAgent(surface::Array& array, std::uint16_t array_id);
+
+    /// Handles one received frame. Returns the encoded response frame
+    /// (SetConfigAck) for valid SetConfig messages addressed to this
+    /// array; nullopt for undecodable frames or foreign array ids.
+    std::optional<std::vector<std::uint8_t>> handle(
+        const std::vector<std::uint8_t>& frame);
+
+    /// Statistics for tests and monitoring.
+    std::size_t applied() const { return applied_; }
+    std::size_t duplicates() const { return duplicates_; }
+    std::size_t rejected() const { return rejected_; }
+
+private:
+    surface::Array& array_;
+    std::uint16_t array_id_;
+    std::optional<std::uint32_t> last_seq_;
+    std::size_t applied_ = 0;
+    std::size_t duplicates_ = 0;
+    std::size_t rejected_ = 0;
+};
+
+/// Controller-side reliable delivery of configurations.
+class ReliableSession {
+public:
+    /// Outcome counters for one session.
+    struct Stats {
+        std::size_t attempts = 0;       ///< frames sent (incl. retries)
+        std::size_t acked = 0;          ///< configs confirmed
+        std::size_t gave_up = 0;        ///< configs abandoned after retries
+        std::size_t bad_responses = 0;  ///< undecodable acks
+    };
+
+    /// `downlink`/`uplink` model the two directions of the control
+    /// channel; `max_retries` bounds retransmissions per configuration.
+    ReliableSession(ArrayAgent& agent, LossyChannel downlink,
+                    LossyChannel uplink, int max_retries = 4);
+
+    /// Reliably applies `config` to array `array_id`: encode, send,
+    /// await ack, retransmit on loss/corruption. Returns true when acked.
+    bool apply(std::uint16_t array_id, const surface::Config& config);
+
+    const Stats& stats() const { return stats_; }
+
+private:
+    ArrayAgent& agent_;
+    LossyChannel downlink_;
+    LossyChannel uplink_;
+    int max_retries_;
+    std::uint32_t next_seq_ = 1;
+    Stats stats_;
+};
+
+}  // namespace press::control

@@ -1,0 +1,64 @@
+#include "control/wire.hpp"
+
+namespace press::control {
+
+void ByteWriter::u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::bytes(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+void ByteReader::need(std::size_t n) const {
+    if (remaining() < n) throw ProtocolError("truncated control message");
+}
+
+std::uint8_t ByteReader::u8() {
+    need(1);
+    return buf_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        buf_[pos_] | (static_cast<std::uint16_t>(buf_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t ByteReader::u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t n) {
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 0; i < n; ++i) {
+        crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+        for (int b = 0; b < 8; ++b) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+std::uint16_t crc16(const std::vector<std::uint8_t>& data) {
+    return crc16(data.data(), data.size());
+}
+
+}  // namespace press::control

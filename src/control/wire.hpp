@@ -1,0 +1,67 @@
+// Byte-level serialization primitives for the control-plane protocol.
+//
+// All control messages travel over a narrow out-of-band channel (the paper
+// proposes "low-frequency, low-rate bands ... that penetrate walls well"),
+// so the wire format is a compact little-endian framing with a CRC-16 to
+// reject corruption. ByteWriter/ByteReader centralize the encoding rules;
+// decode errors throw ProtocolError rather than yielding garbage.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace press::control {
+
+/// Raised when a buffer cannot be decoded (truncation, bad magic, CRC
+/// mismatch, unknown type, ...).
+class ProtocolError : public std::runtime_error {
+public:
+    explicit ProtocolError(const std::string& what_arg)
+        : std::runtime_error(what_arg) {}
+};
+
+/// Little-endian append-only byte sink.
+class ByteWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+    void bytes(const std::uint8_t* data, std::size_t n);
+
+    const std::vector<std::uint8_t>& buffer() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/// Little-endian cursor over a received buffer; reads past the end throw
+/// ProtocolError.
+class ByteReader {
+public:
+    explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+
+    std::size_t remaining() const { return buf_.size() - pos_; }
+    std::size_t position() const { return pos_; }
+
+private:
+    void need(std::size_t n) const;
+
+    const std::vector<std::uint8_t>& buf_;
+    std::size_t pos_ = 0;
+};
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over a byte range.
+std::uint16_t crc16(const std::uint8_t* data, std::size_t n);
+std::uint16_t crc16(const std::vector<std::uint8_t>& data);
+
+}  // namespace press::control

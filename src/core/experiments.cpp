@@ -1,0 +1,262 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/chanest.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace press::core {
+
+ConfigSweep sweep_configurations(LinkScenario& scenario, int trials,
+                                 util::Rng& rng) {
+    PRESS_EXPECTS(trials >= 1, "need at least one trial");
+    surface::Array& array = scenario.system.medium().array(scenario.array_id);
+    const surface::ConfigSpace space = array.config_space();
+    const std::uint64_t n_configs = space.size();
+    const auto labels = array.state_labels();
+
+    ConfigSweep sweep;
+    sweep.num_subcarriers = scenario.system.medium().ofdm().num_used();
+    sweep.mean_snr_db.assign(n_configs,
+                             std::vector<double>(sweep.num_subcarriers, 0.0));
+    sweep.snr_per_trial_db.assign(
+        static_cast<std::size_t>(trials),
+        std::vector<std::vector<double>>(n_configs));
+    sweep.min_snr_per_trial_db.assign(
+        static_cast<std::size_t>(trials),
+        std::vector<double>(n_configs, 0.0));
+    sweep.config_labels.reserve(n_configs);
+    for (std::uint64_t c = 0; c < n_configs; ++c)
+        sweep.config_labels.push_back(
+            surface::config_to_string(space.at(c), labels));
+
+    for (int t = 0; t < trials; ++t) {
+        for (std::uint64_t c = 0; c < n_configs; ++c) {
+            scenario.system.apply(scenario.array_id, space.at(c));
+            const std::vector<double> snr =
+                scenario.system.measured_snr_db(scenario.link_id, rng);
+            for (std::size_t k = 0; k < snr.size(); ++k)
+                sweep.mean_snr_db[c][k] += snr[k] / trials;
+            sweep.min_snr_per_trial_db[static_cast<std::size_t>(t)][c] =
+                util::min_value(snr);
+            sweep.snr_per_trial_db[static_cast<std::size_t>(t)][c] =
+                std::move(snr);
+        }
+    }
+    return sweep;
+}
+
+ExtremePair find_extreme_pair(const ConfigSweep& sweep) {
+    PRESS_EXPECTS(sweep.mean_snr_db.size() >= 2, "need at least two configs");
+    ExtremePair best;
+    const std::size_t n = sweep.mean_snr_db.size();
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            for (std::size_t k = 0; k < sweep.num_subcarriers; ++k) {
+                const double diff = std::abs(sweep.mean_snr_db[a][k] -
+                                             sweep.mean_snr_db[b][k]);
+                if (diff > best.max_diff_db) {
+                    best = {a, b, k, diff};
+                }
+            }
+        }
+    }
+    return best;
+}
+
+namespace {
+std::vector<double> movements_between(
+    const std::vector<std::vector<double>>& profiles, double threshold_db) {
+    std::vector<std::pair<bool, std::size_t>> nulls;
+    nulls.reserve(profiles.size());
+    for (const std::vector<double>& snr : profiles) {
+        const auto info = phy::find_null(snr, threshold_db);
+        nulls.emplace_back(info.has_value(), info ? info->subcarrier : 0);
+    }
+    std::vector<double> movements;
+    for (std::size_t a = 0; a < nulls.size(); ++a) {
+        if (!nulls[a].first) continue;
+        for (std::size_t b = 0; b < nulls.size(); ++b) {
+            if (a == b || !nulls[b].first) continue;
+            movements.push_back(
+                std::abs(static_cast<double>(nulls[a].second) -
+                         static_cast<double>(nulls[b].second)));
+        }
+    }
+    return movements;
+}
+}  // namespace
+
+std::vector<double> null_movements(const ConfigSweep& sweep,
+                                   double threshold_db) {
+    return movements_between(sweep.mean_snr_db, threshold_db);
+}
+
+std::vector<double> null_movements_for_trial(const ConfigSweep& sweep,
+                                             std::size_t trial,
+                                             double threshold_db) {
+    PRESS_EXPECTS(trial < sweep.snr_per_trial_db.size(),
+                  "trial index out of range");
+    return movements_between(sweep.snr_per_trial_db[trial], threshold_db);
+}
+
+std::vector<double> min_snr_changes(const ConfigSweep& sweep) {
+    std::vector<double> mins;
+    mins.reserve(sweep.mean_snr_db.size());
+    for (const std::vector<double>& snr : sweep.mean_snr_db)
+        mins.push_back(util::min_value(snr));
+    std::vector<double> changes;
+    for (std::size_t a = 0; a < mins.size(); ++a)
+        for (std::size_t b = a + 1; b < mins.size(); ++b)
+            changes.push_back(std::abs(mins[a] - mins[b]));
+    return changes;
+}
+
+double max_mean_subcarrier_swing_db(const ConfigSweep& sweep) {
+    return find_extreme_pair(sweep).max_diff_db;
+}
+
+double max_single_trial_swing_db(LinkScenario& scenario, int trials,
+                                 util::Rng& rng) {
+    PRESS_EXPECTS(trials >= 1, "need at least one trial");
+    surface::Array& array = scenario.system.medium().array(scenario.array_id);
+    const surface::ConfigSpace space = array.config_space();
+    const std::uint64_t n_configs = space.size();
+    const std::size_t n_sc = scenario.system.medium().ofdm().num_used();
+
+    double best = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        // Per-subcarrier extremes within this repetition.
+        std::vector<double> lo(n_sc, 1e9);
+        std::vector<double> hi(n_sc, -1e9);
+        for (std::uint64_t c = 0; c < n_configs; ++c) {
+            scenario.system.apply(scenario.array_id, space.at(c));
+            const std::vector<double> snr =
+                scenario.system.measured_snr_db(scenario.link_id, rng);
+            for (std::size_t k = 0; k < n_sc; ++k) {
+                lo[k] = std::min(lo[k], snr[k]);
+                hi[k] = std::max(hi[k], snr[k]);
+            }
+        }
+        for (std::size_t k = 0; k < n_sc; ++k)
+            best = std::max(best, hi[k] - lo[k]);
+    }
+    return best;
+}
+
+HarmonizationPair find_harmonization_pair(std::uint64_t base_seed,
+                                          int max_attempts,
+                                          double min_selectivity_db,
+                                          util::Rng& rng) {
+    PRESS_EXPECTS(max_attempts >= 1, "need at least one attempt");
+    HarmonizationPair result;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(attempt);
+        LinkScenario scenario = make_fig7_link_scenario(seed);
+        surface::Array& array =
+            scenario.system.medium().array(scenario.array_id);
+        const surface::ConfigSpace space = array.config_space();
+        const auto labels = array.state_labels();
+        const std::size_t n_sc =
+            scenario.system.medium().ofdm().num_used();
+        const std::size_t half = n_sc / 2;
+
+        double best_pos = 0.0;
+        double best_neg = 0.0;
+        std::uint64_t pos_idx = 0;
+        std::uint64_t neg_idx = 0;
+        std::vector<double> pos_snr;
+        std::vector<double> neg_snr;
+        for (std::uint64_t c = 0; c < space.size(); ++c) {
+            scenario.system.apply(scenario.array_id, space.at(c));
+            const std::vector<double> snr =
+                scenario.system.measured_snr_db(scenario.link_id, rng);
+            double low = 0.0;
+            double high = 0.0;
+            for (std::size_t k = 0; k < half; ++k) low += snr[k];
+            for (std::size_t k = half; k < n_sc; ++k) high += snr[k];
+            const double sel = low / static_cast<double>(half) -
+                               high / static_cast<double>(n_sc - half);
+            if (sel > best_pos) {
+                best_pos = sel;
+                pos_idx = c;
+                pos_snr = snr;
+            }
+            if (sel < best_neg) {
+                best_neg = sel;
+                neg_idx = c;
+                neg_snr = snr;
+            }
+        }
+        if (best_pos >= min_selectivity_db &&
+            best_neg <= -min_selectivity_db) {
+            result.found = true;
+            result.seed = seed;
+            result.config_a = space.at(pos_idx);
+            result.config_b = space.at(neg_idx);
+            result.label_a = surface::config_to_string(result.config_a, labels);
+            result.label_b = surface::config_to_string(result.config_b, labels);
+            result.snr_a_db = std::move(pos_snr);
+            result.snr_b_db = std::move(neg_snr);
+            result.selectivity_a_db = best_pos;
+            result.selectivity_b_db = best_neg;
+            return result;
+        }
+    }
+    return result;
+}
+
+MimoSweep sweep_mimo(MimoScenario& scenario, int repeats, util::Rng& rng) {
+    PRESS_EXPECTS(repeats >= 1, "need at least one measurement");
+    surface::Array& array = scenario.medium.array(scenario.array_id);
+    const surface::ConfigSpace space = array.config_space();
+    const auto labels = array.state_labels();
+
+    MimoSweep sweep;
+    sweep.condition_db.reserve(space.size());
+    sweep.config_labels.reserve(space.size());
+    std::vector<double> medians;
+    for (std::uint64_t c = 0; c < space.size(); ++c) {
+        array.apply(space.at(c));
+        const phy::MimoChannelEstimate est = scenario.medium.sound_mimo(
+            scenario.tx_antennas, scenario.rx_antennas, scenario.profile,
+            static_cast<std::size_t>(repeats), rng);
+        std::vector<double> cond = phy::condition_numbers_db(est);
+        medians.push_back(util::median(cond));
+        sweep.condition_db.push_back(std::move(cond));
+        sweep.config_labels.push_back(
+            surface::config_to_string(space.at(c), labels));
+    }
+    const auto minmax = std::minmax_element(medians.begin(), medians.end());
+    sweep.best_config =
+        static_cast<std::size_t>(minmax.first - medians.begin());
+    sweep.worst_config =
+        static_cast<std::size_t>(minmax.second - medians.begin());
+    sweep.median_gap_db = *minmax.second - *minmax.first;
+    return sweep;
+}
+
+double max_true_swing_db(LinkScenario& scenario) {
+    surface::Array& array = scenario.system.medium().array(scenario.array_id);
+    const surface::ConfigSpace space = array.config_space();
+    const std::size_t n_sc = scenario.system.medium().ofdm().num_used();
+    std::vector<double> lo(n_sc, 1e9);
+    std::vector<double> hi(n_sc, -1e9);
+    for (std::uint64_t c = 0; c < space.size(); ++c) {
+        scenario.system.apply(scenario.array_id, space.at(c));
+        const std::vector<double> snr =
+            scenario.system.true_snr_db(scenario.link_id);
+        for (std::size_t k = 0; k < n_sc; ++k) {
+            lo[k] = std::min(lo[k], snr[k]);
+            hi[k] = std::max(hi[k], snr[k]);
+        }
+    }
+    double best = 0.0;
+    for (std::size_t k = 0; k < n_sc; ++k)
+        best = std::max(best, hi[k] - lo[k]);
+    return best;
+}
+
+}  // namespace press::core

@@ -1,0 +1,111 @@
+// Experiment runners: one function per figure / in-text claim of the
+// paper's Section 3, returning structured results that benches print and
+// tests assert on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenarios.hpp"
+#include "press/config.hpp"
+#include "util/rng.hpp"
+
+namespace press::core {
+
+/// A full sweep of every configuration of a link scenario's array,
+/// repeated `trials` times (the paper iterates its 64 combinations 10
+/// times).
+struct ConfigSweep {
+    /// Mean measured per-subcarrier SNR across trials: [config][subcarrier].
+    std::vector<std::vector<double>> mean_snr_db;
+    /// Raw per-trial profiles: [trial][config][subcarrier] (Figure 5 draws
+    /// one CCDF per experimental repetition from these).
+    std::vector<std::vector<std::vector<double>>> snr_per_trial_db;
+    /// Per-trial minimum-across-subcarriers SNR: [trial][config].
+    std::vector<std::vector<double>> min_snr_per_trial_db;
+    /// Paper-notation label per configuration, e.g. "(pi, 0, 0.5pi)".
+    std::vector<std::string> config_labels;
+    std::size_t num_subcarriers = 0;
+};
+
+/// Sweeps all configurations of `scenario`'s array.
+ConfigSweep sweep_configurations(LinkScenario& scenario, int trials,
+                                 util::Rng& rng);
+
+/// The configuration pair with the largest single-subcarrier mean-SNR
+/// difference (what each Figure-4 panel plots).
+struct ExtremePair {
+    std::size_t config_a = 0;
+    std::size_t config_b = 0;
+    std::size_t subcarrier = 0;   ///< where the largest difference occurs
+    double max_diff_db = 0.0;
+};
+
+ExtremePair find_extreme_pair(const ConfigSweep& sweep);
+
+/// Figure 5: movement (in subcarriers) of the most significant null
+/// between every pair of configurations that both exhibit a null at least
+/// `threshold_db` below their median SNR. Computed on the mean profiles.
+std::vector<double> null_movements(const ConfigSweep& sweep,
+                                   double threshold_db = 5.0);
+
+/// Figure 5's per-repetition variant: null movements within one trial's
+/// profiles (one CCDF curve per experimental repetition).
+std::vector<double> null_movements_for_trial(const ConfigSweep& sweep,
+                                             std::size_t trial,
+                                             double threshold_db = 5.0);
+
+/// Figure 6 (left): |change in minimum-subcarrier SNR| across all
+/// unordered configuration pairs, from mean profiles.
+std::vector<double> min_snr_changes(const ConfigSweep& sweep);
+
+/// Largest change of the mean SNR on any single subcarrier (the paper's
+/// "largest change in the mean SNR on any given subcarrier is 18.6 dB").
+double max_mean_subcarrier_swing_db(const ConfigSweep& sweep);
+
+/// Largest single-trial, single-subcarrier SNR change between configs (the
+/// paper's 26 dB headline). Computed from a per-trial sweep.
+double max_single_trial_swing_db(LinkScenario& scenario, int trials,
+                                 util::Rng& rng);
+
+/// Figure 7: two configurations with opposite halves-of-band selectivity.
+struct HarmonizationPair {
+    bool found = false;
+    std::uint64_t seed = 0;              ///< scenario seed that exhibits it
+    surface::Config config_a, config_b;
+    std::string label_a, label_b;
+    std::vector<double> snr_a_db, snr_b_db;  ///< per-subcarrier profiles
+    double selectivity_a_db = 0.0;  ///< mean(low half) - mean(high half)
+    double selectivity_b_db = 0.0;
+};
+
+/// Emulates the paper's curation ("the elements and the surrounding
+/// environment were manipulated until a frequency-selective channel was
+/// found"): advances the scenario seed from `base_seed` until some
+/// configuration pair shows at least `min_selectivity_db` of opposite
+/// band preference, up to `max_attempts` seeds.
+HarmonizationPair find_harmonization_pair(std::uint64_t base_seed,
+                                          int max_attempts,
+                                          double min_selectivity_db,
+                                          util::Rng& rng);
+
+/// Figure 8: per-configuration distribution of the 2x2 condition number.
+struct MimoSweep {
+    /// Condition number (dB) per subcarrier, from the mean of `repeats`
+    /// channel measurements: [config][subcarrier].
+    std::vector<std::vector<double>> condition_db;
+    std::vector<std::string> config_labels;
+    std::size_t best_config = 0;   ///< lowest median condition number
+    std::size_t worst_config = 0;  ///< highest median condition number
+    double median_gap_db = 0.0;    ///< worst median - best median
+};
+
+MimoSweep sweep_mimo(MimoScenario& scenario, int repeats, util::Rng& rng);
+
+/// The Section-3 line-of-sight claim: maximum per-subcarrier swing the
+/// array can induce on a link, from noise-free responses (isolates the
+/// array's effect from estimator noise).
+double max_true_swing_db(LinkScenario& scenario);
+
+}  // namespace press::core

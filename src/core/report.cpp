@@ -1,0 +1,83 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace press::core {
+
+void print_table(std::ostream& os, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows) {
+    PRESS_EXPECTS(!headers.empty(), "table needs headers");
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto& row : rows) {
+        PRESS_EXPECTS(row.size() == headers.size(),
+                      "row arity must match headers");
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        os << '\n';
+    };
+    line(headers);
+    std::vector<std::string> rule(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        rule[c] = std::string(widths[c], '-');
+    line(rule);
+    for (const auto& row : rows) line(row);
+}
+
+std::string fmt(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& x,
+                  const std::vector<double>& y) {
+    PRESS_EXPECTS(x.size() == y.size(), "series lengths must match");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        os << name << ' ' << fmt(x[i], 4) << ' ' << fmt(y[i], 4) << '\n';
+}
+
+void print_ccdf(std::ostream& os, const std::string& name,
+                const std::vector<double>& samples, std::size_t points) {
+    const util::EmpiricalDistribution dist(samples);
+    for (const auto& [x, p] : dist.ccdf_grid(points))
+        os << name << ' ' << fmt(x, 4) << ' ' << fmt(p, 5) << '\n';
+}
+
+void print_cdf(std::ostream& os, const std::string& name,
+               const std::vector<double>& samples, std::size_t points) {
+    const util::EmpiricalDistribution dist(samples);
+    for (const auto& [x, p] : dist.cdf_grid(points))
+        os << name << ' ' << fmt(x, 4) << ' ' << fmt(p, 5) << '\n';
+}
+
+std::string sparkline(const std::vector<double>& values) {
+    static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                    "▅", "▆", "▇", "█"};
+    if (values.empty()) return "";
+    const double lo = *std::min_element(values.begin(), values.end());
+    const double hi = *std::max_element(values.begin(), values.end());
+    const double span = hi - lo;
+    std::string out;
+    for (double v : values) {
+        const int level =
+            span <= 0.0
+                ? 0
+                : std::min(7, static_cast<int>((v - lo) / span * 8.0));
+        out += kLevels[level];
+    }
+    return out;
+}
+
+}  // namespace press::core

@@ -1,0 +1,39 @@
+// Plain-text reporting: aligned tables and distribution dumps shared by the
+// bench harnesses, which print the same rows/series the paper's figures
+// plot.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace press::core {
+
+/// Prints an aligned table; every row must match the header arity.
+void print_table(std::ostream& os, const std::vector<std::string>& headers,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with fixed precision.
+std::string fmt(double value, int precision = 2);
+
+/// Prints "x y" pairs of a named series, one per line, prefixed by the
+/// series name (gnuplot-friendly).
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<double>& x,
+                  const std::vector<double>& y);
+
+/// Prints the CCDF of a sample set on a fixed grid.
+void print_ccdf(std::ostream& os, const std::string& name,
+                const std::vector<double>& samples, std::size_t points = 25);
+
+/// Prints the CDF of a sample set on a fixed grid.
+void print_cdf(std::ostream& os, const std::string& name,
+               const std::vector<double>& samples, std::size_t points = 25);
+
+/// A low-fi sparkline of a series (8 levels), handy for eyeballing SNR
+/// profiles in terminal output.
+std::string sparkline(const std::vector<double>& values);
+
+}  // namespace press::core

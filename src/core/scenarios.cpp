@@ -1,0 +1,286 @@
+#include "core/scenarios.hpp"
+
+#include "em/material.hpp"
+#include "em/statistical.hpp"
+#include "util/units.hpp"
+
+namespace press::core {
+
+namespace {
+
+using em::Aabb;
+using em::Antenna;
+using em::Environment;
+using em::Material;
+using em::RadiatingEndpoint;
+using em::Room;
+using em::Scatterer;
+using em::Vec3;
+
+/// Builds the study room with seeded clutter. Every scenario shares this
+/// base; the seed moves scatterers (the paper notes each element placement
+/// "results in a different scattering environment due to the movement of
+/// our experiment equipment").
+Environment make_room_environment(util::Rng& rng, const StudyParams& p) {
+    Environment env;
+    Room room(Aabb{{0.0, 0.0, 0.0}, {p.room_x, p.room_y, p.room_z}},
+              Material::concrete());
+    room.set_wall_material(em::Wall::kZHigh, Material::drywall());
+    env.set_room(room);
+    env.set_max_reflection_order(p.wall_reflection_order);
+    for (int i = 0; i < p.num_scatterers; ++i) {
+        Scatterer s;
+        s.position = {rng.uniform(0.4, p.room_x - 0.4),
+                      rng.uniform(0.4, p.room_y - 0.4),
+                      rng.uniform(0.3, p.room_z - 0.3)};
+        s.reflectivity =
+            rng.uniform(0.10, 0.35) * rng.unit_phasor();
+        env.add_scatterer(s);
+    }
+    // Metal cabinets and equipment racks: large radar cross-sections that
+    // dominate the scattered field the way lab furniture does.
+    for (int i = 0; i < p.num_metal_scatterers; ++i) {
+        Scatterer s;
+        s.position = {rng.uniform(1.0, p.room_x - 1.0),
+                      rng.uniform(1.0, p.room_y - 1.0),
+                      rng.uniform(0.5, 2.0)};
+        s.reflectivity = rng.uniform(0.6, 1.4) * rng.unit_phasor();
+        env.add_scatterer(s);
+    }
+    return env;
+}
+
+void add_blocker(Environment& env, const StudyParams& p) {
+    // A metal screen across the direct TX-RX line.
+    em::Obstacle blocker;
+    blocker.box = Aabb{{p.room_x / 2.0 - 0.15, p.room_y / 2.0 - 0.9, 0.0},
+                       {p.room_x / 2.0 + 0.15, p.room_y / 2.0 + 0.9, 2.2}};
+    blocker.attenuation_db = p.blocker_attenuation_db;
+    env.add_obstacle(blocker);
+}
+
+RadiatingEndpoint make_endpoint(const Vec3& pos, double gain_dbi) {
+    RadiatingEndpoint e;
+    e.position = pos;
+    e.antenna = Antenna::omni(gain_dbi);
+    return e;
+}
+
+/// The element placement region: a band 1-2 m from both endpoints, offset
+/// from the TX-RX axis (the paper's "grid 1-2 meters from both the
+/// transmitting and receiving antennas").
+Aabb element_region(const StudyParams& p) {
+    // A band offset ~1.0-1.9 m from the TX-RX axis, roughly equidistant
+    // from both endpoints ("1-2 meters from both ... antennas").
+    return Aabb{{p.room_x / 2.0 - 0.9, p.room_y / 2.0 - 2.0, 0.9},
+                {p.room_x / 2.0 + 0.9, p.room_y / 2.0 - 1.25, 1.6}};
+}
+
+Vec3 tx_position(const StudyParams& p) {
+    return {p.room_x / 2.0 - p.link_distance_m / 2.0, p.room_y / 2.0, 1.2};
+}
+
+Vec3 rx_position(const StudyParams& p) {
+    return {p.room_x / 2.0 + p.link_distance_m / 2.0, p.room_y / 2.0, 1.2};
+}
+
+// Per-seed placement jitter: the paper notes each repetition "results in a
+// different scattering environment due to the movement of our experiment
+// equipment", so endpoints shift a little between scenario seeds.
+Vec3 jitter(const Vec3& base, util::Rng& rng) {
+    return {base.x + rng.uniform(-0.35, 0.35),
+            base.y + rng.uniform(-0.35, 0.35),
+            base.z + rng.uniform(-0.15, 0.15)};
+}
+
+}  // namespace
+
+LinkScenario make_link_scenario(std::uint64_t seed, bool line_of_sight,
+                                const StudyParams& p) {
+    util::Rng rng(seed);
+    Environment env = make_room_environment(rng, p);
+    if (!line_of_sight) add_blocker(env, p);
+
+    sdr::Medium medium(std::move(env), phy::OfdmParams::wifi20());
+    util::Rng placement_rng = rng.fork();
+    const std::size_t array_id = medium.add_array(surface::random_sp4t_array(
+        p.num_elements, element_region(p),
+        Antenna::omni(p.element_gain_dbi), p.carrier_hz, placement_rng));
+
+    LinkScenario scenario{System(std::move(medium)), array_id, 0};
+    sdr::Link link;
+    util::Rng jitter_rng = rng.fork();
+    link.tx = make_endpoint(jitter(tx_position(p), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.rx = make_endpoint(jitter(rx_position(p), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.profile = sdr::RadioProfile::warp_v3();
+    scenario.link_id = scenario.system.add_link(link);
+    return scenario;
+}
+
+LinkScenario make_active_link_scenario(std::uint64_t seed,
+                                       bool line_of_sight, double gain_db,
+                                       const StudyParams& p) {
+    // Identical world to the passive scenario (same seed -> same clutter
+    // and element positions), with the passive loads swapped for
+    // amplify-and-forward states.
+    LinkScenario scenario = make_link_scenario(seed, line_of_sight, p);
+    surface::Array& passive =
+        scenario.system.medium().array(scenario.array_id);
+    surface::Array active;
+    for (const surface::Element& e : passive.elements()) {
+        active.add_element(surface::Element::active(
+            e.position(), e.antenna(), p.carrier_hz, /*num_phases=*/4,
+            gain_db));
+    }
+    passive = std::move(active);
+    return scenario;
+}
+
+LinkScenario make_sv_link_scenario(std::uint64_t seed,
+                                   const StudyParams& p) {
+    util::Rng rng(seed);
+    Environment env;  // no room: the clutter is entirely statistical
+    add_blocker(env, p);
+    em::SalehValenzuelaParams sv;
+    util::Rng sv_rng = rng.fork();
+    env.add_static_paths(em::saleh_valenzuela_paths(sv, sv_rng));
+
+    sdr::Medium medium(std::move(env), phy::OfdmParams::wifi20());
+    util::Rng placement_rng = rng.fork();
+    const std::size_t array_id = medium.add_array(surface::random_sp4t_array(
+        p.num_elements, element_region(p),
+        Antenna::omni(p.element_gain_dbi), p.carrier_hz, placement_rng));
+
+    LinkScenario scenario{System(std::move(medium)), array_id, 0};
+    sdr::Link link;
+    util::Rng jitter_rng = rng.fork();
+    link.tx = make_endpoint(jitter(tx_position(p), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.rx = make_endpoint(jitter(rx_position(p), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.profile = sdr::RadioProfile::warp_v3();
+    scenario.link_id = scenario.system.add_link(link);
+    return scenario;
+}
+
+LinkScenario make_fig7_link_scenario(std::uint64_t seed,
+                                     const StudyParams& p) {
+    util::Rng rng(seed);
+    Environment env = make_room_environment(rng, p);
+    add_blocker(env, p);
+
+    sdr::Medium medium(std::move(env), phy::OfdmParams::n210_wideband());
+
+    const Aabb region = element_region(p);
+    util::Rng placement_rng = rng.fork();
+    surface::Array array;
+    for (int i = 0; i < 2; ++i) {
+        const Vec3 pos{placement_rng.uniform(region.lo.x, region.hi.x),
+                       placement_rng.uniform(region.lo.y, region.hi.y),
+                       placement_rng.uniform(region.lo.z, region.hi.z)};
+        array.add_element(surface::Element::uniform_phases(
+            pos, Antenna::omni(p.element_gain_dbi), p.carrier_hz,
+            /*num_phases=*/4, /*include_off=*/false));
+    }
+
+    LinkScenario scenario{System(std::move(medium)), 0, 0};
+    scenario.array_id = scenario.system.medium().add_array(std::move(array));
+
+    sdr::Link link;
+    util::Rng jitter_rng = rng.fork();
+    link.tx = make_endpoint(jitter(tx_position(p), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.rx = make_endpoint(jitter(rx_position(p), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.profile = sdr::RadioProfile::usrp_n210();
+    scenario.link_id = scenario.system.add_link(link);
+    return scenario;
+}
+
+HarmonizationScenario make_harmonization_scenario(std::uint64_t seed,
+                                                  const StudyParams& p) {
+    util::Rng rng(seed);
+    Environment env = make_room_environment(rng, p);
+    add_blocker(env, p);
+
+    sdr::Medium medium(std::move(env), phy::OfdmParams::n210_wideband());
+
+    // Two 4-phase elements (no absorptive load) near the link region,
+    // seeded placement, "to decrease the reflected phase granularity".
+    const Aabb region = element_region(p);
+    util::Rng placement_rng = rng.fork();
+    surface::Array array;
+    for (int i = 0; i < 2; ++i) {
+        const Vec3 pos{placement_rng.uniform(region.lo.x, region.hi.x),
+                       placement_rng.uniform(region.lo.y, region.hi.y),
+                       placement_rng.uniform(region.lo.z, region.hi.z)};
+        array.add_element(surface::Element::uniform_phases(
+            pos, Antenna::omni(p.element_gain_dbi), p.carrier_hz,
+            /*num_phases=*/4, /*include_off=*/false));
+    }
+
+    HarmonizationScenario scenario{System(std::move(medium)), 0};
+    scenario.array_id = scenario.system.medium().add_array(std::move(array));
+
+    // Two networks: AP1/client1 on the left, AP2/client2 on the right.
+    const sdr::RadioProfile profile = sdr::RadioProfile::usrp_n210();
+    const double cx = p.room_x / 2.0;
+    const double cy = p.room_y / 2.0;
+    const RadiatingEndpoint ap1 =
+        make_endpoint({cx - 2.0, cy - 1.6, 1.2}, p.endpoint_gain_dbi);
+    const RadiatingEndpoint c1 =
+        make_endpoint({cx + 2.0, cy - 2.0, 1.2}, p.endpoint_gain_dbi);
+    const RadiatingEndpoint ap2 =
+        make_endpoint({cx - 2.0, cy + 1.6, 1.2}, p.endpoint_gain_dbi);
+    const RadiatingEndpoint c2 =
+        make_endpoint({cx + 2.0, cy + 2.0, 1.2}, p.endpoint_gain_dbi);
+
+    scenario.system.add_link({ap1, c1, profile});  // link 0: comm A
+    scenario.system.add_link({ap2, c2, profile});  // link 1: comm B
+    scenario.system.add_link({ap1, c2, profile});  // link 2: interference
+    scenario.system.add_link({ap2, c1, profile});  // link 3: interference
+    return scenario;
+}
+
+MimoScenario make_mimo_scenario(std::uint64_t seed, const StudyParams& p) {
+    util::Rng rng(seed);
+    Environment env = make_room_environment(rng, p);
+    add_blocker(env, p);
+
+    MimoScenario scenario{
+        sdr::Medium(std::move(env), phy::OfdmParams::wifi20()),
+        {},
+        {},
+        sdr::RadioProfile::usrp_x310(),
+        0};
+
+    const double lambda = util::wavelength(p.carrier_hz);
+    const Vec3 tx0 = tx_position(p);
+    const Vec3 rx0 = rx_position(p);
+    // TX pair at half-wavelength spacing along y.
+    scenario.tx_antennas.push_back(
+        make_endpoint(tx0, p.endpoint_gain_dbi));
+    scenario.tx_antennas.push_back(make_endpoint(
+        {tx0.x, tx0.y + lambda / 2.0, tx0.z}, p.endpoint_gain_dbi));
+    scenario.rx_antennas.push_back(
+        make_endpoint(rx0, p.endpoint_gain_dbi));
+    scenario.rx_antennas.push_back(make_endpoint(
+        {rx0.x, rx0.y + lambda / 2.0, rx0.z}, p.endpoint_gain_dbi));
+
+    // Elements co-linear with the TX pair at one-wavelength spacing,
+    // continuing the pair's axis (the Figure-8 deployment).
+    const Vec3 origin{tx0.x, tx0.y + lambda / 2.0 + lambda, tx0.z};
+    surface::Array array;
+    for (int i = 0; i < p.num_elements; ++i) {
+        array.add_element(surface::Element::sp4t_prototype(
+            {origin.x, origin.y + lambda * static_cast<double>(i),
+             origin.z},
+            Antenna::omni(p.element_gain_dbi), p.carrier_hz));
+    }
+    scenario.array_id = scenario.medium.add_array(std::move(array));
+    return scenario;
+}
+
+}  // namespace press::core

@@ -1,0 +1,73 @@
+#include "core/system.hpp"
+
+#include "util/contracts.hpp"
+
+namespace press::core {
+
+System::System(sdr::Medium medium) : medium_(std::move(medium)) {}
+
+std::size_t System::add_link(sdr::Link link) {
+    links_.push_back(std::move(link));
+    return links_.size() - 1;
+}
+
+const sdr::Link& System::link(std::size_t id) const {
+    PRESS_EXPECTS(id < links_.size(), "link id out of range");
+    return links_[id];
+}
+
+sdr::Link& System::link(std::size_t id) {
+    PRESS_EXPECTS(id < links_.size(), "link id out of range");
+    return links_[id];
+}
+
+void System::set_sounding_repeats(std::size_t repeats) {
+    PRESS_EXPECTS(repeats >= 2, "sounding needs at least two repetitions");
+    sounding_repeats_ = repeats;
+}
+
+phy::ChannelEstimate System::sound(std::size_t link_id,
+                                   util::Rng& rng) const {
+    return medium_.sound(link(link_id), sounding_repeats_, rng);
+}
+
+std::vector<double> System::measured_snr_db(std::size_t link_id,
+                                            util::Rng& rng) const {
+    return sound(link_id, rng).snr_db();
+}
+
+std::vector<double> System::true_snr_db(std::size_t link_id) const {
+    return medium_.true_snr_db(link(link_id));
+}
+
+control::Observation System::observe(util::Rng& rng) const {
+    PRESS_EXPECTS(!links_.empty(), "no links registered");
+    control::Observation obs;
+    obs.link_snr_db.reserve(links_.size());
+    for (std::size_t i = 0; i < links_.size(); ++i)
+        obs.link_snr_db.push_back(measured_snr_db(i, rng));
+    return obs;
+}
+
+void System::apply(std::size_t array_id, const surface::Config& config) {
+    medium_.array(array_id).apply(config);
+}
+
+control::OptimizationOutcome System::optimize(
+    std::size_t array_id, const control::Objective& objective,
+    const control::Searcher& searcher,
+    const control::ControlPlaneModel& plane, double time_budget_s,
+    util::Rng& rng) {
+    PRESS_EXPECTS(!links_.empty(), "register links before optimizing");
+    const surface::ConfigSpace space =
+        medium_.array(array_id).config_space();
+    control::Controller controller(
+        plane,
+        [this, array_id](const surface::Config& c) { apply(array_id, c); },
+        [this, &rng]() { return observe(rng); }, links_.size(),
+        medium_.ofdm().num_used());
+    return controller.optimize(space, objective, searcher, time_budget_s,
+                               rng);
+}
+
+}  // namespace press::core

@@ -1,0 +1,71 @@
+// press::core::System — the public facade of the library.
+//
+// A System owns a Medium (environment + PRESS arrays + numerology) and a
+// set of observed links, and exposes the full loop a deployment runs:
+// measure links, sweep or search configurations through a Controller with
+// a control-plane timing model, and leave the array in the best state.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/objective.hpp"
+#include "control/search.hpp"
+#include "sdr/medium.hpp"
+#include "util/rng.hpp"
+
+namespace press::core {
+
+/// Facade tying the substrates together. See examples/quickstart.cpp.
+class System {
+public:
+    explicit System(sdr::Medium medium);
+
+    sdr::Medium& medium() { return medium_; }
+    const sdr::Medium& medium() const { return medium_; }
+
+    /// Registers a link the controller will observe; returns its id.
+    std::size_t add_link(sdr::Link link);
+
+    std::size_t num_links() const { return links_.size(); }
+    const sdr::Link& link(std::size_t id) const;
+    sdr::Link& link(std::size_t id);
+
+    /// Number of LTF repetitions per sounding (default 4, as in a Wi-Fi
+    /// preamble-rich measurement frame).
+    void set_sounding_repeats(std::size_t repeats);
+    std::size_t sounding_repeats() const { return sounding_repeats_; }
+
+    /// Sounds one link under the current configuration.
+    phy::ChannelEstimate sound(std::size_t link_id, util::Rng& rng) const;
+
+    /// Measured per-subcarrier SNR (dB) of one link.
+    std::vector<double> measured_snr_db(std::size_t link_id,
+                                        util::Rng& rng) const;
+
+    /// Noise-free per-subcarrier SNR (dB) of one link (ground truth).
+    std::vector<double> true_snr_db(std::size_t link_id) const;
+
+    /// Observation across every registered link (what a controller sees).
+    control::Observation observe(util::Rng& rng) const;
+
+    /// Applies a configuration to array `array_id`.
+    void apply(std::size_t array_id, const surface::Config& config);
+
+    /// Runs a budgeted optimization of array `array_id` toward `objective`
+    /// using `searcher` under `plane` timing; leaves the best configuration
+    /// applied.
+    control::OptimizationOutcome optimize(
+        std::size_t array_id, const control::Objective& objective,
+        const control::Searcher& searcher,
+        const control::ControlPlaneModel& plane, double time_budget_s,
+        util::Rng& rng);
+
+private:
+    sdr::Medium medium_;
+    std::vector<sdr::Link> links_;
+    std::size_t sounding_repeats_ = 4;
+};
+
+}  // namespace press::core

@@ -1,0 +1,50 @@
+#include "em/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::em {
+
+Antenna Antenna::omni(double gain_dbi) {
+    Antenna a;
+    a.omni_ = true;
+    a.gain_dbi_ = gain_dbi;
+    return a;
+}
+
+Antenna Antenna::parabolic(double gain_dbi, double beamwidth_deg,
+                           Vec3 boresight, double backlobe_db) {
+    PRESS_EXPECTS(beamwidth_deg > 0.0 && beamwidth_deg < 180.0,
+                  "beamwidth must be in (0, 180) degrees");
+    PRESS_EXPECTS(backlobe_db >= 0.0, "backlobe level is a positive dB-down");
+    Antenna a;
+    a.omni_ = false;
+    a.gain_dbi_ = gain_dbi;
+    a.beamwidth_rad_ = beamwidth_deg * util::kPi / 180.0;
+    a.backlobe_db_ = backlobe_db;
+    a.boresight_ = boresight.normalized();
+    return a;
+}
+
+double Antenna::amplitude_gain(const Vec3& dir) const {
+    const double peak = util::db_to_amplitude(gain_dbi_);
+    if (omni_) return peak;
+    const Vec3 u = dir.normalized();
+    const double cosang = std::clamp(u.dot(boresight_), -1.0, 1.0);
+    const double theta = std::acos(cosang);
+    // Gaussian main lobe calibrated so the power gain is -3 dB at half the
+    // full beamwidth: G(theta) = G0 * exp(-ln2 * (2 theta / bw)^2).
+    const double lobe_db =
+        gain_dbi_ - 3.0 * std::pow(2.0 * theta / beamwidth_rad_, 2.0);
+    const double floor_db = gain_dbi_ - backlobe_db_;
+    return util::db_to_amplitude(std::max(lobe_db, floor_db));
+}
+
+void Antenna::set_boresight(const Vec3& boresight) {
+    if (!omni_) boresight_ = boresight.normalized();
+}
+
+}  // namespace press::em

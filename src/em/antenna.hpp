@@ -1,0 +1,49 @@
+// Antenna gain models.
+//
+// The paper's prototype uses 2 dBi omni endpoints (PulseLarsen W1030), and
+// PRESS elements with either a 14 dBi / 21-degree parabolic (Laird GD24BP)
+// or an omni. We model an antenna as a boresight-relative amplitude-gain
+// pattern: omnidirectional (constant gain) or parabolic (Gaussian rolloff in
+// the angle off boresight, floored by a back-lobe level).
+#pragma once
+
+#include "em/geometry.hpp"
+
+namespace press::em {
+
+/// Directional amplitude-gain model evaluated toward arbitrary directions.
+class Antenna {
+public:
+    /// An isotropic / omnidirectional antenna with the given peak gain.
+    static Antenna omni(double gain_dbi);
+
+    /// A parabolic dish pointed along `boresight` with the given peak gain
+    /// and -3 dB full beamwidth (degrees). Side/back lobes are modeled as a
+    /// constant floor `backlobe_db` below the peak.
+    static Antenna parabolic(double gain_dbi, double beamwidth_deg,
+                             Vec3 boresight, double backlobe_db = 20.0);
+
+    /// Amplitude gain (sqrt of linear power gain) toward the unit-free
+    /// direction `dir` (need not be normalized).
+    double amplitude_gain(const Vec3& dir) const;
+
+    /// Peak power gain in dBi.
+    double peak_gain_dbi() const { return gain_dbi_; }
+
+    /// True for the omnidirectional model.
+    bool is_omni() const { return omni_; }
+
+    /// Re-points a directional antenna (no effect on omni).
+    void set_boresight(const Vec3& boresight);
+
+private:
+    Antenna() = default;
+
+    bool omni_ = true;
+    double gain_dbi_ = 0.0;
+    double beamwidth_rad_ = 0.0;
+    double backlobe_db_ = 20.0;
+    Vec3 boresight_{1.0, 0.0, 0.0};
+};
+
+}  // namespace press::em

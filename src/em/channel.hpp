@@ -1,0 +1,45 @@
+// Channel synthesis from resolved multipath.
+//
+// Given a set of em::Path records, these functions synthesize the channel
+// frequency response H(f) = sum_l a_l e^{-j 2 pi f tau_l} e^{j 2 pi nu_l t}
+// on arbitrary frequency grids, and a sampled (fractional-delay) impulse
+// response for the time-domain PHY chain.
+#pragma once
+
+#include <vector>
+
+#include "em/path.hpp"
+#include "util/cvec.hpp"
+
+namespace press::em {
+
+/// Channel frequency response on the absolute frequency grid `freqs_hz`,
+/// evaluated at elapsed time `time_s` (Doppler rotates each path).
+util::CVec frequency_response(const std::vector<Path>& paths,
+                              const std::vector<double>& freqs_hz,
+                              double time_s = 0.0);
+
+/// Discrete-time baseband impulse response sampled at `sample_rate_hz`
+/// around carrier `carrier_hz`, `num_taps` taps long. Each path lands at
+/// its fractional delay via a Hann-windowed sinc interpolation kernel; the
+/// earliest path is positioned at tap `lead_taps` so the kernel's acausal
+/// half is representable.
+util::CVec impulse_response(const std::vector<Path>& paths,
+                            double carrier_hz, double sample_rate_hz,
+                            std::size_t num_taps, std::size_t lead_taps = 8);
+
+/// Total multipath power sum |a_l|^2.
+double total_power(const std::vector<Path>& paths);
+
+/// Power-weighted RMS delay spread in seconds (zero for a single path).
+double rms_delay_spread(const std::vector<Path>& paths);
+
+/// 50%-correlation coherence bandwidth estimate 1 / (5 tau_rms).
+double coherence_bandwidth_hz(const std::vector<Path>& paths);
+
+/// Coherence time from the maximum endpoint speed via the popular
+/// Tc = 9 / (16 pi f_d) rule (Tse & Viswanath); matches the paper's quoted
+/// ~80 ms at 0.5 mph and ~6 ms at 6 mph for 2.4 GHz.
+double coherence_time_s(double carrier_hz, double speed_m_per_s);
+
+}  // namespace press::em

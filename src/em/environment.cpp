@@ -1,0 +1,212 @@
+#include "em/environment.hpp"
+
+#include <cmath>
+#include <iterator>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::em {
+
+using util::kSpeedOfLight;
+
+void Environment::set_max_reflection_order(int order) {
+    PRESS_EXPECTS(order >= 0 && order <= 6,
+                  "reflection order must be in [0, 6]");
+    max_reflection_order_ = order;
+}
+
+double Environment::obstruction_amplitude(const Vec3& a, const Vec3& b) const {
+    double amp = 1.0;
+    for (const Obstacle& o : obstacles_)
+        if (segment_intersects_box(a, b, o.box))
+            amp *= util::db_to_amplitude(-o.attenuation_db);
+    return amp;
+}
+
+namespace {
+
+// Folds an unbounded coordinate into [lo, hi] as a mirror-reflecting
+// billiard would: a triangle wave of period 2 (hi - lo).
+double fold_coordinate(double u, double lo, double hi) {
+    const double length = hi - lo;
+    double rel = std::fmod(u - lo, 2.0 * length);
+    if (rel < 0.0) rel += 2.0 * length;
+    return lo + (rel <= length ? rel : 2.0 * length - rel);
+}
+
+Vec3 fold_into_room(const Vec3& p, const Aabb& bounds) {
+    return {fold_coordinate(p.x, bounds.lo.x, bounds.hi.x),
+            fold_coordinate(p.y, bounds.lo.y, bounds.hi.y),
+            fold_coordinate(p.z, bounds.lo.z, bounds.hi.z)};
+}
+
+}  // namespace
+
+double Environment::folded_obstruction_amplitude(const Vec3& image,
+                                                 const Vec3& rx) const {
+    PRESS_EXPECTS(room_.has_value(),
+                  "folded obstruction needs a room to fold into");
+    if (obstacles_.empty()) return 1.0;
+    const Aabb& bounds = room_->bounds();
+    const double length = distance(image, rx);
+    if (length <= 0.0) return 1.0;
+    // Walk the unfolded segment at ~5 cm resolution; each consecutive pair
+    // of folded points approximates one leg of the physical polyline.
+    const int steps = std::max(2, static_cast<int>(length / 0.05));
+    double amp = 1.0;
+    std::vector<bool> crossed(obstacles_.size(), false);
+    Vec3 prev = fold_into_room(image, bounds);
+    for (int i = 1; i <= steps; ++i) {
+        const double t = static_cast<double>(i) / steps;
+        const Vec3 cur = fold_into_room(image + (rx - image) * t, bounds);
+        for (std::size_t o = 0; o < obstacles_.size(); ++o) {
+            if (crossed[o]) continue;
+            if (segment_intersects_box(prev, cur, obstacles_[o].box) ||
+                obstacles_[o].box.contains(cur)) {
+                crossed[o] = true;
+                amp *= util::db_to_amplitude(-obstacles_[o].attenuation_db);
+            }
+        }
+        prev = cur;
+    }
+    return amp;
+}
+
+double doppler_shift_hz(const Vec3& tx_velocity, const Vec3& rx_velocity,
+                        const Vec3& departure, const Vec3& arrival,
+                        double carrier_hz) {
+    // TX moving along the departure direction compresses the path; RX moving
+    // along the incoming propagation direction stretches it.
+    return carrier_hz / kSpeedOfLight *
+           (tx_velocity.dot(departure) - rx_velocity.dot(arrival));
+}
+
+Path Environment::direct_path(const RadiatingEndpoint& tx,
+                              const RadiatingEndpoint& rx,
+                              double carrier_hz) const {
+    const double d = distance(tx.position, rx.position);
+    PRESS_EXPECTS(d > 0.0, "tx and rx cannot be co-located");
+    const double lambda = util::wavelength(carrier_hz);
+    const Vec3 dep = (rx.position - tx.position).normalized();
+    Path p;
+    p.kind = PathKind::kDirect;
+    p.departure = dep;
+    p.arrival = dep;  // incoming propagation direction at RX
+    p.delay_s = d / kSpeedOfLight;
+    const double amp = tx.antenna.amplitude_gain(dep) *
+                       rx.antenna.amplitude_gain(-dep) *
+                       lambda / (4.0 * util::kPi * d) *
+                       obstruction_amplitude(tx.position, rx.position);
+    p.gain = {amp, 0.0};
+    p.doppler_hz =
+        doppler_shift_hz(tx.velocity, rx.velocity, dep, dep, carrier_hz);
+    return p;
+}
+
+std::vector<Path> Environment::trace(const RadiatingEndpoint& tx,
+                                     const RadiatingEndpoint& rx,
+                                     double carrier_hz) const {
+    PRESS_EXPECTS(carrier_hz > 0.0, "carrier frequency must be positive");
+    const double lambda = util::wavelength(carrier_hz);
+    std::vector<Path> paths;
+    paths.push_back(direct_path(tx, rx, carrier_hz));
+
+    if (room_ && max_reflection_order_ > 0) {
+        for (const SourceImage& img :
+             room_->images(tx.position, max_reflection_order_)) {
+            const double d = distance(img.position, rx.position);
+            if (d <= 0.0) continue;
+            // The unfolded reflected ray runs straight from the image to the
+            // receiver; endpoint antennas in this library's scenarios are
+            // omni, so we evaluate both gains along that unfolded direction.
+            const Vec3 dir = (rx.position - img.position).normalized();
+            Path p;
+            p.kind = PathKind::kWall;
+            p.departure = dir;
+            p.arrival = dir;
+            p.delay_s = d / kSpeedOfLight;
+            const double amp = tx.antenna.amplitude_gain(dir) *
+                               rx.antenna.amplitude_gain(-dir) *
+                               lambda / (4.0 * util::kPi * d) *
+                               folded_obstruction_amplitude(img.position,
+                                                            rx.position);
+            p.gain = amp * img.reflection;
+            p.doppler_hz = doppler_shift_hz(tx.velocity, rx.velocity, dir,
+                                            dir, carrier_hz);
+            paths.push_back(p);
+        }
+    }
+
+    for (const Scatterer& s : scatterers_) {
+        const double d1 = distance(tx.position, s.position);
+        const double d2 = distance(s.position, rx.position);
+        if (d1 <= 0.0 || d2 <= 0.0) continue;
+        const Vec3 dep = (s.position - tx.position).normalized();
+        const Vec3 arr = (rx.position - s.position).normalized();
+        Path p;
+        p.kind = PathKind::kScatterer;
+        p.departure = dep;
+        p.arrival = arr;
+        p.delay_s = (d1 + d2) / kSpeedOfLight;
+        // Bistatic radar budget with reflectivity rho = sqrt(RCS / 4 pi):
+        // |a| = gt * gr * rho * lambda / ((4 pi d1)(4 pi d2)).
+        const double geom =
+            lambda / ((4.0 * util::kPi * d1) * (4.0 * util::kPi * d2));
+        const double amp = tx.antenna.amplitude_gain(dep) *
+                           rx.antenna.amplitude_gain(-arr) * geom *
+                           obstruction_amplitude(tx.position, s.position) *
+                           obstruction_amplitude(s.position, rx.position);
+        p.gain = amp * s.reflectivity;
+        p.doppler_hz =
+            doppler_shift_hz(tx.velocity, rx.velocity, dep, arr, carrier_hz);
+        paths.push_back(p);
+    }
+    paths.insert(paths.end(), static_paths_.begin(), static_paths_.end());
+    return paths;
+}
+
+void Environment::add_static_paths(std::vector<Path> paths) {
+    static_paths_.insert(static_paths_.end(),
+                         std::make_move_iterator(paths.begin()),
+                         std::make_move_iterator(paths.end()));
+}
+
+std::optional<Path> Environment::two_hop(
+    const RadiatingEndpoint& tx, const RadiatingEndpoint& rx, const Vec3& via,
+    const Antenna& via_antenna, std::complex<double> reflection,
+    double extra_delay_s, double carrier_hz, PathKind kind,
+    int element_index) const {
+    PRESS_EXPECTS(carrier_hz > 0.0, "carrier frequency must be positive");
+    PRESS_EXPECTS(extra_delay_s >= 0.0, "extra delay must be non-negative");
+    if (reflection == std::complex<double>{0.0, 0.0}) return std::nullopt;
+    const double d1 = distance(tx.position, via);
+    const double d2 = distance(via, rx.position);
+    if (d1 <= 0.0 || d2 <= 0.0) return std::nullopt;
+    const double lambda = util::wavelength(carrier_hz);
+    const Vec3 dep = (via - tx.position).normalized();
+    const Vec3 arr = (rx.position - via).normalized();
+    Path p;
+    p.kind = kind;
+    p.element_index = element_index;
+    p.departure = dep;
+    p.arrival = arr;
+    p.delay_s = (d1 + d2) / kSpeedOfLight + extra_delay_s;
+    // Re-radiating element budget (capture aperture + re-radiation):
+    // |a| = gt * ge(->tx) * ge(->rx) * gr * |G| * lambda^2 /
+    //       ((4 pi d1)(4 pi d2)).
+    const double geom =
+        lambda * lambda / ((4.0 * util::kPi * d1) * (4.0 * util::kPi * d2));
+    const double amp = tx.antenna.amplitude_gain(dep) *
+                       via_antenna.amplitude_gain(-dep) *
+                       via_antenna.amplitude_gain(arr) *
+                       rx.antenna.amplitude_gain(-arr) * geom *
+                       obstruction_amplitude(tx.position, via) *
+                       obstruction_amplitude(via, rx.position);
+    p.gain = amp * reflection;
+    p.doppler_hz =
+        doppler_shift_hz(tx.velocity, rx.velocity, dep, arr, carrier_hz);
+    return p;
+}
+
+}  // namespace press::em

@@ -1,0 +1,128 @@
+// The propagation engine: resolves the discrete multipath between two
+// radiating endpoints placed in an indoor scene.
+//
+// A scene is a rectangular Room (optional), axis-aligned box obstacles with
+// a through-attenuation, and point scatterers. The engine produces em::Path
+// records for:
+//   - the direct ray (attenuated by every obstacle it crosses),
+//   - specular wall reflections via the image method,
+//   - single bounces off environmental scatterers (per-leg obstruction),
+//   - two-hop re-radiation via arbitrary points (used by the PRESS layer to
+//     inject element paths with the radar-equation link budget).
+//
+// Wall-reflection paths are obstruction-checked exactly: for an axis-
+// aligned box room the physical polyline of an image path is the straight
+// image->RX segment folded back into the room by a per-axis triangle wave
+// (billiard unfolding), and the folded polyline is walked against every
+// obstacle. Scatterer and PRESS paths are single-bounce only (documented
+// simplification in DESIGN.md).
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "em/antenna.hpp"
+#include "em/geometry.hpp"
+#include "em/path.hpp"
+#include "em/room.hpp"
+#include "em/scatterer.hpp"
+
+namespace press::em {
+
+/// An axis-aligned blocking object (e.g. the metal screen the paper places
+/// between TX and RX for the non-line-of-sight experiments).
+struct Obstacle {
+    Aabb box;
+    /// Power attenuation (dB, positive) applied to each ray crossing it.
+    double attenuation_db = 30.0;
+};
+
+/// A transmit or receive antenna placed in the scene.
+struct RadiatingEndpoint {
+    Vec3 position;
+    Antenna antenna = Antenna::omni(2.0);
+    /// Velocity [m/s] used for per-path Doppler; zero in the paper's static
+    /// measurements.
+    Vec3 velocity{0.0, 0.0, 0.0};
+};
+
+/// An indoor propagation scene.
+class Environment {
+public:
+    Environment() = default;
+
+    /// Installs a room; endpoints and scatterers must lie inside it.
+    void set_room(const Room& room) { room_ = room; }
+    const std::optional<Room>& room() const { return room_; }
+
+    /// Highest wall-reflection order traced (default 2). Order 3 roughly
+    /// quadruples the image count for a modest energy contribution.
+    void set_max_reflection_order(int order);
+    int max_reflection_order() const { return max_reflection_order_; }
+
+    void add_obstacle(const Obstacle& o) { obstacles_.push_back(o); }
+    const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+    void clear_obstacles() { obstacles_.clear(); }
+
+    void add_scatterer(const Scatterer& s) { scatterers_.push_back(s); }
+    const std::vector<Scatterer>& scatterers() const { return scatterers_; }
+    void clear_scatterers() { scatterers_.clear(); }
+
+    /// Installs endpoint-independent diffuse multipath (e.g. a
+    /// Saleh-Valenzuela realization from em/statistical.hpp) appended
+    /// verbatim to every traced link. Gains must already include any
+    /// antenna effects.
+    void add_static_paths(std::vector<Path> paths);
+    const std::vector<Path>& static_paths() const { return static_paths_; }
+    void clear_static_paths() { static_paths_.clear(); }
+
+    /// Resolves every direct / wall / scatterer path between tx and rx at
+    /// the given carrier. PRESS-element paths are added separately by the
+    /// press layer through two_hop().
+    std::vector<Path> trace(const RadiatingEndpoint& tx,
+                            const RadiatingEndpoint& rx,
+                            double carrier_hz) const;
+
+    /// Builds the radar-equation path TX -> via -> RX for a re-radiating
+    /// point with antenna `via_antenna`, complex reflection `reflection`
+    /// (zero yields no path), and `extra_delay_s` of internal delay (the
+    /// switched stub). Returns nullopt when the reflection is zero or
+    /// either leg coincides with the via point.
+    std::optional<Path> two_hop(const RadiatingEndpoint& tx,
+                                const RadiatingEndpoint& rx, const Vec3& via,
+                                const Antenna& via_antenna,
+                                std::complex<double> reflection,
+                                double extra_delay_s, double carrier_hz,
+                                PathKind kind, int element_index = -1) const;
+
+    /// Amplitude factor from every obstacle crossed by segment a->b
+    /// (1.0 when unobstructed).
+    double obstruction_amplitude(const Vec3& a, const Vec3& b) const;
+
+    /// Amplitude factor for a wall-reflected path given by its unfolded
+    /// straight segment from a source image to the receiver: folds the
+    /// segment back into the room and applies each obstacle's attenuation
+    /// once if the folded polyline crosses it. Requires a room.
+    double folded_obstruction_amplitude(const Vec3& image,
+                                        const Vec3& rx) const;
+
+private:
+    Path direct_path(const RadiatingEndpoint& tx, const RadiatingEndpoint& rx,
+                     double carrier_hz) const;
+
+    std::optional<Room> room_;
+    int max_reflection_order_ = 2;
+    std::vector<Obstacle> obstacles_;
+    std::vector<Scatterer> scatterers_;
+    std::vector<Path> static_paths_;
+};
+
+/// Per-path Doppler shift for moving endpoints: positive when the geometry
+/// is closing. `departure` points away from TX; `arrival` is the incoming
+/// propagation direction at RX (pointing toward RX).
+double doppler_shift_hz(const Vec3& tx_velocity, const Vec3& rx_velocity,
+                        const Vec3& departure, const Vec3& arrival,
+                        double carrier_hz);
+
+}  // namespace press::em

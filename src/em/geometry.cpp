@@ -1,0 +1,33 @@
+#include "em/geometry.hpp"
+
+#include <algorithm>
+
+namespace press::em {
+
+bool segment_intersects_box(const Vec3& a, const Vec3& b, const Aabb& box) {
+    // Slab method on the parametric segment a + t (b - a), t in (0, 1).
+    const Vec3 d = b - a;
+    double t_enter = 0.0;
+    double t_exit = 1.0;
+    const double axes_a[3] = {a.x, a.y, a.z};
+    const double axes_d[3] = {d.x, d.y, d.z};
+    const double axes_lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+    const double axes_hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+    for (int i = 0; i < 3; ++i) {
+        if (std::abs(axes_d[i]) < 1e-15) {
+            if (axes_a[i] < axes_lo[i] || axes_a[i] > axes_hi[i]) return false;
+            continue;
+        }
+        double t0 = (axes_lo[i] - axes_a[i]) / axes_d[i];
+        double t1 = (axes_hi[i] - axes_a[i]) / axes_d[i];
+        if (t0 > t1) std::swap(t0, t1);
+        t_enter = std::max(t_enter, t0);
+        t_exit = std::min(t_exit, t1);
+        if (t_enter > t_exit) return false;
+    }
+    // Require genuine interior overlap: grazing the surface (or an endpoint
+    // touching the box) does not block a path.
+    return t_exit - t_enter > 1e-12 && t_exit > 1e-12 && t_enter < 1.0 - 1e-12;
+}
+
+}  // namespace press::em

@@ -1,0 +1,62 @@
+// Minimal 3-D vector geometry for the propagation engine.
+#pragma once
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::em {
+
+/// A point or direction in 3-D space, in meters.
+struct Vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    Vec3 operator-() const { return {-x, -y, -z}; }
+
+    double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+    Vec3 cross(const Vec3& o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    double norm() const { return std::sqrt(dot(*this)); }
+
+    /// Unit vector in this direction; zero vectors are a contract violation.
+    Vec3 normalized() const {
+        const double n = norm();
+        PRESS_EXPECTS(n > 0.0, "cannot normalize the zero vector");
+        return *this / n;
+    }
+};
+
+inline Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(const Vec3& a, const Vec3& b) { return (b - a).norm(); }
+
+/// An axis-aligned box given by its two extreme corners (lo <= hi
+/// component-wise). Used for obstacles and for the room envelope.
+struct Aabb {
+    Vec3 lo;
+    Vec3 hi;
+
+    bool contains(const Vec3& p) const {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    Vec3 center() const { return (lo + hi) * 0.5; }
+};
+
+/// True when the open segment (a, b) intersects the box. Endpoints touching
+/// the surface do not count as an intersection, so a radio standing next to
+/// an obstacle is not considered blocked by it.
+bool segment_intersects_box(const Vec3& a, const Vec3& b, const Aabb& box);
+
+}  // namespace press::em

@@ -1,0 +1,29 @@
+// Wall / surface materials.
+//
+// A material is summarized by its complex amplitude reflection coefficient
+// at ~2.4 GHz. Magnitudes follow commonly measured indoor values; the phase
+// is pi (field inversion) for the dielectric and conducting surfaces we
+// model, which is the dominant behaviour near normal incidence.
+#pragma once
+
+#include <complex>
+#include <string>
+
+namespace press::em {
+
+/// A reflecting surface material.
+struct Material {
+    std::string name;
+    /// Complex amplitude reflection coefficient applied per bounce.
+    std::complex<double> reflection{-0.5, 0.0};
+
+    static Material drywall() { return {"drywall", {-0.45, 0.0}}; }
+    static Material concrete() { return {"concrete", {-0.65, 0.0}}; }
+    static Material glass() { return {"glass", {-0.35, 0.0}}; }
+    static Material metal() { return {"metal", {-0.95, 0.0}}; }
+    static Material wood() { return {"wood", {-0.40, 0.0}}; }
+    /// An anechoic-like absorber: essentially no reflection.
+    static Material absorber() { return {"absorber", {-0.02, 0.0}}; }
+};
+
+}  // namespace press::em

@@ -1,0 +1,67 @@
+// Propagation paths.
+//
+// The standard multipath signal model (Tse & Viswanath; the paper's Section
+// 2 "inverse problem") describes the channel as a superposition of discrete
+// paths, each with a complex gain, a propagation delay, angles of departure
+// and arrival, and a Doppler shift. The channel frequency response follows
+// as H(f) = sum_l a_l e^{-j 2 pi f tau_l}.
+#pragma once
+
+#include <complex>
+#include <string>
+
+#include "em/geometry.hpp"
+
+namespace press::em {
+
+/// How a path came to exist; benches and tests use this to reason about the
+/// composition of a channel.
+enum class PathKind {
+    kDirect,       ///< Line-of-sight TX -> RX.
+    kWall,         ///< Specular wall reflection(s) via the image method.
+    kScatterer,    ///< Single bounce off an environmental point scatterer.
+    kPressElement, ///< Re-radiated by a PRESS element (passive or active).
+};
+
+/// One resolved propagation path between a transmit and a receive antenna.
+struct Path {
+    /// Frequency-independent complex amplitude: Friis/radar-equation
+    /// magnitude at the carrier wavelength times all reflection
+    /// coefficients and antenna amplitude gains. Propagation phase is NOT
+    /// included here; it enters through `delay_s` when synthesizing H(f).
+    std::complex<double> gain{0.0, 0.0};
+
+    /// Total propagation delay in seconds (includes any switched-stub extra
+    /// delay inside a PRESS element).
+    double delay_s = 0.0;
+
+    /// Unit direction of departure at the transmitter.
+    Vec3 departure{1.0, 0.0, 0.0};
+
+    /// Unit direction of arrival at the receiver.
+    Vec3 arrival{1.0, 0.0, 0.0};
+
+    /// Doppler shift in Hz (zero for the static scenes of the paper's
+    /// exploratory study).
+    double doppler_hz = 0.0;
+
+    PathKind kind = PathKind::kDirect;
+
+    /// For kPressElement paths: index of the element within its array.
+    int element_index = -1;
+};
+
+/// Human-readable tag for logs and debug dumps.
+std::string to_string(PathKind kind);
+
+inline std::string to_string(PathKind kind) {
+    switch (kind) {
+        case PathKind::kDirect: return "direct";
+        case PathKind::kWall: return "wall";
+        case PathKind::kScatterer: return "scatterer";
+        case PathKind::kPressElement: return "press-element";
+    }
+    return "unknown";
+}
+
+}  // namespace press::em

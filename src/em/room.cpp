@@ -1,0 +1,96 @@
+#include "em/room.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::em {
+
+Room::Room(Aabb bounds, const Material& material) : bounds_(bounds) {
+    PRESS_EXPECTS(bounds.lo.x < bounds.hi.x && bounds.lo.y < bounds.hi.y &&
+                      bounds.lo.z < bounds.hi.z,
+                  "room must have positive extent on every axis");
+    for (Material& w : walls_) w = material;
+}
+
+void Room::set_wall_material(Wall wall, const Material& material) {
+    walls_[static_cast<int>(wall)] = material;
+}
+
+const Material& Room::wall_material(Wall wall) const {
+    return walls_[static_cast<int>(wall)];
+}
+
+namespace {
+
+/// Per-axis image candidate: mirrored coordinate, reflection coefficient
+/// contribution, and bounce count.
+struct AxisImage {
+    double coord;
+    std::complex<double> reflection;
+    int order;
+};
+
+std::vector<AxisImage> axis_images(double u, double lo, double hi,
+                                   const std::complex<double>& gamma_lo,
+                                   const std::complex<double>& gamma_hi,
+                                   int max_order) {
+    std::vector<AxisImage> out;
+    const double length = hi - lo;
+    const double rel = u - lo;
+    // |n| <= (max_order + 1) / 2 covers every image of order <= max_order.
+    const int nmax = max_order / 2 + 1;
+    for (int n = -nmax; n <= nmax; ++n) {
+        for (int q = 0; q <= 1; ++q) {
+            const int low_bounces = std::abs(n - q);
+            const int high_bounces = std::abs(n);
+            const int order = low_bounces + high_bounces;
+            if (order > max_order) continue;
+            std::complex<double> coeff{1.0, 0.0};
+            for (int i = 0; i < low_bounces; ++i) coeff *= gamma_lo;
+            for (int i = 0; i < high_bounces; ++i) coeff *= gamma_hi;
+            out.push_back({lo + (1 - 2 * q) * rel + 2.0 * n * length, coeff,
+                           order});
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<SourceImage> Room::images(const Vec3& source,
+                                      int max_order) const {
+    PRESS_EXPECTS(max_order >= 0, "max_order must be non-negative");
+    PRESS_EXPECTS(contains(source), "image source must lie inside the room");
+    const auto xs = axis_images(
+        source.x, bounds_.lo.x, bounds_.hi.x,
+        wall_material(Wall::kXLow).reflection,
+        wall_material(Wall::kXHigh).reflection, max_order);
+    const auto ys = axis_images(
+        source.y, bounds_.lo.y, bounds_.hi.y,
+        wall_material(Wall::kYLow).reflection,
+        wall_material(Wall::kYHigh).reflection, max_order);
+    const auto zs = axis_images(
+        source.z, bounds_.lo.z, bounds_.hi.z,
+        wall_material(Wall::kZLow).reflection,
+        wall_material(Wall::kZHigh).reflection, max_order);
+
+    std::vector<SourceImage> out;
+    for (const AxisImage& ix : xs) {
+        for (const AxisImage& iy : ys) {
+            const int partial = ix.order + iy.order;
+            if (partial > max_order) continue;
+            for (const AxisImage& iz : zs) {
+                const int order = partial + iz.order;
+                if (order == 0 || order > max_order) continue;
+                out.push_back(
+                    {{ix.coord, iy.coord, iz.coord},
+                     ix.reflection * iy.reflection * iz.reflection,
+                     order});
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace press::em

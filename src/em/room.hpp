@@ -1,0 +1,58 @@
+// Rectangular room with image-method specular reflections.
+//
+// The room is an axis-aligned box; each of the six walls has a material.
+// Mirror images of a source follow Allen & Berkley's construction: along
+// each axis the image coordinate is (1-2q) u + 2 n L (q in {0,1}, n integer)
+// with |n - q| reflections off the low wall and |n| off the high wall. The
+// per-image reflection coefficient is the product of the wall coefficients
+// raised to those counts; images are combined independently across axes.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "em/geometry.hpp"
+#include "em/material.hpp"
+
+namespace press::em {
+
+/// One mirror image of a source point.
+struct SourceImage {
+    Vec3 position;
+    /// Product of the amplitude reflection coefficients of every wall
+    /// bounce on this image's path.
+    std::complex<double> reflection{1.0, 0.0};
+    /// Total number of wall bounces (image order). Order zero (the source
+    /// itself) is never returned.
+    int order = 0;
+};
+
+/// Indexes the six walls of the box.
+enum class Wall { kXLow, kXHigh, kYLow, kYHigh, kZLow, kZHigh };
+
+/// An axis-aligned rectangular room.
+class Room {
+public:
+    /// Builds a room spanning `bounds` with every wall made of `material`.
+    Room(Aabb bounds, const Material& material);
+
+    /// Per-wall material override.
+    void set_wall_material(Wall wall, const Material& material);
+
+    const Material& wall_material(Wall wall) const;
+
+    const Aabb& bounds() const { return bounds_; }
+
+    /// True when p lies inside the room (inclusive of walls).
+    bool contains(const Vec3& p) const { return bounds_.contains(p); }
+
+    /// All source images of `source` with 1 <= order <= max_order, for a
+    /// source inside the room.
+    std::vector<SourceImage> images(const Vec3& source, int max_order) const;
+
+private:
+    Aabb bounds_;
+    Material walls_[6];
+};
+
+}  // namespace press::em

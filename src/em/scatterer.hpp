@@ -1,0 +1,25 @@
+// Environmental point scatterers.
+//
+// Furniture, fixtures and wall irregularities are modeled as point
+// re-scatterers with a complex reflectivity. The amplitude contribution of
+// a single bounce TX -> scatterer -> RX follows the two-segment (radar
+// equation) form; `reflectivity` plays the role of sqrt(RCS/4pi) * e^{j psi}
+// with an arbitrary per-scatterer phase.
+#pragma once
+
+#include <complex>
+
+#include "em/geometry.hpp"
+
+namespace press::em {
+
+/// A passive point scatterer in the environment.
+struct Scatterer {
+    Vec3 position;
+    /// Complex scattering amplitude (meters): received field contribution is
+    /// reflectivity * lambda / ((4 pi d1)(4 pi d2) / (4 pi)) ... folded into
+    /// the engine's two-hop budget. Typical indoor values 0.05 - 0.5 m.
+    std::complex<double> reflectivity{0.1, 0.0};
+};
+
+}  // namespace press::em

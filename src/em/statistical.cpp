@@ -1,0 +1,62 @@
+#include "em/statistical.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::em {
+
+namespace {
+
+Vec3 random_direction(util::Rng& rng) {
+    // Uniform on the sphere via the cylindrical projection.
+    const double z = rng.uniform(-1.0, 1.0);
+    const double phi = rng.uniform(0.0, util::kTwoPi);
+    const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+}  // namespace
+
+std::vector<Path> saleh_valenzuela_paths(const SalehValenzuelaParams& p,
+                                         util::Rng& rng) {
+    PRESS_EXPECTS(p.cluster_rate_hz > 0.0 && p.ray_rate_hz > 0.0,
+                  "arrival rates must be positive");
+    PRESS_EXPECTS(p.cluster_decay_s > 0.0 && p.ray_decay_s > 0.0,
+                  "decay constants must be positive");
+    PRESS_EXPECTS(p.max_delay_s > 0.0, "truncation must be positive");
+    PRESS_EXPECTS(p.first_arrival_amplitude > 0.0,
+                  "first arrival amplitude must be positive");
+
+    std::vector<Path> paths;
+    const double mean_power0 =
+        p.first_arrival_amplitude * p.first_arrival_amplitude;
+
+    double cluster_t = 0.0;  // first cluster at the excess delay
+    while (cluster_t < p.max_delay_s) {
+        double ray_t = 0.0;
+        while (cluster_t + ray_t < p.max_delay_s) {
+            // Doubly exponential mean power profile.
+            const double mean_power =
+                mean_power0 * std::exp(-cluster_t / p.cluster_decay_s) *
+                std::exp(-ray_t / p.ray_decay_s);
+            Path path;
+            // Rayleigh amplitude, uniform phase: a circularly symmetric
+            // complex Gaussian with the profile's mean power.
+            path.gain = rng.complex_gaussian(mean_power);
+            path.delay_s = p.excess_delay_s + cluster_t + ray_t;
+            path.departure = random_direction(rng);
+            path.arrival = random_direction(rng);
+            path.kind = PathKind::kScatterer;
+            paths.push_back(path);
+            // Next ray within the cluster (exponential inter-arrival).
+            ray_t += -std::log(rng.uniform(1e-12, 1.0)) / p.ray_rate_hz;
+        }
+        cluster_t += -std::log(rng.uniform(1e-12, 1.0)) / p.cluster_rate_hz;
+        if (cluster_t <= 0.0) break;  // defensive; cannot happen
+    }
+    return paths;
+}
+
+}  // namespace press::em

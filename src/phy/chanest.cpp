@@ -1,0 +1,66 @@
+#include "phy/chanest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace press::phy {
+
+std::vector<double> ChannelEstimate::snr_db(double cap_db,
+                                            double floor_db) const {
+    PRESS_EXPECTS(h.size() == noise_var.size(),
+                  "estimate and noise vectors must align");
+    PRESS_EXPECTS(floor_db < cap_db, "floor must sit below the cap");
+    std::vector<double> out(h.size());
+    for (std::size_t k = 0; k < h.size(); ++k) {
+        const double sig = std::norm(h[k]);
+        if (noise_var[k] <= 0.0 || sig <= 0.0) {
+            out[k] = sig <= 0.0 ? floor_db : cap_db;
+            continue;
+        }
+        out[k] = std::clamp(util::linear_to_db(sig / noise_var[k]),
+                            floor_db, cap_db);
+    }
+    return out;
+}
+
+ChannelEstimate combine_ltf_estimates(const std::vector<util::CVec>& raw) {
+    PRESS_EXPECTS(raw.size() >= 2,
+                  "noise estimation needs at least two repetitions");
+    const std::size_t n = raw.front().size();
+    for (const util::CVec& r : raw)
+        PRESS_EXPECTS(r.size() == n, "repetitions must have equal length");
+
+    ChannelEstimate est;
+    est.num_repetitions = raw.size();
+    est.h.assign(n, util::cd{0.0, 0.0});
+    est.noise_var.assign(n, 0.0);
+
+    const double count = static_cast<double>(raw.size());
+    for (const util::CVec& r : raw)
+        for (std::size_t k = 0; k < n; ++k) est.h[k] += r[k] / count;
+
+    for (const util::CVec& r : raw)
+        for (std::size_t k = 0; k < n; ++k)
+            est.noise_var[k] += std::norm(r[k] - est.h[k]) / (count - 1.0);
+    return est;
+}
+
+std::optional<NullInfo> find_null(const std::vector<double>& snr_db,
+                                  double threshold_db) {
+    PRESS_EXPECTS(!snr_db.empty(), "empty SNR profile");
+    PRESS_EXPECTS(threshold_db >= 0.0, "threshold must be non-negative");
+    const auto min_it = std::min_element(snr_db.begin(), snr_db.end());
+    const double med = util::median(snr_db);
+    if (med - *min_it < threshold_db) return std::nullopt;
+    NullInfo info;
+    info.subcarrier =
+        static_cast<std::size_t>(min_it - snr_db.begin());
+    info.depth_db = med - *min_it;
+    return info;
+}
+
+}  // namespace press::phy

@@ -1,0 +1,53 @@
+// Channel and SNR estimation from repeated training symbols.
+//
+// The paper's measurement pipeline: "the receiver estimates the channel
+// state information from the training sequences in the frame", and per-
+// subcarrier SNR statistics are computed over repeated measurements. Here
+// the mean of the per-LTF least-squares estimates gives H-hat, and the
+// sample variance across repetitions gives the per-subcarrier noise power,
+// from which SNR-hat = |H-hat|^2 / var.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/cvec.hpp"
+
+namespace press::phy {
+
+/// A combined channel estimate on the used subcarriers of one link.
+struct ChannelEstimate {
+    /// Mean least-squares channel estimate per used subcarrier.
+    util::CVec h;
+    /// Per-subcarrier variance of a single raw estimate (estimator noise).
+    std::vector<double> noise_var;
+    /// Number of training repetitions combined.
+    std::size_t num_repetitions = 0;
+
+    /// Estimated per-subcarrier SNR in dB (|h|^2 / noise_var), clamped to
+    /// [floor_db, cap_db]: a real receiver cannot report SNRs beyond its
+    /// estimator's dynamic range, and below ~0 dB the training correlation
+    /// no longer locks (the paper's SNR plots bottom out at 0 dB).
+    std::vector<double> snr_db(double cap_db = 60.0,
+                               double floor_db = 0.0) const;
+};
+
+/// Combines raw per-repetition estimates (all the same length) into a
+/// ChannelEstimate. Needs at least two repetitions to estimate noise.
+ChannelEstimate combine_ltf_estimates(const std::vector<util::CVec>& raw);
+
+/// A detected spectral null.
+struct NullInfo {
+    std::size_t subcarrier = 0;  ///< used-subcarrier index of the minimum
+    double depth_db = 0.0;       ///< median SNR minus minimum SNR
+};
+
+/// Finds the most significant null of a per-subcarrier SNR profile: the
+/// subcarrier with minimum SNR, provided it sits at least `threshold_db`
+/// below the median (the paper's Figure-5 qualification rule). Returns
+/// nullopt when the profile is too flat to contain a null.
+std::optional<NullInfo> find_null(const std::vector<double>& snr_db,
+                                  double threshold_db = 5.0);
+
+}  // namespace press::phy

@@ -1,0 +1,179 @@
+#include "phy/frame.hpp"
+
+#include <cmath>
+
+#include "phy/preamble.hpp"
+#include "util/contracts.hpp"
+#include "util/fft.hpp"
+#include "util/units.hpp"
+
+namespace press::phy {
+
+namespace {
+
+// One time-domain OFDM symbol (CP + body) from used-subcarrier values,
+// normalized to unit average sample power; returns the applied amplitude
+// scale so the receiver can undo it.
+std::pair<util::CVec, double> symbol_from_used(const OfdmParams& params,
+                                               const util::CVec& used) {
+    util::CVec body = util::ifft(params.place_on_grid(used));
+    double p = 0.0;
+    for (const util::cd& s : body) p += std::norm(s);
+    p /= static_cast<double>(body.size());
+    PRESS_ENSURES(p > 0.0, "symbol cannot be all-zero");
+    const double g = 1.0 / std::sqrt(p);
+    for (util::cd& s : body) s *= g;
+    util::CVec symbol;
+    symbol.reserve(params.cp_length() + body.size());
+    symbol.insert(symbol.end(),
+                  body.end() - static_cast<long>(params.cp_length()),
+                  body.end());
+    symbol.insert(symbol.end(), body.begin(), body.end());
+    return {std::move(symbol), g};
+}
+
+// Gathers the used-subcarrier values of the symbol starting at `offset`.
+util::CVec demod_symbol(const OfdmParams& params, const util::CVec& samples,
+                        std::size_t offset) {
+    util::CVec body(params.fft_size());
+    for (std::size_t i = 0; i < params.fft_size(); ++i)
+        body[i] = samples[offset + params.cp_length() + i];
+    return params.gather_from_grid(util::fft(body));
+}
+
+}  // namespace
+
+std::size_t frame_length_samples(const OfdmParams& params,
+                                 const FrameSpec& spec) {
+    return (spec.num_ltf + spec.num_data) *
+           (params.fft_size() + params.cp_length());
+}
+
+TxFrame build_frame(const OfdmParams& params, const FrameSpec& spec,
+                    util::Rng& rng) {
+    PRESS_EXPECTS(spec.num_ltf >= 1, "a frame needs at least one LTF");
+    TxFrame frame;
+    frame.samples.reserve(frame_length_samples(params, spec));
+
+    const util::CVec pilots = ltf_pilots(params);
+    const auto [ltf_symbol, ltf_scale] = symbol_from_used(params, pilots);
+    frame.ltf_pilot_scale = ltf_scale;
+    for (std::size_t i = 0; i < spec.num_ltf; ++i)
+        frame.samples.insert(frame.samples.end(), ltf_symbol.begin(),
+                             ltf_symbol.end());
+
+    const int bps = bits_per_symbol(spec.modulation);
+    for (std::size_t s = 0; s < spec.num_data; ++s) {
+        std::vector<std::uint8_t> bits(params.num_used() *
+                                       static_cast<std::size_t>(bps));
+        for (std::uint8_t& b : bits)
+            b = static_cast<std::uint8_t>(rng.chance(0.5) ? 1 : 0);
+        const util::CVec symbols = modulate(bits, spec.modulation);
+        frame.payload_bits.insert(frame.payload_bits.end(), bits.begin(),
+                                  bits.end());
+        frame.data_symbols.push_back(symbols);
+        // Payload symbols use the same fixed amplitude scale as the LTF
+        // (rather than per-symbol normalization) so the channel estimate
+        // equalizes them exactly; average sample power stays ~1 because the
+        // constellations have unit average energy like the pilots.
+        util::CVec body =
+            util::ifft(params.place_on_grid(util::scale(symbols, ltf_scale)));
+        util::CVec time_symbol;
+        time_symbol.reserve(params.cp_length() + body.size());
+        time_symbol.insert(time_symbol.end(),
+                           body.end() - static_cast<long>(params.cp_length()),
+                           body.end());
+        time_symbol.insert(time_symbol.end(), body.begin(), body.end());
+        frame.samples.insert(frame.samples.end(), time_symbol.begin(),
+                             time_symbol.end());
+    }
+    return frame;
+}
+
+RxFrame parse_frame(const OfdmParams& params, const FrameSpec& spec,
+                    const util::CVec& samples, bool correct_cfo) {
+    PRESS_EXPECTS(samples.size() >= frame_length_samples(params, spec),
+                  "sample buffer shorter than the frame");
+    const std::size_t sym_len = params.fft_size() + params.cp_length();
+    RxFrame rx;
+
+    const util::CVec pilots = ltf_pilots(params);
+    // The transmitter scaled LTF pilots by a known normalization; recompute
+    // it the same way so estimates are in true channel units.
+    const auto [ltf_symbol, ltf_scale] = symbol_from_used(params, pilots);
+    (void)ltf_symbol;
+
+    // CFO from the phase of the correlation between consecutive LTF symbol
+    // bodies (spaced sym_len samples apart).
+    if (spec.num_ltf >= 2) {
+        util::cd corr{0.0, 0.0};
+        for (std::size_t r = 0; r + 1 < spec.num_ltf; ++r) {
+            const std::size_t a = r * sym_len + params.cp_length();
+            const std::size_t b = a + sym_len;
+            for (std::size_t i = 0; i < params.fft_size(); ++i)
+                corr += std::conj(samples[a + i]) * samples[b + i];
+        }
+        const double phase = std::arg(corr);
+        rx.cfo_estimate_hz = phase * params.sample_rate_hz() /
+                             (util::kTwoPi * static_cast<double>(sym_len));
+    }
+
+    util::CVec work = samples;
+    if (correct_cfo && rx.cfo_estimate_hz != 0.0) {
+        for (std::size_t i = 0; i < work.size(); ++i) {
+            const double ph = -util::kTwoPi * rx.cfo_estimate_hz *
+                              static_cast<double>(i) /
+                              params.sample_rate_hz();
+            work[i] *= std::polar(1.0, ph);
+        }
+    }
+
+    for (std::size_t r = 0; r < spec.num_ltf; ++r) {
+        const util::CVec y = demod_symbol(params, work, r * sym_len);
+        util::CVec h(params.num_used());
+        for (std::size_t k = 0; k < params.num_used(); ++k)
+            h[k] = y[k] / (pilots[k] * ltf_scale);
+        rx.ltf_estimates.push_back(std::move(h));
+    }
+
+    // Mean channel estimate for equalization.
+    util::CVec h_mean(params.num_used(), util::cd{0.0, 0.0});
+    for (const util::CVec& h : rx.ltf_estimates)
+        for (std::size_t k = 0; k < params.num_used(); ++k)
+            h_mean[k] += h[k] / static_cast<double>(spec.num_ltf);
+
+    for (std::size_t s = 0; s < spec.num_data; ++s) {
+        const std::size_t offset = (spec.num_ltf + s) * sym_len;
+        const util::CVec y = demod_symbol(params, work, offset);
+        util::CVec eq(params.num_used());
+        for (std::size_t k = 0; k < params.num_used(); ++k) {
+            // Payload symbols were scaled by the same known LTF
+            // normalization at the transmitter; undo it here.
+            eq[k] = std::abs(h_mean[k]) > 0.0
+                        ? y[k] / (h_mean[k] * ltf_scale)
+                        : util::cd{0.0, 0.0};
+        }
+        const std::vector<std::uint8_t> bits =
+            demodulate(eq, spec.modulation);
+        rx.payload_bits.insert(rx.payload_bits.end(), bits.begin(),
+                               bits.end());
+        rx.equalized_data.push_back(std::move(eq));
+    }
+    return rx;
+}
+
+double evm_rms(const std::vector<util::CVec>& equalized, Modulation m) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const util::CVec& sym : equalized) {
+        const std::vector<std::uint8_t> bits = demodulate(sym, m);
+        const util::CVec ideal = modulate(bits, m);
+        for (std::size_t k = 0; k < sym.size(); ++k) {
+            acc += std::norm(sym[k] - ideal[k]);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::sqrt(acc / static_cast<double>(n));
+}
+
+}  // namespace press::phy

@@ -1,0 +1,69 @@
+// OFDM frame construction and parsing.
+//
+// A frame is `num_ltf` repeated long-training symbols followed by
+// `num_data` payload symbols. The parser assumes symbol timing is known
+// (the simulated chains control timing exactly; packet detection is out of
+// scope for reproducing the paper's channel measurements) and produces raw
+// per-LTF channel estimates, a CFO estimate from LTF repetition, and
+// equalized payload symbols.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/modulation.hpp"
+#include "phy/ofdm.hpp"
+#include "util/cvec.hpp"
+#include "util/rng.hpp"
+
+namespace press::phy {
+
+/// Shape of a frame.
+struct FrameSpec {
+    std::size_t num_ltf = 4;
+    std::size_t num_data = 0;
+    Modulation modulation = Modulation::kQpsk;
+};
+
+/// A built frame ready for the air.
+struct TxFrame {
+    util::CVec samples;                    ///< time-domain baseband samples
+    std::vector<std::uint8_t> payload_bits; ///< bits carried by the payload
+    std::vector<util::CVec> data_symbols;  ///< per-symbol used-subcarrier values
+    double ltf_pilot_scale = 1.0;          ///< amplitude applied to LTF pilots
+};
+
+/// Parser output.
+struct RxFrame {
+    /// Raw per-repetition channel estimates (one CVec of used subcarriers
+    /// per LTF symbol), each already divided by the known pilots.
+    std::vector<util::CVec> ltf_estimates;
+    /// CFO estimate [Hz] from the phase drift between consecutive LTFs
+    /// (zero when num_ltf < 2).
+    double cfo_estimate_hz = 0.0;
+    /// Payload symbols equalized by the mean LTF estimate.
+    std::vector<util::CVec> equalized_data;
+    /// Decoded payload bits (hard decision).
+    std::vector<std::uint8_t> payload_bits;
+};
+
+/// Total samples in a frame with the given spec.
+std::size_t frame_length_samples(const OfdmParams& params,
+                                 const FrameSpec& spec);
+
+/// Builds a frame; payload bits are drawn from `rng`. Every OFDM symbol has
+/// unit average sample power.
+TxFrame build_frame(const OfdmParams& params, const FrameSpec& spec,
+                    util::Rng& rng);
+
+/// Parses `samples` (which must contain at least frame_length_samples()
+/// samples, frame-aligned at index 0). When `correct_cfo` is set, the
+/// estimated CFO is removed before payload demodulation.
+RxFrame parse_frame(const OfdmParams& params, const FrameSpec& spec,
+                    const util::CVec& samples, bool correct_cfo = false);
+
+/// Error vector magnitude (RMS, linear) of equalized symbols against the
+/// nearest constellation point.
+double evm_rms(const std::vector<util::CVec>& equalized, Modulation m);
+
+}  // namespace press::phy

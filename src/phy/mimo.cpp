@@ -1,0 +1,67 @@
+#include "phy/mimo.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::phy {
+
+MimoChannelEstimate assemble_mimo(
+    const std::vector<std::vector<util::CVec>>& columns) {
+    PRESS_EXPECTS(!columns.empty(), "need at least one TX antenna");
+    const std::size_t nt = columns.size();
+    const std::size_t nr = columns.front().size();
+    PRESS_EXPECTS(nr >= 1, "need at least one RX antenna");
+    const std::size_t nsc = columns.front().front().size();
+    for (const auto& col : columns) {
+        PRESS_EXPECTS(col.size() == nr, "ragged RX antenna count");
+        for (const util::CVec& v : col)
+            PRESS_EXPECTS(v.size() == nsc, "ragged subcarrier count");
+    }
+    MimoChannelEstimate est;
+    est.h.reserve(nsc);
+    for (std::size_t k = 0; k < nsc; ++k) {
+        util::Matrix m(nr, nt);
+        for (std::size_t t = 0; t < nt; ++t)
+            for (std::size_t r = 0; r < nr; ++r)
+                m.at(r, t) = columns[t][r][k];
+        est.h.push_back(std::move(m));
+    }
+    return est;
+}
+
+std::vector<double> condition_numbers_db(const MimoChannelEstimate& est) {
+    std::vector<double> out;
+    out.reserve(est.h.size());
+    for (const util::Matrix& m : est.h) out.push_back(m.condition_number_db());
+    return out;
+}
+
+double mimo_capacity_bps_hz(const util::Matrix& h, double snr_linear) {
+    PRESS_EXPECTS(snr_linear >= 0.0, "SNR must be non-negative");
+    const std::size_t nt = h.cols();
+    // Normalize H to unit average element power so `snr_linear` really is
+    // the average per-antenna receive SNR.
+    const double fro2 = h.frobenius_norm() * h.frobenius_norm();
+    if (fro2 <= 0.0) return 0.0;
+    const double norm2 =
+        fro2 / static_cast<double>(h.rows() * h.cols());
+    double cap = 0.0;
+    for (double s : h.singular_values()) {
+        const double s2 = s * s / norm2;
+        cap += std::log2(1.0 + snr_linear * s2 /
+                                   static_cast<double>(nt));
+    }
+    return cap;
+}
+
+double mean_capacity_bps_hz(const MimoChannelEstimate& est,
+                            double snr_linear) {
+    PRESS_EXPECTS(!est.h.empty(), "empty MIMO estimate");
+    double acc = 0.0;
+    for (const util::Matrix& m : est.h)
+        acc += mimo_capacity_bps_hz(m, snr_linear);
+    return acc / static_cast<double>(est.h.size());
+}
+
+}  // namespace press::phy

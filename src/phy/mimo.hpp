@@ -1,0 +1,46 @@
+// MIMO channel sounding and conditioning metrics.
+//
+// The Figure-8 experiment measures the 2x2 channel matrix per subcarrier
+// for every PRESS configuration and reports the distribution of the matrix
+// condition number, "critically important to the channel capacity". We
+// sound an Nt x Nr channel by sending LTFs from one transmit antenna at a
+// time (orthogonal in time) and assembling per-subcarrier matrices, then
+// compute condition numbers and equal-power Shannon capacity.
+#pragma once
+
+#include <vector>
+
+#include "util/cvec.hpp"
+#include "util/matrix.hpp"
+
+namespace press::phy {
+
+/// Per-subcarrier MIMO channel: estimate[k] is the Nr x Nt matrix on used
+/// subcarrier k.
+struct MimoChannelEstimate {
+    std::vector<util::Matrix> h;
+
+    std::size_t num_subcarriers() const { return h.size(); }
+    std::size_t num_rx() const { return h.empty() ? 0 : h.front().rows(); }
+    std::size_t num_tx() const { return h.empty() ? 0 : h.front().cols(); }
+};
+
+/// Assembles per-subcarrier channel matrices from per-TX-antenna SIMO
+/// estimates: columns[t][r] is the per-subcarrier estimate from TX antenna
+/// t to RX antenna r. All vectors must have equal length.
+MimoChannelEstimate assemble_mimo(
+    const std::vector<std::vector<util::CVec>>& columns);
+
+/// Condition number (dB) of every per-subcarrier matrix.
+std::vector<double> condition_numbers_db(const MimoChannelEstimate& est);
+
+/// Equal-power Shannon capacity [bit/s/Hz] of one channel matrix at the
+/// given average per-receive-antenna SNR: log2 det(I + (snr/Nt) H H^H)
+/// with H normalized to unit average element power.
+double mimo_capacity_bps_hz(const util::Matrix& h, double snr_linear);
+
+/// Mean capacity across subcarriers.
+double mean_capacity_bps_hz(const MimoChannelEstimate& est,
+                            double snr_linear);
+
+}  // namespace press::phy

@@ -1,0 +1,147 @@
+#include "phy/modulation.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::phy {
+
+namespace {
+
+// Levels per I/Q axis for square constellations.
+int levels_per_axis(Modulation m) {
+    switch (m) {
+        case Modulation::kBpsk: return 2;   // real axis only
+        case Modulation::kQpsk: return 2;
+        case Modulation::kQam16: return 4;
+        case Modulation::kQam64: return 8;
+    }
+    return 2;
+}
+
+// Amplitude normalization so the average symbol energy is 1.
+double axis_scale(Modulation m) {
+    const int levels = levels_per_axis(m);
+    if (m == Modulation::kBpsk) return 1.0;
+    // Square QAM: E = 2 (L^2 - 1) / 3 before scaling.
+    return std::sqrt(3.0 / (2.0 * (levels * levels - 1)));
+}
+
+unsigned binary_to_gray(unsigned v) { return v ^ (v >> 1); }
+
+// Per-axis Gray demap table: level index (ascending amplitude) -> bits.
+unsigned gray_bits_for_level(int level) {
+    return binary_to_gray(static_cast<unsigned>(level));
+}
+
+// Extracts `n` bits MSB-first starting at `pos`.
+unsigned take_bits(const std::vector<std::uint8_t>& bits, std::size_t pos,
+                   int n) {
+    unsigned v = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint8_t b = bits[pos + static_cast<std::size_t>(i)];
+        v = (v << 1) | (b & 1u);
+    }
+    return v;
+}
+
+void put_bits(std::vector<std::uint8_t>& bits, unsigned v, int n) {
+    for (int i = n - 1; i >= 0; --i)
+        bits.push_back(static_cast<std::uint8_t>((v >> i) & 1u));
+}
+
+// Finds the level whose Gray pattern equals `pattern` (inverse table).
+int level_for_gray(unsigned pattern, int levels) {
+    for (int l = 0; l < levels; ++l)
+        if (gray_bits_for_level(l) == pattern) return l;
+    return 0;  // unreachable for valid patterns
+}
+
+double level_amplitude(int level, int levels, double scale) {
+    return scale * (2.0 * level - (levels - 1));
+}
+
+int nearest_level(double x, int levels, double scale) {
+    // Invert level_amplitude and clamp.
+    const int l = static_cast<int>(std::lround((x / scale + (levels - 1)) / 2.0));
+    return std::max(0, std::min(levels - 1, l));
+}
+
+}  // namespace
+
+int bits_per_symbol(Modulation m) {
+    switch (m) {
+        case Modulation::kBpsk: return 1;
+        case Modulation::kQpsk: return 2;
+        case Modulation::kQam16: return 4;
+        case Modulation::kQam64: return 6;
+    }
+    return 1;
+}
+
+std::string to_string(Modulation m) {
+    switch (m) {
+        case Modulation::kBpsk: return "BPSK";
+        case Modulation::kQpsk: return "QPSK";
+        case Modulation::kQam16: return "16-QAM";
+        case Modulation::kQam64: return "64-QAM";
+    }
+    return "?";
+}
+
+util::CVec modulate(const std::vector<std::uint8_t>& bits, Modulation m) {
+    const int bps = bits_per_symbol(m);
+    PRESS_EXPECTS(bits.size() % static_cast<std::size_t>(bps) == 0,
+                  "bit count must be a multiple of bits-per-symbol");
+    const int levels = levels_per_axis(m);
+    const int bits_per_axis = bps / (m == Modulation::kBpsk ? 1 : 2);
+    const double scale = axis_scale(m);
+    util::CVec out;
+    out.reserve(bits.size() / static_cast<std::size_t>(bps));
+    for (std::size_t pos = 0; pos < bits.size();
+         pos += static_cast<std::size_t>(bps)) {
+        if (m == Modulation::kBpsk) {
+            const unsigned b = take_bits(bits, pos, 1);
+            out.push_back({b ? 1.0 : -1.0, 0.0});
+            continue;
+        }
+        const unsigned bi = take_bits(bits, pos, bits_per_axis);
+        const unsigned bq = take_bits(
+            bits, pos + static_cast<std::size_t>(bits_per_axis),
+            bits_per_axis);
+        const int li = level_for_gray(bi, levels);
+        const int lq = level_for_gray(bq, levels);
+        out.push_back({level_amplitude(li, levels, scale),
+                       level_amplitude(lq, levels, scale)});
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> demodulate(const util::CVec& symbols,
+                                     Modulation m) {
+    const int bps = bits_per_symbol(m);
+    const int levels = levels_per_axis(m);
+    const int bits_per_axis = bps / (m == Modulation::kBpsk ? 1 : 2);
+    const double scale = axis_scale(m);
+    std::vector<std::uint8_t> bits;
+    bits.reserve(symbols.size() * static_cast<std::size_t>(bps));
+    for (const util::cd& s : symbols) {
+        if (m == Modulation::kBpsk) {
+            bits.push_back(s.real() >= 0.0 ? 1 : 0);
+            continue;
+        }
+        const int li = nearest_level(s.real(), levels, scale);
+        const int lq = nearest_level(s.imag(), levels, scale);
+        put_bits(bits, gray_bits_for_level(li), bits_per_axis);
+        put_bits(bits, gray_bits_for_level(lq), bits_per_axis);
+    }
+    return bits;
+}
+
+double min_half_distance_sq(Modulation m) {
+    if (m == Modulation::kBpsk) return 1.0;
+    const double scale = axis_scale(m);
+    return scale * scale;  // half of the 2*scale level spacing, squared
+}
+
+}  // namespace press::phy

@@ -1,0 +1,33 @@
+// Subcarrier modulation: Gray-coded BPSK / QPSK / 16-QAM / 64-QAM with unit
+// average symbol energy, plus hard-decision demapping. Used for frame
+// payloads and by the rate-adaptation layer's MCS definitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/cvec.hpp"
+
+namespace press::phy {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Bits carried per modulated symbol.
+int bits_per_symbol(Modulation m);
+
+/// Human-readable name ("BPSK", ...).
+std::string to_string(Modulation m);
+
+/// Maps a bit stream to symbols. The bit count must be a multiple of
+/// bits_per_symbol(m). Average symbol energy is 1.
+util::CVec modulate(const std::vector<std::uint8_t>& bits, Modulation m);
+
+/// Hard-decision demapping back to bits (nearest constellation point).
+std::vector<std::uint8_t> demodulate(const util::CVec& symbols, Modulation m);
+
+/// Minimum squared half-distance between constellation points, in units of
+/// average symbol energy; determines symbol error behaviour vs. noise.
+double min_half_distance_sq(Modulation m);
+
+}  // namespace press::phy

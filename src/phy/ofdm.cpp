@@ -1,0 +1,88 @@
+#include "phy/ofdm.hpp"
+
+#include "util/contracts.hpp"
+
+namespace press::phy {
+
+namespace {
+std::vector<int> symmetric_offsets(int half) {
+    std::vector<int> offsets;
+    offsets.reserve(static_cast<std::size_t>(2 * half));
+    for (int o = -half; o <= half; ++o)
+        if (o != 0) offsets.push_back(o);
+    return offsets;
+}
+}  // namespace
+
+OfdmParams::OfdmParams(std::size_t fft_size, std::size_t cp_length,
+                       double sample_rate_hz, double carrier_hz,
+                       std::vector<int> used_offsets)
+    : fft_size_(fft_size),
+      cp_length_(cp_length),
+      sample_rate_hz_(sample_rate_hz),
+      carrier_hz_(carrier_hz),
+      used_offsets_(std::move(used_offsets)) {
+    PRESS_EXPECTS(fft_size_ >= 2, "FFT size must be at least 2");
+    PRESS_EXPECTS(cp_length_ < fft_size_, "CP must be shorter than the FFT");
+    PRESS_EXPECTS(sample_rate_hz_ > 0.0, "sample rate must be positive");
+    PRESS_EXPECTS(carrier_hz_ > 0.0, "carrier must be positive");
+    PRESS_EXPECTS(!used_offsets_.empty(), "need at least one used subcarrier");
+    const int half = static_cast<int>(fft_size_) / 2;
+    int prev = -half - 1;
+    for (int o : used_offsets_) {
+        PRESS_EXPECTS(o != 0, "DC subcarrier cannot be used");
+        PRESS_EXPECTS(o > -half && o < half, "offset outside the FFT grid");
+        PRESS_EXPECTS(o > prev, "offsets must be strictly ascending");
+        prev = o;
+    }
+}
+
+OfdmParams OfdmParams::wifi20() {
+    return OfdmParams(64, 16, 20e6, 2.462e9, symmetric_offsets(26));
+}
+
+OfdmParams OfdmParams::n210_wideband() {
+    return OfdmParams(128, 32, 20e6, 2.462e9, symmetric_offsets(51));
+}
+
+int OfdmParams::used_offset(std::size_t i) const {
+    PRESS_EXPECTS(i < used_offsets_.size(), "used index out of range");
+    return used_offsets_[i];
+}
+
+double OfdmParams::subcarrier_frequency_hz(std::size_t i) const {
+    return carrier_hz_ +
+           static_cast<double>(used_offset(i)) * subcarrier_spacing_hz();
+}
+
+std::vector<double> OfdmParams::used_frequencies_hz() const {
+    std::vector<double> f;
+    f.reserve(used_offsets_.size());
+    for (std::size_t i = 0; i < used_offsets_.size(); ++i)
+        f.push_back(subcarrier_frequency_hz(i));
+    return f;
+}
+
+std::size_t OfdmParams::fft_bin(std::size_t i) const {
+    const int o = used_offset(i);
+    return o >= 0 ? static_cast<std::size_t>(o)
+                  : fft_size_ - static_cast<std::size_t>(-o);
+}
+
+util::CVec OfdmParams::place_on_grid(const util::CVec& used_values) const {
+    PRESS_EXPECTS(used_values.size() == num_used(),
+                  "value count must match used subcarriers");
+    util::CVec grid(fft_size_, util::cd{0.0, 0.0});
+    for (std::size_t i = 0; i < used_values.size(); ++i)
+        grid[fft_bin(i)] = used_values[i];
+    return grid;
+}
+
+util::CVec OfdmParams::gather_from_grid(const util::CVec& grid) const {
+    PRESS_EXPECTS(grid.size() == fft_size_, "grid size must match the FFT");
+    util::CVec used(num_used());
+    for (std::size_t i = 0; i < num_used(); ++i) used[i] = grid[fft_bin(i)];
+    return used;
+}
+
+}  // namespace press::phy

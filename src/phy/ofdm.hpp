@@ -1,0 +1,82 @@
+// OFDM numerology.
+//
+// The paper's endpoints transmit "Wi-Fi-like OFDM signals comprised of 64
+// subcarriers over 20 MHz on channel 11 of the ISM band (2.462 GHz)". The
+// Figure-7 harmonization experiment uses USRP N210s and reports 102 usable
+// subcarriers; we model that as a 128-point grid with 51 used bins per side.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/cvec.hpp"
+
+namespace press::phy {
+
+/// Static description of one OFDM signal format.
+class OfdmParams {
+public:
+    /// Builds a format. `used_offsets` are logical subcarrier offsets from
+    /// DC (negative = below carrier), each in (-fft/2, fft/2), strictly
+    /// ascending, not containing 0 (DC is never modulated).
+    OfdmParams(std::size_t fft_size, std::size_t cp_length,
+               double sample_rate_hz, double carrier_hz,
+               std::vector<int> used_offsets);
+
+    /// The WARP/Wi-Fi format of the paper's Sections 3.2.1-3.2.3: 64-point
+    /// FFT, 16-sample cyclic prefix, 20 MHz at 2.462 GHz, 52 used
+    /// subcarriers (offsets -26..-1, +1..+26).
+    static OfdmParams wifi20();
+
+    /// The N210-like format of Figure 7: 128-point FFT, 32-sample CP,
+    /// 20 MHz at 2.462 GHz, 102 used subcarriers (offsets -51..-1, +1..+51).
+    static OfdmParams n210_wideband();
+
+    std::size_t fft_size() const { return fft_size_; }
+    std::size_t cp_length() const { return cp_length_; }
+    double sample_rate_hz() const { return sample_rate_hz_; }
+    double carrier_hz() const { return carrier_hz_; }
+
+    /// Spacing between adjacent subcarriers [Hz].
+    double subcarrier_spacing_hz() const {
+        return sample_rate_hz_ / static_cast<double>(fft_size_);
+    }
+
+    /// Duration of one OFDM symbol including its cyclic prefix [s].
+    double symbol_duration_s() const {
+        return static_cast<double>(fft_size_ + cp_length_) / sample_rate_hz_;
+    }
+
+    /// Number of data-bearing subcarriers.
+    std::size_t num_used() const { return used_offsets_.size(); }
+
+    /// Logical offset from DC of used subcarrier `i` (i in [0, num_used)).
+    int used_offset(std::size_t i) const;
+
+    const std::vector<int>& used_offsets() const { return used_offsets_; }
+
+    /// Absolute RF frequency [Hz] of used subcarrier `i`.
+    double subcarrier_frequency_hz(std::size_t i) const;
+
+    /// Absolute RF frequencies of every used subcarrier, in index order.
+    std::vector<double> used_frequencies_hz() const;
+
+    /// FFT bin (0..fft_size-1, DC at bin 0) of used subcarrier `i`.
+    std::size_t fft_bin(std::size_t i) const;
+
+    /// Scatters per-used-subcarrier values onto a full FFT grid (unused bins
+    /// zero), ready for ifft().
+    util::CVec place_on_grid(const util::CVec& used_values) const;
+
+    /// Gathers used-subcarrier values from a full FFT grid.
+    util::CVec gather_from_grid(const util::CVec& grid) const;
+
+private:
+    std::size_t fft_size_;
+    std::size_t cp_length_;
+    double sample_rate_hz_;
+    double carrier_hz_;
+    std::vector<int> used_offsets_;
+};
+
+}  // namespace press::phy

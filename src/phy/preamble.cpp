@@ -1,0 +1,65 @@
+#include "phy/preamble.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+
+namespace press::phy {
+
+namespace {
+
+// IEEE 802.11 L-LTF values for subcarriers -26..-1 (first 26) and +1..+26
+// (last 26), DC omitted.
+constexpr int kDot11Ltf[52] = {
+    // -26 .. -1
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1,
+    1, 1, 1, 1,
+    // +1 .. +26
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1,
+    1, -1, 1, 1, 1, 1};
+
+bool is_dot11_layout(const OfdmParams& p) {
+    if (p.fft_size() != 64 || p.num_used() != 52) return false;
+    return p.used_offset(0) == -26 && p.used_offset(51) == 26;
+}
+
+}  // namespace
+
+util::CVec ltf_pilots(const OfdmParams& params) {
+    util::CVec pilots(params.num_used());
+    if (is_dot11_layout(params)) {
+        for (std::size_t i = 0; i < 52; ++i)
+            pilots[i] = {static_cast<double>(kDot11Ltf[i]), 0.0};
+        return pilots;
+    }
+    // Deterministic pseudo-random BPSK keyed by the format geometry so any
+    // two parties constructing the same OfdmParams agree on the pilots.
+    util::Rng rng(0xB1A5'0000u + params.fft_size() * 131u +
+                  params.num_used());
+    for (std::size_t i = 0; i < pilots.size(); ++i)
+        pilots[i] = {rng.chance(0.5) ? 1.0 : -1.0, 0.0};
+    return pilots;
+}
+
+util::CVec ltf_time_symbol(const OfdmParams& params) {
+    const util::CVec grid = params.place_on_grid(ltf_pilots(params));
+    util::CVec body = util::ifft(grid);
+    // Normalize to unit average sample power over the body.
+    double p = 0.0;
+    for (const util::cd& s : body) p += std::norm(s);
+    p /= static_cast<double>(body.size());
+    PRESS_ENSURES(p > 0.0, "LTF body cannot be empty");
+    const double g = 1.0 / std::sqrt(p);
+    for (util::cd& s : body) s *= g;
+    // Prepend the cyclic prefix.
+    util::CVec symbol;
+    symbol.reserve(params.cp_length() + body.size());
+    symbol.insert(symbol.end(), body.end() - static_cast<long>(params.cp_length()),
+                  body.end());
+    symbol.insert(symbol.end(), body.begin(), body.end());
+    return symbol;
+}
+
+}  // namespace press::phy

@@ -1,0 +1,24 @@
+// Training (preamble) sequences.
+//
+// Channel estimation uses known BPSK pilots on every used subcarrier, sent
+// as repeated "long training field" (LTF) symbols exactly as the paper's
+// receiver "estimates the channel state information from the training
+// sequences in the frame". For the 52-subcarrier Wi-Fi format we use the
+// standard 802.11 L-LTF sequence; other formats get a deterministic
+// pseudo-random BPSK sequence (same at TX and RX by construction).
+#pragma once
+
+#include "phy/ofdm.hpp"
+#include "util/cvec.hpp"
+
+namespace press::phy {
+
+/// The frequency-domain LTF pilot values (+-1) on the used subcarriers of
+/// `params`, in used-index order.
+util::CVec ltf_pilots(const OfdmParams& params);
+
+/// One time-domain LTF OFDM symbol (CP + body), unit average sample power
+/// over the body.
+util::CVec ltf_time_symbol(const OfdmParams& params);
+
+}  // namespace press::phy

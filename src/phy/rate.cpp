@@ -1,0 +1,47 @@
+#include "phy/rate.hpp"
+
+#include <cmath>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::phy {
+
+const std::vector<Mcs>& mcs_table() {
+    static const std::vector<Mcs> table = {
+        {Modulation::kBpsk, 0.5, 6.0, 5.0, "BPSK 1/2"},
+        {Modulation::kBpsk, 0.75, 9.0, 6.8, "BPSK 3/4"},
+        {Modulation::kQpsk, 0.5, 12.0, 8.0, "QPSK 1/2"},
+        {Modulation::kQpsk, 0.75, 18.0, 11.0, "QPSK 3/4"},
+        {Modulation::kQam16, 0.5, 24.0, 15.0, "16-QAM 1/2"},
+        {Modulation::kQam16, 0.75, 36.0, 18.5, "16-QAM 3/4"},
+        {Modulation::kQam64, 2.0 / 3.0, 48.0, 22.5, "64-QAM 2/3"},
+        {Modulation::kQam64, 0.75, 54.0, 24.0, "64-QAM 3/4"},
+    };
+    return table;
+}
+
+double effective_snr_db(const std::vector<double>& per_subcarrier_snr_db) {
+    PRESS_EXPECTS(!per_subcarrier_snr_db.empty(), "empty SNR profile");
+    double acc = 0.0;
+    for (double snr_db : per_subcarrier_snr_db)
+        acc += std::log2(1.0 + util::db_to_linear(snr_db));
+    const double mean_bits =
+        acc / static_cast<double>(per_subcarrier_snr_db.size());
+    return util::linear_to_db(std::pow(2.0, mean_bits) - 1.0);
+}
+
+std::optional<Mcs> select_mcs(double effective_snr_db) {
+    std::optional<Mcs> best;
+    for (const Mcs& m : mcs_table())
+        if (effective_snr_db >= m.min_snr_db) best = m;
+    return best;
+}
+
+double expected_throughput_mbps(
+    const std::vector<double>& per_subcarrier_snr_db) {
+    const auto mcs = select_mcs(effective_snr_db(per_subcarrier_snr_db));
+    return mcs ? mcs->rate_mbps : 0.0;
+}
+
+}  // namespace press::phy

@@ -1,0 +1,102 @@
+#include "press/array.hpp"
+
+#include "util/contracts.hpp"
+
+namespace press::surface {
+
+Array::Array(std::vector<Element> elements)
+    : elements_(std::move(elements)) {}
+
+const Element& Array::element(std::size_t i) const {
+    PRESS_EXPECTS(i < elements_.size(), "element index out of range");
+    return elements_[i];
+}
+
+Element& Array::element(std::size_t i) {
+    PRESS_EXPECTS(i < elements_.size(), "element index out of range");
+    return elements_[i];
+}
+
+ConfigSpace Array::config_space() const {
+    PRESS_EXPECTS(!elements_.empty(), "array has no elements");
+    std::vector<int> radices;
+    radices.reserve(elements_.size());
+    for (const Element& e : elements_) radices.push_back(e.num_states());
+    return ConfigSpace(std::move(radices));
+}
+
+void Array::apply(const Config& config) {
+    PRESS_EXPECTS(config.size() == elements_.size(),
+                  "configuration arity must match array size");
+    for (std::size_t i = 0; i < elements_.size(); ++i)
+        elements_[i].select(config[i]);
+}
+
+Config Array::current_config() const {
+    Config c(elements_.size());
+    for (std::size_t i = 0; i < elements_.size(); ++i)
+        c[i] = elements_[i].selected_state();
+    return c;
+}
+
+std::vector<std::vector<std::string>> Array::state_labels() const {
+    std::vector<std::vector<std::string>> labels;
+    labels.reserve(elements_.size());
+    for (const Element& e : elements_) {
+        std::vector<std::string> per_element;
+        per_element.reserve(static_cast<std::size_t>(e.num_states()));
+        for (const Load& l : e.loads()) per_element.push_back(l.label);
+        labels.push_back(std::move(per_element));
+    }
+    return labels;
+}
+
+std::vector<em::Path> Array::paths(const em::Environment& env,
+                                   const em::RadiatingEndpoint& tx,
+                                   const em::RadiatingEndpoint& rx,
+                                   double carrier_hz) const {
+    std::vector<em::Path> out;
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+        const Element& e = elements_[i];
+        const Load& load = e.selected_load();
+        const auto p = env.two_hop(tx, rx, e.position(), e.antenna(),
+                                   load.reflection, load.extra_delay_s,
+                                   carrier_hz, em::PathKind::kPressElement,
+                                   static_cast<int>(i));
+        if (p) out.push_back(*p);
+    }
+    return out;
+}
+
+Array random_sp4t_array(int count, const em::Aabb& region,
+                        const em::Antenna& antenna, double carrier_hz,
+                        util::Rng& rng) {
+    PRESS_EXPECTS(count >= 1, "need at least one element");
+    std::vector<Element> elements;
+    elements.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const em::Vec3 pos{rng.uniform(region.lo.x, region.hi.x),
+                           rng.uniform(region.lo.y, region.hi.y),
+                           rng.uniform(region.lo.z, region.hi.z)};
+        elements.push_back(Element::sp4t_prototype(pos, antenna, carrier_hz));
+    }
+    return Array(std::move(elements));
+}
+
+Array linear_array(int count, const em::Vec3& origin, const em::Vec3& axis,
+                   double spacing_m, const em::Antenna& antenna,
+                   double carrier_hz, int num_phases, bool include_off) {
+    PRESS_EXPECTS(count >= 1, "need at least one element");
+    PRESS_EXPECTS(spacing_m > 0.0, "element spacing must be positive");
+    const em::Vec3 step = axis.normalized() * spacing_m;
+    std::vector<Element> elements;
+    elements.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        elements.push_back(Element::uniform_phases(
+            origin + step * static_cast<double>(i), antenna, carrier_hz,
+            num_phases, include_off));
+    }
+    return Array(std::move(elements));
+}
+
+}  // namespace press::surface

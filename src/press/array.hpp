@@ -1,0 +1,68 @@
+// A PRESS array: the set of elements installed in a space, plus helpers to
+// generate the placements used by the paper's exploratory study.
+#pragma once
+
+#include <vector>
+
+#include "em/environment.hpp"
+#include "em/path.hpp"
+#include "press/config.hpp"
+#include "press/element.hpp"
+#include "util/rng.hpp"
+
+namespace press::surface {
+
+/// An addressable collection of PRESS elements.
+class Array {
+public:
+    Array() = default;
+    explicit Array(std::vector<Element> elements);
+
+    void add_element(Element e) { elements_.push_back(std::move(e)); }
+
+    std::size_t size() const { return elements_.size(); }
+    bool empty() const { return elements_.empty(); }
+
+    const Element& element(std::size_t i) const;
+    Element& element(std::size_t i);
+    const std::vector<Element>& elements() const { return elements_; }
+
+    /// The mixed-radix space of this array's configurations.
+    ConfigSpace config_space() const;
+
+    /// Applies `config` (selects the given state on every element).
+    void apply(const Config& config);
+
+    /// The currently selected configuration.
+    Config current_config() const;
+
+    /// Per-element state label tables for config_to_string().
+    std::vector<std::vector<std::string>> state_labels() const;
+
+    /// Resolves the element re-radiation paths between tx and rx under the
+    /// currently applied configuration (one two-hop path per element whose
+    /// selected load reflects).
+    std::vector<em::Path> paths(const em::Environment& env,
+                                const em::RadiatingEndpoint& tx,
+                                const em::RadiatingEndpoint& rx,
+                                double carrier_hz) const;
+
+private:
+    std::vector<Element> elements_;
+};
+
+/// Places `count` SP4T prototype elements (paper Figure 3) uniformly at
+/// random inside the axis-aligned region `region`, as the paper's "eight
+/// randomly generated locations in a grid 1-2 meters from both antennas".
+Array random_sp4t_array(int count, const em::Aabb& region,
+                        const em::Antenna& antenna, double carrier_hz,
+                        util::Rng& rng);
+
+/// Places `count` uniform-phase elements co-linear along `axis` starting at
+/// `origin` with `spacing_m` between elements (the Figure-8 MIMO setup uses
+/// one-wavelength spacing co-linear with the transmit pair).
+Array linear_array(int count, const em::Vec3& origin, const em::Vec3& axis,
+                   double spacing_m, const em::Antenna& antenna,
+                   double carrier_hz, int num_phases, bool include_off);
+
+}  // namespace press::surface

@@ -1,0 +1,84 @@
+#include "press/config.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+
+namespace press::surface {
+
+ConfigSpace::ConfigSpace(std::vector<int> radices)
+    : radices_(std::move(radices)) {
+    PRESS_EXPECTS(!radices_.empty(), "config space needs elements");
+    for (int r : radices_)
+        PRESS_EXPECTS(r >= 1, "every element needs at least one state");
+}
+
+std::uint64_t ConfigSpace::size() const {
+    std::uint64_t total = 1;
+    for (int r : radices_) {
+        const std::uint64_t rr = static_cast<std::uint64_t>(r);
+        if (total > std::numeric_limits<std::int64_t>::max() / rr)
+            throw std::overflow_error("configuration space size overflows");
+        total *= rr;
+    }
+    return total;
+}
+
+Config ConfigSpace::at(std::uint64_t index) const {
+    PRESS_EXPECTS(index < size(), "configuration index out of range");
+    Config c(radices_.size());
+    for (std::size_t i = 0; i < radices_.size(); ++i) {
+        const std::uint64_t r = static_cast<std::uint64_t>(radices_[i]);
+        c[i] = static_cast<int>(index % r);
+        index /= r;
+    }
+    return c;
+}
+
+std::uint64_t ConfigSpace::index_of(const Config& config) const {
+    PRESS_EXPECTS(valid(config), "invalid configuration for this space");
+    std::uint64_t index = 0;
+    for (std::size_t i = radices_.size(); i-- > 0;) {
+        index = index * static_cast<std::uint64_t>(radices_[i]) +
+                static_cast<std::uint64_t>(config[i]);
+    }
+    return index;
+}
+
+bool ConfigSpace::valid(const Config& config) const {
+    if (config.size() != radices_.size()) return false;
+    for (std::size_t i = 0; i < config.size(); ++i)
+        if (config[i] < 0 || config[i] >= radices_[i]) return false;
+    return true;
+}
+
+std::vector<Config> ConfigSpace::enumerate() const {
+    const std::uint64_t n = size();
+    PRESS_EXPECTS(n <= (1ull << 20),
+                  "space too large to enumerate; use a searcher");
+    std::vector<Config> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(at(i));
+    return out;
+}
+
+std::string config_to_string(
+    const Config& config,
+    const std::vector<std::vector<std::string>>& state_labels) {
+    PRESS_EXPECTS(config.size() == state_labels.size(),
+                  "labels must match configuration arity");
+    std::string out = "(";
+    for (std::size_t i = 0; i < config.size(); ++i) {
+        const auto& labels = state_labels[i];
+        PRESS_EXPECTS(config[i] >= 0 &&
+                          static_cast<std::size_t>(config[i]) < labels.size(),
+                      "state index outside label table");
+        if (i > 0) out += ", ";
+        out += labels[static_cast<std::size_t>(config[i])];
+    }
+    out += ")";
+    return out;
+}
+
+}  // namespace press::surface

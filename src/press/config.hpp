@@ -1,0 +1,58 @@
+// Array configurations and the configuration search space.
+//
+// A configuration assigns one load state to every element of an array; with
+// N elements of M states each the space has M^N points (the paper's 3
+// four-state elements give 64). ConfigSpace provides mixed-radix encoding
+// between configurations and flat indices so searches, sweeps and the
+// control-plane wire format all share one canonical representation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace press::surface {
+
+/// Per-element selected load states (0-based), one entry per element.
+using Config = std::vector<int>;
+
+/// The mixed-radix space of all configurations of an array whose i-th
+/// element has radices[i] states.
+class ConfigSpace {
+public:
+    /// Builds a space from per-element state counts (each >= 1).
+    explicit ConfigSpace(std::vector<int> radices);
+
+    std::size_t num_elements() const { return radices_.size(); }
+    const std::vector<int>& radices() const { return radices_; }
+
+    /// Total number of configurations (product of radices). Throws
+    /// std::overflow_error if the product exceeds 2^63 - 1.
+    std::uint64_t size() const;
+
+    /// The configuration at flat index `index` (row-major, element 0 is the
+    /// fastest-varying digit).
+    Config at(std::uint64_t index) const;
+
+    /// The flat index of `config`.
+    std::uint64_t index_of(const Config& config) const;
+
+    /// True when `config` has the right arity and every digit is in range.
+    bool valid(const Config& config) const;
+
+    /// All configurations in index order. Precondition: size() fits memory
+    /// comfortably (<= 2^20); larger spaces must be searched, not
+    /// enumerated.
+    std::vector<Config> enumerate() const;
+
+private:
+    std::vector<int> radices_;
+};
+
+/// Renders a configuration with the paper's tuple notation using per-state
+/// labels supplied by the caller, e.g. "(pi, 0, 0.5pi)".
+std::string config_to_string(const Config& config,
+                             const std::vector<std::vector<std::string>>&
+                                 state_labels);
+
+}  // namespace press::surface

@@ -1,0 +1,70 @@
+#include "press/element.hpp"
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::surface {
+
+Element::Element(em::Vec3 position, em::Antenna antenna,
+                 std::vector<Load> loads)
+    : position_(position), antenna_(antenna), loads_(std::move(loads)) {
+    PRESS_EXPECTS(!loads_.empty(), "element needs at least one load");
+}
+
+Element Element::sp4t_prototype(em::Vec3 position, em::Antenna antenna,
+                                double carrier_hz) {
+    std::vector<Load> loads;
+    loads.push_back(Load::reflective(0.0, carrier_hz));
+    loads.push_back(Load::reflective(util::kPi / 2.0, carrier_hz));
+    loads.push_back(Load::reflective(util::kPi, carrier_hz));
+    loads.push_back(Load::absorptive());
+    return Element(position, antenna, std::move(loads));
+}
+
+Element Element::uniform_phases(em::Vec3 position, em::Antenna antenna,
+                                double carrier_hz, int num_phases,
+                                bool include_off) {
+    PRESS_EXPECTS(num_phases >= 1, "need at least one phase");
+    std::vector<Load> loads;
+    loads.reserve(static_cast<std::size_t>(num_phases) + (include_off ? 1 : 0));
+    for (int k = 0; k < num_phases; ++k) {
+        const double phase =
+            util::kTwoPi * static_cast<double>(k) / num_phases;
+        loads.push_back(Load::reflective(phase, carrier_hz));
+    }
+    if (include_off) loads.push_back(Load::absorptive());
+    return Element(position, antenna, std::move(loads));
+}
+
+Element Element::active(em::Vec3 position, em::Antenna antenna,
+                        double carrier_hz, int num_phases, double gain_db) {
+    PRESS_EXPECTS(num_phases >= 1, "need at least one phase");
+    std::vector<Load> loads;
+    for (int k = 0; k < num_phases; ++k) {
+        const double phase =
+            util::kTwoPi * static_cast<double>(k) / num_phases;
+        loads.push_back(Load::active(gain_db, phase, carrier_hz));
+    }
+    loads.push_back(Load::absorptive());
+    return Element(position, antenna, std::move(loads));
+}
+
+void Element::select(int state) {
+    PRESS_EXPECTS(state >= 0 && state < num_states(),
+                  "load state out of range");
+    selected_ = state;
+}
+
+const Load& Element::load(int state) const {
+    PRESS_EXPECTS(state >= 0 && state < num_states(),
+                  "load state out of range");
+    return loads_[static_cast<std::size_t>(state)];
+}
+
+bool Element::has_active_states() const {
+    for (const Load& l : loads_)
+        if (l.is_active()) return true;
+    return false;
+}
+
+}  // namespace press::surface

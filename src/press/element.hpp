@@ -1,0 +1,63 @@
+// A single PRESS element: an antenna behind a bank of switchable loads.
+#pragma once
+
+#include <vector>
+
+#include "em/antenna.hpp"
+#include "em/geometry.hpp"
+#include "press/load.hpp"
+
+namespace press::surface {
+
+/// One wall-embedded PRESS element. The element re-radiates energy incident
+/// on its antenna through whichever load its switch currently selects.
+class Element {
+public:
+    /// Builds an element at `position` with the given antenna and a
+    /// non-empty bank of selectable loads; state 0 is selected initially.
+    Element(em::Vec3 position, em::Antenna antenna, std::vector<Load> loads);
+
+    /// The paper's Figure-3 prototype: SP4T switch with reflective stubs of
+    /// 0, lambda/4 and lambda/2 additional path length (phases 0, pi/2, pi)
+    /// plus an absorptive load. Four states.
+    static Element sp4t_prototype(em::Vec3 position, em::Antenna antenna,
+                                  double carrier_hz);
+
+    /// An element with `num_phases` equally spaced reflective phases
+    /// (0, 2pi/num_phases, ...), optionally including an absorptive "off"
+    /// state as the last state. Used by the Figure-7 harmonization setup
+    /// (4 phases, no absorber) and the phase-granularity ablation.
+    static Element uniform_phases(em::Vec3 position, em::Antenna antenna,
+                                  double carrier_hz, int num_phases,
+                                  bool include_off);
+
+    /// An active element: amplify-and-forward states at `num_phases` evenly
+    /// spaced phases with power gain `gain_db`, plus an "off" state.
+    static Element active(em::Vec3 position, em::Antenna antenna,
+                          double carrier_hz, int num_phases, double gain_db);
+
+    const em::Vec3& position() const { return position_; }
+    const em::Antenna& antenna() const { return antenna_; }
+    em::Antenna& antenna() { return antenna_; }
+
+    int num_states() const { return static_cast<int>(loads_.size()); }
+
+    /// Selects load `state` (0-based; must be < num_states()).
+    void select(int state);
+
+    int selected_state() const { return selected_; }
+    const Load& selected_load() const { return loads_[selected_]; }
+    const Load& load(int state) const;
+    const std::vector<Load>& loads() const { return loads_; }
+
+    /// True when any state needs an amplifier.
+    bool has_active_states() const;
+
+private:
+    em::Vec3 position_;
+    em::Antenna antenna_;
+    std::vector<Load> loads_;
+    int selected_ = 0;
+};
+
+}  // namespace press::surface

@@ -1,0 +1,57 @@
+// Switchable element loads.
+//
+// The paper's prototype element (its Figure 3) is an antenna behind an SP4T
+// RF switch whose four throws connect to: three open RF waveguides adding
+// 0, lambda/4, and lambda/2 of path length (reflection phases 0, pi/2, pi),
+// and one absorptive load (no reflection). A Load models one such throw as
+// a complex reflection coefficient plus a true internal delay, so a stub's
+// phase is slightly dispersive across the band exactly as a real cable is.
+// Active (amplifying) loads model the PhyCloak-style full-duplex elements
+// the paper proposes for line-of-sight scenarios (|reflection| > 1).
+#pragma once
+
+#include <complex>
+#include <string>
+
+namespace press::surface {
+
+/// One selectable termination of a PRESS element.
+struct Load {
+    /// Complex amplitude reflection (or re-transmission) coefficient applied
+    /// at the element, excluding the delay-induced phase below.
+    std::complex<double> reflection{0.0, 0.0};
+
+    /// Internal round-trip delay [s] (the switched stub). Its carrier phase
+    /// is 2 pi f tau; across a 20 MHz band the phase varies by a fraction of
+    /// a degree, as with real cable stubs.
+    double extra_delay_s = 0.0;
+
+    /// Display label, e.g. "0", "0.5pi", "pi", "T".
+    std::string label;
+
+    /// An open reflective stub whose *round-trip* electrical length yields
+    /// `phase_rad` of reflection phase at `carrier_hz`. `efficiency` is the
+    /// amplitude reflection magnitude (switch insertion loss and stub
+    /// radiation leakage; the prototype's SP4T costs ~0.7 dB per pass).
+    static Load reflective(double phase_rad, double carrier_hz,
+                           double efficiency = 0.85);
+
+    /// The absorptive termination: reflection suppressed to `leakage`.
+    static Load absorptive(double leakage = 0.01);
+
+    /// An active re-radiating load with power gain `gain_db` and phase
+    /// `phase_rad` at `carrier_hz` (models a PhyCloak-like amplify-and-
+    /// forward element).
+    static Load active(double gain_db, double phase_rad, double carrier_hz);
+
+    /// True when |reflection| exceeds unity (needs a powered amplifier).
+    bool is_active() const;
+
+    /// True for the absorptive state.
+    bool is_off() const;
+};
+
+/// Phase label in the paper's notation: multiples of pi, or "T" when off.
+std::string phase_label(double phase_rad);
+
+}  // namespace press::surface

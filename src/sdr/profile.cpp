@@ -1,0 +1,38 @@
+#include "sdr/profile.hpp"
+
+namespace press::sdr {
+
+RadioProfile RadioProfile::warp_v3() {
+    RadioProfile p;
+    p.name = "WARP v3";
+    p.tx_power_dbm = 0.0;
+    p.noise_figure_db = 10.0;
+    p.max_cfo_hz = 600.0;     // ~0.25 ppm at 2.462 GHz after coarse sync
+    p.phase_noise_std = 2e-4;
+    p.num_antennas = 1;
+    return p;
+}
+
+RadioProfile RadioProfile::usrp_n210() {
+    RadioProfile p;
+    p.name = "USRP N210";
+    p.tx_power_dbm = 0.0;
+    p.noise_figure_db = 11.0;
+    p.max_cfo_hz = 900.0;
+    p.phase_noise_std = 3e-4;
+    p.num_antennas = 1;
+    return p;
+}
+
+RadioProfile RadioProfile::usrp_x310() {
+    RadioProfile p;
+    p.name = "USRP X310 + UBX-160";
+    p.tx_power_dbm = 2.0;
+    p.noise_figure_db = 9.0;
+    p.max_cfo_hz = 400.0;
+    p.phase_noise_std = 1.5e-4;
+    p.num_antennas = 2;
+    return p;
+}
+
+}  // namespace press::sdr

@@ -1,0 +1,37 @@
+// Radio front-end profiles.
+//
+// Models the three software radios of the paper's prototype as link-budget
+// parameter sets: WARP v3 boards for the Section 3.2.1 link-enhancement
+// study, USRP N210s for the Figure-7 harmonization experiment, and a USRP
+// X310 with two UBX-160 daughterboards for the Figure-8 2x2 MIMO study.
+#pragma once
+
+#include <string>
+
+namespace press::sdr {
+
+/// Front-end parameters of one radio model.
+struct RadioProfile {
+    std::string name;
+    double tx_power_dbm = 15.0;
+    double noise_figure_db = 7.0;
+    /// Residual carrier frequency offset bound [Hz] for the time-domain
+    /// chain (drawn uniformly in +-max_cfo_hz per session).
+    double max_cfo_hz = 0.0;
+    /// Phase-noise random-walk step (radians per sample) for the
+    /// time-domain chain.
+    double phase_noise_std = 0.0;
+    /// Antennas available at this radio.
+    int num_antennas = 1;
+
+    /// WARP v3 (Wi-Fi-like OFDM endpoints of Section 3.1).
+    static RadioProfile warp_v3();
+
+    /// USRP N210 (Figure-7 harmonization endpoints).
+    static RadioProfile usrp_n210();
+
+    /// USRP X310 + 2x UBX-160 (Figure-8 2x2 MIMO endpoints).
+    static RadioProfile usrp_x310();
+};
+
+}  // namespace press::sdr

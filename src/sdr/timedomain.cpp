@@ -1,0 +1,87 @@
+#include "sdr/timedomain.hpp"
+
+#include <cmath>
+
+#include "em/channel.hpp"
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::sdr {
+
+util::CVec transmit_through(const Medium& medium, const Link& link,
+                            const util::CVec& tx_samples, util::Rng& rng,
+                            const TimeDomainConfig& cfg,
+                            double* applied_cfo_hz) {
+    PRESS_EXPECTS(!tx_samples.empty(), "no samples to transmit");
+    const phy::OfdmParams& params = medium.ofdm();
+    const std::vector<em::Path> paths = medium.resolve_paths(link);
+    const util::CVec cir =
+        em::impulse_response(paths, params.carrier_hz(),
+                             params.sample_rate_hz(), cfg.num_taps,
+                             cfg.lead_taps);
+
+    // TX power scaling: tx_samples are unit average power.
+    const double amp = std::sqrt(util::dbm_to_watt(link.profile.tx_power_dbm));
+    util::CVec scaled = util::scale(tx_samples, util::cd{amp, 0.0});
+
+    util::CVec rx = util::convolve(scaled, cir);
+
+    // Front-end impairments.
+    double cfo = 0.0;
+    if (cfg.apply_cfo && link.profile.max_cfo_hz > 0.0)
+        cfo = rng.uniform(-link.profile.max_cfo_hz, link.profile.max_cfo_hz);
+    if (applied_cfo_hz != nullptr) *applied_cfo_hz = cfo;
+
+    const double noise_var = util::thermal_noise_watt(
+        params.sample_rate_hz(), link.profile.noise_figure_db);
+    double phase = 0.0;
+    for (std::size_t n = 0; n < rx.size(); ++n) {
+        if (cfg.apply_phase_noise && link.profile.phase_noise_std > 0.0)
+            phase += rng.gaussian(0.0, link.profile.phase_noise_std);
+        const double rot = util::kTwoPi * cfo * static_cast<double>(n) /
+                               params.sample_rate_hz() +
+                           phase;
+        rx[n] = rx[n] * std::polar(1.0, rot) + rng.complex_gaussian(noise_var);
+    }
+    return rx;
+}
+
+TimeDomainResult exchange_frame(const Medium& medium, const Link& link,
+                                const phy::FrameSpec& spec, util::Rng& rng,
+                                const TimeDomainConfig& cfg) {
+    const phy::OfdmParams& params = medium.ofdm();
+    phy::TxFrame tx = phy::build_frame(params, spec, rng);
+
+    TimeDomainResult result;
+    util::CVec rx_samples = transmit_through(medium, link, tx.samples, rng,
+                                             cfg, &result.applied_cfo_hz);
+
+    // The receiver is synchronized to the channel's leading tap: drop the
+    // first lead_taps samples so symbol boundaries line up.
+    PRESS_EXPECTS(rx_samples.size() >
+                      cfg.lead_taps +
+                          phy::frame_length_samples(params, spec),
+                  "received buffer shorter than the frame");
+    util::CVec aligned(rx_samples.begin() + static_cast<long>(cfg.lead_taps),
+                       rx_samples.end());
+
+    result.rx = phy::parse_frame(params, spec, aligned, cfg.correct_cfo);
+
+    // Convert estimates to channel units by undoing the known TX power.
+    const double amp =
+        std::sqrt(util::dbm_to_watt(link.profile.tx_power_dbm));
+    std::vector<util::CVec> raw = result.rx.ltf_estimates;
+    for (util::CVec& r : raw)
+        for (util::cd& v : r) v /= amp;
+    result.estimate = phy::combine_ltf_estimates(raw);
+
+    result.evm_rms = phy::evm_rms(result.rx.equalized_data, spec.modulation);
+    const std::size_t n_bits =
+        std::min(result.rx.payload_bits.size(), tx.payload_bits.size());
+    for (std::size_t i = 0; i < n_bits; ++i)
+        if (result.rx.payload_bits[i] != tx.payload_bits[i])
+            ++result.bit_errors;
+    return result;
+}
+
+}  // namespace press::sdr

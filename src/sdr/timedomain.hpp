@@ -1,0 +1,57 @@
+// Full time-domain sample chain.
+//
+// The frequency-domain Medium::sound() path is exact and fast; this module
+// provides the slow, honest alternative used by integration tests and the
+// quickstart example: build an OFDM frame, convolve it with the fractional-
+// delay impulse response of the resolved multipath, add front-end
+// impairments (AWGN at the link budget, CFO, phase-noise random walk), and
+// run the receiver's parser over the samples. Agreement between the two
+// paths validates the frequency-domain shortcut.
+#pragma once
+
+#include "phy/frame.hpp"
+#include "sdr/medium.hpp"
+#include "util/rng.hpp"
+
+namespace press::sdr {
+
+/// Impairment and sampling knobs for the time-domain chain.
+struct TimeDomainConfig {
+    /// Channel impulse-response length in samples (covers room delay spread
+    /// plus interpolation kernel tails at 20 MS/s).
+    std::size_t num_taps = 64;
+    /// Taps of acausal headroom for the interpolation kernel; the receiver
+    /// is assumed synchronized to this offset.
+    std::size_t lead_taps = 8;
+    /// When true, draw a CFO uniformly in +-profile.max_cfo_hz.
+    bool apply_cfo = true;
+    /// When true, apply the profile's phase-noise random walk.
+    bool apply_phase_noise = true;
+    /// When true, the parser estimates and removes CFO before demodulation.
+    bool correct_cfo = true;
+};
+
+/// Result of one time-domain frame exchange.
+struct TimeDomainResult {
+    phy::RxFrame rx;
+    phy::ChannelEstimate estimate;  ///< combined from the frame's LTFs
+    double applied_cfo_hz = 0.0;    ///< ground truth for tests
+    double evm_rms = 0.0;           ///< payload EVM after equalization
+    std::size_t bit_errors = 0;     ///< payload bit errors vs. ground truth
+};
+
+/// Passes `tx_samples` (unit average power) through the link: TX power
+/// scaling, multipath convolution, AWGN, CFO, phase noise. The output is
+/// aligned so the frame starts at `cfg.lead_taps`.
+util::CVec transmit_through(const Medium& medium, const Link& link,
+                            const util::CVec& tx_samples, util::Rng& rng,
+                            const TimeDomainConfig& cfg,
+                            double* applied_cfo_hz = nullptr);
+
+/// End-to-end frame exchange over the link. Returns channel estimates in
+/// the same units as Medium::sound(), payload EVM and bit errors.
+TimeDomainResult exchange_frame(const Medium& medium, const Link& link,
+                                const phy::FrameSpec& spec, util::Rng& rng,
+                                const TimeDomainConfig& cfg = {});
+
+}  // namespace press::sdr

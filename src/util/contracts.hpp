@@ -1,0 +1,46 @@
+// Contract checking for public APIs (C++ Core Guidelines I.5 / I.7).
+//
+// PRESS_EXPECTS(cond, msg) checks a precondition; PRESS_ENSURES(cond, msg)
+// checks a postcondition. Both throw press::util::ContractViolation (derived
+// from std::logic_error) so that misuse is reported at the API boundary
+// rather than propagating corrupted state. These checks are cheap relative
+// to the numerical work in this library and stay enabled in release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace press::util {
+
+/// Thrown when a precondition or postcondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what_arg)
+        : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+    throw ContractViolation(std::string(kind) + " failed: (" + cond + ") at " +
+                            file + ":" + std::to_string(line) +
+                            (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace press::util
+
+#define PRESS_EXPECTS(cond, msg)                                             \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::press::util::detail::contract_fail("precondition", #cond,      \
+                                                 __FILE__, __LINE__, (msg));  \
+    } while (false)
+
+#define PRESS_ENSURES(cond, msg)                                              \
+    do {                                                                      \
+        if (!(cond))                                                          \
+            ::press::util::detail::contract_fail("postcondition", #cond,     \
+                                                 __FILE__, __LINE__, (msg));  \
+    } while (false)

@@ -1,0 +1,104 @@
+#include "util/cvec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::util {
+
+namespace {
+void require_same_length(const CVec& a, const CVec& b) {
+    PRESS_EXPECTS(a.size() == b.size(), "vector lengths must match");
+}
+}  // namespace
+
+CVec add(const CVec& a, const CVec& b) {
+    require_same_length(a, b);
+    CVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+    return out;
+}
+
+CVec subtract(const CVec& a, const CVec& b) {
+    require_same_length(a, b);
+    CVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+    return out;
+}
+
+CVec hadamard(const CVec& a, const CVec& b) {
+    require_same_length(a, b);
+    CVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+    return out;
+}
+
+CVec divide(const CVec& a, const CVec& b) {
+    require_same_length(a, b);
+    CVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        PRESS_EXPECTS(std::abs(b[i]) > 0.0, "division by zero element");
+        out[i] = a[i] / b[i];
+    }
+    return out;
+}
+
+CVec scale(const CVec& a, cd s) {
+    CVec out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+    return out;
+}
+
+cd inner(const CVec& a, const CVec& b) {
+    require_same_length(a, b);
+    cd acc{0.0, 0.0};
+    for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+    return acc;
+}
+
+double energy(const CVec& a) {
+    double acc = 0.0;
+    for (const cd& x : a) acc += std::norm(x);
+    return acc;
+}
+
+double mean_power(const CVec& a) {
+    return a.empty() ? 0.0 : energy(a) / static_cast<double>(a.size());
+}
+
+std::vector<double> abs2(const CVec& a) {
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::norm(a[i]);
+    return out;
+}
+
+std::vector<double> abs(const CVec& a) {
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::abs(a[i]);
+    return out;
+}
+
+std::vector<double> arg(const CVec& a) {
+    std::vector<double> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::arg(a[i]);
+    return out;
+}
+
+CVec convolve(const CVec& a, const CVec& b) {
+    if (a.empty() || b.empty()) return {};
+    CVec out(a.size() + b.size() - 1, cd{0.0, 0.0});
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+    return out;
+}
+
+double max_abs_diff(const CVec& a, const CVec& b) {
+    require_same_length(a, b);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+}  // namespace press::util

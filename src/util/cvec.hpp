@@ -1,0 +1,56 @@
+// Complex vector helpers.
+//
+// The library represents baseband signals and per-subcarrier channel
+// responses as std::vector<std::complex<double>>; these free functions keep
+// the call sites readable without committing to a heavyweight linear-algebra
+// dependency.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace press::util {
+
+using cd = std::complex<double>;
+using CVec = std::vector<cd>;
+
+/// Element-wise sum; vectors must be the same length.
+CVec add(const CVec& a, const CVec& b);
+
+/// Element-wise difference; vectors must be the same length.
+CVec subtract(const CVec& a, const CVec& b);
+
+/// Element-wise (Hadamard) product; vectors must be the same length.
+CVec hadamard(const CVec& a, const CVec& b);
+
+/// Element-wise quotient a ./ b; b must not contain zeros.
+CVec divide(const CVec& a, const CVec& b);
+
+/// Scales every element by s.
+CVec scale(const CVec& a, cd s);
+
+/// Inner product <a, b> = sum conj(a_i) * b_i.
+cd inner(const CVec& a, const CVec& b);
+
+/// Total energy sum |a_i|^2.
+double energy(const CVec& a);
+
+/// Mean power: energy / length. Zero-length vectors have zero power.
+double mean_power(const CVec& a);
+
+/// Per-element squared magnitudes.
+std::vector<double> abs2(const CVec& a);
+
+/// Per-element magnitudes.
+std::vector<double> abs(const CVec& a);
+
+/// Per-element phases in radians.
+std::vector<double> arg(const CVec& a);
+
+/// Linear convolution of a and b (length |a| + |b| - 1).
+CVec convolve(const CVec& a, const CVec& b);
+
+/// Maximum absolute difference between two equal-length vectors.
+double max_abs_diff(const CVec& a, const CVec& b);
+
+}  // namespace press::util

@@ -1,0 +1,30 @@
+// Fast Fourier transforms.
+//
+// The OFDM PHY needs forward/inverse DFTs at the FFT sizes of the modeled
+// radios (64 for the WARP-like Wi-Fi chain, 128 for the N210-like chain).
+// Power-of-two sizes use an iterative radix-2 Cooley-Tukey kernel; any other
+// size falls back to Bluestein's algorithm so callers never need to care.
+//
+// Convention: fft() computes X_k = sum_n x_n e^{-j 2 pi k n / N} (no
+// normalization); ifft() divides by N so ifft(fft(x)) == x.
+#pragma once
+
+#include "util/cvec.hpp"
+
+namespace press::util {
+
+/// Forward DFT of arbitrary length (radix-2 when N is a power of two,
+/// Bluestein otherwise). Empty input yields empty output.
+CVec fft(const CVec& x);
+
+/// Inverse DFT, normalized by 1/N, so ifft(fft(x)) reproduces x.
+CVec ifft(const CVec& x);
+
+/// True when n is a nonzero power of two.
+bool is_power_of_two(std::size_t n);
+
+/// Circularly rotates v left by k positions (fftshift-style helpers are
+/// built on this in the PHY layer).
+CVec rotate_left(const CVec& v, std::size_t k);
+
+}  // namespace press::util

@@ -1,0 +1,203 @@
+#include "util/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, value_type fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<value_type>>& rows) {
+    PRESS_EXPECTS(!rows.empty(), "from_rows needs at least one row");
+    const std::size_t cols = rows.front().size();
+    Matrix m(rows.size(), cols);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        PRESS_EXPECTS(rows[r].size() == cols, "ragged rows in from_rows");
+        for (std::size_t c = 0; c < cols; ++c) m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m.at(i, i) = value_type{1.0, 0.0};
+    return m;
+}
+
+Matrix::value_type& Matrix::at(std::size_t r, std::size_t c) {
+    PRESS_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+const Matrix::value_type& Matrix::at(std::size_t r, std::size_t c) const {
+    PRESS_EXPECTS(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+    PRESS_EXPECTS(cols_ == rhs.rows_, "inner dimensions must agree");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const value_type a = data_[r * cols_ + k];
+            if (a == value_type{0.0, 0.0}) continue;
+            for (std::size_t c = 0; c < rhs.cols_; ++c)
+                out.at(r, c) += a * rhs.data_[k * rhs.cols_ + c];
+        }
+    return out;
+}
+
+Matrix Matrix::hermitian() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = std::conj(data_[r * cols_ + c]);
+    return out;
+}
+
+double Matrix::frobenius_norm() const {
+    double acc = 0.0;
+    for (const value_type& v : data_) acc += std::norm(v);
+    return std::sqrt(acc);
+}
+
+Matrix Matrix::inverse() const {
+    if (rows_ != cols_)
+        throw std::domain_error("inverse requires a square matrix");
+    const std::size_t n = rows_;
+    Matrix a = *this;
+    Matrix inv = identity(n);
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: bring the largest remaining entry to the pivot.
+        std::size_t pivot = col;
+        double best = std::abs(a.at(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a.at(r, col)) > best) {
+                best = std::abs(a.at(r, col));
+                pivot = r;
+            }
+        }
+        if (best < 1e-300)
+            throw std::domain_error("matrix is singular to working precision");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) {
+                std::swap(a.at(pivot, c), a.at(col, c));
+                std::swap(inv.at(pivot, c), inv.at(col, c));
+            }
+        }
+        const value_type d = a.at(col, col);
+        for (std::size_t c = 0; c < n; ++c) {
+            a.at(col, c) /= d;
+            inv.at(col, c) /= d;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r == col) continue;
+            const value_type f = a.at(r, col);
+            if (f == value_type{0.0, 0.0}) continue;
+            for (std::size_t c = 0; c < n; ++c) {
+                a.at(r, c) -= f * a.at(col, c);
+                inv.at(r, c) -= f * inv.at(col, c);
+            }
+        }
+    }
+    return inv;
+}
+
+namespace {
+
+// Closed-form singular values of a 2x2 complex matrix from the eigenvalues
+// of A^H A (a 2x2 Hermitian matrix).
+std::vector<double> singular_values_2x2(const Matrix& m) {
+    using value_type = Matrix::value_type;
+    const Matrix g = m.hermitian().multiply(m);
+    const double a = g.at(0, 0).real();
+    const double d = g.at(1, 1).real();
+    const value_type b = g.at(0, 1);
+    const double tr = a + d;
+    const double gap = std::sqrt(std::max(
+        0.0, (a - d) * (a - d) + 4.0 * std::norm(b)));
+    const double l1 = 0.5 * (tr + gap);
+    const double l2 = 0.5 * (tr - gap);
+    return {std::sqrt(std::max(0.0, l1)), std::sqrt(std::max(0.0, l2))};
+}
+
+// One-sided complex Jacobi: orthogonalizes the columns of A; the singular
+// values are the resulting column norms.
+std::vector<double> singular_values_jacobi(Matrix a) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    const double eps = 1e-14;
+    bool converged = false;
+    for (int sweep = 0; sweep < 60 && !converged; ++sweep) {
+        converged = true;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                std::complex<double> cpq{0.0, 0.0};
+                double app = 0.0;
+                double aqq = 0.0;
+                for (std::size_t r = 0; r < m; ++r) {
+                    cpq += std::conj(a.at(r, p)) * a.at(r, q);
+                    app += std::norm(a.at(r, p));
+                    aqq += std::norm(a.at(r, q));
+                }
+                const double off = std::abs(cpq);
+                if (off <= eps * std::sqrt(app * aqq) || off == 0.0) continue;
+                converged = false;
+                // Phase-rotate column q to make the inner product real, then
+                // apply the classical real Jacobi rotation.
+                const std::complex<double> phase =
+                    std::conj(cpq) / off;  // e^{-j arg(cpq)}
+                const double tau = (aqq - app) / (2.0 * off);
+                const double t =
+                    (tau >= 0.0 ? 1.0 : -1.0) /
+                    (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+                const double cs = 1.0 / std::sqrt(1.0 + t * t);
+                const double sn = cs * t;
+                for (std::size_t r = 0; r < m; ++r) {
+                    const std::complex<double> vp = a.at(r, p);
+                    const std::complex<double> vq = a.at(r, q) * phase;
+                    a.at(r, p) = cs * vp - sn * vq;
+                    a.at(r, q) = sn * vp + cs * vq;
+                }
+            }
+        }
+    }
+    std::vector<double> sv(n);
+    for (std::size_t c = 0; c < n; ++c) {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < m; ++r) acc += std::norm(a.at(r, c));
+        sv[c] = std::sqrt(acc);
+    }
+    std::sort(sv.begin(), sv.end(), std::greater<>());
+    return sv;
+}
+
+}  // namespace
+
+std::vector<double> Matrix::singular_values() const {
+    PRESS_EXPECTS(rows_ > 0 && cols_ > 0, "singular values of empty matrix");
+    if (rows_ == 2 && cols_ == 2) return singular_values_2x2(*this);
+    // Jacobi wants at least as many rows as columns; transposition does not
+    // change the singular values.
+    if (rows_ >= cols_) return singular_values_jacobi(*this);
+    return singular_values_jacobi(hermitian());
+}
+
+double Matrix::condition_number() const {
+    const std::vector<double> sv = singular_values();
+    const double smin = sv.back();
+    if (smin <= 0.0)
+        throw std::domain_error("condition number of a rank-deficient matrix");
+    return sv.front() / smin;
+}
+
+double Matrix::condition_number_db() const {
+    return amplitude_to_db(condition_number());
+}
+
+}  // namespace press::util

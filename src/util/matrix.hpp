@@ -1,0 +1,73 @@
+// Dense complex matrices and the small-matrix linear algebra the MIMO layer
+// needs: products, Hermitian transpose, Gauss-Jordan inverse, and singular
+// values via one-sided Jacobi (with a closed form for the 2x2 case used by
+// the Figure-8 condition-number experiment).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace press::util {
+
+/// A row-major dense matrix of std::complex<double>. Sized for the small
+/// (2x2 .. 16x16) channel matrices of MIMO sounding; algorithms favor
+/// clarity and numerical robustness over asymptotic speed.
+class Matrix {
+public:
+    using value_type = std::complex<double>;
+
+    /// Creates an uninitialized 0x0 matrix.
+    Matrix() = default;
+
+    /// Creates a rows x cols matrix filled with `fill`.
+    Matrix(std::size_t rows, std::size_t cols,
+           value_type fill = value_type{0.0, 0.0});
+
+    /// Builds a matrix from nested initializer data; inner vectors are rows
+    /// and must all have the same length.
+    static Matrix from_rows(
+        const std::vector<std::vector<value_type>>& rows);
+
+    /// The n x n identity.
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /// Element access (bounds-checked by contract).
+    value_type& at(std::size_t r, std::size_t c);
+    const value_type& at(std::size_t r, std::size_t c) const;
+
+    /// Matrix product; inner dimensions must agree.
+    Matrix multiply(const Matrix& rhs) const;
+
+    /// Conjugate (Hermitian) transpose.
+    Matrix hermitian() const;
+
+    /// Frobenius norm.
+    double frobenius_norm() const;
+
+    /// Inverse via Gauss-Jordan with partial pivoting. Throws
+    /// std::domain_error when the matrix is singular (pivot below tolerance)
+    /// or not square.
+    Matrix inverse() const;
+
+    /// Singular values in descending order. Uses the closed-form 2x2
+    /// solution when applicable, one-sided Jacobi otherwise.
+    std::vector<double> singular_values() const;
+
+    /// Condition number sigma_max / sigma_min (linear, not dB). Throws
+    /// std::domain_error when the smallest singular value is zero.
+    double condition_number() const;
+
+    /// Condition number in dB: 20 log10(sigma_max / sigma_min).
+    double condition_number_db() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<value_type> data_;
+};
+
+}  // namespace press::util

@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace press::util {
+
+double mean(const std::vector<double>& v) {
+    PRESS_EXPECTS(!v.empty(), "mean of empty sample");
+    double acc = 0.0;
+    for (double x : v) acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+    PRESS_EXPECTS(v.size() >= 2, "variance needs at least two samples");
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v) acc += (x - m) * (x - m);
+    return acc / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+double percentile(std::vector<double> v, double p) {
+    PRESS_EXPECTS(!v.empty(), "percentile of empty sample");
+    PRESS_EXPECTS(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1) return v.front();
+    const double idx = p / 100.0 * static_cast<double>(v.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+    const std::size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double min_value(const std::vector<double>& v) {
+    PRESS_EXPECTS(!v.empty(), "min of empty sample");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(const std::vector<double>& v) {
+    PRESS_EXPECTS(!v.empty(), "max of empty sample");
+    return *std::max_element(v.begin(), v.end());
+}
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+    PRESS_EXPECTS(!sorted_.empty(), "empirical distribution needs samples");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+    PRESS_EXPECTS(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    if (sorted_.size() == 1) return sorted_.front();
+    const double idx = q * static_cast<double>(sorted_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_grid(
+    std::size_t points) const {
+    PRESS_EXPECTS(points >= 2, "grid needs at least two points");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points);
+    const double lo = min();
+    const double hi = max();
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x =
+            lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(points - 1);
+        out.emplace_back(x, cdf(x));
+    }
+    return out;
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::ccdf_grid(
+    std::size_t points) const {
+    auto grid = cdf_grid(points);
+    for (auto& [x, p] : grid) p = 1.0 - p;
+    return grid;
+}
+
+std::vector<std::size_t> integer_histogram(const std::vector<double>& v,
+                                           std::size_t max_bin) {
+    std::vector<std::size_t> bins(max_bin + 1, 0);
+    for (double x : v) {
+        const long b = std::lround(x);
+        if (b >= 0 && static_cast<std::size_t>(b) <= max_bin)
+            ++bins[static_cast<std::size_t>(b)];
+    }
+    return bins;
+}
+
+double fraction_above(const std::vector<double>& v, double x) {
+    PRESS_EXPECTS(!v.empty(), "fraction_above of empty sample");
+    std::size_t n = 0;
+    for (double s : v)
+        if (s > x) ++n;
+    return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+double fraction_below(const std::vector<double>& v, double x) {
+    PRESS_EXPECTS(!v.empty(), "fraction_below of empty sample");
+    std::size_t n = 0;
+    for (double s : v)
+        if (s < x) ++n;
+    return static_cast<double>(n) / static_cast<double>(v.size());
+}
+
+}  // namespace press::util

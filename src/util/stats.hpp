@@ -1,0 +1,80 @@
+// Descriptive statistics and empirical distribution helpers.
+//
+// The paper reports its results almost entirely as CDFs and complementary
+// CDFs over sets of measurements (Figures 5, 6, 8); EmpiricalDistribution is
+// the shared representation the bench harnesses print.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace press::util {
+
+/// Arithmetic mean; empty input is a precondition violation.
+double mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n-1 denominator); needs at least two samples.
+double variance(const std::vector<double>& v);
+
+/// Sample standard deviation.
+double stddev(const std::vector<double>& v);
+
+/// Median (average of middle two for even counts).
+double median(std::vector<double> v);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+
+/// Smallest element.
+double min_value(const std::vector<double>& v);
+
+/// Largest element.
+double max_value(const std::vector<double>& v);
+
+/// An empirical distribution over a sample set, supporting CDF/CCDF queries
+/// and fixed-grid dumps for plotting.
+class EmpiricalDistribution {
+public:
+    /// Builds from samples (copied and sorted). Needs at least one sample.
+    explicit EmpiricalDistribution(std::vector<double> samples);
+
+    /// P[X <= x].
+    double cdf(double x) const;
+
+    /// P[X > x].
+    double ccdf(double x) const { return 1.0 - cdf(x); }
+
+    /// Inverse CDF by linear interpolation, q in [0, 1].
+    double quantile(double q) const;
+
+    std::size_t size() const { return sorted_.size(); }
+    double min() const { return sorted_.front(); }
+    double max() const { return sorted_.back(); }
+
+    /// The sorted sample values.
+    const std::vector<double>& samples() const { return sorted_; }
+
+    /// Evaluates the CDF on `points` evenly spaced values spanning
+    /// [min, max]; returns (x, cdf(x)) pairs.
+    std::vector<std::pair<double, double>> cdf_grid(std::size_t points) const;
+
+    /// Same grid for the complementary CDF.
+    std::vector<std::pair<double, double>> ccdf_grid(std::size_t points) const;
+
+private:
+    std::vector<double> sorted_;
+};
+
+/// Counts samples per integer bin (for the discrete null-movement CCDF of
+/// Figure 5). Returns counts indexed 0..max_bin.
+std::vector<std::size_t> integer_histogram(const std::vector<double>& v,
+                                           std::size_t max_bin);
+
+/// Fraction of samples strictly greater than x.
+double fraction_above(const std::vector<double>& v, double x);
+
+/// Fraction of samples strictly less than x.
+double fraction_below(const std::vector<double>& v, double x);
+
+}  // namespace press::util

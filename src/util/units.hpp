@@ -1,0 +1,65 @@
+// Physical constants and unit conversions.
+//
+// All quantities in this library are SI (Hz, m, s, W, K) unless a function
+// name says otherwise. dB conversions are explicit free functions so that a
+// reader can always tell whether a value is linear or logarithmic.
+#pragma once
+
+#include <cmath>
+
+namespace press::util {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380'649e-23;
+
+/// Reference temperature for thermal noise [K].
+inline constexpr double kReferenceTemperature = 290.0;
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Wavelength [m] of a carrier at `frequency_hz`.
+inline double wavelength(double frequency_hz) {
+    return kSpeedOfLight / frequency_hz;
+}
+
+/// Power ratio -> dB.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// dB -> power ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude (field) ratio -> dB.
+inline double amplitude_to_db(double amplitude) {
+    return 20.0 * std::log10(amplitude);
+}
+
+/// dB -> amplitude (field) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Watts -> dBm.
+inline double watt_to_dbm(double watt) {
+    return 10.0 * std::log10(watt * 1e3);
+}
+
+/// dBm -> Watts.
+inline double dbm_to_watt(double dbm) { return std::pow(10.0, dbm / 10.0) / 1e3; }
+
+/// Thermal noise power [W] in `bandwidth_hz` at kReferenceTemperature,
+/// scaled by a receiver noise figure given in dB.
+inline double thermal_noise_watt(double bandwidth_hz, double noise_figure_db) {
+    return kBoltzmann * kReferenceTemperature * bandwidth_hz *
+           db_to_linear(noise_figure_db);
+}
+
+/// Wraps an angle to (-pi, pi].
+inline double wrap_angle(double radians) {
+    double w = std::remainder(radians, kTwoPi);
+    if (w <= -kPi) w += kTwoPi;
+    return w;
+}
+
+}  // namespace press::util

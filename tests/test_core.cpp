@@ -1,0 +1,252 @@
+// Tests for the core facade: reporting, System, scenario builders and the
+// experiment runners.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "control/objective.hpp"
+#include "control/plane.hpp"
+#include "control/search.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "core/scenarios.hpp"
+#include "core/system.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace press::core {
+namespace {
+
+// --------------------------------------------------------------- report
+
+TEST(Report, TableAlignsAndValidates) {
+    std::ostringstream os;
+    print_table(os, {"a", "long-header"}, {{"1", "2"}, {"333", "4"}});
+    const std::string text = os.str();
+    EXPECT_NE(text.find("long-header"), std::string::npos);
+    EXPECT_NE(text.find("333"), std::string::npos);
+    std::ostringstream bad;
+    EXPECT_THROW(print_table(bad, {"a"}, {{"1", "2"}}),
+                 util::ContractViolation);
+}
+
+TEST(Report, Fmt) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(-1.0, 0), "-1");
+}
+
+TEST(Report, SeriesAndDistributions) {
+    std::ostringstream os;
+    print_series(os, "s", {1.0, 2.0}, {3.0, 4.0});
+    EXPECT_NE(os.str().find("s 1.0000 3.0000"), std::string::npos);
+    std::ostringstream cdf;
+    print_cdf(cdf, "d", {1.0, 2.0, 3.0}, 5);
+    EXPECT_NE(cdf.str().find("d "), std::string::npos);
+    EXPECT_THROW(print_series(os, "s", {1.0}, {1.0, 2.0}),
+                 util::ContractViolation);
+}
+
+TEST(Report, Sparkline) {
+    const std::string line = sparkline({0.0, 1.0, 2.0, 3.0});
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(sparkline({}), "");
+    // Flat input renders the lowest level everywhere, without dividing by
+    // zero.
+    EXPECT_FALSE(sparkline({5.0, 5.0, 5.0}).empty());
+}
+
+// --------------------------------------------------------------- system
+
+TEST(System, LinksAndObservation) {
+    LinkScenario scenario = make_link_scenario(1, false);
+    EXPECT_EQ(scenario.system.num_links(), 1u);
+    util::Rng rng(2);
+    const control::Observation obs = scenario.system.observe(rng);
+    ASSERT_EQ(obs.link_snr_db.size(), 1u);
+    EXPECT_EQ(obs.link_snr_db[0].size(), 52u);
+    EXPECT_THROW(scenario.system.link(5), util::ContractViolation);
+}
+
+TEST(System, SoundingRepeatsValidation) {
+    LinkScenario scenario = make_link_scenario(1, false);
+    EXPECT_THROW(scenario.system.set_sounding_repeats(1),
+                 util::ContractViolation);
+    scenario.system.set_sounding_repeats(8);
+    EXPECT_EQ(scenario.system.sounding_repeats(), 8u);
+}
+
+TEST(System, OptimizeImprovesObjective) {
+    LinkScenario scenario = make_link_scenario(3, false);
+    util::Rng rng(4);
+    const control::MinSnrObjective objective(0);
+    const double before =
+        objective.score(scenario.system.observe(rng));
+    const auto outcome = scenario.system.optimize(
+        scenario.array_id, objective, control::GreedyCoordinateDescent(),
+        control::ControlPlaneModel::fast(), 0.25, rng);
+    const double after = objective.score(scenario.system.observe(rng));
+    EXPECT_GE(outcome.search.best_score, before);
+    // The optimized configuration should hold up on a fresh measurement
+    // (within estimator noise).
+    EXPECT_GT(after, before - 6.0);
+}
+
+// ------------------------------------------------------------ scenarios
+
+TEST(Scenarios, DeterministicFromSeed) {
+    LinkScenario a = make_link_scenario(42, false);
+    LinkScenario b = make_link_scenario(42, false);
+    const auto snr_a = a.system.true_snr_db(a.link_id);
+    const auto snr_b = b.system.true_snr_db(b.link_id);
+    for (std::size_t k = 0; k < snr_a.size(); ++k)
+        EXPECT_DOUBLE_EQ(snr_a[k], snr_b[k]);
+}
+
+TEST(Scenarios, DifferentSeedsDiffer) {
+    LinkScenario a = make_link_scenario(42, false);
+    LinkScenario b = make_link_scenario(43, false);
+    const auto snr_a = a.system.true_snr_db(a.link_id);
+    const auto snr_b = b.system.true_snr_db(b.link_id);
+    double diff = 0.0;
+    for (std::size_t k = 0; k < snr_a.size(); ++k)
+        diff += std::abs(snr_a[k] - snr_b[k]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(Scenarios, BlockerCreatesFrequencySelectivity) {
+    // The blocked channel must be both weaker and more frequency-selective
+    // than the line-of-sight one (the paper: "this channel demonstrates
+    // much more frequency selectivity than the line-of-sight setup").
+    LinkScenario los = make_link_scenario(5, true);
+    LinkScenario nlos = make_link_scenario(5, false);
+    const auto snr_los = los.system.true_snr_db(los.link_id);
+    const auto snr_nlos = nlos.system.true_snr_db(nlos.link_id);
+    EXPECT_GT(util::mean(snr_los), util::mean(snr_nlos) + 5.0);
+    const double sel_los =
+        util::max_value(snr_los) - util::min_value(snr_los);
+    const double sel_nlos =
+        util::max_value(snr_nlos) - util::min_value(snr_nlos);
+    EXPECT_GT(sel_nlos, sel_los);
+}
+
+TEST(Scenarios, ElementsInsideStudyRegion) {
+    const StudyParams p;
+    LinkScenario scenario = make_link_scenario(6, false);
+    const auto& array = scenario.system.medium().array(scenario.array_id);
+    EXPECT_EQ(array.size(), 3u);
+    for (const auto& e : array.elements()) {
+        EXPECT_GT(e.position().x, 0.0);
+        EXPECT_LT(e.position().x, p.room_x);
+        EXPECT_GT(e.position().y, 0.0);
+        EXPECT_LT(e.position().y, p.room_y / 2.0);  // offset side
+    }
+}
+
+TEST(Scenarios, ActiveScenarioHasActiveStates) {
+    LinkScenario scenario = make_active_link_scenario(7, true, 20.0);
+    const auto& array = scenario.system.medium().array(scenario.array_id);
+    for (const auto& e : array.elements())
+        EXPECT_TRUE(e.has_active_states());
+}
+
+TEST(Scenarios, Fig7ScenarioShape) {
+    LinkScenario scenario = make_fig7_link_scenario(8);
+    EXPECT_EQ(scenario.system.medium().ofdm().num_used(), 102u);
+    const auto& array = scenario.system.medium().array(scenario.array_id);
+    EXPECT_EQ(array.size(), 2u);
+    EXPECT_EQ(array.config_space().size(), 16u);  // 4 phases, no absorber
+    for (const auto& e : array.elements())
+        for (const auto& l : e.loads()) EXPECT_FALSE(l.is_off());
+}
+
+TEST(Scenarios, HarmonizationScenarioShape) {
+    HarmonizationScenario scenario = make_harmonization_scenario(9);
+    EXPECT_EQ(scenario.system.num_links(), 4u);
+    EXPECT_EQ(scenario.system.medium().ofdm().num_used(), 102u);
+}
+
+TEST(Scenarios, MimoScenarioShape) {
+    MimoScenario scenario = make_mimo_scenario(10);
+    EXPECT_EQ(scenario.tx_antennas.size(), 2u);
+    EXPECT_EQ(scenario.rx_antennas.size(), 2u);
+    EXPECT_EQ(scenario.profile.num_antennas, 2);
+    // Elements co-linear with the TX pair: same x and z.
+    const auto& array = scenario.medium.array(scenario.array_id);
+    for (const auto& e : array.elements()) {
+        EXPECT_NEAR(e.position().x, scenario.tx_antennas[0].position.x,
+                    1e-12);
+        EXPECT_NEAR(e.position().z, scenario.tx_antennas[0].position.z,
+                    1e-12);
+    }
+}
+
+// ----------------------------------------------------------- experiments
+
+TEST(Experiments, SweepShapes) {
+    LinkScenario scenario = make_link_scenario(11, false);
+    util::Rng rng(12);
+    const ConfigSweep sweep = sweep_configurations(scenario, 3, rng);
+    EXPECT_EQ(sweep.mean_snr_db.size(), 64u);
+    EXPECT_EQ(sweep.mean_snr_db[0].size(), 52u);
+    EXPECT_EQ(sweep.snr_per_trial_db.size(), 3u);
+    EXPECT_EQ(sweep.min_snr_per_trial_db.size(), 3u);
+    EXPECT_EQ(sweep.config_labels.size(), 64u);
+    EXPECT_EQ(sweep.config_labels[0], "(0, 0, 0)");
+}
+
+TEST(Experiments, ExtremePairConsistent) {
+    LinkScenario scenario = make_link_scenario(13, false);
+    util::Rng rng(14);
+    const ConfigSweep sweep = sweep_configurations(scenario, 3, rng);
+    const ExtremePair pair = find_extreme_pair(sweep);
+    EXPECT_NE(pair.config_a, pair.config_b);
+    EXPECT_LT(pair.subcarrier, 52u);
+    EXPECT_NEAR(std::abs(sweep.mean_snr_db[pair.config_a][pair.subcarrier] -
+                         sweep.mean_snr_db[pair.config_b][pair.subcarrier]),
+                pair.max_diff_db, 1e-12);
+    EXPECT_DOUBLE_EQ(max_mean_subcarrier_swing_db(sweep), pair.max_diff_db);
+}
+
+TEST(Experiments, NullMovementsBounded) {
+    LinkScenario scenario = make_link_scenario(15, false);
+    util::Rng rng(16);
+    const ConfigSweep sweep = sweep_configurations(scenario, 3, rng);
+    for (double m : null_movements(sweep)) {
+        EXPECT_GE(m, 0.0);
+        EXPECT_LT(m, 52.0);
+    }
+    for (double m : null_movements_for_trial(sweep, 0)) {
+        EXPECT_GE(m, 0.0);
+        EXPECT_LT(m, 52.0);
+    }
+    EXPECT_THROW(null_movements_for_trial(sweep, 99),
+                 util::ContractViolation);
+}
+
+TEST(Experiments, MinSnrChangesCount) {
+    LinkScenario scenario = make_link_scenario(17, false);
+    util::Rng rng(18);
+    const ConfigSweep sweep = sweep_configurations(scenario, 2, rng);
+    // 64 choose 2 unordered pairs.
+    EXPECT_EQ(min_snr_changes(sweep).size(), 64u * 63u / 2u);
+}
+
+TEST(Experiments, MimoSweepFindsGap) {
+    MimoScenario scenario = make_mimo_scenario(19);
+    util::Rng rng(20);
+    const MimoSweep sweep = sweep_mimo(scenario, 10, rng);
+    EXPECT_EQ(sweep.condition_db.size(), 64u);
+    EXPECT_EQ(sweep.condition_db[0].size(), 52u);
+    EXPECT_GT(sweep.median_gap_db, 0.0);
+    EXPECT_NE(sweep.best_config, sweep.worst_config);
+    for (const auto& cond : sweep.condition_db)
+        for (double c : cond) EXPECT_GE(c, 0.0);
+}
+
+TEST(Experiments, TrueSwingNonNegative) {
+    LinkScenario scenario = make_link_scenario(21, true);
+    EXPECT_GE(max_true_swing_db(scenario), 0.0);
+}
+
+}  // namespace
+}  // namespace press::core

@@ -1,0 +1,503 @@
+// Tests for the electromagnetics substrate: geometry, antennas, the image-
+// method room, the propagation engine's link budgets and obstruction
+// handling, and channel synthesis (including the time/frequency
+// consistency property the PHY relies on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/antenna.hpp"
+#include "em/channel.hpp"
+#include "em/environment.hpp"
+#include "em/geometry.hpp"
+#include "em/material.hpp"
+#include "em/room.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace press::em {
+namespace {
+
+using util::cd;
+using util::CVec;
+
+// ------------------------------------------------------------- geometry
+
+TEST(Geometry, VectorAlgebra) {
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    EXPECT_DOUBLE_EQ((a + b).x, 5.0);
+    EXPECT_DOUBLE_EQ((b - a).z, 3.0);
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+    const Vec3 c = a.cross(b);
+    EXPECT_DOUBLE_EQ(c.x, -3.0);
+    EXPECT_DOUBLE_EQ(c.y, 6.0);
+    EXPECT_DOUBLE_EQ(c.z, -3.0);
+    EXPECT_NEAR((Vec3{3, 4, 0}).norm(), 5.0, 1e-12);
+    EXPECT_NEAR((Vec3{0, 0, 2}).normalized().z, 1.0, 1e-12);
+}
+
+TEST(Geometry, NormalizeZeroThrows) {
+    EXPECT_THROW((Vec3{0, 0, 0}).normalized(), util::ContractViolation);
+}
+
+TEST(Geometry, SegmentBoxIntersection) {
+    const Aabb box{{1, 1, 1}, {2, 2, 2}};
+    // Straight through the middle.
+    EXPECT_TRUE(segment_intersects_box({0, 1.5, 1.5}, {3, 1.5, 1.5}, box));
+    // Entirely outside.
+    EXPECT_FALSE(segment_intersects_box({0, 0, 0}, {0.5, 0.5, 0.5}, box));
+    // Parallel to a face, offset outside.
+    EXPECT_FALSE(segment_intersects_box({0, 3, 1.5}, {3, 3, 1.5}, box));
+    // Diagonal crossing a corner region.
+    EXPECT_TRUE(segment_intersects_box({0, 0, 0}, {3, 3, 3}, box));
+    // Segment that stops before the box.
+    EXPECT_FALSE(segment_intersects_box({0, 1.5, 1.5}, {0.9, 1.5, 1.5}, box));
+    // Endpoint exactly on the surface does not count as blocking.
+    EXPECT_FALSE(segment_intersects_box({0, 1.5, 1.5}, {1.0, 1.5, 1.5}, box));
+}
+
+TEST(Geometry, AabbContains) {
+    const Aabb box{{0, 0, 0}, {1, 1, 1}};
+    EXPECT_TRUE(box.contains({0.5, 0.5, 0.5}));
+    EXPECT_TRUE(box.contains({1, 1, 1}));  // inclusive
+    EXPECT_FALSE(box.contains({1.01, 0.5, 0.5}));
+    EXPECT_NEAR(box.center().x, 0.5, 1e-15);
+}
+
+// -------------------------------------------------------------- antenna
+
+TEST(Antenna, OmniIsIsotropic) {
+    const Antenna a = Antenna::omni(2.0);
+    const double g1 = a.amplitude_gain({1, 0, 0});
+    const double g2 = a.amplitude_gain({0, -1, 0.5});
+    EXPECT_NEAR(g1, g2, 1e-12);
+    EXPECT_NEAR(g1, util::db_to_amplitude(2.0), 1e-12);
+    EXPECT_TRUE(a.is_omni());
+}
+
+TEST(Antenna, ParabolicBoresightPeak) {
+    const Antenna a = Antenna::parabolic(14.0, 21.0, {1, 0, 0});
+    EXPECT_NEAR(a.amplitude_gain({1, 0, 0}), util::db_to_amplitude(14.0),
+                1e-9);
+    EXPECT_FALSE(a.is_omni());
+}
+
+TEST(Antenna, ParabolicHalfBeamwidthIs3dBDown) {
+    const Antenna a = Antenna::parabolic(14.0, 20.0, {1, 0, 0});
+    // 10 degrees off boresight of a 20-degree beam -> -3 dB in power.
+    const double rad = 10.0 * util::kPi / 180.0;
+    const Vec3 dir{std::cos(rad), std::sin(rad), 0.0};
+    EXPECT_NEAR(util::amplitude_to_db(a.amplitude_gain(dir)), 14.0 - 3.0,
+                0.05);
+}
+
+TEST(Antenna, ParabolicBacklobeFloor) {
+    const Antenna a = Antenna::parabolic(14.0, 21.0, {1, 0, 0}, 20.0);
+    EXPECT_NEAR(util::amplitude_to_db(a.amplitude_gain({-1, 0, 0})),
+                14.0 - 20.0, 1e-9);
+}
+
+TEST(Antenna, SetBoresight) {
+    Antenna a = Antenna::parabolic(10.0, 30.0, {1, 0, 0});
+    a.set_boresight({0, 1, 0});
+    EXPECT_NEAR(a.amplitude_gain({0, 1, 0}), util::db_to_amplitude(10.0),
+                1e-9);
+}
+
+TEST(Antenna, InvalidParametersThrow) {
+    EXPECT_THROW(Antenna::parabolic(10.0, 0.0, {1, 0, 0}),
+                 util::ContractViolation);
+    EXPECT_THROW(Antenna::parabolic(10.0, 200.0, {1, 0, 0}),
+                 util::ContractViolation);
+}
+
+// ----------------------------------------------------------------- room
+
+TEST(Room, FirstOrderImageCountForBox) {
+    const Room room(Aabb{{0, 0, 0}, {4, 3, 3}}, Material::drywall());
+    const auto images = room.images({1, 1, 1}, 1);
+    EXPECT_EQ(images.size(), 6u);  // one per wall
+    for (const SourceImage& img : images) {
+        EXPECT_EQ(img.order, 1);
+        // Single drywall bounce.
+        EXPECT_NEAR(std::abs(img.reflection -
+                             Material::drywall().reflection),
+                    0.0, 1e-12);
+    }
+}
+
+TEST(Room, FirstOrderImagePositions) {
+    const Room room(Aabb{{0, 0, 0}, {4, 3, 3}}, Material::drywall());
+    const Vec3 src{1, 1, 1};
+    const auto images = room.images(src, 1);
+    // The mirror across x=0 sits at (-1, 1, 1); across x=4 at (7, 1, 1).
+    bool found_low = false;
+    bool found_high = false;
+    for (const SourceImage& img : images) {
+        if (std::abs(img.position.x + 1.0) < 1e-12 &&
+            std::abs(img.position.y - 1.0) < 1e-12)
+            found_low = true;
+        if (std::abs(img.position.x - 7.0) < 1e-12 &&
+            std::abs(img.position.y - 1.0) < 1e-12)
+            found_high = true;
+    }
+    EXPECT_TRUE(found_low);
+    EXPECT_TRUE(found_high);
+}
+
+TEST(Room, PerWallMaterialInCoefficient) {
+    Room room(Aabb{{0, 0, 0}, {4, 3, 3}}, Material::drywall());
+    room.set_wall_material(Wall::kXLow, Material::metal());
+    const auto images = room.images({1, 1, 1}, 1);
+    bool found_metal = false;
+    for (const SourceImage& img : images) {
+        if (std::abs(img.position.x + 1.0) < 1e-12 &&
+            std::abs(img.position.y - 1.0) < 1e-12 &&
+            std::abs(img.position.z - 1.0) < 1e-12) {
+            EXPECT_NEAR(std::abs(img.reflection), 0.95, 1e-12);
+            found_metal = true;
+        }
+    }
+    EXPECT_TRUE(found_metal);
+}
+
+TEST(Room, OrderFiltering) {
+    const Room room(Aabb{{0, 0, 0}, {4, 3, 3}}, Material::drywall());
+    const auto o1 = room.images({1, 1, 1}, 1);
+    const auto o2 = room.images({1, 1, 1}, 2);
+    const auto o3 = room.images({1, 1, 1}, 3);
+    EXPECT_LT(o1.size(), o2.size());
+    EXPECT_LT(o2.size(), o3.size());
+    for (const SourceImage& img : o2) EXPECT_LE(img.order, 2);
+    // Second order magnitude is Gamma^2.
+    for (const SourceImage& img : o2) {
+        if (img.order == 2) {
+            EXPECT_NEAR(std::abs(img.reflection), 0.45 * 0.45, 1e-12);
+        }
+    }
+}
+
+TEST(Room, SourceOutsideThrows) {
+    const Room room(Aabb{{0, 0, 0}, {4, 3, 3}}, Material::drywall());
+    EXPECT_THROW(room.images({5, 1, 1}, 1), util::ContractViolation);
+}
+
+TEST(Room, DegenerateBoundsThrow) {
+    EXPECT_THROW(Room(Aabb{{0, 0, 0}, {0, 3, 3}}, Material::drywall()),
+                 util::ContractViolation);
+}
+
+// ---------------------------------------------------------- environment
+
+Environment free_space() { return Environment{}; }
+
+TEST(Environment, DirectPathFriisBudget) {
+    Environment env = free_space();
+    RadiatingEndpoint tx{{0, 0, 0}, Antenna::omni(0.0), {}};
+    RadiatingEndpoint rx{{10, 0, 0}, Antenna::omni(0.0), {}};
+    const auto paths = env.trace(tx, rx, 2.4e9);
+    ASSERT_EQ(paths.size(), 1u);
+    const Path& p = paths.front();
+    EXPECT_EQ(p.kind, PathKind::kDirect);
+    // Friis amplitude lambda / (4 pi d) with 0 dBi both ends.
+    const double lambda = util::wavelength(2.4e9);
+    EXPECT_NEAR(std::abs(p.gain), lambda / (4.0 * util::kPi * 10.0), 1e-12);
+    EXPECT_NEAR(p.delay_s, 10.0 / util::kSpeedOfLight, 1e-18);
+    EXPECT_NEAR(p.doppler_hz, 0.0, 1e-12);
+}
+
+TEST(Environment, ObstacleAttenuatesDirect) {
+    Environment env = free_space();
+    env.add_obstacle({{{4, -1, -1}, {6, 1, 1}}, 30.0});
+    RadiatingEndpoint tx{{0, 0, 0}, Antenna::omni(0.0), {}};
+    RadiatingEndpoint rx{{10, 0, 0}, Antenna::omni(0.0), {}};
+    const auto blocked = env.trace(tx, rx, 2.4e9);
+    env.clear_obstacles();
+    const auto clear = env.trace(tx, rx, 2.4e9);
+    EXPECT_NEAR(util::amplitude_to_db(std::abs(clear[0].gain)) -
+                    util::amplitude_to_db(std::abs(blocked[0].gain)),
+                30.0, 1e-9);
+}
+
+TEST(Environment, TwoHopRadarBudget) {
+    Environment env = free_space();
+    RadiatingEndpoint tx{{0, 0, 0}, Antenna::omni(0.0), {}};
+    RadiatingEndpoint rx{{4, 0, 0}, Antenna::omni(0.0), {}};
+    const Vec3 via{2, 1.5, 0};  // d1 = d2 = 2.5
+    const Antenna elem = Antenna::omni(10.0);
+    const auto p = env.two_hop(tx, rx, via, elem, {0.5, 0.0}, 1e-9, 2.4e9,
+                               PathKind::kPressElement, 3);
+    ASSERT_TRUE(p.has_value());
+    const double lambda = util::wavelength(2.4e9);
+    const double expected = 0.5 * util::db_to_linear(10.0) /* Ge as power */ *
+                            lambda * lambda /
+                            ((4.0 * util::kPi * 2.5) * (4.0 * util::kPi * 2.5));
+    EXPECT_NEAR(std::abs(p->gain), expected, expected * 1e-9);
+    EXPECT_NEAR(p->delay_s, 5.0 / util::kSpeedOfLight + 1e-9, 1e-15);
+    EXPECT_EQ(p->element_index, 3);
+}
+
+TEST(Environment, TwoHopZeroReflectionYieldsNoPath) {
+    Environment env = free_space();
+    RadiatingEndpoint tx{{0, 0, 0}, Antenna::omni(0.0), {}};
+    RadiatingEndpoint rx{{4, 0, 0}, Antenna::omni(0.0), {}};
+    EXPECT_FALSE(env.two_hop(tx, rx, {2, 1, 0}, Antenna::omni(0.0),
+                             {0.0, 0.0}, 0.0, 2.4e9,
+                             PathKind::kPressElement)
+                     .has_value());
+}
+
+TEST(Environment, ScattererBudgetAndObstruction) {
+    Environment env = free_space();
+    Scatterer s;
+    s.position = {5, 2, 0};
+    s.reflectivity = {0.3, 0.0};
+    env.add_scatterer(s);
+    RadiatingEndpoint tx{{0, 0, 0}, Antenna::omni(0.0), {}};
+    RadiatingEndpoint rx{{10, 0, 0}, Antenna::omni(0.0), {}};
+    auto paths = env.trace(tx, rx, 2.4e9);
+    ASSERT_EQ(paths.size(), 2u);
+    const Path& sp = paths[1];
+    EXPECT_EQ(sp.kind, PathKind::kScatterer);
+    const double d1 = std::sqrt(25.0 + 4.0);
+    const double d2 = std::sqrt(25.0 + 4.0);
+    const double lambda = util::wavelength(2.4e9);
+    EXPECT_NEAR(std::abs(sp.gain),
+                0.3 * lambda /
+                    ((4.0 * util::kPi * d1) * (4.0 * util::kPi * d2)),
+                1e-12);
+    // Block the first leg only.
+    env.add_obstacle({{{2, 0.5, -1}, {3, 1.5, 1}}, 20.0});
+    paths = env.trace(tx, rx, 2.4e9);
+    EXPECT_NEAR(util::amplitude_to_db(0.3 * lambda /
+                                      ((4.0 * util::kPi * d1) *
+                                       (4.0 * util::kPi * d2))) -
+                    util::amplitude_to_db(std::abs(paths[1].gain)),
+                20.0, 1e-9);
+}
+
+TEST(Environment, WallReflectionMagnitude) {
+    Environment env;
+    env.set_room(Room(Aabb{{0, 0, 0}, {10, 10, 10}}, Material::metal()));
+    env.set_max_reflection_order(1);
+    RadiatingEndpoint tx{{2, 5, 5}, Antenna::omni(0.0), {}};
+    RadiatingEndpoint rx{{8, 5, 5}, Antenna::omni(0.0), {}};
+    const auto paths = env.trace(tx, rx, 2.4e9);
+    // Direct + 6 first-order images.
+    ASSERT_EQ(paths.size(), 7u);
+    // The floor-bounce image is at (2, 5, -5): distance to rx.
+    const double d = (Vec3{8, 5, 5} - Vec3{2, 5, -5}).norm();
+    const double lambda = util::wavelength(2.4e9);
+    bool found = false;
+    for (const Path& p : paths) {
+        if (p.kind == PathKind::kWall &&
+            std::abs(p.delay_s - d / util::kSpeedOfLight) < 1e-12) {
+            EXPECT_NEAR(std::abs(p.gain),
+                        0.95 * lambda / (4.0 * util::kPi * d), 1e-12);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Environment, FoldedObstructionBlocksFloorBounce) {
+    // A full-width screen between TX and RX, shorter than the ceiling: the
+    // direct path and the floor bounce must be attenuated, while the
+    // ceiling bounce clears the top edge.
+    Environment env;
+    env.set_room(Room(Aabb{{0, 0, 0}, {10, 6, 3}}, Material::metal()));
+    env.set_max_reflection_order(1);
+    env.add_obstacle({{{4.9, 0, 0}, {5.1, 6, 2.0}}, 40.0});
+    RadiatingEndpoint tx{{3, 3, 1.2}, Antenna::omni(0.0), {}};
+    RadiatingEndpoint rx{{7, 3, 1.2}, Antenna::omni(0.0), {}};
+    const auto paths = env.trace(tx, rx, 2.4e9);
+    const double lambda = util::wavelength(2.4e9);
+    for (const Path& p : paths) {
+        const double d = p.delay_s * util::kSpeedOfLight;
+        const double unobstructed = (p.kind == PathKind::kDirect ? 1.0 : 0.95) *
+                                    lambda / (4.0 * util::kPi * d);
+        const double atten_db = util::amplitude_to_db(unobstructed) -
+                                util::amplitude_to_db(std::abs(p.gain));
+        // Identify the ceiling bounce by its reflection height: the image
+        // is at z = 2*3 - 1.2 = 4.8, so the fold peaks at the ceiling.
+        const bool ceiling_bounce =
+            p.kind == PathKind::kWall &&
+            std::abs(d - (Vec3{7, 3, 1.2} - Vec3{3, 3, 4.8}).norm()) < 1e-9;
+        const bool floor_bounce =
+            p.kind == PathKind::kWall &&
+            std::abs(d - (Vec3{7, 3, 1.2} - Vec3{3, 3, -1.2}).norm()) < 1e-9;
+        if (p.kind == PathKind::kDirect || floor_bounce) {
+            EXPECT_NEAR(atten_db, 40.0, 1e-6) << "path delay " << d;
+        } else if (ceiling_bounce) {
+            EXPECT_NEAR(atten_db, 0.0, 1e-6);
+        }
+    }
+}
+
+TEST(Environment, ChannelReciprocity) {
+    // |H| must be identical in both directions (antennas equal).
+    Environment env;
+    env.set_room(Room(Aabb{{0, 0, 0}, {8, 6, 3}}, Material::drywall()));
+    env.set_max_reflection_order(2);
+    Scatterer s;
+    s.position = {4, 1, 1};
+    s.reflectivity = {0.3, 0.1};
+    env.add_scatterer(s);
+    RadiatingEndpoint a{{2, 3, 1.5}, Antenna::omni(2.0), {}};
+    RadiatingEndpoint b{{6, 2, 1.0}, Antenna::omni(2.0), {}};
+    std::vector<double> freqs;
+    for (int k = 0; k < 16; ++k) freqs.push_back(2.4e9 + k * 1e6);
+    const CVec h_ab = frequency_response(env.trace(a, b, 2.4e9), freqs);
+    const CVec h_ba = frequency_response(env.trace(b, a, 2.4e9), freqs);
+    for (std::size_t k = 0; k < freqs.size(); ++k)
+        EXPECT_NEAR(std::abs(h_ab[k]), std::abs(h_ba[k]),
+                    1e-9 * std::abs(h_ab[k]));
+}
+
+TEST(Environment, DopplerSign) {
+    // TX moving toward RX -> positive shift; RX moving away -> negative.
+    const double f = 2.4e9;
+    const Vec3 dir{1, 0, 0};
+    EXPECT_GT(doppler_shift_hz({1, 0, 0}, {0, 0, 0}, dir, dir, f), 0.0);
+    EXPECT_LT(doppler_shift_hz({0, 0, 0}, {1, 0, 0}, dir, dir, f), 0.0);
+    // 1 m/s at 2.4 GHz -> 8 Hz.
+    EXPECT_NEAR(doppler_shift_hz({1, 0, 0}, {0, 0, 0}, dir, dir, f), 8.005,
+                0.01);
+}
+
+TEST(Environment, InvalidReflectionOrderThrows) {
+    Environment env;
+    EXPECT_THROW(env.set_max_reflection_order(-1), util::ContractViolation);
+    EXPECT_THROW(env.set_max_reflection_order(7), util::ContractViolation);
+}
+
+// -------------------------------------------------------------- channel
+
+TEST(Channel, SinglePathResponse) {
+    Path p;
+    p.gain = {2.0, 0.0};
+    p.delay_s = 100e-9;
+    const std::vector<double> freqs = {2.4e9};
+    const CVec h = frequency_response({p}, freqs);
+    const cd expected =
+        cd{2.0, 0.0} * std::polar(1.0, -util::kTwoPi * 2.4e9 * 100e-9);
+    EXPECT_NEAR(std::abs(h[0] - expected), 0.0, 1e-9);
+}
+
+TEST(Channel, TwoPathNullLocation) {
+    // Two equal paths with delay difference dt null at frequencies where
+    // 2 pi f dt is an odd multiple of pi.
+    Path a;
+    a.gain = {1.0, 0.0};
+    a.delay_s = 0.0;
+    Path b;
+    b.gain = {1.0, 0.0};
+    b.delay_s = 50e-9;  // nulls every 20 MHz, at 10 MHz offsets
+    const double f_null = 10e6 / 1.0;  // f*dt = 0.5
+    const CVec h =
+        frequency_response({a, b}, {f_null, 2.0 * f_null});
+    EXPECT_NEAR(std::abs(h[0]), 0.0, 1e-9);       // destructive
+    EXPECT_NEAR(std::abs(h[1]), 2.0, 1e-9);       // constructive
+}
+
+TEST(Channel, DopplerRotatesOverTime) {
+    Path p;
+    p.gain = {1.0, 0.0};
+    p.delay_s = 0.0;
+    p.doppler_hz = 100.0;
+    const std::vector<double> freqs = {0.0};
+    const CVec h0 = frequency_response({p}, freqs, 0.0);
+    const CVec h1 = frequency_response({p}, freqs, 2.5e-3);  // quarter turn
+    EXPECT_NEAR(std::arg(h1[0] / h0[0]), util::kPi / 2.0, 1e-9);
+}
+
+TEST(Channel, RmsDelaySpread) {
+    Path a;
+    a.gain = {1.0, 0.0};
+    a.delay_s = 0.0;
+    Path b;
+    b.gain = {1.0, 0.0};
+    b.delay_s = 100e-9;
+    // Equal powers at 0 and 100 ns -> rms spread 50 ns.
+    EXPECT_NEAR(rms_delay_spread({a, b}), 50e-9, 1e-15);
+    EXPECT_DOUBLE_EQ(rms_delay_spread({a}), 0.0);
+    EXPECT_NEAR(total_power({a, b}), 2.0, 1e-12);
+}
+
+TEST(Channel, CoherenceTimeMatchesPaperNumbers) {
+    // Paper Section 2: ~80 ms at 0.5 mph and ~6 ms at 6 mph at 2.4 GHz.
+    const double mph = 0.44704;
+    EXPECT_NEAR(coherence_time_s(2.4e9, 0.5 * mph), 80e-3, 25e-3);
+    EXPECT_NEAR(coherence_time_s(2.4e9, 6.0 * mph), 6e-3, 2.5e-3);
+}
+
+TEST(Channel, CoherenceBandwidthFromSpread) {
+    Path a;
+    a.gain = {1.0, 0.0};
+    a.delay_s = 0.0;
+    Path b;
+    b.gain = {1.0, 0.0};
+    b.delay_s = 100e-9;
+    EXPECT_NEAR(coherence_bandwidth_hz({a, b}), 1.0 / (5.0 * 50e-9), 1.0);
+    EXPECT_TRUE(std::isinf(coherence_bandwidth_hz({a})));
+}
+
+TEST(Channel, ImpulseResponseMatchesFrequencyResponse) {
+    // The key consistency property: sampling the CIR and evaluating its
+    // DTFT at the subcarrier offsets reproduces H(f) up to the bulk-delay
+    // linear phase, so magnitudes must agree.
+    util::Rng rng(21);
+    std::vector<Path> paths;
+    for (int i = 0; i < 5; ++i) {
+        Path p;
+        p.gain = rng.complex_gaussian(1.0);
+        p.delay_s = 10e-9 + rng.uniform(0.0, 300e-9);
+        paths.push_back(p);
+    }
+    const double fc = 2.462e9;
+    const double fs = 20e6;
+    const CVec cir = impulse_response(paths, fc, fs, 64, 12);
+    for (int m = -8; m <= 8; m += 2) {
+        const double f_off = m * fs / 64.0;
+        // DTFT of the sampled CIR at baseband frequency f_off.
+        cd via_cir{0.0, 0.0};
+        for (std::size_t k = 0; k < cir.size(); ++k)
+            via_cir += cir[k] * std::polar(1.0, -util::kTwoPi * f_off *
+                                                    static_cast<double>(k) /
+                                                    fs);
+        const CVec direct = frequency_response(paths, {fc + f_off});
+        EXPECT_NEAR(std::abs(via_cir), std::abs(direct[0]),
+                    0.02 * std::abs(direct[0]) + 1e-6)
+            << "offset " << f_off;
+    }
+}
+
+TEST(Channel, ImpulseResponseEnergyConservation) {
+    util::Rng rng(22);
+    std::vector<Path> paths;
+    for (int i = 0; i < 4; ++i) {
+        Path p;
+        p.gain = rng.complex_gaussian(1.0);
+        p.delay_s = rng.uniform(0.0, 200e-9);
+        paths.push_back(p);
+    }
+    const CVec cir = impulse_response(paths, 2.4e9, 20e6, 96, 12);
+    // With well-separated windowed-sinc kernels, tap energy approximates
+    // total path power (cross terms average out; generous tolerance).
+    EXPECT_NEAR(util::energy(cir), total_power(paths),
+                0.35 * total_power(paths));
+}
+
+TEST(Channel, ImpulseResponseContracts) {
+    EXPECT_THROW(impulse_response({}, 2.4e9, 0.0, 16),
+                 util::ContractViolation);
+    EXPECT_THROW(impulse_response({}, 2.4e9, 20e6, 0),
+                 util::ContractViolation);
+    EXPECT_THROW(impulse_response({}, 2.4e9, 20e6, 8, 9),
+                 util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace press::em

@@ -1,0 +1,459 @@
+// Tests for the OFDM PHY: numerology, modulation, preamble, frames,
+// channel/SNR estimation, MIMO metrics and rate adaptation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/chanest.hpp"
+#include "phy/frame.hpp"
+#include "phy/mimo.hpp"
+#include "phy/modulation.hpp"
+#include "phy/ofdm.hpp"
+#include "phy/preamble.hpp"
+#include "phy/rate.hpp"
+#include "util/contracts.hpp"
+#include "util/fft.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace press::phy {
+namespace {
+
+using util::cd;
+using util::CVec;
+
+// ----------------------------------------------------------------- ofdm
+
+TEST(Ofdm, Wifi20Geometry) {
+    const OfdmParams p = OfdmParams::wifi20();
+    EXPECT_EQ(p.fft_size(), 64u);
+    EXPECT_EQ(p.cp_length(), 16u);
+    EXPECT_EQ(p.num_used(), 52u);
+    EXPECT_NEAR(p.subcarrier_spacing_hz(), 312500.0, 1e-9);
+    EXPECT_NEAR(p.symbol_duration_s(), 4e-6, 1e-12);
+    EXPECT_EQ(p.used_offset(0), -26);
+    EXPECT_EQ(p.used_offset(51), 26);
+    // No DC.
+    for (std::size_t i = 0; i < p.num_used(); ++i)
+        EXPECT_NE(p.used_offset(i), 0);
+}
+
+TEST(Ofdm, N210Geometry) {
+    const OfdmParams p = OfdmParams::n210_wideband();
+    EXPECT_EQ(p.fft_size(), 128u);
+    EXPECT_EQ(p.num_used(), 102u);  // the Figure-7 x axis
+}
+
+TEST(Ofdm, SubcarrierFrequencies) {
+    const OfdmParams p = OfdmParams::wifi20();
+    EXPECT_NEAR(p.subcarrier_frequency_hz(0), 2.462e9 - 26 * 312500.0, 1e-3);
+    EXPECT_NEAR(p.subcarrier_frequency_hz(51), 2.462e9 + 26 * 312500.0, 1e-3);
+    const auto freqs = p.used_frequencies_hz();
+    EXPECT_EQ(freqs.size(), 52u);
+    for (std::size_t i = 1; i < freqs.size(); ++i)
+        EXPECT_GT(freqs[i], freqs[i - 1]);
+}
+
+TEST(Ofdm, BinMapping) {
+    const OfdmParams p = OfdmParams::wifi20();
+    // Negative offsets wrap to the top of the FFT grid.
+    EXPECT_EQ(p.fft_bin(0), 64u - 26u);
+    EXPECT_EQ(p.fft_bin(26), 1u);  // offset +1
+}
+
+TEST(Ofdm, PlaceGatherRoundtrip) {
+    const OfdmParams p = OfdmParams::wifi20();
+    util::Rng rng(1);
+    CVec used(p.num_used());
+    for (cd& v : used) v = rng.complex_gaussian(1.0);
+    const CVec grid = p.place_on_grid(used);
+    EXPECT_EQ(grid.size(), 64u);
+    EXPECT_EQ(grid[0], (cd{0, 0}));  // DC unused
+    const CVec back = p.gather_from_grid(grid);
+    EXPECT_LT(util::max_abs_diff(used, back), 1e-15);
+}
+
+TEST(Ofdm, InvalidConstructionsThrow) {
+    using CV = util::ContractViolation;
+    EXPECT_THROW(OfdmParams(64, 64, 20e6, 2.4e9, {1}), CV);   // CP too long
+    EXPECT_THROW(OfdmParams(64, 16, 20e6, 2.4e9, {0}), CV);   // DC used
+    EXPECT_THROW(OfdmParams(64, 16, 20e6, 2.4e9, {32}), CV);  // off grid
+    EXPECT_THROW(OfdmParams(64, 16, 20e6, 2.4e9, {2, 1}), CV); // not ascending
+    EXPECT_THROW(OfdmParams(64, 16, 20e6, 2.4e9, {}), CV);    // empty
+}
+
+// ----------------------------------------------------------- modulation
+
+class ModulationRoundtrip : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModulationRoundtrip, BitsSurviveMapDemap) {
+    const Modulation m = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(m) + 10);
+    std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(bits_per_symbol(m)) * 200);
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    const CVec symbols = modulate(bits, m);
+    EXPECT_EQ(symbols.size(), 200u);
+    EXPECT_EQ(demodulate(symbols, m), bits);
+}
+
+TEST_P(ModulationRoundtrip, UnitAverageEnergy) {
+    const Modulation m = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(m) + 20);
+    std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(bits_per_symbol(m)) * 20000);
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    const CVec symbols = modulate(bits, m);
+    EXPECT_NEAR(util::mean_power(symbols), 1.0, 0.03);
+}
+
+TEST_P(ModulationRoundtrip, RobustToSmallNoise) {
+    const Modulation m = GetParam();
+    util::Rng rng(static_cast<std::uint64_t>(m) + 30);
+    std::vector<std::uint8_t> bits(
+        static_cast<std::size_t>(bits_per_symbol(m)) * 500);
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    CVec symbols = modulate(bits, m);
+    // Perturb by less than half the minimum distance: must still decode.
+    const double eps = 0.45 * std::sqrt(min_half_distance_sq(m));
+    for (cd& s : symbols) s += cd{eps, 0.0};
+    EXPECT_EQ(demodulate(symbols, m), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ModulationRoundtrip,
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(Modulation, BitsPerSymbol) {
+    EXPECT_EQ(bits_per_symbol(Modulation::kBpsk), 1);
+    EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2);
+    EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4);
+    EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6);
+}
+
+TEST(Modulation, GrayNeighborsDifferInOneBit) {
+    // Walk the 16-QAM I axis: adjacent levels must differ in exactly one
+    // bit (Gray property) so near-boundary errors cost a single bit.
+    std::vector<std::uint8_t> bits(4, 0);
+    for (unsigned v = 0; v + 1 < 4; ++v) {
+        // Encode levels v and v+1 through the public API: find bit patterns
+        // whose symbols are adjacent on the I axis.
+        CVec all;
+        std::vector<std::vector<std::uint8_t>> patterns;
+        for (unsigned p = 0; p < 16; ++p) {
+            std::vector<std::uint8_t> b = {
+                static_cast<std::uint8_t>((p >> 3) & 1),
+                static_cast<std::uint8_t>((p >> 2) & 1),
+                static_cast<std::uint8_t>((p >> 1) & 1),
+                static_cast<std::uint8_t>(p & 1)};
+            const CVec s = modulate(b, Modulation::kQam16);
+            all.push_back(s[0]);
+            patterns.push_back(b);
+        }
+        // For each pair of constellation points adjacent in I with equal Q,
+        // count differing bits.
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            for (std::size_t j = 0; j < all.size(); ++j) {
+                if (std::abs(all[i].imag() - all[j].imag()) > 1e-9) continue;
+                const double di = all[j].real() - all[i].real();
+                if (std::abs(di - 2.0 / std::sqrt(10.0)) > 1e-9) continue;
+                int diff = 0;
+                for (int b = 0; b < 4; ++b)
+                    diff += patterns[i][static_cast<std::size_t>(b)] !=
+                            patterns[j][static_cast<std::size_t>(b)];
+                EXPECT_EQ(diff, 1);
+            }
+        }
+        break;  // one pass covers every adjacent pair
+    }
+}
+
+TEST(Modulation, BitCountValidation) {
+    EXPECT_THROW(modulate({1, 0, 1}, Modulation::kQpsk),
+                 util::ContractViolation);
+}
+
+// ------------------------------------------------------------- preamble
+
+TEST(Preamble, PilotsAreBpsk) {
+    for (const OfdmParams& p :
+         {OfdmParams::wifi20(), OfdmParams::n210_wideband()}) {
+        const CVec pilots = ltf_pilots(p);
+        EXPECT_EQ(pilots.size(), p.num_used());
+        for (const cd& v : pilots)
+            EXPECT_NEAR(std::abs(std::abs(v.real()) - 1.0) + std::abs(v.imag()),
+                        0.0, 1e-12);
+    }
+}
+
+TEST(Preamble, Dot11SequenceUsedForWifi20) {
+    const CVec pilots = ltf_pilots(OfdmParams::wifi20());
+    // Spot-check the standard L-LTF: first value (subcarrier -26) is +1,
+    // third is -1.
+    EXPECT_NEAR(pilots[0].real(), 1.0, 1e-12);
+    EXPECT_NEAR(pilots[2].real(), -1.0, 1e-12);
+}
+
+TEST(Preamble, Deterministic) {
+    const CVec a = ltf_pilots(OfdmParams::n210_wideband());
+    const CVec b = ltf_pilots(OfdmParams::n210_wideband());
+    EXPECT_LT(util::max_abs_diff(a, b), 1e-15);
+}
+
+TEST(Preamble, TimeSymbolShape) {
+    const OfdmParams p = OfdmParams::wifi20();
+    const CVec symbol = ltf_time_symbol(p);
+    ASSERT_EQ(symbol.size(), p.cp_length() + p.fft_size());
+    // CP is a copy of the body tail.
+    for (std::size_t i = 0; i < p.cp_length(); ++i)
+        EXPECT_NEAR(std::abs(symbol[i] -
+                             symbol[p.fft_size() + i]),
+                    0.0, 1e-12);
+    // Unit average power over the body.
+    CVec body(symbol.begin() + 16, symbol.end());
+    EXPECT_NEAR(util::mean_power(body), 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- frame
+
+TEST(Frame, LengthFormula) {
+    const OfdmParams p = OfdmParams::wifi20();
+    FrameSpec spec;
+    spec.num_ltf = 4;
+    spec.num_data = 6;
+    EXPECT_EQ(frame_length_samples(p, spec), 10u * 80u);
+}
+
+TEST(Frame, PerfectChannelRoundtrip) {
+    const OfdmParams p = OfdmParams::wifi20();
+    FrameSpec spec;
+    spec.num_ltf = 2;
+    spec.num_data = 4;
+    spec.modulation = Modulation::kQam16;
+    util::Rng rng(3);
+    const TxFrame tx = build_frame(p, spec, rng);
+    const RxFrame rx = parse_frame(p, spec, tx.samples);
+    // Channel estimate is exactly 1 on every subcarrier.
+    for (const CVec& h : rx.ltf_estimates)
+        for (const cd& v : h) EXPECT_NEAR(std::abs(v - cd{1, 0}), 0.0, 1e-9);
+    // Payload decodes without error, EVM ~ 0.
+    EXPECT_EQ(rx.payload_bits, tx.payload_bits);
+    EXPECT_LT(evm_rms(rx.equalized_data, spec.modulation), 1e-9);
+    EXPECT_NEAR(rx.cfo_estimate_hz, 0.0, 1e-6);
+}
+
+TEST(Frame, KnownFlatChannelGain) {
+    const OfdmParams p = OfdmParams::wifi20();
+    FrameSpec spec;
+    spec.num_ltf = 2;
+    spec.num_data = 1;
+    util::Rng rng(4);
+    const TxFrame tx = build_frame(p, spec, rng);
+    const cd g{0.5, 0.25};
+    const CVec faded = util::scale(tx.samples, g);
+    const RxFrame rx = parse_frame(p, spec, faded);
+    for (const CVec& h : rx.ltf_estimates)
+        for (const cd& v : h) EXPECT_NEAR(std::abs(v - g), 0.0, 1e-9);
+    EXPECT_EQ(rx.payload_bits, tx.payload_bits);
+}
+
+TEST(Frame, CfoEstimationAndCorrection) {
+    const OfdmParams p = OfdmParams::wifi20();
+    FrameSpec spec;
+    spec.num_ltf = 4;
+    spec.num_data = 4;
+    util::Rng rng(5);
+    const TxFrame tx = build_frame(p, spec, rng);
+    const double cfo = 1500.0;  // Hz
+    CVec rotated = tx.samples;
+    for (std::size_t n = 0; n < rotated.size(); ++n)
+        rotated[n] *= std::polar(
+            1.0, util::kTwoPi * cfo * static_cast<double>(n) /
+                     p.sample_rate_hz());
+    const RxFrame rx = parse_frame(p, spec, rotated, /*correct_cfo=*/true);
+    EXPECT_NEAR(rx.cfo_estimate_hz, cfo, 10.0);
+    EXPECT_EQ(rx.payload_bits, tx.payload_bits);
+}
+
+TEST(Frame, UncorrectedLargeCfoBreaksPayload) {
+    // Failure injection: a large CFO without correction must corrupt the
+    // payload (the parser's estimate is still produced).
+    const OfdmParams p = OfdmParams::wifi20();
+    FrameSpec spec;
+    spec.num_ltf = 2;
+    spec.num_data = 8;
+    spec.modulation = Modulation::kQam64;
+    util::Rng rng(6);
+    const TxFrame tx = build_frame(p, spec, rng);
+    const double cfo = 6000.0;
+    CVec rotated = tx.samples;
+    for (std::size_t n = 0; n < rotated.size(); ++n)
+        rotated[n] *= std::polar(
+            1.0, util::kTwoPi * cfo * static_cast<double>(n) /
+                     p.sample_rate_hz());
+    const RxFrame rx = parse_frame(p, spec, rotated, /*correct_cfo=*/false);
+    std::size_t errors = 0;
+    for (std::size_t i = 0; i < tx.payload_bits.size(); ++i)
+        errors += tx.payload_bits[i] != rx.payload_bits[i];
+    EXPECT_GT(errors, tx.payload_bits.size() / 20);
+}
+
+TEST(Frame, ShortBufferThrows) {
+    const OfdmParams p = OfdmParams::wifi20();
+    FrameSpec spec;
+    EXPECT_THROW(parse_frame(p, spec, CVec(10)), util::ContractViolation);
+}
+
+// -------------------------------------------------------------- chanest
+
+TEST(ChanEst, CombineRecoversTruthAndNoise) {
+    util::Rng rng(7);
+    const std::size_t n = 52;
+    CVec truth(n);
+    for (cd& v : truth) v = rng.complex_gaussian(1.0);
+    const double noise_var = 0.01;
+    std::vector<CVec> raw;
+    for (int r = 0; r < 400; ++r) {
+        CVec est = truth;
+        for (cd& v : est) v += rng.complex_gaussian(noise_var);
+        raw.push_back(std::move(est));
+    }
+    const ChannelEstimate ce = combine_ltf_estimates(raw);
+    EXPECT_EQ(ce.num_repetitions, 400u);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(std::abs(ce.h[k] - truth[k]), 0.0, 0.02);
+        EXPECT_NEAR(ce.noise_var[k], noise_var, noise_var * 0.6);
+    }
+}
+
+TEST(ChanEst, SnrClamping) {
+    ChannelEstimate ce;
+    ce.h = {cd{1, 0}, cd{1, 0}, cd{0, 0}};
+    ce.noise_var = {1e-12, 1.0, 0.5};
+    const auto snr = ce.snr_db(60.0, 0.0);
+    EXPECT_DOUBLE_EQ(snr[0], 60.0);  // capped
+    EXPECT_DOUBLE_EQ(snr[1], 0.0);   // 0 dB exactly at floor
+    EXPECT_DOUBLE_EQ(snr[2], 0.0);   // dead subcarrier floored
+}
+
+TEST(ChanEst, CombineNeedsTwoReps) {
+    EXPECT_THROW(combine_ltf_estimates({CVec(4)}), util::ContractViolation);
+}
+
+TEST(ChanEst, FindNull) {
+    std::vector<double> flat(52, 30.0);
+    EXPECT_FALSE(find_null(flat).has_value());
+    std::vector<double> dipped = flat;
+    dipped[17] = 18.0;  // 12 dB below the median
+    const auto info = find_null(dipped, 5.0);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->subcarrier, 17u);
+    EXPECT_NEAR(info->depth_db, 12.0, 1e-9);
+    // A 3 dB dip does not qualify at the default threshold.
+    std::vector<double> shallow = flat;
+    shallow[9] = 27.0;
+    EXPECT_FALSE(find_null(shallow, 5.0).has_value());
+}
+
+// ----------------------------------------------------------------- mimo
+
+TEST(Mimo, AssembleShapes) {
+    const std::size_t nsc = 8;
+    std::vector<std::vector<CVec>> columns(2, std::vector<CVec>(2));
+    for (auto& col : columns)
+        for (auto& v : col) v.assign(nsc, cd{1, 0});
+    columns[1][0].assign(nsc, cd{0, 1});  // TX1 -> RX0
+    const MimoChannelEstimate est = assemble_mimo(columns);
+    EXPECT_EQ(est.num_subcarriers(), nsc);
+    EXPECT_EQ(est.num_tx(), 2u);
+    EXPECT_EQ(est.num_rx(), 2u);
+    EXPECT_EQ(est.h[0].at(0, 1), (cd{0, 1}));
+}
+
+TEST(Mimo, ConditionNumberExtremes) {
+    // Identity channel: perfectly conditioned (0 dB).
+    MimoChannelEstimate ident;
+    ident.h.push_back(util::Matrix::identity(2));
+    EXPECT_NEAR(condition_numbers_db(ident)[0], 0.0, 1e-9);
+    // Nearly rank-1 channel: badly conditioned.
+    util::Matrix r1(2, 2);
+    r1.at(0, 0) = {1, 0};
+    r1.at(0, 1) = {1, 0};
+    r1.at(1, 0) = {1, 0};
+    r1.at(1, 1) = {1.001, 0};
+    MimoChannelEstimate bad;
+    bad.h.push_back(r1);
+    EXPECT_GT(condition_numbers_db(bad)[0], 30.0);
+}
+
+TEST(Mimo, CapacityBehaviour) {
+    const util::Matrix eye = util::Matrix::identity(2);
+    const double c10 = mimo_capacity_bps_hz(eye, util::db_to_linear(10.0));
+    const double c20 = mimo_capacity_bps_hz(eye, util::db_to_linear(20.0));
+    EXPECT_GT(c20, c10);
+    // At high SNR an orthogonal 2x2 gains ~2 bits per 3 dB.
+    EXPECT_NEAR(c20 - c10, 2.0 * 10.0 / 3.0 * std::log2(2.0), 0.7);
+    // A rank-1 channel caps one stream.
+    util::Matrix r1(2, 2);
+    r1.at(0, 0) = {1, 0};
+    r1.at(0, 1) = {1, 0};
+    r1.at(1, 0) = {1, 0};
+    r1.at(1, 1) = {1, 0};
+    EXPECT_LT(mimo_capacity_bps_hz(r1, util::db_to_linear(20.0)),
+              mimo_capacity_bps_hz(eye, util::db_to_linear(20.0)));
+}
+
+TEST(Mimo, RaggedInputThrows) {
+    std::vector<std::vector<CVec>> columns(2);
+    columns[0] = {CVec(4), CVec(4)};
+    columns[1] = {CVec(4)};
+    EXPECT_THROW(assemble_mimo(columns), util::ContractViolation);
+}
+
+// ----------------------------------------------------------------- rate
+
+TEST(Rate, EffectiveSnrOfFlatChannel) {
+    const std::vector<double> flat(52, 17.0);
+    EXPECT_NEAR(effective_snr_db(flat), 17.0, 0.05);
+}
+
+TEST(Rate, EffectiveSnrPenalizesNulls) {
+    std::vector<double> dipped(52, 25.0);
+    dipped[10] = -5.0;
+    EXPECT_LT(effective_snr_db(dipped), 25.0);
+    EXPECT_GT(effective_snr_db(dipped), 15.0);
+}
+
+class McsThresholds : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(McsThresholds, SelectionRespectsThreshold) {
+    const Mcs& m = mcs_table()[GetParam()];
+    const auto at = select_mcs(m.min_snr_db + 0.1);
+    ASSERT_TRUE(at.has_value());
+    EXPECT_GE(at->rate_mbps, m.rate_mbps);
+    const auto below = select_mcs(m.min_snr_db - 0.1);
+    if (below) {
+        EXPECT_LT(below->rate_mbps, m.rate_mbps);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, McsThresholds,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(Rate, ThroughputMonotoneInSnr) {
+    double prev = -1.0;
+    for (double snr = 0.0; snr <= 30.0; snr += 1.0) {
+        const double t = expected_throughput_mbps(std::vector<double>(52, snr));
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+    EXPECT_DOUBLE_EQ(expected_throughput_mbps(std::vector<double>(52, 0.0)),
+                     0.0);
+    EXPECT_DOUBLE_EQ(expected_throughput_mbps(std::vector<double>(52, 40.0)),
+                     54.0);
+}
+
+}  // namespace
+}  // namespace press::phy

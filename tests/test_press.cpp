@@ -1,0 +1,275 @@
+// Tests for the PRESS element layer: loads, elements, configuration
+// spaces and arrays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/environment.hpp"
+#include "press/array.hpp"
+#include "press/config.hpp"
+#include "press/element.hpp"
+#include "press/load.hpp"
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::surface {
+namespace {
+
+constexpr double kCarrier = 2.462e9;
+
+// ----------------------------------------------------------------- load
+
+TEST(Load, ReflectivePhaseThroughDelay) {
+    for (double phase : {0.0, util::kPi / 2.0, util::kPi, 1.5 * util::kPi}) {
+        const Load l = Load::reflective(phase, kCarrier, 0.85);
+        // The stub's delay produces the requested phase at the carrier.
+        EXPECT_NEAR(util::kTwoPi * kCarrier * l.extra_delay_s, phase, 1e-9);
+        EXPECT_NEAR(std::abs(l.reflection), 0.85, 1e-12);
+        EXPECT_FALSE(l.is_active());
+        EXPECT_FALSE(l.is_off());
+    }
+}
+
+TEST(Load, PhaseDispersionAcrossBandIsSmall) {
+    // A lambda/2 stub's phase changes by only ~0.4% across a 20 MHz band at
+    // 2.462 GHz, like a real cable stub.
+    const Load l = Load::reflective(util::kPi, kCarrier);
+    const double phase_low = util::kTwoPi * (kCarrier - 10e6) * l.extra_delay_s;
+    const double phase_high =
+        util::kTwoPi * (kCarrier + 10e6) * l.extra_delay_s;
+    EXPECT_NEAR(phase_high - phase_low, util::kPi * 20e6 / kCarrier, 1e-9);
+}
+
+TEST(Load, Absorptive) {
+    const Load l = Load::absorptive();
+    EXPECT_LT(std::abs(l.reflection), 0.05);
+    EXPECT_TRUE(l.is_off());
+    EXPECT_EQ(l.label, "T");
+}
+
+TEST(Load, ActiveGain) {
+    const Load l = Load::active(20.0, util::kPi / 2.0, kCarrier);
+    EXPECT_NEAR(std::abs(l.reflection), 10.0, 1e-9);
+    EXPECT_TRUE(l.is_active());
+}
+
+TEST(Load, Labels) {
+    EXPECT_EQ(phase_label(0.0), "0");
+    EXPECT_EQ(phase_label(util::kPi), "pi");
+    EXPECT_EQ(phase_label(util::kPi / 2.0), "0.5pi");
+    EXPECT_EQ(phase_label(1.5 * util::kPi), "1.5pi");
+}
+
+TEST(Load, InvalidArgumentsThrow) {
+    EXPECT_THROW(Load::reflective(-1.0, kCarrier), util::ContractViolation);
+    EXPECT_THROW(Load::reflective(0.0, kCarrier, 0.0),
+                 util::ContractViolation);
+    EXPECT_THROW(Load::reflective(0.0, kCarrier, 1.5),
+                 util::ContractViolation);
+    EXPECT_THROW(Load::absorptive(0.5), util::ContractViolation);
+}
+
+// -------------------------------------------------------------- element
+
+TEST(Element, Sp4tPrototypeStates) {
+    const Element e = Element::sp4t_prototype({0, 0, 0},
+                                              em::Antenna::omni(12.0),
+                                              kCarrier);
+    // Paper Figure 3: 0, lambda/4, lambda/2 stubs (phases 0, pi/2, pi)
+    // plus an absorptive load.
+    ASSERT_EQ(e.num_states(), 4);
+    EXPECT_EQ(e.load(0).label, "0");
+    EXPECT_EQ(e.load(1).label, "0.5pi");
+    EXPECT_EQ(e.load(2).label, "pi");
+    EXPECT_EQ(e.load(3).label, "T");
+    EXPECT_FALSE(e.has_active_states());
+}
+
+TEST(Element, SelectAndQuery) {
+    Element e = Element::sp4t_prototype({0, 0, 0}, em::Antenna::omni(12.0),
+                                        kCarrier);
+    EXPECT_EQ(e.selected_state(), 0);
+    e.select(2);
+    EXPECT_EQ(e.selected_state(), 2);
+    EXPECT_EQ(e.selected_load().label, "pi");
+    EXPECT_THROW(e.select(4), util::ContractViolation);
+    EXPECT_THROW(e.select(-1), util::ContractViolation);
+    EXPECT_THROW(e.load(9), util::ContractViolation);
+}
+
+TEST(Element, UniformPhases) {
+    const Element e4 = Element::uniform_phases(
+        {0, 0, 0}, em::Antenna::omni(12.0), kCarrier, 4, false);
+    EXPECT_EQ(e4.num_states(), 4);
+    EXPECT_EQ(e4.load(3).label, "1.5pi");
+    const Element e8 = Element::uniform_phases(
+        {0, 0, 0}, em::Antenna::omni(12.0), kCarrier, 8, true);
+    EXPECT_EQ(e8.num_states(), 9);
+    EXPECT_TRUE(e8.load(8).is_off());
+}
+
+TEST(Element, ActiveFactory) {
+    const Element e = Element::active({0, 0, 0}, em::Antenna::omni(6.0),
+                                      kCarrier, 4, 15.0);
+    EXPECT_EQ(e.num_states(), 5);
+    EXPECT_TRUE(e.has_active_states());
+    EXPECT_TRUE(e.load(4).is_off());
+}
+
+// --------------------------------------------------------------- config
+
+TEST(ConfigSpace, SizeAndRoundtrip) {
+    const ConfigSpace space({4, 4, 4});
+    EXPECT_EQ(space.size(), 64u);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        EXPECT_EQ(space.index_of(space.at(i)), i);
+}
+
+class MixedRadixRoundtrip
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(MixedRadixRoundtrip, AllIndicesRoundtrip) {
+    const ConfigSpace space(GetParam());
+    for (std::uint64_t i = 0; i < space.size(); ++i) {
+        const Config c = space.at(i);
+        EXPECT_TRUE(space.valid(c));
+        EXPECT_EQ(space.index_of(c), i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Radices, MixedRadixRoundtrip,
+    ::testing::Values(std::vector<int>{2}, std::vector<int>{1, 5},
+                      std::vector<int>{2, 3, 4}, std::vector<int>{4, 4, 4},
+                      std::vector<int>{3, 1, 2, 5}));
+
+TEST(ConfigSpace, Validation) {
+    const ConfigSpace space({4, 4});
+    EXPECT_TRUE(space.valid({0, 3}));
+    EXPECT_FALSE(space.valid({0}));
+    EXPECT_FALSE(space.valid({0, 4}));
+    EXPECT_FALSE(space.valid({-1, 0}));
+    EXPECT_THROW(space.index_of({9, 9}), util::ContractViolation);
+    EXPECT_THROW(space.at(16), util::ContractViolation);
+}
+
+TEST(ConfigSpace, OverflowThrows) {
+    const ConfigSpace space(std::vector<int>(64, 10));  // 10^64 configs
+    EXPECT_THROW(space.size(), std::overflow_error);
+}
+
+TEST(ConfigSpace, EnumerateSmall) {
+    const ConfigSpace space({2, 3});
+    const auto all = space.enumerate();
+    ASSERT_EQ(all.size(), 6u);
+    EXPECT_EQ(all.front(), (Config{0, 0}));
+    EXPECT_EQ(all.back(), (Config{1, 2}));
+}
+
+TEST(ConfigSpace, ConfigToString) {
+    const std::vector<std::vector<std::string>> labels = {
+        {"0", "0.5pi", "pi", "T"}, {"0", "0.5pi", "pi", "T"}};
+    EXPECT_EQ(config_to_string({2, 3}, labels), "(pi, T)");
+    EXPECT_THROW(config_to_string({2}, labels), util::ContractViolation);
+    EXPECT_THROW(config_to_string({2, 9}, labels), util::ContractViolation);
+}
+
+// ---------------------------------------------------------------- array
+
+Array make_test_array() {
+    std::vector<Element> elements;
+    elements.push_back(Element::sp4t_prototype(
+        {2, 1, 1}, em::Antenna::omni(12.0), kCarrier));
+    elements.push_back(Element::sp4t_prototype(
+        {3, 1, 1}, em::Antenna::omni(12.0), kCarrier));
+    elements.push_back(Element::sp4t_prototype(
+        {4, 1, 1}, em::Antenna::omni(12.0), kCarrier));
+    return Array(std::move(elements));
+}
+
+TEST(Array, ConfigSpaceMatchesPaper) {
+    Array array = make_test_array();
+    // "Three antennas are used, which means there are 64 different PRESS
+    // antenna configurations."
+    EXPECT_EQ(array.config_space().size(), 64u);
+}
+
+TEST(Array, ApplyAndReadBack) {
+    Array array = make_test_array();
+    array.apply({1, 2, 3});
+    EXPECT_EQ(array.current_config(), (Config{1, 2, 3}));
+    EXPECT_EQ(array.element(2).selected_load().label, "T");
+    EXPECT_THROW(array.apply({1, 2}), util::ContractViolation);
+    EXPECT_THROW(array.element(5), util::ContractViolation);
+}
+
+TEST(Array, StateLabels) {
+    Array array = make_test_array();
+    const auto labels = array.state_labels();
+    ASSERT_EQ(labels.size(), 3u);
+    EXPECT_EQ(labels[0][1], "0.5pi");
+    EXPECT_EQ(config_to_string(array.current_config(), labels), "(0, 0, 0)");
+}
+
+TEST(Array, PathsPerElement) {
+    Array array = make_test_array();
+    em::Environment env;
+    em::RadiatingEndpoint tx{{0, 0, 1}, em::Antenna::omni(2.0), {}};
+    em::RadiatingEndpoint rx{{6, 0, 1}, em::Antenna::omni(2.0), {}};
+    array.apply({0, 1, 2});
+    const auto paths = array.paths(env, tx, rx, kCarrier);
+    ASSERT_EQ(paths.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(paths[i].kind, em::PathKind::kPressElement);
+        EXPECT_EQ(paths[i].element_index, static_cast<int>(i));
+    }
+    // Terminated elements leak >= 38 dB less than reflective ones.
+    array.apply({3, 1, 2});
+    const auto paths_t = array.paths(env, tx, rx, kCarrier);
+    EXPECT_LT(std::abs(paths_t[0].gain),
+              std::abs(paths[0].gain) * 0.02);
+}
+
+TEST(Array, StubDelayShiftsPathDelay) {
+    Array array = make_test_array();
+    em::Environment env;
+    em::RadiatingEndpoint tx{{0, 0, 1}, em::Antenna::omni(2.0), {}};
+    em::RadiatingEndpoint rx{{6, 0, 1}, em::Antenna::omni(2.0), {}};
+    array.apply({0, 0, 0});
+    const auto p0 = array.paths(env, tx, rx, kCarrier);
+    array.apply({2, 0, 0});  // pi stub on element 0
+    const auto p2 = array.paths(env, tx, rx, kCarrier);
+    const double extra = p2[0].delay_s - p0[0].delay_s;
+    EXPECT_NEAR(util::kTwoPi * kCarrier * extra, util::kPi, 1e-9);
+}
+
+TEST(Array, RandomPlacementInsideRegion) {
+    util::Rng rng(5);
+    const em::Aabb region{{1, 1, 0.5}, {2, 2, 1.5}};
+    const Array array = random_sp4t_array(10, region,
+                                          em::Antenna::omni(12.0), kCarrier,
+                                          rng);
+    ASSERT_EQ(array.size(), 10u);
+    for (const Element& e : array.elements())
+        EXPECT_TRUE(region.contains(e.position()));
+}
+
+TEST(Array, LinearPlacementSpacing) {
+    const Array array =
+        linear_array(4, {0, 0, 0}, {0, 1, 0}, 0.1218,
+                     em::Antenna::omni(6.0), kCarrier, 4, false);
+    ASSERT_EQ(array.size(), 4u);
+    for (std::size_t i = 1; i < 4; ++i) {
+        const double d = em::distance(array.element(i - 1).position(),
+                                      array.element(i).position());
+        EXPECT_NEAR(d, 0.1218, 1e-12);
+    }
+}
+
+TEST(Array, EmptyArrayConfigSpaceThrows) {
+    Array array;
+    EXPECT_THROW(array.config_space(), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace press::surface

@@ -1,0 +1,209 @@
+// Tests for the multi-link scheduler (agility vs. joint optimization) and
+// the Saleh-Valenzuela statistical substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/scheduler.hpp"
+#include "core/experiments.hpp"
+#include "em/channel.hpp"
+#include "em/statistical.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+
+namespace press {
+namespace {
+
+// ------------------------------------------------------------ scheduler
+
+// A synthetic world where the scheduler's behaviour is fully predictable:
+// link l scores 10 when element l's state matches l, else 1; the joint
+// optimum sets every element to its link's preferred state.
+double synthetic_eval(std::size_t link, const surface::Config& c) {
+    return c[link] == static_cast<int>(link) ? 10.0 : 1.0;
+}
+
+TEST(Scheduler, PerLinkFindsEachOptimum) {
+    const surface::ConfigSpace space({3, 3, 3});
+    const control::MultiLinkScheduler scheduler(
+        control::ControlPlaneModel::fast(), 10e-3);
+    util::Rng rng(1);
+    const auto outcome = scheduler.run(
+        control::MultiLinkStrategy::kPerLink, space, synthetic_eval, 3,
+        control::ExhaustiveSearcher(), 27, rng);
+    ASSERT_EQ(outcome.configs.size(), 3u);
+    for (std::size_t l = 0; l < 3; ++l)
+        EXPECT_EQ(outcome.configs[l][l], static_cast<int>(l));
+    EXPECT_DOUBLE_EQ(outcome.mean_raw_score, 10.0);
+    EXPECT_LT(outcome.airtime_fraction, 1.0);
+    EXPECT_GT(outcome.airtime_fraction, 0.0);
+}
+
+TEST(Scheduler, JointCompromisesWithoutOverhead) {
+    const surface::ConfigSpace space({3, 3, 3});
+    const control::MultiLinkScheduler scheduler(
+        control::ControlPlaneModel::fast(), 10e-3);
+    util::Rng rng(2);
+    const auto outcome = scheduler.run(
+        control::MultiLinkStrategy::kJoint, space, synthetic_eval, 3,
+        control::ExhaustiveSearcher(), 27, rng);
+    // In this separable world the joint optimum satisfies every link.
+    EXPECT_DOUBLE_EQ(outcome.mean_raw_score, 10.0);
+    EXPECT_DOUBLE_EQ(outcome.airtime_fraction, 1.0);
+    EXPECT_EQ(outcome.configs[0], outcome.configs[1]);
+    EXPECT_EQ(outcome.configs[1], outcome.configs[2]);
+}
+
+TEST(Scheduler, StaticOffUsesLastState) {
+    const surface::ConfigSpace space({4, 4});
+    const control::MultiLinkScheduler scheduler(
+        control::ControlPlaneModel::fast(), 10e-3);
+    util::Rng rng(3);
+    const auto outcome = scheduler.run(
+        control::MultiLinkStrategy::kStaticOff, space,
+        [](std::size_t, const surface::Config& c) {
+            return c == surface::Config{3, 3} ? 7.0 : 0.0;
+        },
+        2, control::ExhaustiveSearcher(), 16, rng);
+    EXPECT_DOUBLE_EQ(outcome.mean_raw_score, 7.0);
+    EXPECT_EQ(outcome.evaluations, 0u);
+}
+
+TEST(Scheduler, ShortSlotsKillPerLinkAgility) {
+    const surface::ConfigSpace space({3, 3, 3});
+    util::Rng rng(4);
+    const double overhead =
+        control::MultiLinkScheduler(control::ControlPlaneModel::fast(),
+                                    1.0)
+            .reconfiguration_time_s(space);
+    // A slot shorter than the reconfiguration time leaves no airtime.
+    const control::MultiLinkScheduler tight(
+        control::ControlPlaneModel::fast(), overhead * 0.5);
+    const auto outcome = tight.run(
+        control::MultiLinkStrategy::kPerLink, space, synthetic_eval, 3,
+        control::ExhaustiveSearcher(), 27, rng);
+    EXPECT_DOUBLE_EQ(outcome.airtime_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(outcome.mean_effective_score, 0.0);
+}
+
+TEST(Scheduler, EffectiveScoreIsRawTimesAirtime) {
+    const surface::ConfigSpace space({3, 3});
+    const control::MultiLinkScheduler scheduler(
+        control::ControlPlaneModel::prototype(), 50e-3);
+    util::Rng rng(5);
+    const auto outcome = scheduler.run(
+        control::MultiLinkStrategy::kPerLink, space,
+        [](std::size_t, const surface::Config&) { return 4.0; }, 2,
+        control::RandomSearcher(), 5, rng);
+    EXPECT_NEAR(outcome.mean_effective_score,
+                outcome.mean_raw_score * outcome.airtime_fraction, 1e-12);
+}
+
+TEST(Scheduler, InvalidArgumentsThrow) {
+    EXPECT_THROW(control::MultiLinkScheduler(
+                     control::ControlPlaneModel::fast(), 0.0),
+                 util::ContractViolation);
+    const control::MultiLinkScheduler scheduler(
+        control::ControlPlaneModel::fast(), 1e-3);
+    const surface::ConfigSpace space({2});
+    util::Rng rng(6);
+    EXPECT_THROW(scheduler.run(control::MultiLinkStrategy::kJoint, space,
+                               synthetic_eval, 0,
+                               control::ExhaustiveSearcher(), 4, rng),
+                 util::ContractViolation);
+}
+
+// ---------------------------------------------------- saleh-valenzuela
+
+TEST(SalehValenzuela, DeterministicPerSeed) {
+    em::SalehValenzuelaParams p;
+    util::Rng a(11);
+    util::Rng b(11);
+    const auto pa = em::saleh_valenzuela_paths(p, a);
+    const auto pb = em::saleh_valenzuela_paths(p, b);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].delay_s, pb[i].delay_s);
+        EXPECT_EQ(pa[i].gain, pb[i].gain);
+    }
+}
+
+TEST(SalehValenzuela, DelaysWithinTruncation) {
+    em::SalehValenzuelaParams p;
+    util::Rng rng(12);
+    for (const em::Path& path : em::saleh_valenzuela_paths(p, rng)) {
+        EXPECT_GE(path.delay_s, p.excess_delay_s);
+        EXPECT_LE(path.delay_s, p.excess_delay_s + p.max_delay_s + 1e-12);
+        EXPECT_NEAR(path.departure.norm(), 1.0, 1e-9);
+        EXPECT_NEAR(path.arrival.norm(), 1.0, 1e-9);
+    }
+}
+
+TEST(SalehValenzuela, PowerDecaysWithDelay) {
+    // Average many realizations: early paths must carry more power than
+    // late ones (the doubly exponential profile).
+    em::SalehValenzuelaParams p;
+    util::Rng rng(13);
+    double early = 0.0;
+    double late = 0.0;
+    for (int r = 0; r < 200; ++r) {
+        for (const em::Path& path : em::saleh_valenzuela_paths(p, rng)) {
+            const double t = path.delay_s - p.excess_delay_s;
+            if (t < 50e-9)
+                early += std::norm(path.gain);
+            else if (t > 200e-9)
+                late += std::norm(path.gain);
+        }
+    }
+    EXPECT_GT(early, late * 3.0);
+}
+
+TEST(SalehValenzuela, RealisticDelaySpread) {
+    em::SalehValenzuelaParams p;
+    util::Rng rng(14);
+    std::vector<double> spreads;
+    for (int r = 0; r < 50; ++r)
+        spreads.push_back(
+            em::rms_delay_spread(em::saleh_valenzuela_paths(p, rng)));
+    // Office-environment fits give tens of ns RMS delay spread.
+    const double med = util::median(spreads);
+    EXPECT_GT(med, 15e-9);
+    EXPECT_LT(med, 150e-9);
+}
+
+TEST(SalehValenzuela, InvalidParamsThrow) {
+    em::SalehValenzuelaParams p;
+    p.cluster_rate_hz = 0.0;
+    util::Rng rng(15);
+    EXPECT_THROW(em::saleh_valenzuela_paths(p, rng),
+                 util::ContractViolation);
+}
+
+TEST(SvScenario, BehavesLikeAStudyScenario) {
+    core::LinkScenario scenario = core::make_sv_link_scenario(7);
+    EXPECT_EQ(scenario.system.medium().ofdm().num_used(), 52u);
+    const auto snr = scenario.system.true_snr_db(scenario.link_id);
+    // Frequency selective, sane level.
+    EXPECT_GT(util::max_value(snr) - util::min_value(snr), 3.0);
+    EXPECT_GT(util::mean(snr), 5.0);
+    EXPECT_LT(util::mean(snr), 70.0);
+    // The array still has leverage on this substrate.
+    EXPECT_GT(core::max_true_swing_db(scenario), 3.0);
+}
+
+TEST(SvScenario, StaticPathsAppearInTrace) {
+    em::Environment env;
+    em::SalehValenzuelaParams p;
+    util::Rng rng(16);
+    const auto sv = em::saleh_valenzuela_paths(p, rng);
+    env.add_static_paths(sv);
+    em::RadiatingEndpoint tx{{0, 0, 0}, em::Antenna::omni(0.0), {}};
+    em::RadiatingEndpoint rx{{5, 0, 0}, em::Antenna::omni(0.0), {}};
+    const auto paths = env.trace(tx, rx, 2.4e9);
+    EXPECT_EQ(paths.size(), 1u + sv.size());  // direct + diffuse
+    env.clear_static_paths();
+    EXPECT_EQ(env.trace(tx, rx, 2.4e9).size(), 1u);
+}
+
+}  // namespace
+}  // namespace press

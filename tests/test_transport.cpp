@@ -1,0 +1,181 @@
+// Tests for the control-plane transport: lossy channel, array-side agent,
+// reliable session — including loss, corruption, duplicate-suppression and
+// give-up behaviour.
+#include <gtest/gtest.h>
+
+#include "control/transport.hpp"
+#include "press/element.hpp"
+#include "util/contracts.hpp"
+
+namespace press::control {
+namespace {
+
+surface::Array make_array() {
+    surface::Array array;
+    for (int i = 0; i < 3; ++i) {
+        array.add_element(surface::Element::sp4t_prototype(
+            {1.0 + i, 0, 1}, em::Antenna::omni(12.0), 2.462e9));
+    }
+    return array;
+}
+
+LossyChannel perfect() { return LossyChannel(0.0, 0.0, util::Rng(1)); }
+
+TEST(LossyChannel, PerfectChannelIsTransparent) {
+    LossyChannel ch = perfect();
+    const std::vector<std::uint8_t> frame = {1, 2, 3, 4};
+    const auto out = ch.transmit(frame);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, frame);
+    EXPECT_EQ(ch.frames_carried(), 1u);
+    EXPECT_EQ(ch.bits_flipped(), 0u);
+}
+
+TEST(LossyChannel, DropsFrames) {
+    LossyChannel ch(0.0, 0.9, util::Rng(2));
+    int dropped = 0;
+    for (int i = 0; i < 200; ++i)
+        if (!ch.transmit({0xAA})) ++dropped;
+    EXPECT_GT(dropped, 140);
+    EXPECT_EQ(ch.frames_dropped(), static_cast<std::size_t>(dropped));
+}
+
+TEST(LossyChannel, FlipsBitsAtConfiguredRate) {
+    LossyChannel ch(0.01, 0.0, util::Rng(3));
+    const std::vector<std::uint8_t> frame(1000, 0x00);
+    (void)ch.transmit(frame);
+    // 8000 bits at 1%: expect ~80 flips.
+    EXPECT_GT(ch.bits_flipped(), 40u);
+    EXPECT_LT(ch.bits_flipped(), 140u);
+}
+
+TEST(LossyChannel, InvalidRatesThrow) {
+    EXPECT_THROW(LossyChannel(1.0, 0.0, util::Rng(1)),
+                 util::ContractViolation);
+    EXPECT_THROW(LossyChannel(0.0, -0.1, util::Rng(1)),
+                 util::ContractViolation);
+}
+
+TEST(ArrayAgent, AppliesValidConfig) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 5);
+    SetConfig msg;
+    msg.array_id = 5;
+    msg.config = {1, 2, 3};
+    const auto response = agent.handle(encode(Message{msg}, 10));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(array.current_config(), (surface::Config{1, 2, 3}));
+    EXPECT_EQ(agent.applied(), 1u);
+    const Decoded d = decode(*response);
+    EXPECT_EQ(d.seq, 10u);
+    EXPECT_EQ(std::get<SetConfigAck>(d.message).status, 0);
+}
+
+TEST(ArrayAgent, IgnoresForeignArray) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 5);
+    SetConfig msg;
+    msg.array_id = 6;  // not ours
+    msg.config = {1, 2, 3};
+    EXPECT_FALSE(agent.handle(encode(Message{msg}, 1)).has_value());
+    EXPECT_EQ(array.current_config(), (surface::Config{0, 0, 0}));
+}
+
+TEST(ArrayAgent, DropsCorruptedFrames) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 5);
+    SetConfig msg;
+    msg.array_id = 5;
+    msg.config = {1, 2, 3};
+    auto frame = encode(Message{msg}, 1);
+    frame[frame.size() / 2] ^= 0x55;
+    EXPECT_FALSE(agent.handle(frame).has_value());
+    EXPECT_EQ(agent.rejected(), 1u);
+    EXPECT_EQ(array.current_config(), (surface::Config{0, 0, 0}));
+}
+
+TEST(ArrayAgent, SuppressesDuplicateSeq) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 5);
+    SetConfig msg;
+    msg.array_id = 5;
+    msg.config = {3, 3, 3};
+    const auto frame = encode(Message{msg}, 42);
+    ASSERT_TRUE(agent.handle(frame).has_value());
+    // Retransmission: acked again but applied only once.
+    const auto again = agent.handle(frame);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(agent.applied(), 1u);
+    EXPECT_EQ(agent.duplicates(), 1u);
+    EXPECT_EQ(std::get<SetConfigAck>(decode(*again).message).status, 0);
+}
+
+TEST(ArrayAgent, RejectsInvalidConfigWithNack) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 5);
+    SetConfig msg;
+    msg.array_id = 5;
+    msg.config = {9, 9, 9};  // out of range for SP4T elements
+    const auto response = agent.handle(encode(Message{msg}, 1));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(std::get<SetConfigAck>(decode(*response).message).status, 1);
+    EXPECT_EQ(agent.applied(), 0u);
+    EXPECT_EQ(array.current_config(), (surface::Config{0, 0, 0}));
+}
+
+TEST(ReliableSession, DeliversOverPerfectChannel) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 0);
+    ReliableSession session(agent, perfect(), perfect());
+    EXPECT_TRUE(session.apply(0, {2, 1, 0}));
+    EXPECT_EQ(array.current_config(), (surface::Config{2, 1, 0}));
+    EXPECT_EQ(session.stats().attempts, 1u);
+    EXPECT_EQ(session.stats().acked, 1u);
+}
+
+TEST(ReliableSession, RetransmitsThroughLoss) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 0);
+    // Half the frames vanish in each direction; retries must recover.
+    ReliableSession session(agent,
+                            LossyChannel(0.0, 0.5, util::Rng(7)),
+                            LossyChannel(0.0, 0.5, util::Rng(8)),
+                            /*max_retries=*/20);
+    int delivered = 0;
+    for (int i = 0; i < 20; ++i)
+        if (session.apply(0, {static_cast<int>(i % 4), 0, 0})) ++delivered;
+    EXPECT_EQ(delivered, 20);
+    EXPECT_GT(session.stats().attempts, 25u);  // retries happened
+}
+
+TEST(ReliableSession, SurvivesBitErrors) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 0);
+    // 0.5% BER corrupts most 20-byte frames occasionally; CRC catches
+    // them and the session retries.
+    ReliableSession session(agent,
+                            LossyChannel(5e-3, 0.0, util::Rng(9)),
+                            LossyChannel(5e-3, 0.0, util::Rng(10)),
+                            /*max_retries=*/20);
+    int delivered = 0;
+    for (int i = 0; i < 20; ++i)
+        if (session.apply(0, {1, 2, 3})) ++delivered;
+    EXPECT_EQ(delivered, 20);
+    // No corrupted configuration was ever applied: the array always holds
+    // the last intended state.
+    EXPECT_EQ(array.current_config(), (surface::Config{1, 2, 3}));
+}
+
+TEST(ReliableSession, GivesUpOnDeadChannel) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 0);
+    ReliableSession session(agent,
+                            LossyChannel(0.0, 0.999, util::Rng(11)),
+                            perfect(), /*max_retries=*/3);
+    EXPECT_FALSE(session.apply(0, {1, 1, 1}));
+    EXPECT_EQ(session.stats().gave_up, 1u);
+    EXPECT_EQ(session.stats().attempts, 4u);  // initial + 3 retries
+}
+
+}  // namespace
+}  // namespace press::control

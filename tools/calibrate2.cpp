@@ -1,0 +1,31 @@
+#include <cstdio>
+#include "core/experiments.hpp"
+#include "util/stats.hpp"
+using namespace press;
+int main() {
+    for (double gain : {10.0, 12.0, 14.0}) {
+        core::StudyParams sp; sp.element_gain_dbi = gain;
+        std::printf("== element gain %.0f dBi ==\n", gain);
+        for (std::uint64_t p = 0; p < 8; ++p) {
+            core::LinkScenario sc = core::make_link_scenario(100 + p, false, sp);
+            util::Rng rng(7000 + p);
+            core::ConfigSweep sweep = core::sweep_configurations(sc, 10, rng);
+            auto pair = core::find_extreme_pair(sweep);
+            auto moves = core::null_movements(sweep);
+            double maxmove = moves.empty() ? -1 : util::max_value(moves);
+            auto changes = core::min_snr_changes(sweep);
+            std::vector<double> mins;
+            for (auto& v : sweep.mean_snr_db) mins.push_back(util::min_value(v));
+            std::printf(" p%llu: pairdiff %5.1f maxmove %3.0f frac>10 %.2f minSNR[%5.1f..%5.1f] frac(min<20) %.2f\n",
+                (unsigned long long)p, pair.max_diff_db, maxmove,
+                util::fraction_above(changes, 10.0), util::min_value(mins), util::max_value(mins),
+                util::fraction_below(mins, 20.0));
+        }
+        core::LinkScenario los = core::make_link_scenario(200, true, sp);
+        std::printf(" LoS max true swing %.2f dB\n", core::max_true_swing_db(los));
+    }
+    util::Rng rng(42);
+    auto h = core::find_harmonization_pair(300, 100, 2.5, rng);
+    std::printf("fig7: found=%d seed=%llu selA=%.1f selB=%.1f\n", h.found, (unsigned long long)h.seed, h.selectivity_a_db, h.selectivity_b_db);
+    return 0;
+}

@@ -1,0 +1,19 @@
+#include <cstdio>
+#include "core/experiments.hpp"
+#include "util/stats.hpp"
+using namespace press;
+int main() {
+    for (double d : {3.0, 2.0, 1.5, 1.0}) {
+        core::StudyParams sp; sp.link_distance_m = d;
+        for (std::uint64_t s = 200; s < 204; ++s) {
+            core::LinkScenario los = core::make_link_scenario(s, true, sp);
+            std::printf("LoS d=%.1f seed %llu: swing %.2f dB\n", d, (unsigned long long)s, core::max_true_swing_db(los));
+        }
+    }
+    util::Rng rng(42);
+    for (double thr : {2.5, 3.5}) {
+      auto h = core::find_harmonization_pair(300, 200, thr, rng);
+      std::printf("fig7 thr %.1f: found=%d seed=%llu selA=%.1f selB=%.1f\n", thr, h.found, (unsigned long long)h.seed, h.selectivity_a_db, h.selectivity_b_db);
+    }
+    return 0;
+}

@@ -1,0 +1,24 @@
+#include <cstdio>
+#include "core/experiments.hpp"
+#include "util/stats.hpp"
+using namespace press;
+int main() {
+    for (std::uint64_t p = 0; p < 48; ++p) {
+        core::LinkScenario sc = core::make_link_scenario(100 + p, false);
+        util::Rng rng(7000 + p);
+        core::ConfigSweep sweep = core::sweep_configurations(sc, 6, rng);
+        std::size_t with10 = 0, total = 0;
+        for (std::size_t a = 0; a < 64; ++a) for (std::size_t b = a+1; b < 64; ++b) {
+            ++total; for (std::size_t k = 0; k < 52; ++k)
+                if (std::abs(sweep.mean_snr_db[a][k]-sweep.mean_snr_db[b][k])>=10){++with10;break;}
+        }
+        std::vector<double> mins; for (auto&v:sweep.mean_snr_db) mins.push_back(util::min_value(v));
+        auto mv = core::null_movements(sweep);
+        double mx = mv.empty()?-1:util::max_value(mv);
+        // per-trial movements max
+        double mxt = 0; for (int t=0;t<6;++t){auto m=core::null_movements_for_trial(sweep,t); if(!m.empty()) mxt=std::max(mxt,util::max_value(m));}
+        std::printf("p%llu seed %llu: frac10 %.2f fracmin<20 %.2f movemax(mean) %.0f movemax(trial) %.0f\n",
+            (unsigned long long)p, (unsigned long long)(100+p), (double)with10/total, util::fraction_below(mins,20.0), mx, mxt);
+    }
+    return 0;
+}

@@ -1,0 +1,24 @@
+#include <cstdio>
+#include <algorithm>
+#include "core/scenarios.hpp"
+#include "em/channel.hpp"
+#include "util/units.hpp"
+using namespace press;
+int main() {
+    core::LinkScenario sc = core::make_link_scenario(101, false);
+    auto& med = sc.system.medium();
+    auto paths = med.resolve_paths(sc.system.link(0));
+    std::printf("num paths: %zu\n", paths.size());
+    std::vector<em::Path> sorted = paths;
+    std::sort(sorted.begin(), sorted.end(), [](auto&a, auto&b){return std::abs(a.gain)>std::abs(b.gain);});
+    for (size_t i = 0; i < std::min<size_t>(15, sorted.size()); ++i) {
+        auto&p = sorted[i];
+        std::printf("  %-14s amp %.3e (%.1f dB) delay %.1f ns\n", em::to_string(p.kind).c_str(), std::abs(p.gain), util::amplitude_to_db(std::abs(p.gain)), p.delay_s*1e9);
+    }
+    std::printf("rms delay spread: %.1f ns\n", em::rms_delay_spread(paths)*1e9);
+    auto snr = med.true_snr_db(sc.system.link(0));
+    std::printf("true SNR: ");
+    for (size_t k = 0; k < snr.size(); k += 4) std::printf("%.0f ", snr[k]);
+    std::printf("\nmin %.1f max %.1f\n", *std::min_element(snr.begin(),snr.end()), *std::max_element(snr.begin(),snr.end()));
+    return 0;
+}

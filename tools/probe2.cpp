@@ -1,0 +1,30 @@
+#include <cstdio>
+#include <algorithm>
+#include "core/scenarios.hpp"
+#include "util/stats.hpp"
+using namespace press;
+int main() {
+    core::LinkScenario sc = core::make_link_scenario(101, false);
+    auto& arr = sc.system.medium().array(0);
+    auto space = arr.config_space();
+    std::vector<double> mins, means;
+    for (std::uint64_t c = 0; c < space.size(); ++c) {
+        sc.system.apply(0, space.at(c));
+        auto snr = sc.system.true_snr_db(0);
+        mins.push_back(util::min_value(snr));
+        means.push_back(util::mean(snr));
+    }
+    std::printf("true min SNR across configs: min %.1f med %.1f max %.1f\n",
+        util::min_value(mins), util::median(mins), util::max_value(mins));
+    std::printf("true mean SNR across configs: min %.1f max %.1f\n", util::min_value(means), util::max_value(means));
+    // element path strength vs env paths
+    sc.system.apply(0, space.at(0));
+    auto paths = sc.system.medium().resolve_paths(sc.system.link(0));
+    double env2 = 0, elem2 = 0, envmax = 0;
+    for (auto& p : paths) {
+        if (p.kind == em::PathKind::kPressElement) { elem2 += std::norm(p.gain); std::printf("elem amp %.2e\n", std::abs(p.gain)); }
+        else { env2 += std::norm(p.gain); envmax = std::max(envmax, std::abs(p.gain)); }
+    }
+    std::printf("env power %.3e (max amp %.3e), elem power %.3e\n", env2, envmax, elem2);
+    return 0;
+}

@@ -1,0 +1,29 @@
+#include <cstdio>
+#include "core/experiments.hpp"
+#include "util/stats.hpp"
+using namespace press;
+int main() {
+    for (std::uint64_t seed = 300; seed < 315; ++seed) {
+        core::LinkScenario sc = core::make_fig7_link_scenario(seed);
+        auto& arr = sc.system.medium().array(sc.array_id);
+        auto space = arr.config_space();
+        const std::size_t n = sc.system.medium().ofdm().num_used(), half = n/2;
+        double bp = 0, bn = 0;
+        for (std::uint64_t c = 0; c < space.size(); ++c) {
+            sc.system.apply(sc.array_id, space.at(c));
+            auto snr = sc.system.true_snr_db(0);
+            double lo = 0, hi = 0;
+            for (size_t k = 0; k < half; ++k) lo += snr[k];
+            for (size_t k = half; k < n; ++k) hi += snr[k];
+            double sel = lo/half - hi/(n-half);
+            bp = std::max(bp, sel); bn = std::min(bn, sel);
+        }
+        // element path amps
+        sc.system.apply(sc.array_id, space.at(0));
+        auto paths = sc.system.medium().resolve_paths(sc.system.link(0));
+        double emax = 0, envmax = 0;
+        for (auto& p : paths) (p.kind == em::PathKind::kPressElement ? emax : envmax) = std::max(p.kind == em::PathKind::kPressElement ? emax : envmax, std::abs(p.gain));
+        std::printf("seed %llu: sel+ %.2f sel- %.2f elemmax %.1e envmax %.1e\n", (unsigned long long)seed, bp, bn, emax, envmax);
+    }
+    return 0;
+}
