@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_agility.dir/ablation_agility.cpp.o"
+  "CMakeFiles/ablation_agility.dir/ablation_agility.cpp.o.d"
+  "ablation_agility"
+  "ablation_agility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_agility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_array_active.dir/ablation_array_active.cpp.o"
+  "CMakeFiles/ablation_array_active.dir/ablation_array_active.cpp.o.d"
+  "ablation_array_active"
+  "ablation_array_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_array_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

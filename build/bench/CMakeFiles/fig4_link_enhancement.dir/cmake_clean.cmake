@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_link_enhancement.dir/fig4_link_enhancement.cpp.o"
+  "CMakeFiles/fig4_link_enhancement.dir/fig4_link_enhancement.cpp.o.d"
+  "fig4_link_enhancement"
+  "fig4_link_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_link_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_null_movement.dir/fig5_null_movement.cpp.o"
+  "CMakeFiles/fig5_null_movement.dir/fig5_null_movement.cpp.o.d"
+  "fig5_null_movement"
+  "fig5_null_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_null_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_min_snr.dir/fig6_min_snr.cpp.o"
+  "CMakeFiles/fig6_min_snr.dir/fig6_min_snr.cpp.o.d"
+  "fig6_min_snr"
+  "fig6_min_snr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_min_snr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

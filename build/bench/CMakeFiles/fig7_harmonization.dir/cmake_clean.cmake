@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_harmonization.dir/fig7_harmonization.cpp.o"
+  "CMakeFiles/fig7_harmonization.dir/fig7_harmonization.cpp.o.d"
+  "fig7_harmonization"
+  "fig7_harmonization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_harmonization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

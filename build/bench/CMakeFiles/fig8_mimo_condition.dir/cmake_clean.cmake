@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mimo_condition.dir/fig8_mimo_condition.cpp.o"
+  "CMakeFiles/fig8_mimo_condition.dir/fig8_mimo_condition.cpp.o.d"
+  "fig8_mimo_condition"
+  "fig8_mimo_condition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mimo_condition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

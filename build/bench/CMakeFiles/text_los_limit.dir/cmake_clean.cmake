@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_los_limit.dir/text_los_limit.cpp.o"
+  "CMakeFiles/text_los_limit.dir/text_los_limit.cpp.o.d"
+  "text_los_limit"
+  "text_los_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_los_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

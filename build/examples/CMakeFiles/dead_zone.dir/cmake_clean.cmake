@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_zone.dir/dead_zone.cpp.o"
+  "CMakeFiles/dead_zone.dir/dead_zone.cpp.o.d"
+  "dead_zone"
+  "dead_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dead_zone.
+# This may be replaced when dependencies are built.

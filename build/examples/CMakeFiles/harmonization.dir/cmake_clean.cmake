@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harmonization.dir/harmonization.cpp.o"
+  "CMakeFiles/harmonization.dir/harmonization.cpp.o.d"
+  "harmonization"
+  "harmonization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harmonization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

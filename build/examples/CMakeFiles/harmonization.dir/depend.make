@@ -1,0 +1,2 @@
+# Empty dependencies file for harmonization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimo_conditioning.dir/mimo_conditioning.cpp.o"
+  "CMakeFiles/mimo_conditioning.dir/mimo_conditioning.cpp.o.d"
+  "mimo_conditioning"
+  "mimo_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimo_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/controller.cpp" "src/control/CMakeFiles/press_control.dir/controller.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/controller.cpp.o.d"
+  "/root/repo/src/control/message.cpp" "src/control/CMakeFiles/press_control.dir/message.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/message.cpp.o.d"
+  "/root/repo/src/control/objective.cpp" "src/control/CMakeFiles/press_control.dir/objective.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/objective.cpp.o.d"
+  "/root/repo/src/control/plane.cpp" "src/control/CMakeFiles/press_control.dir/plane.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/plane.cpp.o.d"
+  "/root/repo/src/control/scheduler.cpp" "src/control/CMakeFiles/press_control.dir/scheduler.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/scheduler.cpp.o.d"
+  "/root/repo/src/control/search.cpp" "src/control/CMakeFiles/press_control.dir/search.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/search.cpp.o.d"
+  "/root/repo/src/control/transport.cpp" "src/control/CMakeFiles/press_control.dir/transport.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/transport.cpp.o.d"
+  "/root/repo/src/control/wire.cpp" "src/control/CMakeFiles/press_control.dir/wire.cpp.o" "gcc" "src/control/CMakeFiles/press_control.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/press_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/press/CMakeFiles/press_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/press_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_control.dir/controller.cpp.o"
+  "CMakeFiles/press_control.dir/controller.cpp.o.d"
+  "CMakeFiles/press_control.dir/message.cpp.o"
+  "CMakeFiles/press_control.dir/message.cpp.o.d"
+  "CMakeFiles/press_control.dir/objective.cpp.o"
+  "CMakeFiles/press_control.dir/objective.cpp.o.d"
+  "CMakeFiles/press_control.dir/plane.cpp.o"
+  "CMakeFiles/press_control.dir/plane.cpp.o.d"
+  "CMakeFiles/press_control.dir/scheduler.cpp.o"
+  "CMakeFiles/press_control.dir/scheduler.cpp.o.d"
+  "CMakeFiles/press_control.dir/search.cpp.o"
+  "CMakeFiles/press_control.dir/search.cpp.o.d"
+  "CMakeFiles/press_control.dir/transport.cpp.o"
+  "CMakeFiles/press_control.dir/transport.cpp.o.d"
+  "CMakeFiles/press_control.dir/wire.cpp.o"
+  "CMakeFiles/press_control.dir/wire.cpp.o.d"
+  "libpress_control.a"
+  "libpress_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_core.dir/experiments.cpp.o"
+  "CMakeFiles/press_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/press_core.dir/report.cpp.o"
+  "CMakeFiles/press_core.dir/report.cpp.o.d"
+  "CMakeFiles/press_core.dir/scenarios.cpp.o"
+  "CMakeFiles/press_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/press_core.dir/system.cpp.o"
+  "CMakeFiles/press_core.dir/system.cpp.o.d"
+  "libpress_core.a"
+  "libpress_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

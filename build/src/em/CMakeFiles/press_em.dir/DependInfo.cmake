@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/antenna.cpp" "src/em/CMakeFiles/press_em.dir/antenna.cpp.o" "gcc" "src/em/CMakeFiles/press_em.dir/antenna.cpp.o.d"
+  "/root/repo/src/em/channel.cpp" "src/em/CMakeFiles/press_em.dir/channel.cpp.o" "gcc" "src/em/CMakeFiles/press_em.dir/channel.cpp.o.d"
+  "/root/repo/src/em/environment.cpp" "src/em/CMakeFiles/press_em.dir/environment.cpp.o" "gcc" "src/em/CMakeFiles/press_em.dir/environment.cpp.o.d"
+  "/root/repo/src/em/geometry.cpp" "src/em/CMakeFiles/press_em.dir/geometry.cpp.o" "gcc" "src/em/CMakeFiles/press_em.dir/geometry.cpp.o.d"
+  "/root/repo/src/em/room.cpp" "src/em/CMakeFiles/press_em.dir/room.cpp.o" "gcc" "src/em/CMakeFiles/press_em.dir/room.cpp.o.d"
+  "/root/repo/src/em/statistical.cpp" "src/em/CMakeFiles/press_em.dir/statistical.cpp.o" "gcc" "src/em/CMakeFiles/press_em.dir/statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_em.dir/antenna.cpp.o"
+  "CMakeFiles/press_em.dir/antenna.cpp.o.d"
+  "CMakeFiles/press_em.dir/channel.cpp.o"
+  "CMakeFiles/press_em.dir/channel.cpp.o.d"
+  "CMakeFiles/press_em.dir/environment.cpp.o"
+  "CMakeFiles/press_em.dir/environment.cpp.o.d"
+  "CMakeFiles/press_em.dir/geometry.cpp.o"
+  "CMakeFiles/press_em.dir/geometry.cpp.o.d"
+  "CMakeFiles/press_em.dir/room.cpp.o"
+  "CMakeFiles/press_em.dir/room.cpp.o.d"
+  "CMakeFiles/press_em.dir/statistical.cpp.o"
+  "CMakeFiles/press_em.dir/statistical.cpp.o.d"
+  "libpress_em.a"
+  "libpress_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/chanest.cpp" "src/phy/CMakeFiles/press_phy.dir/chanest.cpp.o" "gcc" "src/phy/CMakeFiles/press_phy.dir/chanest.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/phy/CMakeFiles/press_phy.dir/frame.cpp.o" "gcc" "src/phy/CMakeFiles/press_phy.dir/frame.cpp.o.d"
+  "/root/repo/src/phy/mimo.cpp" "src/phy/CMakeFiles/press_phy.dir/mimo.cpp.o" "gcc" "src/phy/CMakeFiles/press_phy.dir/mimo.cpp.o.d"
+  "/root/repo/src/phy/modulation.cpp" "src/phy/CMakeFiles/press_phy.dir/modulation.cpp.o" "gcc" "src/phy/CMakeFiles/press_phy.dir/modulation.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/press_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/press_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/press_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/press_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/rate.cpp" "src/phy/CMakeFiles/press_phy.dir/rate.cpp.o" "gcc" "src/phy/CMakeFiles/press_phy.dir/rate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

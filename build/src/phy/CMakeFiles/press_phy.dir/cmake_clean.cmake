@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_phy.dir/chanest.cpp.o"
+  "CMakeFiles/press_phy.dir/chanest.cpp.o.d"
+  "CMakeFiles/press_phy.dir/frame.cpp.o"
+  "CMakeFiles/press_phy.dir/frame.cpp.o.d"
+  "CMakeFiles/press_phy.dir/mimo.cpp.o"
+  "CMakeFiles/press_phy.dir/mimo.cpp.o.d"
+  "CMakeFiles/press_phy.dir/modulation.cpp.o"
+  "CMakeFiles/press_phy.dir/modulation.cpp.o.d"
+  "CMakeFiles/press_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/press_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/press_phy.dir/preamble.cpp.o"
+  "CMakeFiles/press_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/press_phy.dir/rate.cpp.o"
+  "CMakeFiles/press_phy.dir/rate.cpp.o.d"
+  "libpress_phy.a"
+  "libpress_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/press/array.cpp" "src/press/CMakeFiles/press_surface.dir/array.cpp.o" "gcc" "src/press/CMakeFiles/press_surface.dir/array.cpp.o.d"
+  "/root/repo/src/press/config.cpp" "src/press/CMakeFiles/press_surface.dir/config.cpp.o" "gcc" "src/press/CMakeFiles/press_surface.dir/config.cpp.o.d"
+  "/root/repo/src/press/element.cpp" "src/press/CMakeFiles/press_surface.dir/element.cpp.o" "gcc" "src/press/CMakeFiles/press_surface.dir/element.cpp.o.d"
+  "/root/repo/src/press/load.cpp" "src/press/CMakeFiles/press_surface.dir/load.cpp.o" "gcc" "src/press/CMakeFiles/press_surface.dir/load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/em/CMakeFiles/press_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

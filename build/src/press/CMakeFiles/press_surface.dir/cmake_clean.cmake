@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_surface.dir/array.cpp.o"
+  "CMakeFiles/press_surface.dir/array.cpp.o.d"
+  "CMakeFiles/press_surface.dir/config.cpp.o"
+  "CMakeFiles/press_surface.dir/config.cpp.o.d"
+  "CMakeFiles/press_surface.dir/element.cpp.o"
+  "CMakeFiles/press_surface.dir/element.cpp.o.d"
+  "CMakeFiles/press_surface.dir/load.cpp.o"
+  "CMakeFiles/press_surface.dir/load.cpp.o.d"
+  "libpress_surface.a"
+  "libpress_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdr/medium.cpp" "src/sdr/CMakeFiles/press_sdr.dir/medium.cpp.o" "gcc" "src/sdr/CMakeFiles/press_sdr.dir/medium.cpp.o.d"
+  "/root/repo/src/sdr/profile.cpp" "src/sdr/CMakeFiles/press_sdr.dir/profile.cpp.o" "gcc" "src/sdr/CMakeFiles/press_sdr.dir/profile.cpp.o.d"
+  "/root/repo/src/sdr/timedomain.cpp" "src/sdr/CMakeFiles/press_sdr.dir/timedomain.cpp.o" "gcc" "src/sdr/CMakeFiles/press_sdr.dir/timedomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/press_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/press/CMakeFiles/press_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/press_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_sdr.dir/medium.cpp.o"
+  "CMakeFiles/press_sdr.dir/medium.cpp.o.d"
+  "CMakeFiles/press_sdr.dir/profile.cpp.o"
+  "CMakeFiles/press_sdr.dir/profile.cpp.o.d"
+  "CMakeFiles/press_sdr.dir/timedomain.cpp.o"
+  "CMakeFiles/press_sdr.dir/timedomain.cpp.o.d"
+  "libpress_sdr.a"
+  "libpress_sdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_sdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_util.dir/cvec.cpp.o"
+  "CMakeFiles/press_util.dir/cvec.cpp.o.d"
+  "CMakeFiles/press_util.dir/fft.cpp.o"
+  "CMakeFiles/press_util.dir/fft.cpp.o.d"
+  "CMakeFiles/press_util.dir/matrix.cpp.o"
+  "CMakeFiles/press_util.dir/matrix.cpp.o.d"
+  "CMakeFiles/press_util.dir/rng.cpp.o"
+  "CMakeFiles/press_util.dir/rng.cpp.o.d"
+  "CMakeFiles/press_util.dir/stats.cpp.o"
+  "CMakeFiles/press_util.dir/stats.cpp.o.d"
+  "libpress_util.a"
+  "libpress_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

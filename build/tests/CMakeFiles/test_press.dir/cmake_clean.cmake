@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_press.dir/test_press.cpp.o"
+  "CMakeFiles/test_press.dir/test_press.cpp.o.d"
+  "test_press"
+  "test_press.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_press.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_em "/root/repo/build/tests/test_em")
+set_tests_properties(test_em PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_press "/root/repo/build/tests/test_press")
+set_tests_properties(test_press PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_phy "/root/repo/build/tests/test_phy")
+set_tests_properties(test_phy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sdr "/root/repo/build/tests/test_sdr")
+set_tests_properties(test_sdr PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_control "/root/repo/build/tests/test_control")
+set_tests_properties(test_control PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_transport "/root/repo/build/tests/test_transport")
+set_tests_properties(test_transport PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_scheduler "/root/repo/build/tests/test_scheduler")
+set_tests_properties(test_scheduler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_properties "/root/repo/build/tests/test_properties")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;press_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;press_test;/root/repo/tests/CMakeLists.txt;0;")

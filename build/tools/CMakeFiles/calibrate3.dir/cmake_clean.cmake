@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate3.dir/calibrate3.cpp.o"
+  "CMakeFiles/calibrate3.dir/calibrate3.cpp.o.d"
+  "calibrate3"
+  "calibrate3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pickplacement.dir/pickplacement.cpp.o"
+  "CMakeFiles/pickplacement.dir/pickplacement.cpp.o.d"
+  "pickplacement"
+  "pickplacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pickplacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/probe.cpp" "tools/CMakeFiles/probe.dir/probe.cpp.o" "gcc" "tools/CMakeFiles/probe.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/press_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdr/CMakeFiles/press_sdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/press_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/press_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/press/CMakeFiles/press_surface.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/press_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/press_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe2.dir/probe2.cpp.o"
+  "CMakeFiles/probe2.dir/probe2.cpp.o.d"
+  "probe2"
+  "probe2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
