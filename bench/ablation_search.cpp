@@ -75,7 +75,7 @@ void run_ablation() {
     const auto count_trials = [&](const control::ControlPlaneModel& model,
                                   double budget_s) {
         control::Controller controller(
-            model, [](const surface::Config&) {},
+            model, [](const surface::Config&) { return true; },
             []() { return control::Observation{{{0.0}}, {}}; }, 1,
             scenario.system.medium().ofdm().num_used());
         return controller.trials_within(space, budget_s);

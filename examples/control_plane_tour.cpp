@@ -49,7 +49,7 @@ int main() {
     const auto trials = [&](const control::ControlPlaneModel& m,
                             double budget) {
         control::Controller c(
-            m, [](const surface::Config&) {},
+            m, [](const surface::Config&) { return true; },
             []() { return control::Observation{{{0.0}}, {}}; }, 1, 52);
         return c.trials_within(space, budget);
     };

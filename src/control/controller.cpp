@@ -38,28 +38,72 @@ OptimizationOutcome Controller::optimize(const surface::ConfigSpace& space,
                                          const Searcher& searcher,
                                          double time_budget_s,
                                          util::Rng& rng) {
-    const double cost = trial_cost_s(space);
+    SetConfig probe;
+    probe.array_id = 0;
+    probe.config.assign(space.num_elements(), 0);
+    const double apply_cost = model_.apply_cost_s(probe);
+    const double measure_cost =
+        model_.measure_cost_s(num_links_, num_subcarriers_);
     const std::size_t max_evals =
         std::max<std::size_t>(1, trials_within(space, time_budget_s));
 
     OptimizationOutcome outcome;
-    outcome.trial_cost_s = cost;
+    outcome.trial_cost_s = apply_cost + measure_cost;
 
-    const EvalFn eval = [this, &objective, cost](const surface::Config& c) {
-        apply_(c);
+    const double start_s = clock_.now_s();
+    const double deadline_s = start_s + time_budget_s;
+
+    // Last configuration whose apply was acknowledged; empty until one
+    // lands. The fallback state after a failed delivery.
+    surface::Config last_good;
+
+    const EvalFn eval = [&](const surface::Config& c) {
+        const bool delivered = apply_(c);
+        // A self-priced apply (ReliableSession) has already advanced the
+        // shared clock by its attempts and backoff.
+        if (!apply_self_priced_) clock_.advance(apply_cost);
+        if (!delivered) {
+            ++outcome.failed_applies;
+            // The array state is unknown; re-assert the last configuration
+            // known to have landed so subsequent trials measure from a
+            // defined state (best effort — the channel may still be down).
+            if (!last_good.empty()) {
+                ++outcome.reverts;
+                (void)apply_(last_good);
+                if (!apply_self_priced_) clock_.advance(apply_cost);
+            }
+            return kFailedTrialScore;
+        }
+        last_good = c;
         const Observation obs = measure_();
-        clock_.advance(cost);
+        clock_.advance(measure_cost);
         return objective.score(obs);
     };
 
-    outcome.search = searcher.search(space, eval, max_evals, rng);
-    outcome.elapsed_s = static_cast<double>(outcome.search.evaluations) * cost;
+    const StopFn stop = [this, deadline_s]() {
+        return clock_.now_s() >= deadline_s;
+    };
+
+    outcome.search = searcher.search(space, eval, max_evals, rng, stop);
+    outcome.elapsed_s = clock_.now_s() - start_s;
     // The space may have fewer points than the budget allows (e.g. an
     // exhaustive sweep of 64 configurations under a generous budget).
-    outcome.budget_limited = outcome.search.evaluations >= max_evals;
+    outcome.budget_limited = outcome.search.evaluations >= max_evals ||
+                             clock_.now_s() >= deadline_s;
 
-    // Leave the array in its best state.
-    if (!outcome.search.best_config.empty()) apply_(outcome.search.best_config);
+    // Leave the array in its best state — unless no trial was ever
+    // delivered, in which case there is nothing meaningful to re-apply.
+    if (!outcome.search.best_config.empty() &&
+        outcome.search.best_score > kFailedTrialScore) {
+        if (!apply_(outcome.search.best_config)) {
+            outcome.final_apply_ok = false;
+            ++outcome.failed_applies;
+            if (!last_good.empty()) {
+                ++outcome.reverts;
+                (void)apply_(last_good);
+            }
+        }
+    }
     return outcome;
 }
 

@@ -8,6 +8,13 @@
 // priced with the ControlPlaneModel, so a search over a 5-second prototype
 // control plane really does afford ~64 trials per 5 seconds, while the
 // "fast" model fits tens of trials inside a 80 ms coherence window.
+//
+// The apply callback reports delivery: a `false` return means the control
+// channel gave up (ReliableSession exhausted its retries) and the array
+// state is unknown. The controller then scores the trial as failed,
+// reverts to the last configuration known to have landed, and surfaces
+// the failure count in the OptimizationOutcome instead of silently
+// optimizing against hardware that is not doing what it was told.
 #pragma once
 
 #include <functional>
@@ -20,22 +27,35 @@
 
 namespace press::control {
 
-/// Pushes a configuration to the PRESS array(s).
-using ApplyFn = std::function<void(const surface::Config&)>;
+/// Pushes a configuration to the PRESS array(s). Returns true when the
+/// configuration is believed applied (acked); false when delivery failed.
+using ApplyFn = std::function<bool(const surface::Config&)>;
 
 /// Measures the observed links under the currently applied configuration.
 using MeasureFn = std::function<Observation()>;
+
+/// Score reported for a trial whose configuration never reached the array
+/// (large and negative so no searcher chases it).
+inline constexpr double kFailedTrialScore = -1e9;
 
 /// Result of a budgeted optimization run.
 struct OptimizationOutcome {
     SearchResult search;
     /// Simulated wall-clock spent (control messages + switching +
-    /// measurements).
+    /// measurements + any transport retries/backoff).
     double elapsed_s = 0.0;
-    /// Cost of one configuration trial under the control-plane model.
+    /// Nominal cost of one configuration trial under the control-plane
+    /// model (loss-free; retries make real trials dearer).
     double trial_cost_s = 0.0;
     /// True when the time budget (not the search space) ended the run.
     bool budget_limited = false;
+    /// Trials whose apply was reported failed (ReliableSession gave up).
+    std::size_t failed_applies = 0;
+    /// Reverts to the last-known-good configuration after failed applies.
+    std::size_t reverts = 0;
+    /// False when even the final apply of the best configuration failed
+    /// and the controller fell back to the last-known-good state.
+    bool final_apply_ok = true;
 };
 
 /// Orchestrates searches against live (simulated) measurements.
@@ -43,6 +63,14 @@ class Controller {
 public:
     Controller(ControlPlaneModel model, ApplyFn apply, MeasureFn measure,
                std::size_t num_links, std::size_t num_subcarriers);
+
+    /// Declares that the apply callback prices its own control-channel
+    /// time on this controller's clock (a ReliableSession sharing
+    /// mutable_clock()). The controller then charges only measurement
+    /// time per trial, so transport retries are not double-counted.
+    void set_apply_self_priced(bool self_priced) {
+        apply_self_priced_ = self_priced;
+    }
 
     /// Runs `searcher` toward `objective` for at most `time_budget_s` of
     /// simulated wall-clock. The best configuration found is re-applied
@@ -52,11 +80,15 @@ public:
                                  const Searcher& searcher,
                                  double time_budget_s, util::Rng& rng);
 
-    /// Number of configuration trials affordable within `time_budget_s`.
+    /// Number of configuration trials affordable within `time_budget_s`
+    /// on a loss-free channel (retries can only shrink this).
     std::size_t trials_within(const surface::ConfigSpace& space,
                               double time_budget_s) const;
 
     const SimClock& clock() const { return clock_; }
+
+    /// Shared clock for transport sessions that price their own attempts.
+    SimClock& mutable_clock() { return clock_; }
 
 private:
     double trial_cost_s(const surface::ConfigSpace& space) const;
@@ -66,6 +98,7 @@ private:
     MeasureFn measure_;
     std::size_t num_links_;
     std::size_t num_subcarriers_;
+    bool apply_self_priced_ = false;
     SimClock clock_;
 };
 

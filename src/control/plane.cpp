@@ -29,25 +29,35 @@ double ControlPlaneModel::transfer_time_s(std::size_t message_bytes) const {
            static_cast<double>(message_bytes) * 8.0 / bitrate_bps;
 }
 
-double ControlPlaneModel::config_trial_time_s(
-    const SetConfig& set_config, std::size_t num_links,
-    std::size_t num_subcarriers) const {
-    double t = 0.0;
+double ControlPlaneModel::apply_cost_s(const SetConfig& set_config) const {
     // Configuration push and acknowledgment.
-    t += transfer_time_s(encoded_size(Message{set_config}));
+    double t = transfer_time_s(encoded_size(Message{set_config}));
     SetConfigAck ack;
     t += transfer_time_s(encoded_size(Message{ack}));
     t += element_switch_s;
+    return t;
+}
+
+double ControlPlaneModel::measure_cost_s(std::size_t num_links,
+                                         std::size_t num_subcarriers) const {
     // Measurements over every observed link.
     MeasureRequest req;
     MeasureReport rep;
     rep.snr_centi_db.assign(num_subcarriers, 0);
+    double t = 0.0;
     for (std::size_t l = 0; l < num_links; ++l) {
         t += transfer_time_s(encoded_size(Message{req}));
         t += measurement_s;
         t += transfer_time_s(encoded_size(Message{rep}));
     }
     return t;
+}
+
+double ControlPlaneModel::config_trial_time_s(
+    const SetConfig& set_config, std::size_t num_links,
+    std::size_t num_subcarriers) const {
+    return apply_cost_s(set_config) +
+           measure_cost_s(num_links, num_subcarriers);
 }
 
 void SimClock::advance(double seconds) {

@@ -36,9 +36,18 @@ struct ControlPlaneModel {
     /// Time for one message to cross the control channel.
     double transfer_time_s(std::size_t message_bytes) const;
 
-    /// Full cost of trying one configuration on `num_links` links:
-    /// SetConfig + ack, switch settle, then per link a MeasureRequest, the
+    /// Actuation cost alone: SetConfig + ack transfers plus switch settle.
+    /// A ReliableSession prices each delivery attempt with this model, so
+    /// retries on a lossy channel consume real coherence-time budget.
+    double apply_cost_s(const SetConfig& set_config) const;
+
+    /// Measurement cost alone: per observed link a MeasureRequest, the
     /// sounding itself, and the MeasureReport back.
+    double measure_cost_s(std::size_t num_links,
+                          std::size_t num_subcarriers) const;
+
+    /// Full cost of trying one configuration on `num_links` links:
+    /// apply_cost_s + measure_cost_s.
     double config_trial_time_s(const SetConfig& set_config,
                                std::size_t num_links,
                                std::size_t num_subcarriers) const;

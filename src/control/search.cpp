@@ -12,10 +12,12 @@ namespace {
 /// Shared bookkeeping: runs evaluations, tracks the best and trajectory.
 class Tracker {
 public:
-    Tracker(const EvalFn& eval, std::size_t max_evals)
-        : eval_(eval), max_evals_(max_evals) {}
+    Tracker(const EvalFn& eval, std::size_t max_evals, const StopFn& stop)
+        : eval_(eval), max_evals_(max_evals), stop_(stop) {}
 
-    bool exhausted() const { return result_.evaluations >= max_evals_; }
+    bool exhausted() const {
+        return result_.evaluations >= max_evals_ || (stop_ && stop_());
+    }
 
     /// Evaluates `c` (unconditionally; strategies wanting memoization
     /// should avoid repeats themselves). Returns the score.
@@ -36,6 +38,7 @@ public:
 private:
     const EvalFn& eval_;
     std::size_t max_evals_;
+    const StopFn& stop_;
     SearchResult result_;
 };
 
@@ -53,10 +56,11 @@ surface::Config random_config(const surface::ConfigSpace& space,
 SearchResult ExhaustiveSearcher::search(const surface::ConfigSpace& space,
                                         const EvalFn& eval,
                                         std::size_t max_evals,
-                                        util::Rng& rng) const {
+                                        util::Rng& rng,
+                                        const StopFn& stop) const {
     (void)rng;
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
-    Tracker t(eval, max_evals);
+    Tracker t(eval, max_evals, stop);
     const std::uint64_t n = space.size();
     for (std::uint64_t i = 0; i < n && !t.exhausted(); ++i)
         t.evaluate(space.at(i));
@@ -65,10 +69,10 @@ SearchResult ExhaustiveSearcher::search(const surface::ConfigSpace& space,
 
 SearchResult RandomSearcher::search(const surface::ConfigSpace& space,
                                     const EvalFn& eval,
-                                    std::size_t max_evals,
-                                    util::Rng& rng) const {
+                                    std::size_t max_evals, util::Rng& rng,
+                                    const StopFn& stop) const {
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
-    Tracker t(eval, max_evals);
+    Tracker t(eval, max_evals, stop);
     while (!t.exhausted()) t.evaluate(random_config(space, rng));
     return t.take();
 }
@@ -76,9 +80,10 @@ SearchResult RandomSearcher::search(const surface::ConfigSpace& space,
 SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
                                              const EvalFn& eval,
                                              std::size_t max_evals,
-                                             util::Rng& rng) const {
+                                             util::Rng& rng,
+                                             const StopFn& stop) const {
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
-    Tracker t(eval, max_evals);
+    Tracker t(eval, max_evals, stop);
     while (!t.exhausted()) {
         surface::Config current = random_config(space, rng);
         double current_score = t.evaluate(current);
@@ -117,9 +122,10 @@ SimulatedAnnealingSearcher::SimulatedAnnealingSearcher(double initial_temp,
 
 SearchResult SimulatedAnnealingSearcher::search(
     const surface::ConfigSpace& space, const EvalFn& eval,
-    std::size_t max_evals, util::Rng& rng) const {
+    std::size_t max_evals, util::Rng& rng, const StopFn& stop) const {
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
-    Tracker t(eval, max_evals);
+    Tracker t(eval, max_evals, stop);
+    if (t.exhausted()) return t.take();
     surface::Config current = random_config(space, rng);
     double current_score = t.evaluate(current);
     double temp = initial_temp_;
@@ -156,10 +162,10 @@ GeneticSearcher::GeneticSearcher(std::size_t population,
 
 SearchResult GeneticSearcher::search(const surface::ConfigSpace& space,
                                      const EvalFn& eval,
-                                     std::size_t max_evals,
-                                     util::Rng& rng) const {
+                                     std::size_t max_evals, util::Rng& rng,
+                                     const StopFn& stop) const {
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
-    Tracker t(eval, max_evals);
+    Tracker t(eval, max_evals, stop);
 
     struct Individual {
         surface::Config config;

@@ -21,6 +21,12 @@ namespace press::control {
 /// Measures one configuration; larger scores are better.
 using EvalFn = std::function<double(const surface::Config&)>;
 
+/// Optional early-termination predicate checked before every evaluation.
+/// Lets a controller end a search when simulated wall-clock (not just the
+/// evaluation count) runs out — e.g. when control-channel retries have
+/// eaten the coherence-time budget.
+using StopFn = std::function<bool()>;
+
 /// Outcome of a search.
 struct SearchResult {
     surface::Config best_config;
@@ -36,10 +42,12 @@ class Searcher {
 public:
     virtual ~Searcher() = default;
 
-    /// Runs at most `max_evals` evaluations of `eval` over `space`.
+    /// Runs at most `max_evals` evaluations of `eval` over `space`,
+    /// stopping early as soon as `stop` (when provided) returns true.
     virtual SearchResult search(const surface::ConfigSpace& space,
                                 const EvalFn& eval, std::size_t max_evals,
-                                util::Rng& rng) const = 0;
+                                util::Rng& rng,
+                                const StopFn& stop = nullptr) const = 0;
 
     virtual std::string name() const = 0;
 };
@@ -49,7 +57,8 @@ public:
 class ExhaustiveSearcher : public Searcher {
 public:
     SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
-                        std::size_t max_evals, util::Rng& rng) const override;
+                        std::size_t max_evals, util::Rng& rng,
+                        const StopFn& stop = nullptr) const override;
     std::string name() const override { return "exhaustive"; }
 };
 
@@ -57,7 +66,8 @@ public:
 class RandomSearcher : public Searcher {
 public:
     SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
-                        std::size_t max_evals, util::Rng& rng) const override;
+                        std::size_t max_evals, util::Rng& rng,
+                        const StopFn& stop = nullptr) const override;
     std::string name() const override { return "random"; }
 };
 
@@ -67,7 +77,8 @@ public:
 class GreedyCoordinateDescent : public Searcher {
 public:
     SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
-                        std::size_t max_evals, util::Rng& rng) const override;
+                        std::size_t max_evals, util::Rng& rng,
+                        const StopFn& stop = nullptr) const override;
     std::string name() const override { return "greedy-coordinate"; }
 };
 
@@ -79,7 +90,8 @@ public:
     explicit SimulatedAnnealingSearcher(double initial_temp = 6.0,
                                         double cooling = 0.97);
     SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
-                        std::size_t max_evals, util::Rng& rng) const override;
+                        std::size_t max_evals, util::Rng& rng,
+                        const StopFn& stop = nullptr) const override;
     std::string name() const override { return "annealing"; }
 
 private:
@@ -94,7 +106,8 @@ public:
     explicit GeneticSearcher(std::size_t population = 16,
                              double mutation_rate = 0.15);
     SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
-                        std::size_t max_evals, util::Rng& rng) const override;
+                        std::size_t max_evals, util::Rng& rng,
+                        const StopFn& stop = nullptr) const override;
     std::string name() const override { return "genetic"; }
 
 private:

@@ -1,5 +1,7 @@
 #include "control/transport.hpp"
 
+#include <algorithm>
+
 #include "util/contracts.hpp"
 
 namespace press::control {
@@ -51,10 +53,15 @@ std::optional<std::vector<std::uint8_t>> ArrayAgent::handle(
 
     SetConfigAck ack;
     ack.array_id = array_id_;
-    if (last_seq_ && *last_seq_ == decoded.seq) {
-        // Retransmission of an already-applied configuration: ack again
-        // without re-applying (the switch has settled; don't disturb it).
-        ++duplicates_;
+    if (highest_seq_ && decoded.seq <= *highest_seq_) {
+        // Retransmission of the already-applied configuration, or a
+        // delayed older frame arriving out of order: ack (so the sender
+        // stops retrying) without re-applying — an old frame must never
+        // drag the array back to a stale configuration.
+        if (decoded.seq == *highest_seq_)
+            ++duplicates_;
+        else
+            ++stale_;
         ack.status = 0;
         return encode(Message{ack}, decoded.seq);
     }
@@ -64,10 +71,17 @@ std::optional<std::vector<std::uint8_t>> ArrayAgent::handle(
         return encode(Message{ack}, decoded.seq);
     }
     array_.apply(set->config);
-    last_seq_ = decoded.seq;
+    highest_seq_ = decoded.seq;
     ++applied_;
     ack.status = 0;
     return encode(Message{ack}, decoded.seq);
+}
+
+double BackoffPolicy::nominal_wait_s(int retry) const {
+    PRESS_EXPECTS(retry >= 1, "retries are 1-based");
+    double wait = base_s;
+    for (int i = 1; i < retry; ++i) wait *= factor;
+    return std::min(wait, max_s);
 }
 
 ReliableSession::ReliableSession(ArrayAgent& agent, LossyChannel downlink,
@@ -75,8 +89,32 @@ ReliableSession::ReliableSession(ArrayAgent& agent, LossyChannel downlink,
     : agent_(agent),
       downlink_(std::move(downlink)),
       uplink_(std::move(uplink)),
-      max_retries_(max_retries) {
+      max_retries_(max_retries),
+      backoff_rng_(0x5EC0FFu) {
     PRESS_EXPECTS(max_retries >= 0, "retry count must be non-negative");
+}
+
+void ReliableSession::set_timing(const ControlPlaneModel* model,
+                                 SimClock* clock) {
+    PRESS_EXPECTS((model == nullptr) == (clock == nullptr),
+                  "timing needs both a plane model and a clock");
+    model_ = model;
+    clock_ = clock;
+}
+
+void ReliableSession::set_backoff(const BackoffPolicy& policy,
+                                  util::Rng rng) {
+    PRESS_EXPECTS(policy.base_s >= 0.0 && policy.max_s >= policy.base_s,
+                  "backoff bounds must be ordered and non-negative");
+    PRESS_EXPECTS(policy.factor >= 1.0, "backoff must not shrink");
+    PRESS_EXPECTS(policy.jitter_frac >= 0.0 && policy.jitter_frac < 1.0,
+                  "jitter fraction must be in [0, 1)");
+    backoff_ = policy;
+    backoff_rng_ = rng;
+}
+
+void ReliableSession::advance_clock(double seconds) {
+    if (clock_ != nullptr) clock_->advance(seconds);
 }
 
 bool ReliableSession::apply(std::uint16_t array_id,
@@ -88,17 +126,38 @@ bool ReliableSession::apply(std::uint16_t array_id,
     const std::vector<std::uint8_t> frame = encode(Message{msg}, seq);
 
     for (int attempt = 0; attempt <= max_retries_; ++attempt) {
+        if (attempt > 0) {
+            // Exponential backoff with jitter before each retransmission;
+            // the wait is real coherence-time budget when a clock is
+            // attached.
+            const double jitter =
+                backoff_.jitter_frac > 0.0
+                    ? backoff_rng_.uniform(1.0 - backoff_.jitter_frac,
+                                           1.0 + backoff_.jitter_frac)
+                    : 1.0;
+            const double wait = backoff_.nominal_wait_s(attempt) * jitter;
+            stats_.backoff_s += wait;
+            advance_clock(wait);
+        }
         ++stats_.attempts;
+        // The frame occupies the downlink whether or not it arrives.
+        if (model_ != nullptr)
+            advance_clock(model_->transfer_time_s(frame.size()));
         const auto carried = downlink_.transmit(frame);
         if (!carried) continue;  // frame lost on the way down
         const auto response = agent_.handle(*carried);
         if (!response) continue;  // agent dropped it (corruption)
+        // The ack occupies the uplink whether or not it survives.
+        if (model_ != nullptr)
+            advance_clock(model_->transfer_time_s(response->size()));
         const auto returned = uplink_.transmit(*response);
         if (!returned) continue;  // ack lost on the way up
         try {
             const Decoded decoded = decode(*returned);
             const auto* ack = std::get_if<SetConfigAck>(&decoded.message);
             if (ack != nullptr && decoded.seq == seq && ack->status == 0) {
+                if (model_ != nullptr)
+                    advance_clock(model_->element_switch_s);
                 ++stats_.acked;
                 return true;
             }

@@ -6,9 +6,12 @@
 // noisy, so the protocol must survive corruption and loss. This module
 // simulates exactly that: LossyChannel flips bits and drops frames with
 // configured probabilities; ArrayAgent is the firmware an element cluster
-// runs (decode -> validate -> apply -> ack, with duplicate suppression);
-// ReliableSession is the controller side (sequence numbers, retransmission
-// with a retry limit, statistics).
+// runs (decode -> validate -> apply -> ack, with duplicate and stale-frame
+// suppression); ReliableSession is the controller side (sequence numbers,
+// retransmission with exponential backoff and jitter, a retry limit,
+// statistics). A session can price every attempt through a
+// ControlPlaneModel onto a shared SimClock, so retries on a bad channel
+// consume real coherence-time budget instead of being free.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +19,7 @@
 #include <vector>
 
 #include "control/message.hpp"
+#include "control/plane.hpp"
 #include "press/array.hpp"
 #include "util/rng.hpp"
 
@@ -48,8 +52,8 @@ private:
 
 /// The array-side protocol endpoint ("element cluster firmware"): decodes
 /// frames, rejects corruption via the CRC, applies valid SetConfig
-/// messages to its array, suppresses duplicates by sequence number, and
-/// produces acknowledgment frames.
+/// messages to its array, suppresses duplicates and reordered stale
+/// frames by sequence number, and produces acknowledgment frames.
 class ArrayAgent {
 public:
     /// The agent controls `array` (not owned; must outlive the agent).
@@ -64,15 +68,35 @@ public:
     /// Statistics for tests and monitoring.
     std::size_t applied() const { return applied_; }
     std::size_t duplicates() const { return duplicates_; }
+    std::size_t stale() const { return stale_; }
     std::size_t rejected() const { return rejected_; }
 
 private:
     surface::Array& array_;
     std::uint16_t array_id_;
-    std::optional<std::uint32_t> last_seq_;
+    /// Highest sequence number ever applied. A frame at or below it is a
+    /// retransmission (== highest) or a delayed, reordered older frame
+    /// (< highest); neither may re-touch the switches — remembering only
+    /// the single last value would let an old frame re-apply a stale
+    /// configuration.
+    std::optional<std::uint32_t> highest_seq_;
     std::size_t applied_ = 0;
     std::size_t duplicates_ = 0;
+    std::size_t stale_ = 0;
     std::size_t rejected_ = 0;
+};
+
+/// Retransmission backoff: exponential with full-range jitter. The first
+/// retry waits `base_s` (+- `jitter_frac`), each further retry `factor`
+/// times longer, capped at `max_s`.
+struct BackoffPolicy {
+    double base_s = 2e-3;
+    double factor = 2.0;
+    double max_s = 50e-3;
+    double jitter_frac = 0.25;  ///< uniform in [1-j, 1+j] per wait
+
+    /// The deterministic (jitter-free) wait before retry `retry` (1-based).
+    double nominal_wait_s(int retry) const;
 };
 
 /// Controller-side reliable delivery of configurations.
@@ -84,6 +108,7 @@ public:
         std::size_t acked = 0;          ///< configs confirmed
         std::size_t gave_up = 0;        ///< configs abandoned after retries
         std::size_t bad_responses = 0;  ///< undecodable acks
+        double backoff_s = 0.0;         ///< total time slept between retries
     };
 
     /// `downlink`/`uplink` model the two directions of the control
@@ -91,17 +116,34 @@ public:
     ReliableSession(ArrayAgent& agent, LossyChannel downlink,
                     LossyChannel uplink, int max_retries = 4);
 
+    /// Prices every delivery attempt (frame + ack transfer, switch settle
+    /// on success, backoff waits) through `model` onto `clock`. Both must
+    /// outlive the session. Pass the controller's mutable_clock() so a
+    /// lossy channel visibly shrinks the trials a coherence window
+    /// affords.
+    void set_timing(const ControlPlaneModel* model, SimClock* clock);
+
+    /// Overrides the retransmission backoff policy; `rng` drives jitter.
+    void set_backoff(const BackoffPolicy& policy, util::Rng rng);
+
     /// Reliably applies `config` to array `array_id`: encode, send,
-    /// await ack, retransmit on loss/corruption. Returns true when acked.
+    /// await ack, retransmit with backoff on loss/corruption. Returns
+    /// true when acked.
     bool apply(std::uint16_t array_id, const surface::Config& config);
 
     const Stats& stats() const { return stats_; }
 
 private:
+    void advance_clock(double seconds);
+
     ArrayAgent& agent_;
     LossyChannel downlink_;
     LossyChannel uplink_;
     int max_retries_;
+    BackoffPolicy backoff_;
+    util::Rng backoff_rng_;
+    const ControlPlaneModel* model_ = nullptr;  // not owned
+    SimClock* clock_ = nullptr;                 // not owned
     std::uint32_t next_seq_ = 1;
     Stats stats_;
 };

@@ -49,8 +49,49 @@ control::Observation System::observe(util::Rng& rng) const {
     return obs;
 }
 
+control::Observation System::observe_true() const {
+    PRESS_EXPECTS(!links_.empty(), "no links registered");
+    control::Observation obs;
+    obs.link_snr_db.reserve(links_.size());
+    for (std::size_t i = 0; i < links_.size(); ++i)
+        obs.link_snr_db.push_back(true_snr_db(i));
+    return obs;
+}
+
+void System::inject_faults(std::size_t array_id, fault::FaultModel model) {
+    surface::Array& array = medium_.array(array_id);
+    model.install(array);
+    fault_models_.insert_or_assign(array_id, std::move(model));
+}
+
+const fault::FaultModel* System::faults(std::size_t array_id) const {
+    const auto it = fault_models_.find(array_id);
+    return it == fault_models_.end() ? nullptr : &it->second;
+}
+
 void System::apply(std::size_t array_id, const surface::Config& config) {
-    medium_.array(array_id).apply(config);
+    surface::Array& array = medium_.array(array_id);
+    const auto it = fault_models_.find(array_id);
+    if (it != fault_models_.end())
+        it->second.apply(array, config);
+    else
+        array.apply(config);
+}
+
+fault::HealthReport System::probe_health(
+    std::size_t array_id, const control::ControlPlaneModel& plane,
+    util::Rng& rng, const fault::ProbeOptions& options) {
+    PRESS_EXPECTS(!links_.empty(), "register links before probing");
+    const surface::Array& array = medium_.array(array_id);
+    fault::HealthMonitor monitor(
+        [this, array_id](const surface::Config& c) {
+            apply(array_id, c);
+            return true;
+        },
+        [this, &rng]() { return observe(rng); }, links_.size(),
+        medium_.ofdm().num_used());
+    return monitor.probe(array.config_space(), array.current_config(),
+                         plane, options);
 }
 
 control::OptimizationOutcome System::optimize(
@@ -63,11 +104,52 @@ control::OptimizationOutcome System::optimize(
         medium_.array(array_id).config_space();
     control::Controller controller(
         plane,
-        [this, array_id](const surface::Config& c) { apply(array_id, c); },
+        [this, array_id](const surface::Config& c) {
+            apply(array_id, c);
+            return true;
+        },
         [this, &rng]() { return observe(rng); }, links_.size(),
         medium_.ofdm().num_used());
     return controller.optimize(space, objective, searcher, time_budget_s,
                                rng);
+}
+
+control::OptimizationOutcome System::optimize_degraded(
+    std::size_t array_id, const control::Objective& objective,
+    const control::Searcher& searcher,
+    const control::ControlPlaneModel& plane, double time_budget_s,
+    const fault::HealthReport& report, util::Rng& rng) {
+    PRESS_EXPECTS(!links_.empty(), "register links before optimizing");
+    const surface::Array& array = medium_.array(array_id);
+    const surface::ConfigSpace space = array.config_space();
+    PRESS_EXPECTS(report.suspect.size() == space.num_elements(),
+                  "health report does not match this array");
+
+    const std::size_t flagged = report.num_suspect();
+    // Nothing to freeze — or nothing left to search — degrades to the
+    // plain path over the full space.
+    if (flagged == 0 || flagged == space.num_elements())
+        return optimize(array_id, objective, searcher, plane,
+                        time_budget_s, rng);
+
+    const surface::FrozenProjection projection =
+        report.freeze(space, array.current_config());
+    control::Controller controller(
+        plane,
+        [this, array_id, &projection](const surface::Config& reduced) {
+            apply(array_id, projection.lift(reduced));
+            return true;
+        },
+        [this, &rng]() { return observe(rng); }, links_.size(),
+        medium_.ofdm().num_used());
+    control::OptimizationOutcome outcome =
+        controller.optimize(projection.reduced(), objective, searcher,
+                            time_budget_s, rng);
+    // Report the winning configuration in full arity, as callers expect.
+    if (!outcome.search.best_config.empty())
+        outcome.search.best_config =
+            projection.lift(outcome.search.best_config);
+    return outcome;
 }
 
 }  // namespace press::core

@@ -4,14 +4,24 @@
 // set of observed links, and exposes the full loop a deployment runs:
 // measure links, sweep or search configurations through a Controller with
 // a control-plane timing model, and leave the array in the best state.
+//
+// Fault tolerance: inject_faults() attaches a fault::FaultModel to an
+// array, after which every apply (including the controller's trials) is
+// distorted by the faulty hardware while the caller still believes its
+// requested configuration landed. probe_health() runs the per-element
+// detection sweep, and optimize_degraded() searches only the dimensions a
+// HealthReport left unfrozen.
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 #include "control/controller.hpp"
 #include "control/objective.hpp"
 #include "control/search.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "sdr/medium.hpp"
 #include "util/rng.hpp"
 
@@ -50,8 +60,28 @@ public:
     /// Observation across every registered link (what a controller sees).
     control::Observation observe(util::Rng& rng) const;
 
-    /// Applies a configuration to array `array_id`.
+    /// Noise-free observation across every link (ground truth; what a
+    /// degradation bench scores final states with).
+    control::Observation observe_true() const;
+
+    /// Attaches element faults to array `array_id`: permanent damage is
+    /// installed immediately, and every subsequent apply is distorted.
+    void inject_faults(std::size_t array_id, fault::FaultModel model);
+
+    /// The fault model attached to `array_id`, or nullptr.
+    const fault::FaultModel* faults(std::size_t array_id) const;
+
+    /// Applies a configuration to array `array_id` (through the array's
+    /// fault model when one is attached).
     void apply(std::size_t array_id, const surface::Config& config);
+
+    /// Runs the per-element health probe sweep on array `array_id` from
+    /// its current configuration. Probe time is priced with `plane` but
+    /// charged to a maintenance window, not a coherence budget.
+    fault::HealthReport probe_health(std::size_t array_id,
+                                     const control::ControlPlaneModel& plane,
+                                     util::Rng& rng,
+                                     const fault::ProbeOptions& options = {});
 
     /// Runs a budgeted optimization of array `array_id` toward `objective`
     /// using `searcher` under `plane` timing; leaves the best configuration
@@ -62,10 +92,22 @@ public:
         const control::ControlPlaneModel& plane, double time_budget_s,
         util::Rng& rng);
 
+    /// Degradation-aware optimization: elements `report` flagged as
+    /// suspect are frozen at the array's current states and the search
+    /// runs over the healthy dimensions only. The returned best_config is
+    /// lifted back to full arity. Falls back to plain optimize() when the
+    /// report flags nothing (or everything).
+    control::OptimizationOutcome optimize_degraded(
+        std::size_t array_id, const control::Objective& objective,
+        const control::Searcher& searcher,
+        const control::ControlPlaneModel& plane, double time_budget_s,
+        const fault::HealthReport& report, util::Rng& rng);
+
 private:
     sdr::Medium medium_;
     std::vector<sdr::Link> links_;
     std::size_t sounding_repeats_ = 4;
+    std::map<std::size_t, fault::FaultModel> fault_models_;
 };
 
 }  // namespace press::core

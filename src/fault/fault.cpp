@@ -1,0 +1,134 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numeric>
+
+#include "press/load.hpp"
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::fault {
+
+const char* to_string(FaultType type) {
+    switch (type) {
+        case FaultType::kStuckAt:
+            return "stuck-at";
+        case FaultType::kDead:
+            return "dead";
+        case FaultType::kPhaseDrift:
+            return "phase-drift";
+        case FaultType::kFlaky:
+            return "flaky";
+    }
+    return "unknown";
+}
+
+void FaultModel::add(const Fault& fault) {
+    PRESS_EXPECTS(fault.flake_prob >= 0.0 && fault.flake_prob <= 1.0,
+                  "flake probability must be a probability");
+    for (Fault& existing : faults_) {
+        if (existing.element == fault.element) {
+            existing = fault;
+            return;
+        }
+    }
+    faults_.push_back(fault);
+}
+
+FaultModel FaultModel::sample(const surface::ConfigSpace& space,
+                              double fraction, util::Rng& rng) {
+    PRESS_EXPECTS(fraction >= 0.0 && fraction <= 1.0,
+                  "faulty fraction must be in [0, 1]");
+    FaultModel model(rng.fork());
+    const std::size_t n = space.num_elements();
+    const std::size_t count = static_cast<std::size_t>(
+        std::ceil(fraction * static_cast<double>(n)));
+    std::vector<std::size_t> indices(n);
+    std::iota(indices.begin(), indices.end(), 0u);
+    util::shuffle(indices, rng);
+    for (std::size_t k = 0; k < count && k < n; ++k) {
+        Fault f;
+        f.element = indices[k];
+        const double roll = rng.uniform(0.0, 1.0);
+        if (roll < 0.40) {
+            f.type = FaultType::kStuckAt;
+            f.stuck_state = static_cast<int>(
+                rng.uniform_int(0, space.radices()[f.element] - 1));
+        } else if (roll < 0.70) {
+            f.type = FaultType::kDead;
+        } else if (roll < 0.85) {
+            f.type = FaultType::kPhaseDrift;
+            // 10-60 degrees of stub aging, either direction.
+            f.drift_rad = rng.uniform(util::kPi / 18.0, util::kPi / 3.0) *
+                          (rng.chance(0.5) ? 1.0 : -1.0);
+        } else {
+            f.type = FaultType::kFlaky;
+            f.flake_prob = rng.uniform(0.3, 0.8);
+        }
+        model.add(f);
+    }
+    return model;
+}
+
+bool FaultModel::is_faulty(std::size_t element) const {
+    for (const Fault& f : faults_)
+        if (f.element == element) return true;
+    return false;
+}
+
+void FaultModel::install(surface::Array& array) const {
+    for (const Fault& f : faults_) {
+        PRESS_EXPECTS(f.element < array.size(),
+                      "fault names an element outside the array");
+        surface::Element& e = array.element(f.element);
+        if (f.type == FaultType::kDead) {
+            // Every throw terminates into (leaky) heat.
+            for (int s = 0; s < e.num_states(); ++s)
+                e.set_load(s, surface::Load::absorptive());
+        } else if (f.type == FaultType::kPhaseDrift) {
+            const std::complex<double> rot =
+                std::polar(1.0, f.drift_rad);
+            for (int s = 0; s < e.num_states(); ++s) {
+                surface::Load l = e.load(s);
+                if (l.is_off()) continue;  // absorbers have no phase to age
+                l.reflection *= rot;
+                e.set_load(s, std::move(l));
+            }
+        }
+    }
+}
+
+surface::Config FaultModel::distort(const surface::Config& requested,
+                                    const surface::Config& current) {
+    PRESS_EXPECTS(requested.size() == current.size(),
+                  "requested/current configuration arity mismatch");
+    surface::Config actual = requested;
+    for (const Fault& f : faults_) {
+        PRESS_EXPECTS(f.element < actual.size(),
+                      "fault names an element outside the configuration");
+        switch (f.type) {
+            case FaultType::kStuckAt:
+                actual[f.element] = f.stuck_state;
+                break;
+            case FaultType::kFlaky:
+                if (rng_.chance(f.flake_prob))
+                    actual[f.element] = current[f.element];
+                break;
+            case FaultType::kDead:
+            case FaultType::kPhaseDrift:
+                // The switch still actuates; the damage lives in the
+                // loads, installed once by install().
+                break;
+        }
+    }
+    return actual;
+}
+
+void FaultModel::apply(surface::Array& array,
+                       const surface::Config& requested) {
+    array.apply(distort(requested, array.current_config()));
+}
+
+}  // namespace press::fault

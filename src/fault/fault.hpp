@@ -1,0 +1,89 @@
+// Element-level fault injection.
+//
+// At the paper's target scale — hundreds of cheap wall-embedded elements —
+// stuck switches, dead loads and drifted stubs are the steady state, not
+// the exception. A FaultModel sits between the controller's intent and the
+// EM substrate: the configuration the controller *thinks* it applied
+// diverges from what the hardware actually assumes. Four fault classes:
+//
+//   kStuckAt     the SP4T switch is frozen in one throw; every command
+//                lands on that state.
+//   kDead        the element no longer re-radiates (burnt feed, detached
+//                antenna): every load becomes absorptive at install time.
+//   kPhaseDrift  the stubs aged or were miscalibrated: each reflective
+//                load's phase is rotated by a fixed error; the switch
+//                still actuates correctly.
+//   kFlaky       the switch actuates intermittently: each command is
+//                ignored (state unchanged) with a given probability.
+//
+// All stochastic behaviour draws from a seeded util::Rng, so faulty runs
+// are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "press/array.hpp"
+#include "press/config.hpp"
+#include "util/rng.hpp"
+
+namespace press::fault {
+
+enum class FaultType : std::uint8_t { kStuckAt, kDead, kPhaseDrift, kFlaky };
+
+const char* to_string(FaultType type);
+
+/// One element's defect.
+struct Fault {
+    std::size_t element = 0;
+    FaultType type = FaultType::kStuckAt;
+    int stuck_state = 0;      ///< kStuckAt: the throw the switch froze in
+    double drift_rad = 0.0;   ///< kPhaseDrift: reflection phase error
+    double flake_prob = 0.5;  ///< kFlaky: P(command ignored)
+};
+
+/// A set of element faults plus the machinery to realize them against an
+/// array: permanent hardware damage is applied once via install(), and
+/// per-command divergence via distort()/apply().
+class FaultModel {
+public:
+    FaultModel() = default;
+    /// `rng` drives flaky-switch coin flips.
+    explicit FaultModel(util::Rng rng) : rng_(rng) {}
+
+    /// Registers a fault. One fault per element; later wins.
+    void add(const Fault& fault);
+
+    /// Draws faults for ceil(`fraction` * `num_elements`) distinct random
+    /// elements with a realistic mix biased toward actuation failures
+    /// (40% stuck, 30% dead, 15% phase drift, 15% flaky).
+    static FaultModel sample(const surface::ConfigSpace& space,
+                             double fraction, util::Rng& rng);
+
+    const std::vector<Fault>& faults() const { return faults_; }
+    bool is_faulty(std::size_t element) const;
+    std::size_t num_faulty() const { return faults_.size(); }
+    bool empty() const { return faults_.empty(); }
+
+    /// Applies the permanent damage to the hardware: dead elements lose
+    /// every load to an absorber, drifted elements get rotated stub
+    /// phases. Call once when the model is attached to an array.
+    void install(surface::Array& array) const;
+
+    /// The configuration the switches actually assume when `requested` is
+    /// commanded while the array currently holds `current`. Stuck
+    /// elements pin their state; flaky elements keep `current` with their
+    /// flake probability (consuming this model's RNG stream).
+    surface::Config distort(const surface::Config& requested,
+                            const surface::Config& current);
+
+    /// requested -> distort -> array.apply. What System::apply routes
+    /// through when faults are injected.
+    void apply(surface::Array& array, const surface::Config& requested);
+
+private:
+    std::vector<Fault> faults_;
+    util::Rng rng_;
+};
+
+}  // namespace press::fault

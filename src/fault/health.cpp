@@ -1,0 +1,119 @@
+#include "fault/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "control/message.hpp"
+#include "util/contracts.hpp"
+
+namespace press::fault {
+
+std::size_t HealthReport::num_suspect() const {
+    return static_cast<std::size_t>(
+        std::count(suspect.begin(), suspect.end(), true));
+}
+
+std::vector<std::size_t> HealthReport::suspect_elements() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < suspect.size(); ++i)
+        if (suspect[i]) out.push_back(i);
+    return out;
+}
+
+surface::FrozenProjection HealthReport::freeze(
+    const surface::ConfigSpace& space,
+    const surface::Config& baseline) const {
+    PRESS_EXPECTS(suspect.size() == space.num_elements(),
+                  "report does not match this space");
+    return surface::FrozenProjection(space, suspect, baseline);
+}
+
+HealthMonitor::HealthMonitor(control::ApplyFn apply,
+                             control::MeasureFn measure,
+                             std::size_t num_links,
+                             std::size_t num_subcarriers)
+    : apply_(std::move(apply)),
+      measure_(std::move(measure)),
+      num_links_(num_links),
+      num_subcarriers_(num_subcarriers) {
+    PRESS_EXPECTS(apply_ != nullptr, "apply callback required");
+    PRESS_EXPECTS(measure_ != nullptr, "measure callback required");
+}
+
+double HealthMonitor::mean_snr_db() {
+    const control::Observation obs = measure_();
+    PRESS_EXPECTS(!obs.link_snr_db.empty(), "observation carries no links");
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& link : obs.link_snr_db) {
+        for (double snr : link) {
+            sum += snr;
+            ++count;
+        }
+    }
+    PRESS_EXPECTS(count > 0, "observation carries no subcarriers");
+    return sum / static_cast<double>(count);
+}
+
+HealthReport HealthMonitor::probe(const surface::ConfigSpace& space,
+                                  const surface::Config& baseline,
+                                  const control::ControlPlaneModel& model,
+                                  const ProbeOptions& options,
+                                  control::SimClock* clock) {
+    PRESS_EXPECTS(space.valid(baseline),
+                  "baseline must be a valid configuration");
+    PRESS_EXPECTS(options.sweeps >= 1, "need at least one sweep");
+
+    const std::size_t n = space.num_elements();
+    HealthReport report;
+    report.suspect.assign(n, false);
+    report.response_db.assign(n, 0.0);
+
+    control::SetConfig probe_msg;
+    probe_msg.config = baseline;
+    const double trial_cost =
+        model.config_trial_time_s(probe_msg, num_links_, num_subcarriers_);
+    const auto charge = [&]() {
+        ++report.probes;
+        report.elapsed_s += trial_cost;
+        if (clock != nullptr) clock->advance(trial_cost);
+    };
+
+    for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+        // Fresh baseline reference each sweep: slow channel drift between
+        // sweeps must not masquerade as element response.
+        if (!apply_(baseline)) {
+            charge();
+            continue;
+        }
+        const double base_snr = mean_snr_db();
+        charge();
+
+        for (std::size_t e = 0; e < n; ++e) {
+            surface::Config cfg = baseline;
+            for (int s = 0; s < space.radices()[e]; ++s) {
+                if (s == baseline[e]) continue;
+                cfg[e] = s;
+                // Each probe pushes the full configuration, so the
+                // previous element is back at baseline automatically.
+                if (!apply_(cfg)) {
+                    charge();
+                    continue;  // delivery failed; this probe is blind
+                }
+                const double snr = mean_snr_db();
+                charge();
+                report.response_db[e] = std::max(
+                    report.response_db[e], std::abs(snr - base_snr));
+            }
+        }
+    }
+    // Leave the array as we found it.
+    (void)apply_(baseline);
+
+    for (std::size_t e = 0; e < n; ++e)
+        report.suspect[e] =
+            report.response_db[e] < options.response_threshold_db;
+    return report;
+}
+
+}  // namespace press::fault

@@ -1,0 +1,85 @@
+// Fault detection: per-element probe sweeps.
+//
+// A controller cannot see inside a wall, but it can toggle one element at
+// a time and watch the measured SNR. A healthy element moves the channel
+// when its load changes; a dead or stuck element does not. HealthMonitor
+// runs that sweep — hold a baseline configuration, step each element
+// through its states, record the strongest mean-SNR deviation it can
+// provoke — and flags elements whose response stays below a threshold.
+// The resulting HealthReport feeds a surface::FrozenProjection so
+// searchers stop spending coherence-time trials on dimensions the
+// hardware no longer actuates, and the controller degrades gracefully
+// instead of silently optimizing against broken switches.
+//
+// Probes are priced like configuration trials through the
+// ControlPlaneModel: health monitoring is honest about the wall-clock it
+// costs (it is meant for maintenance windows, not the inner loop).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/plane.hpp"
+#include "press/config.hpp"
+
+namespace press::fault {
+
+/// What a probe sweep concluded about each element.
+struct HealthReport {
+    /// Flagged as unresponsive (dead or stuck), one entry per element.
+    std::vector<bool> suspect;
+    /// Strongest |mean-SNR delta| (dB) each element provoked.
+    std::vector<double> response_db;
+    /// Probe trials spent (baseline measures + per-state toggles).
+    std::size_t probes = 0;
+    /// Simulated wall-clock the sweep consumed.
+    double elapsed_s = 0.0;
+
+    std::size_t num_suspect() const;
+    std::vector<std::size_t> suspect_elements() const;
+
+    /// The degraded search space: suspects frozen at their baseline
+    /// states. Precondition: at least one element is healthy.
+    surface::FrozenProjection freeze(const surface::ConfigSpace& space,
+                                     const surface::Config& baseline) const;
+};
+
+struct ProbeOptions {
+    /// An element is healthy when some state moves the mean SNR by at
+    /// least this much; below it the element is flagged. Must clear the
+    /// measurement-noise floor or healthy elements will be flagged too.
+    double response_threshold_db = 0.75;
+    /// Full sweep repetitions; the response is the max across sweeps
+    /// (repeats beat measurement noise and catch intermittent switches
+    /// in their cooperative moments).
+    std::size_t sweeps = 2;
+};
+
+/// Runs per-element probe sweeps through the same apply/measure callbacks
+/// a Controller uses.
+class HealthMonitor {
+public:
+    HealthMonitor(control::ApplyFn apply, control::MeasureFn measure,
+                  std::size_t num_links, std::size_t num_subcarriers);
+
+    /// Sweeps every element of `space` against `baseline`. Prices each
+    /// probe with `model` (accumulated into the report and onto `clock`
+    /// when given). Leaves `baseline` re-applied.
+    HealthReport probe(const surface::ConfigSpace& space,
+                       const surface::Config& baseline,
+                       const control::ControlPlaneModel& model,
+                       const ProbeOptions& options = {},
+                       control::SimClock* clock = nullptr);
+
+private:
+    /// Mean measured SNR (dB) across links and subcarriers.
+    double mean_snr_db();
+
+    control::ApplyFn apply_;
+    control::MeasureFn measure_;
+    std::size_t num_links_;
+    std::size_t num_subcarriers_;
+};
+
+}  // namespace press::fault

@@ -63,6 +63,62 @@ std::vector<Config> ConfigSpace::enumerate() const {
     return out;
 }
 
+namespace {
+
+std::vector<int> reduced_radices(const ConfigSpace& full,
+                                 const std::vector<bool>& frozen) {
+    PRESS_EXPECTS(frozen.size() == full.num_elements(),
+                  "frozen mask must match space arity");
+    std::vector<int> out;
+    for (std::size_t i = 0; i < frozen.size(); ++i)
+        if (!frozen[i]) out.push_back(full.radices()[i]);
+    PRESS_EXPECTS(!out.empty(),
+                  "cannot freeze every element; at least one must stay free");
+    return out;
+}
+
+}  // namespace
+
+FrozenProjection::FrozenProjection(const ConfigSpace& full,
+                                   std::vector<bool> frozen,
+                                   Config frozen_values)
+    : frozen_(std::move(frozen)),
+      frozen_values_(std::move(frozen_values)),
+      reduced_(reduced_radices(full, frozen_)) {
+    PRESS_EXPECTS(full.valid(frozen_values_),
+                  "frozen values must be a valid configuration");
+    free_index_.reserve(full.num_elements());
+    for (std::size_t i = 0; i < frozen_.size(); ++i)
+        if (!frozen_[i]) free_index_.push_back(i);
+}
+
+std::size_t FrozenProjection::num_frozen() const {
+    return frozen_.size() - free_index_.size();
+}
+
+bool FrozenProjection::is_frozen(std::size_t element) const {
+    PRESS_EXPECTS(element < frozen_.size(), "element index out of range");
+    return frozen_[element];
+}
+
+Config FrozenProjection::lift(const Config& reduced_config) const {
+    PRESS_EXPECTS(reduced_config.size() == free_index_.size(),
+                  "reduced configuration has wrong arity");
+    Config full = frozen_values_;
+    for (std::size_t r = 0; r < free_index_.size(); ++r)
+        full[free_index_[r]] = reduced_config[r];
+    return full;
+}
+
+Config FrozenProjection::project(const Config& full_config) const {
+    PRESS_EXPECTS(full_config.size() == frozen_.size(),
+                  "full configuration has wrong arity");
+    Config reduced;
+    reduced.reserve(free_index_.size());
+    for (std::size_t i : free_index_) reduced.push_back(full_config[i]);
+    return reduced;
+}
+
 std::string config_to_string(
     const Config& config,
     const std::vector<std::vector<std::string>>& state_labels) {

@@ -49,6 +49,38 @@ private:
     std::vector<int> radices_;
 };
 
+/// A degradation-aware projection of a ConfigSpace: selected elements are
+/// frozen at fixed states (because a health monitor flagged them dead or
+/// stuck) and only the remaining free elements are exposed to a searcher.
+/// Searching the reduced space stops wasting trials on dimensions the
+/// hardware can no longer actuate.
+class FrozenProjection {
+public:
+    /// Freezes element i at `frozen_values[i]` wherever `frozen[i]` is
+    /// true. At least one element must stay free.
+    FrozenProjection(const ConfigSpace& full, std::vector<bool> frozen,
+                     Config frozen_values);
+
+    std::size_t num_frozen() const;
+    bool is_frozen(std::size_t element) const;
+
+    /// The space over free elements only.
+    const ConfigSpace& reduced() const { return reduced_; }
+
+    /// Expands a reduced configuration to full arity by inserting the
+    /// frozen states.
+    Config lift(const Config& reduced_config) const;
+
+    /// Drops the frozen dimensions of a full configuration.
+    Config project(const Config& full_config) const;
+
+private:
+    std::vector<bool> frozen_;
+    Config frozen_values_;
+    std::vector<std::size_t> free_index_;  // reduced position -> full index
+    ConfigSpace reduced_;
+};
+
 /// Renders a configuration with the paper's tuple notation using per-state
 /// labels supplied by the caller, e.g. "(pi, 0, 0.5pi)".
 std::string config_to_string(const Config& config,

@@ -55,6 +55,12 @@ void Element::select(int state) {
     selected_ = state;
 }
 
+void Element::set_load(int state, Load load) {
+    PRESS_EXPECTS(state >= 0 && state < num_states(),
+                  "load state out of range");
+    loads_[static_cast<std::size_t>(state)] = std::move(load);
+}
+
 const Load& Element::load(int state) const {
     PRESS_EXPECTS(state >= 0 && state < num_states(),
                   "load state out of range");

@@ -45,6 +45,10 @@ public:
     /// Selects load `state` (0-based; must be < num_states()).
     void select(int state);
 
+    /// Replaces the load behind `state` (miscalibration, hardware faults,
+    /// per-element trim). The selectable state count never changes.
+    void set_load(int state, Load load);
+
     int selected_state() const { return selected_; }
     const Load& selected_load() const { return loads_[selected_]; }
     const Load& load(int state) const;

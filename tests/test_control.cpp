@@ -374,7 +374,10 @@ TEST(Controller, OptimizeAppliesBestConfig) {
     const SyntheticProblem problem{{3, 1}};
     Controller controller(
         ControlPlaneModel::fast(),
-        [&](const surface::Config& c) { applied = c; },
+        [&](const surface::Config& c) {
+            applied = c;
+            return true;
+        },
         [&]() {
             Observation obs;
             obs.link_snr_db = {{problem(applied)}};
@@ -397,7 +400,8 @@ TEST(Controller, OptimizeAppliesBestConfig) {
 TEST(Controller, BudgetLimitsTrials) {
     const surface::ConfigSpace space({4, 4, 4});
     Controller controller(
-        ControlPlaneModel::prototype(), [](const surface::Config&) {},
+        ControlPlaneModel::prototype(),
+        [](const surface::Config&) { return true; },
         []() {
             Observation obs;
             obs.link_snr_db = {{1.0}};

@@ -1,0 +1,404 @@
+// Tests for the fault subsystem: fault injection (stuck/dead/drift/flaky),
+// the frozen search-space projection, health-probe detection and its
+// false-positive rate under measurement noise, reliable-transport backoff
+// timing, and the controller's degradation behaviour (failed applies,
+// revert-to-last-known-good, lossy channels shrinking trial budgets).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/controller.hpp"
+#include "control/transport.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "press/element.hpp"
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::fault {
+namespace {
+
+surface::Array make_array(int count = 4) {
+    surface::Array array;
+    for (int i = 0; i < count; ++i) {
+        array.add_element(surface::Element::sp4t_prototype(
+            {1.0 + i, 0, 1}, em::Antenna::omni(12.0), 2.462e9));
+    }
+    return array;
+}
+
+// ------------------------------------------------------------ FaultModel
+
+TEST(FaultModel, StuckElementPinsItsState) {
+    surface::Array array = make_array();
+    FaultModel model(util::Rng(1));
+    model.add({1, FaultType::kStuckAt, 2, 0.0, 0.0});
+    model.apply(array, {0, 0, 0, 0});
+    EXPECT_EQ(array.current_config(), (surface::Config{0, 2, 0, 0}));
+    model.apply(array, {3, 3, 3, 3});
+    EXPECT_EQ(array.current_config(), (surface::Config{3, 2, 3, 3}));
+}
+
+TEST(FaultModel, DeadElementLosesEveryLoad) {
+    surface::Array array = make_array();
+    FaultModel model;
+    model.add({2, FaultType::kDead, 0, 0.0, 0.0});
+    model.install(array);
+    const surface::Element& dead = array.element(2);
+    for (int s = 0; s < dead.num_states(); ++s)
+        EXPECT_TRUE(dead.load(s).is_off()) << "state " << s;
+    // A healthy neighbour keeps its reflective stubs.
+    EXPECT_FALSE(array.element(0).load(0).is_off());
+}
+
+TEST(FaultModel, PhaseDriftRotatesReflectiveLoads) {
+    surface::Array array = make_array();
+    const double drift = util::kPi / 6.0;
+    const auto before = array.element(1).load(0).reflection;
+    FaultModel model;
+    model.add({1, FaultType::kPhaseDrift, 0, drift, 0.0});
+    model.install(array);
+    const auto after = array.element(1).load(0).reflection;
+    EXPECT_NEAR(std::arg(after / before), drift, 1e-12);
+    EXPECT_NEAR(std::abs(after), std::abs(before), 1e-12);
+    // The absorptive throw has no phase to age.
+    EXPECT_TRUE(array.element(1).load(3).is_off());
+}
+
+TEST(FaultModel, FlakyElementIgnoresCommandsAtItsRate) {
+    surface::Array array = make_array();
+    FaultModel always(util::Rng(2));
+    always.add({0, FaultType::kFlaky, 0, 0.0, 1.0});
+    always.apply(array, {1, 1, 1, 1});
+    EXPECT_EQ(array.current_config()[0], 0);  // command ignored
+
+    FaultModel never(util::Rng(3));
+    never.add({0, FaultType::kFlaky, 0, 0.0, 0.0});
+    never.apply(array, {2, 2, 2, 2});
+    EXPECT_EQ(array.current_config()[0], 2);  // command lands
+}
+
+TEST(FaultModel, DistortIsDeterministicGivenSeed) {
+    FaultModel a(util::Rng(7));
+    FaultModel b(util::Rng(7));
+    for (FaultModel* m : {&a, &b})
+        m->add({0, FaultType::kFlaky, 0, 0.0, 0.5});
+    const surface::Config req = {1, 1}, cur = {0, 0};
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.distort(req, cur), b.distort(req, cur));
+}
+
+TEST(FaultModel, SampleDrawsDistinctElementsAtFraction) {
+    const surface::ConfigSpace space({4, 4, 4, 4, 4, 4, 4, 4});
+    util::Rng rng(11);
+    const FaultModel model = FaultModel::sample(space, 0.5, rng);
+    EXPECT_EQ(model.num_faulty(), 4u);
+    for (const Fault& f : model.faults()) EXPECT_LT(f.element, 8u);
+    // Distinct elements.
+    for (std::size_t i = 0; i < model.faults().size(); ++i)
+        for (std::size_t j = i + 1; j < model.faults().size(); ++j)
+            EXPECT_NE(model.faults()[i].element, model.faults()[j].element);
+    EXPECT_TRUE(FaultModel::sample(space, 0.0, rng).empty());
+}
+
+TEST(FaultModel, LaterFaultOnSameElementWins) {
+    FaultModel model;
+    model.add({0, FaultType::kStuckAt, 1, 0.0, 0.0});
+    model.add({0, FaultType::kStuckAt, 3, 0.0, 0.0});
+    EXPECT_EQ(model.num_faulty(), 1u);
+    EXPECT_EQ(model.faults()[0].stuck_state, 3);
+}
+
+// ---------------------------------------------------- FrozenProjection
+
+TEST(FrozenProjection, LiftAndProjectRoundtrip) {
+    const surface::ConfigSpace space({4, 3, 4, 2});
+    const surface::FrozenProjection proj(
+        space, {false, true, false, true}, {0, 2, 0, 1});
+    EXPECT_EQ(proj.num_frozen(), 2u);
+    EXPECT_TRUE(proj.is_frozen(1));
+    EXPECT_FALSE(proj.is_frozen(2));
+    EXPECT_EQ(proj.reduced().radices(), (std::vector<int>{4, 4}));
+    EXPECT_EQ(proj.lift({3, 1}), (surface::Config{3, 2, 1, 1}));
+    EXPECT_EQ(proj.project({3, 2, 1, 1}), (surface::Config{3, 1}));
+}
+
+TEST(FrozenProjection, RejectsFreezingEverything) {
+    const surface::ConfigSpace space({4, 4});
+    EXPECT_THROW(
+        surface::FrozenProjection(space, {true, true}, {0, 0}),
+        util::ContractViolation);
+}
+
+// -------------------------------------------------------- HealthMonitor
+
+/// A synthetic substrate: element e in state s contributes gain_db[e][s]
+/// to the mean SNR; a Gaussian noise term models estimator noise.
+struct SyntheticChannel {
+    std::vector<std::vector<double>> gain_db;
+    surface::Config current;
+    double noise_sigma_db = 0.0;
+    util::Rng noise{99};
+
+    control::ApplyFn apply() {
+        return [this](const surface::Config& c) {
+            current = c;
+            return true;
+        };
+    }
+    control::MeasureFn measure() {
+        return [this]() {
+            double snr = 30.0;
+            for (std::size_t e = 0; e < current.size(); ++e)
+                snr += gain_db[e][static_cast<std::size_t>(current[e])];
+            control::Observation obs;
+            obs.link_snr_db = {{snr + noise.gaussian(0.0, noise_sigma_db)}};
+            return obs;
+        };
+    }
+};
+
+TEST(HealthMonitor, FlagsDeadAndSparesHealthy) {
+    // Elements 0 and 2 respond 2 dB to state changes; element 1 is dead
+    // flat.
+    SyntheticChannel ch;
+    ch.gain_db = {{0, 2, 2, 2}, {0, 0, 0, 0}, {0, 2, 2, 2}};
+    ch.current = {0, 0, 0};
+    HealthMonitor monitor(ch.apply(), ch.measure(), 1, 1);
+    const surface::ConfigSpace space({4, 4, 4});
+    const HealthReport report = monitor.probe(
+        space, {0, 0, 0}, control::ControlPlaneModel::fast());
+    ASSERT_EQ(report.suspect.size(), 3u);
+    EXPECT_FALSE(report.suspect[0]);
+    EXPECT_TRUE(report.suspect[1]);
+    EXPECT_FALSE(report.suspect[2]);
+    EXPECT_EQ(report.suspect_elements(), (std::vector<std::size_t>{1}));
+    EXPECT_NEAR(report.response_db[0], 2.0, 1e-9);
+    EXPECT_NEAR(report.response_db[1], 0.0, 1e-9);
+    // Probes cost wall-clock: 2 sweeps x (1 baseline + 3 elements x 3
+    // states).
+    EXPECT_EQ(report.probes, 20u);
+    EXPECT_GT(report.elapsed_s, 0.0);
+    // The sweep leaves the baseline restored.
+    EXPECT_EQ(ch.current, (surface::Config{0, 0, 0}));
+}
+
+TEST(HealthMonitor, FalsePositiveRateUnderNoise) {
+    // All-healthy wall, 2 dB of response, 0.3 dB estimator noise: across
+    // 10 seeded probe runs of 8 elements none may be flagged.
+    std::size_t false_positives = 0;
+    for (int trial = 0; trial < 10; ++trial) {
+        SyntheticChannel ch;
+        ch.gain_db.assign(8, {0, 2, 2, 2});
+        ch.current.assign(8, 0);
+        ch.noise_sigma_db = 0.3;
+        ch.noise = util::Rng(static_cast<std::uint64_t>(trial) + 1);
+        HealthMonitor monitor(ch.apply(), ch.measure(), 1, 1);
+        const surface::ConfigSpace space({4, 4, 4, 4, 4, 4, 4, 4});
+        const HealthReport report = monitor.probe(
+            space, surface::Config(8, 0),
+            control::ControlPlaneModel::fast());
+        false_positives += report.num_suspect();
+    }
+    EXPECT_EQ(false_positives, 0u);
+}
+
+TEST(HealthMonitor, CatchesStuckElementThroughNoise) {
+    SyntheticChannel ch;
+    ch.gain_db = {{0, 2, 2, 2}, {0, 0, 0, 0}, {0, 2, 2, 2}};
+    ch.current = {0, 0, 0};
+    ch.noise_sigma_db = 0.3;
+    HealthMonitor monitor(ch.apply(), ch.measure(), 1, 1);
+    const surface::ConfigSpace space({4, 4, 4});
+    const HealthReport report = monitor.probe(
+        space, {0, 0, 0}, control::ControlPlaneModel::fast());
+    EXPECT_TRUE(report.suspect[1]);
+    EXPECT_FALSE(report.suspect[0]);
+    EXPECT_FALSE(report.suspect[2]);
+}
+
+// -------------------------------------------------------- backoff timing
+
+TEST(Backoff, NominalWaitsGrowGeometricallyAndCap) {
+    control::BackoffPolicy policy;
+    policy.base_s = 2e-3;
+    policy.factor = 2.0;
+    policy.max_s = 10e-3;
+    EXPECT_DOUBLE_EQ(policy.nominal_wait_s(1), 2e-3);
+    EXPECT_DOUBLE_EQ(policy.nominal_wait_s(2), 4e-3);
+    EXPECT_DOUBLE_EQ(policy.nominal_wait_s(3), 8e-3);
+    EXPECT_DOUBLE_EQ(policy.nominal_wait_s(4), 10e-3);  // capped
+    EXPECT_DOUBLE_EQ(policy.nominal_wait_s(9), 10e-3);
+}
+
+TEST(ReliableSession, PricesSuccessfulApplyOnTheClock) {
+    surface::Array array = make_array(3);
+    control::ArrayAgent agent(array, 0);
+    control::ReliableSession session(
+        agent, control::LossyChannel(0.0, 0.0, util::Rng(1)),
+        control::LossyChannel(0.0, 0.0, util::Rng(2)));
+    const control::ControlPlaneModel model =
+        control::ControlPlaneModel::fast();
+    control::SimClock clock;
+    session.set_timing(&model, &clock);
+
+    ASSERT_TRUE(session.apply(0, {1, 2, 3}));
+    // One frame down, one ack up, one switch settle; no backoff.
+    control::SetConfig msg;
+    msg.array_id = 0;
+    msg.config = {1, 2, 3};
+    control::SetConfigAck ack;
+    ack.array_id = 0;
+    const double expected =
+        model.transfer_time_s(control::encoded_size(control::Message{msg})) +
+        model.transfer_time_s(control::encoded_size(control::Message{ack})) +
+        model.element_switch_s;
+    EXPECT_NEAR(clock.now_s(), expected, 1e-15);
+    EXPECT_DOUBLE_EQ(session.stats().backoff_s, 0.0);
+}
+
+TEST(ReliableSession, DeadChannelChargesRetriesAndBackoff) {
+    surface::Array array = make_array(3);
+    control::ArrayAgent agent(array, 0);
+    // Everything sent into the downlink vanishes.
+    control::ReliableSession session(
+        agent, control::LossyChannel(0.0, 0.999, util::Rng(3)),
+        control::LossyChannel(0.0, 0.0, util::Rng(4)),
+        /*max_retries=*/3);
+    const control::ControlPlaneModel model =
+        control::ControlPlaneModel::fast();
+    control::SimClock clock;
+    session.set_timing(&model, &clock);
+    control::BackoffPolicy policy;
+    policy.base_s = 2e-3;
+    policy.factor = 2.0;
+    policy.max_s = 50e-3;
+    policy.jitter_frac = 0.0;  // exact timing math
+    session.set_backoff(policy, util::Rng(5));
+
+    EXPECT_FALSE(session.apply(0, {1, 1, 1}));
+    control::SetConfig msg;
+    msg.array_id = 0;
+    msg.config = {1, 1, 1};
+    const double frame_s =
+        model.transfer_time_s(control::encoded_size(control::Message{msg}));
+    // 4 attempts on the downlink plus backoffs of 2, 4 and 8 ms; no ack
+    // ever crossed, so no uplink time and no switch settle.
+    EXPECT_NEAR(clock.now_s(), 4.0 * frame_s + (2e-3 + 4e-3 + 8e-3),
+                1e-15);
+    EXPECT_NEAR(session.stats().backoff_s, 14e-3, 1e-15);
+    EXPECT_EQ(session.stats().gave_up, 1u);
+}
+
+TEST(ReliableSession, JitterStaysWithinConfiguredFraction) {
+    surface::Array array = make_array(3);
+    control::ArrayAgent agent(array, 0);
+    control::ReliableSession session(
+        agent, control::LossyChannel(0.0, 0.999, util::Rng(6)),
+        control::LossyChannel(0.0, 0.0, util::Rng(7)),
+        /*max_retries=*/1);
+    control::BackoffPolicy policy;
+    policy.base_s = 10e-3;
+    policy.factor = 1.0;
+    policy.max_s = 10e-3;
+    policy.jitter_frac = 0.25;
+    session.set_backoff(policy, util::Rng(8));
+    for (int i = 0; i < 32; ++i) (void)session.apply(0, {0, 0, 0});
+    // 32 single-retry waits, each in [7.5, 12.5] ms.
+    EXPECT_GE(session.stats().backoff_s, 32 * 7.5e-3);
+    EXPECT_LE(session.stats().backoff_s, 32 * 12.5e-3);
+}
+
+// ------------------------------------------- controller degradation path
+
+TEST(Controller, FailedApplyRevertsToLastKnownGood) {
+    const surface::ConfigSpace space({3, 3});
+    std::vector<surface::Config> applied;
+    // Delivery fails for every configuration whose first element is 2.
+    control::Controller controller(
+        control::ControlPlaneModel::fast(),
+        [&](const surface::Config& c) {
+            if (c[0] == 2) return false;
+            applied.push_back(c);
+            return true;
+        },
+        [&]() {
+            control::Observation obs;
+            const surface::Config& c = applied.back();
+            obs.link_snr_db = {
+                {static_cast<double>(c[0]) + static_cast<double>(c[1])}};
+            return obs;
+        },
+        1, 52);
+    util::Rng rng(1);
+    const control::MinSnrObjective objective(0);
+    const auto outcome = controller.optimize(
+        space, objective, control::ExhaustiveSearcher(), 10.0, rng);
+    // The best deliverable configuration is (1, 2); the three failing
+    // (2, *) trials were counted and reverted, never chosen.
+    EXPECT_EQ(outcome.search.best_config, (surface::Config{1, 2}));
+    EXPECT_EQ(outcome.failed_applies, 3u);
+    EXPECT_EQ(outcome.reverts, 3u);
+    EXPECT_TRUE(outcome.final_apply_ok);
+    EXPECT_EQ(applied.back(), (surface::Config{1, 2}));
+}
+
+TEST(Controller, AllAppliesFailingIsSurfacedNotSwallowed) {
+    const surface::ConfigSpace space({2, 2});
+    control::Controller controller(
+        control::ControlPlaneModel::fast(),
+        [](const surface::Config&) { return false; },
+        []() {
+            control::Observation obs;
+            obs.link_snr_db = {{0.0}};
+            return obs;
+        },
+        1, 52);
+    util::Rng rng(2);
+    const control::MinSnrObjective objective(0);
+    const auto outcome = controller.optimize(
+        space, objective, control::ExhaustiveSearcher(), 10.0, rng);
+    EXPECT_EQ(outcome.failed_applies, 4u);
+    EXPECT_DOUBLE_EQ(outcome.search.best_score, control::kFailedTrialScore);
+}
+
+TEST(Controller, LossyChannelShrinksAffordableTrials) {
+    // The acceptance check: retries and backoff consume the coherence
+    // budget through the shared SimClock, so the same window affords
+    // measurably fewer trials over a lossy channel.
+    const auto run = [](double drop_rate) {
+        surface::Array array = make_array(3);
+        control::ArrayAgent agent(array, 0);
+        control::ReliableSession session(
+            agent, control::LossyChannel(0.0, drop_rate, util::Rng(21)),
+            control::LossyChannel(0.0, drop_rate, util::Rng(22)),
+            /*max_retries=*/8);
+        const control::ControlPlaneModel model =
+            control::ControlPlaneModel::fast();
+        control::Controller controller(
+            model,
+            [&](const surface::Config& c) { return session.apply(0, c); },
+            [&]() {
+                control::Observation obs;
+                obs.link_snr_db = {{10.0}};
+                return obs;
+            },
+            1, 52);
+        controller.set_apply_self_priced(true);
+        session.set_timing(&model, &controller.mutable_clock());
+        util::Rng rng(23);
+        const control::MinSnrObjective objective(0);
+        const auto outcome = controller.optimize(
+            array.config_space(), objective, control::RandomSearcher(),
+            80e-3, rng);
+        return outcome.search.evaluations;
+    };
+    const std::size_t clean = run(0.0);
+    const std::size_t lossy = run(0.5);
+    EXPECT_GT(clean, 0u);
+    EXPECT_GT(lossy, 0u);
+    EXPECT_LT(lossy, clean);
+}
+
+}  // namespace
+}  // namespace press::fault

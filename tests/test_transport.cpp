@@ -110,6 +110,30 @@ TEST(ArrayAgent, SuppressesDuplicateSeq) {
     EXPECT_EQ(std::get<SetConfigAck>(decode(*again).message).status, 0);
 }
 
+TEST(ArrayAgent, SuppressesReorderedStaleFrames) {
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 5);
+    SetConfig old_msg;
+    old_msg.array_id = 5;
+    old_msg.config = {1, 1, 1};
+    const auto old_frame = encode(Message{old_msg}, 3);
+    SetConfig new_msg;
+    new_msg.array_id = 5;
+    new_msg.config = {2, 2, 2};
+    // The newer frame (seq 5) arrives first; the delayed older frame
+    // (seq 3) surfaces afterwards, e.g. from a retransmit buffer.
+    ASSERT_TRUE(agent.handle(encode(Message{new_msg}, 5)).has_value());
+    const auto late = agent.handle(old_frame);
+    // The stale frame is acked (so a retransmitting sender stops) but the
+    // switches stay at the newer configuration.
+    ASSERT_TRUE(late.has_value());
+    EXPECT_EQ(std::get<SetConfigAck>(decode(*late).message).status, 0);
+    EXPECT_EQ(array.current_config(), (surface::Config{2, 2, 2}));
+    EXPECT_EQ(agent.applied(), 1u);
+    EXPECT_EQ(agent.stale(), 1u);
+    EXPECT_EQ(agent.duplicates(), 0u);
+}
+
 TEST(ArrayAgent, RejectsInvalidConfigWithNack) {
     surface::Array array = make_array();
     ArrayAgent agent(array, 5);
