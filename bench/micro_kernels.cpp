@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "control/message.hpp"
+#include "core/link_cache.hpp"
 #include "core/scenarios.hpp"
 #include "em/channel.hpp"
 #include "phy/frame.hpp"
@@ -130,6 +131,71 @@ void BM_Crc16(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_Crc16)->Arg(64)->Arg(1024);
+
+// The factored-cache evaluation path: recombining H = H_static + B.g(c)
+// (a sparse complex GEMV over element rows) versus re-synthesizing the
+// CFR from a fresh path resolve — the per-candidate cost a configuration
+// search actually pays, with `num_elements` as the row count knob.
+void BM_CachedRecombination(benchmark::State& state) {
+    core::StudyParams params;
+    params.num_elements = static_cast<int>(state.range(0));
+    core::LinkScenario scenario =
+        core::make_link_scenario(1, false, params);
+    const sdr::Medium& medium = scenario.system.medium();
+    const sdr::Link& link = scenario.system.link(scenario.link_id);
+    const surface::ConfigSpace space =
+        medium.array(scenario.array_id).config_space();
+    core::LinkCache cache;
+    cache.warm(medium, scenario.link_id, link);
+    // Cycle candidates odometer-style: space.size() overflows 64 bits at
+    // 64 four-state elements, so never enumerate by flat index here.
+    surface::Config c(space.num_elements(), 0);
+    for (auto _ : state) {
+        for (std::size_t e = 0; e < c.size(); ++e) {
+            if (++c[e] < space.radices()[e]) break;
+            c[e] = 0;
+        }
+        auto h = cache.response_with(medium, scenario.link_id, link,
+                                     scenario.array_id, c);
+        benchmark::DoNotOptimize(h.data());
+    }
+}
+BENCHMARK(BM_CachedRecombination)->Arg(3)->Arg(16)->Arg(64);
+
+void BM_UncachedResynthesis(benchmark::State& state) {
+    core::StudyParams params;
+    params.num_elements = static_cast<int>(state.range(0));
+    core::LinkScenario scenario =
+        core::make_link_scenario(1, false, params);
+    const sdr::Medium& medium = scenario.system.medium();
+    const sdr::Link& link = scenario.system.link(scenario.link_id);
+    const std::vector<double> freqs = medium.ofdm().used_frequencies_hz();
+    for (auto _ : state) {
+        auto h = em::frequency_response(medium.resolve_paths(link), freqs);
+        benchmark::DoNotOptimize(h.data());
+    }
+}
+BENCHMARK(BM_UncachedResynthesis)
+    ->Arg(3)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CacheRebuild(benchmark::State& state) {
+    core::StudyParams params;
+    params.num_elements = static_cast<int>(state.range(0));
+    core::LinkScenario scenario =
+        core::make_link_scenario(1, false, params);
+    const sdr::Medium& medium = scenario.system.medium();
+    const sdr::Link& link = scenario.system.link(scenario.link_id);
+    core::LinkCache cache;
+    for (auto _ : state) {
+        cache.invalidate();
+        cache.warm(medium, scenario.link_id, link);
+        benchmark::DoNotOptimize(cache.stats().misses);
+    }
+}
+BENCHMARK(BM_CacheRebuild)->Arg(3)->Arg(16)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,0 +1,224 @@
+// Machine-readable performance snapshot of the factored-cache evaluation
+// path, written to BENCH_observe.json for CI trend tracking.
+//
+// Three per-evaluation costs are timed on the paper's fig4 and fig6
+// scenes (seeds 100 and 116, non-line-of-sight):
+//
+//   trace    a full image-method re-trace of the scene plus CFR synthesis
+//            (the cost when geometry is assumed dirty every evaluation),
+//   resynth  CFR synthesis from a warm path resolve (the pre-cache
+//            System::observe hot path: environment paths memoized, array
+//            paths re-derived and every path re-synthesized per call),
+//   cached   the factored-cache recombination H = H_static + B.g(config)
+//            (the batch searcher's per-candidate cost).
+//
+// Then two full greedy searches are timed end to end: the serial
+// controller (actuate + measure per trial) against System::optimize_fast
+// (cache + BatchEvaluator). The snapshot asserts nothing; CI uploads the
+// JSON so regressions show up as artifact diffs.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "control/batch.hpp"
+#include "control/controller.hpp"
+#include "control/objective.hpp"
+#include "control/plane.hpp"
+#include "control/search.hpp"
+#include "core/link_cache.hpp"
+#include "core/scenarios.hpp"
+#include "core/system.hpp"
+#include "em/channel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace press;
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point t0, Clock::time_point t1,
+                  std::size_t iterations) {
+    return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+           static_cast<double>(iterations);
+}
+
+struct SceneSnapshot {
+    std::string name;
+    std::uint64_t seed = 0;
+    double trace_eval_us = 0.0;
+    double resynth_eval_us = 0.0;
+    double cached_eval_us = 0.0;
+    double search_serial_ms = 0.0;
+    double search_batched_ms = 0.0;
+    std::size_t search_serial_evals = 0;
+    std::size_t search_batched_evals = 0;
+};
+
+SceneSnapshot snapshot_scene(const std::string& name, std::uint64_t seed) {
+    SceneSnapshot snap;
+    snap.name = name;
+    snap.seed = seed;
+
+    core::LinkScenario scenario =
+        core::make_link_scenario(seed, /*line_of_sight=*/false);
+    const sdr::Medium& medium = scenario.system.medium();
+    const sdr::Link& link = scenario.system.link(scenario.link_id);
+    const std::vector<double> freqs = medium.ofdm().used_frequencies_hz();
+    const double carrier = medium.ofdm().carrier_hz();
+    const surface::Array& array = medium.array(scenario.array_id);
+
+    constexpr std::size_t kTraceIters = 200;
+    constexpr std::size_t kEvalIters = 2000;
+
+    {   // Full re-trace per evaluation.
+        auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kTraceIters; ++i) {
+            std::vector<em::Path> paths =
+                medium.environment().trace(link.tx, link.rx, carrier);
+            const std::vector<em::Path> extra =
+                array.paths(medium.environment(), link.tx, link.rx,
+                            carrier);
+            paths.insert(paths.end(), extra.begin(), extra.end());
+            volatile double sink =
+                em::frequency_response(paths, freqs)[0].real();
+            (void)sink;
+        }
+        snap.trace_eval_us = elapsed_us(t0, Clock::now(), kTraceIters);
+    }
+
+    {   // Warm path resolve, fresh synthesis per evaluation.
+        (void)medium.resolve_paths(link);  // warm the environment memo
+        auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kTraceIters; ++i) {
+            volatile double sink =
+                em::frequency_response(medium.resolve_paths(link), freqs)[0]
+                    .real();
+            (void)sink;
+        }
+        snap.resynth_eval_us = elapsed_us(t0, Clock::now(), kTraceIters);
+    }
+
+    {   // Factored-cache recombination per evaluation.
+        core::LinkCache cache;
+        cache.warm(medium, scenario.link_id, link);
+        const surface::ConfigSpace space = array.config_space();
+        auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kEvalIters; ++i) {
+            volatile double sink =
+                cache
+                    .response_with(medium, scenario.link_id, link,
+                                   scenario.array_id,
+                                   space.at(i % space.size()))[0]
+                    .real();
+            (void)sink;
+        }
+        snap.cached_eval_us = elapsed_us(t0, Clock::now(), kEvalIters);
+    }
+
+    // End-to-end greedy searches under the same simulated budget.
+    const control::MinSnrObjective objective(0);
+    const control::GreedyCoordinateDescent searcher;
+    const double budget_s = 2.0;
+    {
+        // The pre-cache hot path: every trial actuates the array and
+        // re-synthesizes each link's CFR from a fresh path resolve.
+        core::LinkScenario fresh = core::make_link_scenario(seed, false);
+        core::System& system = fresh.system;
+        util::Rng rng(9000 + seed);
+        control::Controller controller(
+            control::ControlPlaneModel::fast(),
+            [&](const surface::Config& c) {
+                system.apply(fresh.array_id, c);
+                return true;
+            },
+            [&]() {
+                control::Observation obs;
+                for (std::size_t i = 0; i < system.num_links(); ++i)
+                    obs.link_snr_db.push_back(
+                        system.medium()
+                            .sound(system.link(i),
+                                   system.sounding_repeats(), rng)
+                            .snr_db());
+                return obs;
+            },
+            system.num_links(), system.medium().ofdm().num_used());
+        const surface::ConfigSpace space =
+            system.medium().array(fresh.array_id).config_space();
+        auto t0 = Clock::now();
+        const auto outcome = controller.optimize(space, objective,
+                                                 searcher, budget_s, rng);
+        snap.search_serial_ms =
+            elapsed_us(t0, Clock::now(), 1) / 1000.0;
+        snap.search_serial_evals = outcome.search.evaluations;
+    }
+    {
+        core::LinkScenario fresh = core::make_link_scenario(seed, false);
+        util::Rng rng(9000 + seed);
+        auto t0 = Clock::now();
+        const auto outcome = fresh.system.optimize_fast(
+            fresh.array_id, objective, searcher,
+            control::ControlPlaneModel::fast(), budget_s, rng);
+        snap.search_batched_ms =
+            elapsed_us(t0, Clock::now(), 1) / 1000.0;
+        snap.search_batched_evals = outcome.search.evaluations;
+    }
+    return snap;
+}
+
+void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
+    std::fprintf(
+        out,
+        "    {\n"
+        "      \"scene\": \"%s\",\n"
+        "      \"seed\": %llu,\n"
+        "      \"trace_eval_us\": %.3f,\n"
+        "      \"resynth_eval_us\": %.3f,\n"
+        "      \"cached_eval_us\": %.3f,\n"
+        "      \"speedup_vs_trace\": %.1f,\n"
+        "      \"speedup_vs_resynth\": %.1f,\n"
+        "      \"search_serial_ms\": %.2f,\n"
+        "      \"search_batched_ms\": %.2f,\n"
+        "      \"search_serial_evals\": %zu,\n"
+        "      \"search_batched_evals\": %zu,\n"
+        "      \"search_speedup\": %.1f\n"
+        "    }%s\n",
+        s.name.c_str(), static_cast<unsigned long long>(s.seed),
+        s.trace_eval_us, s.resynth_eval_us, s.cached_eval_us,
+        s.trace_eval_us / s.cached_eval_us,
+        s.resynth_eval_us / s.cached_eval_us, s.search_serial_ms,
+        s.search_batched_ms, s.search_serial_evals, s.search_batched_evals,
+        s.search_serial_ms / s.search_batched_ms, last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+    const SceneSnapshot fig4 = snapshot_scene("fig4", 100);
+    const SceneSnapshot fig6 = snapshot_scene("fig6", 116);
+
+    std::FILE* out = std::fopen("BENCH_observe.json", "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot open BENCH_observe.json\n");
+        return 1;
+    }
+    std::fprintf(out, "{\n  \"threads\": %zu,\n  \"scenes\": [\n",
+                 press::control::BatchEvaluator::resolve_threads(0));
+    print_scene(out, fig4, false);
+    print_scene(out, fig6, true);
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+
+    for (const SceneSnapshot* s : {&fig4, &fig6}) {
+        std::printf(
+            "%s: trace %.1f us  resynth %.1f us  cached %.3f us  "
+            "(speedup %0.fx / %.0fx)  search %.1f ms -> %.1f ms\n",
+            s->name.c_str(), s->trace_eval_us, s->resynth_eval_us,
+            s->cached_eval_us, s->trace_eval_us / s->cached_eval_us,
+            s->resynth_eval_us / s->cached_eval_us, s->search_serial_ms,
+            s->search_batched_ms);
+    }
+    std::printf("wrote BENCH_observe.json\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "control/batch.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace press::control {
+
+std::size_t BatchEvaluator::resolve_threads(std::size_t requested) {
+    if (requested != 0) return requested;
+    if (const char* env = std::getenv("PRESS_THREADS")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<std::size_t>(std::min(parsed, 64L));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::uint64_t BatchEvaluator::candidate_seed(std::uint64_t seed,
+                                             std::uint64_t index) {
+    // splitmix64 over the (seed, index) pair: cheap, well-distributed, and
+    // independent of evaluation order or thread assignment.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+BatchEvaluator::BatchEvaluator(BatchScoreFn score, std::uint64_t seed,
+                               std::size_t threads)
+    : score_(std::move(score)), seed_(seed) {
+    PRESS_EXPECTS(score_ != nullptr, "score callback required");
+    const std::size_t n = resolve_threads(threads);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this]() { worker_loop(); });
+}
+
+BatchEvaluator::~BatchEvaluator() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void BatchEvaluator::worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        work_cv_.wait(lock, [this]() {
+            return shutdown_ || (batch_ && next_ < batch_->size());
+        });
+        if (shutdown_) return;
+        while (batch_ && next_ < batch_->size()) {
+            const std::vector<surface::Config>* batch = batch_;
+            const std::size_t i = next_++;
+            const std::uint64_t index = base_index_ + i;
+            lock.unlock();
+            double value = 0.0;
+            std::exception_ptr error;
+            try {
+                util::Rng rng(candidate_seed(seed_, index));
+                value = score_((*batch)[i], rng);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            lock.lock();
+            (*results_)[i] = value;
+            if (error && !first_error_) first_error_ = error;
+            if (--remaining_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+std::vector<double> BatchEvaluator::evaluate(
+    const std::vector<surface::Config>& batch) {
+    std::vector<double> results(batch.size(), 0.0);
+    if (batch.empty()) return results;
+    std::unique_lock<std::mutex> lock(mutex_);
+    PRESS_EXPECTS(batch_ == nullptr,
+                  "evaluate() is not reentrant on one evaluator");
+    batch_ = &batch;
+    results_ = &results;
+    next_ = 0;
+    remaining_ = batch.size();
+    first_error_ = nullptr;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this]() { return remaining_ == 0; });
+    batch_ = nullptr;
+    results_ = nullptr;
+    base_index_ += batch.size();
+    if (first_error_) std::rethrow_exception(first_error_);
+    return results;
+}
+
+}  // namespace press::control

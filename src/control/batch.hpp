@@ -1,0 +1,93 @@
+// Parallel, deterministic batch evaluation of candidate configurations.
+//
+// A searcher that proposes independent candidates (an exhaustive chunk, or
+// every alternative state of one element in a coordinate sweep) can score
+// them concurrently when the evaluation is a pure function of the
+// configuration — which the factored channel cache makes true. The
+// BatchEvaluator runs a fixed pool of worker threads over each batch and
+// is bit-reproducible regardless of thread count:
+//
+//   - results[i] always corresponds to batch[i] (workers write disjoint
+//     slots; the caller folds scores in index order),
+//   - each candidate's stochastic behavior (measurement noise, flaky
+//     switches) draws from a private util::Rng seeded from the evaluator
+//     seed and the candidate's GLOBAL evaluation index — not from a shared
+//     stream whose interleaving would depend on scheduling.
+//
+// Thread count resolution: an explicit count wins; otherwise the
+// PRESS_THREADS environment variable (clamped to [1, 64]); otherwise
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "press/config.hpp"
+#include "util/rng.hpp"
+
+namespace press::control {
+
+/// Scores one candidate configuration. `rng` is the candidate's private,
+/// deterministically seeded stream; implementations must not touch any
+/// other mutable state.
+using BatchScoreFn =
+    std::function<double(const surface::Config&, util::Rng&)>;
+
+class BatchEvaluator {
+public:
+    /// `threads == 0` resolves via resolve_threads(). Workers are created
+    /// once and reused across batches.
+    BatchEvaluator(BatchScoreFn score, std::uint64_t seed,
+                   std::size_t threads = 0);
+    ~BatchEvaluator();
+
+    BatchEvaluator(const BatchEvaluator&) = delete;
+    BatchEvaluator& operator=(const BatchEvaluator&) = delete;
+
+    /// Scores every candidate; results[i] is batch[i]'s score. Rethrows
+    /// the first exception any worker hit (after the batch drains).
+    std::vector<double> evaluate(
+        const std::vector<surface::Config>& batch);
+
+    std::size_t num_threads() const { return workers_.size(); }
+
+    /// Candidates scored so far — the global index assigned to the next
+    /// candidate, which anchors its rng stream.
+    std::uint64_t evaluated() const { return base_index_; }
+
+    /// Thread-count policy: `requested` if nonzero, else PRESS_THREADS
+    /// from the environment (clamped to [1, 64]), else the hardware
+    /// concurrency (at least 1).
+    static std::size_t resolve_threads(std::size_t requested);
+
+    /// The per-candidate seed for global evaluation index `index` under
+    /// evaluator seed `seed` (splitmix64 mix; exposed for tests).
+    static std::uint64_t candidate_seed(std::uint64_t seed,
+                                        std::uint64_t index);
+
+private:
+    void worker_loop();
+
+    BatchScoreFn score_;
+    std::uint64_t seed_;
+    std::uint64_t base_index_ = 0;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;   ///< workers wait for a batch
+    std::condition_variable done_cv_;   ///< caller waits for completion
+    const std::vector<surface::Config>* batch_ = nullptr;
+    std::vector<double>* results_ = nullptr;
+    std::size_t next_ = 0;       ///< next candidate slot to claim
+    std::size_t remaining_ = 0;  ///< candidates not yet finished
+    std::exception_ptr first_error_;
+    bool shutdown_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace press::control

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 #include "util/contracts.hpp"
 
@@ -18,6 +20,8 @@ public:
     bool exhausted() const {
         return result_.evaluations >= max_evals_ || (stop_ && stop_());
     }
+
+    std::size_t evaluations() const { return result_.evaluations; }
 
     /// Evaluates `c` (unconditionally; strategies wanting memoization
     /// should avoid repeats themselves). Returns the score.
@@ -42,6 +46,68 @@ private:
     SearchResult result_;
 };
 
+/// Batched counterpart of Tracker: scores whole candidate groups through a
+/// BatchEvalFn and folds them into the result in proposal order, so the
+/// outcome is independent of how the callee parallelizes the batch.
+class BatchTracker {
+public:
+    BatchTracker(const BatchEvalFn& eval, std::size_t max_evals,
+                 const StopFn& stop)
+        : eval_(eval), max_evals_(max_evals), stop_(stop) {}
+
+    bool exhausted() const {
+        return result_.evaluations >= max_evals_ || (stop_ && stop_());
+    }
+
+    std::size_t evaluations() const { return result_.evaluations; }
+    std::size_t remaining() const {
+        return max_evals_ - std::min(result_.evaluations, max_evals_);
+    }
+
+    /// Scores up to remaining() candidates from `batch` (truncating the
+    /// tail if the budget runs short) and returns the scores actually
+    /// produced — compare sizes to detect truncation.
+    std::vector<double> evaluate(std::vector<surface::Config> batch) {
+        PRESS_EXPECTS(!exhausted(), "evaluation budget exceeded");
+        if (batch.size() > remaining()) batch.resize(remaining());
+        std::vector<double> scores = eval_(batch);
+        PRESS_EXPECTS(scores.size() == batch.size(),
+                      "batch evaluator returned a mismatched score count");
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            ++result_.evaluations;
+            if (result_.trajectory.empty() ||
+                scores[i] > result_.best_score) {
+                result_.best_score = scores[i];
+                result_.best_config = batch[i];
+            }
+            result_.trajectory.push_back(result_.best_score);
+        }
+        return scores;
+    }
+
+    SearchResult take() { return std::move(result_); }
+
+private:
+    const BatchEvalFn& eval_;
+    std::size_t max_evals_;
+    const StopFn& stop_;
+    SearchResult result_;
+};
+
+/// FNV-1a over element states, for memoizing scored configurations.
+struct ConfigHash {
+    std::size_t operator()(const surface::Config& c) const {
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        for (int v : c) {
+            h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(v));
+            h *= 0x100000001B3ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+using ScoreMemo = std::unordered_map<surface::Config, double, ConfigHash>;
+
 surface::Config random_config(const surface::ConfigSpace& space,
                               util::Rng& rng) {
     surface::Config c(space.num_elements());
@@ -52,6 +118,24 @@ surface::Config random_config(const surface::ConfigSpace& space,
 }
 
 }  // namespace
+
+SearchResult Searcher::search_batched(const surface::ConfigSpace& space,
+                                      const BatchEvalFn& eval,
+                                      std::size_t max_evals, util::Rng& rng,
+                                      const StopFn& stop,
+                                      std::size_t batch_hint) const {
+    // Default adapter: run the serial strategy through one-candidate
+    // batches. Strategies with natural batch structure override this.
+    (void)batch_hint;
+    const EvalFn one = [&eval](const surface::Config& c) {
+        const std::vector<double> scores =
+            eval(std::vector<surface::Config>{c});
+        PRESS_EXPECTS(scores.size() == 1,
+                      "batch evaluator returned a mismatched score count");
+        return scores[0];
+    };
+    return search(space, one, max_evals, rng, stop);
+}
 
 SearchResult ExhaustiveSearcher::search(const surface::ConfigSpace& space,
                                         const EvalFn& eval,
@@ -64,6 +148,30 @@ SearchResult ExhaustiveSearcher::search(const surface::ConfigSpace& space,
     const std::uint64_t n = space.size();
     for (std::uint64_t i = 0; i < n && !t.exhausted(); ++i)
         t.evaluate(space.at(i));
+    return t.take();
+}
+
+SearchResult ExhaustiveSearcher::search_batched(
+    const surface::ConfigSpace& space, const BatchEvalFn& eval,
+    std::size_t max_evals, util::Rng& rng, const StopFn& stop,
+    std::size_t batch_hint) const {
+    (void)rng;
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    BatchTracker t(eval, max_evals, stop);
+    const std::uint64_t n = space.size();
+    const std::uint64_t chunk = std::max<std::uint64_t>(batch_hint, 1);
+    std::uint64_t i = 0;
+    while (i < n && !t.exhausted()) {
+        const std::uint64_t take =
+            std::min({chunk, n - i,
+                      static_cast<std::uint64_t>(t.remaining())});
+        std::vector<surface::Config> batch;
+        batch.reserve(static_cast<std::size_t>(take));
+        for (std::uint64_t j = 0; j < take; ++j)
+            batch.push_back(space.at(i + j));
+        t.evaluate(std::move(batch));
+        i += take;
+    }
     return t.take();
 }
 
@@ -84,9 +192,17 @@ SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
                                              const StopFn& stop) const {
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
     Tracker t(eval, max_evals, stop);
+    ScoreMemo memo;
     while (!t.exhausted()) {
+        const std::size_t evals_at_restart = t.evaluations();
         surface::Config current = random_config(space, rng);
-        double current_score = t.evaluate(current);
+        double current_score;
+        if (auto it = memo.find(current); it != memo.end()) {
+            current_score = it->second;
+        } else {
+            current_score = t.evaluate(current);
+            memo.emplace(current, current_score);
+        }
         bool improved = true;
         while (improved && !t.exhausted()) {
             improved = false;
@@ -98,7 +214,13 @@ SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
                      ++s) {
                     if (s == original) continue;
                     current[e] = s;
-                    const double score = t.evaluate(current);
+                    double score;
+                    if (auto it = memo.find(current); it != memo.end()) {
+                        score = it->second;
+                    } else {
+                        score = t.evaluate(current);
+                        memo.emplace(current, score);
+                    }
                     if (score > current_score) {
                         current_score = score;
                         best_state = s;
@@ -109,6 +231,82 @@ SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
             }
         }
         // Random restart when a local optimum is reached with budget left.
+        // If the whole restart pass rode the memo (no fresh evaluations),
+        // the reachable region is already scored — stop rather than spin.
+        if (t.evaluations() == evals_at_restart) break;
+    }
+    return t.take();
+}
+
+SearchResult GreedyCoordinateDescent::search_batched(
+    const surface::ConfigSpace& space, const BatchEvalFn& eval,
+    std::size_t max_evals, util::Rng& rng, const StopFn& stop,
+    std::size_t batch_hint) const {
+    (void)batch_hint;  // the sweep's natural batch is one element's states
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    BatchTracker t(eval, max_evals, stop);
+    ScoreMemo memo;
+    while (!t.exhausted()) {
+        const std::size_t evals_at_restart = t.evaluations();
+        surface::Config current = random_config(space, rng);
+        double current_score;
+        if (auto it = memo.find(current); it != memo.end()) {
+            current_score = it->second;
+        } else {
+            const std::vector<double> scores =
+                t.evaluate(std::vector<surface::Config>{current});
+            if (scores.empty()) break;
+            current_score = scores[0];
+            memo.emplace(current, current_score);
+        }
+        bool improved = true;
+        while (improved && !t.exhausted()) {
+            improved = false;
+            for (std::size_t e = 0;
+                 e < space.num_elements() && !t.exhausted(); ++e) {
+                const int original = current[e];
+                int best_state = original;
+                double best_score = current_score;
+                // Memoized alternatives are free; unseen ones become the
+                // batch, in ascending state order (matching the serial
+                // sweep's evaluation order).
+                std::vector<int> fresh_states;
+                std::vector<surface::Config> batch;
+                for (int s = 0; s < space.radices()[e]; ++s) {
+                    if (s == original) continue;
+                    current[e] = s;
+                    if (auto it = memo.find(current); it != memo.end()) {
+                        if (it->second > best_score) {
+                            best_score = it->second;
+                            best_state = s;
+                        }
+                    } else {
+                        fresh_states.push_back(s);
+                        batch.push_back(current);
+                    }
+                }
+                current[e] = original;
+                if (!batch.empty()) {
+                    const std::vector<double> scores =
+                        t.evaluate(std::move(batch));
+                    for (std::size_t i = 0; i < scores.size(); ++i) {
+                        surface::Config scored = current;
+                        scored[e] = fresh_states[i];
+                        memo.emplace(std::move(scored), scores[i]);
+                        if (scores[i] > best_score) {
+                            best_score = scores[i];
+                            best_state = fresh_states[i];
+                        }
+                    }
+                }
+                if (best_state != original) {
+                    current[e] = best_state;
+                    current_score = best_score;
+                    improved = true;
+                }
+            }
+        }
+        if (t.evaluations() == evals_at_restart) break;
     }
     return t.take();
 }

@@ -21,6 +21,13 @@ namespace press::control {
 /// Measures one configuration; larger scores are better.
 using EvalFn = std::function<double(const surface::Config&)>;
 
+/// Measures a batch of independent configurations; results[i] scores
+/// batch[i]. Backed by a BatchEvaluator thread pool when the evaluation is
+/// a pure function of the configuration (the factored channel cache), or
+/// by a trivial serial loop otherwise.
+using BatchEvalFn = std::function<std::vector<double>(
+    const std::vector<surface::Config>&)>;
+
 /// Optional early-termination predicate checked before every evaluation.
 /// Lets a controller end a search when simulated wall-clock (not just the
 /// evaluation count) runs out — e.g. when control-channel retries have
@@ -49,6 +56,21 @@ public:
                                 util::Rng& rng,
                                 const StopFn& stop = nullptr) const = 0;
 
+    /// Batched search: the strategy proposes groups of independent
+    /// candidates — up to `batch_hint` at a time, never more than the
+    /// remaining budget — so the caller can evaluate them concurrently.
+    /// Scores are folded into the result in proposal order, keeping the
+    /// outcome independent of evaluation concurrency. The base adapter
+    /// degenerates to one-candidate batches (serial semantics);
+    /// strategies with natural parallelism (exhaustive chunks, the
+    /// all-states sweep of one coordinate) override it.
+    virtual SearchResult search_batched(const surface::ConfigSpace& space,
+                                        const BatchEvalFn& eval,
+                                        std::size_t max_evals,
+                                        util::Rng& rng,
+                                        const StopFn& stop = nullptr,
+                                        std::size_t batch_hint = 1) const;
+
     virtual std::string name() const = 0;
 };
 
@@ -59,6 +81,12 @@ public:
     SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
                         std::size_t max_evals, util::Rng& rng,
                         const StopFn& stop = nullptr) const override;
+    /// Proposes index-order chunks of `batch_hint` configurations.
+    SearchResult search_batched(const surface::ConfigSpace& space,
+                                const BatchEvalFn& eval,
+                                std::size_t max_evals, util::Rng& rng,
+                                const StopFn& stop = nullptr,
+                                std::size_t batch_hint = 1) const override;
     std::string name() const override { return "exhaustive"; }
 };
 
@@ -73,12 +101,23 @@ public:
 
 /// Greedy coordinate descent: sweep elements round-robin, trying every
 /// state of one element while others stay fixed; restart from a random
-/// configuration when a pass makes no progress.
+/// configuration when a pass makes no progress. Already-scored
+/// configurations are memoized, so revisits (common near local optima and
+/// after restarts) consume no evaluation budget; the search ends early if
+/// an entire restart pass touches only memoized configurations.
 class GreedyCoordinateDescent : public Searcher {
 public:
     SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
                         std::size_t max_evals, util::Rng& rng,
                         const StopFn& stop = nullptr) const override;
+    /// Proposes all unseen alternative states of one element as a batch
+    /// (the coordinate sweep's natural parallel unit); `batch_hint` is
+    /// ignored. Evaluation order matches the serial search exactly.
+    SearchResult search_batched(const surface::ConfigSpace& space,
+                                const BatchEvalFn& eval,
+                                std::size_t max_evals, util::Rng& rng,
+                                const StopFn& stop = nullptr,
+                                std::size_t batch_hint = 1) const override;
     std::string name() const override { return "greedy-coordinate"; }
 };
 

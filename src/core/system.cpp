@@ -1,5 +1,8 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+
+#include "control/batch.hpp"
 #include "util/contracts.hpp"
 
 namespace press::core {
@@ -26,9 +29,15 @@ void System::set_sounding_repeats(std::size_t repeats) {
     sounding_repeats_ = repeats;
 }
 
+util::CVec System::channel_response(std::size_t link_id) const {
+    return link_cache_.response(medium_, link_id, link(link_id));
+}
+
 phy::ChannelEstimate System::sound(std::size_t link_id,
                                    util::Rng& rng) const {
-    return medium_.sound(link(link_id), sounding_repeats_, rng);
+    return medium_.sound_with_response(link(link_id),
+                                       channel_response(link_id),
+                                       sounding_repeats_, rng);
 }
 
 std::vector<double> System::measured_snr_db(std::size_t link_id,
@@ -37,7 +46,7 @@ std::vector<double> System::measured_snr_db(std::size_t link_id,
 }
 
 std::vector<double> System::true_snr_db(std::size_t link_id) const {
-    return medium_.true_snr_db(link(link_id));
+    return medium_.true_snr_db(link(link_id), channel_response(link_id));
 }
 
 control::Observation System::observe(util::Rng& rng) const {
@@ -149,6 +158,86 @@ control::OptimizationOutcome System::optimize_degraded(
     if (!outcome.search.best_config.empty())
         outcome.search.best_config =
             projection.lift(outcome.search.best_config);
+    return outcome;
+}
+
+control::OptimizationOutcome System::optimize_fast(
+    std::size_t array_id, const control::Objective& objective,
+    const control::Searcher& searcher,
+    const control::ControlPlaneModel& plane, double time_budget_s,
+    util::Rng& rng, std::size_t threads) {
+    PRESS_EXPECTS(!links_.empty(), "register links before optimizing");
+    PRESS_EXPECTS(time_budget_s > 0.0, "budget must be positive");
+    const surface::ConfigSpace space =
+        medium_.array(array_id).config_space();
+
+    // Price one trial exactly like the serial controller does: batch
+    // evaluation speeds up the simulator, not the modeled hardware, so
+    // simulated wall-clock is still charged per trial.
+    control::SetConfig probe;
+    probe.array_id = 0;
+    probe.config.assign(space.num_elements(), 0);
+    const double trial_cost = plane.config_trial_time_s(
+        probe, links_.size(), medium_.ofdm().num_used());
+    const std::size_t max_evals = std::max<std::size_t>(
+        1, static_cast<std::size_t>(time_budget_s / trial_cost));
+
+    // Warm every link's basis so the batch workers only ever read.
+    for (std::size_t i = 0; i < links_.size(); ++i)
+        link_cache_.warm(medium_, i, links_[i]);
+
+    // Trials are scored against the cache instead of actuating the
+    // (simulated) hardware, so flaky switches hold their pre-search state
+    // for the whole run; stuck/dead/drift faults distort every candidate
+    // exactly as a live apply would.
+    const surface::Config baseline =
+        medium_.array(array_id).current_config();
+    const fault::FaultModel* fm = faults(array_id);
+
+    control::BatchEvaluator pool(
+        [this, array_id, &objective, fm, &baseline](
+            const surface::Config& c, util::Rng& crng) {
+            const surface::Config actual =
+                fm ? fm->distorted(c, baseline, crng) : c;
+            control::Observation obs;
+            obs.link_snr_db.reserve(links_.size());
+            for (std::size_t i = 0; i < links_.size(); ++i) {
+                const util::CVec h = link_cache_.response_with(
+                    medium_, i, links_[i], array_id, actual);
+                obs.link_snr_db.push_back(
+                    medium_
+                        .sound_with_response(links_[i], h,
+                                             sounding_repeats_, crng)
+                        .snr_db());
+            }
+            return objective.score(obs);
+        },
+        rng.engine()(), threads);
+
+    control::OptimizationOutcome outcome;
+    outcome.trial_cost_s = trial_cost;
+
+    control::SimClock clock;
+    const control::BatchEvalFn eval =
+        [&pool, &clock, trial_cost](
+            const std::vector<surface::Config>& batch) {
+            std::vector<double> scores = pool.evaluate(batch);
+            clock.advance(trial_cost * static_cast<double>(batch.size()));
+            return scores;
+        };
+    const control::StopFn stop = [&clock, time_budget_s]() {
+        return clock.now_s() >= time_budget_s;
+    };
+
+    outcome.search = searcher.search_batched(space, eval, max_evals, rng,
+                                             stop, pool.num_threads() * 2);
+    outcome.elapsed_s = clock.now_s();
+    outcome.budget_limited = outcome.search.evaluations >= max_evals ||
+                             clock.now_s() >= time_budget_s;
+
+    // Actuate the winner through the normal (fault-distorting) path.
+    if (!outcome.search.best_config.empty())
+        apply(array_id, outcome.search.best_config);
     return outcome;
 }
 

@@ -20,9 +20,11 @@
 #include "control/controller.hpp"
 #include "control/objective.hpp"
 #include "control/search.hpp"
+#include "core/link_cache.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "sdr/medium.hpp"
+#include "util/cvec.hpp"
 #include "util/rng.hpp"
 
 namespace press::core {
@@ -46,6 +48,11 @@ public:
     /// preamble-rich measurement frame).
     void set_sounding_repeats(std::size_t repeats);
     std::size_t sounding_repeats() const { return sounding_repeats_; }
+
+    /// Noise-free CFR of one link under the current configuration, served
+    /// from the factored channel cache (H = H_static + B . g(config));
+    /// bit-identical to synthesizing medium().resolve_paths() directly.
+    util::CVec channel_response(std::size_t link_id) const;
 
     /// Sounds one link under the current configuration.
     phy::ChannelEstimate sound(std::size_t link_id, util::Rng& rng) const;
@@ -103,11 +110,39 @@ public:
         const control::ControlPlaneModel& plane, double time_budget_s,
         const fault::HealthReport& report, util::Rng& rng);
 
+    /// Cache-backed parallel optimization: candidates are scored against
+    /// the factored channel cache on a fixed thread pool instead of being
+    /// applied to the (simulated) hardware one at a time, so evaluation
+    /// throughput is bounded by the GEMV recombination kernel rather than
+    /// the ray tracer. Simulated wall-clock is still charged per trial at
+    /// the control-plane rate (parallelism speeds up the simulator, not
+    /// the modeled hardware). Stuck/dead/drift faults are fully respected;
+    /// flaky switches are evaluated against the pre-search array state.
+    /// Results are bit-reproducible for a given rng state regardless of
+    /// `threads` (0 = PRESS_THREADS env override, else hardware default).
+    /// The best configuration found is applied before returning.
+    control::OptimizationOutcome optimize_fast(
+        std::size_t array_id, const control::Objective& objective,
+        const control::Searcher& searcher,
+        const control::ControlPlaneModel& plane, double time_budget_s,
+        util::Rng& rng, std::size_t threads = 0);
+
+    /// Hit/miss counters of the factored channel cache.
+    const LinkCache::Stats& cache_stats() const {
+        return link_cache_.stats();
+    }
+
+    /// Drops every cached channel basis (the next observation rebuilds).
+    void invalidate_cache() { link_cache_.invalidate(); }
+
 private:
     sdr::Medium medium_;
     std::vector<sdr::Link> links_;
     std::size_t sounding_repeats_ = 4;
     std::map<std::size_t, fault::FaultModel> fault_models_;
+    /// Factored per-link channel bases; rebuilt lazily on geometry,
+    /// endpoint or fault changes. Mutable: observation is logically const.
+    mutable LinkCache link_cache_;
 };
 
 }  // namespace press::core

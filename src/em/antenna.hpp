@@ -33,6 +33,12 @@ public:
     /// True for the omnidirectional model.
     bool is_omni() const { return omni_; }
 
+    /// Boresight direction (meaningful for directional models only).
+    const Vec3& boresight() const { return boresight_; }
+
+    /// -3 dB full beamwidth in radians (zero for omni).
+    double beamwidth_rad() const { return beamwidth_rad_; }
+
     /// Re-points a directional antenna (no effect on omni).
     void set_boresight(const Vec3& boresight);
 

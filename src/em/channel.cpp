@@ -14,6 +14,15 @@ using util::CVec;
 CVec frequency_response(const std::vector<Path>& paths,
                         const std::vector<double>& freqs_hz, double time_s) {
     CVec h(freqs_hz.size(), cd{0.0, 0.0});
+    accumulate_frequency_response(h, paths, freqs_hz, time_s);
+    return h;
+}
+
+void accumulate_frequency_response(CVec& h, const std::vector<Path>& paths,
+                                   const std::vector<double>& freqs_hz,
+                                   double time_s) {
+    PRESS_EXPECTS(h.size() == freqs_hz.size(),
+                  "accumulator must match the frequency grid");
     for (const Path& p : paths) {
         const cd doppler = std::polar(
             1.0, util::kTwoPi * p.doppler_hz * time_s);
@@ -22,7 +31,6 @@ CVec frequency_response(const std::vector<Path>& paths,
             h[k] += p.gain * std::polar(1.0, phase) * doppler;
         }
     }
-    return h;
 }
 
 CVec impulse_response(const std::vector<Path>& paths, double carrier_hz,

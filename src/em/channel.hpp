@@ -19,6 +19,15 @@ util::CVec frequency_response(const std::vector<Path>& paths,
                               const std::vector<double>& freqs_hz,
                               double time_s = 0.0);
 
+/// Adds the frequency response of `paths` into `h` (same grid semantics as
+/// frequency_response; `h.size()` must equal `freqs_hz.size()`). Lets a
+/// factored channel cache accumulate static and per-element contributions
+/// with the exact arithmetic of the one-shot synthesis.
+void accumulate_frequency_response(util::CVec& h,
+                                   const std::vector<Path>& paths,
+                                   const std::vector<double>& freqs_hz,
+                                   double time_s = 0.0);
+
 /// Discrete-time baseband impulse response sampled at `sample_rate_hz`
 /// around carrier `carrier_hz`, `num_taps` taps long. Each path lands at
 /// its fractional delay via a Hann-windowed sinc interpolation kernel; the

@@ -14,6 +14,7 @@ void Environment::set_max_reflection_order(int order) {
     PRESS_EXPECTS(order >= 0 && order <= 6,
                   "reflection order must be in [0, 6]");
     max_reflection_order_ = order;
+    touch();
 }
 
 double Environment::obstruction_amplitude(const Vec3& a, const Vec3& b) const {
@@ -170,6 +171,7 @@ void Environment::add_static_paths(std::vector<Path> paths) {
     static_paths_.insert(static_paths_.end(),
                          std::make_move_iterator(paths.begin()),
                          std::make_move_iterator(paths.end()));
+    touch();
 }
 
 std::optional<Path> Environment::two_hop(

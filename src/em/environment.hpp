@@ -19,6 +19,7 @@
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "em/path.hpp"
 #include "em/room.hpp"
 #include "em/scatterer.hpp"
+#include "util/revision.hpp"
 
 namespace press::em {
 
@@ -53,7 +55,10 @@ public:
     Environment() = default;
 
     /// Installs a room; endpoints and scatterers must lie inside it.
-    void set_room(const Room& room) { room_ = room; }
+    void set_room(const Room& room) {
+        room_ = room;
+        touch();
+    }
     const std::optional<Room>& room() const { return room_; }
 
     /// Highest wall-reflection order traced (default 2). Order 3 roughly
@@ -61,13 +66,25 @@ public:
     void set_max_reflection_order(int order);
     int max_reflection_order() const { return max_reflection_order_; }
 
-    void add_obstacle(const Obstacle& o) { obstacles_.push_back(o); }
+    void add_obstacle(const Obstacle& o) {
+        obstacles_.push_back(o);
+        touch();
+    }
     const std::vector<Obstacle>& obstacles() const { return obstacles_; }
-    void clear_obstacles() { obstacles_.clear(); }
+    void clear_obstacles() {
+        obstacles_.clear();
+        touch();
+    }
 
-    void add_scatterer(const Scatterer& s) { scatterers_.push_back(s); }
+    void add_scatterer(const Scatterer& s) {
+        scatterers_.push_back(s);
+        touch();
+    }
     const std::vector<Scatterer>& scatterers() const { return scatterers_; }
-    void clear_scatterers() { scatterers_.clear(); }
+    void clear_scatterers() {
+        scatterers_.clear();
+        touch();
+    }
 
     /// Installs endpoint-independent diffuse multipath (e.g. a
     /// Saleh-Valenzuela realization from em/statistical.hpp) appended
@@ -75,7 +92,15 @@ public:
     /// antenna effects.
     void add_static_paths(std::vector<Path> paths);
     const std::vector<Path>& static_paths() const { return static_paths_; }
-    void clear_static_paths() { static_paths_.clear(); }
+    void clear_static_paths() {
+        static_paths_.clear();
+        touch();
+    }
+
+    /// Mutation stamp: changes (to a process-unique value) whenever the
+    /// scene is structurally modified through any mutator above. Channel
+    /// caches compare stamps to decide whether traced paths are stale.
+    std::uint64_t revision() const { return revision_; }
 
     /// Resolves every direct / wall / scatterer path between tx and rx at
     /// the given carrier. PRESS-element paths are added separately by the
@@ -111,11 +136,14 @@ private:
     Path direct_path(const RadiatingEndpoint& tx, const RadiatingEndpoint& rx,
                      double carrier_hz) const;
 
+    void touch() { revision_ = util::next_revision(); }
+
     std::optional<Room> room_;
     int max_reflection_order_ = 2;
     std::vector<Obstacle> obstacles_;
     std::vector<Scatterer> scatterers_;
     std::vector<Path> static_paths_;
+    std::uint64_t revision_ = util::next_revision();
 };
 
 /// Per-path Doppler shift for moving endpoints: positive when the geometry

@@ -102,6 +102,12 @@ void FaultModel::install(surface::Array& array) const {
 
 surface::Config FaultModel::distort(const surface::Config& requested,
                                     const surface::Config& current) {
+    return distorted(requested, current, rng_);
+}
+
+surface::Config FaultModel::distorted(const surface::Config& requested,
+                                      const surface::Config& current,
+                                      util::Rng& rng) const {
     PRESS_EXPECTS(requested.size() == current.size(),
                   "requested/current configuration arity mismatch");
     surface::Config actual = requested;
@@ -113,7 +119,7 @@ surface::Config FaultModel::distort(const surface::Config& requested,
                 actual[f.element] = f.stuck_state;
                 break;
             case FaultType::kFlaky:
-                if (rng_.chance(f.flake_prob))
+                if (rng.chance(f.flake_prob))
                     actual[f.element] = current[f.element];
                 break;
             case FaultType::kDead:

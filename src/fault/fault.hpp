@@ -77,6 +77,14 @@ public:
     surface::Config distort(const surface::Config& requested,
                             const surface::Config& current);
 
+    /// Pure variant: identical distortion, but flaky coin flips draw from
+    /// the caller's `rng`, leaving this model's stream untouched. Lets a
+    /// batch evaluator score fault-distorted candidates concurrently and
+    /// deterministically (each candidate brings its own seeded stream).
+    surface::Config distorted(const surface::Config& requested,
+                              const surface::Config& current,
+                              util::Rng& rng) const;
+
     /// requested -> distort -> array.apply. What System::apply routes
     /// through when faults are injected.
     void apply(surface::Array& array, const surface::Config& requested);

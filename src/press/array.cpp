@@ -51,6 +51,43 @@ std::vector<std::vector<std::string>> Array::state_labels() const {
     return labels;
 }
 
+std::vector<std::vector<em::Path>> Array::state_paths(
+    const em::Environment& env, const em::RadiatingEndpoint& tx,
+    const em::RadiatingEndpoint& rx, double carrier_hz) const {
+    std::vector<std::vector<em::Path>> out(elements_.size());
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+        const Element& e = elements_[i];
+        out[i].reserve(static_cast<std::size_t>(e.num_states()));
+        for (int s = 0; s < e.num_states(); ++s) {
+            const Load& load = e.load(s);
+            const auto p = env.two_hop(
+                tx, rx, e.position(), e.antenna(), load.reflection,
+                load.extra_delay_s, carrier_hz, em::PathKind::kPressElement,
+                static_cast<int>(i));
+            if (p) {
+                out[i].push_back(*p);
+            } else {
+                // Zero-gain placeholder: contributes nothing when summed,
+                // exactly like the path paths() would have skipped.
+                em::Path zero;
+                zero.kind = em::PathKind::kPressElement;
+                zero.element_index = static_cast<int>(i);
+                out[i].push_back(zero);
+            }
+        }
+    }
+    return out;
+}
+
+std::uint64_t Array::structure_revision() const {
+    // Order-dependent mix of the element stamps, so distinct histories do
+    // not collide by summation.
+    std::uint64_t rev = own_revision_;
+    for (const Element& e : elements_)
+        rev = rev * 0x100000001B3ull ^ e.revision();
+    return rev;
+}
+
 std::vector<em::Path> Array::paths(const em::Environment& env,
                                    const em::RadiatingEndpoint& tx,
                                    const em::RadiatingEndpoint& rx,

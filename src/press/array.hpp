@@ -2,6 +2,7 @@
 // generate the placements used by the paper's exploratory study.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "em/environment.hpp"
@@ -18,7 +19,10 @@ public:
     Array() = default;
     explicit Array(std::vector<Element> elements);
 
-    void add_element(Element e) { elements_.push_back(std::move(e)); }
+    void add_element(Element e) {
+        elements_.push_back(std::move(e));
+        own_revision_ = util::next_revision();
+    }
 
     std::size_t size() const { return elements_.size(); }
     bool empty() const { return elements_.empty(); }
@@ -47,8 +51,23 @@ public:
                                 const em::RadiatingEndpoint& rx,
                                 double carrier_hz) const;
 
+    /// The configuration-independent basis of this array's contribution to
+    /// a link: for every element, the two-hop re-radiation path under each
+    /// selectable load (a zero-gain placeholder where the geometry or load
+    /// yields no path). out[e][s] is element e under state s; the paths of
+    /// any configuration c are exactly { out[e][c[e]] } in element order.
+    std::vector<std::vector<em::Path>> state_paths(
+        const em::Environment& env, const em::RadiatingEndpoint& tx,
+        const em::RadiatingEndpoint& rx, double carrier_hz) const;
+
+    /// Structure stamp over the element set: changes whenever elements are
+    /// added or any element's load bank / antenna may have been modified.
+    /// Applying configurations does NOT change it.
+    std::uint64_t structure_revision() const;
+
 private:
     std::vector<Element> elements_;
+    std::uint64_t own_revision_ = util::next_revision();
 };
 
 /// Places `count` SP4T prototype elements (paper Figure 3) uniformly at

@@ -59,6 +59,7 @@ void Element::set_load(int state, Load load) {
     PRESS_EXPECTS(state >= 0 && state < num_states(),
                   "load state out of range");
     loads_[static_cast<std::size_t>(state)] = std::move(load);
+    revision_ = util::next_revision();
 }
 
 const Load& Element::load(int state) const {

@@ -1,11 +1,13 @@
 // A single PRESS element: an antenna behind a bank of switchable loads.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "em/antenna.hpp"
 #include "em/geometry.hpp"
 #include "press/load.hpp"
+#include "util/revision.hpp"
 
 namespace press::surface {
 
@@ -38,7 +40,12 @@ public:
 
     const em::Vec3& position() const { return position_; }
     const em::Antenna& antenna() const { return antenna_; }
-    em::Antenna& antenna() { return antenna_; }
+    em::Antenna& antenna() {
+        // Mutable access may re-point the element antenna, which changes
+        // the element's re-radiation budget: stamp pessimistically.
+        revision_ = util::next_revision();
+        return antenna_;
+    }
 
     int num_states() const { return static_cast<int>(loads_.size()); }
 
@@ -57,11 +64,18 @@ public:
     /// True when any state needs an amplifier.
     bool has_active_states() const;
 
+    /// Structure stamp: changes (to a process-unique value) whenever the
+    /// load bank or the antenna may have been modified. Selecting a state
+    /// does NOT change it — selection is configuration, not structure —
+    /// which is what lets a factored channel cache survive config sweeps.
+    std::uint64_t revision() const { return revision_; }
+
 private:
     em::Vec3 position_;
     em::Antenna antenna_;
     std::vector<Load> loads_;
     int selected_ = 0;
+    std::uint64_t revision_ = util::next_revision();
 };
 
 }  // namespace press::surface

@@ -34,7 +34,12 @@ Medium::EndpointKey Medium::endpoint_key(const Link& link) {
             link.rx.antenna.peak_gain_dbi()};
 }
 
-std::vector<em::Path> Medium::resolve_paths(const Link& link) const {
+const std::vector<em::Path>& Medium::environment_paths(
+    const Link& link) const {
+    if (env_cache_revision_ != environment_.revision()) {
+        env_path_cache_.clear();
+        env_cache_revision_ = environment_.revision();
+    }
     const EndpointKey key = endpoint_key(link);
     auto it = env_path_cache_.find(key);
     if (it == env_path_cache_.end()) {
@@ -43,7 +48,11 @@ std::vector<em::Path> Medium::resolve_paths(const Link& link) const {
                                                   params_.carrier_hz()))
                  .first;
     }
-    std::vector<em::Path> paths = it->second;
+    return it->second;
+}
+
+std::vector<em::Path> Medium::resolve_paths(const Link& link) const {
+    std::vector<em::Path> paths = environment_paths(link);
     for (const surface::Array& a : arrays_) {
         const std::vector<em::Path> extra =
             a.paths(environment_, link.tx, link.rx, params_.carrier_hz());
@@ -58,7 +67,11 @@ util::CVec Medium::frequency_response(const Link& link) const {
 }
 
 std::vector<double> Medium::true_snr_db(const Link& link) const {
-    const util::CVec h = frequency_response(link);
+    return true_snr_db(link, frequency_response(link));
+}
+
+std::vector<double> Medium::true_snr_db(const Link& link,
+                                        const util::CVec& h) const {
     const double p_sc = util::dbm_to_watt(link.profile.tx_power_dbm) /
                         static_cast<double>(params_.num_used());
     const double n_sc = util::thermal_noise_watt(
@@ -83,8 +96,14 @@ double Medium::estimate_noise_variance(const Link& link) const {
 
 phy::ChannelEstimate Medium::sound(const Link& link, std::size_t repeats,
                                    util::Rng& rng) const {
+    return sound_with_response(link, frequency_response(link), repeats, rng);
+}
+
+phy::ChannelEstimate Medium::sound_with_response(const Link& link,
+                                                 const util::CVec& h,
+                                                 std::size_t repeats,
+                                                 util::Rng& rng) const {
     PRESS_EXPECTS(repeats >= 2, "sounding needs at least two repetitions");
-    const util::CVec h = frequency_response(link);
     const double var = estimate_noise_variance(link);
     std::vector<util::CVec> raw;
     raw.reserve(repeats);

@@ -35,12 +35,10 @@ class Medium {
 public:
     Medium(em::Environment environment, phy::OfdmParams params);
 
-    /// Mutable access invalidates the environment-path cache (the caller
-    /// may be about to move scatterers or obstacles).
-    em::Environment& environment() {
-        env_path_cache_.clear();
-        return environment_;
-    }
+    /// Mutable access to the scene. Any actual mutation bumps the
+    /// environment's revision stamp, which drops the path cache on the
+    /// next lookup — so holding this reference across mutations is safe.
+    em::Environment& environment() { return environment_; }
     const em::Environment& environment() const { return environment_; }
 
     const phy::OfdmParams& ofdm() const { return params_; }
@@ -56,12 +54,22 @@ public:
     /// and each array's element re-radiations under current configurations.
     std::vector<em::Path> resolve_paths(const Link& link) const;
 
+    /// The environment-only paths of a link (direct + walls + scatterers +
+    /// static diffuse), cached per endpoint pair; array re-radiation is
+    /// excluded. The configuration-independent half of a factored channel.
+    const std::vector<em::Path>& environment_paths(const Link& link) const;
+
     /// Noise-free channel frequency response on the used subcarriers.
     util::CVec frequency_response(const Link& link) const;
 
     /// Exact per-subcarrier SNR (dB) from the link budget: per-subcarrier
     /// TX power x |H|^2 over thermal noise in one subcarrier bandwidth.
     std::vector<double> true_snr_db(const Link& link) const;
+
+    /// Same link budget applied to a caller-supplied response `h` (e.g.
+    /// one reconstructed by a core::LinkCache instead of a fresh trace).
+    std::vector<double> true_snr_db(const Link& link,
+                                    const util::CVec& h) const;
 
     /// Per-subcarrier noise-to-signal-scale: the variance of a single raw
     /// LTF channel estimate for this link (channel-units^2).
@@ -71,6 +79,14 @@ public:
     /// plus complex Gaussian estimator noise at the link budget's level.
     phy::ChannelEstimate sound(const Link& link, std::size_t repeats,
                                util::Rng& rng) const;
+
+    /// Like sound(), but against a caller-supplied true response `h`
+    /// instead of re-synthesizing it from a trace. The fast path of a
+    /// cached observe: identical noise stream and estimator behavior.
+    phy::ChannelEstimate sound_with_response(const Link& link,
+                                             const util::CVec& h,
+                                             std::size_t repeats,
+                                             util::Rng& rng) const;
 
     /// Sounds an Nt x Nr MIMO channel: TX antennas take turns transmitting
     /// LTFs (orthogonal in time), each RX antenna estimates its row.
@@ -92,6 +108,9 @@ private:
     phy::OfdmParams params_;
     std::vector<surface::Array> arrays_;
     mutable std::map<EndpointKey, std::vector<em::Path>> env_path_cache_;
+    /// Environment revision the path cache was filled against; a mismatch
+    /// (scene mutated through any Environment mutator) drops the cache.
+    mutable std::uint64_t env_cache_revision_ = 0;
 };
 
 }  // namespace press::sdr

@@ -1,0 +1,23 @@
+// Process-unique revision stamps for cache invalidation.
+//
+// Mutable scene objects (environments, elements, arrays) stamp themselves
+// with a fresh value from this counter on every structural mutation. A
+// cache that remembers the stamp it was built against can then detect any
+// later mutation — including wholesale reassignment of the object, since a
+// replacement built elsewhere carries different stamps — with a plain
+// integer comparison instead of fingerprinting the object's contents.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace press::util {
+
+/// Returns a fresh stamp, distinct from every stamp handed out before in
+/// this process. Thread-safe.
+inline std::uint64_t next_revision() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace press::util
