@@ -37,6 +37,13 @@ using StopFn = std::function<bool()>;
 /// Outcome of a search.
 struct SearchResult {
     surface::Config best_config;
+    /// Score of best_config as measured when it was first evaluated. With a
+    /// noisy EvalFn this is the maximum over noisy samples, so it is biased
+    /// high — and memoizing strategies (GreedyCoordinateDescent) never
+    /// re-measure a configuration, so a single positive outlier can be
+    /// locked in. Callers needing an unbiased estimate should re-measure
+    /// best_config themselves (the search budget is spent on exploration,
+    /// not on tightening the incumbent's confidence interval).
     double best_score = 0.0;
     std::size_t evaluations = 0;
     /// best_score after each evaluation (length == evaluations); lets the

@@ -1,0 +1,150 @@
+#include "core/link_cache.hpp"
+
+#include "em/channel.hpp"
+#include "util/contracts.hpp"
+
+namespace press::core {
+
+std::vector<double> LinkCache::link_fingerprint(const sdr::Link& link) {
+    const auto antenna_facets = [](const em::Antenna& a,
+                                   std::vector<double>& out) {
+        out.push_back(a.peak_gain_dbi());
+        out.push_back(a.is_omni() ? 1.0 : 0.0);
+        out.push_back(a.beamwidth_rad());
+        out.push_back(a.boresight().x);
+        out.push_back(a.boresight().y);
+        out.push_back(a.boresight().z);
+    };
+    std::vector<double> fp;
+    fp.reserve(18);
+    fp.push_back(link.tx.position.x);
+    fp.push_back(link.tx.position.y);
+    fp.push_back(link.tx.position.z);
+    fp.push_back(link.rx.position.x);
+    fp.push_back(link.rx.position.y);
+    fp.push_back(link.rx.position.z);
+    antenna_facets(link.tx.antenna, fp);
+    antenna_facets(link.rx.antenna, fp);
+    return fp;
+}
+
+bool LinkCache::current(const sdr::Medium& medium, const Entry& entry,
+                        const sdr::Link& link) const {
+    if (!entry.valid) return false;
+    if (entry.env_revision != medium.environment().revision()) return false;
+    if (entry.arrays.size() != medium.num_arrays()) return false;
+    for (std::size_t a = 0; a < entry.arrays.size(); ++a) {
+        if (entry.arrays[a].structure_revision !=
+            medium.array(a).structure_revision())
+            return false;
+    }
+    return entry.fingerprint == link_fingerprint(link);
+}
+
+void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
+                        const sdr::Link& link) {
+    const std::vector<double>& freqs = medium.ofdm().used_frequencies_hz();
+    const std::size_t num_sc = freqs.size();
+    const double carrier_hz = medium.ofdm().carrier_hz();
+
+    entry.h_static = em::frequency_response(medium.environment_paths(link),
+                                            freqs);
+    entry.arrays.clear();
+    entry.arrays.reserve(medium.num_arrays());
+    for (std::size_t a = 0; a < medium.num_arrays(); ++a) {
+        const surface::Array& array = medium.array(a);
+        ArrayBasis basis;
+        basis.structure_revision = array.structure_revision();
+        basis.radices.reserve(array.size());
+        basis.row_offset.reserve(array.size());
+        const std::vector<std::vector<em::Path>> per_state =
+            array.state_paths(medium.environment(), link.tx, link.rx,
+                              carrier_hz);
+        std::size_t rows = 0;
+        for (const auto& states : per_state) rows += states.size();
+        basis.table.assign(rows * num_sc, util::cd{0.0, 0.0});
+        std::size_t row = 0;
+        for (const auto& states : per_state) {
+            basis.radices.push_back(static_cast<int>(states.size()));
+            basis.row_offset.push_back(row);
+            for (const em::Path& p : states) {
+                util::CVec response(num_sc, util::cd{0.0, 0.0});
+                em::accumulate_frequency_response(response, {p}, freqs);
+                std::copy(response.begin(), response.end(),
+                          basis.table.begin() +
+                              static_cast<std::ptrdiff_t>(row * num_sc));
+                ++row;
+            }
+        }
+        entry.arrays.push_back(std::move(basis));
+    }
+    entry.env_revision = medium.environment().revision();
+    entry.fingerprint = link_fingerprint(link);
+    entry.valid = true;
+}
+
+void LinkCache::add_rows(util::CVec& h, const ArrayBasis& basis,
+                         const surface::Config& config) {
+    PRESS_EXPECTS(config.size() == basis.radices.size(),
+                  "configuration arity must match the cached array");
+    const std::size_t num_sc = h.size();
+    for (std::size_t e = 0; e < config.size(); ++e) {
+        PRESS_EXPECTS(config[e] >= 0 && config[e] < basis.radices[e],
+                      "configuration state out of the cached range");
+        const util::cd* row =
+            basis.table.data() +
+            (basis.row_offset[e] + static_cast<std::size_t>(config[e])) *
+                num_sc;
+        for (std::size_t k = 0; k < num_sc; ++k) h[k] += row[k];
+    }
+}
+
+void LinkCache::warm(const sdr::Medium& medium, std::size_t link_id,
+                     const sdr::Link& link) {
+    if (entries_.size() <= link_id) entries_.resize(link_id + 1);
+    Entry& entry = entries_[link_id];
+    if (!current(medium, entry, link)) {
+        rebuild(medium, entry, link);
+        ++stats_.misses;
+    }
+}
+
+util::CVec LinkCache::response(const sdr::Medium& medium,
+                               std::size_t link_id, const sdr::Link& link) {
+    if (entries_.size() <= link_id) entries_.resize(link_id + 1);
+    Entry& entry = entries_[link_id];
+    if (current(medium, entry, link)) {
+        ++stats_.hits;
+    } else {
+        rebuild(medium, entry, link);
+        ++stats_.misses;
+    }
+    util::CVec h = entry.h_static;
+    for (std::size_t a = 0; a < entry.arrays.size(); ++a)
+        add_rows(h, entry.arrays[a], medium.array(a).current_config());
+    return h;
+}
+
+util::CVec LinkCache::response_with(const sdr::Medium& medium,
+                                    std::size_t link_id,
+                                    const sdr::Link& link,
+                                    std::size_t array_id,
+                                    const surface::Config& config) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(current(medium, entry, link),
+                  "cache entry is stale; call warm() before batch reads");
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    util::CVec h = entry.h_static;
+    for (std::size_t a = 0; a < entry.arrays.size(); ++a)
+        add_rows(h, entry.arrays[a],
+                 a == array_id ? config : medium.array(a).current_config());
+    return h;
+}
+
+void LinkCache::invalidate() {
+    for (Entry& entry : entries_) entry.valid = false;
+}
+
+}  // namespace press::core

@@ -1,0 +1,107 @@
+// Factored per-link channel cache: the searcher's fast evaluation path.
+//
+// For a fixed scene geometry, link endpoints and element load banks, the
+// channel of a link decomposes into a configuration-independent part and a
+// per-element basis:
+//
+//     H[k] = H_static[k] + sum_e B[e][ state_e ][k]
+//
+// where H_static is the CFR of the environment paths (direct + wall images
+// + scatterers + static diffuse multipath) and B[e][s] is the CFR of
+// element e's two-hop re-radiation under load state s — both independent
+// of which configuration is applied. Scoring a candidate configuration
+// then costs a row-gather plus a complex accumulation over
+// elements x subcarriers (a sparse complex GEMV) instead of an image-
+// method re-trace of the scene, which is what lets a controller sweep
+// thousands of candidates inside one coherence window.
+//
+// The reconstruction adds the exact same per-path terms in the exact same
+// order as the direct synthesis (environment paths first, then each
+// array's elements in order), so a cached response is bit-identical to
+// em::frequency_response(medium.resolve_paths(link)) — not merely close.
+//
+// Invalidation: entries are validated on every access against
+//   - the environment's revision stamp (walls, obstacles, scatterers,
+//     reflection order, static paths),
+//   - each array's structure revision (elements added, loads swapped by
+//     fault injection or trim, element antennas re-pointed),
+//   - a fingerprint of the link endpoints (positions and antennas).
+// Applying configurations changes none of these, so config sweeps hit the
+// cache; fault installation and geometry edits rebuild it. Endpoint
+// velocities are ignored: responses are evaluated at elapsed time zero,
+// where Doppler contributes no rotation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "press/config.hpp"
+#include "sdr/medium.hpp"
+#include "util/cvec.hpp"
+
+namespace press::core {
+
+class LinkCache {
+public:
+    struct Stats {
+        std::uint64_t hits = 0;    ///< responses served from a warm basis
+        std::uint64_t misses = 0;  ///< basis (re)builds
+    };
+
+    /// CFR of `link` on the used subcarriers under every array's currently
+    /// selected states, rebuilding the factored basis if stale.
+    util::CVec response(const sdr::Medium& medium, std::size_t link_id,
+                        const sdr::Link& link);
+
+    /// CFR with array `array_id`'s states overridden by `config` (other
+    /// arrays stay at their current states). Requires a warm, current
+    /// entry (see warm()); never rebuilds, and reads only immutable entry
+    /// state — safe to call concurrently from a batch evaluator.
+    util::CVec response_with(const sdr::Medium& medium, std::size_t link_id,
+                             const sdr::Link& link, std::size_t array_id,
+                             const surface::Config& config) const;
+
+    /// Builds (or refreshes) the entry for `link_id` so that subsequent
+    /// response_with() calls are pure reads.
+    void warm(const sdr::Medium& medium, std::size_t link_id,
+              const sdr::Link& link);
+
+    /// Drops every entry (the next response per link is a miss).
+    void invalidate();
+
+    const Stats& stats() const { return stats_; }
+
+private:
+    /// One array's basis: rows of the per-state CFR table, row-major over
+    /// [element state rows][subcarriers].
+    struct ArrayBasis {
+        std::uint64_t structure_revision = 0;
+        std::vector<int> radices;             ///< states per element
+        std::vector<std::size_t> row_offset;  ///< element -> first row
+        std::vector<util::cd> table;
+    };
+
+    struct Entry {
+        bool valid = false;
+        std::uint64_t env_revision = 0;
+        std::vector<double> fingerprint;
+        util::CVec h_static;
+        std::vector<ArrayBasis> arrays;
+    };
+
+    static std::vector<double> link_fingerprint(const sdr::Link& link);
+    bool current(const sdr::Medium& medium, const Entry& entry,
+                 const sdr::Link& link) const;
+    void rebuild(const sdr::Medium& medium, Entry& entry,
+                 const sdr::Link& link);
+
+    /// Accumulates the rows selected by `config` into `h`.
+    static void add_rows(util::CVec& h, const ArrayBasis& basis,
+                         const surface::Config& config);
+
+    std::vector<Entry> entries_;
+    Stats stats_;
+};
+
+}  // namespace press::core

@@ -49,6 +49,11 @@ Element Element::active(em::Vec3 position, em::Antenna antenna,
     return Element(position, antenna, std::move(loads));
 }
 
+void Element::set_antenna(em::Antenna antenna) {
+    antenna_ = antenna;
+    revision_ = util::next_revision();
+}
+
 void Element::select(int state) {
     PRESS_EXPECTS(state >= 0 && state < num_states(),
                   "load state out of range");

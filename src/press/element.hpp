@@ -40,12 +40,12 @@ public:
 
     const em::Vec3& position() const { return position_; }
     const em::Antenna& antenna() const { return antenna_; }
-    em::Antenna& antenna() {
-        // Mutable access may re-point the element antenna, which changes
-        // the element's re-radiation budget: stamp pessimistically.
-        revision_ = util::next_revision();
-        return antenna_;
-    }
+
+    /// Re-points the element antenna (changes the element's re-radiation
+    /// budget, so the revision stamp advances). Reads go through the const
+    /// accessor and are stamp-neutral — a mutable reference accessor would
+    /// invalidate LinkCache entries on every read.
+    void set_antenna(em::Antenna antenna);
 
     int num_states() const { return static_cast<int>(loads_.size()); }
 
