@@ -10,6 +10,8 @@
 
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -82,5 +84,13 @@ int main(int argc, char** argv) {
     reproduce_figure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    // Telemetry accumulated by the figure reproduction and the timing
+    // section above (trace counts, cache activity, search convergence);
+    // no-op when PRESS_TELEMETRY is off.
+    const press::obs::RunManifest manifest =
+        press::obs::RunManifest::capture("fig5_null_movement", kPlacementSeed);
+    if (const auto path = press::obs::write_telemetry("fig5_null_movement",
+                                                      manifest))
+        std::cout << "wrote " << *path << "\n";
     return 0;
 }

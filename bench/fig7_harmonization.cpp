@@ -18,6 +18,8 @@
 #include "control/search.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -110,5 +112,13 @@ int main(int argc, char** argv) {
     reproduce_figure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    // Telemetry accumulated by the figure reproduction and the timing
+    // section above (trace counts, cache activity, search convergence);
+    // no-op when PRESS_TELEMETRY is off.
+    const press::obs::RunManifest manifest =
+        press::obs::RunManifest::capture("fig7_harmonization", kBaseSeed);
+    if (const auto path = press::obs::write_telemetry("fig7_harmonization",
+                                                      manifest))
+        std::cout << "wrote " << *path << "\n";
     return 0;
 }

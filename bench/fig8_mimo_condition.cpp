@@ -9,6 +9,8 @@
 
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
 #include "phy/mimo.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
@@ -120,5 +122,13 @@ int main(int argc, char** argv) {
     reproduce_figure();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    // Telemetry accumulated by the figure reproduction and the timing
+    // section above (trace counts, cache activity, search convergence);
+    // no-op when PRESS_TELEMETRY is off.
+    const press::obs::RunManifest manifest =
+        press::obs::RunManifest::capture("fig8_mimo_condition", kSeed);
+    if (const auto path = press::obs::write_telemetry("fig8_mimo_condition",
+                                                      manifest))
+        std::cout << "wrote " << *path << "\n";
     return 0;
 }

@@ -1,21 +1,30 @@
 #include "control/batch.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <chrono>
 #include <string>
 
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace press::control {
 
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
 std::size_t BatchEvaluator::resolve_threads(std::size_t requested) {
     if (requested != 0) return requested;
-    if (const char* env = std::getenv("PRESS_THREADS")) {
-        char* end = nullptr;
-        const long parsed = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && parsed > 0)
-            return static_cast<std::size_t>(std::min(parsed, 64L));
-    }
+    // obs::env_threads() owns the PRESS_THREADS policy (clamp to [1, 64])
+    // so the run manifest and the evaluator can never disagree about the
+    // resolved thread count.
+    if (const std::size_t env = obs::env_threads(); env != 0) return env;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
@@ -35,9 +44,10 @@ BatchEvaluator::BatchEvaluator(BatchScoreFn score, std::uint64_t seed,
     : score_(std::move(score)), seed_(seed) {
     PRESS_EXPECTS(score_ != nullptr, "score callback required");
     const std::size_t n = resolve_threads(threads);
+    stats_.resize(n);
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
-        workers_.emplace_back([this]() { worker_loop(); });
+        workers_.emplace_back([this, i]() { worker_loop(i); });
 }
 
 BatchEvaluator::~BatchEvaluator() {
@@ -49,31 +59,62 @@ BatchEvaluator::~BatchEvaluator() {
     for (std::thread& w : workers_) w.join();
 }
 
-void BatchEvaluator::worker_loop() {
+void BatchEvaluator::worker_loop(std::size_t index) {
     std::unique_lock<std::mutex> lock(mutex_);
+    WorkerStats& stats = stats_[index];
     for (;;) {
+        const auto wait_start = std::chrono::steady_clock::now();
         work_cv_.wait(lock, [this]() {
             return shutdown_ || (batch_ && next_ < batch_->size());
         });
+        // Accounted under the lock; the condvar wait itself released it.
+        stats.idle_s +=
+            seconds_between(wait_start, std::chrono::steady_clock::now());
         if (shutdown_) return;
         while (batch_ && next_ < batch_->size()) {
             const std::vector<surface::Config>* batch = batch_;
             const std::size_t i = next_++;
-            const std::uint64_t index = base_index_ + i;
+            const std::uint64_t index_global = base_index_ + i;
             lock.unlock();
+            const auto task_start = std::chrono::steady_clock::now();
             double value = 0.0;
             std::exception_ptr error;
             try {
-                util::Rng rng(candidate_seed(seed_, index));
+                util::Rng rng(candidate_seed(seed_, index_global));
                 value = score_((*batch)[i], rng);
             } catch (...) {
                 error = std::current_exception();
             }
+            const auto task_end = std::chrono::steady_clock::now();
             lock.lock();
+            stats.tasks += 1;
+            stats.busy_s += seconds_between(task_start, task_end);
             (*results_)[i] = value;
             if (error && !first_error_) first_error_ = error;
             if (--remaining_ == 0) done_cv_.notify_all();
         }
+    }
+}
+
+std::vector<BatchEvaluator::WorkerStats> BatchEvaluator::worker_stats()
+    const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void BatchEvaluator::publish_worker_stats() const {
+    if (!obs::enabled()) return;
+    const std::vector<WorkerStats> stats = worker_stats();
+    auto& registry = obs::MetricsRegistry::global();
+    registry.gauge("control.batch.threads")
+        .set(static_cast<double>(stats.size()));
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        const std::string prefix =
+            "control.batch.worker." + std::to_string(i);
+        registry.gauge(prefix + ".tasks")
+            .set(static_cast<double>(stats[i].tasks));
+        registry.gauge(prefix + ".busy_s").set(stats[i].busy_s);
+        registry.gauge(prefix + ".idle_s").set(stats[i].idle_s);
     }
 }
 
@@ -94,6 +135,15 @@ std::vector<double> BatchEvaluator::evaluate(
     batch_ = nullptr;
     results_ = nullptr;
     base_index_ += batch.size();
+    if (obs::enabled()) {
+        static obs::Counter& batches =
+            obs::MetricsRegistry::global().counter("control.batch.batches");
+        static obs::Counter& evaluations =
+            obs::MetricsRegistry::global().counter(
+                "control.batch.evaluations");
+        batches.add();
+        evaluations.add(batch.size());
+    }
     if (first_error_) std::rethrow_exception(first_error_);
     return results;
 }

@@ -56,6 +56,26 @@ public:
 
     std::size_t num_threads() const { return workers_.size(); }
 
+    /// One worker's accumulated accounting. Tasks is how many candidates
+    /// the worker scored; busy_s the wall time spent inside the score
+    /// callback; idle_s the wall time spent parked on the work condvar
+    /// (between batches and while a batch it could not help with drains).
+    struct WorkerStats {
+        std::uint64_t tasks = 0;
+        double busy_s = 0.0;
+        double idle_s = 0.0;
+    };
+
+    /// Snapshot of every worker's accounting (index = worker id).
+    std::vector<WorkerStats> worker_stats() const;
+
+    /// Folds the per-worker accounting into the global metrics registry as
+    /// control.batch.worker.<i>.{tasks,busy_s,idle_s} gauges plus a
+    /// control.batch.threads gauge. Cheap but not free (registry lookups);
+    /// callers invoke it once per run/search, not per batch. No-op when
+    /// telemetry is disabled.
+    void publish_worker_stats() const;
+
     /// Candidates scored so far — the global index assigned to the next
     /// candidate, which anchors its rng stream.
     std::uint64_t evaluated() const { return base_index_; }
@@ -71,13 +91,13 @@ public:
                                         std::uint64_t index);
 
 private:
-    void worker_loop();
+    void worker_loop(std::size_t index);
 
     BatchScoreFn score_;
     std::uint64_t seed_;
     std::uint64_t base_index_ = 0;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable work_cv_;   ///< workers wait for a batch
     std::condition_variable done_cv_;   ///< caller waits for completion
     const std::vector<surface::Config>* batch_ = nullptr;
@@ -86,6 +106,10 @@ private:
     std::size_t remaining_ = 0;  ///< candidates not yet finished
     std::exception_ptr first_error_;
     bool shutdown_ = false;
+    /// Guarded by mutex_: workers only touch their slot while holding the
+    /// lock (after a wait returns or between tasks), so no extra atomics
+    /// are needed for TSan-clean reads through worker_stats().
+    std::vector<WorkerStats> stats_;
 
     std::vector<std::thread> workers_;
 };

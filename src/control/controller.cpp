@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace press::control {
@@ -38,6 +40,10 @@ OptimizationOutcome Controller::optimize(const surface::ConfigSpace& space,
                                          const Searcher& searcher,
                                          double time_budget_s,
                                          util::Rng& rng) {
+    // Priced on both clocks: wall time is what the simulator spends,
+    // sim_elapsed_s is the coherence-window budget the modeled control
+    // plane consumed (applies, measurements, retries, backoff).
+    obs::TraceSpan span("control.controller.optimize", &clock_);
     SetConfig probe;
     probe.array_id = 0;
     probe.config.assign(space.num_elements(), 0);
@@ -103,6 +109,18 @@ OptimizationOutcome Controller::optimize(const surface::ConfigSpace& space,
                 (void)apply_(last_good);
             }
         }
+    }
+    record_search_telemetry(searcher.name(), outcome.search);
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("control.controller.optimizations").add();
+        registry.counter("control.controller.trials")
+            .add(outcome.search.evaluations);
+        registry.counter("control.controller.failed_applies")
+            .add(outcome.failed_applies);
+        registry.counter("control.controller.reverts").add(outcome.reverts);
+        registry.gauge("control.controller.sim_elapsed_s")
+            .set(clock_.now_s());
     }
     return outcome;
 }

@@ -11,6 +11,7 @@
 #include <cstddef>
 
 #include "control/message.hpp"
+#include "obs/trace.hpp"
 
 namespace press::control {
 
@@ -53,11 +54,14 @@ struct ControlPlaneModel {
                                std::size_t num_subcarriers) const;
 };
 
-/// Simulated wall clock accumulated by a controller run.
-class SimClock {
+/// Simulated wall clock accumulated by a controller run. Implements
+/// obs::SimTimeSource so trace spans can price a region in simulated
+/// seconds alongside wall time.
+class SimClock : public obs::SimTimeSource {
 public:
     void advance(double seconds);
     double now_s() const { return now_s_; }
+    double sim_now_s() const override { return now_s_; }
 
 private:
     double now_s_ = 0.0;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace press::control {
@@ -408,6 +409,17 @@ SearchResult GeneticSearcher::search(const surface::ConfigSpace& space,
         if (child.fitness > worst->fitness) *worst = std::move(child);
     }
     return t.take();
+}
+
+void record_search_telemetry(const std::string& searcher_name,
+                             const SearchResult& result) {
+    if (!obs::enabled()) return;
+    auto& registry = obs::MetricsRegistry::global();
+    const std::string prefix = "control.search." + searcher_name;
+    registry.counter(prefix + ".runs").add();
+    registry.counter(prefix + ".evaluations").add(result.evaluations);
+    registry.gauge(prefix + ".best_score").set(result.best_score);
+    registry.series(prefix + ".best_score").append(result.trajectory);
 }
 
 std::vector<std::unique_ptr<Searcher>> all_searchers() {

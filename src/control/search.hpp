@@ -164,4 +164,15 @@ private:
 /// Every strategy, for comparison sweeps.
 std::vector<std::unique_ptr<Searcher>> all_searchers();
 
+/// Folds a finished search into the telemetry registry (no-op when
+/// observability is disabled): appends the anytime best-score trajectory
+/// to the series `control.search.<searcher_name>.best_score`, bumps
+/// `control.search.<searcher_name>.runs`, and adds the evaluation count to
+/// `control.search.<searcher_name>.evaluations`. Callers that already hold
+/// a SearchResult (Controller, System::optimize_fast) invoke this once per
+/// search, so the convergence curves the ablation benches plot are also
+/// visible in a plain telemetry export.
+void record_search_telemetry(const std::string& searcher_name,
+                             const SearchResult& result);
+
 }  // namespace press::control

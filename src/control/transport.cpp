@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace press::control {
+
+namespace {
+
+// Transport counters are process-global aggregates over every channel /
+// agent / session instance: what the export wants to answer is "how noisy
+// was the control plane this run", not "which of the two directions of
+// which session dropped a frame" — per-instance numbers stay available on
+// the objects themselves.
+void count(const char* name, std::uint64_t n = 1) {
+    if (!obs::enabled() || n == 0) return;
+    obs::MetricsRegistry::global().counter(name).add(n);
+}
+
+}  // namespace
 
 LossyChannel::LossyChannel(double bit_error_rate, double drop_rate,
                            util::Rng rng)
@@ -19,20 +34,25 @@ std::optional<std::vector<std::uint8_t>> LossyChannel::transmit(
     const std::vector<std::uint8_t>& frame) {
     if (rng_.chance(drop_rate_)) {
         ++frames_dropped_;
+        count("control.transport.frames_dropped");
         return std::nullopt;
     }
     std::vector<std::uint8_t> out = frame;
+    std::size_t flipped = 0;
     if (bit_error_rate_ > 0.0) {
         for (std::uint8_t& byte : out) {
             for (int b = 0; b < 8; ++b) {
                 if (rng_.chance(bit_error_rate_)) {
                     byte ^= static_cast<std::uint8_t>(1u << b);
-                    ++bits_flipped_;
+                    ++flipped;
                 }
             }
         }
     }
+    bits_flipped_ += flipped;
     ++frames_carried_;
+    count("control.transport.frames_carried");
+    count("control.transport.bits_flipped", flipped);
     return out;
 }
 
@@ -46,6 +66,7 @@ std::optional<std::vector<std::uint8_t>> ArrayAgent::handle(
         decoded = decode(frame);
     } catch (const ProtocolError&) {
         ++rejected_;
+        count("control.transport.agent_rejected");
         return std::nullopt;  // corrupted frames are silently dropped
     }
     const auto* set = std::get_if<SetConfig>(&decoded.message);
@@ -58,21 +79,26 @@ std::optional<std::vector<std::uint8_t>> ArrayAgent::handle(
         // delayed older frame arriving out of order: ack (so the sender
         // stops retrying) without re-applying — an old frame must never
         // drag the array back to a stale configuration.
-        if (decoded.seq == *highest_seq_)
+        if (decoded.seq == *highest_seq_) {
             ++duplicates_;
-        else
+            count("control.transport.agent_duplicates");
+        } else {
             ++stale_;
+            count("control.transport.agent_stale");
+        }
         ack.status = 0;
         return encode(Message{ack}, decoded.seq);
     }
     if (!array_.config_space().valid(set->config)) {
         ++rejected_;
+        count("control.transport.agent_rejected");
         ack.status = 1;  // invalid configuration
         return encode(Message{ack}, decoded.seq);
     }
     array_.apply(set->config);
     highest_seq_ = decoded.seq;
     ++applied_;
+    count("control.transport.agent_applied");
     ack.status = 0;
     return encode(Message{ack}, decoded.seq);
 }
@@ -137,9 +163,15 @@ bool ReliableSession::apply(std::uint16_t array_id,
                     : 1.0;
             const double wait = backoff_.nominal_wait_s(attempt) * jitter;
             stats_.backoff_s += wait;
+            if (obs::enabled())
+                obs::MetricsRegistry::global()
+                    .gauge("control.transport.backoff_s")
+                    .add(wait);
             advance_clock(wait);
         }
         ++stats_.attempts;
+        count("control.transport.attempts");
+        if (attempt > 0) count("control.transport.retries");
         // The frame occupies the downlink whether or not it arrives.
         if (model_ != nullptr)
             advance_clock(model_->transfer_time_s(frame.size()));
@@ -159,13 +191,16 @@ bool ReliableSession::apply(std::uint16_t array_id,
                 if (model_ != nullptr)
                     advance_clock(model_->element_switch_s);
                 ++stats_.acked;
+                count("control.transport.acked");
                 return true;
             }
         } catch (const ProtocolError&) {
             ++stats_.bad_responses;
+            count("control.transport.bad_responses");
         }
     }
     ++stats_.gave_up;
+    count("control.transport.gave_up");
     return false;
 }
 

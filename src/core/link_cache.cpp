@@ -1,9 +1,32 @@
 #include "core/link_cache.hpp"
 
 #include "em/channel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace press::core {
+
+namespace {
+
+// Mirrors the cache's own atomic counters into the global registry so an
+// export sees them without holding a LinkCache pointer. Called on the cold
+// paths only (rebuilds, invalidations) plus note-batch folds via System.
+void mirror_miss() {
+    if (!obs::enabled()) return;
+    static obs::Counter& misses =
+        obs::MetricsRegistry::global().counter("core.link_cache.misses");
+    misses.add();
+}
+
+void mirror_hits(std::uint64_t n) {
+    if (!obs::enabled()) return;
+    static obs::Counter& hits =
+        obs::MetricsRegistry::global().counter("core.link_cache.hits");
+    hits.add(n);
+}
+
+}  // namespace
 
 std::vector<double> LinkCache::link_fingerprint(const sdr::Link& link) {
     const auto antenna_facets = [](const em::Antenna& a,
@@ -43,6 +66,7 @@ bool LinkCache::current(const sdr::Medium& medium, const Entry& entry,
 
 void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
                         const sdr::Link& link) {
+    obs::TraceSpan span("core.link_cache.rebuild");
     const std::vector<double>& freqs = medium.ofdm().used_frequencies_hz();
     const std::size_t num_sc = freqs.size();
     const double carrier_hz = medium.ofdm().carrier_hz();
@@ -99,13 +123,19 @@ void LinkCache::add_rows(util::CVec& h, const ArrayBasis& basis,
     }
 }
 
+void LinkCache::note_batch_hits(std::uint64_t n) {
+    hits_.fetch_add(n, std::memory_order_relaxed);
+    mirror_hits(n);
+}
+
 void LinkCache::warm(const sdr::Medium& medium, std::size_t link_id,
                      const sdr::Link& link) {
     if (entries_.size() <= link_id) entries_.resize(link_id + 1);
     Entry& entry = entries_[link_id];
     if (!current(medium, entry, link)) {
         rebuild(medium, entry, link);
-        ++stats_.misses;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        mirror_miss();
     }
 }
 
@@ -114,10 +144,12 @@ util::CVec LinkCache::response(const sdr::Medium& medium,
     if (entries_.size() <= link_id) entries_.resize(link_id + 1);
     Entry& entry = entries_[link_id];
     if (current(medium, entry, link)) {
-        ++stats_.hits;
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        mirror_hits(1);
     } else {
         rebuild(medium, entry, link);
-        ++stats_.misses;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        mirror_miss();
     }
     util::CVec h = entry.h_static;
     for (std::size_t a = 0; a < entry.arrays.size(); ++a)
@@ -145,6 +177,13 @@ util::CVec LinkCache::response_with(const sdr::Medium& medium,
 
 void LinkCache::invalidate() {
     for (Entry& entry : entries_) entry.valid = false;
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::enabled()) {
+        static obs::Counter& invalidations =
+            obs::MetricsRegistry::global().counter(
+                "core.link_cache.invalidations");
+        invalidations.add();
+    }
 }
 
 }  // namespace press::core

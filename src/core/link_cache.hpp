@@ -33,6 +33,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -44,9 +45,36 @@ namespace press::core {
 
 class LinkCache {
 public:
+    LinkCache() = default;
+
+    // The atomic counters delete the implicit moves, but System (and the
+    // scenarios that return one by value) moves caches around before any
+    // worker thread exists — plain relaxed copies of the counters suffice.
+    LinkCache(LinkCache&& other) noexcept
+        : entries_(std::move(other.entries_)),
+          hits_(other.hits_.load(std::memory_order_relaxed)),
+          misses_(other.misses_.load(std::memory_order_relaxed)),
+          invalidations_(
+              other.invalidations_.load(std::memory_order_relaxed)) {}
+    LinkCache& operator=(LinkCache&& other) noexcept {
+        entries_ = std::move(other.entries_);
+        hits_.store(other.hits_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        misses_.store(other.misses_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+        invalidations_.store(
+            other.invalidations_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        return *this;
+    }
+
+    /// Point-in-time snapshot of the cache counters. Counters are kept in
+    /// relaxed atomics internally so a telemetry export can read them while
+    /// batch workers are folding hits — stats() hands back plain values.
     struct Stats {
-        std::uint64_t hits = 0;    ///< responses served from a warm basis
-        std::uint64_t misses = 0;  ///< basis (re)builds
+        std::uint64_t hits = 0;           ///< responses served from a warm basis
+        std::uint64_t misses = 0;         ///< basis (re)builds
+        std::uint64_t invalidations = 0;  ///< explicit invalidate() calls
     };
 
     /// CFR of `link` on the used subcarriers under every array's currently
@@ -70,7 +98,21 @@ public:
     /// Drops every entry (the next response per link is a miss).
     void invalidate();
 
-    const Stats& stats() const { return stats_; }
+    /// Folds `n` cache hits observed by a batch of response_with() reads.
+    /// response_with itself counts nothing: its contract guarantees a warm
+    /// entry (every read is a hit by construction), and the cached
+    /// evaluation path is ~quarter-microsecond per call, so even a relaxed
+    /// per-call increment would be measurable. Batch owners account for
+    /// their reads in one amortised add instead.
+    void note_batch_hits(std::uint64_t n);
+
+    Stats stats() const {
+        Stats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.misses = misses_.load(std::memory_order_relaxed);
+        s.invalidations = invalidations_.load(std::memory_order_relaxed);
+        return s;
+    }
 
 private:
     /// One array's basis: rows of the per-state CFR table, row-major over
@@ -101,7 +143,9 @@ private:
                          const surface::Config& config);
 
     std::vector<Entry> entries_;
-    Stats stats_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> invalidations_{0};
 };
 
 }  // namespace press::core

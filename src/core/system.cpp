@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "control/batch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace press::core {
@@ -168,6 +170,7 @@ control::OptimizationOutcome System::optimize_fast(
     util::Rng& rng, std::size_t threads) {
     PRESS_EXPECTS(!links_.empty(), "register links before optimizing");
     PRESS_EXPECTS(time_budget_s > 0.0, "budget must be positive");
+    obs::TraceSpan span("core.system.optimize_fast");
     const surface::ConfigSpace space =
         medium_.array(array_id).config_space();
 
@@ -183,8 +186,11 @@ control::OptimizationOutcome System::optimize_fast(
         1, static_cast<std::size_t>(time_budget_s / trial_cost));
 
     // Warm every link's basis so the batch workers only ever read.
-    for (std::size_t i = 0; i < links_.size(); ++i)
-        link_cache_.warm(medium_, i, links_[i]);
+    {
+        obs::TraceSpan warm_span("core.system.warm_cache");
+        for (std::size_t i = 0; i < links_.size(); ++i)
+            link_cache_.warm(medium_, i, links_[i]);
+    }
 
     // Trials are scored against the cache instead of actuating the
     // (simulated) hardware, so flaky switches hold their pre-search state
@@ -218,10 +224,16 @@ control::OptimizationOutcome System::optimize_fast(
     outcome.trial_cost_s = trial_cost;
 
     control::SimClock clock;
+    const std::size_t num_links = links_.size();
     const control::BatchEvalFn eval =
-        [&pool, &clock, trial_cost](
+        [this, &pool, &clock, trial_cost, num_links](
             const std::vector<surface::Config>& batch) {
             std::vector<double> scores = pool.evaluate(batch);
+            // Every response_with() read inside the batch is a hit by the
+            // warm() precondition; fold them at batch granularity so the
+            // per-call path stays instrumentation-free.
+            link_cache_.note_batch_hits(
+                static_cast<std::uint64_t>(batch.size()) * num_links);
             clock.advance(trial_cost * static_cast<double>(batch.size()));
             return scores;
         };
@@ -229,11 +241,16 @@ control::OptimizationOutcome System::optimize_fast(
         return clock.now_s() >= time_budget_s;
     };
 
-    outcome.search = searcher.search_batched(space, eval, max_evals, rng,
-                                             stop, pool.num_threads() * 2);
+    {
+        obs::TraceSpan search_span("core.system.search_batched", &clock);
+        outcome.search = searcher.search_batched(
+            space, eval, max_evals, rng, stop, pool.num_threads() * 2);
+    }
     outcome.elapsed_s = clock.now_s();
     outcome.budget_limited = outcome.search.evaluations >= max_evals ||
                              clock.now_s() >= time_budget_s;
+    control::record_search_telemetry(searcher.name(), outcome.search);
+    pool.publish_worker_stats();
 
     // Actuate the winner through the normal (fault-distorting) path.
     if (!outcome.search.best_config.empty())

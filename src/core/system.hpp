@@ -127,10 +127,10 @@ public:
         const control::ControlPlaneModel& plane, double time_budget_s,
         util::Rng& rng, std::size_t threads = 0);
 
-    /// Hit/miss counters of the factored channel cache.
-    const LinkCache::Stats& cache_stats() const {
-        return link_cache_.stats();
-    }
+    /// Snapshot of the factored channel cache counters (hits, misses,
+    /// invalidations). Also exported through the telemetry registry as
+    /// core.link_cache.* when observability is enabled.
+    LinkCache::Stats cache_stats() const { return link_cache_.stats(); }
 
     /// Drops every cached channel basis (the next observation rebuilds).
     void invalidate_cache() { link_cache_.invalidate(); }

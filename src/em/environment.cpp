@@ -3,6 +3,7 @@
 #include <cmath>
 #include <iterator>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 #include "util/units.hpp"
 
@@ -113,9 +114,12 @@ std::vector<Path> Environment::trace(const RadiatingEndpoint& tx,
     std::vector<Path> paths;
     paths.push_back(direct_path(tx, rx, carrier_hz));
 
+    std::size_t images_considered = 0;
     if (room_ && max_reflection_order_ > 0) {
-        for (const SourceImage& img :
-             room_->images(tx.position, max_reflection_order_)) {
+        const std::vector<SourceImage> images =
+            room_->images(tx.position, max_reflection_order_);
+        images_considered = images.size();
+        for (const SourceImage& img : images) {
             const double d = distance(img.position, rx.position);
             if (d <= 0.0) continue;
             // The unfolded reflected ray runs straight from the image to the
@@ -164,6 +168,23 @@ std::vector<Path> Environment::trace(const RadiatingEndpoint& tx,
         paths.push_back(p);
     }
     paths.insert(paths.end(), static_paths_.begin(), static_paths_.end());
+
+    // Telemetry: how often the full tracer runs and how large its ray
+    // budget is. The counters expose what the channel caches are saving —
+    // a config sweep that re-traces shows up immediately in
+    // em.environment.traces.
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        static obs::Counter& traces =
+            registry.counter("em.environment.traces");
+        static obs::Counter& traced_paths =
+            registry.counter("em.environment.paths");
+        static obs::Counter& wall_images =
+            registry.counter("em.environment.wall_images_considered");
+        traces.add();
+        traced_paths.add(paths.size());
+        wall_images.add(images_considered);
+    }
     return paths;
 }
 
@@ -208,6 +229,11 @@ std::optional<Path> Environment::two_hop(
     p.gain = amp * reflection;
     p.doppler_hz =
         doppler_shift_hz(tx.velocity, rx.velocity, dep, arr, carrier_hz);
+    if (obs::enabled()) {
+        static obs::Counter& two_hops = obs::MetricsRegistry::global()
+                                            .counter("em.environment.two_hop_paths");
+        two_hops.add();
+    }
     return p;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "control/message.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace press::fault {
@@ -63,6 +65,7 @@ HealthReport HealthMonitor::probe(const surface::ConfigSpace& space,
     PRESS_EXPECTS(space.valid(baseline),
                   "baseline must be a valid configuration");
     PRESS_EXPECTS(options.sweeps >= 1, "need at least one sweep");
+    obs::TraceSpan span("fault.health.probe", clock);
 
     const std::size_t n = space.num_elements();
     HealthReport report;
@@ -113,6 +116,15 @@ HealthReport HealthMonitor::probe(const surface::ConfigSpace& space,
     for (std::size_t e = 0; e < n; ++e)
         report.suspect[e] =
             report.response_db[e] < options.response_threshold_db;
+    if (obs::enabled()) {
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("fault.health.probe_sweeps").add(options.sweeps);
+        registry.counter("fault.health.probes").add(report.probes);
+        registry.counter("fault.health.suspect_elements")
+            .add(report.num_suspect());
+        registry.gauge("fault.health.last_probe_elapsed_s")
+            .set(report.elapsed_s);
+    }
     return report;
 }
 

@@ -1,0 +1,48 @@
+// Observability: serializing a run to the `press.telemetry/v1` document.
+//
+// One schema, two renderings: build_telemetry() assembles the manifest, a
+// coherent snapshot of the metrics registry and the completed trace spans
+// into a Json document (the machine-readable export CI diffs between
+// runs), and render_table() formats the same document as a human-readable
+// table for terminals. write_telemetry() is the one-call emission path
+// benches use: it is a no-op when telemetry is disabled, and lands
+// `telemetry_<name>.json` in obs::export_dir().
+//
+// validate_telemetry() checks a parsed document against the schema that
+// docs/TELEMETRY.md documents, field by field; the CI schema-gate tool
+// (tools/validate_telemetry.cpp) and the exporter round-trip test share
+// it, so the documented schema, the emitted schema and the enforced
+// schema cannot drift apart silently.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
+namespace press::obs {
+
+/// Assembles the full `press.telemetry/v1` document from `manifest`, the
+/// global registry and — when `drain_spans` is true (the default) — the
+/// span ring, which is emptied in the process.
+Json build_telemetry(const RunManifest& manifest, bool drain_spans = true);
+
+/// Human-readable rendering of a telemetry document: manifest header,
+/// counters/gauges sorted by name, histogram summaries, series lengths
+/// and the spans grouped per thread with nesting indentation.
+std::string render_table(const Json& telemetry);
+
+/// Emits `telemetry_<name>.json` into export_dir() and returns the path,
+/// or std::nullopt when telemetry is disabled or the file cannot be
+/// written. Drains the span ring.
+std::optional<std::string> write_telemetry(const std::string& name,
+                                           const RunManifest& manifest);
+
+/// Validates a parsed document against the `press.telemetry/v1` schema.
+/// Returns an empty string when valid, else a description of the first
+/// violation found.
+std::string validate_telemetry(const Json& telemetry);
+
+}  // namespace press::obs

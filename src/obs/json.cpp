@@ -1,0 +1,321 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace press::obs {
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    out.push_back('"');
+}
+
+void write_number(std::string& out, double d) {
+    if (!std::isfinite(d)) {  // JSON has no inf/nan; export null
+        out += "null";
+        return;
+    }
+    // Integers (the common case: counters, counts) print without a
+    // fraction so they survive a parse-reserialize cycle unchanged.
+    if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.0f", d);
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+}
+
+void indent_to(std::string& out, int indent) {
+    out.append(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json run() {
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const char* what) const {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char take() {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void expect(char c) {
+        if (take() != c) {
+            --pos_;
+            fail("unexpected character");
+        }
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json parse_value() {
+        skip_ws();
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (!consume_literal("true")) fail("bad literal");
+                return Json(true);
+            case 'f':
+                if (!consume_literal("false")) fail("bad literal");
+                return Json(false);
+            case 'n':
+                if (!consume_literal("null")) fail("bad literal");
+                return Json(nullptr);
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        Json::Object obj;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return Json(std::move(obj));
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.emplace(std::move(key), parse_value());
+            skip_ws();
+            const char c = take();
+            if (c == '}') return Json(std::move(obj));
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or '}'");
+            }
+        }
+    }
+
+    Json parse_array() {
+        expect('[');
+        Json::Array arr;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return Json(std::move(arr));
+        }
+        for (;;) {
+            arr.push_back(parse_value());
+            skip_ws();
+            const char c = take();
+            if (c == ']') return Json(std::move(arr));
+            if (c != ',') {
+                --pos_;
+                fail("expected ',' or ']'");
+            }
+        }
+    }
+
+    void append_utf8(std::string& out, std::uint32_t cp) {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    std::uint32_t parse_hex4() {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = take();
+            v <<= 4;
+            if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else fail("bad \\u escape");
+        }
+        return v;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            const char c = take();
+            if (c == '"') return out;
+            if (c == '\\') {
+                const char e = take();
+                switch (e) {
+                    case '"': out.push_back('"'); break;
+                    case '\\': out.push_back('\\'); break;
+                    case '/': out.push_back('/'); break;
+                    case 'b': out.push_back('\b'); break;
+                    case 'f': out.push_back('\f'); break;
+                    case 'n': out.push_back('\n'); break;
+                    case 'r': out.push_back('\r'); break;
+                    case 't': out.push_back('\t'); break;
+                    case 'u': {
+                        std::uint32_t cp = parse_hex4();
+                        if (cp >= 0xD800 && cp <= 0xDBFF) {
+                            // High surrogate: require the low half.
+                            if (take() != '\\' || take() != 'u')
+                                fail("lone surrogate");
+                            const std::uint32_t lo = parse_hex4();
+                            if (lo < 0xDC00 || lo > 0xDFFF)
+                                fail("bad surrogate pair");
+                            cp = 0x10000 + ((cp - 0xD800) << 10) +
+                                 (lo - 0xDC00);
+                        }
+                        append_utf8(out, cp);
+                        break;
+                    }
+                    default: fail("bad escape");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) fail("bad number");
+        return Json(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::write(std::string& out, int indent) const {
+    if (is_null()) {
+        out += "null";
+    } else if (is_bool()) {
+        out += as_bool() ? "true" : "false";
+    } else if (is_number()) {
+        write_number(out, as_double());
+    } else if (is_string()) {
+        write_escaped(out, as_string());
+    } else if (is_array()) {
+        const Array& arr = as_array();
+        if (arr.empty()) {
+            out += "[]";
+            return;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < arr.size(); ++i) {
+            indent_to(out, indent + 1);
+            arr[i].write(out, indent + 1);
+            if (i + 1 < arr.size()) out.push_back(',');
+            out.push_back('\n');
+        }
+        indent_to(out, indent);
+        out.push_back(']');
+    } else {
+        const Object& obj = as_object();
+        if (obj.empty()) {
+            out += "{}";
+            return;
+        }
+        out += "{\n";
+        std::size_t i = 0;
+        for (const auto& [key, value] : obj) {
+            indent_to(out, indent + 1);
+            write_escaped(out, key);
+            out += ": ";
+            value.write(out, indent + 1);
+            if (++i < obj.size()) out.push_back(',');
+            out.push_back('\n');
+        }
+        indent_to(out, indent);
+        out.push_back('}');
+    }
+}
+
+std::string Json::dump() const {
+    std::string out;
+    write(out, 0);
+    out.push_back('\n');
+    return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace press::obs

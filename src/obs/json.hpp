@@ -1,0 +1,91 @@
+// Observability: a minimal JSON document model, writer and parser.
+//
+// The telemetry exporter needs to *emit* JSON deterministically and the
+// tests / CI validator need to *parse and check* what was emitted — both
+// without external dependencies. This is a deliberately small JSON
+// implementation for that round trip, not a general-purpose library:
+// objects keep their keys sorted (std::map), numbers are doubles (with an
+// integer fast-path on output so counters print as integers), and parse
+// errors throw std::runtime_error with an offset. Strings support the
+// standard escapes including \uXXXX (decoded to UTF-8; surrogate pairs
+// supported).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <variant>
+#include <vector>
+
+namespace press::obs {
+
+class Json {
+public:
+    using Array = std::vector<Json>;
+    using Object = std::map<std::string, Json>;
+
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    /// Any arithmetic type narrows to double (JSON's only number kind).
+    template <typename T,
+              typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                          !std::is_same_v<T, bool>>>
+    Json(T n) : value_(static_cast<double>(n)) {}
+    Json(const char* s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+    Json(Array a) : value_(std::move(a)) {}
+    Json(Object o) : value_(std::move(o)) {}
+
+    static Json array() { return Json(Array{}); }
+    static Json object() { return Json(Object{}); }
+
+    bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+    bool is_bool() const { return std::holds_alternative<bool>(value_); }
+    bool is_number() const { return std::holds_alternative<double>(value_); }
+    bool is_string() const { return std::holds_alternative<std::string>(value_); }
+    bool is_array() const { return std::holds_alternative<Array>(value_); }
+    bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+    bool as_bool() const { return std::get<bool>(value_); }
+    double as_double() const { return std::get<double>(value_); }
+    const std::string& as_string() const {
+        return std::get<std::string>(value_);
+    }
+    const Array& as_array() const { return std::get<Array>(value_); }
+    Array& as_array() { return std::get<Array>(value_); }
+    const Object& as_object() const { return std::get<Object>(value_); }
+    Object& as_object() { return std::get<Object>(value_); }
+
+    bool contains(const std::string& key) const {
+        return is_object() && as_object().count(key) > 0;
+    }
+    /// Object member access; throws std::out_of_range on a missing key.
+    const Json& at(const std::string& key) const {
+        return as_object().at(key);
+    }
+    /// Mutable member access; inserts a null on a missing key.
+    Json& operator[](const std::string& key) {
+        return as_object()[key];
+    }
+
+    /// Serializes with 2-space indentation and sorted object keys, so two
+    /// exports of identical content are byte-identical.
+    std::string dump() const;
+
+    /// Parses a complete JSON document; trailing non-whitespace is an
+    /// error. Throws std::runtime_error with a byte offset on bad input.
+    static Json parse(std::string_view text);
+
+private:
+    void write(std::string& out, int indent) const;
+
+    std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+        value_;
+};
+
+}  // namespace press::obs

@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace press::obs {
+
+namespace {
+
+/// -1 unset, 0 off, 1 on — runtime override of the environment default.
+std::atomic<int> g_enabled_override{-1};
+
+bool env_disables() {
+    const char* env = std::getenv("PRESS_TELEMETRY");
+    if (env == nullptr) return false;
+    const std::string v(env);
+    return v == "0" || v == "off" || v == "OFF" || v == "false" ||
+           v == "FALSE";
+}
+
+}  // namespace
+
+bool enabled() {
+    const int override = g_enabled_override.load(std::memory_order_relaxed);
+    if (override >= 0) return override != 0;
+    // The environment cannot change after process start; cache the answer
+    // in the override slot so later calls are one relaxed load.
+    const bool on = !env_disables();
+    int expected = -1;
+    g_enabled_override.compare_exchange_strong(expected, on ? 1 : 0,
+                                               std::memory_order_relaxed);
+    return on;
+}
+
+void set_enabled(bool on) {
+    g_enabled_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+std::string export_dir() {
+    const char* env = std::getenv("PRESS_TELEMETRY");
+    if (env == nullptr) return ".";
+    const std::string v(env);
+    if (v.empty() || v == "0" || v == "1" || v == "on" || v == "ON" ||
+        v == "off" || v == "OFF" || v == "true" || v == "TRUE" ||
+        v == "false" || v == "FALSE")
+        return ".";
+    return v;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument(
+            "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double v) noexcept {
+    std::size_t i = bounds_.size();  // overflow bucket by default
+    if (std::isfinite(v)) {
+        const auto it =
+            std::lower_bound(bounds_.begin(), bounds_.end(), v);
+        i = static_cast<std::size_t>(it - bounds_.begin());
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+void Histogram::reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void Series::set(const std::vector<double>& values) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_length_ = values.size();
+    values_.assign(values.begin(),
+                   values.begin() +
+                       static_cast<std::ptrdiff_t>(
+                           std::min(values.size(), kMaxPoints)));
+}
+
+void Series::append(double v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++total_length_;
+    if (values_.size() < kMaxPoints) values_.push_back(v);
+}
+
+void Series::append(const std::vector<double>& values) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_length_ += values.size();
+    const std::size_t room = kMaxPoints - values_.size();
+    const std::size_t n = std::min(values.size(), room);
+    values_.insert(values_.end(), values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+std::vector<double> Series::values() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_;
+}
+
+std::size_t Series::total_length() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_length_;
+}
+
+void Series::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.clear();
+    total_length_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>(std::move(bounds)))
+                 .first;
+    return *it->second;
+}
+
+Series& MetricsRegistry::series(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(name);
+    if (it == series_.end())
+        it = series_.emplace(std::string(name), std::make_unique<Series>())
+                 .first;
+    return *it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_)
+        snap.gauges.emplace_back(name, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        Snapshot::HistogramData data;
+        data.name = name;
+        data.bounds = h->bounds();
+        data.counts = h->bucket_counts();
+        data.count = h->count();
+        data.sum = h->sum();
+        snap.histograms.push_back(std::move(data));
+    }
+    snap.series.reserve(series_.size());
+    for (const auto& [name, s] : series_) {
+        Snapshot::SeriesData data;
+        data.name = name;
+        data.values = s->values();
+        data.total_length = s->total_length();
+        snap.series.push_back(std::move(data));
+    }
+    return snap;
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+    for (auto& [name, s] : series_) s->reset();
+}
+
+}  // namespace press::obs

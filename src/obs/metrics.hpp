@@ -1,0 +1,181 @@
+// Observability: named metrics with cheap, thread-safe updates.
+//
+// The registry is the single sink every instrumented component reports
+// into, so a run can be exported as one machine-readable document (see
+// obs/export.hpp, schema `press.telemetry/v1`) instead of each subsystem
+// keeping ad-hoc counters. Four metric kinds cover the library's needs:
+//
+//   Counter    monotonic event count (cache hits, frames dropped),
+//   Gauge      last-written value (worker idle seconds, elapsed time),
+//   Histogram  fixed-bucket distribution (task latency in microseconds),
+//   Series     a bounded vector of doubles (a search's best-score
+//              convergence trace).
+//
+// Updates are lock-free relaxed atomics (Counter/Gauge/Histogram) or a
+// short uncontended mutex (Series); handles returned by the registry are
+// stable for the registry's lifetime, so hot paths resolve a metric once
+// (function-local static reference) and update it with a single atomic
+// add. Metric names are dot-separated `<layer>.<component>.<metric>` with
+// a unit suffix where one applies (`_s` seconds, `_us` microseconds,
+// `_db` decibels); docs/TELEMETRY.md documents every name the library
+// emits.
+//
+// Collection is globally gated by obs::enabled() — the PRESS_TELEMETRY
+// environment variable, overridable at runtime — and instrumented call
+// sites are expected to check it so that disabling telemetry reduces the
+// instrumentation to one relaxed bool load per site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace press::obs {
+
+/// True when telemetry collection is on. Defaults from the PRESS_TELEMETRY
+/// environment variable at first call ("0"/"off"/"false" disable; any
+/// other value, or the variable being unset, enables).
+bool enabled();
+
+/// Runtime override of the PRESS_TELEMETRY default (benches use this to
+/// measure the instrumentation's own overhead).
+void set_enabled(bool on);
+
+/// Directory exports land in: PRESS_TELEMETRY when it names a directory
+/// (any value other than the on/off literals), else ".".
+std::string export_dir();
+
+/// Monotonic event counter.
+class Counter {
+public:
+    void add(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value.
+class Gauge {
+public:
+    void set(double v) noexcept {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    void add(double v) noexcept {
+        value_.fetch_add(v, std::memory_order_relaxed);
+    }
+    double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (first matching bound); one implicit overflow bucket collects
+/// v > bounds.back() and non-finite observations. Bounds are set at
+/// creation and never change.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v) noexcept;
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+    std::vector<std::uint64_t> bucket_counts() const;
+    std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept;
+
+private:
+    std::vector<double> bounds_;  ///< ascending upper bounds
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// A bounded vector of doubles (e.g. one search's best-score-so-far
+/// trajectory). set() replaces the content; values beyond kMaxPoints are
+/// truncated (total_length() keeps the untruncated size).
+class Series {
+public:
+    static constexpr std::size_t kMaxPoints = 16384;
+
+    void set(const std::vector<double>& values);
+    void append(double v);
+    void append(const std::vector<double>& values);
+    std::vector<double> values() const;
+    std::size_t total_length() const;
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<double> values_;
+    std::size_t total_length_ = 0;
+};
+
+/// Process-wide registry of named metrics. Lookup takes a mutex (resolve
+/// once, cache the reference); updates through the returned handles are
+/// lock-free. Handles stay valid for the registry's lifetime.
+class MetricsRegistry {
+public:
+    static MetricsRegistry& global();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    /// `bounds` is consulted only when `name` is first created.
+    Histogram& histogram(std::string_view name, std::vector<double> bounds);
+    Series& series(std::string_view name);
+
+    /// A coherent copy for export, names sorted lexicographically.
+    struct Snapshot {
+        std::vector<std::pair<std::string, std::uint64_t>> counters;
+        std::vector<std::pair<std::string, double>> gauges;
+        struct HistogramData {
+            std::string name;
+            std::vector<double> bounds;
+            std::vector<std::uint64_t> counts;
+            std::uint64_t count = 0;
+            double sum = 0.0;
+        };
+        std::vector<HistogramData> histograms;
+        struct SeriesData {
+            std::string name;
+            std::vector<double> values;
+            std::size_t total_length = 0;
+        };
+        std::vector<SeriesData> series;
+    };
+    Snapshot snapshot() const;
+
+    /// Zeroes every registered metric (handles stay valid). For tests and
+    /// benches that want a per-phase export.
+    void reset();
+
+private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+        histograms_;
+    std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+};
+
+}  // namespace press::obs

@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+
+namespace press::obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t now_ns_since_epoch() {
+    // One process-wide epoch so span start times are comparable across
+    // threads. Captured on first use.
+    static const SteadyClock::time_point epoch = SteadyClock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            SteadyClock::now() - epoch)
+            .count());
+}
+
+/// Bounded global store of completed spans (circular; overwrites oldest).
+class SpanRing {
+public:
+    static SpanRing& instance() {
+        static SpanRing ring;
+        return ring;
+    }
+
+    void push(SpanRecord&& record) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (records_.size() < capacity_) {
+            records_.push_back(std::move(record));
+        } else {
+            records_[head_] = std::move(record);
+            head_ = (head_ + 1) % capacity_;
+            ++dropped_;
+        }
+    }
+
+    std::vector<SpanRecord> flush() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<SpanRecord> out;
+        out.reserve(records_.size());
+        // Oldest first: the ring head is the oldest surviving record.
+        for (std::size_t i = 0; i < records_.size(); ++i)
+            out.push_back(
+                std::move(records_[(head_ + i) % records_.size()]));
+        records_.clear();
+        head_ = 0;
+        dropped_ = 0;
+        return out;
+    }
+
+    std::uint64_t dropped() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return dropped_;
+    }
+
+    void set_capacity(std::size_t capacity) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = capacity == 0 ? 1 : capacity;
+        records_.clear();
+        records_.reserve(capacity_);
+        head_ = 0;
+        dropped_ = 0;
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_ = 4096;
+    std::vector<SpanRecord> records_;
+    std::size_t head_ = 0;  ///< index of the oldest record once full
+    std::uint64_t dropped_ = 0;
+};
+
+/// Per-thread nesting state. The index is dense (0, 1, 2, ...) in
+/// first-use order so exports stay small and readable.
+struct ThreadState {
+    std::uint32_t index;
+    std::uint32_t depth = 0;
+    std::uint64_t seq = 0;
+};
+
+ThreadState& thread_state() {
+    static std::atomic<std::uint32_t> next_index{0};
+    thread_local ThreadState state{
+        next_index.fetch_add(1, std::memory_order_relaxed)};
+    return state;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, const SimTimeSource* sim)
+    : name_(name), sim_(sim) {
+    if (!enabled()) return;
+    active_ = true;
+    ++thread_state().depth;
+    if (sim_ != nullptr) sim_start_s_ = sim_->sim_now_s();
+    start_ns_ = now_ns_since_epoch();  // last: excludes setup from the span
+}
+
+TraceSpan::~TraceSpan() {
+    if (!active_) return;
+    const std::uint64_t end_ns = now_ns_since_epoch();
+    ThreadState& state = thread_state();
+    SpanRecord record;
+    record.name = name_;
+    record.thread = state.index;
+    record.depth = --state.depth;
+    record.seq = state.seq++;
+    record.start_ns = start_ns_;
+    record.wall_ns = end_ns - start_ns_;
+    if (sim_ != nullptr) {
+        record.has_sim = true;
+        record.sim_start_s = sim_start_s_;
+        record.sim_elapsed_s = sim_->sim_now_s() - sim_start_s_;
+    }
+    SpanRing::instance().push(std::move(record));
+}
+
+std::vector<SpanRecord> flush_spans() {
+    return SpanRing::instance().flush();
+}
+
+std::uint64_t spans_dropped() { return SpanRing::instance().dropped(); }
+
+void set_span_capacity(std::size_t capacity) {
+    SpanRing::instance().set_capacity(capacity);
+}
+
+}  // namespace press::obs

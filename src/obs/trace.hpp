@@ -1,0 +1,79 @@
+// Observability: RAII scoped timers that form a per-thread span tree.
+//
+// A TraceSpan prices the region between its construction and destruction
+// on the wall clock (std::chrono::steady_clock, relative to a process-wide
+// epoch) and — when given a SimTimeSource — on the simulated wall clock
+// the control plane runs on (control::SimClock implements the interface).
+// Both timescales matter here: wall time says what the *simulator* paid,
+// simulated time says what the *modeled hardware* paid, and comparing the
+// two is exactly what a perf PR needs.
+//
+// Nesting is tracked per thread with a thread-local depth counter, so the
+// flushed records reconstruct each thread's span tree: a record at depth d
+// is a child of the most recent earlier record of the same thread whose
+// depth is < d (spans complete in child-before-parent order, and `seq`
+// numbers completions per thread). Completed spans land in a bounded
+// global ring buffer — the hot path never allocates, and a run that emits
+// more spans than the capacity keeps the newest ones and counts the
+// overwritten remainder in spans_dropped().
+//
+// When obs::enabled() is false, constructing a TraceSpan costs one relaxed
+// bool load and records nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace press::obs {
+
+/// Read-only view of a simulated clock. control::SimClock implements
+/// this; obs stays below the control layer by depending only on the
+/// interface.
+class SimTimeSource {
+public:
+    virtual ~SimTimeSource() = default;
+    virtual double sim_now_s() const = 0;
+};
+
+/// One completed span.
+struct SpanRecord {
+    std::string name;
+    std::uint32_t thread = 0;  ///< dense per-process thread index
+    std::uint32_t depth = 0;   ///< nesting depth on its thread (0 = root)
+    std::uint64_t seq = 0;     ///< completion order on its thread
+    std::uint64_t start_ns = 0;  ///< steady-clock ns since process epoch
+    std::uint64_t wall_ns = 0;   ///< wall-clock duration
+    bool has_sim = false;        ///< sim fields valid
+    double sim_start_s = 0.0;    ///< SimTimeSource reading at entry
+    double sim_elapsed_s = 0.0;  ///< simulated seconds spanned
+};
+
+/// RAII scoped timer. `name` must outlive the span (string literals).
+class TraceSpan {
+public:
+    explicit TraceSpan(const char* name,
+                       const SimTimeSource* sim = nullptr);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+private:
+    const char* name_;
+    const SimTimeSource* sim_;
+    std::uint64_t start_ns_ = 0;
+    double sim_start_s_ = 0.0;
+    bool active_ = false;
+};
+
+/// Drains every completed span, oldest first. Thread-safe.
+std::vector<SpanRecord> flush_spans();
+
+/// Spans overwritten since the last flush because the ring was full.
+std::uint64_t spans_dropped();
+
+/// Resizes the ring (drops current content). Default capacity 4096.
+void set_span_capacity(std::size_t capacity);
+
+}  // namespace press::obs

@@ -1,0 +1,313 @@
+// Observability subsystem: registry arithmetic, histogram bucket edges,
+// span nesting and flush order, the exporter round-trip against the
+// documented press.telemetry/v1 schema, manifest determinism, and
+// thread-count independence of the folded batch metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "control/batch.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "press/config.hpp"
+#include "util/rng.hpp"
+
+namespace press::obs {
+namespace {
+
+/// Every case runs with collection forced on and a clean slate; the
+/// registry and span ring are process-global.
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        set_enabled(true);
+        MetricsRegistry::global().reset();
+        (void)flush_spans();
+    }
+};
+
+TEST_F(ObsTest, CounterArithmetic) {
+    Counter& c = MetricsRegistry::global().counter("test.counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    // The registry hands back the same instance for the same name.
+    EXPECT_EQ(&MetricsRegistry::global().counter("test.counter"), &c);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+    Gauge& g = MetricsRegistry::global().gauge("test.gauge");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+    g.set(-7.0);  // set replaces, never accumulates
+    EXPECT_DOUBLE_EQ(g.value(), -7.0);
+}
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+    Histogram h({1.0, 2.0, 4.0});
+    h.observe(0.5);   // below first bound -> bucket 0
+    h.observe(1.0);   // exactly on a bound counts in that bucket
+    h.observe(1.5);   // bucket 1
+    h.observe(2.0);   // edge again -> bucket 1
+    h.observe(4.0);   // last bound -> bucket 2
+    h.observe(4.001); // past the last bound -> overflow
+    const std::vector<std::uint64_t> counts = h.bucket_counts();
+    ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.001);
+}
+
+TEST_F(ObsTest, HistogramNonFiniteGoesToOverflow) {
+    Histogram h({1.0});
+    h.observe(std::numeric_limits<double>::quiet_NaN());
+    h.observe(std::numeric_limits<double>::infinity());
+    const std::vector<std::uint64_t> counts = h.bucket_counts();
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);  // non-finite values never touch sum
+}
+
+TEST_F(ObsTest, HistogramRejectsUnsortedBounds) {
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObsTest, SeriesTruncatesButKeepsTrueLength) {
+    Series s;
+    for (std::size_t i = 0; i < Series::kMaxPoints + 5; ++i)
+        s.append(static_cast<double>(i));
+    EXPECT_EQ(s.values().size(), Series::kMaxPoints);
+    EXPECT_EQ(s.total_length(), Series::kMaxPoints + 5);
+    s.reset();
+    s.append(std::vector<double>{1.0, 2.0, 3.0});
+    EXPECT_EQ(s.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+    EXPECT_EQ(s.total_length(), 3u);
+}
+
+TEST_F(ObsTest, SpanNestingAndFlushOrder) {
+    {
+        TraceSpan outer("outer");
+        {
+            TraceSpan inner("inner");
+        }
+        {
+            TraceSpan second("second");
+        }
+    }
+    const std::vector<SpanRecord> spans = flush_spans();
+    ASSERT_EQ(spans.size(), 3u);
+    // Children complete before their parent; seq numbers completions.
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[0].depth, 1u);
+    EXPECT_EQ(spans[1].name, "second");
+    EXPECT_EQ(spans[1].depth, 1u);
+    EXPECT_EQ(spans[2].name, "outer");
+    EXPECT_EQ(spans[2].depth, 0u);
+    EXPECT_LT(spans[0].seq, spans[1].seq);
+    EXPECT_LT(spans[1].seq, spans[2].seq);
+    // The parent's interval covers the children's.
+    EXPECT_LE(spans[2].start_ns, spans[0].start_ns);
+    EXPECT_GE(spans[2].wall_ns, spans[0].wall_ns + spans[1].wall_ns);
+    // The flush drained the ring.
+    EXPECT_TRUE(flush_spans().empty());
+}
+
+TEST_F(ObsTest, SpanRingOverwritesOldestAndCountsDrops) {
+    set_span_capacity(4);
+    for (int i = 0; i < 10; ++i) {
+        TraceSpan span("ring-span");
+    }
+    EXPECT_EQ(spans_dropped(), 6u);
+    const std::vector<SpanRecord> spans = flush_spans();
+    EXPECT_EQ(spans.size(), 4u);  // newest four survive
+    EXPECT_EQ(spans_dropped(), 0u);  // flush resets the drop count
+    set_span_capacity(4096);
+}
+
+TEST_F(ObsTest, DisabledSpansAndGatesRecordNothing) {
+    set_enabled(false);
+    {
+        TraceSpan span("invisible");
+    }
+    EXPECT_TRUE(flush_spans().empty());
+    set_enabled(true);
+}
+
+class FixedSimTime : public SimTimeSource {
+public:
+    double now = 0.0;
+    double sim_now_s() const override { return now; }
+};
+
+TEST_F(ObsTest, SpanPricesSimulatedTime) {
+    FixedSimTime sim;
+    sim.now = 1.5;
+    {
+        TraceSpan span("sim-span", &sim);
+        sim.now = 2.25;
+    }
+    const std::vector<SpanRecord> spans = flush_spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_TRUE(spans[0].has_sim);
+    EXPECT_DOUBLE_EQ(spans[0].sim_start_s, 1.5);
+    EXPECT_DOUBLE_EQ(spans[0].sim_elapsed_s, 0.75);
+}
+
+TEST_F(ObsTest, ExporterRoundTripValidatesAgainstSchema) {
+    auto& registry = MetricsRegistry::global();
+    registry.counter("test.hits").add(7);
+    registry.gauge("test.level_db").set(-3.25);
+    registry.histogram("test.latency_us", {1.0, 10.0, 100.0}).observe(42.0);
+    registry.series("test.convergence").append({1.0, 2.0, 2.5});
+    {
+        TraceSpan span("test.region");
+    }
+
+    const RunManifest manifest = RunManifest::capture("unit-test", 7);
+    const Json doc = build_telemetry(manifest);
+    EXPECT_EQ(validate_telemetry(doc), "");
+
+    // Serialize, reparse, revalidate: the emitted bytes round-trip.
+    const std::string text = doc.dump();
+    const Json parsed = Json::parse(text);
+    EXPECT_EQ(validate_telemetry(parsed), "");
+    EXPECT_EQ(parsed.at("schema").as_string(), "press.telemetry/v1");
+    EXPECT_EQ(
+        parsed.at("metrics").at("counters").at("test.hits").as_double(),
+        7.0);
+    EXPECT_EQ(parsed.at("manifest").at("seed").as_double(), 7.0);
+    const Json& hist =
+        parsed.at("metrics").at("histograms").at("test.latency_us");
+    EXPECT_EQ(hist.at("counts").as_array().size(), 4u);
+    EXPECT_EQ(hist.at("count").as_double(), 1.0);
+    const Json& series = parsed.at("series").at("test.convergence");
+    EXPECT_EQ(series.at("length").as_double(), 3.0);
+    ASSERT_EQ(parsed.at("spans").as_array().size(), 1u);
+    EXPECT_EQ(
+        parsed.at("spans").as_array()[0].at("name").as_string(),
+        "test.region");
+
+    // The table renderer accepts the same document.
+    const std::string table = render_table(parsed);
+    EXPECT_NE(table.find("test.hits"), std::string::npos);
+    EXPECT_NE(table.find("test.region"), std::string::npos);
+}
+
+TEST_F(ObsTest, ValidatorFlagsSchemaDrift) {
+    const RunManifest manifest = RunManifest::capture("unit-test", 1);
+    Json doc = build_telemetry(manifest);
+    doc.as_object().emplace("surprise", Json(1.0));
+    EXPECT_NE(validate_telemetry(doc), "");
+
+    Json doc2 = build_telemetry(manifest);
+    doc2.as_object().erase("spans");
+    EXPECT_NE(validate_telemetry(doc2), "");
+
+    Json doc3 = build_telemetry(manifest);
+    doc3.as_object()["schema"] = Json(std::string("press.telemetry/v2"));
+    EXPECT_NE(validate_telemetry(doc3), "");
+}
+
+TEST_F(ObsTest, ManifestIsDeterministicUnderFixedSeed) {
+    const RunManifest a = RunManifest::capture("scenario-x", 1234);
+    const RunManifest b = RunManifest::capture("scenario-x", 1234);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.git_describe.empty());
+    EXPECT_FALSE(a.build_type.empty());
+    EXPECT_GE(a.press_threads, 1u);
+    // And the serialized form is byte-identical, which is what makes two
+    // exports diffable.
+    EXPECT_EQ(build_telemetry(a, false).dump(),
+              build_telemetry(b, false).dump());
+}
+
+/// Deterministic score with real work, so multi-thread runs interleave.
+double score_config(const surface::Config& c, util::Rng& rng) {
+    double s = rng.uniform(0.0, 1.0);
+    for (std::size_t e = 0; e < c.size(); ++e)
+        s += static_cast<double>(c[e]) * static_cast<double>(e + 1);
+    return s;
+}
+
+TEST_F(ObsTest, FoldedBatchMetricsMatchAcrossThreadCounts) {
+    using control::BatchEvaluator;
+    std::vector<surface::Config> batch;
+    for (int i = 0; i < 64; ++i)
+        batch.push_back({i % 4, (i / 4) % 4, (i / 16) % 4});
+
+    const auto run = [&](std::size_t threads) {
+        auto& registry = MetricsRegistry::global();
+        registry.reset();
+        BatchEvaluator pool(score_config, /*seed=*/99, threads);
+        (void)pool.evaluate(batch);
+        (void)pool.evaluate(batch);
+        pool.publish_worker_stats();
+
+        struct Folded {
+            std::uint64_t evaluations;
+            std::uint64_t batches;
+            std::uint64_t worker_task_sum;
+        } folded{};
+        folded.evaluations =
+            registry.counter("control.batch.evaluations").value();
+        folded.batches = registry.counter("control.batch.batches").value();
+        const std::size_t n = static_cast<std::size_t>(
+            registry.gauge("control.batch.threads").value());
+        EXPECT_EQ(n, threads);
+        for (std::size_t i = 0; i < n; ++i)
+            folded.worker_task_sum += static_cast<std::uint64_t>(
+                registry
+                    .gauge("control.batch.worker." + std::to_string(i) +
+                           ".tasks")
+                    .value());
+        return folded;
+    };
+
+    const auto one = run(1);
+    const auto eight = run(8);
+    EXPECT_EQ(one.evaluations, 128u);
+    EXPECT_EQ(eight.evaluations, one.evaluations);
+    EXPECT_EQ(eight.batches, one.batches);
+    // Work distribution differs across thread counts; the fold does not.
+    EXPECT_EQ(one.worker_task_sum, 128u);
+    EXPECT_EQ(eight.worker_task_sum, 128u);
+}
+
+TEST_F(ObsTest, JsonParserHandlesEscapesAndNumbers) {
+    const Json v = Json::parse(
+        R"({"s": "a\"b\\cAé", "n": -1.5e3, "i": 42,)"
+        R"( "t": true, "z": null, "a": [1, 2.5]})");
+    EXPECT_EQ(v.at("s").as_string(), "a\"b\\cAé");
+    EXPECT_DOUBLE_EQ(v.at("n").as_double(), -1500.0);
+    EXPECT_DOUBLE_EQ(v.at("i").as_double(), 42.0);
+    EXPECT_TRUE(v.at("t").as_bool());
+    EXPECT_TRUE(v.at("z").is_null());
+    EXPECT_EQ(v.at("a").as_array().size(), 2u);
+    EXPECT_THROW(Json::parse("{\"unterminated\": "), std::runtime_error);
+    // Deterministic writer: keys come out sorted, integers undecorated.
+    Json::Object obj;
+    obj.emplace("b", Json(2.0));
+    obj.emplace("a", Json(1.0));
+    const std::string text = Json(std::move(obj)).dump();
+    EXPECT_LT(text.find("\"a\""), text.find("\"b\""));
+    EXPECT_NE(text.find("\"a\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace press::obs

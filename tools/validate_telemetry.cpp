@@ -1,0 +1,54 @@
+// CI schema gate: validates press.telemetry/v1 exports against the schema
+// documented in docs/TELEMETRY.md (as enforced by obs::validate_telemetry,
+// the same checker the exporter round-trip test uses).
+//
+//   $ validate_telemetry telemetry_perf_snapshot.json [...]
+//
+// Exits 0 when every file parses and validates; prints the first violation
+// and exits 1 otherwise, failing the build on schema drift.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: validate_telemetry <telemetry.json> [...]\n");
+        return 2;
+    }
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char* path = argv[i];
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n", path);
+            ++failures;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            const press::obs::Json doc =
+                press::obs::Json::parse(buffer.str());
+            const std::string violation =
+                press::obs::validate_telemetry(doc);
+            if (!violation.empty()) {
+                std::fprintf(stderr, "%s: schema violation: %s\n", path,
+                             violation.c_str());
+                ++failures;
+                continue;
+            }
+            std::printf("%s: ok (%s, scenario \"%s\")\n", path,
+                        doc.at("schema").as_string().c_str(),
+                        doc.at("manifest").at("scenario").as_string().c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s: parse error: %s\n", path, e.what());
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
