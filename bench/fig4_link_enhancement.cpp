@@ -115,8 +115,9 @@ int main(int argc, char** argv) {
     // no-op when PRESS_TELEMETRY is off.
     const press::obs::RunManifest manifest =
         press::obs::RunManifest::capture("fig4_link_enhancement", kBaseSeed);
-    if (const auto path = press::obs::write_telemetry("fig4_link_enhancement",
-                                                      manifest))
-        std::cout << "wrote " << *path << "\n";
+    const press::obs::RunExportPaths paths =
+        press::obs::write_run_exports("fig4_link_enhancement", manifest);
+    if (paths.telemetry) std::cout << "wrote " << *paths.telemetry << "\n";
+    if (paths.trace) std::cout << "wrote " << *paths.trace << "\n";
     return 0;
 }

@@ -89,8 +89,9 @@ int main(int argc, char** argv) {
     // no-op when PRESS_TELEMETRY is off.
     const press::obs::RunManifest manifest =
         press::obs::RunManifest::capture("fig5_null_movement", kPlacementSeed);
-    if (const auto path = press::obs::write_telemetry("fig5_null_movement",
-                                                      manifest))
-        std::cout << "wrote " << *path << "\n";
+    const press::obs::RunExportPaths paths =
+        press::obs::write_run_exports("fig5_null_movement", manifest);
+    if (paths.telemetry) std::cout << "wrote " << *paths.telemetry << "\n";
+    if (paths.trace) std::cout << "wrote " << *paths.trace << "\n";
     return 0;
 }

@@ -102,8 +102,9 @@ int main(int argc, char** argv) {
     // no-op when PRESS_TELEMETRY is off.
     const press::obs::RunManifest manifest =
         press::obs::RunManifest::capture("fig6_min_snr", kPlacementSeed);
-    if (const auto path = press::obs::write_telemetry("fig6_min_snr",
-                                                      manifest))
-        std::cout << "wrote " << *path << "\n";
+    const press::obs::RunExportPaths paths =
+        press::obs::write_run_exports("fig6_min_snr", manifest);
+    if (paths.telemetry) std::cout << "wrote " << *paths.telemetry << "\n";
+    if (paths.trace) std::cout << "wrote " << *paths.trace << "\n";
     return 0;
 }

@@ -117,8 +117,9 @@ int main(int argc, char** argv) {
     // no-op when PRESS_TELEMETRY is off.
     const press::obs::RunManifest manifest =
         press::obs::RunManifest::capture("fig7_harmonization", kBaseSeed);
-    if (const auto path = press::obs::write_telemetry("fig7_harmonization",
-                                                      manifest))
-        std::cout << "wrote " << *path << "\n";
+    const press::obs::RunExportPaths paths =
+        press::obs::write_run_exports("fig7_harmonization", manifest);
+    if (paths.telemetry) std::cout << "wrote " << *paths.telemetry << "\n";
+    if (paths.trace) std::cout << "wrote " << *paths.trace << "\n";
     return 0;
 }

@@ -33,6 +33,7 @@
 #include "core/system.hpp"
 #include "em/channel.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
@@ -227,9 +228,31 @@ void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
         s.search_serial_ms / s.search_batched_ms, last ? "" : ",");
 }
 
+// Approximate percentile from fixed histogram buckets: the upper bound of
+// the bucket where the cumulative count crosses q (overflow observations
+// saturate at the last explicit bound).
+double approx_percentile_us(
+    const press::obs::MetricsRegistry::Snapshot::HistogramData& h,
+    double q) {
+    if (h.count == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(h.count) + 0.5);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        if (cumulative >= target)
+            return i < h.bounds.size() ? h.bounds[i] : h.bounds.back();
+    }
+    return h.bounds.back();
+}
+
 }  // namespace
 
 int main() {
+    // Last-N-spans post-mortem: armed for the whole run, dumped to
+    // flight_perf_snapshot.json if the process dies on a signal.
+    press::obs::flight_arm();
+    press::obs::flight_install_signal_dump("perf_snapshot");
     // The snapshot runs with telemetry forced on so the export below is
     // fully populated (the overhead section toggles it locally), but the
     // environment's verdict is restored before the export decision so
@@ -244,8 +267,30 @@ int main() {
         std::fprintf(stderr, "cannot open BENCH_observe.json\n");
         return 1;
     }
-    std::fprintf(out, "{\n  \"threads\": %zu,\n  \"scenes\": [\n",
+    std::fprintf(out, "{\n  \"threads\": %zu,\n",
                  press::control::BatchEvaluator::resolve_threads(0));
+    // Per-candidate batch-eval latency distribution, folded in from the
+    // control.batch.eval_us histogram the optimize_fast searches above
+    // populated (percentiles are bucket upper bounds, so conservative).
+    {
+        const auto snapshot = press::obs::MetricsRegistry::global().snapshot();
+        for (const auto& h : snapshot.histograms) {
+            if (h.name != "control.batch.eval_us") continue;
+            std::fprintf(
+                out,
+                "  \"eval_latency_us\": {\n"
+                "    \"count\": %llu,\n"
+                "    \"mean\": %.3f,\n"
+                "    \"p50\": %.1f,\n"
+                "    \"p99\": %.1f\n"
+                "  },\n",
+                static_cast<unsigned long long>(h.count),
+                h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0,
+                approx_percentile_us(h, 0.50),
+                approx_percentile_us(h, 0.99));
+        }
+    }
+    std::fprintf(out, "  \"scenes\": [\n");
     print_scene(out, fig4, false);
     print_scene(out, fig6, true);
     std::fprintf(out, "  ]\n}\n");
@@ -264,14 +309,16 @@ int main() {
     }
     std::printf("wrote BENCH_observe.json\n");
 
-    // Emit the press.telemetry/v1 export next to BENCH_observe.json so
-    // every perf PR leaves a comparable trace (cache hit rates, per-worker
-    // task counts, span timings from the searches above).
+    // Emit the press.telemetry/v2 export plus its Chrome Trace rendering
+    // next to BENCH_observe.json so every perf PR leaves a comparable
+    // trace (cache hit rates, per-worker task counts, span timings and
+    // the causal tree from the searches above).
     press::obs::set_enabled(env_enabled);
     const press::obs::RunManifest manifest =
         press::obs::RunManifest::capture("perf_snapshot", 100);
-    if (const auto path = press::obs::write_telemetry("perf_snapshot",
-                                                      manifest))
-        std::printf("wrote %s\n", path->c_str());
+    const press::obs::RunExportPaths paths =
+        press::obs::write_run_exports("perf_snapshot", manifest);
+    if (paths.telemetry) std::printf("wrote %s\n", paths.telemetry->c_str());
+    if (paths.trace) std::printf("wrote %s\n", paths.trace->c_str());
     return 0;
 }

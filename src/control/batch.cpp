@@ -71,6 +71,14 @@ void BatchEvaluator::worker_loop(std::size_t index) {
         stats.idle_s +=
             seconds_between(wait_start, std::chrono::steady_clock::now());
         if (shutdown_) return;
+        if (!(batch_ && next_ < batch_->size())) continue;
+        // One span per worker per batch participation — not one per
+        // candidate, which would flood the span ring on large searches.
+        // The worker adopts the caller's evaluate-span context, so the
+        // span tree crosses the pool threads; per-candidate latency goes
+        // to the control.batch.eval_us histogram instead (lock-free).
+        obs::ContextGuard adopt(batch_ctx_);
+        obs::TraceSpan batch_span("control.batch.worker_batch");
         while (batch_ && next_ < batch_->size()) {
             const std::vector<surface::Config>* batch = batch_;
             const std::size_t i = next_++;
@@ -86,6 +94,15 @@ void BatchEvaluator::worker_loop(std::size_t index) {
                 error = std::current_exception();
             }
             const auto task_end = std::chrono::steady_clock::now();
+            if (obs::enabled()) {
+                static obs::Histogram& eval_us =
+                    obs::MetricsRegistry::global().histogram(
+                        "control.batch.eval_us",
+                        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                         500.0, 1000.0, 2000.0, 5000.0, 10000.0});
+                eval_us.observe(
+                    seconds_between(task_start, task_end) * 1e6);
+            }
             lock.lock();
             stats.tasks += 1;
             stats.busy_s += seconds_between(task_start, task_end);
@@ -122,11 +139,15 @@ std::vector<double> BatchEvaluator::evaluate(
     const std::vector<surface::Config>& batch) {
     std::vector<double> results(batch.size(), 0.0);
     if (batch.empty()) return results;
+    // The batch's causal anchor: workers adopt this span's context, so
+    // their worker_batch spans parent into it across the pool threads.
+    obs::TraceSpan span("control.batch.evaluate");
     std::unique_lock<std::mutex> lock(mutex_);
     PRESS_EXPECTS(batch_ == nullptr,
                   "evaluate() is not reentrant on one evaluator");
     batch_ = &batch;
     results_ = &results;
+    batch_ctx_ = span.context();
     next_ = 0;
     remaining_ = batch.size();
     first_error_ = nullptr;
@@ -134,6 +155,7 @@ std::vector<double> BatchEvaluator::evaluate(
     done_cv_.wait(lock, [this]() { return remaining_ == 0; });
     batch_ = nullptr;
     results_ = nullptr;
+    batch_ctx_ = obs::TraceContext{};
     base_index_ += batch.size();
     if (obs::enabled()) {
         static obs::Counter& batches =

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "press/config.hpp"
 #include "util/rng.hpp"
 
@@ -102,6 +103,9 @@ private:
     std::condition_variable done_cv_;   ///< caller waits for completion
     const std::vector<surface::Config>* batch_ = nullptr;
     std::vector<double>* results_ = nullptr;
+    /// The caller's "control.batch.evaluate" span for the current batch;
+    /// workers adopt it so their spans join the caller's causal tree.
+    obs::TraceContext batch_ctx_;
     std::size_t next_ = 0;       ///< next candidate slot to claim
     std::size_t remaining_ = 0;  ///< candidates not yet finished
     std::exception_ptr first_error_;

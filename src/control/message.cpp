@@ -10,7 +10,8 @@ namespace press::control {
 namespace {
 
 constexpr std::uint16_t kMagic = 0x5052;
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersionPlain = 1;   ///< no trace header
+constexpr std::uint8_t kVersionTraced = 2;  ///< +16 bytes TraceContext
 
 void encode_payload(const SetConfig& m, ByteWriter& w) {
     w.u16(m.array_id);
@@ -64,15 +65,24 @@ std::vector<double> MeasureReport::snr_db() const {
 }
 
 std::vector<std::uint8_t> encode(const Message& msg, std::uint32_t seq) {
+    return encode(msg, seq, obs::TraceContext{});
+}
+
+std::vector<std::uint8_t> encode(const Message& msg, std::uint32_t seq,
+                                 const obs::TraceContext& trace) {
     ByteWriter payload;
     std::visit([&payload](const auto& m) { encode_payload(m, payload); }, msg);
     PRESS_EXPECTS(payload.size() <= 0xFFFF, "payload too large for framing");
 
     ByteWriter w;
     w.u16(kMagic);
-    w.u8(kVersion);
+    w.u8(trace.valid() ? kVersionTraced : kVersionPlain);
     w.u8(static_cast<std::uint8_t>(type_of(msg)));
     w.u32(seq);
+    if (trace.valid()) {
+        w.u64(trace.trace_id);
+        w.u64(trace.parent_span);
+    }
     w.u16(static_cast<std::uint16_t>(payload.size()));
     w.bytes(payload.buffer().data(), payload.size());
     const std::uint16_t crc = crc16(w.buffer());
@@ -91,10 +101,18 @@ Decoded decode(const std::vector<std::uint8_t>& buffer) {
 
     ByteReader r(buffer);
     if (r.u16() != kMagic) throw ProtocolError("bad magic");
-    if (r.u8() != kVersion) throw ProtocolError("unsupported version");
+    const std::uint8_t version = r.u8();
+    if (version != kVersionPlain && version != kVersionTraced)
+        throw ProtocolError("unsupported version");
     const std::uint8_t type = r.u8();
     Decoded d;
     d.seq = r.u32();
+    if (version == kVersionTraced) {
+        d.trace.trace_id = r.u64();
+        d.trace.parent_span = r.u64();
+        if (!d.trace.valid())
+            throw ProtocolError("traced frame with zero trace_id");
+    }
     const std::uint16_t len = r.u16();
     if (r.remaining() != static_cast<std::size_t>(len) + 2)
         throw ProtocolError("length field does not match buffer");

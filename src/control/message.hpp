@@ -1,13 +1,23 @@
 // Control-plane message definitions.
 //
 // Frame layout (little-endian):
-//   magic   u16   0x5052 ("PR")
-//   version u8    1
-//   type    u8    MessageType
-//   seq     u32   sender sequence number
-//   len     u16   payload byte count
-//   payload len bytes
-//   crc     u16   CRC-16/CCITT over everything before it
+//   magic       u16   0x5052 ("PR")
+//   version     u8    1 or 2
+//   type        u8    MessageType
+//   seq         u32   sender sequence number
+//   trace_id    u64   version 2 only: obs trace the frame belongs to
+//   parent_span u64   version 2 only: causal parent span on the sender
+//   len         u16   payload byte count
+//   payload     len bytes
+//   crc         u16   CRC-16/CCITT over everything before it
+//
+// Version 2 frames carry the sender's obs::TraceContext so the receiving
+// endpoint can adopt it — the 16 extra header bytes are what lets a span
+// tree follow a configuration across the simulated wire (and they cost
+// real airtime: transfer pricing sees the larger frame). The encoder
+// emits version 1 whenever there is no valid context (telemetry off, or
+// no open span), so untraced traffic is byte-identical to before;
+// decode() accepts both versions.
 //
 // Four messages cover the actuation loop: the controller pushes element
 // states with SetConfig (acked), asks an endpoint to measure with
@@ -20,6 +30,7 @@
 #include <vector>
 
 #include "control/wire.hpp"
+#include "obs/trace.hpp"
 #include "press/config.hpp"
 
 namespace press::control {
@@ -64,13 +75,23 @@ struct MeasureReport {
 using Message = std::variant<SetConfig, SetConfigAck, MeasureRequest,
                              MeasureReport>;
 
-/// Serializes a message with header, sequence number and CRC.
+/// Serializes a message with header, sequence number and CRC as a
+/// version 1 frame (no trace header).
 std::vector<std::uint8_t> encode(const Message& msg, std::uint32_t seq);
 
-/// Decoded message plus its header sequence number.
+/// Serializes with a causal context: a version 2 frame carrying `trace`
+/// when it is valid, else a version 1 frame identical to the overload
+/// above. Senders pass obs::current_context() to let the receiving
+/// endpoint adopt their open span.
+std::vector<std::uint8_t> encode(const Message& msg, std::uint32_t seq,
+                                 const obs::TraceContext& trace);
+
+/// Decoded message plus its header sequence number and — for version 2
+/// frames — the sender's causal context (invalid for version 1).
 struct Decoded {
     Message message;
     std::uint32_t seq = 0;
+    obs::TraceContext trace;
 };
 
 /// Parses a buffer; throws ProtocolError on any malformation.

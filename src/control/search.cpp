@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace press::control {
@@ -195,6 +196,9 @@ SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
     Tracker t(eval, max_evals, stop);
     ScoreMemo memo;
     while (!t.exhausted()) {
+        // One restart pass of the descent; nested under the caller's
+        // optimize span, so a trace shows how rounds split the budget.
+        obs::TraceSpan round_span("control.search.round");
         const std::size_t evals_at_restart = t.evaluations();
         surface::Config current = random_config(space, rng);
         double current_score;
@@ -248,6 +252,9 @@ SearchResult GreedyCoordinateDescent::search_batched(
     BatchTracker t(eval, max_evals, stop);
     ScoreMemo memo;
     while (!t.exhausted()) {
+        // One restart pass; same span name as the serial variant so the
+        // two produce comparable trees.
+        obs::TraceSpan round_span("control.search.round");
         const std::size_t evals_at_restart = t.evaluations();
         surface::Config current = random_config(space, rng);
         double current_score;
@@ -419,6 +426,12 @@ void record_search_telemetry(const std::string& searcher_name,
     registry.counter(prefix + ".runs").add();
     registry.counter(prefix + ".evaluations").add(result.evaluations);
     registry.gauge(prefix + ".best_score").set(result.best_score);
+    if (result.remeasure_evals > 0) {
+        registry.gauge(prefix + ".best_score_remeasured")
+            .set(result.best_score_remeasured);
+        registry.counter(prefix + ".remeasure_evals")
+            .add(result.remeasure_evals);
+    }
     registry.series(prefix + ".best_score").append(result.trajectory);
 }
 

@@ -41,10 +41,17 @@ struct SearchResult {
     /// noisy EvalFn this is the maximum over noisy samples, so it is biased
     /// high — and memoizing strategies (GreedyCoordinateDescent) never
     /// re-measure a configuration, so a single positive outlier can be
-    /// locked in. Callers needing an unbiased estimate should re-measure
-    /// best_config themselves (the search budget is spent on exploration,
-    /// not on tightening the incumbent's confidence interval).
+    /// locked in. Use best_score_remeasured for an unbiased estimate.
     double best_score = 0.0;
+    /// Unbiased estimate of best_config's quality: the mean of
+    /// `remeasure_evals` fresh measurements taken after the search ended
+    /// (the search budget is spent on exploration; the confirmation
+    /// measurements are priced separately). Filled by callers that own
+    /// the evaluation pipeline — Controller::optimize and
+    /// System::optimize_fast — not by the strategies; equals best_score
+    /// when remeasure_evals is 0.
+    double best_score_remeasured = 0.0;
+    std::size_t remeasure_evals = 0;
     std::size_t evaluations = 0;
     /// best_score after each evaluation (length == evaluations); lets the
     /// ablation benches plot anytime curves.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace press::control {
@@ -69,6 +70,12 @@ std::optional<std::vector<std::uint8_t>> ArrayAgent::handle(
         count("control.transport.agent_rejected");
         return std::nullopt;  // corrupted frames are silently dropped
     }
+    // Adopt the sender's causal context from the frame header (version 2
+    // frames): the agent's span parents into the controller-side span
+    // that encoded the frame, across the simulated wire. Acks are
+    // encoded under this span, so they carry the agent's context back.
+    obs::ContextGuard adopt(decoded.trace);
+    obs::TraceSpan span("control.agent.handle");
     const auto* set = std::get_if<SetConfig>(&decoded.message);
     if (set == nullptr || set->array_id != array_id_) return std::nullopt;
 
@@ -87,20 +94,20 @@ std::optional<std::vector<std::uint8_t>> ArrayAgent::handle(
             count("control.transport.agent_stale");
         }
         ack.status = 0;
-        return encode(Message{ack}, decoded.seq);
+        return encode(Message{ack}, decoded.seq, obs::current_context());
     }
     if (!array_.config_space().valid(set->config)) {
         ++rejected_;
         count("control.transport.agent_rejected");
         ack.status = 1;  // invalid configuration
-        return encode(Message{ack}, decoded.seq);
+        return encode(Message{ack}, decoded.seq, obs::current_context());
     }
     array_.apply(set->config);
     highest_seq_ = decoded.seq;
     ++applied_;
     count("control.transport.agent_applied");
     ack.status = 0;
-    return encode(Message{ack}, decoded.seq);
+    return encode(Message{ack}, decoded.seq, obs::current_context());
 }
 
 double BackoffPolicy::nominal_wait_s(int retry) const {
@@ -145,17 +152,26 @@ void ReliableSession::advance_clock(double seconds) {
 
 bool ReliableSession::apply(std::uint16_t array_id,
                             const surface::Config& config) {
+    // The delivery root for this configuration: attempts, backoffs and
+    // the agent's adopted handling all hang off it, priced on the shared
+    // SimClock when one is attached.
+    obs::TraceSpan apply_span("control.transport.apply", clock_);
     SetConfig msg;
     msg.array_id = array_id;
     msg.config = config;
     const std::uint32_t seq = next_seq_++;
-    const std::vector<std::uint8_t> frame = encode(Message{msg}, seq);
+    // current_context() is apply_span: the frame header ships it so the
+    // agent can adopt across the wire (16 extra bytes of real airtime).
+    const std::vector<std::uint8_t> frame =
+        encode(Message{msg}, seq, obs::current_context());
 
     for (int attempt = 0; attempt <= max_retries_; ++attempt) {
         if (attempt > 0) {
             // Exponential backoff with jitter before each retransmission;
             // the wait is real coherence-time budget when a clock is
             // attached.
+            obs::TraceSpan backoff_span("control.transport.backoff",
+                                        clock_);
             const double jitter =
                 backoff_.jitter_frac > 0.0
                     ? backoff_rng_.uniform(1.0 - backoff_.jitter_frac,
@@ -169,6 +185,7 @@ bool ReliableSession::apply(std::uint16_t array_id,
                     .add(wait);
             advance_clock(wait);
         }
+        obs::TraceSpan attempt_span("control.transport.attempt", clock_);
         ++stats_.attempts;
         count("control.transport.attempts");
         if (attempt > 0) count("control.transport.retries");

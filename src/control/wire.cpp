@@ -12,6 +12,11 @@ void ByteWriter::u32(std::uint32_t v) {
         buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
 }
 
+void ByteWriter::u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
 void ByteWriter::bytes(const std::uint8_t* data, std::size_t n) {
     buf_.insert(buf_.end(), data, data + n);
 }
@@ -40,6 +45,17 @@ std::uint32_t ByteReader::u32() {
         v |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
              << (8 * i);
     pos_ += 4;
+    return v;
+}
+
+std::uint64_t ByteReader::u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 buf_[pos_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    pos_ += 8;
     return v;
 }
 

@@ -28,6 +28,7 @@ public:
     void u8(std::uint8_t v) { buf_.push_back(v); }
     void u16(std::uint16_t v);
     void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
     void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
     void bytes(const std::uint8_t* data, std::size_t n);
 
@@ -48,6 +49,7 @@ public:
     std::uint8_t u8();
     std::uint16_t u16();
     std::uint32_t u32();
+    std::uint64_t u64();
     std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
 
     std::size_t remaining() const { return buf_.size() - pos_; }

@@ -249,6 +249,23 @@ control::OptimizationOutcome System::optimize_fast(
     outcome.elapsed_s = clock.now_s();
     outcome.budget_limited = outcome.search.evaluations >= max_evals ||
                              clock.now_s() >= time_budget_s;
+
+    // best_score is the max over noisy samples, biased high (see
+    // SearchResult). Re-score the winner over fresh candidate rng
+    // streams — routed through `eval` so the confirmation trials are
+    // priced on the sim clock and counted as cache hits like any other.
+    outcome.search.best_score_remeasured = outcome.search.best_score;
+    if (!outcome.search.best_config.empty()) {
+        obs::TraceSpan remeasure_span("core.system.remeasure", &clock);
+        constexpr std::size_t kRemeasureEvals = 3;
+        const std::vector<double> confirm = eval(std::vector<surface::Config>(
+            kRemeasureEvals, outcome.search.best_config));
+        double sum = 0.0;
+        for (double v : confirm) sum += v;
+        outcome.search.remeasure_evals = confirm.size();
+        outcome.search.best_score_remeasured =
+            sum / static_cast<double>(confirm.size());
+    }
     control::record_search_telemetry(searcher.name(), outcome.search);
     pool.publish_worker_stats();
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "control/message.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -83,6 +84,9 @@ HealthReport HealthMonitor::probe(const surface::ConfigSpace& space,
     };
 
     for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+        // Nested under the probe span, so a trace shows what each sweep
+        // repetition cost in simulated time.
+        obs::TraceSpan sweep_span("fault.health.sweep", clock);
         // Fresh baseline reference each sweep: slow channel drift between
         // sweeps must not masquerade as element response.
         if (!apply_(baseline)) {
@@ -125,6 +129,12 @@ HealthReport HealthMonitor::probe(const surface::ConfigSpace& space,
         registry.gauge("fault.health.last_probe_elapsed_s")
             .set(report.elapsed_s);
     }
+    // Degradation detected: dump the flight recorder before anything
+    // else overwrites the window, so the post-mortem shows what the
+    // control plane was doing as the hardware went bad.
+    if (!options.flight_dump_name.empty() && report.num_suspect() > 0 &&
+        obs::flight_armed())
+        (void)obs::write_flight(options.flight_dump_name);
     return report;
 }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "control/controller.hpp"
@@ -54,6 +55,11 @@ struct ProbeOptions {
     /// (repeats beat measurement noise and catch intermittent switches
     /// in their cooperative moments).
     std::size_t sweeps = 2;
+    /// When non-empty and the sweep flags at least one suspect element,
+    /// the obs flight recorder (if armed) is dumped to
+    /// `flight_<name>.json` — the post-mortem of what the control plane
+    /// was doing as the hardware degraded.
+    std::string flight_dump_name;
 };
 
 /// Runs per-element probe sweeps through the same apply/measure callbacks

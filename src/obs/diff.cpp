@@ -1,0 +1,164 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace press::obs {
+
+namespace {
+
+/// Manifest fields that must match for counters to be comparable at all.
+constexpr const char* kStrictIdentity[] = {"press_threads", "seed",
+                                           "scenario"};
+/// Manifest fields whose mismatch only softens counter failures to
+/// warnings (toolchain changes may legitimately shift FP trajectories).
+constexpr const char* kAdvisoryIdentity[] = {"build_type", "compiler",
+                                             "sanitize"};
+
+std::string value_str(const Json& v) {
+    if (v.is_string()) return v.as_string();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v.as_double());
+    return buf;
+}
+
+double rel_drift_pct(double base, double current) {
+    const double denom = std::max(std::fabs(base), 1.0);
+    return std::fabs(current - base) / denom * 100.0;
+}
+
+}  // namespace
+
+Json make_baseline(const Json& telemetry) {
+    Json::Object manifest;
+    const Json& src = telemetry.at("manifest");
+    for (const char* key : kStrictIdentity)
+        manifest.emplace(key, src.at(key));
+    for (const char* key : kAdvisoryIdentity)
+        manifest.emplace(key, src.at(key));
+
+    Json::Object root;
+    root.emplace("schema", "press.bench_baseline/v1");
+    root.emplace("manifest", std::move(manifest));
+    root.emplace("counters",
+                 telemetry.at("metrics").at("counters"));
+    root.emplace("gauges", telemetry.at("metrics").at("gauges"));
+    return Json(std::move(root));
+}
+
+DiffResult diff_telemetry(const Json& baseline, const Json& current,
+                          double tolerance_pct) {
+    DiffResult result;
+    if (!baseline.is_object() || !baseline.contains("schema") ||
+        !baseline.at("schema").is_string() ||
+        baseline.at("schema").as_string() != "press.bench_baseline/v1") {
+        result.comparable = false;
+        result.failures.push_back(
+            "baseline schema is not \"press.bench_baseline/v1\"");
+        return result;
+    }
+    if (!current.is_object() || !current.contains("manifest") ||
+        !current.contains("metrics")) {
+        result.comparable = false;
+        result.failures.push_back(
+            "current document is not a telemetry export");
+        return result;
+    }
+
+    const Json& base_manifest = baseline.at("manifest");
+    const Json& cur_manifest = current.at("manifest");
+    for (const char* key : kStrictIdentity) {
+        if (!base_manifest.contains(key) || !cur_manifest.contains(key) ||
+            !(value_str(base_manifest.at(key)) ==
+              value_str(cur_manifest.at(key)))) {
+            result.comparable = false;
+            result.failures.push_back(
+                std::string("manifest.") + key +
+                " differs from the baseline — runs are not comparable");
+        }
+    }
+    if (!result.comparable) return result;
+
+    bool soften = false;
+    for (const char* key : kAdvisoryIdentity) {
+        if (base_manifest.contains(key) && cur_manifest.contains(key) &&
+            value_str(base_manifest.at(key)) !=
+                value_str(cur_manifest.at(key))) {
+            soften = true;
+            result.warnings.push_back(
+                std::string("manifest.") + key + " changed (\"" +
+                value_str(base_manifest.at(key)) + "\" -> \"" +
+                value_str(cur_manifest.at(key)) +
+                "\"); counter drift reported as warnings only");
+        }
+    }
+    auto flag = [&](std::string message) {
+        (soften ? result.warnings : result.failures)
+            .push_back(std::move(message));
+    };
+
+    const Json& base_counters = baseline.at("counters");
+    const Json& cur_counters = current.at("metrics").at("counters");
+    for (const auto& [name, base_value] : base_counters.as_object()) {
+        if (!cur_counters.contains(name)) {
+            flag("counter " + name +
+                 " present in the baseline but missing from this run");
+            continue;
+        }
+        const double base = base_value.as_double();
+        const double cur = cur_counters.at(name).as_double();
+        const double drift = rel_drift_pct(base, cur);
+        if (drift > tolerance_pct) {
+            char buf[160];
+            std::snprintf(buf, sizeof buf,
+                          "counter %s drifted %.2f%% (baseline %.0f, "
+                          "current %.0f, tolerance %.2f%%)",
+                          name.c_str(), drift, base, cur, tolerance_pct);
+            flag(buf);
+        }
+    }
+    for (const auto& [name, value] : cur_counters.as_object())
+        if (!base_counters.contains(name))
+            result.warnings.push_back(
+                "counter " + name +
+                " is new since the baseline (re-snapshot to gate it)");
+
+    if (baseline.contains("gauges")) {
+        const Json& base_gauges = baseline.at("gauges");
+        const Json& cur_gauges = current.at("metrics").at("gauges");
+        for (const auto& [name, base_value] : base_gauges.as_object()) {
+            if (!cur_gauges.contains(name)) {
+                result.warnings.push_back("gauge " + name +
+                                          " missing from this run");
+                continue;
+            }
+            const double base = base_value.as_double();
+            const double cur = cur_gauges.at(name).as_double();
+            const double drift = rel_drift_pct(base, cur);
+            if (drift > tolerance_pct) {
+                char buf[160];
+                std::snprintf(buf, sizeof buf,
+                              "gauge %s drifted %.2f%% (baseline %g, "
+                              "current %g) — wall-clock noise, not gated",
+                              name.c_str(), drift, base, cur);
+                result.warnings.push_back(buf);
+            }
+        }
+    }
+    return result;
+}
+
+double diff_tolerance_from_env(double fallback) {
+    const char* env = std::getenv("PRESS_BENCH_DIFF_TOLERANCE_PCT");
+    if (env == nullptr || *env == '\0') return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !std::isfinite(value) ||
+        value < 0.0)
+        return fallback;
+    return value;
+}
+
+}  // namespace press::obs

@@ -6,6 +6,7 @@
 #include <iterator>
 #include <limits>
 
+#include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
 
 namespace press::obs {
@@ -73,6 +74,10 @@ Json spans_json(const std::vector<SpanRecord>& spans) {
         entry.emplace("thread", s.thread);
         entry.emplace("depth", s.depth);
         entry.emplace("seq", s.seq);
+        entry.emplace("trace_id", s.trace_id);
+        entry.emplace("span_id", s.span_id);
+        entry.emplace("parent_span", s.parent_span);
+        entry.emplace("adopted", s.adopted);
         entry.emplace("start_us",
                       static_cast<double>(s.start_ns) / 1000.0);
         entry.emplace("wall_us", static_cast<double>(s.wall_ns) / 1000.0);
@@ -180,18 +185,39 @@ std::string render_table(const Json& telemetry) {
     return out;
 }
 
-std::optional<std::string> write_telemetry(const std::string& name,
-                                           const RunManifest& manifest) {
-    if (!enabled()) return std::nullopt;
-    const std::string path =
-        export_dir() + "/telemetry_" + name + ".json";
+namespace {
+
+std::optional<std::string> write_document(const std::string& path,
+                                          const Json& document) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return std::nullopt;
-    const std::string doc = build_telemetry(manifest).dump();
+    const std::string doc = document.dump();
     const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     if (written != doc.size()) return std::nullopt;
     return path;
+}
+
+}  // namespace
+
+std::optional<std::string> write_telemetry(const std::string& name,
+                                           const RunManifest& manifest) {
+    if (!enabled()) return std::nullopt;
+    return write_document(export_dir() + "/telemetry_" + name + ".json",
+                          build_telemetry(manifest));
+}
+
+RunExportPaths write_run_exports(const std::string& name,
+                                 const RunManifest& manifest) {
+    RunExportPaths paths;
+    if (!enabled()) return paths;
+    const Json telemetry = build_telemetry(manifest);
+    paths.telemetry = write_document(
+        export_dir() + "/telemetry_" + name + ".json", telemetry);
+    paths.trace = write_document(
+        export_dir() + "/trace_" + name + ".json",
+        perfetto_export(telemetry));
+    return paths;
 }
 
 namespace {
@@ -226,8 +252,8 @@ std::string validate_telemetry(const Json& t) {
     }
 
     if (!t.at("schema").is_string() ||
-        t.at("schema").as_string() != "press.telemetry/v1")
-        return "schema is not \"press.telemetry/v1\"";
+        t.at("schema").as_string() != "press.telemetry/v2")
+        return "schema is not \"press.telemetry/v2\"";
 
     const Json& manifest = t.at("manifest");
     if (!manifest.is_object()) return "manifest is not an object";
@@ -314,10 +340,18 @@ std::string validate_telemetry(const Json& t) {
         if (!s.is_object()) return "span entry is not an object";
         if (!s.contains("name") || !s.at("name").is_string())
             return "span missing string \"name\"";
-        for (const char* key : {"thread", "depth", "seq"})
+        for (const char* key : {"thread", "depth", "seq", "trace_id",
+                                "span_id", "parent_span"})
             if (!s.contains(key) || !is_uint(s.at(key)))
                 return std::string("span \"") + s.at("name").as_string() +
                        "\" missing integer \"" + key + "\"";
+        if (s.at("span_id").as_double() < 1 ||
+            s.at("trace_id").as_double() < 1)
+            return std::string("span \"") + s.at("name").as_string() +
+                   "\" span_id/trace_id must be >= 1";
+        if (!s.contains("adopted") || !s.at("adopted").is_bool())
+            return std::string("span \"") + s.at("name").as_string() +
+                   "\" missing bool \"adopted\"";
         for (const char* key : {"start_us", "wall_us"})
             if (!s.contains(key) || !s.at(key).is_number())
                 return std::string("span \"") + s.at("name").as_string() +

@@ -1,4 +1,4 @@
-// Observability: serializing a run to the `press.telemetry/v1` document.
+// Observability: serializing a run to the `press.telemetry/v2` document.
 //
 // One schema, two renderings: build_telemetry() assembles the manifest, a
 // coherent snapshot of the metrics registry and the completed trace spans
@@ -24,7 +24,7 @@
 
 namespace press::obs {
 
-/// Assembles the full `press.telemetry/v1` document from `manifest`, the
+/// Assembles the full `press.telemetry/v2` document from `manifest`, the
 /// global registry and — when `drain_spans` is true (the default) — the
 /// span ring, which is emptied in the process.
 Json build_telemetry(const RunManifest& manifest, bool drain_spans = true);
@@ -40,7 +40,21 @@ std::string render_table(const Json& telemetry);
 std::optional<std::string> write_telemetry(const std::string& name,
                                            const RunManifest& manifest);
 
-/// Validates a parsed document against the `press.telemetry/v1` schema.
+/// Paths produced by write_run_exports(); each is std::nullopt when its
+/// file was not written.
+struct RunExportPaths {
+    std::optional<std::string> telemetry;
+    std::optional<std::string> trace;
+};
+
+/// One-call emission of both run artifacts — `telemetry_<name>.json` and
+/// the Perfetto-compatible `trace_<name>.json` — from a single span-ring
+/// drain, so the two files describe the same spans. A no-op (both paths
+/// nullopt) when telemetry is disabled.
+RunExportPaths write_run_exports(const std::string& name,
+                                 const RunManifest& manifest);
+
+/// Validates a parsed document against the `press.telemetry/v2` schema.
 /// Returns an empty string when valid, else a description of the first
 /// violation found.
 std::string validate_telemetry(const Json& telemetry);

@@ -1,0 +1,316 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace press::obs {
+
+namespace {
+
+constexpr std::size_t kNameBytes = 64;
+constexpr std::size_t kNameWords = kNameBytes / sizeof(std::uint64_t);
+
+/// One recorded span, every field an atomic so concurrent writers and a
+/// mid-write dump stay data-race-free (TSan-clean); the per-slot seqlock
+/// version below is what detects *torn* entries, the atomics only keep
+/// the tearing benign. The name is stored inline (truncated to 63 bytes)
+/// as words — the recorder must not allocate on the span hot path.
+struct FlightEntry {
+    std::atomic<std::uint64_t> name_words[kNameWords];
+    std::atomic<std::uint32_t> thread{0};
+    std::atomic<std::uint32_t> depth{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> span_id{0};
+    std::atomic<std::uint64_t> parent_span{0};
+    std::atomic<bool> adopted{false};
+    std::atomic<bool> has_sim{false};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> wall_ns{0};
+    std::atomic<double> sim_start_s{0.0};
+    std::atomic<double> sim_elapsed_s{0.0};
+};
+
+struct Slot {
+    /// Seqlock generation: 2k+1 while the k-th note is writing, 2k+2
+    /// once it finished. A reader expecting write k skips the slot on
+    /// any other value (in-progress, or lapped by write k + capacity).
+    std::atomic<std::uint64_t> version{0};
+    FlightEntry entry;
+};
+
+struct Storage {
+    explicit Storage(std::size_t capacity)
+        : slots(capacity == 0 ? 1 : capacity) {}
+    std::vector<Slot> slots;
+    std::atomic<std::uint64_t> head{0};  ///< total notes since arming
+};
+
+struct FlightState {
+    std::mutex mutex;  ///< guards arm/disarm/dump and the cold fields
+    std::atomic<Storage*> storage{nullptr};
+    std::atomic<bool> armed{false};
+    std::vector<std::pair<std::string, std::uint64_t>> baseline;
+    /// Replaced rings are retired, not freed: a writer that loaded the
+    /// old pointer may still be mid-note. Bounded by the number of
+    /// flight_arm() calls, which is O(1) per process outside tests.
+    std::vector<std::unique_ptr<Storage>> retired;
+};
+
+FlightState& state() {
+    static FlightState s;
+    return s;
+}
+
+void store_name(FlightEntry& e, const std::string& name) {
+    char buf[kNameBytes] = {};
+    std::memcpy(buf, name.data(),
+                std::min(name.size(), kNameBytes - 1));
+    for (std::size_t w = 0; w < kNameWords; ++w) {
+        std::uint64_t word = 0;
+        std::memcpy(&word, buf + w * sizeof word, sizeof word);
+        e.name_words[w].store(word, std::memory_order_relaxed);
+    }
+}
+
+std::string load_name(const FlightEntry& e) {
+    char buf[kNameBytes];
+    for (std::size_t w = 0; w < kNameWords; ++w) {
+        const std::uint64_t word =
+            e.name_words[w].load(std::memory_order_relaxed);
+        std::memcpy(buf + w * sizeof word, &word, sizeof word);
+    }
+    buf[kNameBytes - 1] = '\0';
+    return std::string(buf);
+}
+
+/// Name of the flight dump the signal handler writes; set before the
+/// handlers are installed, never mutated afterwards.
+std::string& signal_dump_name() {
+    static std::string name;
+    return name;
+}
+
+void signal_dump_handler(int signum) {
+    // Best effort: write_flight allocates and takes a mutex, neither of
+    // which is async-signal-safe — acceptable for a simulator
+    // post-mortem, where the alternative is no dump at all.
+    if (const auto path = write_flight(signal_dump_name()))
+        std::fprintf(stderr, "flight recorder dumped to %s (signal %d)\n",
+                     path->c_str(), signum);
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+}
+
+}  // namespace
+
+void flight_arm(std::size_t capacity) {
+    FlightState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto fresh = std::make_unique<Storage>(capacity);
+    Storage* old = s.storage.load(std::memory_order_relaxed);
+    s.storage.store(fresh.get(), std::memory_order_release);
+    if (old != nullptr)
+        s.retired.emplace_back(old);  // adopt; see FlightState::retired
+    fresh.release();
+    s.baseline = MetricsRegistry::global().snapshot().counters;
+    s.armed.store(true, std::memory_order_release);
+}
+
+void flight_disarm() {
+    state().armed.store(false, std::memory_order_release);
+}
+
+bool flight_armed() {
+    return state().armed.load(std::memory_order_acquire);
+}
+
+void flight_note(const SpanRecord& record) {
+    FlightState& s = state();
+    if (!s.armed.load(std::memory_order_acquire)) return;
+    Storage* store = s.storage.load(std::memory_order_acquire);
+    if (store == nullptr) return;
+    const std::uint64_t k =
+        store->head.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = store->slots[k % store->slots.size()];
+    slot.version.store(2 * k + 1, std::memory_order_release);
+    FlightEntry& e = slot.entry;
+    store_name(e, record.name);
+    e.thread.store(record.thread, std::memory_order_relaxed);
+    e.depth.store(record.depth, std::memory_order_relaxed);
+    e.trace_id.store(record.trace_id, std::memory_order_relaxed);
+    e.span_id.store(record.span_id, std::memory_order_relaxed);
+    e.parent_span.store(record.parent_span, std::memory_order_relaxed);
+    e.adopted.store(record.adopted, std::memory_order_relaxed);
+    e.has_sim.store(record.has_sim, std::memory_order_relaxed);
+    e.start_ns.store(record.start_ns, std::memory_order_relaxed);
+    e.wall_ns.store(record.wall_ns, std::memory_order_relaxed);
+    e.sim_start_s.store(record.sim_start_s, std::memory_order_relaxed);
+    e.sim_elapsed_s.store(record.sim_elapsed_s,
+                          std::memory_order_relaxed);
+    slot.version.store(2 * k + 2, std::memory_order_release);
+}
+
+Json flight_dump() {
+    FlightState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+
+    Json::Object root;
+    root.emplace("schema", "press.flight/v1");
+
+    Storage* store = s.storage.load(std::memory_order_acquire);
+    Json::Array spans;
+    std::uint64_t recorded = 0;
+    std::size_t capacity = 0;
+    if (store != nullptr) {
+        capacity = store->slots.size();
+        const std::uint64_t head =
+            store->head.load(std::memory_order_acquire);
+        recorded = head;
+        const std::uint64_t window =
+            std::min<std::uint64_t>(head, capacity);
+        for (std::uint64_t k = head - window; k < head; ++k) {
+            const Slot& slot = store->slots[k % capacity];
+            if (slot.version.load(std::memory_order_acquire) !=
+                2 * k + 2)
+                continue;  // in-progress or already lapped: torn, skip
+            const FlightEntry& e = slot.entry;
+            Json::Object span;
+            span.emplace("name", load_name(e));
+            span.emplace("thread",
+                         e.thread.load(std::memory_order_relaxed));
+            span.emplace("depth",
+                         e.depth.load(std::memory_order_relaxed));
+            span.emplace("trace_id",
+                         e.trace_id.load(std::memory_order_relaxed));
+            span.emplace("span_id",
+                         e.span_id.load(std::memory_order_relaxed));
+            span.emplace("parent_span",
+                         e.parent_span.load(std::memory_order_relaxed));
+            span.emplace("adopted",
+                         e.adopted.load(std::memory_order_relaxed));
+            span.emplace(
+                "start_us",
+                static_cast<double>(
+                    e.start_ns.load(std::memory_order_relaxed)) /
+                    1000.0);
+            span.emplace(
+                "wall_us",
+                static_cast<double>(
+                    e.wall_ns.load(std::memory_order_relaxed)) /
+                    1000.0);
+            if (e.has_sim.load(std::memory_order_relaxed)) {
+                span.emplace(
+                    "sim_start_s",
+                    e.sim_start_s.load(std::memory_order_relaxed));
+                span.emplace(
+                    "sim_elapsed_s",
+                    e.sim_elapsed_s.load(std::memory_order_relaxed));
+            }
+            // Re-check after the field reads: a writer that started
+            // while we copied leaves a different version behind.
+            if (slot.version.load(std::memory_order_acquire) !=
+                2 * k + 2)
+                continue;
+            spans.emplace_back(std::move(span));
+        }
+    }
+    root.emplace("spans", std::move(spans));
+    root.emplace("spans_recorded", recorded);
+    root.emplace("capacity", capacity);
+
+    // Counter deltas since arming; counters created after the baseline
+    // snapshot delta from zero.
+    Json::Object counters;
+    const auto current = MetricsRegistry::global().snapshot().counters;
+    for (const auto& [name, value] : current) {
+        std::uint64_t base = 0;
+        const auto it = std::lower_bound(
+            s.baseline.begin(), s.baseline.end(), name,
+            [](const auto& entry, const std::string& n) {
+                return entry.first < n;
+            });
+        if (it != s.baseline.end() && it->first == name)
+            base = it->second;
+        Json::Object entry;
+        entry.emplace("value", value);
+        entry.emplace("delta", value >= base ? value - base
+                                             : std::uint64_t{0});
+        counters.emplace(name, std::move(entry));
+    }
+    root.emplace("counters", std::move(counters));
+    return Json(std::move(root));
+}
+
+std::optional<std::string> write_flight(const std::string& name) {
+    if (state().storage.load(std::memory_order_acquire) == nullptr)
+        return std::nullopt;
+    const std::string path = export_dir() + "/flight_" + name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return std::nullopt;
+    const std::string doc = flight_dump().dump();
+    const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (written != doc.size()) return std::nullopt;
+    return path;
+}
+
+void flight_install_signal_dump(const std::string& name) {
+    signal_dump_name() = name;
+    for (int signum : {SIGABRT, SIGSEGV, SIGFPE, SIGILL})
+        std::signal(signum, signal_dump_handler);
+}
+
+std::string validate_flight(const Json& t) {
+    if (!t.is_object()) return "document is not an object";
+    for (const char* key :
+         {"schema", "spans", "spans_recorded", "capacity", "counters"})
+        if (!t.contains(key))
+            return std::string("missing root key \"") + key + "\"";
+    if (!t.at("schema").is_string() ||
+        t.at("schema").as_string() != "press.flight/v1")
+        return "schema is not \"press.flight/v1\"";
+    if (!t.at("spans").is_array()) return "spans is not an array";
+    const auto is_uint = [](const Json& v) {
+        return v.is_number() && v.as_double() >= 0.0;
+    };
+    for (const Json& s : t.at("spans").as_array()) {
+        if (!s.is_object() || !s.contains("name") ||
+            !s.at("name").is_string())
+            return "flight span missing string \"name\"";
+        for (const char* key :
+             {"thread", "depth", "trace_id", "span_id", "parent_span"})
+            if (!s.contains(key) || !is_uint(s.at(key)))
+                return std::string("flight span \"") +
+                       s.at("name").as_string() +
+                       "\" missing integer \"" + key + "\"";
+        if (!s.contains("adopted") || !s.at("adopted").is_bool())
+            return "flight span missing bool \"adopted\"";
+        for (const char* key : {"start_us", "wall_us"})
+            if (!s.contains(key) || !s.at(key).is_number())
+                return std::string("flight span \"") +
+                       s.at("name").as_string() +
+                       "\" missing number \"" + key + "\"";
+    }
+    if (!is_uint(t.at("spans_recorded")) || !is_uint(t.at("capacity")))
+        return "spans_recorded/capacity must be non-negative integers";
+    if (!t.at("counters").is_object())
+        return "counters is not an object";
+    for (const auto& [name, entry] : t.at("counters").as_object())
+        if (!entry.is_object() || !entry.contains("value") ||
+            !entry.contains("delta") || !is_uint(entry.at("value")) ||
+            !is_uint(entry.at("delta")))
+            return "counters." + name +
+                   " must be {value: n, delta: n}";
+    return "";
+}
+
+}  // namespace press::obs

@@ -1,0 +1,71 @@
+// Observability: the flight recorder — a crash-tolerant window on the
+// recent past.
+//
+// Telemetry exports (obs/export.hpp) describe a run that *finished*; a
+// post-mortem needs the opposite: what the process was doing just before
+// it degraded or died. The flight recorder is a fixed-size, lock-free
+// ring of the most recent completed spans (fed by every TraceSpan
+// destructor once armed) plus the counter deltas accumulated since
+// arming. Dumping it is independent of the main span ring — the ring
+// buffer in obs/trace.hpp is drained by exports, while the flight ring
+// always holds the freshest N spans regardless of what else consumed
+// them.
+//
+// Writers are wait-free: one fetch_add on the global write index and a
+// per-slot seqlock (version bumped odd before the write, even after), so
+// the hot path never blocks and a dump taken mid-write simply skips the
+// torn slot. Arm/dump/disarm are cold-path and mutex-guarded.
+//
+// fault::HealthMonitor dumps `flight_<name>.json` when a probe sweep
+// flags degradation; benches arm the signal hook so SIGABRT/SIGSEGV also
+// leave a dump behind instead of dying silently (best effort — the
+// handler allocates, which is fine for a simulator post-mortem but not
+// strictly async-signal-safe).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace press::obs {
+
+inline constexpr std::size_t kDefaultFlightCapacity = 256;
+
+/// Starts recording: allocates a ring of `capacity` slots and snapshots
+/// the current counter values as the delta baseline. Re-arming resets
+/// the window and the baseline.
+void flight_arm(std::size_t capacity = kDefaultFlightCapacity);
+
+/// Stops recording (the last window stays dumpable).
+void flight_disarm();
+
+bool flight_armed();
+
+/// Records one completed span; wait-free, called by every TraceSpan
+/// destructor. No-op while disarmed.
+void flight_note(const SpanRecord& record);
+
+/// The `press.flight/v1` document: the surviving window of spans (oldest
+/// first, torn slots skipped) and every counter's value now plus its
+/// delta since flight_arm().
+Json flight_dump();
+
+/// Writes flight_<name>.json into export_dir() and returns the path, or
+/// std::nullopt when nothing was ever armed or the file cannot be
+/// written. Works even when obs::enabled() was flipped off afterwards —
+/// a post-mortem must not be suppressed by the telemetry gate.
+std::optional<std::string> write_flight(const std::string& name);
+
+/// Installs SIGABRT/SIGSEGV/SIGFPE/SIGILL handlers that write
+/// flight_<name>.json and re-raise with the default disposition.
+/// Best-effort: the handler is not strictly async-signal-safe.
+void flight_install_signal_dump(const std::string& name);
+
+/// Validates a parsed document against the `press.flight/v1` schema.
+/// Returns an empty string when valid, else the first violation.
+std::string validate_flight(const Json& flight);
+
+}  // namespace press::obs

@@ -6,7 +6,7 @@
 // build type, compiler, flags, sanitizer, all captured at CMake configure
 // time) and the run (resolved worker thread count, top-level seed,
 // scenario id). Exports embed it under the "manifest" key of
-// `press.telemetry/v1` (docs/TELEMETRY.md).
+// `press.telemetry/v2` (docs/TELEMETRY.md).
 //
 // The manifest is deliberately free of wall-clock timestamps, hostnames
 // and other per-invocation noise: two runs of the same binary with the
@@ -26,7 +26,7 @@ namespace press::obs {
 std::size_t env_threads();
 
 struct RunManifest {
-    std::string schema = "press.telemetry/v1";
+    std::string schema = "press.telemetry/v2";
     std::string git_describe;   ///< `git describe --always --dirty` at configure
     std::string build_type;     ///< CMAKE_BUILD_TYPE
     std::string compiler;       ///< compiler id + version

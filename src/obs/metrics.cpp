@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -15,12 +16,25 @@ std::atomic<int> g_enabled_override{-1};
 bool env_disables() {
     const char* env = std::getenv("PRESS_TELEMETRY");
     if (env == nullptr) return false;
-    const std::string v(env);
-    return v == "0" || v == "off" || v == "OFF" || v == "false" ||
-           v == "FALSE";
+    return classify_telemetry_env(env) == TelemetryEnv::kOff;
 }
 
 }  // namespace
+
+TelemetryEnv classify_telemetry_env(std::string_view value) {
+    std::string lower(value);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    if (lower.empty() || lower == "1" || lower == "on" ||
+        lower == "true" || lower == "yes")
+        return TelemetryEnv::kOn;
+    if (lower == "0" || lower == "off" || lower == "false" ||
+        lower == "no")
+        return TelemetryEnv::kOff;
+    return TelemetryEnv::kDirectory;
+}
 
 bool enabled() {
     const int override = g_enabled_override.load(std::memory_order_relaxed);
@@ -40,13 +54,10 @@ void set_enabled(bool on) {
 
 std::string export_dir() {
     const char* env = std::getenv("PRESS_TELEMETRY");
-    if (env == nullptr) return ".";
-    const std::string v(env);
-    if (v.empty() || v == "0" || v == "1" || v == "on" || v == "ON" ||
-        v == "off" || v == "OFF" || v == "true" || v == "TRUE" ||
-        v == "false" || v == "FALSE")
+    if (env == nullptr ||
+        classify_telemetry_env(env) != TelemetryEnv::kDirectory)
         return ".";
-    return v;
+    return env;
 }
 
 Histogram::Histogram(std::vector<double> bounds)

@@ -2,7 +2,7 @@
 //
 // The registry is the single sink every instrumented component reports
 // into, so a run can be exported as one machine-readable document (see
-// obs/export.hpp, schema `press.telemetry/v1`) instead of each subsystem
+// obs/export.hpp, schema `press.telemetry/v2`) instead of each subsystem
 // keeping ad-hoc counters. Four metric kinds cover the library's needs:
 //
 //   Counter    monotonic event count (cache hits, frames dropped),
@@ -38,8 +38,9 @@
 namespace press::obs {
 
 /// True when telemetry collection is on. Defaults from the PRESS_TELEMETRY
-/// environment variable at first call ("0"/"off"/"false" disable; any
-/// other value, or the variable being unset, enables).
+/// environment variable at first call ("0"/"off"/"false"/"no" disable,
+/// case-insensitively; any other value, or the variable being unset,
+/// enables).
 bool enabled();
 
 /// Runtime override of the PRESS_TELEMETRY default (benches use this to
@@ -49,6 +50,17 @@ void set_enabled(bool on);
 /// Directory exports land in: PRESS_TELEMETRY when it names a directory
 /// (any value other than the on/off literals), else ".".
 std::string export_dir();
+
+/// How a PRESS_TELEMETRY value is interpreted. The on/off literals
+/// ("1"/"on"/"true"/"yes", "0"/"off"/"false"/"no") match
+/// case-insensitively — `TRUE`, `On` and `OFF` are switches, not export
+/// directories; anything else (and the empty string aside) names the
+/// export directory, which also implies collection is on.
+enum class TelemetryEnv { kOn, kOff, kDirectory };
+
+/// Classifies one PRESS_TELEMETRY value; the single parser behind both
+/// enabled() and export_dir(). An empty value classifies as kOn.
+TelemetryEnv classify_telemetry_env(std::string_view value);
 
 /// Monotonic event counter.
 class Counter {

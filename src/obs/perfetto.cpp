@@ -1,0 +1,247 @@
+#include "obs/perfetto.hpp"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace press::obs {
+
+namespace {
+
+/// The layer a span belongs to: its name prefix before the first '.'
+/// ("control.batch.worker" -> "control"), or the whole name when there
+/// is no dot.
+std::string layer_of(const std::string& name) {
+    const std::size_t dot = name.find('.');
+    return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+Json meta_event(const char* what, double pid, double tid,
+                const std::string& name) {
+    Json::Object args;
+    args.emplace("name", name);
+    Json::Object event;
+    event.emplace("name", what);
+    event.emplace("ph", "M");
+    event.emplace("pid", pid);
+    event.emplace("tid", tid);
+    event.emplace("args", std::move(args));
+    return Json(std::move(event));
+}
+
+}  // namespace
+
+Json perfetto_export(const Json& telemetry) {
+    const Json::Array empty;
+    const Json::Array& spans =
+        telemetry.contains("spans") && telemetry.at("spans").is_array()
+            ? telemetry.at("spans").as_array()
+            : empty;
+
+    // First pass: assign pids to layers (sorted, so two exports of the
+    // same content are byte-identical) and remember where each span sits
+    // so flow arrows can point at their source slice.
+    std::map<std::string, double> layer_pid;
+    for (const Json& s : spans)
+        layer_pid.emplace(layer_of(s.at("name").as_string()), 0.0);
+    double next_pid = 1.0;
+    for (auto& [layer, pid] : layer_pid) pid = next_pid++;
+
+    struct Site {
+        double pid;
+        double tid;
+        double ts;
+    };
+    std::map<std::uint64_t, Site> site_of;  // span_id -> slice location
+    std::set<std::pair<double, double>> threads_seen;
+    for (const Json& s : spans) {
+        const Site site{layer_pid.at(layer_of(s.at("name").as_string())),
+                        s.at("thread").as_double(),
+                        s.at("start_us").as_double()};
+        site_of[static_cast<std::uint64_t>(
+            s.at("span_id").as_double())] = site;
+        threads_seen.emplace(site.pid, site.tid);
+    }
+
+    Json::Array events;
+    for (const auto& [layer, pid] : layer_pid)
+        events.push_back(meta_event("process_name", pid, 0.0, layer));
+    for (const auto& [pid, tid] : threads_seen)
+        events.push_back(meta_event("thread_name", pid, tid,
+                                    "thread " + std::to_string(
+                                                    static_cast<long long>(
+                                                        tid))));
+
+    for (const Json& s : spans) {
+        const std::string& name = s.at("name").as_string();
+        const Site& site = site_of.at(
+            static_cast<std::uint64_t>(s.at("span_id").as_double()));
+        Json::Object args;
+        args.emplace("trace_id", s.at("trace_id"));
+        args.emplace("span_id", s.at("span_id"));
+        args.emplace("parent_span", s.at("parent_span"));
+        args.emplace("adopted", s.at("adopted"));
+        if (s.contains("sim_start_s")) {
+            args.emplace("sim_start_s", s.at("sim_start_s"));
+            args.emplace("sim_elapsed_s", s.at("sim_elapsed_s"));
+        }
+        Json::Object event;
+        event.emplace("name", name);
+        event.emplace("cat", layer_of(name));
+        event.emplace("ph", "X");
+        event.emplace("pid", site.pid);
+        event.emplace("tid", site.tid);
+        event.emplace("ts", s.at("start_us"));
+        event.emplace("dur", s.at("wall_us"));
+        event.emplace("args", std::move(args));
+        events.emplace_back(std::move(event));
+    }
+
+    // Flow arrows for adopted parentage: the shipped-context edge from
+    // the parent slice to the child slice. Lexical nesting needs none —
+    // slice containment already shows it. A parent missing from this
+    // export (still open, or overwritten in the span ring) gets no
+    // arrow; the identity args above still record the edge.
+    for (const Json& s : spans) {
+        if (!s.at("adopted").as_bool()) continue;
+        const std::uint64_t parent = static_cast<std::uint64_t>(
+            s.at("parent_span").as_double());
+        const auto parent_site = site_of.find(parent);
+        if (parent == 0 || parent_site == site_of.end()) continue;
+        const std::uint64_t child_id =
+            static_cast<std::uint64_t>(s.at("span_id").as_double());
+        const Site& child_site = site_of.at(child_id);
+        Json::Object start;
+        start.emplace("name", "causal");
+        start.emplace("cat", "flow");
+        start.emplace("ph", "s");
+        start.emplace("id", static_cast<double>(child_id));
+        start.emplace("pid", parent_site->second.pid);
+        start.emplace("tid", parent_site->second.tid);
+        start.emplace("ts", parent_site->second.ts);
+        events.emplace_back(std::move(start));
+        Json::Object finish;
+        finish.emplace("name", "causal");
+        finish.emplace("cat", "flow");
+        finish.emplace("ph", "f");
+        finish.emplace("bp", "e");
+        finish.emplace("id", static_cast<double>(child_id));
+        finish.emplace("pid", child_site.pid);
+        finish.emplace("tid", child_site.tid);
+        finish.emplace("ts", child_site.ts);
+        events.emplace_back(std::move(finish));
+    }
+
+    Json::Object root;
+    root.emplace("traceEvents", std::move(events));
+    root.emplace("displayTimeUnit", "ms");
+    return Json(std::move(root));
+}
+
+std::string validate_trace(const Json& t) {
+    if (!t.is_object()) return "document is not an object";
+    if (!t.contains("traceEvents") || !t.at("traceEvents").is_array())
+        return "missing traceEvents array";
+
+    std::map<std::uint64_t, std::uint64_t> trace_of;  // span -> trace
+    std::map<std::uint64_t, std::uint64_t> parent_of;
+    std::set<std::uint64_t> flow_starts;
+    std::set<std::uint64_t> flow_finishes;
+
+    for (const Json& e : t.at("traceEvents").as_array()) {
+        if (!e.is_object()) return "event is not an object";
+        if (!e.contains("ph") || !e.at("ph").is_string())
+            return "event missing string \"ph\"";
+        if (!e.contains("name") || !e.at("name").is_string())
+            return "event missing string \"name\"";
+        for (const char* key : {"pid", "tid"})
+            if (!e.contains(key) || !e.at(key).is_number())
+                return std::string("event missing number \"") + key +
+                       "\"";
+        const std::string& ph = e.at("ph").as_string();
+        if (ph == "M") {
+            if (!e.contains("args") || !e.at("args").is_object() ||
+                !e.at("args").contains("name") ||
+                !e.at("args").at("name").is_string())
+                return "metadata event missing args.name";
+            const std::string& what = e.at("name").as_string();
+            if (what != "process_name" && what != "thread_name")
+                return "unknown metadata event \"" + what + "\"";
+        } else if (ph == "X") {
+            for (const char* key : {"ts", "dur"})
+                if (!e.contains(key) || !e.at(key).is_number())
+                    return std::string(
+                               "complete event missing number \"") +
+                           key + "\"";
+            if (!e.contains("args") || !e.at("args").is_object())
+                return "complete event missing args";
+            const Json& args = e.at("args");
+            for (const char* key :
+                 {"trace_id", "span_id", "parent_span"})
+                if (!args.contains(key) || !args.at(key).is_number() ||
+                    args.at(key).as_double() < 0.0)
+                    return std::string("complete event args missing \"") +
+                           key + "\"";
+            const std::uint64_t span = static_cast<std::uint64_t>(
+                args.at("span_id").as_double());
+            if (span == 0) return "complete event span_id must be >= 1";
+            if (!trace_of
+                     .emplace(span, static_cast<std::uint64_t>(
+                                        args.at("trace_id").as_double()))
+                     .second)
+                return "duplicate span_id " + std::to_string(span);
+            parent_of[span] = static_cast<std::uint64_t>(
+                args.at("parent_span").as_double());
+        } else if (ph == "s" || ph == "f") {
+            if (!e.contains("ts") || !e.at("ts").is_number())
+                return "flow event missing number \"ts\"";
+            if (!e.contains("id") || !e.at("id").is_number())
+                return "flow event missing \"id\"";
+            const std::uint64_t id =
+                static_cast<std::uint64_t>(e.at("id").as_double());
+            if (ph == "s") {
+                if (!flow_starts.insert(id).second)
+                    return "duplicate flow start id " +
+                           std::to_string(id);
+            } else {
+                if (!e.contains("bp") || !e.at("bp").is_string() ||
+                    e.at("bp").as_string() != "e")
+                    return "flow finish must bind enclosing (bp: \"e\")";
+                if (!flow_finishes.insert(id).second)
+                    return "duplicate flow finish id " +
+                           std::to_string(id);
+            }
+        } else {
+            return "unknown event phase \"" + ph + "\"";
+        }
+    }
+
+    for (const std::uint64_t id : flow_finishes)
+        if (flow_starts.count(id) == 0)
+            return "flow finish id " + std::to_string(id) +
+                   " has no start";
+    for (const std::uint64_t id : flow_starts)
+        if (flow_finishes.count(id) == 0)
+            return "flow start id " + std::to_string(id) +
+                   " has no finish";
+    // A flow arrow lands on the slice whose span_id is its id.
+    for (const std::uint64_t id : flow_finishes)
+        if (trace_of.count(id) == 0)
+            return "flow id " + std::to_string(id) +
+                   " names no complete event";
+
+    // Causal coherence: a child and its parent (when both were exported)
+    // must agree on the trace they belong to.
+    for (const auto& [span, parent] : parent_of) {
+        if (parent == 0) continue;
+        const auto it = trace_of.find(parent);
+        if (it != trace_of.end() && it->second != trace_of.at(span))
+            return "span " + std::to_string(span) +
+                   " and its parent disagree on trace_id";
+    }
+    return "";
+}
+
+}  // namespace press::obs

@@ -1,0 +1,42 @@
+// Observability: rendering a telemetry document as a Chrome Trace Event
+// Format JSON that Perfetto (https://ui.perfetto.dev) and
+// chrome://tracing open directly.
+//
+// The exporter is a pure function of the `press.telemetry/v2` document:
+// it reads the "spans" array and emits one "X" (complete) event per
+// span, grouped so the timeline reads like the system's architecture —
+// pid = layer (the span-name prefix before the first '.': core, em,
+// control, fault, ...), tid = the recording thread — with "M" metadata
+// events naming both axes. Causality that crossed a thread or the
+// simulated control wire (spans flagged `adopted`) is drawn as flow
+// arrows: an "s"/"f" event pair from the parent span's slice to the
+// adopted child's, bound by the child's span_id. Lexically nested spans
+// need no arrows — containment on the timeline already shows them.
+//
+// Every "X" event carries the span's identity (trace_id / span_id /
+// parent_span) and its simulated-clock pricing in args, so a slice
+// selected in the Perfetto UI shows which causal tree it belongs to and
+// what the modeled hardware paid. docs/TRACING.md documents the format;
+// tools/validate_trace gates it in CI via validate_trace().
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace press::obs {
+
+/// Renders a `press.telemetry/v2` document (its "spans" array) as a
+/// Chrome Trace Event Format document: {"traceEvents": [...],
+/// "displayTimeUnit": "ms"}.
+Json perfetto_export(const Json& telemetry);
+
+/// Validates a parsed Chrome Trace Event document as emitted by
+/// perfetto_export(): structural event checks ("X"/"M"/"s"/"f" phases
+/// with their required fields) plus causal coherence — every flow "f"
+/// has a matching "s" with the same id, and every "X" parent_span that
+/// is present among the events belongs to the same trace_id. Returns an
+/// empty string when valid, else the first violation.
+std::string validate_trace(const Json& trace);
+
+}  // namespace press::obs

@@ -1,8 +1,10 @@
 #include "obs/trace.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <mutex>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace press::obs {
@@ -19,6 +21,13 @@ std::uint64_t now_ns_since_epoch() {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             SteadyClock::now() - epoch)
             .count());
+}
+
+/// Process-unique ids for spans (and thus traces: a root span's trace is
+/// its own id). Never 0 — 0 means "absent" everywhere.
+std::uint64_t next_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
 /// Bounded global store of completed spans (circular; overwrites oldest).
@@ -76,12 +85,23 @@ private:
     std::uint64_t dropped_ = 0;
 };
 
+/// One entry of a thread's causal stack: an open span, or an adopted
+/// context installed by a ContextGuard (ambient). New spans parent into
+/// the top entry of either kind; only ambient parentage is flagged
+/// `adopted` (it is the edge that crossed a thread or the wire).
+struct Frame {
+    std::uint64_t trace_id;
+    std::uint64_t span_id;
+    bool ambient;
+};
+
 /// Per-thread nesting state. The index is dense (0, 1, 2, ...) in
 /// first-use order so exports stay small and readable.
 struct ThreadState {
     std::uint32_t index;
     std::uint32_t depth = 0;
     std::uint64_t seq = 0;
+    std::vector<Frame> stack{};
 };
 
 ThreadState& thread_state() {
@@ -97,7 +117,20 @@ TraceSpan::TraceSpan(const char* name, const SimTimeSource* sim)
     : name_(name), sim_(sim) {
     if (!enabled()) return;
     active_ = true;
-    ++thread_state().depth;
+    ThreadState& state = thread_state();
+    ++state.depth;
+    span_id_ = next_id();
+    if (state.stack.empty()) {
+        // Root of a fresh trace: the trace is named after its root span.
+        trace_id_ = span_id_;
+        parent_span_ = 0;
+    } else {
+        const Frame& top = state.stack.back();
+        trace_id_ = top.trace_id;
+        parent_span_ = top.span_id;
+        adopted_ = top.ambient;
+    }
+    state.stack.push_back(Frame{trace_id_, span_id_, /*ambient=*/false});
     if (sim_ != nullptr) sim_start_s_ = sim_->sim_now_s();
     start_ns_ = now_ns_since_epoch();  // last: excludes setup from the span
 }
@@ -106,11 +139,16 @@ TraceSpan::~TraceSpan() {
     if (!active_) return;
     const std::uint64_t end_ns = now_ns_since_epoch();
     ThreadState& state = thread_state();
+    state.stack.pop_back();
     SpanRecord record;
     record.name = name_;
     record.thread = state.index;
     record.depth = --state.depth;
     record.seq = state.seq++;
+    record.trace_id = trace_id_;
+    record.span_id = span_id_;
+    record.parent_span = parent_span_;
+    record.adopted = adopted_;
     record.start_ns = start_ns_;
     record.wall_ns = end_ns - start_ns_;
     if (sim_ != nullptr) {
@@ -118,7 +156,33 @@ TraceSpan::~TraceSpan() {
         record.sim_start_s = sim_start_s_;
         record.sim_elapsed_s = sim_->sim_now_s() - sim_start_s_;
     }
+    flight_note(record);
     SpanRing::instance().push(std::move(record));
+}
+
+TraceContext TraceSpan::context() const {
+    if (!active_) return {};
+    return TraceContext{trace_id_, span_id_};
+}
+
+TraceContext current_context() {
+    if (!enabled()) return {};
+    const ThreadState& state = thread_state();
+    if (state.stack.empty()) return {};
+    const Frame& top = state.stack.back();
+    return TraceContext{top.trace_id, top.span_id};
+}
+
+ContextGuard::ContextGuard(const TraceContext& ctx) {
+    if (!enabled() || !ctx.valid()) return;
+    active_ = true;
+    thread_state().stack.push_back(
+        Frame{ctx.trace_id, ctx.parent_span, /*ambient=*/true});
+}
+
+ContextGuard::~ContextGuard() {
+    if (!active_) return;
+    thread_state().stack.pop_back();
 }
 
 std::vector<SpanRecord> flush_spans() {

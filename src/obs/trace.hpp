@@ -1,4 +1,4 @@
-// Observability: RAII scoped timers that form a per-thread span tree.
+// Observability: RAII scoped timers that form a causal span tree.
 //
 // A TraceSpan prices the region between its construction and destruction
 // on the wall clock (std::chrono::steady_clock, relative to a process-wide
@@ -8,17 +8,25 @@
 // simulated time says what the *modeled hardware* paid, and comparing the
 // two is exactly what a perf PR needs.
 //
-// Nesting is tracked per thread with a thread-local depth counter, so the
-// flushed records reconstruct each thread's span tree: a record at depth d
-// is a child of the most recent earlier record of the same thread whose
-// depth is < d (spans complete in child-before-parent order, and `seq`
-// numbers completions per thread). Completed spans land in a bounded
-// global ring buffer — the hot path never allocates, and a run that emits
-// more spans than the capacity keeps the newest ones and counts the
+// Every span carries an identity: a process-unique `span_id`, the
+// `span_id` of its parent, and a `trace_id` naming the causal tree it
+// belongs to (a root span's trace_id is its own span_id). Within one
+// thread, parentage follows lexical nesting via a thread-local frame
+// stack. Across threads and across the simulated control wire, causality
+// is carried explicitly as a TraceContext {trace_id, parent_span}:
+// capture current_context() on the producing side, ship it (message
+// header, task struct), and adopt it on the consuming side with a
+// ContextGuard — spans opened under the guard parent into the shipped
+// context and are flagged `adopted`, which is what the Perfetto exporter
+// turns into flow arrows (docs/TRACING.md).
+//
+// Completed spans land in a bounded global ring buffer — the hot path
+// never allocates beyond the record itself, and a run that emits more
+// spans than the capacity keeps the newest ones and counts the
 // overwritten remainder in spans_dropped().
 //
-// When obs::enabled() is false, constructing a TraceSpan costs one relaxed
-// bool load and records nothing.
+// When obs::enabled() is false, constructing a TraceSpan or ContextGuard
+// costs one relaxed bool load and records nothing.
 #pragma once
 
 #include <cstdint>
@@ -36,12 +44,29 @@ public:
     virtual double sim_now_s() const = 0;
 };
 
+/// Causal coordinates shipped across threads or the control wire.
+/// trace_id == 0 means "no context" (spans start a fresh trace).
+struct TraceContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
+
+    bool valid() const { return trace_id != 0; }
+    bool operator==(const TraceContext&) const = default;
+};
+
 /// One completed span.
 struct SpanRecord {
     std::string name;
     std::uint32_t thread = 0;  ///< dense per-process thread index
     std::uint32_t depth = 0;   ///< nesting depth on its thread (0 = root)
     std::uint64_t seq = 0;     ///< completion order on its thread
+    std::uint64_t trace_id = 0;   ///< causal tree this span belongs to
+    std::uint64_t span_id = 0;    ///< process-unique id of this span
+    std::uint64_t parent_span = 0;  ///< parent span_id; 0 = trace root
+    /// True when the parent came from an adopted TraceContext (cross-
+    /// thread or cross-wire) rather than lexical nesting — the exporter
+    /// draws these edges as flow arrows.
+    bool adopted = false;
     std::uint64_t start_ns = 0;  ///< steady-clock ns since process epoch
     std::uint64_t wall_ns = 0;   ///< wall-clock duration
     bool has_sim = false;        ///< sim fields valid
@@ -59,11 +84,40 @@ public:
     TraceSpan(const TraceSpan&) = delete;
     TraceSpan& operator=(const TraceSpan&) = delete;
 
+    /// This span's identity while it is open; zero when telemetry is off.
+    TraceContext context() const;
+
 private:
     const char* name_;
     const SimTimeSource* sim_;
+    std::uint64_t trace_id_ = 0;
+    std::uint64_t span_id_ = 0;
+    std::uint64_t parent_span_ = 0;
+    bool adopted_ = false;
     std::uint64_t start_ns_ = 0;
     double sim_start_s_ = 0.0;
+    bool active_ = false;
+};
+
+/// The innermost causal frame of the calling thread: the open span, or
+/// the adopted context of the innermost active ContextGuard, whichever
+/// is newer. Invalid (trace_id 0) when neither exists or telemetry is
+/// off. This is what message encoders stamp into wire headers.
+TraceContext current_context();
+
+/// Adopts a shipped TraceContext for the guard's lifetime: spans opened
+/// under it parent into ctx.parent_span within ctx.trace_id and are
+/// flagged `adopted`. A no-op for an invalid ctx or when telemetry is
+/// off. Guards and spans must nest strictly (RAII scopes).
+class ContextGuard {
+public:
+    explicit ContextGuard(const TraceContext& ctx);
+    ~ContextGuard();
+
+    ContextGuard(const ContextGuard&) = delete;
+    ContextGuard& operator=(const ContextGuard&) = delete;
+
+private:
     bool active_ = false;
 };
 

@@ -155,6 +155,26 @@ TEST(Message, EncodedSizeMatches) {
     EXPECT_EQ(encoded_size(Message{rep}), 10u + 4u + 104u + 2u);
 }
 
+TEST(Message, TracedFrameRoundTripCarriesContext) {
+    SetConfig msg;
+    msg.array_id = 2;
+    msg.config = {1, 2};
+    const obs::TraceContext ctx{0xABCDEF12u, 42u};
+    const auto traced = encode(Message{msg}, 9, ctx);
+    // Version 2: trace_id + parent_span (u64 each) after the sequence.
+    EXPECT_EQ(traced.size(), encoded_size(Message{msg}) + 16u);
+    const Decoded d = decode(traced);
+    EXPECT_EQ(d.seq, 9u);
+    EXPECT_EQ(d.trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(d.trace.parent_span, ctx.parent_span);
+
+    // Without a valid context the three-argument overload emits a plain
+    // version-1 frame, byte-identical to the two-argument encoder.
+    const auto plain = encode(Message{msg}, 9, obs::TraceContext{});
+    EXPECT_EQ(plain, encode(Message{msg}, 9));
+    EXPECT_FALSE(decode(plain).trace.valid());
+}
+
 // ---------------------------------------------------------------- plane
 
 TEST(Plane, TransferTime) {

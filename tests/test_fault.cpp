@@ -6,11 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "control/controller.hpp"
 #include "control/transport.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "press/element.hpp"
 #include "util/contracts.hpp"
 #include "util/units.hpp"
@@ -217,6 +224,36 @@ TEST(HealthMonitor, CatchesStuckElementThroughNoise) {
     EXPECT_FALSE(report.suspect[2]);
 }
 
+TEST(HealthMonitor, DumpsFlightRecorderOnDegradation) {
+    obs::set_enabled(true);
+    obs::flight_arm(64);
+    std::remove("flight_unit_probe.json");
+
+    SyntheticChannel ch;
+    ch.gain_db = {{0, 2, 2, 2}, {0, 0, 0, 0}, {0, 2, 2, 2}};
+    ch.current = {0, 0, 0};
+    HealthMonitor monitor(ch.apply(), ch.measure(), 1, 1);
+    const surface::ConfigSpace space({4, 4, 4});
+    ProbeOptions options;
+    options.flight_dump_name = "unit_probe";
+    const HealthReport report = monitor.probe(
+        space, {0, 0, 0}, control::ControlPlaneModel::fast(), options);
+    ASSERT_GT(report.num_suspect(), 0u);
+
+    // The sweep flagged a suspect, so the recorder window was written.
+    std::ifstream in("flight_unit_probe.json");
+    ASSERT_TRUE(in.good());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const obs::Json dump = obs::Json::parse(buffer.str());
+    EXPECT_EQ(obs::validate_flight(dump), "");
+    EXPECT_GE(dump.at("spans").as_array().size(), 1u);
+    in.close();
+    std::remove("flight_unit_probe.json");
+    obs::flight_disarm();
+    (void)obs::flush_spans();
+}
+
 // -------------------------------------------------------- backoff timing
 
 TEST(Backoff, NominalWaitsGrowGeometricallyAndCap) {
@@ -232,6 +269,10 @@ TEST(Backoff, NominalWaitsGrowGeometricallyAndCap) {
 }
 
 TEST(ReliableSession, PricesSuccessfulApplyOnTheClock) {
+    // Plain version-1 frames for exact pricing arithmetic: with telemetry
+    // on the session stamps a 16-byte trace header on every frame (see
+    // TracedFramesChargeHeaderAirtime below).
+    obs::set_enabled(false);
     surface::Array array = make_array(3);
     control::ArrayAgent agent(array, 0);
     control::ReliableSession session(
@@ -255,9 +296,42 @@ TEST(ReliableSession, PricesSuccessfulApplyOnTheClock) {
         model.element_switch_s;
     EXPECT_NEAR(clock.now_s(), expected, 1e-15);
     EXPECT_DOUBLE_EQ(session.stats().backoff_s, 0.0);
+    obs::set_enabled(true);
+}
+
+TEST(ReliableSession, TracedFramesChargeHeaderAirtime) {
+    // With telemetry on, the open apply span rides the wire as a version-2
+    // frame: 16 extra header bytes each way, priced as real airtime.
+    obs::set_enabled(true);
+    surface::Array array = make_array(3);
+    control::ArrayAgent agent(array, 0);
+    control::ReliableSession session(
+        agent, control::LossyChannel(0.0, 0.0, util::Rng(1)),
+        control::LossyChannel(0.0, 0.0, util::Rng(2)));
+    const control::ControlPlaneModel model =
+        control::ControlPlaneModel::fast();
+    control::SimClock clock;
+    session.set_timing(&model, &clock);
+
+    ASSERT_TRUE(session.apply(0, {1, 2, 3}));
+    control::SetConfig msg;
+    msg.array_id = 0;
+    msg.config = {1, 2, 3};
+    control::SetConfigAck ack;
+    ack.array_id = 0;
+    constexpr std::size_t kTraceHeader = 16;  // trace_id + parent_span
+    const double expected =
+        model.transfer_time_s(
+            control::encoded_size(control::Message{msg}) + kTraceHeader) +
+        model.transfer_time_s(
+            control::encoded_size(control::Message{ack}) + kTraceHeader) +
+        model.element_switch_s;
+    EXPECT_NEAR(clock.now_s(), expected, 1e-15);
+    (void)obs::flush_spans();
 }
 
 TEST(ReliableSession, DeadChannelChargesRetriesAndBackoff) {
+    obs::set_enabled(false);  // plain frames: exact timing math below
     surface::Array array = make_array(3);
     control::ArrayAgent agent(array, 0);
     // Everything sent into the downlink vanishes.
@@ -288,6 +362,7 @@ TEST(ReliableSession, DeadChannelChargesRetriesAndBackoff) {
                 1e-15);
     EXPECT_NEAR(session.stats().backoff_s, 14e-3, 1e-15);
     EXPECT_EQ(session.stats().gave_up, 1u);
+    obs::set_enabled(true);
 }
 
 TEST(ReliableSession, JitterStaysWithinConfiguredFraction) {

@@ -1,20 +1,31 @@
 // Observability subsystem: registry arithmetic, histogram bucket edges,
-// span nesting and flush order, the exporter round-trip against the
-// documented press.telemetry/v1 schema, manifest determinism, and
-// thread-count independence of the folded batch metrics.
+// span nesting and flush order, causal identity (trace/span/parent ids,
+// cross-thread adoption, thread-count-independent span trees), the
+// exporter round-trip against the documented press.telemetry/v2 schema,
+// the Perfetto trace rendering, the flight recorder, the bench-diff
+// regression gate, manifest determinism, and thread-count independence
+// of the folded batch metrics.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "control/batch.hpp"
+#include "obs/diff.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
 #include "press/config.hpp"
 #include "util/rng.hpp"
@@ -187,7 +198,7 @@ TEST_F(ObsTest, ExporterRoundTripValidatesAgainstSchema) {
     const std::string text = doc.dump();
     const Json parsed = Json::parse(text);
     EXPECT_EQ(validate_telemetry(parsed), "");
-    EXPECT_EQ(parsed.at("schema").as_string(), "press.telemetry/v1");
+    EXPECT_EQ(parsed.at("schema").as_string(), "press.telemetry/v2");
     EXPECT_EQ(
         parsed.at("metrics").at("counters").at("test.hits").as_double(),
         7.0);
@@ -199,9 +210,14 @@ TEST_F(ObsTest, ExporterRoundTripValidatesAgainstSchema) {
     const Json& series = parsed.at("series").at("test.convergence");
     EXPECT_EQ(series.at("length").as_double(), 3.0);
     ASSERT_EQ(parsed.at("spans").as_array().size(), 1u);
-    EXPECT_EQ(
-        parsed.at("spans").as_array()[0].at("name").as_string(),
-        "test.region");
+    const Json& span0 = parsed.at("spans").as_array()[0];
+    EXPECT_EQ(span0.at("name").as_string(), "test.region");
+    // v2 causal identity: a root span names its own trace.
+    EXPECT_GE(span0.at("span_id").as_double(), 1.0);
+    EXPECT_EQ(span0.at("trace_id").as_double(),
+              span0.at("span_id").as_double());
+    EXPECT_EQ(span0.at("parent_span").as_double(), 0.0);
+    EXPECT_FALSE(span0.at("adopted").as_bool());
 
     // The table renderer accepts the same document.
     const std::string table = render_table(parsed);
@@ -220,7 +236,7 @@ TEST_F(ObsTest, ValidatorFlagsSchemaDrift) {
     EXPECT_NE(validate_telemetry(doc2), "");
 
     Json doc3 = build_telemetry(manifest);
-    doc3.as_object()["schema"] = Json(std::string("press.telemetry/v2"));
+    doc3.as_object()["schema"] = Json(std::string("press.telemetry/v3"));
     EXPECT_NE(validate_telemetry(doc3), "");
 }
 
@@ -287,6 +303,208 @@ TEST_F(ObsTest, FoldedBatchMetricsMatchAcrossThreadCounts) {
     // Work distribution differs across thread counts; the fold does not.
     EXPECT_EQ(one.worker_task_sum, 128u);
     EXPECT_EQ(eight.worker_task_sum, 128u);
+}
+
+TEST_F(ObsTest, ClassifyTelemetryEnvIsCaseInsensitive) {
+    EXPECT_EQ(classify_telemetry_env(""), TelemetryEnv::kOn);
+    EXPECT_EQ(classify_telemetry_env("1"), TelemetryEnv::kOn);
+    EXPECT_EQ(classify_telemetry_env("on"), TelemetryEnv::kOn);
+    EXPECT_EQ(classify_telemetry_env("TRUE"), TelemetryEnv::kOn);
+    EXPECT_EQ(classify_telemetry_env("Yes"), TelemetryEnv::kOn);
+    EXPECT_EQ(classify_telemetry_env("0"), TelemetryEnv::kOff);
+    EXPECT_EQ(classify_telemetry_env("OFF"), TelemetryEnv::kOff);
+    EXPECT_EQ(classify_telemetry_env("False"), TelemetryEnv::kOff);
+    EXPECT_EQ(classify_telemetry_env("no"), TelemetryEnv::kOff);
+    // Anything else names the export directory (and implies "on").
+    EXPECT_EQ(classify_telemetry_env("/tmp/exports"),
+              TelemetryEnv::kDirectory);
+    EXPECT_EQ(classify_telemetry_env("onward"), TelemetryEnv::kDirectory);
+}
+
+TEST_F(ObsTest, SpansLinkIntoOneCausalTree) {
+    {
+        TraceSpan root("test.root");
+        TraceSpan child("test.child");
+    }
+    const std::vector<SpanRecord> spans = flush_spans();
+    ASSERT_EQ(spans.size(), 2u);
+    const SpanRecord& child = spans[0];
+    const SpanRecord& root = spans[1];
+    EXPECT_EQ(root.trace_id, root.span_id);
+    EXPECT_EQ(root.parent_span, 0u);
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    EXPECT_EQ(child.parent_span, root.span_id);
+    EXPECT_FALSE(root.adopted);
+    EXPECT_FALSE(child.adopted);  // lexical nesting, not adoption
+}
+
+TEST_F(ObsTest, ContextGuardAdoptsAcrossThreads) {
+    {
+        TraceSpan root("test.root");
+        const TraceContext ctx = root.context();
+        std::thread worker([ctx]() {
+            ContextGuard adopt(ctx);
+            TraceSpan span("test.remote");
+        });
+        worker.join();
+    }
+    const std::vector<SpanRecord> spans = flush_spans();
+    ASSERT_EQ(spans.size(), 2u);
+    const SpanRecord& remote = spans[0];
+    const SpanRecord& root = spans[1];
+    EXPECT_EQ(remote.trace_id, root.trace_id);
+    EXPECT_EQ(remote.parent_span, root.span_id);
+    EXPECT_TRUE(remote.adopted);
+    EXPECT_NE(remote.thread, root.thread);
+}
+
+/// The causal tree must be a property of the work, not of the worker
+/// count: (span name -> parent span name) edges are identical whether a
+/// batch runs on one thread or eight, and every span shares one trace.
+TEST_F(ObsTest, BatchEvaluatorSpanTreeIsThreadCountInvariant) {
+    std::vector<surface::Config> batch;
+    for (int i = 0; i < 64; ++i)
+        batch.push_back({i % 4, (i / 4) % 4, (i / 16) % 4});
+
+    const auto run = [&](std::size_t threads) {
+        (void)flush_spans();
+        {
+            TraceSpan root("test.optimize");
+            control::BatchEvaluator pool(score_config, /*seed=*/99,
+                                         threads);
+            (void)pool.evaluate(batch);
+        }  // pool joined: every worker span is closed
+        const std::vector<SpanRecord> spans = flush_spans();
+        std::map<std::uint64_t, std::string> name_of;
+        for (const SpanRecord& s : spans) name_of[s.span_id] = s.name;
+        std::set<std::uint64_t> traces;
+        std::set<std::pair<std::string, std::string>> edges;
+        for (const SpanRecord& s : spans) {
+            traces.insert(s.trace_id);
+            edges.insert({s.name, s.parent_span == 0
+                                      ? std::string()
+                                      : name_of[s.parent_span]});
+        }
+        EXPECT_EQ(traces.size(), 1u) << threads << " threads";
+        return edges;
+    };
+
+    const auto serial = run(1);
+    const auto parallel = run(8);
+    EXPECT_EQ(serial, parallel);
+    EXPECT_TRUE(serial.count({"test.optimize", ""}));
+    EXPECT_TRUE(serial.count({"control.batch.evaluate", "test.optimize"}));
+    EXPECT_TRUE(serial.count(
+        {"control.batch.worker_batch", "control.batch.evaluate"}));
+}
+
+TEST_F(ObsTest, FlightRecorderKeepsFreshestWindowAndCounterDeltas) {
+    auto& registry = MetricsRegistry::global();
+    registry.counter("test.flight.counter").add(5);
+    flight_arm(8);
+    registry.counter("test.flight.counter").add(3);
+    for (int i = 0; i < 20; ++i) {
+        TraceSpan span("test.flight.span");
+    }
+    const Json dump = flight_dump();
+    flight_disarm();
+
+    EXPECT_EQ(validate_flight(dump), "");
+    EXPECT_EQ(dump.at("schema").as_string(), "press.flight/v1");
+    EXPECT_EQ(dump.at("spans_recorded").as_double(), 20.0);
+    // Only the freshest N survive the ring.
+    EXPECT_LE(dump.at("spans").as_array().size(), 8u);
+    EXPECT_GE(dump.at("spans").as_array().size(), 1u);
+    for (const Json& s : dump.at("spans").as_array())
+        EXPECT_EQ(s.at("name").as_string(), "test.flight.span");
+    // Counter deltas are relative to the arming point, values absolute.
+    const Json& counter = dump.at("counters").at("test.flight.counter");
+    EXPECT_EQ(counter.at("value").as_double(), 8.0);
+    EXPECT_EQ(counter.at("delta").as_double(), 3.0);
+}
+
+TEST_F(ObsTest, PerfettoExportRoundTrip) {
+    {
+        TraceSpan root("alpha.root");
+        const TraceContext ctx = root.context();
+        {
+            TraceSpan child("alpha.child");
+        }
+        std::thread worker([ctx]() {
+            ContextGuard adopt(ctx);
+            TraceSpan span("beta.remote");
+        });
+        worker.join();
+    }
+    const RunManifest manifest = RunManifest::capture("unit-test", 3);
+    const Json telemetry = build_telemetry(manifest);
+    const Json trace = perfetto_export(telemetry);
+    EXPECT_EQ(validate_trace(trace), "");
+
+    std::size_t complete = 0, flow_starts = 0, flow_finishes = 0;
+    std::set<double> pids;
+    for (const Json& e : trace.at("traceEvents").as_array()) {
+        const std::string& ph = e.at("ph").as_string();
+        if (ph == "X") {
+            ++complete;
+            pids.insert(e.at("pid").as_double());
+        }
+        if (ph == "s") ++flow_starts;
+        if (ph == "f") ++flow_finishes;
+    }
+    EXPECT_EQ(complete, 3u);
+    // Two layers ("alpha", "beta") render as two processes.
+    EXPECT_EQ(pids.size(), 2u);
+    // Exactly the adopted cross-thread hop draws a flow arrow.
+    EXPECT_EQ(flow_starts, 1u);
+    EXPECT_EQ(flow_finishes, 1u);
+}
+
+TEST_F(ObsTest, BenchDiffGatesCountersAndForgivesGauges) {
+    auto& registry = MetricsRegistry::global();
+    registry.counter("test.diff.trials").add(100);
+    registry.gauge("test.diff.elapsed_s").set(1.5);
+    const RunManifest manifest = RunManifest::capture("unit-test", 11);
+    const Json telemetry = build_telemetry(manifest);
+    const Json baseline = make_baseline(telemetry);
+    EXPECT_EQ(baseline.at("schema").as_string(), "press.bench_baseline/v1");
+
+    // A run diffed against its own baseline passes.
+    const DiffResult same = diff_telemetry(baseline, telemetry);
+    EXPECT_TRUE(same.comparable);
+    EXPECT_TRUE(same.ok()) << (same.failures.empty()
+                                   ? ""
+                                   : same.failures.front());
+
+    // A doctored deterministic counter fails the gate.
+    Json doctored = baseline;
+    doctored["counters"]["test.diff.trials"] = Json(150.0);
+    const DiffResult bad = diff_telemetry(doctored, telemetry);
+    EXPECT_TRUE(bad.comparable);
+    EXPECT_FALSE(bad.ok());
+
+    // A wall-clock gauge shift only warns.
+    Json shifted = baseline;
+    shifted["gauges"]["test.diff.elapsed_s"] = Json(15.0);
+    const DiffResult warned = diff_telemetry(shifted, telemetry);
+    EXPECT_TRUE(warned.ok());
+    EXPECT_FALSE(warned.warnings.empty());
+
+    // A strict-identity mismatch makes the runs incomparable outright.
+    Json alien = baseline;
+    alien["manifest"]["press_threads"] = Json(999.0);
+    const DiffResult incomparable = diff_telemetry(alien, telemetry);
+    EXPECT_FALSE(incomparable.comparable);
+    EXPECT_FALSE(incomparable.ok());
+}
+
+TEST_F(ObsTest, DiffToleranceEnvOverride) {
+    ::setenv("PRESS_BENCH_DIFF_TOLERANCE_PCT", "7.5", 1);
+    EXPECT_DOUBLE_EQ(diff_tolerance_from_env(), 7.5);
+    ::setenv("PRESS_BENCH_DIFF_TOLERANCE_PCT", "garbage", 1);
+    EXPECT_DOUBLE_EQ(diff_tolerance_from_env(), kDefaultDiffTolerancePct);
+    ::unsetenv("PRESS_BENCH_DIFF_TOLERANCE_PCT");
+    EXPECT_DOUBLE_EQ(diff_tolerance_from_env(), kDefaultDiffTolerancePct);
 }
 
 TEST_F(ObsTest, JsonParserHandlesEscapesAndNumbers) {

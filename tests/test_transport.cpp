@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "control/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "press/element.hpp"
 #include "util/contracts.hpp"
 
@@ -173,6 +175,10 @@ TEST(ReliableSession, RetransmitsThroughLoss) {
 }
 
 TEST(ReliableSession, SurvivesBitErrors) {
+    // Plain version-1 frames: with telemetry on, frames carry a 16-byte
+    // trace header, and at this BER the larger frames change the retry
+    // budget the test was calibrated for.
+    obs::set_enabled(false);
     surface::Array array = make_array();
     ArrayAgent agent(array, 0);
     // 0.5% BER corrupts most 20-byte frames occasionally; CRC catches
@@ -188,6 +194,36 @@ TEST(ReliableSession, SurvivesBitErrors) {
     // No corrupted configuration was ever applied: the array always holds
     // the last intended state.
     EXPECT_EQ(array.current_config(), (surface::Config{1, 2, 3}));
+    obs::set_enabled(true);
+}
+
+TEST(ReliableSession, AgentAdoptsSenderContextAcrossWire) {
+    obs::set_enabled(true);
+    (void)obs::flush_spans();
+    surface::Array array = make_array();
+    ArrayAgent agent(array, 0);
+    ReliableSession session(agent, perfect(), perfect());
+
+    obs::TraceContext root_ctx;
+    {
+        obs::TraceSpan root("test.cycle");
+        root_ctx = root.context();
+        EXPECT_TRUE(session.apply(0, {1, 0, 0}));
+    }
+    ASSERT_TRUE(root_ctx.valid());
+
+    // The agent's handling span belongs to the sender's trace — the
+    // context crossed the simulated wire in the frame header — and is
+    // flagged as an adopted (cross-wire) edge.
+    bool agent_span_seen = false;
+    for (const obs::SpanRecord& s : obs::flush_spans()) {
+        EXPECT_EQ(s.trace_id, root_ctx.trace_id) << s.name;
+        if (s.name == "control.agent.handle") {
+            agent_span_seen = true;
+            EXPECT_TRUE(s.adopted);
+        }
+    }
+    EXPECT_TRUE(agent_span_seen);
 }
 
 TEST(ReliableSession, GivesUpOnDeadChannel) {

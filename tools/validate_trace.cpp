@@ -1,0 +1,52 @@
+// CI trace gate: validates Chrome Trace Event Format exports (the
+// `trace_<name>.json` files written by obs::write_run_exports) with
+// obs::validate_trace — phase kinds, flow-event pairing, span identity.
+//
+//   $ validate_trace trace_perf_snapshot.json [...]
+//
+// Exits 0 when every file parses and validates; prints the first violation
+// per file and exits 1 otherwise, failing the build on malformed traces.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/perfetto.hpp"
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: validate_trace <trace.json> [...]\n");
+        return 2;
+    }
+    int failures = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char* path = argv[i];
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot open\n", path);
+            ++failures;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            const press::obs::Json doc =
+                press::obs::Json::parse(buffer.str());
+            const std::string violation = press::obs::validate_trace(doc);
+            if (!violation.empty()) {
+                std::fprintf(stderr, "%s: trace violation: %s\n", path,
+                             violation.c_str());
+                ++failures;
+                continue;
+            }
+            std::printf(
+                "%s: ok (%zu events)\n", path,
+                doc.at("traceEvents").as_array().size());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s: parse error: %s\n", path, e.what());
+            ++failures;
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
