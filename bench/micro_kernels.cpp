@@ -11,6 +11,7 @@
 #include "em/channel.hpp"
 #include "phy/frame.hpp"
 #include "util/fft.hpp"
+#include "util/kernels.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
@@ -180,6 +181,129 @@ BENCHMARK(BM_UncachedResynthesis)
     ->Arg(16)
     ->Arg(64)
     ->Unit(benchmark::kMicrosecond);
+
+// The SoA fast path the batch workers actually run: response_into() into
+// a reused split-complex scratch — same recombination as
+// BM_CachedRecombination minus the per-call allocation and interleave.
+void BM_ResponseInto(benchmark::State& state) {
+    core::StudyParams params;
+    params.num_elements = static_cast<int>(state.range(0));
+    core::LinkScenario scenario =
+        core::make_link_scenario(1, false, params);
+    const sdr::Medium& medium = scenario.system.medium();
+    const sdr::Link& link = scenario.system.link(scenario.link_id);
+    const surface::ConfigSpace space =
+        medium.array(scenario.array_id).config_space();
+    core::LinkCache cache;
+    cache.warm(medium, scenario.link_id, link);
+    surface::Config c(space.num_elements(), 0);
+    util::kernels::SplitVec h;
+    for (auto _ : state) {
+        for (std::size_t e = 0; e < c.size(); ++e) {
+            if (++c[e] < space.radices()[e]) break;
+            c[e] = 0;
+        }
+        cache.response_into(medium, scenario.link_id, link,
+                            scenario.array_id, c, h);
+        benchmark::DoNotOptimize(h.re.data());
+        benchmark::DoNotOptimize(h.im.data());
+    }
+}
+BENCHMARK(BM_ResponseInto)->Arg(3)->Arg(16)->Arg(64);
+
+// One coordinate-sweep candidate on the incremental delta path: copy the
+// cached base response and add the swept element's row — O(1) rows
+// instead of O(elements), which is where the sweep's 5x comes from.
+void BM_DeltaCandidate(benchmark::State& state) {
+    core::StudyParams params;
+    params.num_elements = static_cast<int>(state.range(0));
+    core::LinkScenario scenario =
+        core::make_link_scenario(1, false, params);
+    const sdr::Medium& medium = scenario.system.medium();
+    const sdr::Link& link = scenario.system.link(scenario.link_id);
+    const surface::ConfigSpace space =
+        medium.array(scenario.array_id).config_space();
+    core::LinkCache cache;
+    cache.warm(medium, scenario.link_id, link);
+    const surface::Config base(space.num_elements(), 0);
+    util::kernels::SplitVec base_h, h;
+    cache.response_base_into(medium, scenario.link_id, link,
+                             scenario.array_id, base, 0, base_h);
+    h.resize(base_h.size());
+    int s = 0;
+    for (auto _ : state) {
+        s = (s + 1) % space.radices()[0];
+        util::kernels::copy(util::kernels::active(), base_h.re.data(),
+                            base_h.im.data(), h.re.data(), h.im.data(),
+                            base_h.size());
+        cache.accumulate_element_row(scenario.link_id, scenario.array_id,
+                                     0, s, h);
+        benchmark::DoNotOptimize(h.re.data());
+    }
+}
+BENCHMARK(BM_DeltaCandidate)->Arg(16)->Arg(64);
+
+// Raw kernel throughput per dispatch flavor (0 = scalar, 1 = native):
+// the row gather-accumulate at a realistic subcarrier count and row set.
+void BM_GatherAccumulate(benchmark::State& state) {
+    const auto d = state.range(0) == 0 ? util::kernels::Dispatch::kScalar
+                                       : util::kernels::Dispatch::kNative;
+    const std::size_t n = 52;
+    const std::size_t num_rows = static_cast<std::size_t>(state.range(1));
+    util::Rng rng(5);
+    std::vector<double> table_re(num_rows * n), table_im(num_rows * n);
+    for (auto& x : table_re) x = rng.uniform(-1.0, 1.0);
+    for (auto& x : table_im) x = rng.uniform(-1.0, 1.0);
+    std::vector<std::size_t> rows(num_rows);
+    for (std::size_t r = 0; r < num_rows; ++r) rows[r] = r;
+    std::vector<double> dst_re(n, 0.0), dst_im(n, 0.0);
+    for (auto _ : state) {
+        util::kernels::gather_accumulate(d, table_re.data(),
+                                         table_im.data(), rows.data(),
+                                         num_rows, dst_re.data(),
+                                         dst_im.data(), n);
+        benchmark::DoNotOptimize(dst_re.data());
+    }
+}
+BENCHMARK(BM_GatherAccumulate)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 64})
+    ->Args({1, 64});
+
+// The fused single-link score: sounding draws + LTF combining + log-SNR
+// min, straight from a split response — the entire per-candidate cost of
+// a fused MinSnr objective minus the response recombination.
+void BM_FusedSoundAndScore(benchmark::State& state) {
+    const auto d = state.range(0) == 0 ? util::kernels::Dispatch::kScalar
+                                       : util::kernels::Dispatch::kNative;
+    const std::size_t n = 52;
+    const std::size_t repeats = 4;
+    util::Rng rng(7);
+    std::vector<double> h_re(n), h_im(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        h_re[k] = rng.uniform(-1.0, 1.0);
+        h_im[k] = rng.uniform(-1.0, 1.0);
+    }
+    std::vector<double> raw_re(repeats * n), raw_im(repeats * n);
+    std::vector<double> mean_re(n), mean_im(n), noise_var(n);
+    const double var = 1e-6;
+    for (auto _ : state) {
+        for (std::size_t r = 0; r < repeats; ++r)
+            for (std::size_t k = 0; k < n; ++k) {
+                const auto w = rng.complex_gaussian(var);
+                raw_re[r * n + k] = h_re[k] + w.real();
+                raw_im[r * n + k] = h_im[k] + w.imag();
+            }
+        util::kernels::ltf_mean_var(d, raw_re.data(), raw_im.data(),
+                                    repeats, n, mean_re.data(),
+                                    mean_im.data(), noise_var.data());
+        benchmark::DoNotOptimize(util::kernels::snr_db_min(
+            d, mean_re.data(), mean_im.data(), noise_var.data(), n, 60.0,
+            0.0));
+    }
+}
+BENCHMARK(BM_FusedSoundAndScore)->Arg(0)->Arg(1);
 
 void BM_CacheRebuild(benchmark::State& state) {
     core::StudyParams params;

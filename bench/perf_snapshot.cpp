@@ -1,7 +1,7 @@
 // Machine-readable performance snapshot of the factored-cache evaluation
 // path, written to BENCH_observe.json for CI trend tracking.
 //
-// Three per-evaluation costs are timed on the paper's fig4 and fig6
+// Five per-evaluation costs are timed on the paper's fig4 and fig6
 // scenes (seeds 100 and 116, non-line-of-sight):
 //
 //   trace    a full image-method re-trace of the scene plus CFR synthesis
@@ -9,17 +9,31 @@
 //   resynth  CFR synthesis from a warm path resolve (the pre-cache
 //            System::observe hot path: environment paths memoized, array
 //            paths re-derived and every path re-synthesized per call),
-//   cached   the factored-cache recombination H = H_static + B.g(config)
-//            (the batch searcher's per-candidate cost).
+//   cached   the legacy AoS recombination H = H_static + B.g(config)
+//            through response_with (allocates its result per call),
+//   soa      the same recombination through response_into into a reused
+//            split-complex scratch (the batch workers' full-gather path),
+//   delta    one coordinate-sweep candidate on the incremental path:
+//            copy the coordinate's cached base, add the swept row.
 //
-// Then two full greedy searches are timed end to end: the serial
+// The soa and delta loops run under a global operator-new counter and the
+// process FAILS (exit 1) if a steady-state candidate allocates — that is
+// the zero-allocation contract, gated here rather than asserted in prose.
+// A fig7 harmonization scene (4 links, general objective path) rides
+// along so the fused single-link path and the Observation path are both
+// tracked. Then two full greedy searches are timed end to end: the serial
 // controller (actuate + measure per trial) against System::optimize_fast
-// (cache + BatchEvaluator). The snapshot asserts nothing; CI uploads the
-// JSON so regressions show up as artifact diffs.
+// (cache + BatchEvaluator). Timings are informational; only the
+// allocation gate fails the run.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <complex>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -27,6 +41,7 @@
 #include "control/controller.hpp"
 #include "control/objective.hpp"
 #include "control/plane.hpp"
+#include "control/scratch.hpp"
 #include "control/search.hpp"
 #include "core/link_cache.hpp"
 #include "core/scenarios.hpp"
@@ -36,12 +51,70 @@
 #include "obs/flight.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "phy/chanest.hpp"
+#include "util/kernels.hpp"
 #include "util/rng.hpp"
+
+// ------------------------------------------------------------------
+// Global allocation counter: every operator-new form funnels through
+// malloc here and bumps one relaxed atomic, so a timed loop can assert
+// it allocated nothing. Deletes are free-and-forget (no counting needed;
+// an allocation on the hot path is the defect, matching frees included).
+// ------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+    return ::operator new(size, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+    std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+    std::free(p);
+}
 
 namespace {
 
 using namespace press;
 using Clock = std::chrono::steady_clock;
+
+std::uint64_t allocations() {
+    return g_allocations.load(std::memory_order_relaxed);
+}
 
 double elapsed_us(Clock::time_point t0, Clock::time_point t1,
                   std::size_t iterations) {
@@ -56,6 +129,9 @@ struct SceneSnapshot {
     double resynth_eval_us = 0.0;
     double cached_eval_us = 0.0;
     double cached_eval_off_us = 0.0;  ///< same loop, telemetry disabled
+    double soa_eval_us = 0.0;    ///< response_into, reused scratch
+    double delta_eval_us = 0.0;  ///< cached base copy + one row-add
+    std::uint64_t sweep_allocs = 0;  ///< heap allocs in the gated loops
     double telemetry_overhead_pct = 0.0;
     double search_serial_ms = 0.0;
     double search_batched_ms = 0.0;
@@ -150,6 +226,57 @@ SceneSnapshot snapshot_scene(const std::string& name, std::uint64_t seed) {
         snap.telemetry_overhead_pct = (on_us - off_us) / off_us * 100.0;
     }
 
+    {   // The batch workers' actual per-candidate costs, run under the
+        // allocation gate: full SoA gather into reused scratch, then the
+        // incremental coordinate-delta form (copy the cached base, add
+        // the swept row). Candidate configs are pre-expanded so the gate
+        // sees only the scoring arithmetic, not ConfigSpace::at().
+        core::LinkCache cache;
+        cache.warm(medium, scenario.link_id, link);
+        const surface::ConfigSpace space = array.config_space();
+        constexpr std::size_t kConfigCycle = 64;
+        std::vector<surface::Config> configs;
+        configs.reserve(kConfigCycle);
+        for (std::size_t i = 0; i < kConfigCycle; ++i)
+            configs.push_back(space.at(i % space.size()));
+
+        util::kernels::SplitVec h;
+        cache.response_into(medium, scenario.link_id, link,
+                            scenario.array_id, configs[0], h);
+        std::uint64_t armed = allocations();
+        auto t0 = Clock::now();
+        for (std::size_t i = 0; i < kEvalIters; ++i) {
+            cache.response_into(medium, scenario.link_id, link,
+                                scenario.array_id,
+                                configs[i % kConfigCycle], h);
+            volatile double sink = h.re[0];
+            (void)sink;
+        }
+        snap.soa_eval_us = elapsed_us(t0, Clock::now(), kEvalIters);
+        snap.sweep_allocs += allocations() - armed;
+
+        util::kernels::SplitVec base, cand;
+        cache.response_base_into(medium, scenario.link_id, link,
+                                 scenario.array_id, configs[0],
+                                 /*element=*/0, base);
+        cand.resize(base.size());
+        const int radix = space.radices()[0];
+        armed = allocations();
+        t0 = Clock::now();
+        for (std::size_t i = 0; i < kEvalIters; ++i) {
+            util::kernels::copy(util::kernels::active(), base.re.data(),
+                                base.im.data(), cand.re.data(),
+                                cand.im.data(), base.size());
+            cache.accumulate_element_row(scenario.link_id,
+                                         scenario.array_id, /*element=*/0,
+                                         static_cast<int>(i % radix), cand);
+            volatile double sink = cand.re[0];
+            (void)sink;
+        }
+        snap.delta_eval_us = elapsed_us(t0, Clock::now(), kEvalIters);
+        snap.sweep_allocs += allocations() - armed;
+    }
+
     // End-to-end greedy searches under the same simulated budget.
     const control::MinSnrObjective objective(0);
     const control::GreedyCoordinateDescent searcher;
@@ -200,6 +327,107 @@ SceneSnapshot snapshot_scene(const std::string& name, std::uint64_t seed) {
     return snap;
 }
 
+// The fig7 harmonization scene exercises the path the fused single-link
+// shortcut cannot take: four links scored through a full Observation.
+// Timed per candidate: 4 x (response_into + sounding draws + LTF
+// combining + SNR span), all into one reused EvalScratch, under the same
+// allocation gate as the single-link sweeps.
+struct Fig7Snapshot {
+    double general_eval_us = 0.0;
+    std::uint64_t sweep_allocs = 0;
+    double search_batched_ms = 0.0;
+    std::size_t search_batched_evals = 0;
+};
+
+Fig7Snapshot snapshot_fig7(std::uint64_t seed) {
+    Fig7Snapshot snap;
+    core::HarmonizationScenario scenario =
+        core::make_harmonization_scenario(seed);
+    const core::System& system = scenario.system;
+    const sdr::Medium& medium = system.medium();
+    const std::size_t num_links = system.num_links();
+    const std::size_t n = medium.ofdm().num_used();
+    const std::size_t repeats = system.sounding_repeats();
+    const surface::Array& array = medium.array(scenario.array_id);
+    const surface::ConfigSpace space = array.config_space();
+
+    core::LinkCache cache;
+    std::vector<double> link_noise(num_links);
+    for (std::size_t i = 0; i < num_links; ++i) {
+        cache.warm(medium, i, system.link(i));
+        link_noise[i] = medium.estimate_noise_variance(system.link(i));
+    }
+
+    constexpr std::size_t kEvalIters = 500;
+    constexpr std::size_t kConfigCycle = 64;
+    std::vector<surface::Config> configs;
+    configs.reserve(kConfigCycle);
+    for (std::size_t i = 0; i < kConfigCycle; ++i)
+        configs.push_back(space.at(i % space.size()));
+
+    util::Rng rng(4200 + seed);
+    control::EvalScratch s;
+    const util::kernels::Dispatch d = util::kernels::active();
+    const auto score_candidate = [&](const surface::Config& c) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < num_links; ++i) {
+            cache.response_into(medium, i, system.link(i),
+                                scenario.array_id, c, s.h);
+            s.resize_tracked(s.raw_re, repeats * n);
+            s.resize_tracked(s.raw_im, repeats * n);
+            s.resize_tracked(s.mean_re, n);
+            s.resize_tracked(s.mean_im, n);
+            s.resize_tracked(s.noise_var, n);
+            s.resize_tracked(s.snr_db, n);
+            for (std::size_t r = 0; r < repeats; ++r)
+                for (std::size_t k = 0; k < n; ++k) {
+                    const std::complex<double> w =
+                        rng.complex_gaussian(link_noise[i]);
+                    s.raw_re[r * n + k] = s.h.re[k] + w.real();
+                    s.raw_im[r * n + k] = s.h.im[k] + w.imag();
+                }
+            util::kernels::ltf_mean_var(d, s.raw_re.data(), s.raw_im.data(),
+                                        repeats, n, s.mean_re.data(),
+                                        s.mean_im.data(),
+                                        s.noise_var.data());
+            util::kernels::snr_db_into(d, s.mean_re.data(), s.mean_im.data(),
+                                       s.noise_var.data(), n,
+                                       phy::kSnrCapDb, phy::kSnrFloorDb,
+                                       s.snr_db.data());
+            acc += util::kernels::mean(d, s.snr_db.data(), n);
+        }
+        return acc;
+    };
+    (void)score_candidate(configs[0]);  // warm every scratch buffer
+    const std::uint64_t armed = allocations();
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kEvalIters; ++i) {
+        volatile double sink = score_candidate(configs[i % kConfigCycle]);
+        (void)sink;
+    }
+    snap.general_eval_us = elapsed_us(t0, Clock::now(), kEvalIters);
+    snap.sweep_allocs = allocations() - armed;
+
+    {   // End-to-end batched harmonization search (general objective
+        // path: no fused spec, four links per candidate).
+        core::HarmonizationScenario fresh =
+            core::make_harmonization_scenario(seed);
+        const std::unique_ptr<control::Objective> objective =
+            control::make_harmonization_objective(
+                fresh.system.medium().ofdm().num_used(),
+                /*interference_links=*/true);
+        const control::GreedyCoordinateDescent searcher;
+        util::Rng srng(9000 + seed);
+        auto st0 = Clock::now();
+        const auto outcome = fresh.system.optimize_fast(
+            fresh.array_id, *objective, searcher,
+            control::ControlPlaneModel::fast(), /*budget_s=*/1.0, srng);
+        snap.search_batched_ms = elapsed_us(st0, Clock::now(), 1) / 1000.0;
+        snap.search_batched_evals = outcome.search.evaluations;
+    }
+    return snap;
+}
+
 void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
     std::fprintf(
         out,
@@ -210,9 +438,13 @@ void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
         "      \"resynth_eval_us\": %.3f,\n"
         "      \"cached_eval_us\": %.3f,\n"
         "      \"cached_eval_off_us\": %.3f,\n"
+        "      \"soa_eval_us\": %.3f,\n"
+        "      \"delta_eval_us\": %.3f,\n"
+        "      \"sweep_allocs\": %llu,\n"
         "      \"telemetry_overhead_pct\": %.2f,\n"
         "      \"speedup_vs_trace\": %.1f,\n"
         "      \"speedup_vs_resynth\": %.1f,\n"
+        "      \"delta_speedup_vs_cached\": %.1f,\n"
         "      \"search_serial_ms\": %.2f,\n"
         "      \"search_batched_ms\": %.2f,\n"
         "      \"search_serial_evals\": %zu,\n"
@@ -221,9 +453,11 @@ void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
         "    }%s\n",
         s.name.c_str(), static_cast<unsigned long long>(s.seed),
         s.trace_eval_us, s.resynth_eval_us, s.cached_eval_us,
-        s.cached_eval_off_us, s.telemetry_overhead_pct,
-        s.trace_eval_us / s.cached_eval_us,
-        s.resynth_eval_us / s.cached_eval_us, s.search_serial_ms,
+        s.cached_eval_off_us, s.soa_eval_us, s.delta_eval_us,
+        static_cast<unsigned long long>(s.sweep_allocs),
+        s.telemetry_overhead_pct, s.trace_eval_us / s.cached_eval_us,
+        s.resynth_eval_us / s.cached_eval_us,
+        s.cached_eval_us / s.delta_eval_us, s.search_serial_ms,
         s.search_batched_ms, s.search_serial_evals, s.search_batched_evals,
         s.search_serial_ms / s.search_batched_ms, last ? "" : ",");
 }
@@ -261,14 +495,17 @@ int main() {
     press::obs::set_enabled(true);
     const SceneSnapshot fig4 = snapshot_scene("fig4", 100);
     const SceneSnapshot fig6 = snapshot_scene("fig6", 116);
+    const Fig7Snapshot fig7 = snapshot_fig7(107);
 
     std::FILE* out = std::fopen("BENCH_observe.json", "w");
     if (out == nullptr) {
         std::fprintf(stderr, "cannot open BENCH_observe.json\n");
         return 1;
     }
-    std::fprintf(out, "{\n  \"threads\": %zu,\n",
-                 press::control::BatchEvaluator::resolve_threads(0));
+    std::fprintf(out, "{\n  \"threads\": %zu,\n  \"kernel_dispatch\": \"%s\",\n",
+                 press::control::BatchEvaluator::resolve_threads(0),
+                 press::util::kernels::dispatch_name(
+                     press::util::kernels::active()));
     // Per-candidate batch-eval latency distribution, folded in from the
     // control.batch.eval_us histogram the optimize_fast searches above
     // populated (percentiles are bucket upper bounds, so conservative).
@@ -293,21 +530,51 @@ int main() {
     std::fprintf(out, "  \"scenes\": [\n");
     print_scene(out, fig4, false);
     print_scene(out, fig6, true);
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out,
+                 "  ],\n"
+                 "  \"fig7\": {\n"
+                 "    \"general_eval_us\": %.3f,\n"
+                 "    \"sweep_allocs\": %llu,\n"
+                 "    \"search_batched_ms\": %.2f,\n"
+                 "    \"search_batched_evals\": %zu\n"
+                 "  }\n}\n",
+                 fig7.general_eval_us,
+                 static_cast<unsigned long long>(fig7.sweep_allocs),
+                 fig7.search_batched_ms, fig7.search_batched_evals);
     std::fclose(out);
 
     for (const SceneSnapshot* s : {&fig4, &fig6}) {
         std::printf(
             "%s: trace %.1f us  resynth %.1f us  cached %.3f us  "
+            "soa %.3f us  delta %.3f us  "
             "(speedup %0.fx / %.0fx, telemetry %+.2f%%)  "
             "search %.1f ms -> %.1f ms\n",
             s->name.c_str(), s->trace_eval_us, s->resynth_eval_us,
-            s->cached_eval_us, s->trace_eval_us / s->cached_eval_us,
+            s->cached_eval_us, s->soa_eval_us, s->delta_eval_us,
+            s->trace_eval_us / s->cached_eval_us,
             s->resynth_eval_us / s->cached_eval_us,
             s->telemetry_overhead_pct, s->search_serial_ms,
             s->search_batched_ms);
     }
+    std::printf("fig7: general %.3f us/candidate  search %.1f ms (%zu evals)\n",
+                fig7.general_eval_us, fig7.search_batched_ms,
+                fig7.search_batched_evals);
     std::printf("wrote BENCH_observe.json\n");
+
+    // The zero-allocation contract is a hard gate, not a trend: any heap
+    // allocation inside a warmed steady-state sweep fails the run.
+    const std::uint64_t sweep_allocs =
+        fig4.sweep_allocs + fig6.sweep_allocs + fig7.sweep_allocs;
+    if (sweep_allocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu heap allocation(s) inside steady-state "
+                     "sweeps (fig4=%llu fig6=%llu fig7=%llu)\n",
+                     static_cast<unsigned long long>(sweep_allocs),
+                     static_cast<unsigned long long>(fig4.sweep_allocs),
+                     static_cast<unsigned long long>(fig6.sweep_allocs),
+                     static_cast<unsigned long long>(fig7.sweep_allocs));
+        return 1;
+    }
 
     // Emit the press.telemetry/v2 export plus its Chrome Trace rendering
     // next to BENCH_observe.json so every perf PR leaves a comparable

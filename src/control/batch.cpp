@@ -1,7 +1,9 @@
 #include "control/batch.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 
 #include "obs/manifest.hpp"
@@ -18,6 +20,15 @@ double seconds_between(std::chrono::steady_clock::time_point a,
 }
 
 }  // namespace
+
+bool coordinate_delta_enabled() {
+    const char* env = std::getenv("PRESS_DELTA");
+    if (env == nullptr) return true;
+    std::string value(env);
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return !(value == "0" || value == "off" || value == "false");
+}
 
 std::size_t BatchEvaluator::resolve_threads(std::size_t requested) {
     if (requested != 0) return requested;
@@ -45,6 +56,9 @@ BatchEvaluator::BatchEvaluator(BatchScoreFn score, std::uint64_t seed,
     PRESS_EXPECTS(score_ != nullptr, "score callback required");
     const std::size_t n = resolve_threads(threads);
     stats_.resize(n);
+    scratch_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch_.push_back(std::make_unique<EvalScratch>());
     workers_.reserve(n);
     for (std::size_t i = 0; i < n; ++i)
         workers_.emplace_back([this, i]() { worker_loop(i); });
@@ -59,19 +73,27 @@ BatchEvaluator::~BatchEvaluator() {
     for (std::thread& w : workers_) w.join();
 }
 
+void BatchEvaluator::set_coordinate_score(CoordinateScoreFn fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PRESS_EXPECTS(batch_ == nullptr && coord_ == nullptr,
+                  "cannot swap callbacks while a batch is in flight");
+    coord_score_ = std::move(fn);
+}
+
 void BatchEvaluator::worker_loop(std::size_t index) {
     std::unique_lock<std::mutex> lock(mutex_);
     WorkerStats& stats = stats_[index];
+    EvalScratch& scratch = *scratch_[index];
     for (;;) {
         const auto wait_start = std::chrono::steady_clock::now();
         work_cv_.wait(lock, [this]() {
-            return shutdown_ || (batch_ && next_ < batch_->size());
+            return shutdown_ || next_ < num_tasks_;
         });
         // Accounted under the lock; the condvar wait itself released it.
         stats.idle_s +=
             seconds_between(wait_start, std::chrono::steady_clock::now());
         if (shutdown_) return;
-        if (!(batch_ && next_ < batch_->size())) continue;
+        if (!(next_ < num_tasks_)) continue;
         // One span per worker per batch participation — not one per
         // candidate, which would flood the span ring on large searches.
         // The worker adopts the caller's evaluate-span context, so the
@@ -79,8 +101,9 @@ void BatchEvaluator::worker_loop(std::size_t index) {
         // to the control.batch.eval_us histogram instead (lock-free).
         obs::ContextGuard adopt(batch_ctx_);
         obs::TraceSpan batch_span("control.batch.worker_batch");
-        while (batch_ && next_ < batch_->size()) {
+        while (next_ < num_tasks_) {
             const std::vector<surface::Config>* batch = batch_;
+            const CoordinateBatch* coord = coord_;
             const std::size_t i = next_++;
             const std::uint64_t index_global = base_index_ + i;
             lock.unlock();
@@ -89,7 +112,8 @@ void BatchEvaluator::worker_loop(std::size_t index) {
             std::exception_ptr error;
             try {
                 util::Rng rng(candidate_seed(seed_, index_global));
-                value = score_((*batch)[i], rng);
+                value = batch ? score_((*batch)[i], rng, scratch)
+                              : coord_score_(*coord, i, rng, scratch);
             } catch (...) {
                 error = std::current_exception();
             }
@@ -119,12 +143,27 @@ std::vector<BatchEvaluator::WorkerStats> BatchEvaluator::worker_stats()
     return stats_;
 }
 
+BatchEvaluator::ArenaStats BatchEvaluator::arena_stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ArenaStats total;
+    for (const auto& s : scratch_) {
+        total.grow_events += s->grow_events;
+        total.bytes_reserved += s->bytes_reserved;
+    }
+    return total;
+}
+
 void BatchEvaluator::publish_worker_stats() const {
     if (!obs::enabled()) return;
     const std::vector<WorkerStats> stats = worker_stats();
+    const ArenaStats arena = arena_stats();
     auto& registry = obs::MetricsRegistry::global();
     registry.gauge("control.batch.threads")
         .set(static_cast<double>(stats.size()));
+    registry.gauge("control.batch.arena.grow_events")
+        .set(static_cast<double>(arena.grow_events));
+    registry.gauge("control.batch.arena.bytes_reserved")
+        .set(static_cast<double>(arena.bytes_reserved));
     for (std::size_t i = 0; i < stats.size(); ++i) {
         const std::string prefix =
             "control.batch.worker." + std::to_string(i);
@@ -135,28 +174,26 @@ void BatchEvaluator::publish_worker_stats() const {
     }
 }
 
-std::vector<double> BatchEvaluator::evaluate(
-    const std::vector<surface::Config>& batch) {
-    std::vector<double> results(batch.size(), 0.0);
-    if (batch.empty()) return results;
+void BatchEvaluator::run_tasks(std::size_t num_tasks,
+                               std::vector<double>& results) {
     // The batch's causal anchor: workers adopt this span's context, so
     // their worker_batch spans parent into it across the pool threads.
     obs::TraceSpan span("control.batch.evaluate");
     std::unique_lock<std::mutex> lock(mutex_);
-    PRESS_EXPECTS(batch_ == nullptr,
-                  "evaluate() is not reentrant on one evaluator");
-    batch_ = &batch;
-    results_ = &results;
     batch_ctx_ = span.context();
+    results_ = &results;
     next_ = 0;
-    remaining_ = batch.size();
+    num_tasks_ = num_tasks;
+    remaining_ = num_tasks;
     first_error_ = nullptr;
     work_cv_.notify_all();
     done_cv_.wait(lock, [this]() { return remaining_ == 0; });
     batch_ = nullptr;
+    coord_ = nullptr;
     results_ = nullptr;
+    num_tasks_ = 0;
     batch_ctx_ = obs::TraceContext{};
-    base_index_ += batch.size();
+    base_index_ += num_tasks;
     if (obs::enabled()) {
         static obs::Counter& batches =
             obs::MetricsRegistry::global().counter("control.batch.batches");
@@ -164,9 +201,40 @@ std::vector<double> BatchEvaluator::evaluate(
             obs::MetricsRegistry::global().counter(
                 "control.batch.evaluations");
         batches.add();
-        evaluations.add(batch.size());
+        evaluations.add(num_tasks);
     }
     if (first_error_) std::rethrow_exception(first_error_);
+}
+
+std::vector<double> BatchEvaluator::evaluate(
+    const std::vector<surface::Config>& batch) {
+    std::vector<double> results(batch.size(), 0.0);
+    if (batch.empty()) return results;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PRESS_EXPECTS(batch_ == nullptr && coord_ == nullptr,
+                      "evaluate() is not reentrant on one evaluator");
+        batch_ = &batch;
+    }
+    run_tasks(batch.size(), results);
+    return results;
+}
+
+std::vector<double> BatchEvaluator::evaluate_coordinate(
+    const CoordinateBatch& batch) {
+    PRESS_EXPECTS(batch.base != nullptr && batch.states != nullptr,
+                  "coordinate batch must carry a base and states");
+    std::vector<double> results(batch.states->size(), 0.0);
+    if (batch.states->empty()) return results;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PRESS_EXPECTS(coord_score_ != nullptr,
+                      "set_coordinate_score() before evaluate_coordinate()");
+        PRESS_EXPECTS(batch_ == nullptr && coord_ == nullptr,
+                      "evaluate() is not reentrant on one evaluator");
+        coord_ = &batch;
+    }
+    run_tasks(batch.states->size(), results);
     return results;
 }
 

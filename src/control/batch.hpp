@@ -14,6 +14,14 @@
 //     seed and the candidate's GLOBAL evaluation index — not from a shared
 //     stream whose interleaving would depend on scheduling.
 //
+// Each worker owns one preallocated EvalScratch arena handed to every
+// score call, so steady-state sweeps allocate nothing per candidate (see
+// control/scratch.hpp). Coordinate sweeps have a second entry point,
+// evaluate_coordinate(): the batch is one element's alternative states
+// over a fixed base configuration, letting the score callback run the
+// cache's incremental delta path (base response + one row-add) instead of
+// materializing full candidate configurations.
+//
 // Thread count resolution: an explicit count wins; otherwise the
 // PRESS_THREADS environment variable (clamped to [1, 64]); otherwise
 // std::thread::hardware_concurrency().
@@ -23,10 +31,12 @@
 #include <condition_variable>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "control/scratch.hpp"
 #include "obs/trace.hpp"
 #include "press/config.hpp"
 #include "util/rng.hpp"
@@ -34,10 +44,32 @@
 namespace press::control {
 
 /// Scores one candidate configuration. `rng` is the candidate's private,
-/// deterministically seeded stream; implementations must not touch any
-/// other mutable state.
-using BatchScoreFn =
-    std::function<double(const surface::Config&, util::Rng&)>;
+/// deterministically seeded stream; `scratch` the calling worker's arena.
+/// Implementations must not touch any other mutable state.
+using BatchScoreFn = std::function<double(const surface::Config&,
+                                          util::Rng&, EvalScratch&)>;
+
+/// One coordinate sweep: score base-with-element=states[i] for every i,
+/// holding the rest of `base` fixed. Pointers stay valid for the duration
+/// of the evaluate_coordinate() call that carries them.
+struct CoordinateBatch {
+    const surface::Config* base = nullptr;
+    std::size_t element = 0;
+    const std::vector<int>* states = nullptr;
+};
+
+/// Scores candidate `state_index` of a coordinate sweep. Same rng and
+/// scratch contracts as BatchScoreFn.
+using CoordinateScoreFn = std::function<double(
+    const CoordinateBatch&, std::size_t state_index, util::Rng&,
+    EvalScratch&)>;
+
+/// PRESS_DELTA environment toggle for the incremental coordinate-delta
+/// path: disabled by "0", "off" or "false" (case-insensitive), enabled
+/// otherwise (the default). Delta-on caches the sweep's base response per
+/// coordinate; delta-off recomputes it per candidate — identical bits
+/// either way, so this only trades memory traffic for recompute.
+bool coordinate_delta_enabled();
 
 class BatchEvaluator {
 public:
@@ -50,10 +82,21 @@ public:
     BatchEvaluator(const BatchEvaluator&) = delete;
     BatchEvaluator& operator=(const BatchEvaluator&) = delete;
 
+    /// Optional coordinate-sweep score callback; required before the
+    /// first evaluate_coordinate() call.
+    void set_coordinate_score(CoordinateScoreFn fn);
+
     /// Scores every candidate; results[i] is batch[i]'s score. Rethrows
     /// the first exception any worker hit (after the batch drains).
     std::vector<double> evaluate(
         const std::vector<surface::Config>& batch);
+
+    /// Scores every state of a coordinate sweep; results[i] scores
+    /// base-with-element=states[i]. Candidates consume global evaluation
+    /// indices exactly like evaluate() candidates do, so a search that
+    /// mixes both entry points sees one continuous, scheduling-
+    /// independent rng stream.
+    std::vector<double> evaluate_coordinate(const CoordinateBatch& batch);
 
     std::size_t num_threads() const { return workers_.size(); }
 
@@ -70,9 +113,20 @@ public:
     /// Snapshot of every worker's accounting (index = worker id).
     std::vector<WorkerStats> worker_stats() const;
 
+    /// Scratch-arena accounting summed over workers. Only meaningful
+    /// between batches (workers mutate their arenas lock-free while
+    /// scoring); grow_events flat across a sweep == the zero-allocation
+    /// contract holds.
+    struct ArenaStats {
+        std::uint64_t grow_events = 0;
+        std::size_t bytes_reserved = 0;
+    };
+    ArenaStats arena_stats() const;
+
     /// Folds the per-worker accounting into the global metrics registry as
-    /// control.batch.worker.<i>.{tasks,busy_s,idle_s} gauges plus a
-    /// control.batch.threads gauge. Cheap but not free (registry lookups);
+    /// control.batch.worker.<i>.{tasks,busy_s,idle_s} gauges plus
+    /// control.batch.threads and control.batch.arena.{grow_events,
+    /// bytes_reserved} gauges. Cheap but not free (registry lookups);
     /// callers invoke it once per run/search, not per batch. No-op when
     /// telemetry is disabled.
     void publish_worker_stats() const;
@@ -93,16 +147,23 @@ public:
 
 private:
     void worker_loop(std::size_t index);
+    /// Shared drive-a-batch protocol: publishes `num_tasks` tasks sourced
+    /// from batch_/coord_, waits for the drain, rethrows worker errors.
+    void run_tasks(std::size_t num_tasks, std::vector<double>& results);
 
     BatchScoreFn score_;
+    CoordinateScoreFn coord_score_;
     std::uint64_t seed_;
     std::uint64_t base_index_ = 0;
 
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;   ///< workers wait for a batch
     std::condition_variable done_cv_;   ///< caller waits for completion
+    /// Exactly one of batch_/coord_ is set while a batch is in flight.
     const std::vector<surface::Config>* batch_ = nullptr;
+    const CoordinateBatch* coord_ = nullptr;
     std::vector<double>* results_ = nullptr;
+    std::size_t num_tasks_ = 0;  ///< task count of the in-flight batch
     /// The caller's "control.batch.evaluate" span for the current batch;
     /// workers adopt it so their spans join the caller's causal tree.
     obs::TraceContext batch_ctx_;
@@ -114,6 +175,9 @@ private:
     /// lock (after a wait returns or between tasks), so no extra atomics
     /// are needed for TSan-clean reads through worker_stats().
     std::vector<WorkerStats> stats_;
+    /// One arena per worker, stable addresses for the pool's lifetime;
+    /// scratch_[i] is touched only by worker i (lock-free while scoring).
+    std::vector<std::unique_ptr<EvalScratch>> scratch_;
 
     std::vector<std::thread> workers_;
 };

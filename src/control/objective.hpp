@@ -23,11 +23,27 @@ struct Observation {
     std::vector<double> mimo_condition_db;
 };
 
+/// A fusable reduction shape: advertises that score(obs) depends only on
+/// obs.link_snr_db[link] through a min or mean, so an owner of the
+/// factored channel cache can compute the score directly from the
+/// accumulated SoA response — no Observation materialized, no per-link
+/// vectors filled. kNone means "score through the general path".
+struct FusedSpec {
+    enum class Kind { kNone, kMinSnr, kMeanSnr };
+    Kind kind = Kind::kNone;
+    std::size_t link = 0;
+};
+
 /// A figure of merit; larger is better.
 class Objective {
 public:
     virtual ~Objective() = default;
     virtual double score(const Observation& obs) const = 0;
+    /// The objective's fusable shape; kNone (the default) keeps the
+    /// general Observation path. Overriders guarantee that the fused
+    /// reduction over link_snr_db[link] equals score(obs) up to reduction
+    /// association (min: exactly; mean: blocked vs sequential ulps).
+    virtual FusedSpec fused_spec() const { return {}; }
     virtual std::string name() const = 0;
 };
 
@@ -36,6 +52,9 @@ class MinSnrObjective : public Objective {
 public:
     explicit MinSnrObjective(std::size_t link = 0) : link_(link) {}
     double score(const Observation& obs) const override;
+    FusedSpec fused_spec() const override {
+        return {FusedSpec::Kind::kMinSnr, link_};
+    }
     std::string name() const override { return "max-min-subcarrier-SNR"; }
 
 private:
@@ -47,6 +66,9 @@ class MeanSnrObjective : public Objective {
 public:
     explicit MeanSnrObjective(std::size_t link = 0) : link_(link) {}
     double score(const Observation& obs) const override;
+    FusedSpec fused_spec() const override {
+        return {FusedSpec::Kind::kMeanSnr, link_};
+    }
     std::string name() const override { return "max-mean-SNR"; }
 
 private:

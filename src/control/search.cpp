@@ -87,6 +87,34 @@ public:
         return scores;
     }
 
+    /// Coordinate-sweep counterpart: scores up to remaining() states of
+    /// `element` over `base` through a CoordinateEvalFn (truncating the
+    /// tail if the budget runs short) and folds them in proposal order —
+    /// the same accounting evaluate() would do for the equivalent
+    /// materialized batch.
+    std::vector<double> evaluate_coordinate(const CoordinateEvalFn& coord,
+                                            const surface::Config& base,
+                                            std::size_t element,
+                                            std::vector<int> states) {
+        PRESS_EXPECTS(!exhausted(), "evaluation budget exceeded");
+        if (states.size() > remaining()) states.resize(remaining());
+        std::vector<double> scores = coord(base, element, states);
+        PRESS_EXPECTS(scores.size() == states.size(),
+                      "coordinate evaluator returned a mismatched score "
+                      "count");
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            ++result_.evaluations;
+            if (result_.trajectory.empty() ||
+                scores[i] > result_.best_score) {
+                result_.best_score = scores[i];
+                result_.best_config = base;
+                result_.best_config[element] = states[i];
+            }
+            result_.trajectory.push_back(result_.best_score);
+        }
+        return scores;
+    }
+
     SearchResult take() { return std::move(result_); }
 
 private:
@@ -137,6 +165,18 @@ SearchResult Searcher::search_batched(const surface::ConfigSpace& space,
         return scores[0];
     };
     return search(space, one, max_evals, rng, stop);
+}
+
+SearchResult Searcher::search_batched(const surface::ConfigSpace& space,
+                                      const BatchEvalFn& eval,
+                                      const CoordinateEvalFn& coordinate,
+                                      std::size_t max_evals, util::Rng& rng,
+                                      const StopFn& stop,
+                                      std::size_t batch_hint) const {
+    // Base adapter: strategies without coordinate structure simply ignore
+    // the hook (virtual dispatch still reaches their batched override).
+    (void)coordinate;
+    return search_batched(space, eval, max_evals, rng, stop, batch_hint);
 }
 
 SearchResult ExhaustiveSearcher::search(const surface::ConfigSpace& space,
@@ -247,6 +287,14 @@ SearchResult GreedyCoordinateDescent::search_batched(
     const surface::ConfigSpace& space, const BatchEvalFn& eval,
     std::size_t max_evals, util::Rng& rng, const StopFn& stop,
     std::size_t batch_hint) const {
+    return search_batched(space, eval, CoordinateEvalFn{}, max_evals, rng,
+                          stop, batch_hint);
+}
+
+SearchResult GreedyCoordinateDescent::search_batched(
+    const surface::ConfigSpace& space, const BatchEvalFn& eval,
+    const CoordinateEvalFn& coordinate, std::size_t max_evals,
+    util::Rng& rng, const StopFn& stop, std::size_t batch_hint) const {
     (void)batch_hint;  // the sweep's natural batch is one element's states
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
     BatchTracker t(eval, max_evals, stop);
@@ -277,7 +325,9 @@ SearchResult GreedyCoordinateDescent::search_batched(
                 double best_score = current_score;
                 // Memoized alternatives are free; unseen ones become the
                 // batch, in ascending state order (matching the serial
-                // sweep's evaluation order).
+                // sweep's evaluation order). With a coordinate hook the
+                // candidate configurations are never materialized — the
+                // callee reconstructs them from (base, element, state).
                 std::vector<int> fresh_states;
                 std::vector<surface::Config> batch;
                 for (int s = 0; s < space.radices()[e]; ++s) {
@@ -290,13 +340,18 @@ SearchResult GreedyCoordinateDescent::search_batched(
                         }
                     } else {
                         fresh_states.push_back(s);
-                        batch.push_back(current);
+                        if (!coordinate) batch.push_back(current);
                     }
                 }
                 current[e] = original;
-                if (!batch.empty()) {
+                if (!fresh_states.empty()) {
                     const std::vector<double> scores =
-                        t.evaluate(std::move(batch));
+                        coordinate ? t.evaluate_coordinate(coordinate,
+                                                           current, e,
+                                                           fresh_states)
+                                   : t.evaluate(std::move(batch));
+                    // scores may be shorter than the proposal when the
+                    // budget truncated the tail.
                     for (std::size_t i = 0; i < scores.size(); ++i) {
                         surface::Config scored = current;
                         scored[e] = fresh_states[i];

@@ -28,6 +28,17 @@ using EvalFn = std::function<double(const surface::Config&)>;
 using BatchEvalFn = std::function<std::vector<double>(
     const std::vector<surface::Config>&)>;
 
+/// Measures every state in `states` for one coordinate: results[i] scores
+/// base-with-element=states[i], the rest of `base` held fixed. The
+/// coordinate sweep's natural batch — a callee owning the factored cache
+/// can serve it through the incremental delta path (base response built
+/// once per coordinate, one row-add per candidate) instead of a full
+/// gather per candidate. Candidates must consume the same rng streams, in
+/// the same order, as the equivalent BatchEvalFn batch would.
+using CoordinateEvalFn = std::function<std::vector<double>(
+    const surface::Config& base, std::size_t element,
+    const std::vector<int>& states)>;
+
 /// Optional early-termination predicate checked before every evaluation.
 /// Lets a controller end a search when simulated wall-clock (not just the
 /// evaluation count) runs out — e.g. when control-channel retries have
@@ -85,6 +96,22 @@ public:
                                         const StopFn& stop = nullptr,
                                         std::size_t batch_hint = 1) const;
 
+    /// Batched search with a coordinate-sweep fast path: strategies whose
+    /// proposals are all-states sweeps of one element route those through
+    /// `coordinate` (when non-empty) and everything else through `eval`.
+    /// The base adapter ignores `coordinate`; only GreedyCoordinateDescent
+    /// currently exploits it. The hook never changes which candidates run
+    /// or which rng streams they consume — only how a candidate's
+    /// response is assembled (base-plus-swept-row instead of a full
+    /// gather, a different but fixed summation association).
+    virtual SearchResult search_batched(const surface::ConfigSpace& space,
+                                        const BatchEvalFn& eval,
+                                        const CoordinateEvalFn& coordinate,
+                                        std::size_t max_evals,
+                                        util::Rng& rng,
+                                        const StopFn& stop = nullptr,
+                                        std::size_t batch_hint = 1) const;
+
     virtual std::string name() const = 0;
 };
 
@@ -129,6 +156,16 @@ public:
     /// ignored. Evaluation order matches the serial search exactly.
     SearchResult search_batched(const surface::ConfigSpace& space,
                                 const BatchEvalFn& eval,
+                                std::size_t max_evals, util::Rng& rng,
+                                const StopFn& stop = nullptr,
+                                std::size_t batch_hint = 1) const override;
+    /// Routes coordinate sweeps through `coordinate` when provided
+    /// (restart seeds still go through `eval`); candidate order — and
+    /// therefore every rng stream — matches the plain batched search
+    /// exactly.
+    SearchResult search_batched(const surface::ConfigSpace& space,
+                                const BatchEvalFn& eval,
+                                const CoordinateEvalFn& coordinate,
                                 std::size_t max_evals, util::Rng& rng,
                                 const StopFn& stop = nullptr,
                                 std::size_t batch_hint = 1) const override;

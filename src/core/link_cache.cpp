@@ -28,26 +28,25 @@ void mirror_hits(std::uint64_t n) {
 
 }  // namespace
 
-std::vector<double> LinkCache::link_fingerprint(const sdr::Link& link) {
-    const auto antenna_facets = [](const em::Antenna& a,
-                                   std::vector<double>& out) {
-        out.push_back(a.peak_gain_dbi());
-        out.push_back(a.is_omni() ? 1.0 : 0.0);
-        out.push_back(a.beamwidth_rad());
-        out.push_back(a.boresight().x);
-        out.push_back(a.boresight().y);
-        out.push_back(a.boresight().z);
+LinkCache::Fingerprint LinkCache::link_fingerprint(const sdr::Link& link) {
+    Fingerprint fp{};
+    std::size_t i = 0;
+    const auto antenna_facets = [&fp, &i](const em::Antenna& a) {
+        fp[i++] = a.peak_gain_dbi();
+        fp[i++] = a.is_omni() ? 1.0 : 0.0;
+        fp[i++] = a.beamwidth_rad();
+        fp[i++] = a.boresight().x;
+        fp[i++] = a.boresight().y;
+        fp[i++] = a.boresight().z;
     };
-    std::vector<double> fp;
-    fp.reserve(18);
-    fp.push_back(link.tx.position.x);
-    fp.push_back(link.tx.position.y);
-    fp.push_back(link.tx.position.z);
-    fp.push_back(link.rx.position.x);
-    fp.push_back(link.rx.position.y);
-    fp.push_back(link.rx.position.z);
-    antenna_facets(link.tx.antenna, fp);
-    antenna_facets(link.rx.antenna, fp);
+    fp[i++] = link.tx.position.x;
+    fp[i++] = link.tx.position.y;
+    fp[i++] = link.tx.position.z;
+    fp[i++] = link.rx.position.x;
+    fp[i++] = link.rx.position.y;
+    fp[i++] = link.rx.position.z;
+    antenna_facets(link.tx.antenna);
+    antenna_facets(link.rx.antenna);
     return fp;
 }
 
@@ -71,8 +70,11 @@ void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
     const std::size_t num_sc = freqs.size();
     const double carrier_hz = medium.ofdm().carrier_hz();
 
-    entry.h_static = em::frequency_response(medium.environment_paths(link),
-                                            freqs);
+    const util::CVec h_static = em::frequency_response(
+        medium.environment_paths(link), freqs);
+    entry.h_static.resize(num_sc);
+    util::kernels::deinterleave(h_static.data(), entry.h_static.re.data(),
+                                entry.h_static.im.data(), num_sc);
     entry.arrays.clear();
     entry.arrays.reserve(medium.num_arrays());
     for (std::size_t a = 0; a < medium.num_arrays(); ++a) {
@@ -86,7 +88,8 @@ void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
                               carrier_hz);
         std::size_t rows = 0;
         for (const auto& states : per_state) rows += states.size();
-        basis.table.assign(rows * num_sc, util::cd{0.0, 0.0});
+        basis.table_re.assign(rows * num_sc, 0.0);
+        basis.table_im.assign(rows * num_sc, 0.0);
         std::size_t row = 0;
         for (const auto& states : per_state) {
             basis.radices.push_back(static_cast<int>(states.size()));
@@ -94,9 +97,9 @@ void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
             for (const em::Path& p : states) {
                 util::CVec response(num_sc, util::cd{0.0, 0.0});
                 em::accumulate_frequency_response(response, {p}, freqs);
-                std::copy(response.begin(), response.end(),
-                          basis.table.begin() +
-                              static_cast<std::ptrdiff_t>(row * num_sc));
+                util::kernels::deinterleave(
+                    response.data(), basis.table_re.data() + row * num_sc,
+                    basis.table_im.data() + row * num_sc, num_sc);
                 ++row;
             }
         }
@@ -107,19 +110,23 @@ void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
     entry.valid = true;
 }
 
-void LinkCache::add_rows(util::CVec& h, const ArrayBasis& basis,
-                         const surface::Config& config) {
+void LinkCache::add_rows(util::kernels::SplitVec& h, const ArrayBasis& basis,
+                         const surface::Config& config,
+                         std::size_t skip_element) {
     PRESS_EXPECTS(config.size() == basis.radices.size(),
                   "configuration arity must match the cached array");
     const std::size_t num_sc = h.size();
+    const util::kernels::Dispatch d = util::kernels::active();
     for (std::size_t e = 0; e < config.size(); ++e) {
+        if (e == skip_element) continue;
         PRESS_EXPECTS(config[e] >= 0 && config[e] < basis.radices[e],
                       "configuration state out of the cached range");
-        const util::cd* row =
-            basis.table.data() +
+        const std::size_t row =
             (basis.row_offset[e] + static_cast<std::size_t>(config[e])) *
-                num_sc;
-        for (std::size_t k = 0; k < num_sc; ++k) h[k] += row[k];
+            num_sc;
+        util::kernels::accumulate(d, basis.table_re.data() + row,
+                                  basis.table_im.data() + row, h.re.data(),
+                                  h.im.data(), num_sc);
     }
 }
 
@@ -151,10 +158,37 @@ util::CVec LinkCache::response(const sdr::Medium& medium,
         misses_.fetch_add(1, std::memory_order_relaxed);
         mirror_miss();
     }
-    util::CVec h = entry.h_static;
-    for (std::size_t a = 0; a < entry.arrays.size(); ++a)
-        add_rows(h, entry.arrays[a], medium.array(a).current_config());
-    return h;
+    util::kernels::SplitVec h;
+    accumulate_response(medium, entry, /*array_id=*/entry.arrays.size(),
+                        surface::Config{}, kNoSkip, h);
+    util::CVec out(h.size());
+    util::kernels::interleave(h.re.data(), h.im.data(), out.data(),
+                              h.size());
+    return out;
+}
+
+void LinkCache::accumulate_response(const sdr::Medium& medium,
+                                    const Entry& entry,
+                                    std::size_t array_id,
+                                    const surface::Config& config,
+                                    std::size_t skip_element,
+                                    util::kernels::SplitVec& out) const {
+    const std::size_t num_sc = entry.h_static.size();
+    out.resize(num_sc);
+    util::kernels::copy(util::kernels::active(), entry.h_static.re.data(),
+                        entry.h_static.im.data(), out.re.data(),
+                        out.im.data(), num_sc);
+    for (std::size_t a = 0; a < entry.arrays.size(); ++a) {
+        // Branch instead of a ternary: a `ref : prvalue` conditional's
+        // common type is a prvalue, which would copy (allocate) `config`
+        // on every read of the candidate's own array.
+        if (a == array_id) {
+            add_rows(out, entry.arrays[a], config, skip_element);
+        } else {
+            add_rows(out, entry.arrays[a], medium.array(a).current_config(),
+                     kNoSkip);
+        }
+    }
 }
 
 util::CVec LinkCache::response_with(const sdr::Medium& medium,
@@ -162,17 +196,69 @@ util::CVec LinkCache::response_with(const sdr::Medium& medium,
                                     const sdr::Link& link,
                                     std::size_t array_id,
                                     const surface::Config& config) const {
+    util::kernels::SplitVec h;
+    response_into(medium, link_id, link, array_id, config, h);
+    util::CVec out(h.size());
+    util::kernels::interleave(h.re.data(), h.im.data(), out.data(),
+                              h.size());
+    return out;
+}
+
+void LinkCache::response_into(const sdr::Medium& medium,
+                              std::size_t link_id, const sdr::Link& link,
+                              std::size_t array_id,
+                              const surface::Config& config,
+                              util::kernels::SplitVec& out) const {
     PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
     const Entry& entry = entries_[link_id];
     PRESS_EXPECTS(current(medium, entry, link),
                   "cache entry is stale; call warm() before batch reads");
     PRESS_EXPECTS(array_id < entry.arrays.size(),
                   "array id out of the cached range");
-    util::CVec h = entry.h_static;
-    for (std::size_t a = 0; a < entry.arrays.size(); ++a)
-        add_rows(h, entry.arrays[a],
-                 a == array_id ? config : medium.array(a).current_config());
-    return h;
+    accumulate_response(medium, entry, array_id, config, kNoSkip, out);
+}
+
+void LinkCache::response_base_into(const sdr::Medium& medium,
+                                   std::size_t link_id,
+                                   const sdr::Link& link,
+                                   std::size_t array_id,
+                                   const surface::Config& config,
+                                   std::size_t element,
+                                   util::kernels::SplitVec& out) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(current(medium, entry, link),
+                  "cache entry is stale; call warm() before batch reads");
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    PRESS_EXPECTS(element < entry.arrays[array_id].radices.size(),
+                  "element id out of the cached range");
+    accumulate_response(medium, entry, array_id, config, element, out);
+}
+
+void LinkCache::accumulate_element_row(std::size_t link_id,
+                                       std::size_t array_id,
+                                       std::size_t element, int state,
+                                       util::kernels::SplitVec& h) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    const ArrayBasis& basis = entry.arrays[array_id];
+    PRESS_EXPECTS(element < basis.radices.size(),
+                  "element id out of the cached range");
+    PRESS_EXPECTS(state >= 0 && state < basis.radices[element],
+                  "configuration state out of the cached range");
+    const std::size_t num_sc = h.size();
+    PRESS_EXPECTS(num_sc == entry.h_static.size(),
+                  "scratch does not match the cached subcarrier count");
+    const std::size_t row =
+        (basis.row_offset[element] + static_cast<std::size_t>(state)) *
+        num_sc;
+    util::kernels::accumulate(util::kernels::active(),
+                              basis.table_re.data() + row,
+                              basis.table_im.data() + row, h.re.data(),
+                              h.im.data(), num_sc);
 }
 
 void LinkCache::invalidate() {

@@ -15,10 +15,22 @@
 // method re-trace of the scene, which is what lets a controller sweep
 // thousands of candidates inside one coherence window.
 //
+// The basis is stored split-complex (separate re/im row tables) so the
+// accumulation runs through the util::kernels SoA layer, and the hot read
+// path writes into caller-owned scratch (response_into) — zero heap
+// allocations per candidate once the scratch reaches steady-state size.
 // The reconstruction adds the exact same per-path terms in the exact same
 // order as the direct synthesis (environment paths first, then each
 // array's elements in order), so a cached response is bit-identical to
 // em::frequency_response(medium.resolve_paths(link)) — not merely close.
+//
+// Coordinate sweeps get an incremental form: response_base_into() builds
+// the response with ONE element's row left out entirely, and
+// accumulate_element_row() adds a single row on top. A greedy coordinate
+// sweep therefore pays O(1) row-adds per candidate instead of the full
+// O(elements) gather, and because the swept row is always added last —
+// whether the base was cached (delta path) or recomputed per candidate —
+// both paths produce the exact same bits.
 //
 // Invalidation: entries are validated on every access against
 //   - the environment's revision stamp (walls, obstacles, scatterers,
@@ -40,6 +52,7 @@
 #include "press/config.hpp"
 #include "sdr/medium.hpp"
 #include "util/cvec.hpp"
+#include "util/kernels.hpp"
 
 namespace press::core {
 
@@ -49,21 +62,24 @@ public:
 
     // The atomic counters delete the implicit moves, but System (and the
     // scenarios that return one by value) moves caches around before any
-    // worker thread exists — plain relaxed copies of the counters suffice.
+    // worker thread exists — plain relaxed exchanges suffice. The source's
+    // counters are zeroed so a moved-from cache that is reused starts a
+    // fresh count instead of double-reporting the transferred hits/misses
+    // in telemetry.
     LinkCache(LinkCache&& other) noexcept
         : entries_(std::move(other.entries_)),
-          hits_(other.hits_.load(std::memory_order_relaxed)),
-          misses_(other.misses_.load(std::memory_order_relaxed)),
-          invalidations_(
-              other.invalidations_.load(std::memory_order_relaxed)) {}
+          hits_(other.hits_.exchange(0, std::memory_order_relaxed)),
+          misses_(other.misses_.exchange(0, std::memory_order_relaxed)),
+          invalidations_(other.invalidations_.exchange(
+              0, std::memory_order_relaxed)) {}
     LinkCache& operator=(LinkCache&& other) noexcept {
         entries_ = std::move(other.entries_);
-        hits_.store(other.hits_.load(std::memory_order_relaxed),
+        hits_.store(other.hits_.exchange(0, std::memory_order_relaxed),
                     std::memory_order_relaxed);
-        misses_.store(other.misses_.load(std::memory_order_relaxed),
+        misses_.store(other.misses_.exchange(0, std::memory_order_relaxed),
                       std::memory_order_relaxed);
         invalidations_.store(
-            other.invalidations_.load(std::memory_order_relaxed),
+            other.invalidations_.exchange(0, std::memory_order_relaxed),
             std::memory_order_relaxed);
         return *this;
     }
@@ -90,6 +106,35 @@ public:
                              const sdr::Link& link, std::size_t array_id,
                              const surface::Config& config) const;
 
+    /// The allocation-free form of response_with(): writes the same bits
+    /// into caller-owned scratch, resized to the subcarrier count
+    /// (capacity is retained across calls, so a reused scratch never
+    /// allocates in steady state). Same thread-safety contract.
+    void response_into(const sdr::Medium& medium, std::size_t link_id,
+                       const sdr::Link& link, std::size_t array_id,
+                       const surface::Config& config,
+                       util::kernels::SplitVec& out) const;
+
+    /// Coordinate-sweep base: like response_into(), but element `element`
+    /// of array `array_id` contributes NO row at all (its state in
+    /// `config` is ignored). Adding exactly one of that element's rows
+    /// afterwards (accumulate_element_row) yields the sweep's candidate
+    /// response with the swept row added last — the canonical arithmetic
+    /// both the delta-caching and the per-candidate-recompute paths
+    /// reproduce bit-for-bit.
+    void response_base_into(const sdr::Medium& medium, std::size_t link_id,
+                            const sdr::Link& link, std::size_t array_id,
+                            const surface::Config& config,
+                            std::size_t element,
+                            util::kernels::SplitVec& out) const;
+
+    /// Adds element `element`'s basis row for load state `state` (array
+    /// `array_id`) into `h`. Requires a warm entry (validated by the
+    /// response_base_into() call that produced `h`).
+    void accumulate_element_row(std::size_t link_id, std::size_t array_id,
+                                std::size_t element, int state,
+                                util::kernels::SplitVec& h) const;
+
     /// Builds (or refreshes) the entry for `link_id` so that subsequent
     /// response_with() calls are pure reads.
     void warm(const sdr::Medium& medium, std::size_t link_id,
@@ -115,32 +160,48 @@ public:
     }
 
 private:
-    /// One array's basis: rows of the per-state CFR table, row-major over
-    /// [element state rows][subcarriers].
+    /// One array's basis: split-complex rows of the per-state CFR table,
+    /// row-major over [element state rows][subcarriers].
     struct ArrayBasis {
         std::uint64_t structure_revision = 0;
         std::vector<int> radices;             ///< states per element
         std::vector<std::size_t> row_offset;  ///< element -> first row
-        std::vector<util::cd> table;
+        std::vector<double> table_re;
+        std::vector<double> table_im;
     };
+
+    /// Link endpoint fingerprint: 2 x (position + antenna facets). Fixed
+    /// arity, so current() compares without allocating.
+    static constexpr std::size_t kFingerprintSize = 18;
+    using Fingerprint = std::array<double, kFingerprintSize>;
 
     struct Entry {
         bool valid = false;
         std::uint64_t env_revision = 0;
-        std::vector<double> fingerprint;
-        util::CVec h_static;
+        Fingerprint fingerprint{};
+        util::kernels::SplitVec h_static;
         std::vector<ArrayBasis> arrays;
     };
 
-    static std::vector<double> link_fingerprint(const sdr::Link& link);
+    static Fingerprint link_fingerprint(const sdr::Link& link);
     bool current(const sdr::Medium& medium, const Entry& entry,
                  const sdr::Link& link) const;
     void rebuild(const sdr::Medium& medium, Entry& entry,
                  const sdr::Link& link);
 
-    /// Accumulates the rows selected by `config` into `h`.
-    static void add_rows(util::CVec& h, const ArrayBasis& basis,
-                         const surface::Config& config);
+    /// Accumulates the rows selected by `config` into the split response,
+    /// optionally skipping one element (kNoSkip = none).
+    static constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+    static void add_rows(util::kernels::SplitVec& h, const ArrayBasis& basis,
+                         const surface::Config& config,
+                         std::size_t skip_element = kNoSkip);
+
+    /// Shared body of response_with / response_into / response_base_into.
+    void accumulate_response(const sdr::Medium& medium, const Entry& entry,
+                             std::size_t array_id,
+                             const surface::Config& config,
+                             std::size_t skip_element,
+                             util::kernels::SplitVec& out) const;
 
     std::vector<Entry> entries_;
     std::atomic<std::uint64_t> hits_{0};

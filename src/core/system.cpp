@@ -1,11 +1,14 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <complex>
 
 #include "control/batch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "phy/chanest.hpp"
 #include "util/contracts.hpp"
+#include "util/kernels.hpp"
 
 namespace press::core {
 
@@ -200,51 +203,221 @@ control::OptimizationOutcome System::optimize_fast(
         medium_.array(array_id).current_config();
     const fault::FaultModel* fm = faults(array_id);
 
-    control::BatchEvaluator pool(
-        [this, array_id, &objective, fm, &baseline](
-            const surface::Config& c, util::Rng& crng) {
-            const surface::Config actual =
-                fm ? fm->distorted(c, baseline, crng) : c;
-            control::Observation obs;
-            obs.link_snr_db.reserve(links_.size());
-            for (std::size_t i = 0; i < links_.size(); ++i) {
-                const util::CVec h = link_cache_.response_with(
-                    medium_, i, links_[i], array_id, actual);
-                obs.link_snr_db.push_back(
-                    medium_
-                        .sound_with_response(links_[i], h,
-                                             sounding_repeats_, crng)
-                        .snr_db());
+    // The estimator noise variance is a pure function of the link's radio
+    // profile — hoist it out of the per-candidate loop.
+    const std::size_t num_links = links_.size();
+    std::vector<double> link_noise(num_links);
+    for (std::size_t i = 0; i < num_links; ++i)
+        link_noise[i] = medium_.estimate_noise_variance(links_[i]);
+
+    // Objectives that reduce one link's SNR span through a min or mean
+    // skip the Observation entirely: response -> sounding draws -> fused
+    // reduction, all inside the worker's scratch arena.
+    const control::FusedSpec fused = objective.fused_spec();
+    const bool fuse = fused.kind != control::FusedSpec::Kind::kNone &&
+                      fused.link < num_links;
+    const std::size_t responses_per_eval = fuse ? 1 : num_links;
+    const std::size_t repeats = sounding_repeats_;
+
+    // Simulates the sounding of link `link_id` whose cached response is
+    // already in s.h: raw LTF draws (same r-outer / k-inner rng order as
+    // Medium::sound_with_response) then the combining kernel, leaving the
+    // combined estimate in s.mean_re/_im and s.noise_var.
+    const auto sound_scratch = [&link_noise, repeats](
+                                   std::size_t link_id, util::Rng& crng,
+                                   control::EvalScratch& s) {
+        const std::size_t n = s.h.size();
+        const double var = link_noise[link_id];
+        s.resize_tracked(s.raw_re, repeats * n);
+        s.resize_tracked(s.raw_im, repeats * n);
+        s.resize_tracked(s.mean_re, n);
+        s.resize_tracked(s.mean_im, n);
+        s.resize_tracked(s.noise_var, n);
+        for (std::size_t r = 0; r < repeats; ++r) {
+            double* rr = s.raw_re.data() + r * n;
+            double* ri = s.raw_im.data() + r * n;
+            for (std::size_t k = 0; k < n; ++k) {
+                const std::complex<double> w = crng.complex_gaussian(var);
+                rr[k] = s.h.re[k] + w.real();
+                ri[k] = s.h.im[k] + w.imag();
             }
-            return objective.score(obs);
+        }
+        util::kernels::ltf_mean_var(
+            util::kernels::active(), s.raw_re.data(), s.raw_im.data(),
+            repeats, n, s.mean_re.data(), s.mean_im.data(),
+            s.noise_var.data());
+    };
+
+    // Fused finish: sound the objective's link and reduce straight to the
+    // score (min exactly matches the Observation path; mean differs by
+    // blocked-vs-sequential association ulps, see FusedSpec).
+    const auto finish_fused = [&sound_scratch, fused](
+                                  util::Rng& crng, control::EvalScratch& s) {
+        sound_scratch(fused.link, crng, s);
+        const util::kernels::Dispatch d = util::kernels::active();
+        const std::size_t n = s.h.size();
+        return fused.kind == control::FusedSpec::Kind::kMinSnr
+                   ? util::kernels::snr_db_min(
+                         d, s.mean_re.data(), s.mean_im.data(),
+                         s.noise_var.data(), n, phy::kSnrCapDb,
+                         phy::kSnrFloorDb)
+                   : util::kernels::snr_db_mean(
+                         d, s.mean_re.data(), s.mean_im.data(),
+                         s.noise_var.data(), n, phy::kSnrCapDb,
+                         phy::kSnrFloorDb);
+    };
+
+    // General finish: rebuild the Observation in the scratch arena — one
+    // response + sounding + SNR fill per link — and score it.
+    const auto finish_general =
+        [this, &objective, &sound_scratch, num_links, array_id](
+            const surface::Config& actual, util::Rng& crng,
+            control::EvalScratch& s) {
+            if (s.observation.link_snr_db.size() != num_links)
+                s.observation.link_snr_db.resize(num_links);
+            for (std::size_t i = 0; i < num_links; ++i) {
+                link_cache_.response_into(medium_, i, links_[i], array_id,
+                                          actual, s.h);
+                sound_scratch(i, crng, s);
+                std::vector<double>& snr = s.observation.link_snr_db[i];
+                s.resize_tracked(snr, s.h.size());
+                util::kernels::snr_db_into(
+                    util::kernels::active(), s.mean_re.data(),
+                    s.mean_im.data(), s.noise_var.data(), s.h.size(),
+                    phy::kSnrCapDb, phy::kSnrFloorDb, snr.data());
+            }
+            return objective.score(s.observation);
+        };
+
+    control::BatchEvaluator pool(
+        [this, array_id, fm, &baseline, fuse, fused, &finish_fused,
+         &finish_general](const surface::Config& c, util::Rng& crng,
+                          control::EvalScratch& s) {
+            const surface::Config* actual = &c;
+            if (fm) {
+                fm->distorted_into(c, baseline, crng, s.config);
+                actual = &s.config;
+            }
+            if (fuse) {
+                link_cache_.response_into(medium_, fused.link,
+                                          links_[fused.link], array_id,
+                                          *actual, s.h);
+                return finish_fused(crng, s);
+            }
+            return finish_general(*actual, crng, s);
         },
         rng.engine()(), threads);
+
+    // Coordinate sweeps share per-coordinate base responses (the swept
+    // element's row excluded) built once here, outside the workers; each
+    // candidate then costs one copy plus one row-add. With the delta path
+    // disabled (PRESS_DELTA=0) workers recompute the base per candidate —
+    // same arithmetic, same bits, no cache.
+    const bool delta = control::coordinate_delta_enabled();
+    std::vector<util::kernels::SplitVec> coord_base(num_links);
+    pool.set_coordinate_score(
+        [this, array_id, fuse, fused, num_links, delta, &coord_base,
+         &objective, &sound_scratch, &finish_fused](
+            const control::CoordinateBatch& cb, std::size_t idx,
+            util::Rng& crng, control::EvalScratch& s) {
+            const int state = (*cb.states)[idx];
+            const util::kernels::Dispatch d = util::kernels::active();
+            const auto load_candidate = [&](std::size_t link_id) {
+                if (delta) {
+                    const util::kernels::SplitVec& base =
+                        coord_base[link_id];
+                    s.resize_tracked(s.h, base.size());
+                    util::kernels::copy(d, base.re.data(), base.im.data(),
+                                        s.h.re.data(), s.h.im.data(),
+                                        base.size());
+                } else {
+                    link_cache_.response_base_into(
+                        medium_, link_id, links_[link_id], array_id,
+                        *cb.base, cb.element, s.h);
+                }
+                link_cache_.accumulate_element_row(link_id, array_id,
+                                                   cb.element, state, s.h);
+            };
+            if (fuse) {
+                load_candidate(fused.link);
+                return finish_fused(crng, s);
+            }
+            if (s.observation.link_snr_db.size() != num_links)
+                s.observation.link_snr_db.resize(num_links);
+            for (std::size_t i = 0; i < num_links; ++i) {
+                load_candidate(i);
+                sound_scratch(i, crng, s);
+                std::vector<double>& snr = s.observation.link_snr_db[i];
+                s.resize_tracked(snr, s.h.size());
+                util::kernels::snr_db_into(
+                    d, s.mean_re.data(), s.mean_im.data(),
+                    s.noise_var.data(), s.h.size(), phy::kSnrCapDb,
+                    phy::kSnrFloorDb, snr.data());
+            }
+            return objective.score(s.observation);
+        });
 
     control::OptimizationOutcome outcome;
     outcome.trial_cost_s = trial_cost;
 
     control::SimClock clock;
-    const std::size_t num_links = links_.size();
     const control::BatchEvalFn eval =
-        [this, &pool, &clock, trial_cost, num_links](
+        [this, &pool, &clock, trial_cost, responses_per_eval](
             const std::vector<surface::Config>& batch) {
             std::vector<double> scores = pool.evaluate(batch);
-            // Every response_with() read inside the batch is a hit by the
-            // warm() precondition; fold them at batch granularity so the
-            // per-call path stays instrumentation-free.
+            // Every cached read inside the batch is a hit by the warm()
+            // precondition; fold them at batch granularity so the
+            // per-call path stays instrumentation-free. A candidate reads
+            // one response per scored link (one when the objective is
+            // fused), however it was assembled.
             link_cache_.note_batch_hits(
-                static_cast<std::uint64_t>(batch.size()) * num_links);
+                static_cast<std::uint64_t>(batch.size()) *
+                responses_per_eval);
             clock.advance(trial_cost * static_cast<double>(batch.size()));
             return scores;
         };
+    // Coordinate sweeps bypass full-configuration assembly, but only when
+    // no fault model distorts candidates: faults rewrite arbitrary
+    // elements (and flaky ones consume candidate rng), which the
+    // base-plus-one-row arithmetic cannot represent.
+    const control::CoordinateEvalFn coord_eval =
+        fm ? control::CoordinateEvalFn{}
+           : control::CoordinateEvalFn(
+                 [this, &pool, &clock, trial_cost, responses_per_eval,
+                  delta, fuse, fused, num_links, array_id, &coord_base](
+                     const surface::Config& base, std::size_t element,
+                     const std::vector<int>& states) {
+                     if (delta) {
+                         if (fuse)
+                             link_cache_.response_base_into(
+                                 medium_, fused.link, links_[fused.link],
+                                 array_id, base, element,
+                                 coord_base[fused.link]);
+                         else
+                             for (std::size_t i = 0; i < num_links; ++i)
+                                 link_cache_.response_base_into(
+                                     medium_, i, links_[i], array_id, base,
+                                     element, coord_base[i]);
+                     }
+                     control::CoordinateBatch cb{&base, element, &states};
+                     std::vector<double> scores =
+                         pool.evaluate_coordinate(cb);
+                     link_cache_.note_batch_hits(
+                         static_cast<std::uint64_t>(states.size()) *
+                         responses_per_eval);
+                     clock.advance(trial_cost *
+                                   static_cast<double>(states.size()));
+                     return scores;
+                 });
     const control::StopFn stop = [&clock, time_budget_s]() {
         return clock.now_s() >= time_budget_s;
     };
 
     {
         obs::TraceSpan search_span("core.system.search_batched", &clock);
-        outcome.search = searcher.search_batched(
-            space, eval, max_evals, rng, stop, pool.num_threads() * 2);
+        outcome.search =
+            searcher.search_batched(space, eval, coord_eval, max_evals,
+                                    rng, stop, pool.num_threads() * 2);
     }
     outcome.elapsed_s = clock.now_s();
     outcome.budget_limited = outcome.search.evaluations >= max_evals ||

@@ -108,19 +108,28 @@ surface::Config FaultModel::distort(const surface::Config& requested,
 surface::Config FaultModel::distorted(const surface::Config& requested,
                                       const surface::Config& current,
                                       util::Rng& rng) const {
+    surface::Config actual;
+    distorted_into(requested, current, rng, actual);
+    return actual;
+}
+
+void FaultModel::distorted_into(const surface::Config& requested,
+                                const surface::Config& current,
+                                util::Rng& rng,
+                                surface::Config& out) const {
     PRESS_EXPECTS(requested.size() == current.size(),
                   "requested/current configuration arity mismatch");
-    surface::Config actual = requested;
+    out.assign(requested.begin(), requested.end());
     for (const Fault& f : faults_) {
-        PRESS_EXPECTS(f.element < actual.size(),
+        PRESS_EXPECTS(f.element < out.size(),
                       "fault names an element outside the configuration");
         switch (f.type) {
             case FaultType::kStuckAt:
-                actual[f.element] = f.stuck_state;
+                out[f.element] = f.stuck_state;
                 break;
             case FaultType::kFlaky:
                 if (rng.chance(f.flake_prob))
-                    actual[f.element] = current[f.element];
+                    out[f.element] = current[f.element];
                 break;
             case FaultType::kDead:
             case FaultType::kPhaseDrift:
@@ -129,7 +138,6 @@ surface::Config FaultModel::distorted(const surface::Config& requested,
                 break;
         }
     }
-    return actual;
 }
 
 void FaultModel::apply(surface::Array& array,

@@ -85,6 +85,13 @@ public:
                               const surface::Config& current,
                               util::Rng& rng) const;
 
+    /// Allocation-free form of distorted(): writes the actual
+    /// configuration into caller-owned `out` (resized to the requested
+    /// arity; capacity is retained across calls). Same rng semantics.
+    void distorted_into(const surface::Config& requested,
+                        const surface::Config& current, util::Rng& rng,
+                        surface::Config& out) const;
+
     /// requested -> distort -> array.apply. What System::apply routes
     /// through when faults are injected.
     void apply(surface::Array& array, const surface::Config& requested);

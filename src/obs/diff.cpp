@@ -16,6 +16,12 @@ constexpr const char* kStrictIdentity[] = {"press_threads", "seed",
 /// warnings (toolchain changes may legitimately shift FP trajectories).
 constexpr const char* kAdvisoryIdentity[] = {"build_type", "compiler",
                                              "sanitize"};
+/// Manifest fields recorded and reported on mismatch but deliberately
+/// NOT softening: the scalar and native kernel flavors are bit-identical
+/// by contract, so counter drift across a kernel_dispatch change is a
+/// real regression (the CI scalar-vs-native leg diffs at 0% tolerance
+/// and must stay a hard gate).
+constexpr const char* kInformationalIdentity[] = {"kernel_dispatch"};
 
 std::string value_str(const Json& v) {
     if (v.is_string()) return v.as_string();
@@ -38,6 +44,10 @@ Json make_baseline(const Json& telemetry) {
         manifest.emplace(key, src.at(key));
     for (const char* key : kAdvisoryIdentity)
         manifest.emplace(key, src.at(key));
+    // Older exports predate kernel_dispatch; baselines written from them
+    // simply omit the field.
+    for (const char* key : kInformationalIdentity)
+        if (src.contains(key)) manifest.emplace(key, src.at(key));
 
     Json::Object root;
     root.emplace("schema", "press.bench_baseline/v1");
@@ -92,6 +102,18 @@ DiffResult diff_telemetry(const Json& baseline, const Json& current,
                 value_str(base_manifest.at(key)) + "\" -> \"" +
                 value_str(cur_manifest.at(key)) +
                 "\"); counter drift reported as warnings only");
+        }
+    }
+    for (const char* key : kInformationalIdentity) {
+        if (base_manifest.contains(key) && cur_manifest.contains(key) &&
+            value_str(base_manifest.at(key)) !=
+                value_str(cur_manifest.at(key))) {
+            result.warnings.push_back(
+                std::string("manifest.") + key + " changed (\"" +
+                value_str(base_manifest.at(key)) + "\" -> \"" +
+                value_str(cur_manifest.at(key)) +
+                "\"); flavors are bit-identical by contract, so counter "
+                "drift still fails");
         }
     }
     auto flag = [&](std::string message) {

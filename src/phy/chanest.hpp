@@ -16,6 +16,12 @@
 
 namespace press::phy {
 
+/// Default SNR-estimate clamp range (see ChannelEstimate::snr_db). Named
+/// so the fused scoring kernels (util::kernels::snr_db_*) can clamp with
+/// exactly the same bounds without duplicating the literals.
+inline constexpr double kSnrCapDb = 60.0;
+inline constexpr double kSnrFloorDb = 0.0;
+
 /// A combined channel estimate on the used subcarriers of one link.
 struct ChannelEstimate {
     /// Mean least-squares channel estimate per used subcarrier.
@@ -29,8 +35,8 @@ struct ChannelEstimate {
     /// [floor_db, cap_db]: a real receiver cannot report SNRs beyond its
     /// estimator's dynamic range, and below ~0 dB the training correlation
     /// no longer locks (the paper's SNR plots bottom out at 0 dB).
-    std::vector<double> snr_db(double cap_db = 60.0,
-                               double floor_db = 0.0) const;
+    std::vector<double> snr_db(double cap_db = kSnrCapDb,
+                               double floor_db = kSnrFloorDb) const;
 };
 
 /// Combines raw per-repetition estimates (all the same length) into a

@@ -1,0 +1,355 @@
+#include "util/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "obs/manifest.hpp"
+#include "util/contracts.hpp"
+#include "util/units.hpp"
+
+namespace press::util::kernels {
+
+namespace {
+
+// Per-element value helpers shared by both flavors: element-wise math has
+// no association order, so sharing it cannot break bit-identity (the
+// flavors differ only in loop structure), and it keeps the clamping
+// semantics in exactly one place.
+
+/// One subcarrier of phy::ChannelEstimate::snr_db.
+inline double snr_db_value(double re, double im, double var, double cap_db,
+                           double floor_db) {
+    const double sig = re * re + im * im;
+    if (var <= 0.0 || sig <= 0.0) return sig <= 0.0 ? floor_db : cap_db;
+    return std::clamp(linear_to_db(sig / var), floor_db, cap_db);
+}
+
+inline double abs2_value(double re, double im) { return re * re + im * im; }
+
+/// Blocked-reduction lane state (kLanes accumulators, see kernels.hpp).
+/// combine_* folds (l0 op l1) op (l2 op l3) — both flavors, always.
+inline double combine_sum(const double l[kLanes]) {
+    return (l[0] + l[1]) + (l[2] + l[3]);
+}
+inline double combine_min(const double l[kLanes]) {
+    return std::min(std::min(l[0], l[1]), std::min(l[2], l[3]));
+}
+
+// ---------------------------------------------------------------------
+// Scalar flavor: rolling loops, lane index i & 3. The reference.
+// ---------------------------------------------------------------------
+namespace scalar {
+
+void copy(const double* sr, const double* si, double* dr, double* di,
+          std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+        dr[k] = sr[k];
+        di[k] = si[k];
+    }
+}
+
+void accumulate(const double* rr, const double* ri, double* dr, double* di,
+                std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+        dr[k] += rr[k];
+        di[k] += ri[k];
+    }
+}
+
+template <typename Value>
+double reduce_sum(std::size_t n, Value value) {
+    double lanes[kLanes] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) lanes[i & 3] += value(i);
+    return combine_sum(lanes);
+}
+
+template <typename Value>
+double reduce_min(std::size_t n, Value value) {
+    double lanes[kLanes];
+    std::fill_n(lanes, kLanes, std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n; ++i)
+        lanes[i & 3] = std::min(lanes[i & 3], value(i));
+    return combine_min(lanes);
+}
+
+void ltf_mean_var(const double* raw_re, const double* raw_im,
+                  std::size_t repeats, std::size_t n, double* mean_re,
+                  double* mean_im, double* noise_var) {
+    const double count = static_cast<double>(repeats);
+    for (std::size_t k = 0; k < n; ++k) {
+        mean_re[k] = 0.0;
+        mean_im[k] = 0.0;
+        noise_var[k] = 0.0;
+    }
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double* rr = raw_re + r * n;
+        const double* ri = raw_im + r * n;
+        for (std::size_t k = 0; k < n; ++k) {
+            mean_re[k] += rr[k] / count;
+            mean_im[k] += ri[k] / count;
+        }
+    }
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double* rr = raw_re + r * n;
+        const double* ri = raw_im + r * n;
+        for (std::size_t k = 0; k < n; ++k) {
+            const double dre = rr[k] - mean_re[k];
+            const double dim = ri[k] - mean_im[k];
+            noise_var[k] += (dre * dre + dim * dim) / (count - 1.0);
+        }
+    }
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------
+// Native flavor: the same arithmetic over __restrict__ spans in blocks
+// of kLanes so the auto-vectorizer maps lanes onto SIMD registers. The
+// block tail feeds lane (i & 3) — the association the scalar flavor's
+// rolling lane index produces — so the two flavors combine identically.
+// ---------------------------------------------------------------------
+namespace native {
+
+void copy(const double* __restrict__ sr, const double* __restrict__ si,
+          double* __restrict__ dr, double* __restrict__ di, std::size_t n) {
+#pragma GCC ivdep
+    for (std::size_t k = 0; k < n; ++k) {
+        dr[k] = sr[k];
+        di[k] = si[k];
+    }
+}
+
+void accumulate(const double* __restrict__ rr,
+                const double* __restrict__ ri, double* __restrict__ dr,
+                double* __restrict__ di, std::size_t n) {
+#pragma GCC ivdep
+    for (std::size_t k = 0; k < n; ++k) {
+        dr[k] += rr[k];
+        di[k] += ri[k];
+    }
+}
+
+template <typename Value>
+double reduce_sum(std::size_t n, Value value) {
+    double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += kLanes) {
+        l0 += value(i);
+        l1 += value(i + 1);
+        l2 += value(i + 2);
+        l3 += value(i + 3);
+    }
+    if (n4 + 0 < n) l0 += value(n4 + 0);
+    if (n4 + 1 < n) l1 += value(n4 + 1);
+    if (n4 + 2 < n) l2 += value(n4 + 2);
+    const double lanes[kLanes] = {l0, l1, l2, l3};
+    return combine_sum(lanes);
+}
+
+template <typename Value>
+double reduce_min(std::size_t n, Value value) {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    double l0 = inf, l1 = inf, l2 = inf, l3 = inf;
+    const std::size_t n4 = n & ~std::size_t{3};
+    for (std::size_t i = 0; i < n4; i += kLanes) {
+        l0 = std::min(l0, value(i));
+        l1 = std::min(l1, value(i + 1));
+        l2 = std::min(l2, value(i + 2));
+        l3 = std::min(l3, value(i + 3));
+    }
+    if (n4 + 0 < n) l0 = std::min(l0, value(n4 + 0));
+    if (n4 + 1 < n) l1 = std::min(l1, value(n4 + 1));
+    if (n4 + 2 < n) l2 = std::min(l2, value(n4 + 2));
+    const double lanes[kLanes] = {l0, l1, l2, l3};
+    return combine_min(lanes);
+}
+
+void ltf_mean_var(const double* __restrict__ raw_re,
+                  const double* __restrict__ raw_im, std::size_t repeats,
+                  std::size_t n, double* __restrict__ mean_re,
+                  double* __restrict__ mean_im,
+                  double* __restrict__ noise_var) {
+    const double count = static_cast<double>(repeats);
+#pragma GCC ivdep
+    for (std::size_t k = 0; k < n; ++k) {
+        mean_re[k] = 0.0;
+        mean_im[k] = 0.0;
+        noise_var[k] = 0.0;
+    }
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double* __restrict__ rr = raw_re + r * n;
+        const double* __restrict__ ri = raw_im + r * n;
+#pragma GCC ivdep
+        for (std::size_t k = 0; k < n; ++k) {
+            mean_re[k] += rr[k] / count;
+            mean_im[k] += ri[k] / count;
+        }
+    }
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double* __restrict__ rr = raw_re + r * n;
+        const double* __restrict__ ri = raw_im + r * n;
+#pragma GCC ivdep
+        for (std::size_t k = 0; k < n; ++k) {
+            const double dre = rr[k] - mean_re[k];
+            const double dim = ri[k] - mean_im[k];
+            noise_var[k] += (dre * dre + dim * dim) / (count - 1.0);
+        }
+    }
+}
+
+}  // namespace native
+
+std::atomic<Dispatch>& active_slot() {
+    // Resolved once from the environment on first use; set_dispatch()
+    // overrides it afterwards (tests, in-process A/B comparisons).
+    static std::atomic<Dispatch> slot{obs::env_kernel_dispatch() == "scalar"
+                                          ? Dispatch::kScalar
+                                          : Dispatch::kNative};
+    return slot;
+}
+
+}  // namespace
+
+Dispatch active() {
+    return active_slot().load(std::memory_order_relaxed);
+}
+
+void set_dispatch(Dispatch d) {
+    active_slot().store(d, std::memory_order_relaxed);
+}
+
+const char* dispatch_name(Dispatch d) {
+    return d == Dispatch::kScalar ? "scalar" : "native";
+}
+
+void copy(Dispatch d, const double* src_re, const double* src_im,
+          double* dst_re, double* dst_im, std::size_t n) {
+    if (d == Dispatch::kScalar)
+        scalar::copy(src_re, src_im, dst_re, dst_im, n);
+    else
+        native::copy(src_re, src_im, dst_re, dst_im, n);
+}
+
+void accumulate(Dispatch d, const double* row_re, const double* row_im,
+                double* dst_re, double* dst_im, std::size_t n) {
+    if (d == Dispatch::kScalar)
+        scalar::accumulate(row_re, row_im, dst_re, dst_im, n);
+    else
+        native::accumulate(row_re, row_im, dst_re, dst_im, n);
+}
+
+void gather_accumulate(Dispatch d, const double* table_re,
+                       const double* table_im, const std::size_t* rows,
+                       std::size_t num_rows, double* dst_re, double* dst_im,
+                       std::size_t n) {
+    for (std::size_t r = 0; r < num_rows; ++r)
+        accumulate(d, table_re + rows[r] * n, table_im + rows[r] * n,
+                   dst_re, dst_im, n);
+}
+
+void interleave(const double* re, const double* im,
+                std::complex<double>* out, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = std::complex<double>{re[k], im[k]};
+}
+
+void deinterleave(const std::complex<double>* in, double* re, double* im,
+                  std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+        re[k] = in[k].real();
+        im[k] = in[k].imag();
+    }
+}
+
+double min(Dispatch d, const double* x, std::size_t n) {
+    PRESS_EXPECTS(n > 0, "min of an empty span");
+    const auto value = [x](std::size_t i) { return x[i]; };
+    return d == Dispatch::kScalar ? scalar::reduce_min(n, value)
+                                  : native::reduce_min(n, value);
+}
+
+double mean(Dispatch d, const double* x, std::size_t n) {
+    PRESS_EXPECTS(n > 0, "mean of an empty span");
+    const auto value = [x](std::size_t i) { return x[i]; };
+    const double sum = d == Dispatch::kScalar
+                           ? scalar::reduce_sum(n, value)
+                           : native::reduce_sum(n, value);
+    return sum / static_cast<double>(n);
+}
+
+double abs2_min(Dispatch d, const double* re, const double* im,
+                std::size_t n) {
+    PRESS_EXPECTS(n > 0, "min of an empty span");
+    const auto value = [re, im](std::size_t i) {
+        return abs2_value(re[i], im[i]);
+    };
+    return d == Dispatch::kScalar ? scalar::reduce_min(n, value)
+                                  : native::reduce_min(n, value);
+}
+
+double abs2_mean(Dispatch d, const double* re, const double* im,
+                 std::size_t n) {
+    PRESS_EXPECTS(n > 0, "mean of an empty span");
+    const auto value = [re, im](std::size_t i) {
+        return abs2_value(re[i], im[i]);
+    };
+    const double sum = d == Dispatch::kScalar
+                           ? scalar::reduce_sum(n, value)
+                           : native::reduce_sum(n, value);
+    return sum / static_cast<double>(n);
+}
+
+void ltf_mean_var(Dispatch d, const double* raw_re, const double* raw_im,
+                  std::size_t repeats, std::size_t n, double* mean_re,
+                  double* mean_im, double* noise_var) {
+    PRESS_EXPECTS(repeats >= 2,
+                  "noise estimation needs at least two repetitions");
+    if (d == Dispatch::kScalar)
+        scalar::ltf_mean_var(raw_re, raw_im, repeats, n, mean_re, mean_im,
+                             noise_var);
+    else
+        native::ltf_mean_var(raw_re, raw_im, repeats, n, mean_re, mean_im,
+                             noise_var);
+}
+
+void snr_db_into(Dispatch d, const double* mean_re, const double* mean_im,
+                 const double* noise_var, std::size_t n, double cap_db,
+                 double floor_db, double* out) {
+    PRESS_EXPECTS(floor_db < cap_db, "floor must sit below the cap");
+    // Element-wise: the flavor distinction is vacuous, one loop serves.
+    (void)d;
+    for (std::size_t k = 0; k < n; ++k)
+        out[k] = snr_db_value(mean_re[k], mean_im[k], noise_var[k], cap_db,
+                              floor_db);
+}
+
+double snr_db_min(Dispatch d, const double* mean_re, const double* mean_im,
+                  const double* noise_var, std::size_t n, double cap_db,
+                  double floor_db) {
+    PRESS_EXPECTS(n > 0, "min of an empty span");
+    PRESS_EXPECTS(floor_db < cap_db, "floor must sit below the cap");
+    const auto value = [=](std::size_t i) {
+        return snr_db_value(mean_re[i], mean_im[i], noise_var[i], cap_db,
+                            floor_db);
+    };
+    return d == Dispatch::kScalar ? scalar::reduce_min(n, value)
+                                  : native::reduce_min(n, value);
+}
+
+double snr_db_mean(Dispatch d, const double* mean_re,
+                   const double* mean_im, const double* noise_var,
+                   std::size_t n, double cap_db, double floor_db) {
+    PRESS_EXPECTS(n > 0, "mean of an empty span");
+    PRESS_EXPECTS(floor_db < cap_db, "floor must sit below the cap");
+    const auto value = [=](std::size_t i) {
+        return snr_db_value(mean_re[i], mean_im[i], noise_var[i], cap_db,
+                            floor_db);
+    };
+    const double sum = d == Dispatch::kScalar
+                           ? scalar::reduce_sum(n, value)
+                           : native::reduce_sum(n, value);
+    return sum / static_cast<double>(n);
+}
+
+}  // namespace press::util::kernels

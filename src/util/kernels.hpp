@@ -1,0 +1,141 @@
+// Split-complex SoA kernels: the scoring pipeline's innermost loops.
+//
+// The factored channel cache turned candidate evaluation into a row-gather
+// plus complex accumulation (src/core/link_cache.hpp); at smart-space
+// scale that loop *is* the controller, so it has to vectorize. AoS
+// std::complex<double> defeats that — the re/im interleave forces shuffle
+// traffic — so the hot path stores split-complex structure-of-arrays
+// (SplitVec: one contiguous double array per component) and runs these
+// kernels over raw spans.
+//
+// Two dispatch flavors exist, selected once per process from the
+// PRESS_KERNEL environment variable (obs::env_kernel_dispatch() owns the
+// parse so the run manifest and the dispatcher can never disagree):
+//
+//   - kScalar: plain rolling loops, no vectorization hints. The reference
+//     implementation.
+//   - kNative (default): the same arithmetic written over __restrict__
+//     spans in blocks the compiler's auto-vectorizer maps onto whatever
+//     SIMD width the target has.
+//
+// The two are required to be BIT-IDENTICAL, not merely close — the CI
+// matrix diffs full telemetry counter sets between PRESS_KERNEL=scalar
+// and =native runs at zero tolerance. That only holds if no kernel's
+// result depends on association order the two flavors could disagree on,
+// which pins down two contracts:
+//
+//   1. Deterministic blocked reduction. Every reduction (min / mean /
+//      abs2 sums) runs kLanes = 4 independent accumulators, lane j
+//      folding elements j, j+4, j+8, ... (the layout a 4-wide vector
+//      loop produces), combined at the end as
+//          (lane0 ⊕ lane1) ⊕ (lane2 ⊕ lane3)
+//      in both flavors. The width is fixed at 4 regardless of the
+//      hardware width so results never depend on the build machine.
+//   2. No FMA contraction. The build compiles with -ffp-contract=off
+//      (top-level CMakeLists) so re*re + im*im is the same mul/mul/add
+//      sequence in both flavors and under -march=native.
+//
+// Element-wise kernels (copy / accumulate / gather) have no reduction
+// order at all, so they are bit-identical by construction.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace press::util::kernels {
+
+/// Kernel flavor. kScalar is the reference; kNative the auto-vectorized
+/// path. Both produce bit-identical results (see file comment).
+enum class Dispatch { kScalar, kNative };
+
+/// The process-wide flavor: resolved once from PRESS_KERNEL via
+/// obs::env_kernel_dispatch() ("scalar" selects kScalar, anything else —
+/// including unset — kNative), overridable afterwards for tests.
+Dispatch active();
+void set_dispatch(Dispatch d);
+const char* dispatch_name(Dispatch d);
+
+/// Fixed lane count of the blocked-reduction contract.
+inline constexpr std::size_t kLanes = 4;
+
+/// Split-complex vector: re[i] + j*im[i]. The two components are separate
+/// contiguous arrays so element-wise kernels vectorize without shuffles.
+/// resize() keeps capacity, so a reused scratch never re-allocates once
+/// grown to its steady-state size.
+struct SplitVec {
+    std::vector<double> re;
+    std::vector<double> im;
+
+    std::size_t size() const { return re.size(); }
+    void resize(std::size_t n) {
+        re.resize(n);
+        im.resize(n);
+    }
+    void assign_zero(std::size_t n) {
+        re.assign(n, 0.0);
+        im.assign(n, 0.0);
+    }
+};
+
+/// dst = src (both components), n elements.
+void copy(Dispatch d, const double* src_re, const double* src_im,
+          double* dst_re, double* dst_im, std::size_t n);
+
+/// dst += row (both components), n elements.
+void accumulate(Dispatch d, const double* row_re, const double* row_im,
+                double* dst_re, double* dst_im, std::size_t n);
+
+/// dst += sum of `num_rows` table rows: row r spans
+/// table_re/_im[rows[r]*n .. rows[r]*n + n). Rows are added in index
+/// order, so the result is bit-identical to calling accumulate() per row.
+void gather_accumulate(Dispatch d, const double* table_re,
+                       const double* table_im, const std::size_t* rows,
+                       std::size_t num_rows, double* dst_re, double* dst_im,
+                       std::size_t n);
+
+/// SplitVec -> std::complex interleave and back (bridges to the AoS APIs
+/// that remain on cold paths).
+void interleave(const double* re, const double* im,
+                std::complex<double>* out, std::size_t n);
+void deinterleave(const std::complex<double>* in, double* re, double* im,
+                  std::size_t n);
+
+/// Blocked reductions over a real span (see the file comment for the
+/// association contract). Empty spans are a precondition violation.
+double min(Dispatch d, const double* x, std::size_t n);
+double mean(Dispatch d, const double* x, std::size_t n);
+
+/// Blocked min / mean of the squared magnitudes re[i]^2 + im[i]^2.
+double abs2_min(Dispatch d, const double* re, const double* im,
+                std::size_t n);
+double abs2_mean(Dispatch d, const double* re, const double* im,
+                 std::size_t n);
+
+/// LTF repetition combining over a split [repeats x n] row-major block:
+/// mean_re/_im[k] accumulate raw[r][k] / repeats in ascending r, then
+/// noise_var[k] accumulates |raw[r][k] - mean[k]|^2 / (repeats - 1) —
+/// exactly phy::combine_ltf_estimates' arithmetic, so the two agree
+/// bitwise on the same raw estimates. repeats >= 2 required.
+void ltf_mean_var(Dispatch d, const double* raw_re, const double* raw_im,
+                  std::size_t repeats, std::size_t n, double* mean_re,
+                  double* mean_im, double* noise_var);
+
+/// Per-subcarrier estimated SNR in dB with the same clamping as
+/// phy::ChannelEstimate::snr_db: sig = |mean[k]|^2; non-positive noise or
+/// signal short-circuits to cap/floor, else clamp(10*log10(sig/var)).
+void snr_db_into(Dispatch d, const double* mean_re, const double* mean_im,
+                 const double* noise_var, std::size_t n, double cap_db,
+                 double floor_db, double* out);
+
+/// Fused log-SNR reductions: the blocked min / mean of the values
+/// snr_db_into would produce, without materializing them. Bit-identical
+/// to snr_db_into + min/mean over the stored span.
+double snr_db_min(Dispatch d, const double* mean_re, const double* mean_im,
+                  const double* noise_var, std::size_t n, double cap_db,
+                  double floor_db);
+double snr_db_mean(Dispatch d, const double* mean_re,
+                   const double* mean_im, const double* noise_var,
+                   std::size_t n, double cap_db, double floor_db);
+
+}  // namespace press::util::kernels

@@ -24,7 +24,8 @@ namespace {
 /// A deterministic-but-nontrivial score: mixes the configuration with two
 /// draws from the candidate's private stream (so any cross-candidate rng
 /// sharing would show up as thread-count dependence).
-double noisy_score(const surface::Config& c, util::Rng& rng) {
+double noisy_score(const surface::Config& c, util::Rng& rng,
+                   EvalScratch& /*scratch*/) {
     double s = rng.uniform(0.0, 1.0);
     for (std::size_t e = 0; e < c.size(); ++e)
         s += static_cast<double>(c[e]) * static_cast<double>(e + 1) +
@@ -95,7 +96,7 @@ TEST(BatchEvaluator, ResolvesThreadCountFromEnvironment) {
 
 TEST(BatchEvaluator, RethrowsWorkerExceptions) {
     BatchEvaluator pool(
-        [](const surface::Config& c, util::Rng&) -> double {
+        [](const surface::Config& c, util::Rng&, EvalScratch&) -> double {
             if (c[0] == 2) throw std::runtime_error("bad candidate");
             return 1.0;
         },
@@ -104,6 +105,75 @@ TEST(BatchEvaluator, RethrowsWorkerExceptions) {
     // The pool must survive a throwing batch and keep serving.
     const std::vector<double> ok = pool.evaluate({{0, 0, 0}, {1, 1, 1}});
     EXPECT_EQ(ok, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(BatchEvaluator, CoordinateSweepSharesTheGlobalRngStream) {
+    // Scoring a coordinate sweep through evaluate_coordinate must consume
+    // exactly the per-candidate streams that scoring the expanded
+    // configurations through evaluate would — mixing entry points may not
+    // fork the rng sequence.
+    const CoordinateScoreFn cscore =
+        [](const CoordinateBatch& cb, std::size_t i, util::Rng& rng,
+           EvalScratch& s) {
+            surface::Config c = *cb.base;
+            c[cb.element] = (*cb.states)[i];
+            return noisy_score(c, rng, s);
+        };
+    const surface::Config base{1, 2, 3};
+    const std::vector<int> states{0, 1, 2, 3};
+
+    BatchEvaluator expanded(noisy_score, 42, 2);
+    std::vector<surface::Config> configs;
+    for (const int st : states) {
+        configs.push_back(base);
+        configs.back()[1] = st;
+    }
+    expanded.evaluate(some_batch(3));  // offset the global index
+    const std::vector<double> want = expanded.evaluate(configs);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        BatchEvaluator pool(noisy_score, 42, threads);
+        pool.set_coordinate_score(cscore);
+        pool.evaluate(some_batch(3));
+        const std::vector<double> got =
+            pool.evaluate_coordinate({&base, 1, &states});
+        EXPECT_EQ(got, want) << threads << " threads";
+        EXPECT_EQ(pool.evaluated(), 7u);
+    }
+}
+
+TEST(BatchEvaluator, ArenaGrowthIsBoundedByWorkersNotBatches) {
+    // With a fixed working-set size, each worker's arena grows at most
+    // once per buffer (when that worker scores its first candidate), so
+    // total growth is bounded by workers x buffers no matter how many
+    // batches run — the zero-allocation steady-state contract.
+    constexpr std::size_t kThreads = 4;
+    BatchEvaluator pool(
+        [](const surface::Config& c, util::Rng&, EvalScratch& s) {
+            s.resize_tracked(s.snr_db, 64);
+            s.resize_tracked(s.h, 64);  // grows s.h.re and s.h.im
+            return static_cast<double>(c[0]);
+        },
+        3, kThreads);
+    for (int round = 0; round < 8; ++round) pool.evaluate(some_batch(16));
+    const BatchEvaluator::ArenaStats stats = pool.arena_stats();
+    EXPECT_GT(stats.grow_events, 0u);
+    EXPECT_LE(stats.grow_events, kThreads * 3u);
+    EXPECT_LE(stats.bytes_reserved, kThreads * 3u * 64 * sizeof(double));
+}
+
+TEST(BatchEvaluator, DeltaToggleParsesTheEnvironment) {
+    ::unsetenv("PRESS_DELTA");
+    EXPECT_TRUE(coordinate_delta_enabled());
+    ::setenv("PRESS_DELTA", "0", 1);
+    EXPECT_FALSE(coordinate_delta_enabled());
+    ::setenv("PRESS_DELTA", "OFF", 1);
+    EXPECT_FALSE(coordinate_delta_enabled());
+    ::setenv("PRESS_DELTA", "false", 1);
+    EXPECT_FALSE(coordinate_delta_enabled());
+    ::setenv("PRESS_DELTA", "1", 1);
+    EXPECT_TRUE(coordinate_delta_enabled());
+    ::unsetenv("PRESS_DELTA");
 }
 
 // ----------------------------------------------------- batched searchers
@@ -226,6 +296,75 @@ TEST(OptimizeFast, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(one.search.trajectory, two.search.trajectory);
     EXPECT_EQ(one.search.trajectory, eight.search.trajectory);
     EXPECT_EQ(one.elapsed_s, two.elapsed_s);
+}
+
+TEST(OptimizeFast, DeltaPathMatchesRecomputeBitExactly) {
+    // The incremental coordinate-delta path (base response cached per
+    // coordinate) and the recompute-per-candidate path must produce
+    // identical SearchResults — same bits, any thread count. Both add the
+    // swept element's row last, so this is an equality, not a tolerance.
+    const auto run = [](const char* delta, std::size_t threads,
+                        bool mean_objective) {
+        ::setenv("PRESS_DELTA", delta, 1);
+        core::LinkScenario scenario = core::make_link_scenario(21, false);
+        util::Rng rng(6);
+        OptimizationOutcome o;
+        if (mean_objective)
+            o = scenario.system.optimize_fast(
+                scenario.array_id, MeanSnrObjective(0),
+                GreedyCoordinateDescent(), ControlPlaneModel::fast(), 0.25,
+                rng, threads);
+        else
+            o = scenario.system.optimize_fast(
+                scenario.array_id, MinSnrObjective(0),
+                GreedyCoordinateDescent(), ControlPlaneModel::fast(), 0.25,
+                rng, threads);
+        ::unsetenv("PRESS_DELTA");
+        return o.search;
+    };
+    for (const bool mean_objective : {false, true}) {
+        const SearchResult on = run("1", 1, mean_objective);
+        for (const std::size_t threads : {1u, 3u, 8u}) {
+            const SearchResult off = run("0", threads, mean_objective);
+            EXPECT_EQ(on.best_config, off.best_config);
+            EXPECT_EQ(on.best_score, off.best_score);
+            EXPECT_EQ(on.best_score_remeasured, off.best_score_remeasured);
+            EXPECT_EQ(on.trajectory, off.trajectory);
+            const SearchResult on_t = run("1", threads, mean_objective);
+            EXPECT_EQ(on.trajectory, on_t.trajectory);
+            EXPECT_EQ(on.best_score_remeasured,
+                      on_t.best_score_remeasured);
+        }
+    }
+}
+
+TEST(OptimizeFast, FusedAndGeneralObjectivesAgreeOnMinSnr) {
+    // MinSnrObjective takes the fused path (no Observation); an objective
+    // with the same score function but no fused_spec() takes the general
+    // path. Min is association-insensitive, and both paths draw one
+    // link's noise from the same candidate stream, so the two searches
+    // must match bit-for-bit on a single-link scenario.
+    class UnfusedMinSnr : public Objective {
+    public:
+        double score(const Observation& obs) const override {
+            return MinSnrObjective(0).score(obs);
+        }
+        std::string name() const override { return "unfused-min-snr"; }
+    };
+    const auto run = [](const Objective& objective) {
+        core::LinkScenario scenario = core::make_link_scenario(17, false);
+        util::Rng rng(4);
+        return scenario.system
+            .optimize_fast(scenario.array_id, objective,
+                           GreedyCoordinateDescent(),
+                           ControlPlaneModel::fast(), 0.2, rng, 2)
+            .search;
+    };
+    const SearchResult fused = run(MinSnrObjective(0));
+    const SearchResult general = run(UnfusedMinSnr());
+    EXPECT_EQ(fused.best_config, general.best_config);
+    EXPECT_EQ(fused.best_score, general.best_score);
+    EXPECT_EQ(fused.trajectory, general.trajectory);
 }
 
 TEST(OptimizeFast, LeavesTheBestConfigurationApplied) {

@@ -1,0 +1,246 @@
+// Bit-identity property tests for the split-complex kernel layer: the
+// scalar and native dispatch flavors must agree to the last bit on every
+// kernel, across randomized sizes (including every tail shape of the
+// 4-lane blocked reduction) and unaligned span offsets; and the fused
+// sounding kernels must reproduce the phy reference arithmetic
+// (combine_ltf_estimates, ChannelEstimate::snr_db) bitwise.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "phy/chanest.hpp"
+#include "util/cvec.hpp"
+#include "util/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace press::util::kernels {
+namespace {
+
+constexpr Dispatch kBoth[] = {Dispatch::kScalar, Dispatch::kNative};
+
+/// Sizes covering each blocked-reduction tail (n mod 4 in {0,1,2,3}),
+/// the degenerate n=1..4, and a few realistic subcarrier counts.
+const std::size_t kSizes[] = {1, 2, 3, 4, 5, 7, 8, 52, 63, 64, 117, 128};
+
+std::vector<double> random_span(std::size_t n, Rng& rng, double lo = -2.0,
+                                double hi = 2.0) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform(lo, hi);
+    return v;
+}
+
+TEST(Kernels, DispatchFlavorsAgreeBitwiseOnElementwiseOps) {
+    Rng rng(101);
+    for (const std::size_t n : kSizes) {
+        // Offset the spans so the native flavor also runs unaligned.
+        for (const std::size_t offset : {0u, 1u, 3u}) {
+            const std::vector<double> re = random_span(n + offset, rng);
+            const std::vector<double> im = random_span(n + offset, rng);
+            const std::vector<double> row_re =
+                random_span(n + offset, rng);
+            const std::vector<double> row_im =
+                random_span(n + offset, rng);
+
+            std::vector<double> dst_re[2], dst_im[2];
+            for (int f = 0; f < 2; ++f) {
+                dst_re[f].assign(n, 0.0);
+                dst_im[f].assign(n, 0.0);
+                copy(kBoth[f], re.data() + offset, im.data() + offset,
+                     dst_re[f].data(), dst_im[f].data(), n);
+                accumulate(kBoth[f], row_re.data() + offset,
+                           row_im.data() + offset, dst_re[f].data(),
+                           dst_im[f].data(), n);
+            }
+            EXPECT_EQ(dst_re[0], dst_re[1]) << "n=" << n;
+            EXPECT_EQ(dst_im[0], dst_im[1]) << "n=" << n;
+        }
+    }
+}
+
+TEST(Kernels, DispatchFlavorsAgreeBitwiseOnReductions) {
+    Rng rng(202);
+    for (const std::size_t n : kSizes) {
+        for (int round = 0; round < 4; ++round) {
+            const std::vector<double> x = random_span(n, rng);
+            const std::vector<double> re = random_span(n, rng);
+            const std::vector<double> im = random_span(n, rng);
+            const std::vector<double> var =
+                random_span(n, rng, 1e-6, 1.0);
+            EXPECT_EQ(min(Dispatch::kScalar, x.data(), n),
+                      min(Dispatch::kNative, x.data(), n));
+            EXPECT_EQ(mean(Dispatch::kScalar, x.data(), n),
+                      mean(Dispatch::kNative, x.data(), n));
+            EXPECT_EQ(abs2_min(Dispatch::kScalar, re.data(), im.data(), n),
+                      abs2_min(Dispatch::kNative, re.data(), im.data(), n));
+            EXPECT_EQ(
+                abs2_mean(Dispatch::kScalar, re.data(), im.data(), n),
+                abs2_mean(Dispatch::kNative, re.data(), im.data(), n));
+            EXPECT_EQ(snr_db_min(Dispatch::kScalar, re.data(), im.data(),
+                                 var.data(), n, 60.0, 0.0),
+                      snr_db_min(Dispatch::kNative, re.data(), im.data(),
+                                 var.data(), n, 60.0, 0.0));
+            EXPECT_EQ(snr_db_mean(Dispatch::kScalar, re.data(), im.data(),
+                                  var.data(), n, 60.0, 0.0),
+                      snr_db_mean(Dispatch::kNative, re.data(), im.data(),
+                                  var.data(), n, 60.0, 0.0));
+        }
+    }
+}
+
+TEST(Kernels, DispatchFlavorsAgreeBitwiseOnLtfCombining) {
+    Rng rng(303);
+    for (const std::size_t n : kSizes) {
+        for (const std::size_t repeats : {2u, 3u, 4u, 7u}) {
+            const std::vector<double> raw_re =
+                random_span(repeats * n, rng);
+            const std::vector<double> raw_im =
+                random_span(repeats * n, rng);
+            std::vector<double> mean_re[2], mean_im[2], noise_var[2];
+            for (int f = 0; f < 2; ++f) {
+                mean_re[f].assign(n, -1.0);
+                mean_im[f].assign(n, -1.0);
+                noise_var[f].assign(n, -1.0);
+                ltf_mean_var(kBoth[f], raw_re.data(), raw_im.data(),
+                             repeats, n, mean_re[f].data(),
+                             mean_im[f].data(), noise_var[f].data());
+            }
+            EXPECT_EQ(mean_re[0], mean_re[1]) << "n=" << n;
+            EXPECT_EQ(mean_im[0], mean_im[1]) << "n=" << n;
+            EXPECT_EQ(noise_var[0], noise_var[1]) << "n=" << n;
+        }
+    }
+}
+
+TEST(Kernels, GatherAccumulateEqualsRowByRowAccumulate) {
+    Rng rng(404);
+    const std::size_t n = 52;
+    const std::size_t table_rows = 12;
+    const std::vector<double> table_re = random_span(table_rows * n, rng);
+    const std::vector<double> table_im = random_span(table_rows * n, rng);
+    const std::vector<std::size_t> rows = {3, 0, 7, 7, 11, 2};
+    for (const Dispatch d : kBoth) {
+        std::vector<double> a_re(n, 0.5), a_im(n, -0.5);
+        std::vector<double> b_re(n, 0.5), b_im(n, -0.5);
+        gather_accumulate(d, table_re.data(), table_im.data(), rows.data(),
+                          rows.size(), a_re.data(), a_im.data(), n);
+        for (const std::size_t r : rows)
+            accumulate(d, table_re.data() + r * n, table_im.data() + r * n,
+                       b_re.data(), b_im.data(), n);
+        EXPECT_EQ(a_re, b_re);
+        EXPECT_EQ(a_im, b_im);
+    }
+}
+
+TEST(Kernels, LtfCombiningMatchesPhyReferenceBitwise) {
+    Rng rng(505);
+    for (const std::size_t n : {1u, 5u, 52u}) {
+        for (const std::size_t repeats : {2u, 4u}) {
+            // Build the same raw estimates in both layouts.
+            std::vector<util::CVec> raw_aos(repeats, util::CVec(n));
+            std::vector<double> raw_re(repeats * n), raw_im(repeats * n);
+            for (std::size_t r = 0; r < repeats; ++r)
+                for (std::size_t k = 0; k < n; ++k) {
+                    const std::complex<double> z = rng.complex_gaussian();
+                    raw_aos[r][k] = z;
+                    raw_re[r * n + k] = z.real();
+                    raw_im[r * n + k] = z.imag();
+                }
+            const phy::ChannelEstimate ref =
+                phy::combine_ltf_estimates(raw_aos);
+            for (const Dispatch d : kBoth) {
+                std::vector<double> mean_re(n), mean_im(n), noise_var(n);
+                ltf_mean_var(d, raw_re.data(), raw_im.data(), repeats, n,
+                             mean_re.data(), mean_im.data(),
+                             noise_var.data());
+                for (std::size_t k = 0; k < n; ++k) {
+                    EXPECT_EQ(mean_re[k], ref.h[k].real());
+                    EXPECT_EQ(mean_im[k], ref.h[k].imag());
+                    EXPECT_EQ(noise_var[k], ref.noise_var[k]);
+                }
+                // And the SNR span (plus its fused reductions) matches
+                // the reference estimate's.
+                const std::vector<double> want =
+                    ref.snr_db(phy::kSnrCapDb, phy::kSnrFloorDb);
+                std::vector<double> got(n);
+                snr_db_into(d, mean_re.data(), mean_im.data(),
+                            noise_var.data(), n, phy::kSnrCapDb,
+                            phy::kSnrFloorDb, got.data());
+                EXPECT_EQ(got, want);
+                EXPECT_EQ(snr_db_min(d, mean_re.data(), mean_im.data(),
+                                     noise_var.data(), n, phy::kSnrCapDb,
+                                     phy::kSnrFloorDb),
+                          min(d, want.data(), n));
+                EXPECT_EQ(snr_db_mean(d, mean_re.data(), mean_im.data(),
+                                      noise_var.data(), n, phy::kSnrCapDb,
+                                      phy::kSnrFloorDb),
+                          mean(d, want.data(), n));
+            }
+        }
+    }
+}
+
+TEST(Kernels, SnrClampingMatchesPhyEdgeCases) {
+    // Degenerate subcarriers: zero signal floors, zero/negative noise
+    // variance caps (unless the signal is also zero) — exactly
+    // ChannelEstimate::snr_db's rules.
+    const std::vector<double> re = {0.0, 1.0, 1.0, 1e-12, 0.0};
+    const std::vector<double> im = {0.0, 0.0, 1.0, 0.0, 0.0};
+    const std::vector<double> var = {1.0, 0.0, -1.0, 1.0, 0.0};
+    phy::ChannelEstimate ref;
+    for (std::size_t k = 0; k < re.size(); ++k) {
+        ref.h.push_back({re[k], im[k]});
+        ref.noise_var.push_back(var[k]);
+    }
+    const std::vector<double> want = ref.snr_db();
+    for (const Dispatch d : kBoth) {
+        std::vector<double> got(re.size());
+        snr_db_into(d, re.data(), im.data(), var.data(), re.size(),
+                    phy::kSnrCapDb, phy::kSnrFloorDb, got.data());
+        EXPECT_EQ(got, want);
+        EXPECT_EQ(snr_db_min(d, re.data(), im.data(), var.data(),
+                             re.size(), phy::kSnrCapDb, phy::kSnrFloorDb),
+                  min(d, want.data(), want.size()));
+    }
+}
+
+TEST(Kernels, MinMatchesSequentialSemantics) {
+    // The blocked min must still BE the minimum (association only ever
+    // changes comparison order, never the winner).
+    Rng rng(606);
+    for (const std::size_t n : kSizes) {
+        const std::vector<double> x = random_span(n, rng);
+        double seq = x[0];
+        for (const double v : x) seq = std::min(seq, v);
+        for (const Dispatch d : kBoth)
+            EXPECT_EQ(min(d, x.data(), n), seq);
+    }
+}
+
+TEST(Kernels, InterleaveRoundTrips) {
+    Rng rng(707);
+    const std::size_t n = 52;
+    const std::vector<double> re = random_span(n, rng);
+    const std::vector<double> im = random_span(n, rng);
+    util::CVec aos(n);
+    interleave(re.data(), im.data(), aos.data(), n);
+    std::vector<double> re2(n), im2(n);
+    deinterleave(aos.data(), re2.data(), im2.data(), n);
+    EXPECT_EQ(re, re2);
+    EXPECT_EQ(im, im2);
+}
+
+TEST(Kernels, DispatchOverrideAndNames) {
+    const Dispatch before = active();
+    set_dispatch(Dispatch::kScalar);
+    EXPECT_EQ(active(), Dispatch::kScalar);
+    set_dispatch(Dispatch::kNative);
+    EXPECT_EQ(active(), Dispatch::kNative);
+    set_dispatch(before);
+    EXPECT_STREQ(dispatch_name(Dispatch::kScalar), "scalar");
+    EXPECT_STREQ(dispatch_name(Dispatch::kNative), "native");
+}
+
+}  // namespace
+}  // namespace press::util::kernels

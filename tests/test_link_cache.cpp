@@ -14,6 +14,7 @@
 #include "em/channel.hpp"
 #include "fault/fault.hpp"
 #include "util/contracts.hpp"
+#include "util/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace press::core {
@@ -171,6 +172,122 @@ TEST(LinkCache, ExplicitInvalidateForcesRebuild) {
     scenario.system.invalidate_cache();
     (void)scenario.system.channel_response(scenario.link_id);
     EXPECT_EQ(scenario.system.cache_stats().misses, 2u);
+}
+
+TEST(LinkCache, MoveZeroesTheSourceCounters) {
+    // Regression: the move operations used to read the source's atomics
+    // without clearing them, so a moved-from cache that was reused
+    // double-reported the transferred hits/misses in telemetry.
+    LinkCache cache;
+    cache.note_batch_hits(5);
+    cache.invalidate();
+    LinkCache moved(std::move(cache));
+    EXPECT_EQ(moved.stats().hits, 5u);
+    EXPECT_EQ(moved.stats().invalidations, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+    EXPECT_EQ(cache.stats().invalidations, 0u);
+
+    LinkCache assigned;
+    assigned.note_batch_hits(2);  // overwritten by the assignment
+    assigned = std::move(moved);
+    EXPECT_EQ(assigned.stats().hits, 5u);
+    EXPECT_EQ(assigned.stats().invalidations, 1u);
+    EXPECT_EQ(moved.stats().hits, 0u);
+    EXPECT_EQ(moved.stats().invalidations, 0u);
+}
+
+TEST(LinkCache, ResponseIntoMatchesResponseWithBitwise) {
+    LinkScenario scenario = make_link_scenario(13, false);
+    const sdr::Medium& medium = scenario.system.medium();
+    const sdr::Link& link = scenario.system.link(scenario.link_id);
+    const surface::ConfigSpace space =
+        medium.array(scenario.array_id).config_space();
+    LinkCache cache;
+    cache.warm(medium, scenario.link_id, link);
+    util::kernels::SplitVec scratch;
+    util::Rng pick(21);
+    for (int trial = 0; trial < 12; ++trial) {
+        surface::Config c(space.num_elements());
+        for (std::size_t e = 0; e < c.size(); ++e)
+            c[e] = static_cast<int>(
+                pick.uniform_int(0, space.radices()[e] - 1));
+        const util::CVec aos = cache.response_with(
+            medium, scenario.link_id, link, scenario.array_id, c);
+        cache.response_into(medium, scenario.link_id, link,
+                            scenario.array_id, c, scratch);
+        ASSERT_EQ(scratch.size(), aos.size());
+        for (std::size_t k = 0; k < aos.size(); ++k) {
+            EXPECT_EQ(aos[k].real(), scratch.re[k]) << "subcarrier " << k;
+            EXPECT_EQ(aos[k].imag(), scratch.im[k]) << "subcarrier " << k;
+        }
+    }
+}
+
+TEST(LinkCache, CoordinateDeltaPathMatchesRecomputeAndDirect) {
+    LinkScenario scenario = make_link_scenario(19, false);
+    System& system = scenario.system;
+    const sdr::Medium& medium = system.medium();
+    const sdr::Link& link = system.link(scenario.link_id);
+    const surface::ConfigSpace space =
+        medium.array(scenario.array_id).config_space();
+    LinkCache cache;
+    cache.warm(medium, scenario.link_id, link);
+    const util::kernels::Dispatch d = util::kernels::active();
+
+    util::Rng pick(3);
+    surface::Config base(space.num_elements());
+    for (std::size_t e = 0; e < base.size(); ++e)
+        base[e] = static_cast<int>(
+            pick.uniform_int(0, space.radices()[e] - 1));
+
+    util::kernels::SplitVec cached_base, fresh, candidate;
+    for (std::size_t e = 0; e < space.num_elements(); ++e) {
+        cache.response_base_into(medium, scenario.link_id, link,
+                                 scenario.array_id, base, e, cached_base);
+        // The swept element's own state contributes nothing to the base.
+        surface::Config jitter = base;
+        jitter[e] = (base[e] + 1) % space.radices()[e];
+        cache.response_base_into(medium, scenario.link_id, link,
+                                 scenario.array_id, jitter, e, fresh);
+        ASSERT_EQ(fresh.size(), cached_base.size());
+        for (std::size_t k = 0; k < fresh.size(); ++k) {
+            EXPECT_EQ(fresh.re[k], cached_base.re[k]);
+            EXPECT_EQ(fresh.im[k], cached_base.im[k]);
+        }
+
+        for (int s = 0; s < space.radices()[e]; ++s) {
+            // Delta path: copy the coordinate's cached base, add the row.
+            candidate.resize(cached_base.size());
+            util::kernels::copy(d, cached_base.re.data(),
+                                cached_base.im.data(), candidate.re.data(),
+                                candidate.im.data(), cached_base.size());
+            cache.accumulate_element_row(scenario.link_id,
+                                         scenario.array_id, e, s,
+                                         candidate);
+            // Recompute path: rebuild the base, add the same row.
+            cache.response_base_into(medium, scenario.link_id, link,
+                                     scenario.array_id, base, e, fresh);
+            cache.accumulate_element_row(scenario.link_id,
+                                         scenario.array_id, e, s, fresh);
+            for (std::size_t k = 0; k < candidate.size(); ++k) {
+                EXPECT_EQ(candidate.re[k], fresh.re[k]) << "state " << s;
+                EXPECT_EQ(candidate.im[k], fresh.im[k]) << "state " << s;
+            }
+            // And both are the candidate's response (up to the swept
+            // row's summation position — fp association, not value).
+            surface::Config c = base;
+            c[e] = s;
+            const util::CVec full = cache.response_with(
+                medium, scenario.link_id, link, scenario.array_id, c);
+            util::CVec delta_aos(candidate.size());
+            util::kernels::interleave(candidate.re.data(),
+                                      candidate.im.data(),
+                                      delta_aos.data(), candidate.size());
+            EXPECT_LE(relative_error(delta_aos, full), 1e-12)
+                << "element " << e << " state " << s;
+        }
+    }
 }
 
 TEST(LinkCache, SoundingMatchesUncachedMedium) {

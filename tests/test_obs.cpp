@@ -253,8 +253,26 @@ TEST_F(ObsTest, ManifestIsDeterministicUnderFixedSeed) {
               build_telemetry(b, false).dump());
 }
 
+TEST_F(ObsTest, ManifestRecordsKernelDispatch) {
+    ::unsetenv("PRESS_KERNEL");
+    EXPECT_EQ(env_kernel_dispatch(), "native");
+    ::setenv("PRESS_KERNEL", "SCALAR", 1);
+    EXPECT_EQ(env_kernel_dispatch(), "scalar");
+    const RunManifest m = RunManifest::capture("unit-test", 1);
+    EXPECT_EQ(m.kernel_dispatch, "scalar");
+    const Json doc = build_telemetry(m);
+    EXPECT_EQ(validate_telemetry(doc), "");
+    EXPECT_EQ(doc.at("manifest").at("kernel_dispatch").as_string(),
+              "scalar");
+    // Anything that is not exactly "scalar" selects the native flavor.
+    ::setenv("PRESS_KERNEL", "avx-please", 1);
+    EXPECT_EQ(env_kernel_dispatch(), "native");
+    ::unsetenv("PRESS_KERNEL");
+}
+
 /// Deterministic score with real work, so multi-thread runs interleave.
-double score_config(const surface::Config& c, util::Rng& rng) {
+double score_config(const surface::Config& c, util::Rng& rng,
+                    control::EvalScratch& /*scratch*/) {
     double s = rng.uniform(0.0, 1.0);
     for (std::size_t e = 0; e < c.size(); ++e)
         s += static_cast<double>(c[e]) * static_cast<double>(e + 1);
