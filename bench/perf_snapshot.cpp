@@ -23,8 +23,12 @@
 // along so the fused single-link path and the Observation path are both
 // tracked. Then two full greedy searches are timed end to end: the serial
 // controller (actuate + measure per trial) against System::optimize_fast
-// (cache + BatchEvaluator). Timings are informational; only the
-// allocation gate fails the run.
+// (cache + BatchEvaluator). A control-plane service sweep closes the
+// run: a closed loop over control::Service measures request throughput
+// and the queue-wait/compute latency split, with a deterministic
+// overload burst so the reject/expiry counters the baseline gates hold
+// exact values. Timings are informational; the allocation gate and the
+// service's no-silent-drops ledger fail the run.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -35,6 +39,7 @@
 #include <memory>
 #include <new>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "control/batch.hpp"
@@ -43,8 +48,10 @@
 #include "control/plane.hpp"
 #include "control/scratch.hpp"
 #include "control/search.hpp"
+#include "control/service.hpp"
 #include "core/link_cache.hpp"
 #include "core/scenarios.hpp"
+#include "core/serve.hpp"
 #include "core/system.hpp"
 #include "em/channel.hpp"
 #include "obs/export.hpp"
@@ -428,6 +435,135 @@ Fig7Snapshot snapshot_fig7(std::uint64_t seed) {
     return snap;
 }
 
+// Approximate percentile from fixed histogram buckets: the upper bound of
+// the bucket where the cumulative count crosses q (overflow observations
+// saturate at the last explicit bound).
+double approx_percentile_us(
+    const press::obs::MetricsRegistry::Snapshot::HistogramData& h,
+    double q) {
+    if (h.count == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(h.count) + 0.5);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        cumulative += h.counts[i];
+        if (cumulative >= target)
+            return i < h.bounds.size() ? h.bounds[i] : h.bounds.back();
+    }
+    return h.bounds.back();
+}
+
+// Control-plane service throughput: a closed-loop sweep over
+// control::Service running the real engine (core::make_service_engine,
+// no chaos), plus a deterministic overload burst so the reject and
+// expiry counters land in the baseline with exact expected values.
+// Request latency percentiles come from the service.request_us histogram
+// the service populates; throughput is wall-clock and informational.
+struct ServiceSnapshot {
+    double wall_s = 0.0;
+    double requests_per_s = 0.0;
+    std::uint64_t admitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+    double request_p50_us = 0.0;
+    double request_p99_us = 0.0;
+    double queue_wait_p99_us = 0.0;
+    bool balanced = false;
+};
+
+ServiceSnapshot snapshot_service(std::uint64_t seed) {
+    using control::Service;
+    ServiceSnapshot snap;
+    core::LinkScenario scenario = core::make_link_scenario(seed, false);
+
+    control::ServiceOptions options;
+    options.queue_capacity = 16;
+    options.default_budget_s = 0.002;  // short sim budget per cycle
+    options.default_deadline_s = 10.0;
+    Service service(core::make_service_engine(scenario.system), options);
+
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kRequests = 256;
+    std::uint32_t seq = 1;
+    std::vector<Service::SessionId> ids;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        const Service::SessionId id = service.connect();
+        service.submit(id, control::encode(control::Hello{}, seq++));
+        (void)service.take_outgoing(id);  // HelloAck
+        ids.push_back(id);
+    }
+
+    control::OptimizeRequest req;
+    req.array_id = static_cast<std::uint16_t>(scenario.array_id);
+    req.link_id = static_cast<std::uint16_t>(scenario.link_id);
+    req.budget_us = 2000;
+
+    // Closed loop: every client keeps exactly one request outstanding
+    // until kRequests have been issued; each tick runs one cycle.
+    std::vector<bool> outstanding(kClients, false);
+    std::size_t issued = 0, completed = 0;
+    auto t0 = Clock::now();
+    while (completed < kRequests) {
+        for (std::size_t c = 0; c < kClients; ++c) {
+            if (outstanding[c] || issued >= kRequests) continue;
+            service.submit(ids[c], control::encode(req, seq++));
+            outstanding[c] = true;
+            ++issued;
+        }
+        service.run_cycle();
+        service.advance_clock(1e-4);
+        for (std::size_t c = 0; c < kClients; ++c) {
+            for (const auto& frame : service.take_outgoing(ids[c])) {
+                const control::Decoded reply = control::decode(frame);
+                if (std::holds_alternative<control::OptimizeReply>(
+                        reply.message) ||
+                    std::holds_alternative<control::Reject>(reply.message)) {
+                    outstanding[c] = false;
+                    ++completed;
+                }
+            }
+        }
+    }
+    snap.wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    snap.requests_per_s =
+        static_cast<double>(completed) / std::max(snap.wall_s, 1e-9);
+
+    // Deterministic overload burst: one session floods the queue with
+    // equal-priority requests (8 past capacity -> 8 kQueueFull rejects),
+    // then the clock jumps past their tight deadlines so every resident
+    // expires in-queue. The burst pins the reject/expire counters the
+    // baseline gates to exact values.
+    const Service::SessionId burst = service.connect();
+    service.submit(burst, control::encode(control::Hello{}, seq++));
+    control::OptimizeRequest tight = req;
+    tight.deadline_us = 100;
+    for (std::size_t i = 0; i < options.queue_capacity + 8; ++i)
+        service.submit(burst, control::encode(tight, seq++));
+    service.advance_clock(1.0);
+    (void)service.run_until_idle();
+    (void)service.take_outgoing(burst);
+
+    const Service::Stats& stats = service.stats();
+    snap.admitted = stats.admitted;
+    snap.served = stats.served;
+    snap.rejected = stats.rejected;
+    snap.expired = stats.expired;
+    snap.balanced = service.accounting_balanced();
+
+    const auto metrics = press::obs::MetricsRegistry::global().snapshot();
+    for (const auto& h : metrics.histograms) {
+        if (h.name == "service.request_us") {
+            snap.request_p50_us = approx_percentile_us(h, 0.50);
+            snap.request_p99_us = approx_percentile_us(h, 0.99);
+        } else if (h.name == "service.queue_wait_us") {
+            snap.queue_wait_p99_us = approx_percentile_us(h, 0.99);
+        }
+    }
+    return snap;
+}
+
 void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
     std::fprintf(
         out,
@@ -462,24 +598,6 @@ void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
         s.search_serial_ms / s.search_batched_ms, last ? "" : ",");
 }
 
-// Approximate percentile from fixed histogram buckets: the upper bound of
-// the bucket where the cumulative count crosses q (overflow observations
-// saturate at the last explicit bound).
-double approx_percentile_us(
-    const press::obs::MetricsRegistry::Snapshot::HistogramData& h,
-    double q) {
-    if (h.count == 0) return 0.0;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(h.count) + 0.5);
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < h.counts.size(); ++i) {
-        cumulative += h.counts[i];
-        if (cumulative >= target)
-            return i < h.bounds.size() ? h.bounds[i] : h.bounds.back();
-    }
-    return h.bounds.back();
-}
-
 }  // namespace
 
 int main() {
@@ -496,6 +614,7 @@ int main() {
     const SceneSnapshot fig4 = snapshot_scene("fig4", 100);
     const SceneSnapshot fig6 = snapshot_scene("fig6", 116);
     const Fig7Snapshot fig7 = snapshot_fig7(107);
+    const ServiceSnapshot service = snapshot_service(100);
 
     std::FILE* out = std::fopen("BENCH_observe.json", "w");
     if (out == nullptr) {
@@ -537,10 +656,30 @@ int main() {
                  "    \"sweep_allocs\": %llu,\n"
                  "    \"search_batched_ms\": %.2f,\n"
                  "    \"search_batched_evals\": %zu\n"
-                 "  }\n}\n",
+                 "  },\n",
                  fig7.general_eval_us,
                  static_cast<unsigned long long>(fig7.sweep_allocs),
                  fig7.search_batched_ms, fig7.search_batched_evals);
+    std::fprintf(out,
+                 "  \"service\": {\n"
+                 "    \"requests_per_s\": %.1f,\n"
+                 "    \"admitted\": %llu,\n"
+                 "    \"served\": %llu,\n"
+                 "    \"rejected\": %llu,\n"
+                 "    \"expired\": %llu,\n"
+                 "    \"request_p50_us\": %.1f,\n"
+                 "    \"request_p99_us\": %.1f,\n"
+                 "    \"queue_wait_p99_us\": %.1f,\n"
+                 "    \"accounting_balanced\": %s\n"
+                 "  }\n}\n",
+                 service.requests_per_s,
+                 static_cast<unsigned long long>(service.admitted),
+                 static_cast<unsigned long long>(service.served),
+                 static_cast<unsigned long long>(service.rejected),
+                 static_cast<unsigned long long>(service.expired),
+                 service.request_p50_us, service.request_p99_us,
+                 service.queue_wait_p99_us,
+                 service.balanced ? "true" : "false");
     std::fclose(out);
 
     for (const SceneSnapshot* s : {&fig4, &fig6}) {
@@ -559,7 +698,29 @@ int main() {
     std::printf("fig7: general %.3f us/candidate  search %.1f ms (%zu evals)\n",
                 fig7.general_eval_us, fig7.search_batched_ms,
                 fig7.search_batched_evals);
+    std::printf(
+        "service: %.0f req/s  p50 %.0f us  p99 %.0f us  "
+        "(served %llu, rejected %llu, expired %llu, ledger %s)\n",
+        service.requests_per_s, service.request_p50_us,
+        service.request_p99_us,
+        static_cast<unsigned long long>(service.served),
+        static_cast<unsigned long long>(service.rejected),
+        static_cast<unsigned long long>(service.expired),
+        service.balanced ? "balanced" : "UNBALANCED");
     std::printf("wrote BENCH_observe.json\n");
+
+    // The no-silent-drops ledger is gated like the allocation contract:
+    // a service sweep that loses track of an admitted request fails the
+    // run outright.
+    if (!service.balanced) {
+        std::fprintf(stderr,
+                     "FAIL: service accounting unbalanced (admitted %llu != "
+                     "served %llu + expired %llu + ...)\n",
+                     static_cast<unsigned long long>(service.admitted),
+                     static_cast<unsigned long long>(service.served),
+                     static_cast<unsigned long long>(service.expired));
+        return 1;
+    }
 
     // The zero-allocation contract is a hard gate, not a trend: any heap
     // allocation inside a warmed steady-state sweep fails the run.

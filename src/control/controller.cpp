@@ -1,6 +1,7 @@
 #include "control/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -90,7 +91,12 @@ OptimizationOutcome Controller::optimize(const surface::ConfigSpace& space,
         return clock_.now_s() >= deadline_s;
     };
 
+    const auto compute_t0 = std::chrono::steady_clock::now();
     outcome.search = searcher.search(space, eval, max_evals, rng, stop);
+    outcome.search.compute_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      compute_t0)
+            .count();
     outcome.elapsed_s = clock_.now_s() - start_s;
     // The space may have fewer points than the budget allows (e.g. an
     // exhaustive sweep of 64 configurations under a generous budget).

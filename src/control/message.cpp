@@ -38,16 +38,95 @@ void encode_payload(const MeasureReport& m, ByteWriter& w) {
     for (std::int16_t v : m.snr_centi_db) w.i16(v);
 }
 
+void encode_payload(const Hello& m, ByteWriter& w) { w.u8(m.priority_cap); }
+
+void encode_payload(const HelloAck& m, ByteWriter& w) {
+    w.u16(m.session_id);
+    w.u64(m.epoch);
+}
+
+void encode_payload(const OptimizeRequest& m, ByteWriter& w) {
+    w.u16(m.array_id);
+    w.u8(m.objective);
+    w.u16(m.link_id);
+    w.u8(m.searcher);
+    w.u32(m.budget_us);
+    w.u32(m.deadline_us);
+    w.u8(m.priority);
+}
+
+void encode_payload(const OptimizeReply& m, ByteWriter& w) {
+    w.u8(m.status);
+    w.u64(m.epoch);
+    w.i32(m.best_score_centi);
+    w.u32(m.evaluations);
+    w.u32(m.queue_wait_us);
+    w.u32(m.compute_us);
+}
+
+void encode_payload(const MutateRequest& m, ByteWriter& w) {
+    w.u16(m.array_id);
+    w.u16(m.element);
+    w.u8(m.state);
+}
+
+void encode_payload(const MutateReply& m, ByteWriter& w) {
+    w.u8(m.status);
+    w.u64(m.epoch);
+}
+
+void encode_payload(const Reject& m, ByteWriter& w) {
+    w.u8(m.reason);
+    w.u16(m.queue_depth);
+}
+
+void encode_payload(const StatusRequest&, ByteWriter&) {}
+
+void encode_payload(const StatusReply& m, ByteWriter& w) {
+    w.u64(m.epoch);
+    w.u16(m.queue_depth);
+    w.u64(m.served);
+    w.u64(m.rejected);
+    w.u64(m.expired);
+}
+
 MessageType type_of(const Message& msg) {
     if (std::holds_alternative<SetConfig>(msg)) return MessageType::kSetConfig;
     if (std::holds_alternative<SetConfigAck>(msg))
         return MessageType::kSetConfigAck;
     if (std::holds_alternative<MeasureRequest>(msg))
         return MessageType::kMeasureRequest;
-    return MessageType::kMeasureReport;
+    if (std::holds_alternative<MeasureReport>(msg))
+        return MessageType::kMeasureReport;
+    if (std::holds_alternative<Hello>(msg)) return MessageType::kHello;
+    if (std::holds_alternative<HelloAck>(msg)) return MessageType::kHelloAck;
+    if (std::holds_alternative<OptimizeRequest>(msg))
+        return MessageType::kOptimizeRequest;
+    if (std::holds_alternative<OptimizeReply>(msg))
+        return MessageType::kOptimizeReply;
+    if (std::holds_alternative<MutateRequest>(msg))
+        return MessageType::kMutateRequest;
+    if (std::holds_alternative<MutateReply>(msg))
+        return MessageType::kMutateReply;
+    if (std::holds_alternative<Reject>(msg)) return MessageType::kReject;
+    if (std::holds_alternative<StatusRequest>(msg))
+        return MessageType::kStatusRequest;
+    return MessageType::kStatusReply;
 }
 
 }  // namespace
+
+const char* to_string(RejectReason reason) {
+    switch (reason) {
+        case RejectReason::kQueueFull: return "queue-full";
+        case RejectReason::kExpired: return "expired";
+        case RejectReason::kShed: return "shed";
+        case RejectReason::kBadRequest: return "bad-request";
+        case RejectReason::kDuplicate: return "duplicate";
+        case RejectReason::kBackpressure: return "backpressure";
+    }
+    return "unknown";
+}
 
 void MeasureReport::set_snr_db(const std::vector<double>& snr) {
     snr_centi_db.resize(snr.size());
@@ -91,13 +170,24 @@ std::vector<std::uint8_t> encode(const Message& msg, std::uint32_t seq,
 }
 
 Decoded decode(const std::vector<std::uint8_t>& buffer) {
-    if (buffer.size() < 12) throw ProtocolError("buffer shorter than framing");
+    // Truncation and checksum mismatch are the signatures of a mangled
+    // transport (bit flips, chopped frames); both count into the global
+    // wire.frames_corrupt telemetry before rejection so chaos and channel
+    // noise stay observable in one place. Failures past the CRC (bad
+    // magic, unknown type) mean an incompatible peer, not corruption.
+    if (buffer.size() < 12) {
+        note_corrupt_frame();
+        throw ProtocolError("buffer shorter than framing");
+    }
     // Verify the CRC over everything before the trailing two bytes.
     const std::uint16_t expect = crc16(buffer.data(), buffer.size() - 2);
     const std::uint16_t got = static_cast<std::uint16_t>(
         buffer[buffer.size() - 2] |
         (static_cast<std::uint16_t>(buffer[buffer.size() - 1]) << 8));
-    if (expect != got) throw ProtocolError("CRC mismatch");
+    if (expect != got) {
+        note_corrupt_frame();
+        throw ProtocolError("CRC mismatch");
+    }
 
     ByteReader r(buffer);
     if (r.u16() != kMagic) throw ProtocolError("bad magic");
@@ -149,6 +239,78 @@ Decoded decode(const std::vector<std::uint8_t>& buffer) {
             m.snr_centi_db.resize(n);
             for (std::uint16_t i = 0; i < n; ++i) m.snr_centi_db[i] = r.i16();
             d.message = std::move(m);
+            return d;
+        }
+        case MessageType::kHello: {
+            Hello m;
+            m.priority_cap = r.u8();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kHelloAck: {
+            HelloAck m;
+            m.session_id = r.u16();
+            m.epoch = r.u64();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kOptimizeRequest: {
+            OptimizeRequest m;
+            m.array_id = r.u16();
+            m.objective = r.u8();
+            m.link_id = r.u16();
+            m.searcher = r.u8();
+            m.budget_us = r.u32();
+            m.deadline_us = r.u32();
+            m.priority = r.u8();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kOptimizeReply: {
+            OptimizeReply m;
+            m.status = r.u8();
+            m.epoch = r.u64();
+            m.best_score_centi = r.i32();
+            m.evaluations = r.u32();
+            m.queue_wait_us = r.u32();
+            m.compute_us = r.u32();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kMutateRequest: {
+            MutateRequest m;
+            m.array_id = r.u16();
+            m.element = r.u16();
+            m.state = r.u8();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kMutateReply: {
+            MutateReply m;
+            m.status = r.u8();
+            m.epoch = r.u64();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kReject: {
+            Reject m;
+            m.reason = r.u8();
+            m.queue_depth = r.u16();
+            d.message = m;
+            return d;
+        }
+        case MessageType::kStatusRequest: {
+            d.message = StatusRequest{};
+            return d;
+        }
+        case MessageType::kStatusReply: {
+            StatusReply m;
+            m.epoch = r.u64();
+            m.queue_depth = r.u16();
+            m.served = r.u64();
+            m.rejected = r.u64();
+            m.expired = r.u64();
+            d.message = m;
             return d;
         }
     }

@@ -23,6 +23,13 @@
 // states with SetConfig (acked), asks an endpoint to measure with
 // MeasureRequest, and receives per-subcarrier SNR in centi-dB fixed point
 // with MeasureReport.
+//
+// Types 5-13 are the control-plane *service* protocol (control/service.hpp):
+// a client opens a session with Hello, submits deadline-tagged
+// OptimizeRequests and epoch-fenced MutateRequests, and receives either a
+// terminal reply or an explicit Reject — the service never drops an
+// admitted request silently. All service frames reuse the same framing,
+// CRC and optional trace header as the actuation messages.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +47,29 @@ enum class MessageType : std::uint8_t {
     kSetConfigAck = 2,
     kMeasureRequest = 3,
     kMeasureReport = 4,
+    // Service protocol (control/service.hpp).
+    kHello = 5,
+    kHelloAck = 6,
+    kOptimizeRequest = 7,
+    kOptimizeReply = 8,
+    kMutateRequest = 9,
+    kMutateReply = 10,
+    kReject = 11,
+    kStatusRequest = 12,
+    kStatusReply = 13,
 };
+
+/// Why the service refused a request (Reject::reason).
+enum class RejectReason : std::uint8_t {
+    kQueueFull = 1,     ///< bounded request queue saturated
+    kExpired = 2,       ///< deadline passed while the request sat queued
+    kShed = 3,          ///< load shedding (low priority under overload)
+    kBadRequest = 4,    ///< unknown array/link/searcher/objective
+    kDuplicate = 5,     ///< sequence number already seen this session
+    kBackpressure = 6,  ///< session outbox full (slow reader)
+};
+
+const char* to_string(RejectReason reason);
 
 /// Controller -> array: apply this configuration.
 struct SetConfig {
@@ -72,8 +101,96 @@ struct MeasureReport {
     std::vector<double> snr_db() const;
 };
 
-using Message = std::variant<SetConfig, SetConfigAck, MeasureRequest,
-                             MeasureReport>;
+/// Client -> service: open (or re-tune) a session. `priority_cap` bounds
+/// every later request's priority — an operator knob to tame a client.
+struct Hello {
+    std::uint8_t priority_cap = 255;
+};
+
+/// Service -> client: session accepted.
+struct HelloAck {
+    std::uint16_t session_id = 0;
+    std::uint64_t epoch = 0;
+};
+
+/// Client -> service: run one optimize cycle. The deadline bounds queue
+/// wait on the service's SimClock (an expired request is rejected, never
+/// run late); the budget is the simulated coherence-time the search may
+/// spend once started.
+struct OptimizeRequest {
+    std::uint16_t array_id = 0;
+    std::uint8_t objective = 1;  ///< ServiceObjective
+    std::uint16_t link_id = 0;
+    std::uint8_t searcher = 1;  ///< ServiceSearcher
+    std::uint32_t budget_us = 20000;
+    std::uint32_t deadline_us = 0;  ///< relative to arrival; 0 = default
+    std::uint8_t priority = 128;    ///< larger = more important
+};
+
+/// Objective selector carried by OptimizeRequest::objective.
+enum class ServiceObjective : std::uint8_t {
+    kMinSnr = 1,
+    kMeanSnr = 2,
+};
+
+/// Searcher selector carried by OptimizeRequest::searcher.
+enum class ServiceSearcher : std::uint8_t {
+    kGreedy = 1,
+    kExhaustive = 2,
+    kRandom = 3,
+    kAnnealing = 4,
+    kGenetic = 5,
+};
+
+/// Service -> client: the terminal reply to an executed OptimizeRequest.
+struct OptimizeReply {
+    std::uint8_t status = 0;  ///< 0 ok, 1 search failed/degraded
+    std::uint64_t epoch = 0;  ///< scene epoch the cycle ran against
+    std::int32_t best_score_centi = 0;  ///< objective score, 0.01 units
+    std::uint32_t evaluations = 0;
+    std::uint32_t queue_wait_us = 0;  ///< wall time queued
+    std::uint32_t compute_us = 0;     ///< wall time searching
+};
+
+/// Client -> service: set one element's state. Fenced by epochs: applied
+/// at the next epoch boundary, never while an optimize cycle is running.
+struct MutateRequest {
+    std::uint16_t array_id = 0;
+    std::uint16_t element = 0;
+    std::uint8_t state = 0;
+};
+
+/// Service -> client: the mutation landed (status 0) in `epoch`.
+struct MutateReply {
+    std::uint8_t status = 0;
+    std::uint64_t epoch = 0;
+};
+
+/// Service -> client: explicit refusal (see RejectReason). Every admitted
+/// or refused request produces exactly one terminal frame; Reject is the
+/// refusal half of that contract.
+struct Reject {
+    std::uint8_t reason = 0;
+    std::uint16_t queue_depth = 0;
+};
+
+/// Client -> service: sample the service counters.
+struct StatusRequest {};
+
+/// Service -> client: live service counters.
+struct StatusReply {
+    std::uint64_t epoch = 0;
+    std::uint16_t queue_depth = 0;
+    std::uint64_t served = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+};
+
+using Message =
+    std::variant<SetConfig, SetConfigAck, MeasureRequest, MeasureReport,
+                 Hello, HelloAck, OptimizeRequest, OptimizeReply,
+                 MutateRequest, MutateReply, Reject, StatusRequest,
+                 StatusReply>;
 
 /// Serializes a message with header, sequence number and CRC as a
 /// version 1 frame (no trace header).

@@ -64,6 +64,15 @@ struct SearchResult {
     double best_score_remeasured = 0.0;
     std::size_t remeasure_evals = 0;
     std::size_t evaluations = 0;
+    /// Wall-clock seconds the request waited before its search started.
+    /// Filled by owners of a request queue (control::Service); zero for
+    /// direct calls. Kept beside compute_s so service p99 latency is
+    /// attributable: request latency = queue_wait_s + compute_s.
+    double queue_wait_s = 0.0;
+    /// Wall-clock seconds the search itself consumed. Filled by the
+    /// entry points that own timing (Controller::optimize,
+    /// System::optimize_fast), not by the strategies.
+    double compute_s = 0.0;
     /// best_score after each evaluation (length == evaluations); lets the
     /// ablation benches plot anytime curves.
     std::vector<double> trajectory;

@@ -1,0 +1,486 @@
+#include "control/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/contracts.hpp"
+
+namespace press::control {
+
+namespace {
+
+constexpr std::size_t kSeenWindow = 64;
+
+// Service counters are process-global aggregates, like the transport's:
+// per-instance numbers stay available on Service::stats().
+void count(const char* name, std::uint64_t n = 1) {
+    if (!obs::enabled() || n == 0) return;
+    obs::MetricsRegistry::global().counter(name).add(n);
+}
+
+// Latency histograms in microseconds; bounds span sub-cycle admission
+// work up to multi-second stuck cycles.
+std::vector<double> us_bounds() {
+    return {10,    20,    50,     100,    200,    500,    1000,
+            2000,  5000,  10000,  20000,  50000,  100000, 200000,
+            500000, 1e6,  2e6,    5e6};
+}
+
+void observe_us(const char* name, double us) {
+    if (!obs::enabled()) return;
+    obs::MetricsRegistry::global().histogram(name, us_bounds()).observe(us);
+}
+
+std::uint32_t to_us_u32(double seconds) {
+    const double us = seconds * 1e6;
+    if (us <= 0.0) return 0;
+    if (us >= static_cast<double>(std::numeric_limits<std::uint32_t>::max()))
+        return std::numeric_limits<std::uint32_t>::max();
+    return static_cast<std::uint32_t>(us);
+}
+
+std::int32_t to_centi_i32(double value) {
+    const double centi = value * 100.0;
+    const double lo = std::numeric_limits<std::int32_t>::min();
+    const double hi = std::numeric_limits<std::int32_t>::max();
+    return static_cast<std::int32_t>(std::clamp(centi, lo, hi));
+}
+
+}  // namespace
+
+Service::Service(ServiceEngine engine, ServiceOptions options)
+    : engine_(std::move(engine)), options_(std::move(options)) {
+    PRESS_EXPECTS(engine_.optimize != nullptr,
+                  "service engine needs an optimize callback");
+    PRESS_EXPECTS(engine_.mutate != nullptr,
+                  "service engine needs a mutate callback");
+    PRESS_EXPECTS(options_.queue_capacity >= 1, "queue capacity must be >= 1");
+    PRESS_EXPECTS(options_.outbox_capacity >= 2,
+                  "outbox must hold at least a reply and a reject");
+    PRESS_EXPECTS(options_.default_deadline_s > 0.0,
+                  "default deadline must be positive");
+    PRESS_EXPECTS(options_.shed_occupancy > 0.0 &&
+                      options_.shed_occupancy <= 1.0,
+                  "shed occupancy is a fraction of capacity");
+    PRESS_EXPECTS(options_.max_budget_s >= options_.default_budget_s,
+                  "budget clamp below the default budget");
+    PRESS_EXPECTS(options_.watchdog_cycle_s > 0.0,
+                  "watchdog threshold must be positive");
+    queue_.reserve(options_.queue_capacity);
+    if (options_.arm_flight && !obs::flight_armed()) obs::flight_arm();
+}
+
+std::size_t Service::outbox_watermark() const {
+    if (options_.outbox_watermark > 0) return options_.outbox_watermark;
+    return std::max<std::size_t>(1, options_.outbox_capacity * 3 / 4);
+}
+
+Service::SessionId Service::connect() {
+    const SessionId id = next_session_++;
+    sessions_.emplace(id, Session{});
+    count("service.sessions_opened");
+    return id;
+}
+
+void Service::disconnect(SessionId id) { drop_session(id, /*slow=*/false); }
+
+bool Service::session_open(SessionId id) const {
+    return sessions_.count(id) != 0;
+}
+
+void Service::drop_session(SessionId id, bool slow) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    sessions_.erase(it);
+    if (slow) {
+        ++stats_.sessions_dropped_slow;
+        count("service.sessions_dropped_slow");
+    }
+    // Queued work from the departed session has no reader left; account
+    // it explicitly — the ledger, not a reply, is the terminal record.
+    std::size_t purged = 0;
+    for (auto qit = queue_.begin(); qit != queue_.end();) {
+        if (qit->session == id) {
+            qit = queue_.erase(qit);
+            ++purged;
+        } else {
+            ++qit;
+        }
+    }
+    stats_.dropped_closed += purged;
+    count("service.dropped_closed", purged);
+    for (auto mit = mutations_.begin(); mit != mutations_.end();) {
+        if (mit->session == id) {
+            mit = mutations_.erase(mit);
+            ++stats_.mutations_rejected;
+            count("service.mutations_rejected");
+        } else {
+            ++mit;
+        }
+    }
+}
+
+void Service::push_frame(SessionId id, std::vector<std::uint8_t> frame) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;  // reply to a departed session
+    if (it->second.outbox.size() >= options_.outbox_capacity) {
+        // The reader stopped reading; unbounded buffering would trade a
+        // visible failure for an invisible one. Close the session.
+        drop_session(id, /*slow=*/true);
+        return;
+    }
+    it->second.outbox.push_back(std::move(frame));
+}
+
+std::vector<std::vector<std::uint8_t>> Service::take_outgoing(
+    SessionId id, std::size_t max_frames) {
+    std::vector<std::vector<std::uint8_t>> out;
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return out;
+    auto& outbox = it->second.outbox;
+    while (!outbox.empty() && out.size() < max_frames) {
+        out.push_back(std::move(outbox.front()));
+        outbox.pop_front();
+    }
+    return out;
+}
+
+std::size_t Service::outbox_depth(SessionId id) const {
+    const auto it = sessions_.find(id);
+    return it == sessions_.end() ? 0 : it->second.outbox.size();
+}
+
+bool Service::seen_before(Session& session, std::uint32_t seq) {
+    if (std::find(session.seen_seqs.begin(), session.seen_seqs.end(), seq) !=
+        session.seen_seqs.end())
+        return true;
+    session.seen_seqs.push_back(seq);
+    if (session.seen_seqs.size() > kSeenWindow) session.seen_seqs.pop_front();
+    return false;
+}
+
+void Service::reject(SessionId id, std::uint32_t seq, RejectReason reason) {
+    Reject msg;
+    msg.reason = static_cast<std::uint8_t>(reason);
+    msg.queue_depth = static_cast<std::uint16_t>(
+        std::min<std::size_t>(queue_.size(), 0xFFFF));
+    push_frame(id, encode(Message{msg}, seq, obs::current_context()));
+    ++stats_.rejected;
+    count("service.rejected");
+}
+
+void Service::submit(SessionId id, const std::vector<std::uint8_t>& frame) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    ++stats_.frames_in;
+    count("service.frames_in");
+    Decoded decoded;
+    try {
+        decoded = decode(frame);
+    } catch (const ProtocolError&) {
+        // decode() already counted wire.frames_corrupt when the CRC
+        // failed. An unparseable frame names no request (no trustworthy
+        // seq), so no reply is owed — the client's retransmission path
+        // covers it. Counted, never silent.
+        ++stats_.frames_bad;
+        count("service.frames_bad");
+        return;
+    }
+    handle(id, it->second, decoded);
+}
+
+void Service::handle(SessionId id, Session& session, const Decoded& decoded) {
+    // Adopt the client's causal context so admission spans parent into
+    // the frame that crossed the (possibly chaotic) wire.
+    obs::ContextGuard adopt(decoded.trace);
+    obs::TraceSpan span("control.service.admit", &clock_);
+
+    if (const auto* hello = std::get_if<Hello>(&decoded.message)) {
+        session.priority_cap = hello->priority_cap;
+        session.hello_seen = true;
+        HelloAck ack;
+        ack.session_id = id;
+        ack.epoch = epoch_;
+        push_frame(id,
+                   encode(Message{ack}, decoded.seq, obs::current_context()));
+        return;
+    }
+    if (std::get_if<StatusRequest>(&decoded.message) != nullptr) {
+        StatusReply reply;
+        reply.epoch = epoch_;
+        reply.queue_depth = static_cast<std::uint16_t>(
+            std::min<std::size_t>(queue_.size(), 0xFFFF));
+        reply.served = stats_.served;
+        reply.rejected = stats_.rejected;
+        reply.expired = stats_.expired;
+        push_frame(
+            id, encode(Message{reply}, decoded.seq, obs::current_context()));
+        return;
+    }
+    if (const auto* req = std::get_if<OptimizeRequest>(&decoded.message)) {
+        admit_optimize(id, session, decoded, *req);
+        return;
+    }
+    if (const auto* mut = std::get_if<MutateRequest>(&decoded.message)) {
+        if (seen_before(session, decoded.seq)) {
+            ++stats_.duplicates;
+            count("service.duplicates");
+            reject(id, decoded.seq, RejectReason::kDuplicate);
+            return;
+        }
+        if (session.outbox.size() >= outbox_watermark()) {
+            ++stats_.backpressure;
+            count("service.backpressure");
+            reject(id, decoded.seq, RejectReason::kBackpressure);
+            return;
+        }
+        if (engine_.validate_mutate && !engine_.validate_mutate(*mut)) {
+            ++stats_.bad_requests;
+            count("service.bad_requests");
+            reject(id, decoded.seq, RejectReason::kBadRequest);
+            return;
+        }
+        if (mutations_.size() >= options_.queue_capacity) {
+            reject(id, decoded.seq, RejectReason::kQueueFull);
+            return;
+        }
+        mutations_.push_back(PendingMutation{id, decoded.seq, *mut});
+        return;
+    }
+    // A client has no business sending service->client frames; refuse
+    // rather than guess.
+    ++stats_.bad_requests;
+    count("service.bad_requests");
+    reject(id, decoded.seq, RejectReason::kBadRequest);
+}
+
+void Service::admit_optimize(SessionId id, Session& session,
+                             const Decoded& decoded,
+                             const OptimizeRequest& req) {
+    if (seen_before(session, decoded.seq)) {
+        ++stats_.duplicates;
+        count("service.duplicates");
+        reject(id, decoded.seq, RejectReason::kDuplicate);
+        return;
+    }
+    if (session.outbox.size() >= outbox_watermark()) {
+        ++stats_.backpressure;
+        count("service.backpressure");
+        reject(id, decoded.seq, RejectReason::kBackpressure);
+        return;
+    }
+    if (engine_.validate && !engine_.validate(req)) {
+        ++stats_.bad_requests;
+        count("service.bad_requests");
+        reject(id, decoded.seq, RejectReason::kBadRequest);
+        return;
+    }
+
+    const std::uint8_t priority = std::min(req.priority, session.priority_cap);
+
+    // Load shedding: above the occupancy watermark, low-priority work is
+    // refused before the queue saturates, preserving headroom for
+    // requests that outrank the floor.
+    const double occupancy = static_cast<double>(queue_.size()) /
+                             static_cast<double>(options_.queue_capacity);
+    if (occupancy >= options_.shed_occupancy &&
+        priority < options_.shed_priority_floor) {
+        ++stats_.shed;
+        count("service.shed");
+        reject(id, decoded.seq, RejectReason::kShed);
+        return;
+    }
+
+    if (queue_.size() >= options_.queue_capacity) {
+        // Saturated: a newcomer that outranks the weakest resident
+        // displaces it (the victim hears why); otherwise the newcomer
+        // is refused.
+        auto victim = queue_.begin();
+        for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+            if (qit->priority < victim->priority ||
+                (qit->priority == victim->priority &&
+                 qit->admit_order > victim->admit_order))
+                victim = qit;
+        }
+        if (victim->priority < priority) {
+            ++stats_.evicted;
+            count("service.evicted");
+            reject(victim->session, victim->seq, RejectReason::kQueueFull);
+            queue_.erase(victim);
+        } else {
+            ++stats_.queue_full;
+            count("service.queue_full");
+            reject(id, decoded.seq, RejectReason::kQueueFull);
+            return;
+        }
+    }
+
+    Pending pending;
+    pending.session = id;
+    pending.seq = decoded.seq;
+    pending.request = req;
+    pending.priority = priority;
+    const double deadline_s = req.deadline_us > 0
+                                  ? static_cast<double>(req.deadline_us) * 1e-6
+                                  : options_.default_deadline_s;
+    pending.deadline_sim_s = clock_.now_s() + deadline_s;
+    pending.admit_order = next_admit_order_++;
+    pending.arrival_wall = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(pending));
+    ++stats_.admitted;
+    count("service.admitted");
+    if (obs::enabled()) {
+        obs::MetricsRegistry::global()
+            .gauge("service.queue_depth")
+            .set(static_cast<double>(queue_.size()));
+    }
+}
+
+bool Service::pop_next(Pending& out) {
+    while (!queue_.empty()) {
+        // Highest priority first; FIFO among equals.
+        auto best = queue_.begin();
+        for (auto qit = queue_.begin(); qit != queue_.end(); ++qit) {
+            if (qit->priority > best->priority ||
+                (qit->priority == best->priority &&
+                 qit->admit_order < best->admit_order))
+                best = qit;
+        }
+        if (best->deadline_sim_s <= clock_.now_s()) {
+            // Too late to run; the client hears kExpired rather than
+            // receiving a stale result late.
+            ++stats_.expired;
+            count("service.expired");
+            reject(best->session, best->seq, RejectReason::kExpired);
+            queue_.erase(best);
+            continue;
+        }
+        out = std::move(*best);
+        queue_.erase(best);
+        return true;
+    }
+    return false;
+}
+
+void Service::execute(const Pending& pending) {
+    obs::TraceSpan span("control.service.execute", &clock_);
+    const double queue_wait_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      pending.arrival_wall)
+            .count();
+
+    double budget_s = pending.request.budget_us > 0
+                          ? static_cast<double>(pending.request.budget_us) *
+                                1e-6
+                          : options_.default_budget_s;
+    budget_s = std::min(budget_s, options_.max_budget_s);
+
+    const std::uint64_t revision_before =
+        engine_.scene_revision ? engine_.scene_revision() : 0;
+    EngineResult result = engine_.optimize(pending.request, budget_s);
+    clock_.advance(result.sim_elapsed_s);
+    ++executed_;
+    if (engine_.scene_revision) {
+        // The frozen-scene guarantee: nothing mutated the scene while
+        // the cycle ran — mutations are fenced to close_epoch().
+        PRESS_ENSURES(engine_.scene_revision() == revision_before,
+                      "scene mutated during an optimize cycle");
+    }
+
+    bool stuck = !result.ok ||
+                 result.sim_elapsed_s > options_.watchdog_cycle_s;
+    if (options_.inject_stall_every > 0 &&
+        executed_ % options_.inject_stall_every == 0)
+        stuck = true;
+
+    if (stuck) {
+        // Watchdog: leave a post-mortem, restore the last configuration
+        // known to be good, answer degraded — and keep serving.
+        ++stats_.watchdog_trips;
+        count("service.watchdog_trips");
+        if (obs::write_flight(options_.flight_dump_name)) {
+            ++stats_.flight_dumps;
+            count("service.flight_dumps");
+        }
+        if (engine_.revert) (void)engine_.revert();
+    } else if (engine_.checkpoint) {
+        engine_.checkpoint();
+    }
+
+    OptimizeReply reply;
+    reply.status = stuck ? 1 : 0;
+    reply.epoch = epoch_;
+    reply.best_score_centi = to_centi_i32(result.best_score);
+    reply.evaluations = result.evaluations;
+    reply.queue_wait_us = to_us_u32(queue_wait_s);
+    reply.compute_us = to_us_u32(result.compute_s);
+    push_frame(pending.session,
+               encode(Message{reply}, pending.seq, obs::current_context()));
+    ++stats_.served;
+    count("service.served");
+    observe_us("service.queue_wait_us", queue_wait_s * 1e6);
+    observe_us("service.compute_us", result.compute_s * 1e6);
+    observe_us("service.request_us", (queue_wait_s + result.compute_s) * 1e6);
+}
+
+void Service::close_epoch() {
+    if (mutations_.empty()) return;
+    obs::TraceSpan span("control.service.mutate", &clock_);
+    ++epoch_;
+    count("service.epochs");
+    for (auto& pending : mutations_) {
+        const bool ok = engine_.mutate(pending.request);
+        MutateReply reply;
+        reply.status = ok ? 0 : 1;
+        reply.epoch = epoch_;
+        push_frame(pending.session, encode(Message{reply}, pending.seq,
+                                           obs::current_context()));
+        if (ok) {
+            ++stats_.mutations_applied;
+            count("service.mutations_applied");
+        } else {
+            ++stats_.mutations_rejected;
+            count("service.mutations_rejected");
+        }
+    }
+    mutations_.clear();
+    // The post-mutation scene is the new known-good baseline.
+    if (engine_.checkpoint) engine_.checkpoint();
+}
+
+bool Service::run_cycle() {
+    const std::uint64_t expired_before = stats_.expired;
+    bool did_work = false;
+    Pending pending;
+    if (pop_next(pending)) {
+        execute(pending);
+        did_work = true;
+    }
+    if (stats_.expired != expired_before) did_work = true;
+    if (!mutations_.empty()) {
+        close_epoch();
+        did_work = true;
+    }
+    if (did_work) {
+        ++stats_.cycles;
+        count("service.cycles");
+        if (obs::enabled()) {
+            obs::MetricsRegistry::global()
+                .gauge("service.queue_depth")
+                .set(static_cast<double>(queue_.size()));
+        }
+    }
+    return did_work;
+}
+
+std::size_t Service::run_until_idle() {
+    std::size_t cycles = 0;
+    while (run_cycle()) ++cycles;
+    return cycles;
+}
+
+}  // namespace press::control

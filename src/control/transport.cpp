@@ -1,6 +1,7 @@
 #include "control/transport.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -165,6 +166,10 @@ bool ReliableSession::apply(std::uint16_t array_id,
     const std::vector<std::uint8_t> frame =
         encode(Message{msg}, seq, obs::current_context());
 
+    // Decorrelated jitter state: the previous wait seeds the next draw's
+    // upper bound, per delivery (each configuration restarts the ramp).
+    double prev_wait_s = backoff_.base_s;
+
     for (int attempt = 0; attempt <= max_retries_; ++attempt) {
         if (attempt > 0) {
             // Exponential backoff with jitter before each retransmission;
@@ -172,17 +177,31 @@ bool ReliableSession::apply(std::uint16_t array_id,
             // attached.
             obs::TraceSpan backoff_span("control.transport.backoff",
                                         clock_);
-            const double jitter =
-                backoff_.jitter_frac > 0.0
-                    ? backoff_rng_.uniform(1.0 - backoff_.jitter_frac,
-                                           1.0 + backoff_.jitter_frac)
-                    : 1.0;
-            const double wait = backoff_.nominal_wait_s(attempt) * jitter;
+            const double nominal = backoff_.nominal_wait_s(attempt);
+            double wait;
+            if (backoff_.jitter == BackoffPolicy::Jitter::kDecorrelated) {
+                const double hi =
+                    std::min(backoff_.max_s, prev_wait_s * 3.0);
+                wait = hi > backoff_.base_s
+                           ? backoff_rng_.uniform(backoff_.base_s, hi)
+                           : backoff_.base_s;
+            } else {
+                const double jitter =
+                    backoff_.jitter_frac > 0.0
+                        ? backoff_rng_.uniform(1.0 - backoff_.jitter_frac,
+                                               1.0 + backoff_.jitter_frac)
+                        : 1.0;
+                wait = std::min(nominal * jitter, backoff_.max_s);
+            }
+            prev_wait_s = wait;
             stats_.backoff_s += wait;
-            if (obs::enabled())
-                obs::MetricsRegistry::global()
-                    .gauge("control.transport.backoff_s")
-                    .add(wait);
+            stats_.retry_jitter_s += std::abs(wait - nominal);
+            if (obs::enabled()) {
+                auto& registry = obs::MetricsRegistry::global();
+                registry.gauge("control.transport.backoff_s").add(wait);
+                registry.gauge("control.transport.retry_jitter_s")
+                    .add(std::abs(wait - nominal));
+            }
             advance_clock(wait);
         }
         obs::TraceSpan attempt_span("control.transport.attempt", clock_);

@@ -86,14 +86,27 @@ private:
     std::size_t rejected_ = 0;
 };
 
-/// Retransmission backoff: exponential with full-range jitter. The first
-/// retry waits `base_s` (+- `jitter_frac`), each further retry `factor`
-/// times longer, capped at `max_s`.
+/// Retransmission backoff: exponential with jitter, capped at `max_s`.
+///
+/// Two jitter disciplines are available. kFull scales the nominal
+/// exponential wait by a uniform factor in [1-j, 1+j] — retries stay
+/// centered on the exponential schedule, so N clients that fail together
+/// still cluster their retries around the same instants. kDecorrelated is
+/// the AWS-style decorrelated jitter: each wait is drawn uniformly from
+/// [base_s, 3 * previous_wait] (capped), which spreads simultaneous
+/// clients across the whole backoff window and breaks retry lockstep on a
+/// shared control channel.
 struct BackoffPolicy {
+    enum class Jitter : std::uint8_t {
+        kFull,          ///< nominal exponential x uniform [1-j, 1+j]
+        kDecorrelated,  ///< uniform in [base_s, 3 x previous wait]
+    };
+
     double base_s = 2e-3;
     double factor = 2.0;
-    double max_s = 50e-3;
-    double jitter_frac = 0.25;  ///< uniform in [1-j, 1+j] per wait
+    double max_s = 50e-3;  ///< cap on every wait, whichever discipline
+    double jitter_frac = 0.25;  ///< kFull: uniform in [1-j, 1+j] per wait
+    Jitter jitter = Jitter::kFull;
 
     /// The deterministic (jitter-free) wait before retry `retry` (1-based).
     double nominal_wait_s(int retry) const;
@@ -109,6 +122,10 @@ public:
         std::size_t gave_up = 0;        ///< configs abandoned after retries
         std::size_t bad_responses = 0;  ///< undecodable acks
         double backoff_s = 0.0;         ///< total time slept between retries
+        /// Total |actual - nominal| wait: how far jitter moved this
+        /// session off the deterministic exponential schedule. Also
+        /// exported as the control.transport.retry_jitter_s gauge.
+        double retry_jitter_s = 0.0;
     };
 
     /// `downlink`/`uplink` model the two directions of the control

@@ -1,5 +1,7 @@
 #include "control/wire.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace press::control {
 
 void ByteWriter::u16(std::uint16_t v) {
@@ -75,6 +77,20 @@ std::uint16_t crc16(const std::uint8_t* data, std::size_t n) {
 
 std::uint16_t crc16(const std::vector<std::uint8_t>& data) {
     return crc16(data.data(), data.size());
+}
+
+bool frame_crc_ok(const std::vector<std::uint8_t>& frame) {
+    if (frame.size() < 12) return false;
+    const std::uint16_t expect = crc16(frame.data(), frame.size() - 2);
+    const std::uint16_t got = static_cast<std::uint16_t>(
+        frame[frame.size() - 2] |
+        (static_cast<std::uint16_t>(frame[frame.size() - 1]) << 8));
+    return expect == got;
+}
+
+void note_corrupt_frame() {
+    if (!obs::enabled()) return;
+    obs::MetricsRegistry::global().counter("wire.frames_corrupt").add();
 }
 
 }  // namespace press::control

@@ -30,6 +30,7 @@ public:
     void u32(std::uint32_t v);
     void u64(std::uint64_t v);
     void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
     void bytes(const std::uint8_t* data, std::size_t n);
 
     const std::vector<std::uint8_t>& buffer() const { return buf_; }
@@ -51,6 +52,7 @@ public:
     std::uint32_t u32();
     std::uint64_t u64();
     std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
 
     std::size_t remaining() const { return buf_.size() - pos_; }
     std::size_t position() const { return pos_; }
@@ -65,5 +67,18 @@ private:
 /// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over a byte range.
 std::uint16_t crc16(const std::uint8_t* data, std::size_t n);
 std::uint16_t crc16(const std::vector<std::uint8_t>& data);
+
+/// True when `frame` is long enough to carry the framing and its trailing
+/// CRC-16 matches the bytes before it — the cheap integrity screen every
+/// receiving endpoint runs before structural decoding. Does not touch the
+/// corruption counter; decode() owns that accounting.
+bool frame_crc_ok(const std::vector<std::uint8_t>& frame);
+
+/// Counts one corrupt frame into the `wire.frames_corrupt` telemetry
+/// counter (no-op when observability is disabled). decode() calls this for
+/// every frame it rejects on truncation or CRC mismatch, so any chaos or
+/// channel noise that mangles frames is visible as one global counter
+/// instead of being scattered across per-endpoint rejection stats.
+void note_corrupt_frame();
 
 }  // namespace press::control

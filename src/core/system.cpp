@@ -1,6 +1,7 @@
 #include "core/system.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <complex>
 
 #include "control/batch.hpp"
@@ -415,9 +416,14 @@ control::OptimizationOutcome System::optimize_fast(
 
     {
         obs::TraceSpan search_span("core.system.search_batched", &clock);
+        const auto compute_t0 = std::chrono::steady_clock::now();
         outcome.search =
             searcher.search_batched(space, eval, coord_eval, max_evals,
                                     rng, stop, pool.num_threads() * 2);
+        outcome.search.compute_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - compute_t0)
+                .count();
     }
     outcome.elapsed_s = clock.now_s();
     outcome.budget_limited = outcome.search.evaluations >= max_evals ||

@@ -1,0 +1,145 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace press::fault {
+
+ChaosOptions ChaosOptions::uniform(double level) {
+    PRESS_EXPECTS(level >= 0.0 && level < 1.0,
+                  "chaos level must be a probability below 1");
+    ChaosOptions o;
+    o.drop_rate = level;
+    o.duplicate_rate = level;
+    o.reorder_rate = level;
+    o.corrupt_rate = level;
+    o.delay_rate = level;
+    o.disconnect_rate = level / 5.0;
+    return o;
+}
+
+namespace {
+
+// Unlike LossyChannel, a rate of exactly 1.0 is allowed: tests use
+// always-fire faults to pin down single behaviours deterministically.
+void check_rate(double rate, const char* what) {
+    PRESS_EXPECTS(rate >= 0.0 && rate <= 1.0, what);
+}
+
+}  // namespace
+
+ChaosLink::ChaosLink(ChaosOptions options, util::Rng rng)
+    : options_(options), rng_(rng) {
+    check_rate(options.drop_rate, "drop rate must be a probability below 1");
+    check_rate(options.duplicate_rate,
+               "duplicate rate must be a probability below 1");
+    check_rate(options.reorder_rate,
+               "reorder rate must be a probability below 1");
+    check_rate(options.corrupt_rate,
+               "corrupt rate must be a probability below 1");
+    check_rate(options.delay_rate, "delay rate must be a probability below 1");
+    check_rate(options.disconnect_rate,
+               "disconnect rate must be a probability below 1");
+    PRESS_EXPECTS(options.delay_min_s >= 0.0 &&
+                      options.delay_max_s >= options.delay_min_s,
+                  "delay bounds must be ordered and non-negative");
+}
+
+void ChaosLink::send(const std::vector<std::uint8_t>& frame, double now_s) {
+    ++stats_.sent;
+    if (severed_) {
+        ++stats_.severed_loss;
+        return;
+    }
+    if (rng_.chance(options_.disconnect_rate)) {
+        // The link severs with this frame on it: the frame and every
+        // in-flight predecessor is lost (a dead wire finishes nothing).
+        severed_ = true;
+        ++stats_.disconnects;
+        stats_.severed_loss += 1 + flight_.size();
+        flight_.clear();
+        return;
+    }
+    if (rng_.chance(options_.drop_rate)) {
+        ++stats_.dropped;
+        return;
+    }
+
+    InFlight entry;
+    entry.order = next_order_++;
+    entry.frame = frame;
+    entry.due_s = now_s;
+    if (rng_.chance(options_.delay_rate)) {
+        entry.due_s +=
+            rng_.uniform(options_.delay_min_s, options_.delay_max_s);
+        ++stats_.delayed;
+    }
+    if (rng_.chance(options_.reorder_rate)) {
+        // Hold the frame back past its successors: at least one max-delay
+        // window beyond any chaos delay it already picked up.
+        const double hold =
+            std::max(options_.delay_max_s, 1e-4);
+        entry.due_s += rng_.uniform(hold, 2.0 * hold);
+    }
+    if (rng_.chance(options_.corrupt_rate) && !entry.frame.empty()) {
+        const int flips = static_cast<int>(rng_.uniform_int(1, 8));
+        for (int i = 0; i < flips; ++i) {
+            const auto byte = static_cast<std::size_t>(rng_.uniform_int(
+                0, static_cast<std::int64_t>(entry.frame.size()) - 1));
+            const auto bit = static_cast<int>(rng_.uniform_int(0, 7));
+            entry.frame[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        }
+        ++stats_.corrupted;
+    }
+    if (rng_.chance(options_.duplicate_rate)) {
+        InFlight dup = entry;
+        // The duplicate travels independently — its own (possibly
+        // different) delivery time, same send order.
+        dup.due_s = now_s;
+        if (rng_.chance(0.5)) {
+            dup.due_s +=
+                rng_.uniform(options_.delay_min_s, options_.delay_max_s);
+        }
+        flight_.push_back(std::move(dup));
+        ++stats_.duplicated;
+    }
+    flight_.push_back(std::move(entry));
+}
+
+std::vector<std::vector<std::uint8_t>> ChaosLink::deliver(double now_s) {
+    std::vector<std::vector<std::uint8_t>> out;
+    if (flight_.empty()) return out;
+
+    // Ripe frames leave in delivery-time order; ties break by send order,
+    // so an undisturbed link is strictly FIFO.
+    std::stable_sort(flight_.begin(), flight_.end(),
+                     [](const InFlight& a, const InFlight& b) {
+                         if (a.due_s != b.due_s) return a.due_s < b.due_s;
+                         return a.order < b.order;
+                     });
+    std::size_t ripe = 0;
+    while (ripe < flight_.size() && flight_[ripe].due_s <= now_s) ++ripe;
+    out.reserve(ripe);
+    for (std::size_t i = 0; i < ripe; ++i) {
+        InFlight& f = flight_[i];
+        if (any_delivered_ && f.order < last_delivered_order_) {
+            ++stats_.reordered;
+        }
+        last_delivered_order_ =
+            any_delivered_ ? std::max(last_delivered_order_, f.order)
+                           : f.order;
+        any_delivered_ = true;
+        ++stats_.delivered;
+        out.push_back(std::move(f.frame));
+    }
+    flight_.erase(flight_.begin(),
+                  flight_.begin() + static_cast<std::ptrdiff_t>(ripe));
+    return out;
+}
+
+void ChaosLink::reconnect() {
+    severed_ = false;
+}
+
+}  // namespace press::fault

@@ -1,0 +1,101 @@
+// Wire-level chaos injection for the control-plane service.
+//
+// LossyChannel (control/transport.hpp) models a physically noisy channel:
+// independent bit flips and whole-frame drops. A service that must stay
+// correct under *adversarial* transport conditions needs more failure
+// modes than physics provides: duplicated frames (retransmit races),
+// reordering (multipath queues), bounded delay, corruption bursts, and
+// mid-request disconnects. ChaosLink is that harness — a deterministic,
+// seeded frame mangler that sits between a client and a control::Service
+// in tests, the chaos-soak CI job and press_loadgen.
+//
+// The link is time-aware: frames are sent at a simulated instant and
+// become deliverable once their (possibly chaos-extended) delivery time
+// passes, so reordering and delay are real scheduling effects rather than
+// shuffles of an array. Every injected fault is counted; the soak
+// accounting in press_loadgen closes its books against these counters to
+// prove the service never loses a frame silently — whatever was not
+// delivered was chaos, and the chaos wrote it down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace press::fault {
+
+/// Per-frame fault probabilities and bounds. All rates are independent
+/// probabilities in [0, 1); a frame can be delayed AND duplicated AND
+/// corrupted in one pass.
+struct ChaosOptions {
+    double drop_rate = 0.0;       ///< frame vanishes
+    double duplicate_rate = 0.0;  ///< frame delivered twice
+    double reorder_rate = 0.0;    ///< frame held back past later frames
+    double corrupt_rate = 0.0;    ///< 1-8 random bit flips
+    double delay_rate = 0.0;      ///< frame delayed by uniform extra time
+    double delay_min_s = 0.0;
+    double delay_max_s = 5e-3;
+    /// Chance, per frame, that the link severs mid-flight: this frame and
+    /// everything sent afterwards is lost until reconnect() — the
+    /// mid-request-disconnect scenario.
+    double disconnect_rate = 0.0;
+
+    /// A uniform knob for soak scripts: every rate at `level` (disconnects
+    /// at level / 5, so sessions live long enough to carry traffic).
+    static ChaosOptions uniform(double level);
+};
+
+/// A unidirectional chaotic frame pipe. Deterministic for a given rng.
+class ChaosLink {
+public:
+    ChaosLink(ChaosOptions options, util::Rng rng);
+
+    /// Offers one frame to the link at simulated time `now_s`.
+    void send(const std::vector<std::uint8_t>& frame, double now_s);
+
+    /// Frames whose delivery time has passed, in delivery order (which
+    /// chaos may have decoupled from send order).
+    std::vector<std::vector<std::uint8_t>> deliver(double now_s);
+
+    /// Frames still in flight (not yet deliverable).
+    std::size_t in_flight() const { return flight_.size(); }
+
+    /// True once a disconnect fired; send() drops everything until
+    /// reconnect(). In-flight frames are lost too (a severed link does
+    /// not finish its deliveries).
+    bool severed() const { return severed_; }
+    void reconnect();
+
+    struct Stats {
+        std::uint64_t sent = 0;        ///< frames offered
+        std::uint64_t delivered = 0;   ///< frames handed out (incl. dups)
+        std::uint64_t dropped = 0;     ///< lost to drop_rate
+        std::uint64_t duplicated = 0;  ///< extra copies injected
+        std::uint64_t corrupted = 0;   ///< frames with flipped bits
+        std::uint64_t delayed = 0;     ///< frames given extra latency
+        std::uint64_t reordered = 0;   ///< deliveries out of send order
+        std::uint64_t disconnects = 0; ///< times the link severed
+        std::uint64_t severed_loss = 0;///< frames lost to severed link
+    };
+    const Stats& stats() const { return stats_; }
+
+private:
+    struct InFlight {
+        double due_s = 0.0;
+        std::uint64_t order = 0;  ///< send order, for reorder accounting
+        std::vector<std::uint8_t> frame;
+    };
+
+    ChaosOptions options_;
+    util::Rng rng_;
+    std::vector<InFlight> flight_;
+    std::uint64_t next_order_ = 0;
+    std::uint64_t last_delivered_order_ = 0;
+    bool any_delivered_ = false;
+    bool severed_ = false;
+    Stats stats_;
+};
+
+}  // namespace press::fault

@@ -1,0 +1,580 @@
+// press_loadgen — closed-loop driver and chaos soak for the control-plane
+// service.
+//
+// Two modes:
+//
+//   In-process (default): builds a study scene, a control::Service over
+//   it, and N client state machines, each talking to the service through
+//   a pair of fault::ChaosLink pipes (client->service and back). Virtual
+//   time advances in fixed ticks; chaos drops, duplicates, reorders,
+//   corrupts, delays and severs frames at configured rates while clients
+//   retransmit, reconnect and occasionally refuse to read (slow-reader
+//   sessions). This is the chaos-soak harness CI runs under ASan/TSan.
+//
+//   Socket (--connect PATH): drives a running pressd over AF_UNIX
+//   SOCK_SEQPACKET with a plain closed loop — the end-to-end smoke and
+//   throughput check for the daemon.
+//
+// The exit code is the verdict. The soak fails (exit 1) if:
+//   - the service's no-silent-drop ledger does not balance
+//     (admitted != served + expired + evicted + dropped_closed + queued),
+//   - --assert-rps R is given and served wall-clock throughput is lower,
+//   - --inject-stuck N is given and the watchdog never tripped or never
+//     wrote a flight dump.
+//
+//   press_loadgen [--sessions N] [--requests N] [--chaos L]
+//                 [--slow-readers K] [--inject-stuck N] [--seed S]
+//                 [--assert-rps R] [--budget-us N] [--deadline-us N]
+//                 [--queue N] [--quiet] [--connect PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "control/message.hpp"
+#include "control/service.hpp"
+#include "core/scenarios.hpp"
+#include "core/serve.hpp"
+#include "fault/chaos.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+#ifndef _WIN32
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using press::control::Message;
+using press::control::MutateRequest;
+using press::control::OptimizeReply;
+using press::control::OptimizeRequest;
+using press::control::Reject;
+using press::control::RejectReason;
+using press::control::Service;
+using press::fault::ChaosLink;
+using press::fault::ChaosOptions;
+
+struct Args {
+    std::size_t sessions = 4;
+    std::uint64_t requests = 200;  // per session
+    double chaos = 0.0;
+    std::size_t slow_readers = 0;
+    std::size_t inject_stuck = 0;
+    std::uint64_t seed = 1;
+    double assert_rps = 0.0;
+    std::uint32_t budget_us = 5000;
+    std::uint32_t deadline_us = 0;  // 0 = service default
+    std::size_t queue = 64;
+    bool quiet = false;
+    std::string connect_path;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "press_loadgen: %s needs a value\n",
+                             a.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char* v = nullptr;
+        if (a == "--sessions" && (v = next()))
+            args.sessions = std::strtoull(v, nullptr, 10);
+        else if (a == "--requests" && (v = next()))
+            args.requests = std::strtoull(v, nullptr, 10);
+        else if (a == "--chaos" && (v = next()))
+            args.chaos = std::strtod(v, nullptr);
+        else if (a == "--slow-readers" && (v = next()))
+            args.slow_readers = std::strtoull(v, nullptr, 10);
+        else if (a == "--inject-stuck" && (v = next()))
+            args.inject_stuck = std::strtoull(v, nullptr, 10);
+        else if (a == "--seed" && (v = next()))
+            args.seed = std::strtoull(v, nullptr, 10);
+        else if (a == "--assert-rps" && (v = next()))
+            args.assert_rps = std::strtod(v, nullptr);
+        else if (a == "--budget-us" && (v = next()))
+            args.budget_us =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (a == "--deadline-us" && (v = next()))
+            args.deadline_us =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (a == "--queue" && (v = next()))
+            args.queue = std::strtoull(v, nullptr, 10);
+        else if (a == "--connect" && (v = next()))
+            args.connect_path = v;
+        else if (a == "--quiet")
+            args.quiet = true;
+        else if (v == nullptr && a != "--quiet") {
+            std::fprintf(stderr, "press_loadgen: unknown flag %s\n",
+                         a.c_str());
+            return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// One client state machine: closed loop (at most one outstanding
+/// optimize), bounded retransmission, reconnect on a severed link.
+struct Client {
+    Service::SessionId session = 0;
+    ChaosLink to_service;
+    ChaosLink from_service;
+    press::util::Rng rng;
+    bool slow = false;
+
+    std::uint32_t next_seq = 1;
+    bool outstanding = false;
+    std::uint32_t outstanding_seq = 0;
+    std::vector<std::uint8_t> outstanding_frame;
+    double retransmit_at_s = 0.0;
+    int retransmits_left = 0;
+
+    // Client-side ledger (informational; chaos legitimately loses frames
+    // — the hard invariant lives in the service's accounting).
+    std::uint64_t sent = 0;
+    std::uint64_t mutates_sent = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t abandoned = 0;
+    std::uint64_t bad_frames = 0;
+    std::uint64_t reconnects = 0;
+
+    Client(ChaosOptions chaos, press::util::Rng chaos_rng,
+           press::util::Rng client_rng)
+        : to_service(chaos, chaos_rng.fork()),
+          from_service(chaos, chaos_rng.fork()),
+          rng(client_rng) {}
+};
+
+constexpr double kTickS = 0.5e-3;
+constexpr double kRetransmitTimeoutS = 0.05;
+constexpr int kMaxRetransmits = 4;
+
+int run_in_process(const Args& args) {
+    press::obs::set_enabled(true);
+    press::obs::flight_install_signal_dump("press_loadgen");
+
+    auto scenario = press::core::make_link_scenario(args.seed,
+                                                   /*line_of_sight=*/false);
+    press::core::ServeConfig serve_config;
+    serve_config.seed = args.seed * 0x9E3779B97F4A7C15ull + 1;
+    press::control::ServiceOptions options;
+    options.queue_capacity = args.queue;
+    options.inject_stall_every = args.inject_stuck;
+    Service service(
+        press::core::make_service_engine(scenario.system, serve_config),
+        options);
+
+    const ChaosOptions chaos = ChaosOptions::uniform(args.chaos);
+    press::util::Rng root_rng(args.seed * 77777 + 13);
+    std::vector<Client> clients;
+    clients.reserve(args.sessions);
+    for (std::size_t i = 0; i < args.sessions; ++i) {
+        clients.emplace_back(chaos, root_rng.fork(), root_rng.fork());
+        clients.back().session = service.connect();
+        clients.back().slow = i < args.slow_readers;
+    }
+
+    auto make_optimize = [&](Client& c) {
+        OptimizeRequest req;
+        req.array_id = static_cast<std::uint16_t>(scenario.array_id);
+        req.link_id = static_cast<std::uint16_t>(scenario.link_id);
+        req.objective = static_cast<std::uint8_t>(
+            c.rng.chance(0.5) ? press::control::ServiceObjective::kMinSnr
+                              : press::control::ServiceObjective::kMeanSnr);
+        req.searcher = static_cast<std::uint8_t>(
+            press::control::ServiceSearcher::kGreedy);
+        req.budget_us = args.budget_us;
+        req.deadline_us = args.deadline_us;
+        req.priority = static_cast<std::uint8_t>(c.rng.uniform_int(0, 255));
+        return req;
+    };
+
+    double vnow = 0.0;
+    std::uint64_t tick = 0;
+    const std::uint64_t target_total = args.requests * args.sessions;
+    // Generous bound: chaos retries stretch runs, but the soak must end.
+    const std::uint64_t max_ticks = 4000 * std::max<std::uint64_t>(
+                                               1, target_total / 10);
+    bool draining = false;
+    std::uint64_t drain_ticks = 0;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    while (tick < max_ticks) {
+        ++tick;
+        vnow += kTickS;
+        service.advance_clock(kTickS);
+
+        bool all_done = true;
+        for (auto& c : clients) {
+            // A session the service closed (slow reader) or a severed
+            // link both mean "reconnect and carry on".
+            const bool severed =
+                c.to_service.severed() || c.from_service.severed();
+            if (severed || !service.session_open(c.session)) {
+                if (service.session_open(c.session))
+                    service.disconnect(c.session);
+                c.to_service.reconnect();
+                c.from_service.reconnect();
+                c.session = service.connect();
+                ++c.reconnects;
+                if (c.outstanding) {
+                    ++c.abandoned;
+                    c.outstanding = false;
+                }
+                press::control::Hello hello;
+                c.to_service.send(
+                    encode(Message{hello}, c.next_seq++, {}), vnow);
+            }
+
+            // Read replies (the slow reader's tardiness is modeled at the
+            // service outbox below, so reading here is always allowed).
+            for (auto& frame : c.from_service.deliver(vnow)) {
+                press::control::Decoded decoded;
+                try {
+                    decoded = press::control::decode(frame);
+                } catch (const press::control::ProtocolError&) {
+                    ++c.bad_frames;  // chaos corrupted it; wire counted it
+                    continue;
+                }
+                const bool for_outstanding =
+                    c.outstanding && decoded.seq == c.outstanding_seq;
+                if (const auto* reply =
+                        std::get_if<OptimizeReply>(&decoded.message)) {
+                    if (for_outstanding) {
+                        ++c.completed;
+                        if (reply->status != 0) ++c.degraded;
+                        c.outstanding = false;
+                    }
+                } else if (const auto* rej =
+                               std::get_if<Reject>(&decoded.message)) {
+                    const auto reason =
+                        static_cast<RejectReason>(rej->reason);
+                    if (reason == RejectReason::kExpired) {
+                        ++c.expired;
+                        if (for_outstanding) c.outstanding = false;
+                    } else if (reason == RejectReason::kDuplicate) {
+                        // The original got through; its reply is coming
+                        // (or was lost — the retransmit budget bounds
+                        // the wait either way).
+                        if (for_outstanding)
+                            c.retransmit_at_s = vnow + kRetransmitTimeoutS;
+                    } else {
+                        ++c.rejected;
+                        if (for_outstanding) c.outstanding = false;
+                    }
+                }
+                // HelloAck / MutateReply / StatusReply: informational.
+            }
+
+            // Retransmit or abandon a stuck request.
+            if (c.outstanding && vnow >= c.retransmit_at_s) {
+                if (c.retransmits_left > 0) {
+                    --c.retransmits_left;
+                    c.to_service.send(c.outstanding_frame, vnow);
+                    c.retransmit_at_s = vnow + kRetransmitTimeoutS;
+                } else {
+                    ++c.abandoned;
+                    c.outstanding = false;
+                }
+            }
+
+            // Next request (closed loop).
+            if (!draining && !c.outstanding && c.sent < args.requests) {
+                ++c.sent;
+                if (c.sent % 8 == 0) {
+                    // A scene mutation rides along every 8th request:
+                    // fire-and-forget, fenced to the next epoch.
+                    MutateRequest mut;
+                    mut.array_id =
+                        static_cast<std::uint16_t>(scenario.array_id);
+                    mut.element = static_cast<std::uint16_t>(
+                        c.rng.uniform_int(0, 2));
+                    mut.state =
+                        static_cast<std::uint8_t>(c.rng.uniform_int(0, 3));
+                    ++c.mutates_sent;
+                    c.to_service.send(
+                        encode(Message{mut}, c.next_seq++, {}), vnow);
+                } else {
+                    const OptimizeRequest req = make_optimize(c);
+                    c.outstanding_seq = c.next_seq++;
+                    c.outstanding_frame =
+                        encode(Message{req}, c.outstanding_seq, {});
+                    c.outstanding = true;
+                    c.retransmit_at_s = vnow + kRetransmitTimeoutS;
+                    c.retransmits_left = kMaxRetransmits;
+                    c.to_service.send(c.outstanding_frame, vnow);
+                }
+            }
+            if (c.sent < args.requests || c.outstanding) all_done = false;
+
+            // Client -> service delivery.
+            if (service.session_open(c.session)) {
+                for (auto& frame : c.to_service.deliver(vnow))
+                    service.submit(c.session, frame);
+            } else {
+                // Session closed between sends: frames fall on the floor
+                // of a dead socket; the service never admitted them.
+                (void)c.to_service.deliver(vnow);
+            }
+        }
+
+        service.run_cycle();
+
+        // Service -> client flush. A slow reader drains its service
+        // outbox two orders of magnitude less often, which is what backs
+        // the outbox up and triggers backpressure / session drop.
+        for (auto& c : clients) {
+            if (c.slow && tick % 128 != 0) continue;
+            if (!service.session_open(c.session)) continue;
+            for (auto& frame : service.take_outgoing(c.session))
+                c.from_service.send(frame, vnow);
+        }
+
+        if (all_done) {
+            draining = true;
+            ++drain_ticks;
+            // Everything sent and in-flight has settled; give the links
+            // time to flush their delay queues, then stop.
+            bool links_empty = true;
+            for (const auto& c : clients) {
+                if (c.to_service.in_flight() > 0 ||
+                    c.from_service.in_flight() > 0)
+                    links_empty = false;
+            }
+            if (links_empty && service.queue_depth() == 0 &&
+                service.pending_mutations() == 0 && drain_ticks > 64)
+                break;
+        }
+    }
+    service.run_until_idle();
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+
+    // ---- Verdict ---------------------------------------------------
+    const auto& s = service.stats();
+    std::uint64_t chaos_sent = 0, chaos_dropped = 0, chaos_corrupted = 0,
+                  chaos_dup = 0, chaos_reordered = 0, chaos_severed = 0;
+    std::uint64_t completed = 0, abandoned = 0, reconnects = 0;
+    for (const auto& c : clients) {
+        for (const ChaosLink* link : {&c.to_service, &c.from_service}) {
+            chaos_sent += link->stats().sent;
+            chaos_dropped += link->stats().dropped;
+            chaos_corrupted += link->stats().corrupted;
+            chaos_dup += link->stats().duplicated;
+            chaos_reordered += link->stats().reordered;
+            chaos_severed += link->stats().severed_loss;
+        }
+        completed += c.completed;
+        abandoned += c.abandoned;
+        reconnects += c.reconnects;
+    }
+
+    bool ok = true;
+    if (!service.accounting_balanced()) {
+        std::fprintf(stderr,
+                     "press_loadgen: FAIL accounting imbalance: admitted=%llu"
+                     " != served=%llu + expired=%llu + evicted=%llu +"
+                     " dropped_closed=%llu + queued=%zu\n",
+                     static_cast<unsigned long long>(s.admitted),
+                     static_cast<unsigned long long>(s.served),
+                     static_cast<unsigned long long>(s.expired),
+                     static_cast<unsigned long long>(s.evicted),
+                     static_cast<unsigned long long>(s.dropped_closed),
+                     service.queue_depth());
+        ok = false;
+    }
+    const double rps = wall_s > 0.0 ? static_cast<double>(s.served) / wall_s
+                                    : 0.0;
+    if (args.assert_rps > 0.0 && rps < args.assert_rps) {
+        std::fprintf(stderr,
+                     "press_loadgen: FAIL throughput %.1f req/s below "
+                     "asserted %.1f\n",
+                     rps, args.assert_rps);
+        ok = false;
+    }
+    if (args.inject_stuck > 0) {
+        if (s.watchdog_trips == 0) {
+            std::fprintf(stderr,
+                         "press_loadgen: FAIL injected stalls but the "
+                         "watchdog never tripped\n");
+            ok = false;
+        }
+        if (s.flight_dumps == 0) {
+            std::fprintf(stderr,
+                         "press_loadgen: FAIL watchdog tripped without a "
+                         "flight-recorder dump\n");
+            ok = false;
+        }
+    }
+
+    if (!args.quiet) {
+        std::printf(
+            "{\"mode\":\"in-process\",\"sessions\":%zu,\"chaos\":%.3f,"
+            "\"wall_s\":%.3f,\"rps\":%.1f,"
+            "\"service\":{\"admitted\":%llu,\"served\":%llu,"
+            "\"expired\":%llu,\"evicted\":%llu,\"dropped_closed\":%llu,"
+            "\"shed\":%llu,\"queue_full\":%llu,\"backpressure\":%llu,"
+            "\"duplicates\":%llu,\"bad_requests\":%llu,\"rejected\":%llu,"
+            "\"frames_bad\":%llu,\"mutations\":%llu,"
+            "\"slow_drops\":%llu,\"watchdog\":%llu,\"flight_dumps\":%llu,"
+            "\"epoch\":%llu},"
+            "\"clients\":{\"completed\":%llu,\"abandoned\":%llu,"
+            "\"reconnects\":%llu},"
+            "\"chaos_links\":{\"sent\":%llu,\"dropped\":%llu,"
+            "\"corrupted\":%llu,\"duplicated\":%llu,\"reordered\":%llu,"
+            "\"severed_loss\":%llu},"
+            "\"balanced\":%s}\n",
+            clients.size(), args.chaos, wall_s, rps,
+            static_cast<unsigned long long>(s.admitted),
+            static_cast<unsigned long long>(s.served),
+            static_cast<unsigned long long>(s.expired),
+            static_cast<unsigned long long>(s.evicted),
+            static_cast<unsigned long long>(s.dropped_closed),
+            static_cast<unsigned long long>(s.shed),
+            static_cast<unsigned long long>(s.queue_full),
+            static_cast<unsigned long long>(s.backpressure),
+            static_cast<unsigned long long>(s.duplicates),
+            static_cast<unsigned long long>(s.bad_requests),
+            static_cast<unsigned long long>(s.rejected),
+            static_cast<unsigned long long>(s.frames_bad),
+            static_cast<unsigned long long>(s.mutations_applied),
+            static_cast<unsigned long long>(s.sessions_dropped_slow),
+            static_cast<unsigned long long>(s.watchdog_trips),
+            static_cast<unsigned long long>(s.flight_dumps),
+            static_cast<unsigned long long>(service.epoch()),
+            static_cast<unsigned long long>(completed),
+            static_cast<unsigned long long>(abandoned),
+            static_cast<unsigned long long>(reconnects),
+            static_cast<unsigned long long>(chaos_sent),
+            static_cast<unsigned long long>(chaos_dropped),
+            static_cast<unsigned long long>(chaos_corrupted),
+            static_cast<unsigned long long>(chaos_dup),
+            static_cast<unsigned long long>(chaos_reordered),
+            static_cast<unsigned long long>(chaos_severed),
+            ok ? "true" : "false");
+    }
+    return ok ? 0 : 1;
+}
+
+#ifndef _WIN32
+int run_socket(const Args& args) {
+    const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET, 0);
+    if (fd < 0) {
+        std::perror("press_loadgen: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, args.connect_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        std::perror("press_loadgen: connect");
+        ::close(fd);
+        return 1;
+    }
+
+    press::util::Rng rng(args.seed);
+    std::uint32_t seq = 1;
+    std::uint64_t completed = 0, rejected = 0, timeouts = 0;
+    std::vector<std::uint8_t> buffer(64 * 1024);
+    {
+        press::control::Hello hello;
+        const auto frame = encode(Message{hello}, seq++, {});
+        (void)::send(fd, frame.data(), frame.size(), 0);
+        (void)::recv(fd, buffer.data(), buffer.size(), 0);  // HelloAck
+    }
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < args.requests; ++i) {
+        OptimizeRequest req;
+        req.budget_us = args.budget_us;
+        req.deadline_us = args.deadline_us;
+        req.priority = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        const std::uint32_t this_seq = seq++;
+        const auto frame = encode(Message{req}, this_seq, {});
+        if (::send(fd, frame.data(), frame.size(), 0) < 0) break;
+        // Wait for this request's terminal frame.
+        for (;;) {
+            pollfd pfd{fd, POLLIN, 0};
+            if (::poll(&pfd, 1, 2000) <= 0) {
+                ++timeouts;
+                break;
+            }
+            const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+            if (n <= 0) {
+                ++timeouts;
+                break;
+            }
+            try {
+                const auto decoded = press::control::decode(
+                    std::vector<std::uint8_t>(buffer.begin(),
+                                              buffer.begin() + n));
+                if (decoded.seq != this_seq) continue;
+                if (std::get_if<OptimizeReply>(&decoded.message) != nullptr)
+                    ++completed;
+                else
+                    ++rejected;
+            } catch (const press::control::ProtocolError&) {
+                continue;
+            }
+            break;
+        }
+    }
+    const double wall_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+    ::close(fd);
+    const double rps =
+        wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+    if (!args.quiet) {
+        std::printf("{\"mode\":\"socket\",\"completed\":%llu,"
+                    "\"rejected\":%llu,\"timeouts\":%llu,\"wall_s\":%.3f,"
+                    "\"rps\":%.1f}\n",
+                    static_cast<unsigned long long>(completed),
+                    static_cast<unsigned long long>(rejected),
+                    static_cast<unsigned long long>(timeouts), wall_s, rps);
+    }
+    if (args.assert_rps > 0.0 && rps < args.assert_rps) {
+        std::fprintf(stderr,
+                     "press_loadgen: FAIL throughput %.1f req/s below "
+                     "asserted %.1f\n",
+                     rps, args.assert_rps);
+        return 1;
+    }
+    return timeouts == 0 ? 0 : 1;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, args)) return 2;
+    if (!args.connect_path.empty()) {
+#ifndef _WIN32
+        return run_socket(args);
+#else
+        std::fprintf(stderr, "press_loadgen: --connect needs POSIX\n");
+        return 2;
+#endif
+    }
+    return run_in_process(args);
+}

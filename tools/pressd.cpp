@@ -1,0 +1,260 @@
+// pressd — the control-plane service as a daemon.
+//
+// Wraps control::Service in an AF_UNIX SOCK_SEQPACKET event loop: each
+// connected client is one service session, each datagram is one wire
+// frame (SEQPACKET preserves frame boundaries, so no length-prefixed
+// stream reassembly is needed). The loop poll()s the listener and every
+// client, pumps inbound frames into Service::submit, flushes outboxes,
+// runs service cycles while work is queued, and maps elapsed wall time
+// onto the service SimClock so deadlines expire in real time.
+//
+// POSIX sockets only — no new dependencies. press_loadgen --connect
+// drives it from another process; the in-process loadgen mode and the
+// tests exercise the identical Service core without sockets.
+//
+//   pressd --socket /tmp/pressd.sock [--seed N] [--queue N] [--threads N]
+//          [--budget-us N] [--duration-s S] [--max-requests N]
+//          [--stall-every N] [--quiet]
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "control/service.hpp"
+#include "core/scenarios.hpp"
+#include "core/serve.hpp"
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using press::control::Service;
+
+constexpr std::size_t kMaxFrame = 64 * 1024;
+
+struct Args {
+    std::string socket_path = "/tmp/pressd.sock";
+    std::uint64_t seed = 1;
+    std::size_t queue = 64;
+    std::size_t threads = 1;
+    double duration_s = 0.0;       // 0 = run until killed
+    std::uint64_t max_requests = 0;  // 0 = unlimited
+    std::size_t stall_every = 0;
+    bool quiet = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&](const char* what) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "pressd: %s needs a value\n", what);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--socket") {
+            const char* v = next("--socket");
+            if (v == nullptr) return false;
+            args.socket_path = v;
+        } else if (a == "--seed") {
+            const char* v = next("--seed");
+            if (v == nullptr) return false;
+            args.seed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--queue") {
+            const char* v = next("--queue");
+            if (v == nullptr) return false;
+            args.queue = std::strtoull(v, nullptr, 10);
+        } else if (a == "--threads") {
+            const char* v = next("--threads");
+            if (v == nullptr) return false;
+            args.threads = std::strtoull(v, nullptr, 10);
+        } else if (a == "--duration-s") {
+            const char* v = next("--duration-s");
+            if (v == nullptr) return false;
+            args.duration_s = std::strtod(v, nullptr);
+        } else if (a == "--max-requests") {
+            const char* v = next("--max-requests");
+            if (v == nullptr) return false;
+            args.max_requests = std::strtoull(v, nullptr, 10);
+        } else if (a == "--stall-every") {
+            const char* v = next("--stall-every");
+            if (v == nullptr) return false;
+            args.stall_every = std::strtoull(v, nullptr, 10);
+        } else if (a == "--quiet") {
+            args.quiet = true;
+        } else {
+            std::fprintf(stderr, "pressd: unknown flag %s\n", a.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+int make_listener(const std::string& path) {
+    const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET, 0);
+    if (fd < 0) {
+        std::perror("pressd: socket");
+        return -1;
+    }
+    ::unlink(path.c_str());
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "pressd: socket path too long\n");
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        std::perror("pressd: bind");
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 16) < 0) {
+        std::perror("pressd: listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, args)) return 2;
+
+    press::obs::set_enabled(true);
+    press::obs::flight_install_signal_dump("pressd");
+
+    // One blocked-link study room is the daemon's scene; richer scene
+    // selection can ride on a future flag without touching the loop.
+    auto scenario = press::core::make_link_scenario(args.seed,
+                                                   /*line_of_sight=*/false);
+    press::core::ServeConfig serve_config;
+    serve_config.threads = args.threads;
+    serve_config.seed = args.seed * 0x9E3779B97F4A7C15ull + 1;
+
+    press::control::ServiceOptions options;
+    options.queue_capacity = args.queue;
+    options.inject_stall_every = args.stall_every;
+    Service service(
+        press::core::make_service_engine(scenario.system, serve_config),
+        options);
+
+    const int listener = make_listener(args.socket_path);
+    if (listener < 0) return 1;
+    if (!args.quiet)
+        std::fprintf(stderr, "pressd: listening on %s\n",
+                     args.socket_path.c_str());
+
+    std::map<int, Service::SessionId> sessions;  // fd -> session
+    const auto start = std::chrono::steady_clock::now();
+    auto last_tick = start;
+    std::vector<std::uint8_t> buffer(kMaxFrame);
+    bool running = true;
+
+    while (running) {
+        std::vector<pollfd> fds;
+        fds.push_back({listener, POLLIN, 0});
+        for (const auto& [fd, id] : sessions) {
+            short events = POLLIN;
+            if (service.outbox_depth(id) > 0) events |= POLLOUT;
+            fds.push_back({fd, events, 0});
+        }
+        // Short timeout: deadlines and the duration bound advance even
+        // when no client is talking.
+        const int ready = ::poll(fds.data(), fds.size(), 10);
+        if (ready < 0 && errno != EINTR) {
+            std::perror("pressd: poll");
+            break;
+        }
+
+        // Wall time maps onto the service SimClock so queued deadlines
+        // expire in real time (engine cycles advance it additionally).
+        const auto now = std::chrono::steady_clock::now();
+        service.advance_clock(
+            std::chrono::duration<double>(now - last_tick).count());
+        last_tick = now;
+
+        if (fds[0].revents & POLLIN) {
+            const int client = ::accept(listener, nullptr, nullptr);
+            if (client >= 0) sessions[client] = service.connect();
+        }
+
+        std::vector<int> closed;
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            const int fd = fds[i].fd;
+            const auto sit = sessions.find(fd);
+            if (sit == sessions.end()) continue;
+            if (fds[i].revents & (POLLERR | POLLHUP)) {
+                closed.push_back(fd);
+                continue;
+            }
+            if (fds[i].revents & POLLIN) {
+                const ssize_t n =
+                    ::recv(fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
+                if (n > 0) {
+                    service.submit(sit->second,
+                                   std::vector<std::uint8_t>(
+                                       buffer.begin(), buffer.begin() + n));
+                } else if (n == 0) {
+                    closed.push_back(fd);
+                }
+            }
+        }
+
+        // Serve while work is queued, then flush outboxes.
+        while (service.run_cycle()) {
+        }
+        for (auto& [fd, id] : sessions) {
+            for (auto& frame : service.take_outgoing(id)) {
+                // Best effort: a send the kernel refuses (client gone)
+                // surfaces as POLLHUP next iteration.
+                (void)::send(fd, frame.data(), frame.size(), MSG_DONTWAIT);
+            }
+        }
+        for (const int fd : closed) {
+            service.disconnect(sessions[fd]);
+            sessions.erase(fd);
+            ::close(fd);
+        }
+
+        const double elapsed =
+            std::chrono::duration<double>(now - start).count();
+        if (args.duration_s > 0.0 && elapsed >= args.duration_s)
+            running = false;
+        if (args.max_requests > 0 &&
+            service.stats().served >= args.max_requests)
+            running = false;
+    }
+
+    for (const auto& [fd, id] : sessions) ::close(fd);
+    ::close(listener);
+    ::unlink(args.socket_path.c_str());
+
+    const auto& s = service.stats();
+    if (!args.quiet) {
+        std::fprintf(stderr,
+                     "pressd: served=%llu rejected=%llu expired=%llu "
+                     "evicted=%llu watchdog=%llu epochs=%llu balanced=%d\n",
+                     static_cast<unsigned long long>(s.served),
+                     static_cast<unsigned long long>(s.rejected),
+                     static_cast<unsigned long long>(s.expired),
+                     static_cast<unsigned long long>(s.evicted),
+                     static_cast<unsigned long long>(s.watchdog_trips),
+                     static_cast<unsigned long long>(service.epoch()),
+                     service.accounting_balanced() ? 1 : 0);
+    }
+    return service.accounting_balanced() ? 0 : 1;
+}
