@@ -80,8 +80,19 @@ std::size_t Service::outbox_watermark() const {
 }
 
 Service::SessionId Service::connect() {
+    // SessionId is wire-visible (HelloAck.session_id is u16), so it stays
+    // narrow; after 65535 connects next_session_ wraps, and an id aliased
+    // to a still-open session would cross-deliver frames. Skip live ids
+    // (0 is reserved as "no session").
+    PRESS_EXPECTS(sessions_.size() <
+                      static_cast<std::size_t>(
+                          std::numeric_limits<SessionId>::max()),
+                  "session id space exhausted");
+    while (next_session_ == 0 || sessions_.count(next_session_) != 0)
+        ++next_session_;
     const SessionId id = next_session_++;
-    sessions_.emplace(id, Session{});
+    const bool inserted = sessions_.emplace(id, Session{}).second;
+    PRESS_ENSURES(inserted, "session id collision");
     count("service.sessions_opened");
     return id;
 }
@@ -154,13 +165,26 @@ std::size_t Service::outbox_depth(SessionId id) const {
     return it == sessions_.end() ? 0 : it->second.outbox.size();
 }
 
-bool Service::seen_before(Session& session, std::uint32_t seq) {
-    if (std::find(session.seen_seqs.begin(), session.seen_seqs.end(), seq) !=
-        session.seen_seqs.end())
-        return true;
+const std::vector<std::uint8_t>* Service::peek_outgoing(SessionId id) const {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second.outbox.empty()) return nullptr;
+    return &it->second.outbox.front();
+}
+
+void Service::pop_outgoing(SessionId id) {
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end() && !it->second.outbox.empty())
+        it->second.outbox.pop_front();
+}
+
+bool Service::seen_before(const Session& session, std::uint32_t seq) const {
+    return std::find(session.seen_seqs.begin(), session.seen_seqs.end(),
+                     seq) != session.seen_seqs.end();
+}
+
+void Service::record_seen(Session& session, std::uint32_t seq) {
     session.seen_seqs.push_back(seq);
     if (session.seen_seqs.size() > kSeenWindow) session.seen_seqs.pop_front();
-    return false;
 }
 
 void Service::reject(SessionId id, std::uint32_t seq, RejectReason reason) {
@@ -248,6 +272,10 @@ void Service::handle(SessionId id, Session& session, const Decoded& decoded) {
             reject(id, decoded.seq, RejectReason::kQueueFull);
             return;
         }
+        // Recorded only on admission: a retransmit after a transient
+        // refusal (backpressure, queue-full) whose Reject frame was lost
+        // must be re-evaluated, not answered kDuplicate.
+        record_seen(session, decoded.seq);
         mutations_.push_back(PendingMutation{id, decoded.seq, *mut});
         return;
     }
@@ -307,10 +335,23 @@ void Service::admit_optimize(SessionId id, Session& session,
                 victim = qit;
         }
         if (victim->priority < priority) {
+            // Erase before rejecting: reject() -> push_frame() can close
+            // the victim's session (full outbox), and drop_session()
+            // purges that session's queue entries — mutating queue_ while
+            // we hold an iterator, and double-counting the victim as
+            // dropped_closed on top of evicted.
+            const SessionId victim_session = victim->session;
+            const std::uint32_t victim_seq = victim->seq;
+            queue_.erase(victim);
             ++stats_.evicted;
             count("service.evicted");
-            reject(victim->session, victim->seq, RejectReason::kQueueFull);
-            queue_.erase(victim);
+            reject(victim_session, victim_seq, RejectReason::kQueueFull);
+            if (sessions_.count(id) == 0) {
+                // The victim shared the newcomer's session and rejecting
+                // it closed that session: the newcomer has no reader
+                // left, so it is not admitted (and `session` is gone).
+                return;
+            }
         } else {
             ++stats_.queue_full;
             count("service.queue_full");
@@ -330,6 +371,8 @@ void Service::admit_optimize(SessionId id, Session& session,
     pending.deadline_sim_s = clock_.now_s() + deadline_s;
     pending.admit_order = next_admit_order_++;
     pending.arrival_wall = std::chrono::steady_clock::now();
+    // Recorded only on admission (see the mutate path for why).
+    record_seen(session, decoded.seq);
     queue_.push_back(std::move(pending));
     ++stats_.admitted;
     count("service.admitted");
@@ -352,11 +395,17 @@ bool Service::pop_next(Pending& out) {
         }
         if (best->deadline_sim_s <= clock_.now_s()) {
             // Too late to run; the client hears kExpired rather than
-            // receiving a stale result late.
+            // receiving a stale result late. Erase before rejecting:
+            // reject() can close the session (full outbox) and purge its
+            // queue entries, which would invalidate `best` and count
+            // this same request dropped_closed on top of expired. The
+            // loop restarts with fresh iterators.
+            const SessionId session = best->session;
+            const std::uint32_t seq = best->seq;
+            queue_.erase(best);
             ++stats_.expired;
             count("service.expired");
-            reject(best->session, best->seq, RejectReason::kExpired);
-            queue_.erase(best);
+            reject(session, seq, RejectReason::kExpired);
             continue;
         }
         out = std::move(*best);

@@ -161,6 +161,15 @@ public:
     std::vector<std::vector<std::uint8_t>> take_outgoing(
         SessionId id, std::size_t max_frames = SIZE_MAX);
 
+    /// Front frame of a session's outbox without removing it (nullptr if
+    /// none). Paired with pop_outgoing so a transport can attempt a send
+    /// and, on a full kernel buffer, leave the frame queued — the outbox,
+    /// not the transport, is the single buffering point the backpressure
+    /// accounting watches.
+    const std::vector<std::uint8_t>* peek_outgoing(SessionId id) const;
+    /// Drops the front frame (after the caller delivered it).
+    void pop_outgoing(SessionId id);
+
     std::size_t outbox_depth(SessionId id) const;
 
     /// Executes at most one queued request, then closes the epoch:
@@ -241,7 +250,11 @@ private:
     /// reader) when the outbox is full. Safe to call for closed ids.
     void push_frame(SessionId id, std::vector<std::uint8_t> frame);
     void drop_session(SessionId id, bool slow);
-    bool seen_before(Session& session, std::uint32_t seq);
+    bool seen_before(const Session& session, std::uint32_t seq) const;
+    /// Enters a seq into the dedupe window — called only when the request
+    /// is admitted, so a retransmit after a transient Reject (lost on the
+    /// wire) is re-evaluated instead of answered kDuplicate.
+    void record_seen(Session& session, std::uint32_t seq);
     /// Removes and returns the runnable request with the highest
     /// priority (ties: earliest admit), expiring stale entries along the
     /// way. Nullopt when the queue empties.

@@ -394,6 +394,119 @@ TEST(Service, DuplicateSequenceIsRejected) {
     EXPECT_TRUE(service.accounting_balanced());
 }
 
+TEST(Service, RetransmitAfterTransientRejectIsReevaluated) {
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.queue_capacity = 1;
+    options.shed_occupancy = 1.0;
+    Service service(stub_engine(counters), options);
+    TestClient client(service);
+
+    client.send_optimize(128);
+    // Queue full: refused kQueueFull — a transient condition. Were the
+    // seq recorded on first sight, a retransmission (say the Reject was
+    // chaos-dropped) would be stonewalled with kDuplicate forever.
+    OptimizeRequest req;
+    req.priority = 128;
+    const auto frame = encode(Message{req}, 55);
+    service.submit(client.id, frame);
+    EXPECT_EQ(service.stats().queue_full, 1u);
+    (void)client.read();
+
+    service.run_until_idle();  // drains the queue
+    service.submit(client.id, frame);  // retransmission of seq 55
+    EXPECT_EQ(service.stats().duplicates, 0u);
+    EXPECT_EQ(service.stats().admitted, 2u);
+    service.run_until_idle();
+    EXPECT_EQ(service.stats().served, 2u);
+    // An admitted seq still dedupes.
+    service.submit(client.id, frame);
+    EXPECT_EQ(service.stats().duplicates, 1u);
+    EXPECT_TRUE(service.accounting_balanced());
+}
+
+TEST(Service, EvictionSurvivesVictimOutboxOverflow) {
+    // The eviction Reject can itself overflow the victim's outbox and
+    // close that session, which purges the victim's other queue entries
+    // mid-eviction. The ledger must stay balanced (evicted once, the
+    // sibling entry dropped_closed once) and nothing may crash.
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.queue_capacity = 2;
+    options.outbox_capacity = 2;
+    options.shed_occupancy = 1.0;
+    Service service(stub_engine(counters), options);
+    TestClient victim(service);
+    TestClient evictor(service);
+
+    // Two queued requests, then fill the victim's outbox to capacity
+    // with duplicate-rejects (duplicates bypass the admission path).
+    OptimizeRequest req;
+    req.priority = 10;
+    const auto frame = encode(Message{req}, 100);
+    service.submit(victim.id, frame);
+    victim.send_optimize(10);
+    EXPECT_EQ(service.queue_depth(), 2u);
+    service.submit(victim.id, frame);
+    service.submit(victim.id, frame);
+    EXPECT_EQ(service.outbox_depth(victim.id), 2u);
+
+    // The eviction: its Reject overflows the outbox -> session closed.
+    evictor.send_optimize(200);
+    EXPECT_FALSE(service.session_open(victim.id));
+    EXPECT_EQ(service.stats().evicted, 1u);
+    EXPECT_EQ(service.stats().dropped_closed, 1u);
+    EXPECT_EQ(service.queue_depth(), 1u);
+    EXPECT_TRUE(service.accounting_balanced());
+    service.run_until_idle();
+    EXPECT_EQ(service.stats().served, 1u);  // the evictor's request
+    EXPECT_TRUE(service.accounting_balanced());
+}
+
+TEST(Service, ExpirySurvivesFullOutboxSessionClose) {
+    // Same reentrancy hazard on the expiry path: the kExpired Reject
+    // closes the session, purging its remaining queue entry while
+    // pop_next scans. One expired, one dropped_closed, no double count.
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.outbox_capacity = 2;
+    Service service(stub_engine(counters), options);
+    TestClient client(service);
+
+    OptimizeRequest req;
+    req.priority = 128;
+    req.deadline_us = 1000;
+    const auto frame = encode(Message{req}, 100);
+    service.submit(client.id, frame);
+    client.send_optimize(128, 1000);
+    service.submit(client.id, frame);
+    service.submit(client.id, frame);
+    EXPECT_EQ(service.outbox_depth(client.id), 2u);
+
+    service.advance_clock(0.01);  // both deadlines pass
+    (void)service.run_cycle();
+    EXPECT_FALSE(service.session_open(client.id));
+    EXPECT_EQ(service.stats().expired, 1u);
+    EXPECT_EQ(service.stats().dropped_closed, 1u);
+    EXPECT_EQ(service.queue_depth(), 0u);
+    EXPECT_TRUE(service.accounting_balanced());
+}
+
+TEST(Service, SessionIdsSkipLiveSessionsOnWrap) {
+    auto counters = std::make_shared<StubCounters>();
+    Service service(stub_engine(counters));
+    const auto held = service.connect();
+    // Walk next_session_ through the full u16 space and past the wrap:
+    // every id handed out must be fresh — never 0, never the held one.
+    for (int i = 0; i < 66000; ++i) {
+        const auto id = service.connect();
+        ASSERT_NE(id, held);
+        ASSERT_NE(id, 0);
+        service.disconnect(id);
+    }
+    EXPECT_TRUE(service.session_open(held));
+}
+
 TEST(Service, PriorityCapFromHelloClampsRequests) {
     auto counters = std::make_shared<StubCounters>();
     ServiceOptions options;

@@ -21,11 +21,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -159,6 +161,11 @@ int main(int argc, char** argv) {
                      args.socket_path.c_str());
 
     std::map<int, Service::SessionId> sessions;  // fd -> session
+    // fds whose last send hit a full kernel buffer (or failed); their
+    // outboxes stay untouched until poll reports the socket writable
+    // again, so a slow reader backs pressure up into the service instead
+    // of frames silently vanishing after take_outgoing.
+    std::set<int> write_blocked;
     const auto start = std::chrono::steady_clock::now();
     auto last_tick = start;
     std::vector<std::uint8_t> buffer(kMaxFrame);
@@ -201,6 +208,7 @@ int main(int argc, char** argv) {
                 closed.push_back(fd);
                 continue;
             }
+            if (fds[i].revents & POLLOUT) write_blocked.erase(fd);
             if (fds[i].revents & POLLIN) {
                 const ssize_t n =
                     ::recv(fd, buffer.data(), buffer.size(), MSG_DONTWAIT);
@@ -218,15 +226,26 @@ int main(int argc, char** argv) {
         while (service.run_cycle()) {
         }
         for (auto& [fd, id] : sessions) {
-            for (auto& frame : service.take_outgoing(id)) {
-                // Best effort: a send the kernel refuses (client gone)
-                // surfaces as POLLHUP next iteration.
-                (void)::send(fd, frame.data(), frame.size(), MSG_DONTWAIT);
+            if (write_blocked.count(fd) != 0) continue;  // await POLLOUT
+            while (const auto* frame = service.peek_outgoing(id)) {
+                const ssize_t n =
+                    ::send(fd, frame->data(), frame->size(), MSG_DONTWAIT);
+                if (n == static_cast<ssize_t>(frame->size())) {
+                    service.pop_outgoing(id);
+                    continue;
+                }
+                // EAGAIN (reader's buffer full) or a dead peer: the frame
+                // stays in the outbox. A full buffer resumes on POLLOUT;
+                // a dead peer surfaces as POLLERR/POLLHUP and the session
+                // is closed with its frames accounted.
+                write_blocked.insert(fd);
+                break;
             }
         }
         for (const int fd : closed) {
             service.disconnect(sessions[fd]);
             sessions.erase(fd);
+            write_blocked.erase(fd);
             ::close(fd);
         }
 
