@@ -6,6 +6,11 @@
 #include <cstdlib>
 #include <string>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "util/contracts.hpp"
@@ -19,6 +24,22 @@ double seconds_between(std::chrono::steady_clock::time_point a,
     return std::chrono::duration<double>(b - a).count();
 }
 
+/// Best-effort affinity: worker i sticks to CPU i mod hardware
+/// concurrency. Failure is ignored (cpusets, containers) — pinning is an
+/// optimization, never a correctness requirement.
+void pin_to_cpu(std::size_t worker_index) {
+#if defined(__linux__)
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(worker_index % hw), &set);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)worker_index;
+#endif
+}
+
 }  // namespace
 
 bool coordinate_delta_enabled() {
@@ -28,6 +49,27 @@ bool coordinate_delta_enabled() {
     std::transform(value.begin(), value.end(), value.begin(),
                    [](unsigned char c) { return std::tolower(c); });
     return !(value == "0" || value == "off" || value == "false");
+}
+
+bool thread_pinning_enabled() {
+    const char* env = std::getenv("PRESS_PIN");
+    if (env == nullptr) return false;
+    std::string value(env);
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return !(value.empty() || value == "0" || value == "off" ||
+             value == "false");
+}
+
+std::size_t BatchEvaluator::shard_size_for(std::size_t tasks,
+                                           std::size_t workers) {
+    // ~4 shards per worker balances lock traffic against tail imbalance:
+    // the last shards are small enough that no worker is left holding a
+    // long serial tail while the rest of the pool idles.
+    constexpr std::size_t kShardsPerWorker = 4;
+    if (tasks == 0 || workers == 0) return 1;
+    const std::size_t target = workers * kShardsPerWorker;
+    return std::max<std::size_t>(1, (tasks + target - 1) / target);
 }
 
 std::size_t BatchEvaluator::resolve_threads(std::size_t requested) {
@@ -81,6 +123,7 @@ void BatchEvaluator::set_coordinate_score(CoordinateScoreFn fn) {
 }
 
 void BatchEvaluator::worker_loop(std::size_t index) {
+    if (thread_pinning_enabled()) pin_to_cpu(index);
     std::unique_lock<std::mutex> lock(mutex_);
     WorkerStats& stats = stats_[index];
     EvalScratch& scratch = *scratch_[index];
@@ -102,37 +145,51 @@ void BatchEvaluator::worker_loop(std::size_t index) {
         obs::ContextGuard adopt(batch_ctx_);
         obs::TraceSpan batch_span("control.batch.worker_batch");
         while (next_ < num_tasks_) {
+            // Claim a contiguous shard under the lock, score it without.
             const std::vector<surface::Config>* batch = batch_;
             const CoordinateBatch* coord = coord_;
-            const std::size_t i = next_++;
-            const std::uint64_t index_global = base_index_ + i;
+            std::vector<double>* results = results_;
+            const std::size_t begin = next_;
+            const std::size_t end =
+                std::min(begin + shard_size_, num_tasks_);
+            next_ = end;
+            const std::uint64_t base = base_index_;
             lock.unlock();
-            const auto task_start = std::chrono::steady_clock::now();
-            double value = 0.0;
+            double busy = 0.0;
             std::exception_ptr error;
-            try {
-                util::Rng rng(candidate_seed(seed_, index_global));
-                value = batch ? score_((*batch)[i], rng, scratch)
-                              : coord_score_(*coord, i, rng, scratch);
-            } catch (...) {
-                error = std::current_exception();
-            }
-            const auto task_end = std::chrono::steady_clock::now();
-            if (obs::enabled()) {
-                static obs::Histogram& eval_us =
-                    obs::MetricsRegistry::global().histogram(
-                        "control.batch.eval_us",
-                        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
-                         500.0, 1000.0, 2000.0, 5000.0, 10000.0});
-                eval_us.observe(
-                    seconds_between(task_start, task_end) * 1e6);
+            for (std::size_t i = begin; i < end; ++i) {
+                const auto task_start = std::chrono::steady_clock::now();
+                double value = 0.0;
+                try {
+                    util::Rng rng(candidate_seed(seed_, base + i));
+                    value = batch ? score_((*batch)[i], rng, scratch)
+                                  : coord_score_(*coord, i, rng, scratch);
+                } catch (...) {
+                    if (!error) error = std::current_exception();
+                }
+                const auto task_end = std::chrono::steady_clock::now();
+                busy += seconds_between(task_start, task_end);
+                if (obs::enabled()) {
+                    static obs::Histogram& eval_us =
+                        obs::MetricsRegistry::global().histogram(
+                            "control.batch.eval_us",
+                            {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                             500.0, 1000.0, 2000.0, 5000.0, 10000.0});
+                    eval_us.observe(
+                        seconds_between(task_start, task_end) * 1e6);
+                }
+                // Slot i belongs to this shard alone; the caller only
+                // reads results after observing remaining_ == 0 under the
+                // mutex, which orders these plain writes.
+                (*results)[i] = value;
             }
             lock.lock();
-            stats.tasks += 1;
-            stats.busy_s += seconds_between(task_start, task_end);
-            (*results_)[i] = value;
+            stats.tasks += end - begin;
+            stats.shards += 1;
+            stats.busy_s += busy;
             if (error && !first_error_) first_error_ = error;
-            if (--remaining_ == 0) done_cv_.notify_all();
+            remaining_ -= end - begin;
+            if (remaining_ == 0) done_cv_.notify_all();
         }
     }
 }
@@ -160,6 +217,8 @@ void BatchEvaluator::publish_worker_stats() const {
     auto& registry = obs::MetricsRegistry::global();
     registry.gauge("control.batch.threads")
         .set(static_cast<double>(stats.size()));
+    registry.gauge("control.batch.pinned")
+        .set(thread_pinning_enabled() ? 1.0 : 0.0);
     registry.gauge("control.batch.arena.grow_events")
         .set(static_cast<double>(arena.grow_events));
     registry.gauge("control.batch.arena.bytes_reserved")
@@ -169,6 +228,8 @@ void BatchEvaluator::publish_worker_stats() const {
             "control.batch.worker." + std::to_string(i);
         registry.gauge(prefix + ".tasks")
             .set(static_cast<double>(stats[i].tasks));
+        registry.gauge(prefix + ".shards")
+            .set(static_cast<double>(stats[i].shards));
         registry.gauge(prefix + ".busy_s").set(stats[i].busy_s);
         registry.gauge(prefix + ".idle_s").set(stats[i].idle_s);
     }
@@ -183,6 +244,7 @@ void BatchEvaluator::run_tasks(std::size_t num_tasks,
     batch_ctx_ = span.context();
     results_ = &results;
     next_ = 0;
+    shard_size_ = shard_size_for(num_tasks, workers_.size());
     num_tasks_ = num_tasks;
     remaining_ = num_tasks;
     first_error_ = nullptr;
@@ -200,8 +262,13 @@ void BatchEvaluator::run_tasks(std::size_t num_tasks,
         static obs::Counter& evaluations =
             obs::MetricsRegistry::global().counter(
                 "control.batch.evaluations");
+        // Shards are claimed as deterministic contiguous chunks, so the
+        // count is exact regardless of which worker took which shard.
+        static obs::Counter& shards = obs::MetricsRegistry::global().counter(
+            "control.batch.shard.count");
         batches.add();
         evaluations.add(num_tasks);
+        shards.add((num_tasks + shard_size_ - 1) / shard_size_);
     }
     if (first_error_) std::rethrow_exception(first_error_);
 }

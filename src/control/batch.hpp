@@ -14,6 +14,16 @@
 //     seed and the candidate's GLOBAL evaluation index — not from a shared
 //     stream whose interleaving would depend on scheduling.
 //
+// Workers claim candidates in contiguous SHARDS rather than one at a
+// time: a worker takes the pool mutex once per shard, scores the whole
+// shard lock-free against its private arena, then folds its accounting
+// back under the lock. Shard size scales with the batch (about four
+// shards per worker, floor one), so a 3,000-candidate sweep costs ~32
+// lock acquisitions instead of 3,000, while small coordinate batches
+// degrade gracefully to the old per-candidate claims. Which worker claims
+// which shard never affects the bits: candidate seeds hang off the global
+// index and every result lands in its own slot.
+//
 // Each worker owns one preallocated EvalScratch arena handed to every
 // score call, so steady-state sweeps allocate nothing per candidate (see
 // control/scratch.hpp). Coordinate sweeps have a second entry point,
@@ -24,7 +34,11 @@
 //
 // Thread count resolution: an explicit count wins; otherwise the
 // PRESS_THREADS environment variable (clamped to [1, 64]); otherwise
-// std::thread::hardware_concurrency().
+// std::thread::hardware_concurrency(). Setting PRESS_PIN pins worker i to
+// CPU i mod hardware_concurrency (Linux; a no-op elsewhere) — useful to
+// stop the scheduler migrating workers between cores mid-sweep on
+// many-core hosts, which costs both cache warmth and run-to-run timing
+// stability. Pinning never affects results, only where they are computed.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +85,11 @@ using CoordinateScoreFn = std::function<double(
 /// either way, so this only trades memory traffic for recompute.
 bool coordinate_delta_enabled();
 
+/// PRESS_PIN environment toggle for worker-thread CPU affinity: enabled
+/// unless unset, empty, "0", "off" or "false" (case-insensitive). Linux
+/// only; elsewhere the toggle parses but pinning is a no-op.
+bool thread_pinning_enabled();
+
 class BatchEvaluator {
 public:
     /// `threads == 0` resolves via resolve_threads(). Workers are created
@@ -101,11 +120,13 @@ public:
     std::size_t num_threads() const { return workers_.size(); }
 
     /// One worker's accumulated accounting. Tasks is how many candidates
-    /// the worker scored; busy_s the wall time spent inside the score
-    /// callback; idle_s the wall time spent parked on the work condvar
-    /// (between batches and while a batch it could not help with drains).
+    /// the worker scored; shards how many contiguous claims carried them;
+    /// busy_s the wall time spent inside the score callback; idle_s the
+    /// wall time spent parked on the work condvar (between batches and
+    /// while a batch it could not help with drains).
     struct WorkerStats {
         std::uint64_t tasks = 0;
+        std::uint64_t shards = 0;
         double busy_s = 0.0;
         double idle_s = 0.0;
     };
@@ -145,6 +166,12 @@ public:
     static std::uint64_t candidate_seed(std::uint64_t seed,
                                         std::uint64_t index);
 
+    /// Shard-size policy: about kShardsPerWorker shards per worker, floor
+    /// one candidate. Exposed for tests; purely a scheduling knob — the
+    /// result bits never depend on it.
+    static std::size_t shard_size_for(std::size_t tasks,
+                                      std::size_t workers);
+
 private:
     void worker_loop(std::size_t index);
     /// Shared drive-a-batch protocol: publishes `num_tasks` tasks sourced
@@ -167,8 +194,9 @@ private:
     /// The caller's "control.batch.evaluate" span for the current batch;
     /// workers adopt it so their spans join the caller's causal tree.
     obs::TraceContext batch_ctx_;
-    std::size_t next_ = 0;       ///< next candidate slot to claim
-    std::size_t remaining_ = 0;  ///< candidates not yet finished
+    std::size_t next_ = 0;        ///< next candidate index to claim
+    std::size_t shard_size_ = 1;  ///< claim granularity of this batch
+    std::size_t remaining_ = 0;   ///< candidates not yet finished
     std::exception_ptr first_error_;
     bool shutdown_ = false;
     /// Guarded by mutex_: workers only touch their slot while holding the

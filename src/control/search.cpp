@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
@@ -138,6 +139,23 @@ struct ConfigHash {
 
 using ScoreMemo = std::unordered_map<surface::Config, double, ConfigHash>;
 
+/// Memo sizing for the greedy descent at large element counts: each entry
+/// owns a full Config (4 bytes per element plus node overhead), so at
+/// 4,000 elements a few thousand entries already cost tens of MiB. The
+/// cap bounds the table to a fixed memory budget; reserve()ing the result
+/// up front means the bucket array never rehashes mid-search. Past the
+/// cap revisited configurations are re-measured (costing budget, never
+/// memory) — at massive N revisits are vanishingly rare anyway.
+std::size_t memo_entry_cap(std::size_t num_elements, std::size_t max_evals) {
+    constexpr std::size_t kMemoBudgetBytes = 48ull << 20;
+    const std::size_t entry_bytes =
+        sizeof(std::pair<const surface::Config, double>) +
+        num_elements * sizeof(int) + 4 * sizeof(void*);
+    const std::size_t cap =
+        std::max<std::size_t>(64, kMemoBudgetBytes / entry_bytes);
+    return std::min(cap, max_evals + 1);
+}
+
 surface::Config random_config(const surface::ConfigSpace& space,
                               util::Rng& rng) {
     surface::Config c(space.num_elements());
@@ -145,6 +163,18 @@ surface::Config random_config(const surface::ConfigSpace& space,
         c[i] = static_cast<int>(
             rng.uniform_int(0, space.radices()[i] - 1));
     return c;
+}
+
+/// Serial-entry adapter for strategies whose only real implementation is
+/// batched: wraps the scalar EvalFn so search() and search_batched()
+/// run the exact same code path (and therefore the same rng draws).
+BatchEvalFn serialize_eval(const EvalFn& eval) {
+    return [&eval](const std::vector<surface::Config>& batch) {
+        std::vector<double> scores;
+        scores.reserve(batch.size());
+        for (const surface::Config& c : batch) scores.push_back(eval(c));
+        return scores;
+    };
 }
 
 }  // namespace
@@ -235,6 +265,13 @@ SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
     Tracker t(eval, max_evals, stop);
     ScoreMemo memo;
+    const std::size_t memo_cap =
+        memo_entry_cap(space.num_elements(), max_evals);
+    memo.reserve(memo_cap);
+    const auto memoize = [&memo, memo_cap](const surface::Config& c,
+                                           double s) {
+        if (memo.size() < memo_cap) memo.emplace(c, s);
+    };
     while (!t.exhausted()) {
         // One restart pass of the descent; nested under the caller's
         // optimize span, so a trace shows how rounds split the budget.
@@ -246,7 +283,7 @@ SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
             current_score = it->second;
         } else {
             current_score = t.evaluate(current);
-            memo.emplace(current, current_score);
+            memoize(current, current_score);
         }
         bool improved = true;
         while (improved && !t.exhausted()) {
@@ -264,7 +301,7 @@ SearchResult GreedyCoordinateDescent::search(const surface::ConfigSpace& space,
                         score = it->second;
                     } else {
                         score = t.evaluate(current);
-                        memo.emplace(current, score);
+                        memoize(current, score);
                     }
                     if (score > current_score) {
                         current_score = score;
@@ -299,6 +336,12 @@ SearchResult GreedyCoordinateDescent::search_batched(
     PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
     BatchTracker t(eval, max_evals, stop);
     ScoreMemo memo;
+    const std::size_t memo_cap =
+        memo_entry_cap(space.num_elements(), max_evals);
+    memo.reserve(memo_cap);
+    const auto memoize = [&memo, memo_cap](surface::Config c, double s) {
+        if (memo.size() < memo_cap) memo.emplace(std::move(c), s);
+    };
     while (!t.exhausted()) {
         // One restart pass; same span name as the serial variant so the
         // two produce comparable trees.
@@ -313,7 +356,7 @@ SearchResult GreedyCoordinateDescent::search_batched(
                 t.evaluate(std::vector<surface::Config>{current});
             if (scores.empty()) break;
             current_score = scores[0];
-            memo.emplace(current, current_score);
+            memoize(current, current_score);
         }
         bool improved = true;
         while (improved && !t.exhausted()) {
@@ -355,7 +398,7 @@ SearchResult GreedyCoordinateDescent::search_batched(
                     for (std::size_t i = 0; i < scores.size(); ++i) {
                         surface::Config scored = current;
                         scored[e] = fresh_states[i];
-                        memo.emplace(std::move(scored), scores[i]);
+                        memoize(std::move(scored), scores[i]);
                         if (scores[i] > best_score) {
                             best_score = scores[i];
                             best_state = fresh_states[i];
@@ -473,6 +516,292 @@ SearchResult GeneticSearcher::search(const surface::ConfigSpace& space,
     return t.take();
 }
 
+MajorityVoteSearcher::MajorityVoteSearcher(std::size_t probes_per_round,
+                                           double flip_prob,
+                                           double flip_decay,
+                                           double min_flip_prob)
+    : probes_per_round_(probes_per_round),
+      flip_prob_(flip_prob),
+      flip_decay_(flip_decay),
+      min_flip_prob_(min_flip_prob) {
+    PRESS_EXPECTS(probes_per_round >= 1, "need at least one probe per round");
+    PRESS_EXPECTS(flip_prob > 0.0 && flip_prob <= 1.0,
+                  "flip probability must be in (0, 1]");
+    PRESS_EXPECTS(flip_decay > 0.0 && flip_decay <= 1.0,
+                  "flip decay must be in (0, 1]");
+    PRESS_EXPECTS(min_flip_prob > 0.0 && min_flip_prob <= flip_prob,
+                  "min flip probability must be in (0, flip_prob]");
+}
+
+SearchResult MajorityVoteSearcher::search(const surface::ConfigSpace& space,
+                                          const EvalFn& eval,
+                                          std::size_t max_evals,
+                                          util::Rng& rng,
+                                          const StopFn& stop) const {
+    const BatchEvalFn batched = serialize_eval(eval);
+    return search_batched(space, batched, CoordinateEvalFn{}, max_evals,
+                          rng, stop, 1);
+}
+
+SearchResult MajorityVoteSearcher::search_batched(
+    const surface::ConfigSpace& space, const BatchEvalFn& eval,
+    std::size_t max_evals, util::Rng& rng, const StopFn& stop,
+    std::size_t batch_hint) const {
+    return search_batched(space, eval, CoordinateEvalFn{}, max_evals, rng,
+                          stop, batch_hint);
+}
+
+SearchResult MajorityVoteSearcher::search_batched(
+    const surface::ConfigSpace& space, const BatchEvalFn& eval,
+    const CoordinateEvalFn& coordinate, std::size_t max_evals,
+    util::Rng& rng, const StopFn& stop, std::size_t batch_hint) const {
+    // No coordinate sweeps to route; batch size is the probe count, not
+    // the pool hint, so the candidate stream (and every rng draw) is
+    // independent of the evaluator's thread count.
+    (void)coordinate;
+    (void)batch_hint;
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    BatchTracker t(eval, max_evals, stop);
+    const std::size_t n = space.num_elements();
+    int max_radix = 1;
+    for (int r : space.radices()) max_radix = std::max(max_radix, r);
+
+    std::uint64_t rounds = 0;
+    std::uint64_t probes_measured = 0;
+    std::uint64_t adoptions = 0;
+    std::uint64_t element_flips = 0;
+    const auto publish = [&]() {
+        if (!obs::enabled()) return;
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("control.search.majority.rounds").add(rounds);
+        registry.counter("control.search.majority.probes")
+            .add(probes_measured);
+        registry.counter("control.search.majority.adoptions").add(adoptions);
+        registry.counter("control.search.majority.element_flips")
+            .add(element_flips);
+    };
+
+    surface::Config current = random_config(space, rng);
+    double current_score;
+    {
+        const std::vector<double> seed_score =
+            t.evaluate(std::vector<surface::Config>{current});
+        if (seed_score.empty()) {
+            publish();
+            return t.take();
+        }
+        current_score = seed_score[0];
+    }
+
+    // Per-(element, state) vote accumulators, cumulative across rounds:
+    // one element's signal is a ~1/n sliver of each probe's score, far
+    // below one round's sampling noise, so decisions only become reliable
+    // when every probe ever measured keeps contributing evidence (this is
+    // RFocus's aggregated per-element decision). Later rounds sample the
+    // improving incumbent more densely, which weights its states'
+    // means upward — reinforcing, not staling, earlier evidence.
+    std::vector<double> vote_sum(n * static_cast<std::size_t>(max_radix));
+    std::vector<std::uint32_t> vote_count(
+        n * static_cast<std::size_t>(max_radix));
+    std::vector<surface::Config> probes;
+    probes.reserve(probes_per_round_);
+    double flip = flip_prob_;
+
+    while (!t.exhausted()) {
+        obs::TraceSpan round_span("control.search.round");
+        probes.clear();
+        for (std::size_t p = 0; p < probes_per_round_; ++p) {
+            surface::Config probe = current;
+            for (std::size_t e = 0; e < n; ++e) {
+                if (space.radices()[e] > 1 && rng.chance(flip)) {
+                    probe[e] = static_cast<int>(
+                        rng.uniform_int(0, space.radices()[e] - 1));
+                }
+            }
+            probes.push_back(std::move(probe));
+        }
+        // Keep the proposal list: scores[i] belongs to probes[i], and a
+        // budget-truncated tail simply contributes no votes.
+        const std::vector<double> scores = t.evaluate(probes);
+        ++rounds;
+        probes_measured += scores.size();
+        if (scores.empty()) break;
+        // Votes are per-round *deltas* (score minus the round's mean), so
+        // the incumbent's round-over-round improvement cancels out of the
+        // comparison: without centering, incumbent states — which dominate
+        // the later, higher-scoring rounds as flip anneals — would look
+        // better than every alternative regardless of their actual merit.
+        double round_mean = 0.0;
+        for (const double s : scores) round_mean += s;
+        round_mean /= static_cast<double>(scores.size());
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            for (std::size_t e = 0; e < n; ++e) {
+                const std::size_t slot =
+                    e * static_cast<std::size_t>(max_radix) +
+                    static_cast<std::size_t>(probes[i][e]);
+                vote_sum[slot] += scores[i] - round_mean;
+                vote_count[slot] += 1;
+            }
+        }
+        if (t.exhausted()) break;
+
+        // Per-element majority: the state with the best mean probe score
+        // wins; unsampled states abstain, ties keep the incumbent.
+        surface::Config consensus = current;
+        for (std::size_t e = 0; e < n; ++e) {
+            const std::size_t base =
+                e * static_cast<std::size_t>(max_radix);
+            const std::size_t incumbent =
+                base + static_cast<std::size_t>(current[e]);
+            double best_mean =
+                vote_count[incumbent] > 0
+                    ? vote_sum[incumbent] / vote_count[incumbent]
+                    : -std::numeric_limits<double>::infinity();
+            for (int s = 0; s < space.radices()[e]; ++s) {
+                const std::size_t slot =
+                    base + static_cast<std::size_t>(s);
+                if (vote_count[slot] == 0 || slot == incumbent) continue;
+                const double mean = vote_sum[slot] / vote_count[slot];
+                if (mean > best_mean) {
+                    best_mean = mean;
+                    consensus[e] = s;
+                }
+            }
+        }
+        if (consensus != current) {
+            const std::vector<double> consensus_score =
+                t.evaluate(std::vector<surface::Config>{consensus});
+            if (consensus_score.empty()) break;
+            if (consensus_score[0] > current_score) {
+                ++adoptions;
+                for (std::size_t e = 0; e < n; ++e)
+                    if (consensus[e] != current[e]) ++element_flips;
+                current = std::move(consensus);
+                current_score = consensus_score[0];
+            }
+        }
+        flip = std::max(flip * flip_decay_, min_flip_prob_);
+    }
+    publish();
+    return t.take();
+}
+
+RandomizedPartitionSearcher::RandomizedPartitionSearcher(
+    std::size_t initial_groups, std::size_t max_groups)
+    : initial_groups_(initial_groups), max_groups_(max_groups) {
+    PRESS_EXPECTS(initial_groups >= 1, "need at least one group");
+    PRESS_EXPECTS(max_groups >= initial_groups,
+                  "max groups must be at least the initial group count");
+}
+
+SearchResult RandomizedPartitionSearcher::search(
+    const surface::ConfigSpace& space, const EvalFn& eval,
+    std::size_t max_evals, util::Rng& rng, const StopFn& stop) const {
+    const BatchEvalFn batched = serialize_eval(eval);
+    return search_batched(space, batched, CoordinateEvalFn{}, max_evals,
+                          rng, stop, 1);
+}
+
+SearchResult RandomizedPartitionSearcher::search_batched(
+    const surface::ConfigSpace& space, const BatchEvalFn& eval,
+    std::size_t max_evals, util::Rng& rng, const StopFn& stop,
+    std::size_t batch_hint) const {
+    return search_batched(space, eval, CoordinateEvalFn{}, max_evals, rng,
+                          stop, batch_hint);
+}
+
+SearchResult RandomizedPartitionSearcher::search_batched(
+    const surface::ConfigSpace& space, const BatchEvalFn& eval,
+    const CoordinateEvalFn& coordinate, std::size_t max_evals,
+    util::Rng& rng, const StopFn& stop, std::size_t batch_hint) const {
+    (void)coordinate;
+    (void)batch_hint;
+    PRESS_EXPECTS(max_evals >= 1, "need a positive budget");
+    BatchTracker t(eval, max_evals, stop);
+    const std::size_t n = space.num_elements();
+
+    std::uint64_t rounds = 0;
+    std::uint64_t accepts = 0;
+    const auto publish = [&]() {
+        if (!obs::enabled()) return;
+        auto& registry = obs::MetricsRegistry::global();
+        registry.counter("control.search.partition.rounds").add(rounds);
+        registry.counter("control.search.partition.accepts").add(accepts);
+    };
+
+    surface::Config current = random_config(space, rng);
+    double current_score;
+    {
+        const std::vector<double> seed_score =
+            t.evaluate(std::vector<surface::Config>{current});
+        if (seed_score.empty()) {
+            publish();
+            return t.take();
+        }
+        current_score = seed_score[0];
+    }
+
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    const std::size_t finest = std::min(max_groups_, std::max<std::size_t>(
+                                                         n, 1));
+    std::size_t groups = std::min(initial_groups_, finest);
+    std::size_t stale_at_finest = 0;
+    std::vector<surface::Config> candidates;
+
+    while (!t.exhausted()) {
+        obs::TraceSpan round_span("control.search.round");
+        // Fisher-Yates shuffle: a fresh random partition every round.
+        for (std::size_t i = n; i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(perm[i - 1], perm[j]);
+        }
+        candidates.clear();
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t begin = g * n / groups;
+            const std::size_t end = (g + 1) * n / groups;
+            if (begin == end) continue;
+            surface::Config candidate = current;
+            for (std::size_t i = begin; i < end; ++i) {
+                const std::size_t e = perm[i];
+                const int radix = space.radices()[e];
+                if (radix <= 1) continue;
+                int s = static_cast<int>(rng.uniform_int(0, radix - 2));
+                if (s >= candidate[e]) ++s;
+                candidate[e] = s;
+            }
+            candidates.push_back(std::move(candidate));
+        }
+        if (candidates.empty()) break;
+        const std::vector<double> scores = t.evaluate(candidates);
+        ++rounds;
+        std::size_t best_i = candidates.size();
+        double best = current_score;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            if (scores[i] > best) {
+                best = scores[i];
+                best_i = i;
+            }
+        }
+        if (best_i < candidates.size()) {
+            current = candidates[best_i];
+            current_score = best;
+            ++accepts;
+            stale_at_finest = 0;
+        } else if (groups < finest) {
+            groups = std::min(groups * 2, finest);
+        } else if (++stale_at_finest >= 8) {
+            // Single-element granularity has gone stale for several
+            // rounds: a local optimum under this move set. Stop rather
+            // than spend the rest of the budget re-rolling losers.
+            break;
+        }
+    }
+    publish();
+    return t.take();
+}
+
 void record_search_telemetry(const std::string& searcher_name,
                              const SearchResult& result) {
     if (!obs::enabled()) return;
@@ -497,6 +826,8 @@ std::vector<std::unique_ptr<Searcher>> all_searchers() {
     out.push_back(std::make_unique<GreedyCoordinateDescent>());
     out.push_back(std::make_unique<SimulatedAnnealingSearcher>());
     out.push_back(std::make_unique<GeneticSearcher>());
+    out.push_back(std::make_unique<MajorityVoteSearcher>());
+    out.push_back(std::make_unique<RandomizedPartitionSearcher>());
     return out;
 }
 

@@ -214,7 +214,90 @@ private:
     double mutation_rate_;
 };
 
-/// Every strategy, for comparison sweeps.
+/// RFocus-style majority voting for massive element counts (Arun &
+/// Balakrishnan, "RFocus: Beamforming Using Thousands of Passive
+/// Antennas", arXiv:1905.05130). Per round the searcher draws
+/// `probes_per_round` random partitions of the current consensus — every
+/// element re-randomized with probability flip_prob, annealed by
+/// flip_decay down to min_flip_prob — and measures them as ONE batch.
+/// Every element then votes: a state's weight is the mean measured score
+/// of the probes that held the element in that state, the per-element
+/// argmax forms the consensus candidate, and the candidate is measured
+/// once and adopted if it improves. Budget per round is probes_per_round
+/// + 1 regardless of element count, which is what makes 1,000–4,000
+/// two-state elements tractable where per-coordinate sweeps cost O(N)
+/// per pass. Never calls ConfigSpace::size(), so it is safe on spaces
+/// whose cardinality overflows. Deterministic given the rng; batch_hint
+/// is ignored (the probe count fixes the batch), so the outcome is
+/// bit-identical for any evaluator thread count.
+class MajorityVoteSearcher : public Searcher {
+public:
+    explicit MajorityVoteSearcher(std::size_t probes_per_round = 64,
+                                  double flip_prob = 0.5,
+                                  double flip_decay = 0.92,
+                                  double min_flip_prob = 0.015625);
+    SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
+                        std::size_t max_evals, util::Rng& rng,
+                        const StopFn& stop = nullptr) const override;
+    SearchResult search_batched(const surface::ConfigSpace& space,
+                                const BatchEvalFn& eval,
+                                std::size_t max_evals, util::Rng& rng,
+                                const StopFn& stop = nullptr,
+                                std::size_t batch_hint = 1) const override;
+    SearchResult search_batched(const surface::ConfigSpace& space,
+                                const BatchEvalFn& eval,
+                                const CoordinateEvalFn& coordinate,
+                                std::size_t max_evals, util::Rng& rng,
+                                const StopFn& stop = nullptr,
+                                std::size_t batch_hint = 1) const override;
+    std::string name() const override { return "majority-vote"; }
+
+private:
+    std::size_t probes_per_round_;
+    double flip_prob_;
+    double flip_decay_;
+    double min_flip_prob_;
+};
+
+/// Randomized block descent: each round shuffles the elements into
+/// `groups` random contiguous blocks, proposes one candidate per block
+/// (every element of the block re-randomized to a different state), and
+/// adopts the best improving candidate. Rounds without improvement double
+/// the group count (finer perturbations) up to min(max_groups, N); the
+/// search ends when the finest granularity goes stale. Large early blocks
+/// move measured deltas well above the noise floor — the same reason
+/// RFocus perturbs element groups rather than single elements — while the
+/// late fine blocks polish. Never calls ConfigSpace::size(); batch_hint
+/// is ignored (the group count fixes the batch), so results are
+/// bit-identical for any thread count.
+class RandomizedPartitionSearcher : public Searcher {
+public:
+    explicit RandomizedPartitionSearcher(std::size_t initial_groups = 8,
+                                         std::size_t max_groups = 256);
+    SearchResult search(const surface::ConfigSpace& space, const EvalFn& eval,
+                        std::size_t max_evals, util::Rng& rng,
+                        const StopFn& stop = nullptr) const override;
+    SearchResult search_batched(const surface::ConfigSpace& space,
+                                const BatchEvalFn& eval,
+                                std::size_t max_evals, util::Rng& rng,
+                                const StopFn& stop = nullptr,
+                                std::size_t batch_hint = 1) const override;
+    SearchResult search_batched(const surface::ConfigSpace& space,
+                                const BatchEvalFn& eval,
+                                const CoordinateEvalFn& coordinate,
+                                std::size_t max_evals, util::Rng& rng,
+                                const StopFn& stop = nullptr,
+                                std::size_t batch_hint = 1) const override;
+    std::string name() const override { return "random-partition"; }
+
+private:
+    std::size_t initial_groups_;
+    std::size_t max_groups_;
+};
+
+/// Every strategy, for comparison sweeps. The first five entries keep
+/// their historical order (tests and benches index into them); newer
+/// strategies append.
 std::vector<std::unique_ptr<Searcher>> all_searchers();
 
 /// Folds a finished search into the telemetry registry (no-op when

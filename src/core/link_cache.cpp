@@ -1,5 +1,7 @@
 #include "core/link_cache.hpp"
 
+#include <algorithm>
+
 #include "em/channel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -88,8 +90,13 @@ void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
                               carrier_hz);
         std::size_t rows = 0;
         for (const auto& states : per_state) rows += states.size();
-        basis.table_re.assign(rows * num_sc, 0.0);
-        basis.table_im.assign(rows * num_sc, 0.0);
+        basis.num_sc = num_sc;
+        // Pad each component segment to a whole number of kernel lanes so
+        // every row block starts lane-aligned; padding doubles stay zero
+        // and are never read by the length-exact kernels.
+        constexpr std::size_t kLanes = util::kernels::kLanes;
+        basis.row_stride = (num_sc + kLanes - 1) / kLanes * kLanes;
+        basis.table.assign(rows * 2 * basis.row_stride, 0.0);
         std::size_t row = 0;
         for (const auto& states : per_state) {
             basis.radices.push_back(static_cast<int>(states.size()));
@@ -97,9 +104,9 @@ void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
             for (const em::Path& p : states) {
                 util::CVec response(num_sc, util::cd{0.0, 0.0});
                 em::accumulate_frequency_response(response, {p}, freqs);
-                util::kernels::deinterleave(
-                    response.data(), basis.table_re.data() + row * num_sc,
-                    basis.table_im.data() + row * num_sc, num_sc);
+                util::kernels::deinterleave(response.data(),
+                                            basis.row_re(row),
+                                            basis.row_im(row), num_sc);
                 ++row;
             }
         }
@@ -116,17 +123,28 @@ void LinkCache::add_rows(util::kernels::SplitVec& h, const ArrayBasis& basis,
     PRESS_EXPECTS(config.size() == basis.radices.size(),
                   "configuration arity must match the cached array");
     const std::size_t num_sc = h.size();
-    const util::kernels::Dispatch d = util::kernels::active();
     for (std::size_t e = 0; e < config.size(); ++e) {
         if (e == skip_element) continue;
         PRESS_EXPECTS(config[e] >= 0 && config[e] < basis.radices[e],
                       "configuration state out of the cached range");
-        const std::size_t row =
-            (basis.row_offset[e] + static_cast<std::size_t>(config[e])) *
-            num_sc;
-        util::kernels::accumulate(d, basis.table_re.data() + row,
-                                  basis.table_im.data() + row, h.re.data(),
-                                  h.im.data(), num_sc);
+    }
+    const util::kernels::Dispatch d = util::kernels::active();
+    // Tile over subcarrier blocks with the element walk innermost: the
+    // scratch tile stays L1-resident while the selected rows stream past.
+    // Each subcarrier still receives its element terms in ascending
+    // element order, so the tiling is bit-transparent.
+    for (std::size_t sc = 0; sc < num_sc; sc += kTileSubcarriers) {
+        const std::size_t len = std::min(kTileSubcarriers, num_sc - sc);
+        double* tile_re = h.re.data() + sc;
+        double* tile_im = h.im.data() + sc;
+        for (std::size_t e = 0; e < config.size(); ++e) {
+            if (e == skip_element) continue;
+            const std::size_t row =
+                basis.row_offset[e] + static_cast<std::size_t>(config[e]);
+            util::kernels::accumulate(d, basis.row_re(row) + sc,
+                                      basis.row_im(row) + sc, tile_re,
+                                      tile_im, len);
+        }
     }
 }
 
@@ -253,12 +271,29 @@ void LinkCache::accumulate_element_row(std::size_t link_id,
     PRESS_EXPECTS(num_sc == entry.h_static.size(),
                   "scratch does not match the cached subcarrier count");
     const std::size_t row =
-        (basis.row_offset[element] + static_cast<std::size_t>(state)) *
-        num_sc;
-    util::kernels::accumulate(util::kernels::active(),
-                              basis.table_re.data() + row,
-                              basis.table_im.data() + row, h.re.data(),
-                              h.im.data(), num_sc);
+        basis.row_offset[element] + static_cast<std::size_t>(state);
+    util::kernels::accumulate(util::kernels::active(), basis.row_re(row),
+                              basis.row_im(row), h.re.data(), h.im.data(),
+                              num_sc);
+}
+
+LinkCache::BasisLayout LinkCache::basis_layout(std::size_t link_id,
+                                               std::size_t array_id) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(entry.valid, "cache entry is cold; call warm() first");
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    const ArrayBasis& basis = entry.arrays[array_id];
+    BasisLayout layout;
+    layout.rows = basis.radices.empty()
+                      ? 0
+                      : basis.row_offset.back() +
+                            static_cast<std::size_t>(basis.radices.back());
+    layout.num_sc = basis.num_sc;
+    layout.row_stride = basis.row_stride;
+    layout.bytes = basis.table.size() * sizeof(double);
+    return layout;
 }
 
 void LinkCache::invalidate() {

@@ -15,14 +15,30 @@
 // method re-trace of the scene, which is what lets a controller sweep
 // thousands of candidates inside one coherence window.
 //
-// The basis is stored split-complex (separate re/im row tables) so the
-// accumulation runs through the util::kernels SoA layer, and the hot read
-// path writes into caller-owned scratch (response_into) — zero heap
-// allocations per candidate once the scratch reaches steady-state size.
+// The basis is stored as a blocked split-complex SoA table: each row
+// occupies one contiguous block of 2*row_stride doubles — the re lane
+// segment followed by the im lane segment, with row_stride padded up to a
+// multiple of util::kernels::kLanes. Keeping a row's re and im segments
+// adjacent means a row gather touches ONE forward-striding memory stream
+// (and half the TLB pages) instead of two distant ones, which is what
+// keeps the accumulation bandwidth-bound rather than stride-bound once
+// the table grows to thousands of rows. On top of the row blocking, the
+// candidate accumulation is tiled over fixed-size subcarrier blocks
+// (kTileSubcarriers): for wide numerologies the element loop runs inside
+// each subcarrier tile so the scratch segment stays resident in L1 while
+// thousands of rows stream past it. The accumulation runs through the
+// util::kernels SoA layer, and the hot read path writes into caller-owned
+// scratch (response_into) — zero heap allocations per candidate once the
+// scratch reaches steady-state size.
 // The reconstruction adds the exact same per-path terms in the exact same
 // order as the direct synthesis (environment paths first, then each
 // array's elements in order), so a cached response is bit-identical to
 // em::frequency_response(medium.resolve_paths(link)) — not merely close.
+// The tiling only changes which subcarrier segment is visited when; for
+// any single subcarrier the element addition order is still ascending, so
+// the blocked layout produces the same bits as the flat one (element-wise
+// accumulation has no cross-lane reduction, and the kernels' kLanes
+// blocking handles the reductions that do).
 //
 // Coordinate sweeps get an incremental form: response_base_into() builds
 // the response with ONE element's row left out entirely, and
@@ -93,6 +109,24 @@ public:
         std::uint64_t invalidations = 0;  ///< explicit invalidate() calls
     };
 
+    /// Subcarrier-tile width (doubles) of the blocked accumulation: a tile
+    /// of the scratch (2 x 256 doubles = 4 KiB) plus one basis row segment
+    /// fits comfortably in L1 while thousands of rows stream through.
+    static constexpr std::size_t kTileSubcarriers = 256;
+
+    /// Geometry of one array's basis table, for benchmarks and tests that
+    /// want to report (or assert on) the blocked layout.
+    struct BasisLayout {
+        std::size_t rows = 0;        ///< total element-state rows
+        std::size_t num_sc = 0;      ///< used subcarriers per row
+        std::size_t row_stride = 0;  ///< doubles per component, kLanes-padded
+        std::size_t bytes = 0;       ///< table footprint (rows*2*stride*8)
+    };
+
+    /// Layout of the warm entry for (`link_id`, `array_id`). Requires a
+    /// warm entry (same precondition as response_into).
+    BasisLayout basis_layout(std::size_t link_id, std::size_t array_id) const;
+
     /// CFR of `link` on the used subcarriers under every array's currently
     /// selected states, rebuilding the factored basis if stale.
     util::CVec response(const sdr::Medium& medium, std::size_t link_id,
@@ -160,14 +194,29 @@ public:
     }
 
 private:
-    /// One array's basis: split-complex rows of the per-state CFR table,
-    /// row-major over [element state rows][subcarriers].
+    /// One array's basis: per-state CFR rows in the blocked split-complex
+    /// layout. Row r's re segment starts at table[r * 2 * row_stride], its
+    /// im segment row_stride doubles later; row_stride is num_sc rounded
+    /// up to a multiple of kernels::kLanes (padding stays zero). One
+    /// allocation, one memory stream per gathered row.
     struct ArrayBasis {
         std::uint64_t structure_revision = 0;
         std::vector<int> radices;             ///< states per element
         std::vector<std::size_t> row_offset;  ///< element -> first row
-        std::vector<double> table_re;
-        std::vector<double> table_im;
+        std::size_t num_sc = 0;               ///< valid doubles per segment
+        std::size_t row_stride = 0;           ///< padded doubles per segment
+        std::vector<double> table;            ///< rows x [re | im] blocks
+
+        const double* row_re(std::size_t row) const {
+            return table.data() + row * 2 * row_stride;
+        }
+        const double* row_im(std::size_t row) const {
+            return row_re(row) + row_stride;
+        }
+        double* row_re(std::size_t row) {
+            return table.data() + row * 2 * row_stride;
+        }
+        double* row_im(std::size_t row) { return row_re(row) + row_stride; }
     };
 
     /// Link endpoint fingerprint: 2 x (position + antenna facets). Fixed

@@ -2,6 +2,7 @@
 
 #include "em/material.hpp"
 #include "em/statistical.hpp"
+#include "util/contracts.hpp"
 #include "util/units.hpp"
 
 namespace press::core {
@@ -195,6 +196,79 @@ LinkScenario make_fig7_link_scenario(std::uint64_t seed,
     link.rx = make_endpoint(jitter(rx_position(p), jitter_rng),
                             p.endpoint_gain_dbi);
     link.profile = sdr::RadioProfile::usrp_n210();
+    scenario.link_id = scenario.system.add_link(link);
+    return scenario;
+}
+
+LinkScenario make_massive_scenario(std::size_t n_elements,
+                                   std::uint64_t seed,
+                                   const MassiveParams& p) {
+    PRESS_EXPECTS(n_elements >= 1, "need at least one element");
+    PRESS_EXPECTS(p.num_states >= 2, "elements need at least two states");
+    // The room, clutter and link budget reuse the study-room builder;
+    // only the element deployment differs (a dense panel instead of the
+    // paper's three hand-placed directional elements).
+    StudyParams sp;
+    sp.carrier_hz = p.carrier_hz;
+    sp.room_x = p.room_x;
+    sp.room_y = p.room_y;
+    sp.room_z = p.room_z;
+    sp.endpoint_gain_dbi = p.endpoint_gain_dbi;
+    sp.element_gain_dbi = p.element_gain_dbi;
+    sp.blocker_attenuation_db = p.blocker_attenuation_db;
+    sp.link_distance_m = p.link_distance_m;
+    sp.num_scatterers = p.num_scatterers;
+    sp.num_metal_scatterers = p.num_metal_scatterers;
+    sp.wall_reflection_order = p.wall_reflection_order;
+
+    util::Rng rng(seed);
+    Environment env = make_room_environment(rng, sp);
+    add_blocker(env, sp);
+    sdr::Medium medium(std::move(env), phy::OfdmParams::wifi20());
+
+    // Column-major grid on a vertical panel parallel to the TX-RX axis,
+    // offset from it like the study's element band; half-wavelength pitch
+    // with sub-pitch placement jitter per seed.
+    const double spacing = p.panel_spacing_m > 0.0
+                               ? p.panel_spacing_m
+                               : util::wavelength(p.carrier_hz) / 2.0;
+    const double z_lo = 0.4;
+    const double z_span = p.room_z - 0.8;
+    const std::size_t rows_z = std::max<std::size_t>(
+        1, static_cast<std::size_t>(z_span / spacing) + 1);
+    const std::size_t cols = (n_elements + rows_z - 1) / rows_z;
+    const double panel_width = static_cast<double>(cols - 1) * spacing;
+    PRESS_EXPECTS(panel_width <= p.room_x - 1.0,
+                  "element panel does not fit the room");
+    const double x0 = p.room_x / 2.0 - panel_width / 2.0;
+    const double panel_y = p.room_y / 2.0 - 2.0;
+
+    util::Rng placement_rng = rng.fork();
+    surface::Array array;
+    for (std::size_t i = 0; i < n_elements; ++i) {
+        const std::size_t col = i / rows_z;
+        const std::size_t row = i % rows_z;
+        const Vec3 pos{
+            x0 + static_cast<double>(col) * spacing +
+                placement_rng.uniform(-0.12, 0.12) * spacing,
+            panel_y + placement_rng.uniform(-0.01, 0.01),
+            z_lo + static_cast<double>(row) * spacing +
+                placement_rng.uniform(-0.12, 0.12) * spacing};
+        array.add_element(surface::Element::uniform_phases(
+            pos, Antenna::omni(p.element_gain_dbi), p.carrier_hz,
+            /*num_phases=*/p.num_states, /*include_off=*/false));
+    }
+
+    LinkScenario scenario{System(std::move(medium)), 0, 0};
+    scenario.array_id = scenario.system.medium().add_array(std::move(array));
+
+    sdr::Link link;
+    util::Rng jitter_rng = rng.fork();
+    link.tx = make_endpoint(jitter(tx_position(sp), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.rx = make_endpoint(jitter(rx_position(sp), jitter_rng),
+                            p.endpoint_gain_dbi);
+    link.profile = sdr::RadioProfile::warp_v3();
     scenario.link_id = scenario.system.add_link(link);
     return scenario;
 }

@@ -75,6 +75,41 @@ LinkScenario make_fig7_link_scenario(std::uint64_t seed,
                                      const StudyParams& params =
                                          StudyParams::defaults());
 
+/// Knobs of the massive-element (RFocus-regime) scene. The defaults model
+/// a wall-mounted panel of cheap two-state backscatter elements at
+/// half-wavelength pitch — the arXiv:1905.05130 deployment scaled into
+/// the study room — rather than the paper's three directional elements.
+struct MassiveParams {
+    double carrier_hz = 2.462e9;     ///< Wi-Fi channel 11
+    double room_x = 16.0, room_y = 12.0, room_z = 3.0;
+    double endpoint_gain_dbi = 2.0;
+    /// Per-element gain: a dense panel of patch-like radiators, far
+    /// flatter than the study's well-aimed directional elements.
+    double element_gain_dbi = 6.0;
+    double blocker_attenuation_db = 35.0;
+    double link_distance_m = 6.0;    ///< TX-RX separation
+    int num_scatterers = 10;
+    int num_metal_scatterers = 3;
+    int wall_reflection_order = 2;
+    /// States per element; 2 = binary phase (0, pi), the RFocus regime.
+    int num_states = 2;
+    /// Element pitch on the panel; <= 0 resolves to half a wavelength.
+    double panel_spacing_m = 0.0;
+
+    static MassiveParams defaults() { return {}; }
+};
+
+/// Builds a 1,000-4,000 element scene: a planar grid of `n_elements`
+/// two-state elements on a wall panel offset ~2 m from the (blocked)
+/// TX-RX axis, with seeded sub-pitch placement jitter. The returned
+/// scenario has ConfigSpace cardinality 2^n — callers must use searchers
+/// that never enumerate or count the space (majority-vote, random
+/// partition, greedy coordinate descent).
+LinkScenario make_massive_scenario(std::size_t n_elements,
+                                   std::uint64_t seed,
+                                   const MassiveParams& params =
+                                       MassiveParams::defaults());
+
 /// The full two-network harmonization setup of the paper's Figure 2
 /// vision: two co-located networks (links 0 and
 /// 1: AP1 -> client1, AP2 -> client2; links 2 and 3 the cross-network

@@ -10,8 +10,11 @@ namespace press::obs {
 namespace {
 
 /// Manifest fields that must match for counters to be comparable at all.
-constexpr const char* kStrictIdentity[] = {"press_threads", "seed",
-                                           "scenario"};
+/// `scenario` is also strict identity but compared separately as a
+/// comma-separated scene-token set, so a run that *adds* a scene stays
+/// comparable (new-scene counters warn like any new counter) while a run
+/// that *drops* a baseline scene fails outright.
+constexpr const char* kStrictIdentity[] = {"press_threads", "seed"};
 /// Manifest fields whose mismatch only softens counter failures to
 /// warnings (toolchain changes may legitimately shift FP trajectories).
 constexpr const char* kAdvisoryIdentity[] = {"build_type", "compiler",
@@ -35,6 +38,28 @@ double rel_drift_pct(double base, double current) {
     return std::fabs(current - base) / denom * 100.0;
 }
 
+/// Splits a scenario id into its comma-separated scene tokens (empty
+/// tokens dropped). A single-token scenario degenerates to the old exact
+/// string comparison.
+std::vector<std::string> scenario_tokens(const std::string& scenario) {
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (start <= scenario.size()) {
+        const std::size_t comma = scenario.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? scenario.size() : comma;
+        if (end > start) tokens.push_back(scenario.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return tokens;
+}
+
+bool contains_token(const std::vector<std::string>& tokens,
+                    const std::string& token) {
+    return std::find(tokens.begin(), tokens.end(), token) != tokens.end();
+}
+
 }  // namespace
 
 Json make_baseline(const Json& telemetry) {
@@ -42,6 +67,7 @@ Json make_baseline(const Json& telemetry) {
     const Json& src = telemetry.at("manifest");
     for (const char* key : kStrictIdentity)
         manifest.emplace(key, src.at(key));
+    manifest.emplace("scenario", src.at("scenario"));
     for (const char* key : kAdvisoryIdentity)
         manifest.emplace(key, src.at(key));
     // Older exports predate kernel_dispatch; baselines written from them
@@ -88,6 +114,37 @@ DiffResult diff_telemetry(const Json& baseline, const Json& current,
                 std::string("manifest.") + key +
                 " differs from the baseline — runs are not comparable");
         }
+    }
+    // Scenario identity by scene-token set: every baseline scene must
+    // still run (a missing one means its counters silently vanish —
+    // incomparable), while scenes added since the baseline only warn so a
+    // bench can grow without first invalidating its own gate.
+    if (!base_manifest.contains("scenario") ||
+        !cur_manifest.contains("scenario")) {
+        result.comparable = false;
+        result.failures.push_back(
+            "manifest.scenario differs from the baseline — runs are not "
+            "comparable");
+    } else {
+        const std::vector<std::string> base_scenes =
+            scenario_tokens(value_str(base_manifest.at("scenario")));
+        const std::vector<std::string> cur_scenes =
+            scenario_tokens(value_str(cur_manifest.at("scenario")));
+        for (const std::string& scene : base_scenes) {
+            if (!contains_token(cur_scenes, scene)) {
+                result.comparable = false;
+                result.failures.push_back(
+                    "manifest.scenario scene \"" + scene +
+                    "\" present in the baseline but missing from this "
+                    "run — runs are not comparable");
+            }
+        }
+        for (const std::string& scene : cur_scenes)
+            if (!contains_token(base_scenes, scene))
+                result.warnings.push_back(
+                    "manifest.scenario scene \"" + scene +
+                    "\" is new since the baseline (re-snapshot to gate "
+                    "its counters)");
     }
     if (!result.comparable) return result;
 

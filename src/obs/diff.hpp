@@ -13,7 +13,9 @@
 //
 // Comparability is checked, not assumed: a baseline recorded at
 // different press_threads/seed/scenario fails outright (the comparison
-// is meaningless), while a different compiler/build_type/sanitize
+// is meaningless — scenario is compared as a comma-separated scene-token
+// set, so a run that adds a scene only warns while one that drops a
+// baseline scene fails), while a different compiler/build_type/sanitize
 // downgrades counter failures to warnings — floating-point differences
 // across toolchains can legitimately steer a search down another
 // trajectory, and the gate must not punish a toolchain bump as a

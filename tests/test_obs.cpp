@@ -516,6 +516,42 @@ TEST_F(ObsTest, BenchDiffGatesCountersAndForgivesGauges) {
     EXPECT_FALSE(incomparable.ok());
 }
 
+TEST_F(ObsTest, BenchDiffComparesScenarioAsSceneTokenSet) {
+    auto& registry = MetricsRegistry::global();
+    registry.counter("test.scenes.trials").add(10);
+    const RunManifest manifest = RunManifest::capture("bench,fig4,fig6", 11);
+    const Json telemetry = build_telemetry(manifest);
+    const Json baseline = make_baseline(telemetry);
+
+    // A current run that *added* a scene stays comparable; the addition
+    // is surfaced as a warning so the baseline gets re-snapshotted.
+    const RunManifest grown_manifest =
+        RunManifest::capture("bench,fig4,fig6,massive", 11);
+    const Json grown = build_telemetry(grown_manifest);
+    const DiffResult added = diff_telemetry(baseline, grown);
+    EXPECT_TRUE(added.comparable);
+    EXPECT_TRUE(added.ok());
+    ASSERT_FALSE(added.warnings.empty());
+    EXPECT_NE(added.warnings.front().find("massive"), std::string::npos);
+
+    // Dropping a baseline scene silently removes its counters from the
+    // run, so the comparison is meaningless: incomparable, hard fail.
+    const RunManifest shrunk_manifest = RunManifest::capture("bench,fig4", 11);
+    const Json shrunk = build_telemetry(shrunk_manifest);
+    const DiffResult dropped = diff_telemetry(baseline, shrunk);
+    EXPECT_FALSE(dropped.comparable);
+    EXPECT_FALSE(dropped.ok());
+    ASSERT_FALSE(dropped.failures.empty());
+    EXPECT_NE(dropped.failures.front().find("fig6"), std::string::npos);
+
+    // Single-token scenarios keep the old exact-match behavior: a
+    // rename is a removal plus an addition, so it still fails.
+    const Json solo_base =
+        make_baseline(build_telemetry(RunManifest::capture("alpha", 11)));
+    const Json solo_cur = build_telemetry(RunManifest::capture("beta", 11));
+    EXPECT_FALSE(diff_telemetry(solo_base, solo_cur).comparable);
+}
+
 TEST_F(ObsTest, DiffToleranceEnvOverride) {
     ::setenv("PRESS_BENCH_DIFF_TOLERANCE_PCT", "7.5", 1);
     EXPECT_DOUBLE_EQ(diff_tolerance_from_env(), 7.5);
