@@ -32,7 +32,11 @@
 // costs under the same allocation gate, a BatchEvaluator thread-scaling
 // curve, and a greedy-vs-majority-vote search comparison (the vote
 // searcher must reach >=95% of greedy's objective on <=25% of its
-// evaluations). Timings are informational; the allocation gate and the
+// evaluations). A multi-user fig-harmonization scene (32 links, 4 APs,
+// one shared element field) times the MultiLinkCache's wide group
+// gathers against 32 naive per-link reads under the same allocation
+// gate, and runs two optimize_multilink max-min fairness searches end
+// to end. Timings are informational; the allocation gate and the
 // service's no-silent-drops ledger fail the run.
 #include <algorithm>
 #include <atomic>
@@ -791,6 +795,185 @@ MassiveSnapshot snapshot_massive(std::size_t n, std::uint64_t seed) {
     return snap;
 }
 
+// Multi-user fig-harmonization scene (tentpole of the shared-basis
+// multi-link work): 32 links (4 APs x 8 clients) over one 16-element
+// 4-phase panel. The per-candidate comparison is the one the
+// MultiLinkCache exists for: gathering all 32 responses through 4 wide
+// group reads (one row selection per distinct transmitter) against the
+// naive form of 32 independent LinkCache::response_into reads (one row
+// selection per link). Both loops score the identical max-min fused
+// reduction and run under the allocation gate. Two end-to-end
+// optimize_multilink searches (greedy delta sweeps and majority vote,
+// both through the max-min fairness combinator) close the section.
+struct HarmonizationSnapshot {
+    std::size_t num_links = 0;
+    std::size_t num_groups = 0;
+    std::uint64_t seed = 0;
+    double build_ms = 0.0;  ///< make_multi_link_scenario wall time
+    double warm_ms = 0.0;   ///< MultiLinkCache::warm (trace + wide basis)
+    double shared_table_mib = 0.0;
+    double naive_table_mib = 0.0;
+    double shared_metadata_kib = 0.0;
+    double naive_metadata_kib = 0.0;
+    double shared_eval_us = 0.0;  ///< 4 wide group reads + fused scoring
+    double naive_eval_us = 0.0;   ///< 32 narrow reads + identical scoring
+    std::uint64_t sweep_allocs = 0;
+    double greedy_ms = 0.0;
+    std::size_t greedy_evals = 0;
+    double greedy_score_db = 0.0;  ///< remeasured max-min utility
+    double majority_ms = 0.0;
+    std::size_t majority_evals = 0;
+    double majority_score_db = 0.0;
+};
+
+HarmonizationSnapshot snapshot_harmonization(std::uint64_t seed) {
+    HarmonizationSnapshot snap;
+    snap.seed = seed;
+
+    auto t0 = Clock::now();
+    core::MultiLinkScenario scenario = core::make_multi_link_scenario(seed);
+    snap.build_ms = elapsed_us(t0, Clock::now(), 1) / 1000.0;
+    snap.num_links = scenario.num_links;
+
+    core::System& system = scenario.system;
+    const sdr::Medium& medium = system.medium();
+    const surface::Array& array = medium.array(scenario.array_id);
+    const surface::ConfigSpace space = array.config_space();
+    const std::vector<int>& radices = space.radices();
+
+    t0 = Clock::now();
+    system.warm_multilink();
+    snap.warm_ms = elapsed_us(t0, Clock::now(), 1) / 1000.0;
+    const core::MultiLinkCache& shared = system.multilink_cache();
+    snap.num_groups = shared.num_groups();
+    const core::MultiLinkCache::MemoryStats mem = shared.memory_stats();
+    snap.shared_table_mib =
+        static_cast<double>(mem.shared_table_bytes + mem.shared_static_bytes) /
+        (1024.0 * 1024.0);
+    snap.naive_table_mib =
+        static_cast<double>(mem.naive_table_bytes + mem.naive_static_bytes) /
+        (1024.0 * 1024.0);
+    snap.shared_metadata_kib =
+        static_cast<double>(mem.shared_metadata_bytes) / 1024.0;
+    snap.naive_metadata_kib =
+        static_cast<double>(mem.naive_metadata_bytes) / 1024.0;
+
+    // The naive side: one LinkCache entry per link, as PR 5 would have it.
+    core::LinkCache naive;
+    for (std::size_t i = 0; i < snap.num_links; ++i)
+        naive.warm(medium, i, system.link(i));
+
+    // Candidate configs pre-expanded (4^16 space: drawn element-wise).
+    util::Rng cfg_rng(4300 + seed);
+    constexpr std::size_t kConfigCycle = 64;
+    std::vector<surface::Config> configs;
+    configs.reserve(kConfigCycle);
+    for (std::size_t i = 0; i < kConfigCycle; ++i) {
+        surface::Config c(space.num_elements());
+        for (std::size_t e = 0; e < c.size(); ++e)
+            c[e] = static_cast<int>(cfg_rng.uniform_int(0, radices[e] - 1));
+        configs.push_back(std::move(c));
+    }
+
+    const util::kernels::Dispatch d = util::kernels::active();
+    const std::size_t num_sc = shared.num_sc();
+    constexpr std::size_t kEvalIters = 1000;
+
+    {   // Shared path: one wide gather per transmitter group, then the
+        // max-min reduction straight off the per-link segments.
+        std::vector<util::kernels::SplitVec> wide(shared.num_groups());
+        const auto score = [&](const surface::Config& c) {
+            double worst = std::numeric_limits<double>::infinity();
+            for (std::size_t g = 0; g < shared.num_groups(); ++g) {
+                shared.group_response_into(medium, g, scenario.array_id, c,
+                                           wide[g]);
+                for (const std::size_t id : shared.group_links(g)) {
+                    const std::size_t off = shared.view(id).offset;
+                    worst = std::min(
+                        worst, util::kernels::abs2_mean(
+                                   d, wide[g].re.data() + off,
+                                   wide[g].im.data() + off, num_sc));
+                }
+            }
+            return worst;
+        };
+        (void)score(configs[0]);  // warm every wide scratch
+        const std::uint64_t armed = allocations();
+        t0 = Clock::now();
+        for (std::size_t i = 0; i < kEvalIters; ++i) {
+            volatile double sink = score(configs[i % kConfigCycle]);
+            (void)sink;
+        }
+        snap.shared_eval_us = elapsed_us(t0, Clock::now(), kEvalIters);
+        snap.sweep_allocs += allocations() - armed;
+    }
+
+    {   // Naive path: the identical scoring over 32 independent reads.
+        util::kernels::SplitVec h;
+        const auto score = [&](const surface::Config& c) {
+            double worst = std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < snap.num_links; ++i) {
+                naive.response_into(medium, i, system.link(i),
+                                    scenario.array_id, c, h);
+                worst = std::min(worst,
+                                 util::kernels::abs2_mean(
+                                     d, h.re.data(), h.im.data(), num_sc));
+            }
+            return worst;
+        };
+        (void)score(configs[0]);
+        const std::uint64_t armed = allocations();
+        t0 = Clock::now();
+        for (std::size_t i = 0; i < kEvalIters; ++i) {
+            volatile double sink = score(configs[i % kConfigCycle]);
+            (void)sink;
+        }
+        snap.naive_eval_us = elapsed_us(t0, Clock::now(), kEvalIters);
+        snap.sweep_allocs += allocations() - armed;
+    }
+
+    {   // End-to-end composite searches through optimize_multilink: the
+        // max-min fairness combinator under simulated budgets priced for
+        // a 32-link sounding cycle.
+        const control::ControlPlaneModel plane =
+            control::ControlPlaneModel::fast();
+        control::SetConfig probe;
+        probe.array_id = static_cast<std::uint16_t>(scenario.array_id);
+        probe.config.assign(space.num_elements(), 0);
+        const double trial_s = plane.config_trial_time_s(
+            probe, snap.num_links, medium.ofdm().num_used());
+        const std::unique_ptr<control::Objective> objective =
+            control::make_max_min_objective(snap.num_links);
+        {
+            const control::GreedyCoordinateDescent searcher;
+            util::Rng rng(9200 + seed);
+            core::MultiLinkScenario fresh =
+                core::make_multi_link_scenario(seed);
+            t0 = Clock::now();
+            const auto outcome = fresh.system.optimize_multilink(
+                fresh.array_id, *objective, searcher, plane,
+                256.0 * trial_s, rng);
+            snap.greedy_ms = elapsed_us(t0, Clock::now(), 1) / 1000.0;
+            snap.greedy_evals = outcome.search.evaluations;
+            snap.greedy_score_db = outcome.search.best_score_remeasured;
+        }
+        {
+            const control::MajorityVoteSearcher searcher;
+            util::Rng rng(9200 + seed);
+            core::MultiLinkScenario fresh =
+                core::make_multi_link_scenario(seed);
+            t0 = Clock::now();
+            const auto outcome = fresh.system.optimize_multilink(
+                fresh.array_id, *objective, searcher, plane,
+                128.0 * trial_s, rng);
+            snap.majority_ms = elapsed_us(t0, Clock::now(), 1) / 1000.0;
+            snap.majority_evals = outcome.search.evaluations;
+            snap.majority_score_db = outcome.search.best_score_remeasured;
+        }
+    }
+    return snap;
+}
+
 void print_scene(std::FILE* out, const SceneSnapshot& s, bool last) {
     std::fprintf(
         out,
@@ -843,6 +1026,7 @@ int main() {
     const Fig7Snapshot fig7 = snapshot_fig7(107);
     const ServiceSnapshot service = snapshot_service(100);
     const MassiveSnapshot massive = snapshot_massive(1024, 7001);
+    const HarmonizationSnapshot harmonization = snapshot_harmonization(4242);
 
     std::FILE* out = std::fopen("BENCH_observe.json", "w");
     if (out == nullptr) {
@@ -947,11 +1131,48 @@ int main() {
                  "    \"majority_score_db\": %.3f,\n"
                  "    \"score_fraction\": %.3f,\n"
                  "    \"eval_fraction\": %.3f\n"
-                 "  }\n}\n",
+                 "  },\n",
                  massive.greedy_ms, massive.greedy_evals,
                  massive.greedy_score, massive.majority_ms,
                  massive.majority_evals, massive.majority_score,
                  massive.score_fraction, massive.eval_fraction);
+    std::fprintf(out,
+                 "  \"harmonization\": {\n"
+                 "    \"scene\": \"fig-harmonization\",\n"
+                 "    \"seed\": %llu,\n"
+                 "    \"num_links\": %zu,\n"
+                 "    \"num_groups\": %zu,\n"
+                 "    \"build_ms\": %.1f,\n"
+                 "    \"warm_ms\": %.1f,\n"
+                 "    \"shared_table_mib\": %.2f,\n"
+                 "    \"naive_table_mib\": %.2f,\n"
+                 "    \"shared_metadata_kib\": %.2f,\n"
+                 "    \"naive_metadata_kib\": %.2f,\n"
+                 "    \"shared_eval_us\": %.3f,\n"
+                 "    \"naive_eval_us\": %.3f,\n"
+                 "    \"shared_speedup\": %.2f,\n"
+                 "    \"sweep_allocs\": %llu,\n"
+                 "    \"greedy_ms\": %.1f,\n"
+                 "    \"greedy_evals\": %zu,\n"
+                 "    \"greedy_score_db\": %.3f,\n"
+                 "    \"majority_ms\": %.1f,\n"
+                 "    \"majority_evals\": %zu,\n"
+                 "    \"majority_score_db\": %.3f\n"
+                 "  }\n}\n",
+                 static_cast<unsigned long long>(harmonization.seed),
+                 harmonization.num_links, harmonization.num_groups,
+                 harmonization.build_ms, harmonization.warm_ms,
+                 harmonization.shared_table_mib,
+                 harmonization.naive_table_mib,
+                 harmonization.shared_metadata_kib,
+                 harmonization.naive_metadata_kib,
+                 harmonization.shared_eval_us, harmonization.naive_eval_us,
+                 harmonization.naive_eval_us / harmonization.shared_eval_us,
+                 static_cast<unsigned long long>(harmonization.sweep_allocs),
+                 harmonization.greedy_ms, harmonization.greedy_evals,
+                 harmonization.greedy_score_db, harmonization.majority_ms,
+                 harmonization.majority_evals,
+                 harmonization.majority_score_db);
     std::fclose(out);
 
     for (const SceneSnapshot* s : {&fig4, &fig6}) {
@@ -996,6 +1217,21 @@ int main() {
         massive.greedy_ms / 1000.0, massive.majority_evals,
         massive.majority_score, massive.majority_ms / 1000.0,
         massive.score_fraction * 100.0, massive.eval_fraction * 100.0);
+    std::printf(
+        "harmonization(links=%zu, groups=%zu): build %.0f ms  warm %.0f ms  "
+        "shared %.3f us/eval vs naive %.3f us/eval (%.2fx)  "
+        "metadata %.1f KiB vs %.1f KiB\n",
+        harmonization.num_links, harmonization.num_groups,
+        harmonization.build_ms, harmonization.warm_ms,
+        harmonization.shared_eval_us, harmonization.naive_eval_us,
+        harmonization.naive_eval_us / harmonization.shared_eval_us,
+        harmonization.shared_metadata_kib, harmonization.naive_metadata_kib);
+    std::printf(
+        "  max-min greedy %zu evals -> %.2f dB (%.1f s)  majority %zu "
+        "evals -> %.2f dB (%.1f s)\n",
+        harmonization.greedy_evals, harmonization.greedy_score_db,
+        harmonization.greedy_ms / 1000.0, harmonization.majority_evals,
+        harmonization.majority_score_db, harmonization.majority_ms / 1000.0);
     std::printf("wrote BENCH_observe.json\n");
 
     // The no-silent-drops ledger is gated like the allocation contract:
@@ -1015,16 +1251,19 @@ int main() {
     // allocation inside a warmed steady-state sweep fails the run.
     const std::uint64_t sweep_allocs =
         fig4.sweep_allocs + fig6.sweep_allocs + fig7.sweep_allocs +
-        massive.sweep_allocs;
+        massive.sweep_allocs + harmonization.sweep_allocs;
     if (sweep_allocs != 0) {
-        std::fprintf(stderr,
-                     "FAIL: %llu heap allocation(s) inside steady-state "
-                     "sweeps (fig4=%llu fig6=%llu fig7=%llu massive=%llu)\n",
-                     static_cast<unsigned long long>(sweep_allocs),
-                     static_cast<unsigned long long>(fig4.sweep_allocs),
-                     static_cast<unsigned long long>(fig6.sweep_allocs),
-                     static_cast<unsigned long long>(fig7.sweep_allocs),
-                     static_cast<unsigned long long>(massive.sweep_allocs));
+        std::fprintf(
+            stderr,
+            "FAIL: %llu heap allocation(s) inside steady-state "
+            "sweeps (fig4=%llu fig6=%llu fig7=%llu massive=%llu "
+            "harmonization=%llu)\n",
+            static_cast<unsigned long long>(sweep_allocs),
+            static_cast<unsigned long long>(fig4.sweep_allocs),
+            static_cast<unsigned long long>(fig6.sweep_allocs),
+            static_cast<unsigned long long>(fig7.sweep_allocs),
+            static_cast<unsigned long long>(massive.sweep_allocs),
+            static_cast<unsigned long long>(harmonization.sweep_allocs));
         return 1;
     }
 
@@ -1037,7 +1276,7 @@ int main() {
     // compares it as a token set, so adding a scene later only warns
     // until the baseline is re-snapshotted, while dropping one fails.
     const press::obs::RunManifest manifest = press::obs::RunManifest::capture(
-        "perf_snapshot,fig4,fig6,fig7,service,massive", 100);
+        "perf_snapshot,fig4,fig6,fig7,service,massive,harmonization", 100);
     const press::obs::RunExportPaths paths =
         press::obs::write_run_exports("perf_snapshot", manifest);
     if (paths.telemetry) std::printf("wrote %s\n", paths.telemetry->c_str());

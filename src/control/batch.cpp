@@ -72,6 +72,34 @@ std::size_t BatchEvaluator::shard_size_for(std::size_t tasks,
     return std::max<std::size_t>(1, (tasks + target - 1) / target);
 }
 
+std::size_t BatchEvaluator::shard_size_for(std::size_t tasks,
+                                           std::size_t workers,
+                                           std::size_t task_weight) {
+    const std::size_t base = shard_size_for(tasks, workers);
+    if (task_weight <= 1) return base;
+    // A shard sized for single-link sweeps turns into a long serial tail
+    // when every candidate carries N stacked links of work, so cap one
+    // claim at ~kMaxShardTiles (candidate x link) tiles. The floor of one
+    // candidate stands: a task is never split across workers (its rng
+    // stream spans all of its links).
+    constexpr std::size_t kMaxShardTiles = 64;
+    const std::size_t cap =
+        std::max<std::size_t>(1, kMaxShardTiles / task_weight);
+    return std::min(base, cap);
+}
+
+void BatchEvaluator::set_task_weight(std::size_t tiles_per_task) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PRESS_EXPECTS(batch_ == nullptr && coord_ == nullptr,
+                  "set_task_weight() must not race an in-flight batch");
+    task_weight_ = std::max<std::size_t>(1, tiles_per_task);
+    if (obs::enabled()) {
+        obs::MetricsRegistry::global()
+            .gauge("control.batch.task_weight")
+            .set(static_cast<double>(task_weight_));
+    }
+}
+
 std::size_t BatchEvaluator::resolve_threads(std::size_t requested) {
     if (requested != 0) return requested;
     // obs::env_threads() owns the PRESS_THREADS policy (clamp to [1, 64])
@@ -244,7 +272,7 @@ void BatchEvaluator::run_tasks(std::size_t num_tasks,
     batch_ctx_ = span.context();
     results_ = &results;
     next_ = 0;
-    shard_size_ = shard_size_for(num_tasks, workers_.size());
+    shard_size_ = shard_size_for(num_tasks, workers_.size(), task_weight_);
     num_tasks_ = num_tasks;
     remaining_ = num_tasks;
     first_error_ = nullptr;

@@ -166,11 +166,28 @@ public:
     static std::uint64_t candidate_seed(std::uint64_t seed,
                                         std::uint64_t index);
 
+    /// Declares how much work one task carries, measured in (candidate x
+    /// link) tiles: a single-link sweep has weight 1 (the default), a
+    /// multi-link eval over N stacked links weight N. Sharding then
+    /// granulates in tiles instead of candidates (see the weighted
+    /// shard_size_for overload), so a 32-link batch is claimed in small
+    /// enough shards to balance. Scheduling only — never affects bits.
+    void set_task_weight(std::size_t tiles_per_task);
+    std::size_t task_weight() const { return task_weight_; }
+
     /// Shard-size policy: about kShardsPerWorker shards per worker, floor
     /// one candidate. Exposed for tests; purely a scheduling knob — the
     /// result bits never depend on it.
     static std::size_t shard_size_for(std::size_t tasks,
                                       std::size_t workers);
+
+    /// Weighted policy: the same target shard count, but a shard is also
+    /// capped so one claim never exceeds ~kMaxShardTiles (candidate x
+    /// link) tiles of work. Heavy multi-link tasks therefore shard finer
+    /// than their candidate count alone suggests, keeping the tail of a
+    /// batch balanced across workers.
+    static std::size_t shard_size_for(std::size_t tasks, std::size_t workers,
+                                      std::size_t task_weight);
 
 private:
     void worker_loop(std::size_t index);
@@ -182,6 +199,7 @@ private:
     CoordinateScoreFn coord_score_;
     std::uint64_t seed_;
     std::uint64_t base_index_ = 0;
+    std::size_t task_weight_ = 1;  ///< (candidate x link) tiles per task
 
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;   ///< workers wait for a batch

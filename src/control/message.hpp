@@ -127,10 +127,20 @@ struct OptimizeRequest {
     std::uint8_t priority = 128;    ///< larger = more important
 };
 
-/// Objective selector carried by OptimizeRequest::objective.
+/// Objective selector carried by OptimizeRequest::objective. Values 1-2
+/// are single-link objectives over the request's link_id, routed through
+/// optimize_fast. Values >= 3 are composite multi-link PRESETS over every
+/// registered link, routed through System::optimize_multilink's shared
+/// basis (docs/OBJECTIVES.md has the exact term semantics); for
+/// kNullVictim the request's link_id names the victim link to null and
+/// the scene must have at least two links.
 enum class ServiceObjective : std::uint8_t {
     kMinSnr = 1,
     kMeanSnr = 2,
+    kMaxMinFair = 3,  ///< max-min fairness over per-link mean SNRs
+    kSumMean = 4,     ///< sum of per-link mean SNRs
+    kQosFloor = 5,    ///< sum of mean SNRs with a 10 dB hinge floor
+    kNullVictim = 6,  ///< serve all links, null link_id
 };
 
 /// Searcher selector carried by OptimizeRequest::searcher.

@@ -73,6 +73,138 @@ std::unique_ptr<Objective> make_harmonization_objective(
                                                    "harmonization");
 }
 
+MultiLinkObjective::MultiLinkObjective(MultiLinkSpec spec, std::string label)
+    : spec_(std::move(spec)), label_(std::move(label)) {
+    PRESS_EXPECTS(!spec_.terms.empty(),
+                  "multi-link objective needs at least one term");
+    for (const LinkTerm& t : spec_.terms)
+        PRESS_EXPECTS(t.reduce != FusedSpec::Kind::kNone,
+                      "a multi-link term must reduce to a scalar");
+}
+
+double MultiLinkObjective::term_utility(const LinkTerm& term,
+                                        double value_db) {
+    const double shortfall = term.qos_floor_db - value_db;
+    return term.weight * value_db -
+           term.qos_weight * (shortfall > 0.0 ? shortfall : 0.0);
+}
+
+double MultiLinkObjective::combine(const MultiLinkSpec& spec,
+                                   const double* utilities) {
+    if (spec.combine == MultiLinkSpec::Combine::kMaxMin) {
+        double worst = utilities[0];
+        for (std::size_t t = 1; t < spec.terms.size(); ++t)
+            worst = std::min(worst, utilities[t]);
+        return worst;
+    }
+    double total = 0.0;
+    for (std::size_t t = 0; t < spec.terms.size(); ++t)
+        total += utilities[t];
+    return total;
+}
+
+double MultiLinkObjective::score(const Observation& obs) const {
+    // The general path reduces each term's span sequentially (the same
+    // arithmetic MinSnr/MeanSnr use); min terms match the fused scorer
+    // exactly, mean terms up to blocked-vs-sequential association ulps.
+    double result = 0.0;
+    bool first = true;
+    for (const LinkTerm& t : spec_.terms) {
+        const std::vector<double>& snr = link_snr(obs, t.link);
+        const double v = t.reduce == FusedSpec::Kind::kMinSnr
+                             ? util::min_value(snr)
+                             : util::mean(snr);
+        const double u = term_utility(t, v);
+        if (spec_.combine == MultiLinkSpec::Combine::kMaxMin)
+            result = first ? u : std::min(result, u);
+        else
+            result += u;
+        first = false;
+    }
+    return result;
+}
+
+MultiLinkProblem& MultiLinkProblem::add(LinkTerm term) {
+    spec_.terms.push_back(term);
+    return *this;
+}
+
+MultiLinkProblem& MultiLinkProblem::serve(std::size_t link, double weight) {
+    return add({link, reduce_, weight});
+}
+
+MultiLinkProblem& MultiLinkProblem::qos_floor(std::size_t link,
+                                              double floor_db,
+                                              double qos_weight) {
+    return add({link, reduce_, 1.0, floor_db, qos_weight});
+}
+
+MultiLinkProblem& MultiLinkProblem::null(std::size_t link, double weight) {
+    return add({link, reduce_, -weight});
+}
+
+MultiLinkProblem& MultiLinkProblem::weighted_sum() {
+    spec_.combine = MultiLinkSpec::Combine::kWeightedSum;
+    return *this;
+}
+
+MultiLinkProblem& MultiLinkProblem::max_min() {
+    spec_.combine = MultiLinkSpec::Combine::kMaxMin;
+    return *this;
+}
+
+MultiLinkProblem& MultiLinkProblem::reduce(FusedSpec::Kind kind) {
+    PRESS_EXPECTS(kind != FusedSpec::Kind::kNone,
+                  "a multi-link term must reduce to a scalar");
+    reduce_ = kind;
+    return *this;
+}
+
+std::unique_ptr<Objective> MultiLinkProblem::build(std::string label) const {
+    return std::make_unique<MultiLinkObjective>(spec_, std::move(label));
+}
+
+std::unique_ptr<Objective> make_max_min_objective(std::size_t num_links,
+                                                  FusedSpec::Kind reduce) {
+    PRESS_EXPECTS(num_links >= 1, "need at least one link");
+    MultiLinkProblem problem;
+    problem.reduce(reduce).max_min();
+    for (std::size_t i = 0; i < num_links; ++i) problem.serve(i);
+    return problem.build("max-min-fairness");
+}
+
+std::unique_ptr<Objective> make_sum_mean_objective(std::size_t num_links) {
+    PRESS_EXPECTS(num_links >= 1, "need at least one link");
+    MultiLinkProblem problem;
+    for (std::size_t i = 0; i < num_links; ++i) problem.serve(i);
+    return problem.build("sum-mean-SNR");
+}
+
+std::unique_ptr<Objective> make_qos_floor_objective(std::size_t num_links,
+                                                    double floor_db,
+                                                    double qos_weight) {
+    PRESS_EXPECTS(num_links >= 1, "need at least one link");
+    MultiLinkProblem problem;
+    for (std::size_t i = 0; i < num_links; ++i)
+        problem.qos_floor(i, floor_db, qos_weight);
+    return problem.build("qos-floor");
+}
+
+std::unique_ptr<Objective> make_nulling_objective(std::size_t num_links,
+                                                  std::size_t victim,
+                                                  double victim_weight) {
+    PRESS_EXPECTS(num_links >= 2, "nulling needs a victim and a served link");
+    PRESS_EXPECTS(victim < num_links, "victim link out of range");
+    MultiLinkProblem problem;
+    for (std::size_t i = 0; i < num_links; ++i) {
+        if (i == victim)
+            problem.null(i, victim_weight);
+        else
+            problem.serve(i);
+    }
+    return problem.build("null-victim");
+}
+
 double ConditionNumberObjective::score(const Observation& obs) const {
     PRESS_EXPECTS(!obs.mimo_condition_db.empty(),
                   "observation lacks MIMO condition numbers");

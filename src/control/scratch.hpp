@@ -32,6 +32,12 @@ struct EvalScratch {
     std::vector<double> mean_im;
     std::vector<double> noise_var;
     std::vector<double> snr_db;
+    /// Per-group wide response accumulators for multi-link scoring: one
+    /// stacked SplitVec per transmitter group of the shared basis
+    /// (core::MultiLinkCache). Sized once per worker, then reused.
+    std::vector<util::kernels::SplitVec> group_h;
+    /// Per-term utilities of a composite multi-link objective.
+    std::vector<double> term_utility;
     /// Reused by the general (non-fused) objective path.
     Observation observation;
     /// Fault-distortion output (the distorted candidate configuration).

@@ -1,0 +1,257 @@
+// Shared multi-link channel basis: N links scored through one cache.
+//
+// A multi-user scene registers tens to hundreds of TX/RX pairs over the
+// same element field. Scoring a candidate with N independent LinkCaches
+// costs N row-selection walks per candidate — N passes over the radices /
+// row_offset metadata, N scattered table streams — even though every link
+// sharing a transmitter selects the *same* row indices (row selection
+// depends only on the candidate configuration and the array's element
+// arity, never on the receiver).
+//
+// MultiLinkCache groups links by transmitter (position + antenna facets)
+// and stores, per (group, array), ONE stacked wide basis:
+//
+//     wide row r = [ link a's row r | link b's row r | ... ]
+//
+// where each member link's segment is that link's ordinary LinkCache row
+// (re-radiation CFR of one element state, deinterleaved split-complex),
+// padded to link_stride = num_sc rounded up to util::kernels::kLanes.
+// A wide row's re segments for all members are contiguous, followed by
+// all im segments (the same [re | im] row blocking LinkCache uses, just
+// width = members * link_stride). One row selection then serves every
+// member link: the candidate accumulation walks the metadata once per
+// group and streams one contiguous table, so per-candidate selection cost
+// grows with distinct transmitters, not links.
+//
+// Bit-identity contract: the per-link segment of a group response is
+// bit-identical to the same link's LinkCache::response_into output. Both
+// copy the identical static CFR and add the identical per-element rows in
+// ascending element order through the element-wise kernels, which have no
+// cross-position reduction — the segment's position inside the wide row
+// cannot change its bits. tests/test_multilink.cpp asserts this.
+//
+// Memory: the table bytes are essentially the SAME as N per-link caches
+// (every (link, element, state) row exists exactly once either way); the
+// sharing deduplicates the per-array metadata (radices, row offsets,
+// fingerprint validation) and — the real win — the per-candidate
+// row-selection work and memory-stream count. memory_stats() reports both
+// sides so benchmarks can print the honest comparison.
+//
+// Invalidation mirrors LinkCache: environment revision, per-array
+// structure revisions, and per-link endpoint fingerprints are checked on
+// warm(); config sweeps hit, geometry/fault edits rebuild.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "press/config.hpp"
+#include "sdr/medium.hpp"
+#include "util/kernels.hpp"
+
+namespace press::core {
+
+class MultiLinkCache {
+public:
+    MultiLinkCache() = default;
+
+    // Same move story as LinkCache: the atomic counters delete the
+    // implicit moves, but a System is only moved before workers exist.
+    MultiLinkCache(MultiLinkCache&& other) noexcept
+        : groups_(std::move(other.groups_)),
+          views_(std::move(other.views_)),
+          fingerprints_(std::move(other.fingerprints_)),
+          array_revisions_(std::move(other.array_revisions_)),
+          env_revision_(other.env_revision_),
+          num_sc_(other.num_sc_),
+          link_stride_(other.link_stride_),
+          valid_(other.valid_),
+          hits_(other.hits_.exchange(0, std::memory_order_relaxed)),
+          rebuilds_(other.rebuilds_.exchange(0, std::memory_order_relaxed)),
+          invalidations_(other.invalidations_.exchange(
+              0, std::memory_order_relaxed)) {
+        other.valid_ = false;
+    }
+    MultiLinkCache& operator=(MultiLinkCache&& other) noexcept {
+        groups_ = std::move(other.groups_);
+        views_ = std::move(other.views_);
+        fingerprints_ = std::move(other.fingerprints_);
+        array_revisions_ = std::move(other.array_revisions_);
+        env_revision_ = other.env_revision_;
+        num_sc_ = other.num_sc_;
+        link_stride_ = other.link_stride_;
+        valid_ = other.valid_;
+        other.valid_ = false;
+        hits_.store(other.hits_.exchange(0, std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        rebuilds_.store(
+            other.rebuilds_.exchange(0, std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        invalidations_.store(
+            other.invalidations_.exchange(0, std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        return *this;
+    }
+
+    /// Where one link lives inside its group's wide rows: segment `slot`
+    /// (ascending link-id order within the group), starting `offset`
+    /// doubles into each component span.
+    struct LinkView {
+        std::size_t group = 0;
+        std::size_t slot = 0;
+        std::size_t offset = 0;  ///< slot * link_stride()
+    };
+
+    /// Counter snapshot (relaxed atomics internally, plain values out).
+    struct Stats {
+        std::uint64_t hits = 0;      ///< group responses served warm
+        std::uint64_t rebuilds = 0;  ///< full basis (re)builds
+        std::uint64_t invalidations = 0;
+    };
+
+    /// Shared-vs-naive footprint, for the bench's honest comparison. The
+    /// `naive_*` side is what N independent LinkCaches would hold for the
+    /// same scene (computed from the same layout, not measured).
+    struct MemoryStats {
+        std::size_t shared_table_bytes = 0;   ///< wide basis tables
+        std::size_t shared_static_bytes = 0;  ///< wide static CFRs
+        std::size_t shared_metadata_bytes = 0;
+        std::size_t naive_table_bytes = 0;
+        std::size_t naive_static_bytes = 0;
+        std::size_t naive_metadata_bytes = 0;
+    };
+
+    /// Builds (or refreshes) the grouped basis for `links` so every
+    /// group_response_* call is a pure read. Link ids are positions in
+    /// `links`; call again after geometry / fault / endpoint changes
+    /// (stale state is detected and rebuilt, warm state is a no-op).
+    void warm(const sdr::Medium& medium, const std::vector<sdr::Link>& links);
+
+    /// True when warm() has run and nothing invalidated it since.
+    bool warmed() const { return valid_; }
+
+    /// Wide CFR of group `group` — every member link's response, stacked —
+    /// with array `array_id`'s states overridden by `config`. Resizes
+    /// `out` to group_width(group); requires a warm cache. Reads only
+    /// immutable state: safe from concurrent batch workers.
+    void group_response_into(const sdr::Medium& medium, std::size_t group,
+                             std::size_t array_id,
+                             const surface::Config& config,
+                             util::kernels::SplitVec& out) const;
+
+    /// Coordinate-sweep base: like group_response_into() but element
+    /// `element` of array `array_id` contributes no row (its state in
+    /// `config` is ignored). Adding one wide element row afterwards
+    /// yields the candidate with the swept row added last — the same
+    /// delta arithmetic LinkCache documents, for all members at once.
+    void group_response_base_into(const sdr::Medium& medium,
+                                  std::size_t group, std::size_t array_id,
+                                  const surface::Config& config,
+                                  std::size_t element,
+                                  util::kernels::SplitVec& out) const;
+
+    /// Adds element `element`'s wide basis row for load state `state`
+    /// (array `array_id`) into `h` (a wide group response).
+    void accumulate_group_element_row(std::size_t group,
+                                      std::size_t array_id,
+                                      std::size_t element, int state,
+                                      util::kernels::SplitVec& h) const;
+
+    /// The wide-row placement of link `link_id`. Requires a warm cache.
+    LinkView view(std::size_t link_id) const;
+
+    /// Member link ids of `group`, ascending. Requires a warm cache.
+    const std::vector<std::size_t>& group_links(std::size_t group) const;
+
+    std::size_t num_groups() const { return groups_.size(); }
+    std::size_t num_links() const { return views_.size(); }
+    std::size_t num_sc() const { return num_sc_; }
+    /// Doubles per member segment (num_sc padded to kernels::kLanes).
+    std::size_t link_stride() const { return link_stride_; }
+    /// Doubles per component span of one wide row of `group`.
+    std::size_t group_width(std::size_t group) const;
+
+    MemoryStats memory_stats() const;
+
+    /// Drops the grouped basis (the next warm() rebuilds).
+    void invalidate();
+
+    /// Folds `n` warm group reads performed by a batch (same amortized
+    /// accounting contract as LinkCache::note_batch_hits; mirrored into
+    /// the control.multilink.shared_basis_hits counter).
+    void note_batch_hits(std::uint64_t n);
+
+    Stats stats() const {
+        Stats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.rebuilds = rebuilds_.load(std::memory_order_relaxed);
+        s.invalidations = invalidations_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+private:
+    /// One (group, array) stacked basis. Wide row r's re span starts at
+    /// table[r * 2 * width], its im span `width` doubles later; member
+    /// slot s owns doubles [s * link_stride, s * link_stride + num_sc)
+    /// of each span (the tail of the segment is zero padding).
+    struct GroupBasis {
+        std::vector<int> radices;             ///< states per element
+        std::vector<std::size_t> row_offset;  ///< element -> first row
+        std::size_t width = 0;                ///< doubles per component
+        std::vector<double> table;            ///< rows x [re | im] blocks
+
+        const double* row_re(std::size_t row) const {
+            return table.data() + row * 2 * width;
+        }
+        const double* row_im(std::size_t row) const {
+            return row_re(row) + width;
+        }
+        double* row_re(std::size_t row) {
+            return table.data() + row * 2 * width;
+        }
+        double* row_im(std::size_t row) { return row_re(row) + width; }
+    };
+
+    struct Group {
+        std::vector<std::size_t> links;  ///< member link ids, ascending
+        std::size_t width = 0;           ///< links.size() * link_stride
+        util::kernels::SplitVec h_static;  ///< wide static CFR
+        std::vector<GroupBasis> arrays;
+    };
+
+    /// Full-link fingerprint (both endpoints), same facets as LinkCache.
+    static constexpr std::size_t kFingerprintSize = 18;
+    using Fingerprint = std::array<double, kFingerprintSize>;
+
+    bool current(const sdr::Medium& medium,
+                 const std::vector<sdr::Link>& links) const;
+    void rebuild(const sdr::Medium& medium,
+                 const std::vector<sdr::Link>& links);
+
+    static constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+    static void add_rows(util::kernels::SplitVec& h, const GroupBasis& basis,
+                         const surface::Config& config,
+                         std::size_t skip_element = kNoSkip);
+
+    void accumulate_group(const sdr::Medium& medium, const Group& group,
+                          std::size_t array_id,
+                          const surface::Config& config,
+                          std::size_t skip_element,
+                          util::kernels::SplitVec& out) const;
+
+    std::vector<Group> groups_;
+    std::vector<LinkView> views_;          ///< link id -> placement
+    std::vector<Fingerprint> fingerprints_;  ///< link id -> endpoints
+    std::vector<std::uint64_t> array_revisions_;
+    std::uint64_t env_revision_ = 0;
+    std::size_t num_sc_ = 0;
+    std::size_t link_stride_ = 0;
+    bool valid_ = false;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> rebuilds_{0};
+    std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace press::core

@@ -273,6 +273,83 @@ LinkScenario make_massive_scenario(std::size_t n_elements,
     return scenario;
 }
 
+MultiLinkScenario make_multi_link_scenario(std::uint64_t seed,
+                                           const MultiLinkParams& p) {
+    PRESS_EXPECTS(p.num_aps >= 1, "need at least one AP");
+    PRESS_EXPECTS(p.clients_per_ap >= 1, "need at least one client per AP");
+    PRESS_EXPECTS(p.num_elements >= 1, "need at least one element");
+    PRESS_EXPECTS(p.num_states >= 2, "elements need at least two states");
+    const StudyParams& sp = p.study;
+
+    util::Rng rng(seed);
+    Environment env = make_room_environment(rng, sp);
+    add_blocker(env, sp);
+    sdr::Medium medium(std::move(env), phy::OfdmParams::wifi20());
+
+    // Element panel between the AP wall and the client half: the massive
+    // scenario's column-major half-wavelength grid, sized down to
+    // p.num_elements multi-state elements.
+    const double spacing = util::wavelength(sp.carrier_hz) / 2.0;
+    const double z_lo = 0.9;
+    const std::size_t rows_z = 4;
+    const std::size_t n_elements = static_cast<std::size_t>(p.num_elements);
+    const std::size_t cols = (n_elements + rows_z - 1) / rows_z;
+    const double panel_width = static_cast<double>(cols - 1) * spacing;
+    PRESS_EXPECTS(panel_width <= sp.room_x - 1.0,
+                  "element panel does not fit the room");
+    const double x0 = sp.room_x / 2.0 - panel_width / 2.0;
+    const double panel_y = sp.room_y / 2.0 - 2.0;
+
+    util::Rng placement_rng = rng.fork();
+    surface::Array array;
+    for (std::size_t i = 0; i < n_elements; ++i) {
+        const std::size_t col = i / rows_z;
+        const std::size_t row = i % rows_z;
+        const Vec3 pos{
+            x0 + static_cast<double>(col) * spacing +
+                placement_rng.uniform(-0.12, 0.12) * spacing,
+            panel_y + placement_rng.uniform(-0.01, 0.01),
+            z_lo + static_cast<double>(row) * spacing +
+                placement_rng.uniform(-0.12, 0.12) * spacing};
+        array.add_element(surface::Element::uniform_phases(
+            pos, Antenna::omni(sp.element_gain_dbi), sp.carrier_hz,
+            /*num_phases=*/p.num_states, /*include_off=*/false));
+    }
+
+    MultiLinkScenario scenario{System(std::move(medium)), 0, p.num_aps,
+                               p.clients_per_ap,
+                               p.num_aps * p.clients_per_ap};
+    scenario.array_id = scenario.system.medium().add_array(std::move(array));
+
+    // APs wall-mounted along the panel side, clients seeded over the
+    // opposite half of the room. AP-major link order: every AP's links
+    // are contiguous, so the shared basis forms num_aps groups.
+    const sdr::RadioProfile profile = sdr::RadioProfile::warp_v3();
+    const double ap_y = 0.8;
+    const double ap_pitch =
+        (sp.room_x - 3.0) / static_cast<double>(std::max<std::size_t>(
+                                1, p.num_aps - 1));
+    util::Rng client_rng = rng.fork();
+    for (std::size_t a = 0; a < p.num_aps; ++a) {
+        const Vec3 ap_pos{
+            p.num_aps == 1 ? sp.room_x / 2.0
+                           : 1.5 + static_cast<double>(a) * ap_pitch,
+            ap_y, 2.4};
+        const RadiatingEndpoint ap =
+            make_endpoint(ap_pos, sp.endpoint_gain_dbi);
+        for (std::size_t c = 0; c < p.clients_per_ap; ++c) {
+            const Vec3 client_pos{
+                client_rng.uniform(0.6, sp.room_x - 0.6),
+                client_rng.uniform(sp.room_y / 2.0, sp.room_y - 0.6),
+                client_rng.uniform(0.9, 1.5)};
+            const RadiatingEndpoint client =
+                make_endpoint(client_pos, sp.endpoint_gain_dbi);
+            scenario.system.add_link({ap, client, profile});
+        }
+    }
+    return scenario;
+}
+
 HarmonizationScenario make_harmonization_scenario(std::uint64_t seed,
                                                   const StudyParams& p) {
     util::Rng rng(seed);

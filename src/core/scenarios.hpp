@@ -110,6 +110,42 @@ LinkScenario make_massive_scenario(std::size_t n_elements,
                                    const MassiveParams& params =
                                        MassiveParams::defaults());
 
+/// Knobs of the multi-user (N-link) scene: several APs, each serving a
+/// population of clients, all sharing one element field. The defaults
+/// give 4 x 8 = 32 links over a 16-element 4-phase panel — the
+/// fig-harmonization bench shape.
+struct MultiLinkParams {
+    std::size_t num_aps = 4;         ///< distinct transmitters (groups)
+    std::size_t clients_per_ap = 8;  ///< links per transmitter
+    int num_elements = 16;           ///< panel elements
+    int num_states = 4;              ///< phases per element
+    /// Room, clutter and link-budget constants (the study room).
+    StudyParams study = StudyParams::defaults();
+
+    static MultiLinkParams defaults() { return {}; }
+};
+
+/// An N-link scene over one shared element field. Links are ordered AP
+/// major: link a * clients_per_ap + c is AP `a` serving client `c`, so
+/// the shared basis groups them into `num_aps` transmitter groups.
+struct MultiLinkScenario {
+    System system;
+    std::size_t array_id = 0;
+    std::size_t num_aps = 0;
+    std::size_t clients_per_ap = 0;
+    std::size_t num_links = 0;  ///< num_aps * clients_per_ap
+};
+
+/// Builds the multi-user scene: APs wall-mounted along one side of the
+/// study room, clients seeded uniformly over the opposite half, a
+/// half-wavelength-pitch panel of `num_elements` `num_states`-phase
+/// elements between them, and the standard metal blocker for NLoS
+/// richness. Wi-Fi 20 MHz numerology. Pair with
+/// System::optimize_multilink and a control::MultiLinkProblem objective.
+MultiLinkScenario make_multi_link_scenario(
+    std::uint64_t seed,
+    const MultiLinkParams& params = MultiLinkParams::defaults());
+
 /// The full two-network harmonization setup of the paper's Figure 2
 /// vision: two co-located networks (links 0 and
 /// 1: AP1 -> client1, AP2 -> client2; links 2 and 3 the cross-network

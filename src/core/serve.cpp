@@ -15,13 +15,44 @@ using control::OptimizeRequest;
 using control::ServiceObjective;
 using control::ServiceSearcher;
 
+/// QoS-floor preset constants: a 10 dB per-link floor with a 4 dB/dB
+/// hinge — firm enough that the search trades peak links for stragglers.
+constexpr double kQosPresetFloorDb = 10.0;
+constexpr double kQosPresetWeight = 4.0;
+
+/// True for the composite multi-link presets (selectors >= 3), which run
+/// through System::optimize_multilink over the shared basis instead of
+/// the single-link optimize_fast path.
+bool is_multilink_preset(std::uint8_t selector) {
+    switch (static_cast<ServiceObjective>(selector)) {
+        case ServiceObjective::kMaxMinFair:
+        case ServiceObjective::kSumMean:
+        case ServiceObjective::kQosFloor:
+        case ServiceObjective::kNullVictim:
+            return true;
+        default:
+            return false;
+    }
+}
+
 std::unique_ptr<control::Objective> make_objective(std::uint8_t selector,
-                                                   std::size_t link_id) {
+                                                   std::size_t link_id,
+                                                   std::size_t num_links) {
     switch (static_cast<ServiceObjective>(selector)) {
         case ServiceObjective::kMinSnr:
             return std::make_unique<control::MinSnrObjective>(link_id);
         case ServiceObjective::kMeanSnr:
             return std::make_unique<control::MeanSnrObjective>(link_id);
+        case ServiceObjective::kMaxMinFair:
+            return control::make_max_min_objective(num_links);
+        case ServiceObjective::kSumMean:
+            return control::make_sum_mean_objective(num_links);
+        case ServiceObjective::kQosFloor:
+            return control::make_qos_floor_objective(
+                num_links, kQosPresetFloorDb, kQosPresetWeight);
+        case ServiceObjective::kNullVictim:
+            if (num_links < 2) return nullptr;
+            return control::make_nulling_objective(num_links, link_id);
     }
     return nullptr;
 }
@@ -67,7 +98,8 @@ control::ServiceEngine make_service_engine(System& system,
     engine.validate = [sys](const OptimizeRequest& req) {
         if (req.array_id >= sys->medium().num_arrays()) return false;
         if (req.link_id >= sys->num_links()) return false;
-        if (make_objective(req.objective, req.link_id) == nullptr)
+        if (make_objective(req.objective, req.link_id, sys->num_links()) ==
+            nullptr)
             return false;
         if (make_searcher(req.searcher) == nullptr) return false;
         return true;
@@ -86,12 +118,20 @@ control::ServiceEngine make_service_engine(System& system,
                           const OptimizeRequest& req,
                           double budget_s) -> control::EngineResult {
         control::EngineResult out;
-        const auto objective = make_objective(req.objective, req.link_id);
+        const auto objective =
+            make_objective(req.objective, req.link_id, sys->num_links());
         const auto searcher = make_searcher(req.searcher);
         if (objective == nullptr || searcher == nullptr) return out;
-        const control::OptimizationOutcome outcome = sys->optimize_fast(
-            req.array_id, *objective, *searcher, plane, budget_s, state->rng,
-            threads);
+        // Composite presets score every link through the shared
+        // multi-link basis; single-link objectives keep the per-link
+        // cache path (and its bench-baselined performance).
+        const control::OptimizationOutcome outcome =
+            is_multilink_preset(req.objective)
+                ? sys->optimize_multilink(req.array_id, *objective,
+                                          *searcher, plane, budget_s,
+                                          state->rng, threads)
+                : sys->optimize_fast(req.array_id, *objective, *searcher,
+                                     plane, budget_s, state->rng, threads);
         out.ok = outcome.final_apply_ok &&
                  !outcome.search.best_config.empty() &&
                  outcome.search.best_score > control::kFailedTrialScore;

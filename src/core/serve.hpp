@@ -33,8 +33,13 @@ struct ServeConfig {
 /// `system` must outlive any Service built on the returned bundle.
 ///
 /// Semantics mapped onto System:
-///   optimize        -> System::optimize_fast (cache-backed, leaves the
-///                      best configuration applied)
+///   optimize        -> System::optimize_fast for the single-link
+///                      presets (kMinSnr/kMeanSnr), or
+///                      System::optimize_multilink for the composite
+///                      presets (selector >= kMaxMinFair) scored over
+///                      the shared multi-link basis; either way
+///                      cache-backed and leaves the best
+///                      configuration applied
 ///   mutate          -> one element state poked through System::apply
 ///                      (fault models respected)
 ///   checkpoint      -> snapshots every array's current configuration

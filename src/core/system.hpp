@@ -21,6 +21,7 @@
 #include "control/objective.hpp"
 #include "control/search.hpp"
 #include "core/link_cache.hpp"
+#include "core/multilink_cache.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "sdr/medium.hpp"
@@ -127,13 +128,47 @@ public:
         const control::ControlPlaneModel& plane, double time_budget_s,
         util::Rng& rng, std::size_t threads = 0);
 
+    /// Multi-link optimization over the SHARED basis: every candidate is
+    /// scored against core::MultiLinkCache's per-transmitter stacked
+    /// tables — one row selection per transmitter group serves all of
+    /// that group's links — instead of N per-link caches. Composite
+    /// objectives advertising a MultiLinkSpec (weighted sums, max-min
+    /// fairness, QoS floors, nulling; see control::MultiLinkProblem) are
+    /// scored fused inside the worker arenas: group responses -> per-term
+    /// sounding + reduction -> combinator, no Observation materialized.
+    /// Single-link fused objectives and general objectives work too (the
+    /// latter materializes the Observation from the stacked responses).
+    /// Same determinism contract as optimize_fast: bit-identical results
+    /// for any thread count and kernel flavor; the winner is applied.
+    /// Defined in core/multilink.cpp.
+    control::OptimizationOutcome optimize_multilink(
+        std::size_t array_id, const control::Objective& objective,
+        const control::Searcher& searcher,
+        const control::ControlPlaneModel& plane, double time_budget_s,
+        util::Rng& rng, std::size_t threads = 0);
+
+    /// Warms the shared multi-link basis for every registered link (a
+    /// no-op when current). optimize_multilink calls this itself; exposed
+    /// so benches can split build cost from steady-state sweeps.
+    void warm_multilink() { multi_cache_.warm(medium_, links_); }
+
+    /// The shared multi-link basis (warm after warm_multilink()).
+    const MultiLinkCache& multilink_cache() const { return multi_cache_; }
+    MultiLinkCache::Stats multilink_cache_stats() const {
+        return multi_cache_.stats();
+    }
+
     /// Snapshot of the factored channel cache counters (hits, misses,
     /// invalidations). Also exported through the telemetry registry as
     /// core.link_cache.* when observability is enabled.
     LinkCache::Stats cache_stats() const { return link_cache_.stats(); }
 
-    /// Drops every cached channel basis (the next observation rebuilds).
-    void invalidate_cache() { link_cache_.invalidate(); }
+    /// Drops every cached channel basis — per-link and shared multi-link
+    /// (the next observation / multi-link optimize rebuilds).
+    void invalidate_cache() {
+        link_cache_.invalidate();
+        multi_cache_.invalidate();
+    }
 
 private:
     sdr::Medium medium_;
@@ -143,6 +178,8 @@ private:
     /// Factored per-link channel bases; rebuilt lazily on geometry,
     /// endpoint or fault changes. Mutable: observation is logically const.
     mutable LinkCache link_cache_;
+    /// Shared per-transmitter stacked bases for multi-link optimization.
+    mutable MultiLinkCache multi_cache_;
 };
 
 }  // namespace press::core
