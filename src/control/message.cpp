@@ -88,6 +88,43 @@ void encode_payload(const StatusReply& m, ByteWriter& w) {
     w.u64(m.served);
     w.u64(m.rejected);
     w.u64(m.expired);
+    // Millisecond resolution keeps uptime in a u64 for the narrow wire.
+    const double ms = m.uptime_s * 1000.0;
+    w.u64(ms <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(ms)));
+    w.u64(m.revision);
+}
+
+// Length-prefixed UTF-8; u16 matches the frame's own payload bound.
+void encode_string(const std::string& s, ByteWriter& w) {
+    PRESS_EXPECTS(s.size() <= 0xFFFF, "string too large for framing");
+    w.u16(static_cast<std::uint16_t>(s.size()));
+    w.bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+std::string decode_string(ByteReader& r) {
+    const std::uint16_t n = r.u16();
+    std::string out;
+    out.reserve(n);
+    for (std::uint16_t i = 0; i < n; ++i)
+        out.push_back(static_cast<char>(r.u8()));
+    return out;
+}
+
+void encode_payload(const Subscribe& m, ByteWriter& w) {
+    encode_string(m.prefix, w);
+    w.u32(m.interval_us);
+    w.u8(m.flags);
+}
+
+void encode_payload(const TelemetryFrame& m, ByteWriter& w) {
+    w.u64(m.revision);
+    encode_string(m.payload, w);
+}
+
+void encode_payload(const FlightTap& m, ByteWriter& w) {
+    w.u8(m.reason);
+    w.u64(m.revision);
+    encode_string(m.path, w);
 }
 
 MessageType type_of(const Message& msg) {
@@ -111,10 +148,23 @@ MessageType type_of(const Message& msg) {
     if (std::holds_alternative<Reject>(msg)) return MessageType::kReject;
     if (std::holds_alternative<StatusRequest>(msg))
         return MessageType::kStatusRequest;
-    return MessageType::kStatusReply;
+    if (std::holds_alternative<StatusReply>(msg))
+        return MessageType::kStatusReply;
+    if (std::holds_alternative<Subscribe>(msg)) return MessageType::kSubscribe;
+    if (std::holds_alternative<TelemetryFrame>(msg))
+        return MessageType::kTelemetryFrame;
+    return MessageType::kFlightTap;
 }
 
 }  // namespace
+
+const char* to_string(FlightTapReason reason) {
+    switch (reason) {
+        case FlightTapReason::kWatchdog: return "watchdog";
+        case FlightTapReason::kSloBurn: return "slo-burn";
+    }
+    return "unknown";
+}
 
 const char* to_string(RejectReason reason) {
     switch (reason) {
@@ -310,7 +360,32 @@ Decoded decode(const std::vector<std::uint8_t>& buffer) {
             m.served = r.u64();
             m.rejected = r.u64();
             m.expired = r.u64();
+            m.uptime_s = static_cast<double>(r.u64()) / 1000.0;
+            m.revision = r.u64();
             d.message = m;
+            return d;
+        }
+        case MessageType::kSubscribe: {
+            Subscribe m;
+            m.prefix = decode_string(r);
+            m.interval_us = r.u32();
+            m.flags = r.u8();
+            d.message = std::move(m);
+            return d;
+        }
+        case MessageType::kTelemetryFrame: {
+            TelemetryFrame m;
+            m.revision = r.u64();
+            m.payload = decode_string(r);
+            d.message = std::move(m);
+            return d;
+        }
+        case MessageType::kFlightTap: {
+            FlightTap m;
+            m.reason = r.u8();
+            m.revision = r.u64();
+            m.path = decode_string(r);
+            d.message = std::move(m);
             return d;
         }
     }

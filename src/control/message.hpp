@@ -30,9 +30,16 @@
 // terminal reply or an explicit Reject — the service never drops an
 // admitted request silently. All service frames reuse the same framing,
 // CRC and optional trace header as the actuation messages.
+// Types 14-16 are the live introspection plane (v2-style growth: a new
+// type value on the same framing, so old clients never see — and never
+// need to decode — the new frames): Subscribe opens a telemetry stream
+// on the session, TelemetryFrame pushes one `press.timeseries/v1`
+// window document, FlightTap notifies subscribers that the service just
+// dumped its flight recorder (watchdog trip or SLO burn alarm).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -57,6 +64,10 @@ enum class MessageType : std::uint8_t {
     kReject = 11,
     kStatusRequest = 12,
     kStatusReply = 13,
+    // Introspection plane (streaming telemetry; see control/service.hpp).
+    kSubscribe = 14,
+    kTelemetryFrame = 15,
+    kFlightTap = 16,
 };
 
 /// Why the service refused a request (Reject::reason).
@@ -187,20 +198,71 @@ struct Reject {
 /// Client -> service: sample the service counters.
 struct StatusRequest {};
 
-/// Service -> client: live service counters.
+/// Service -> client: live service counters. `uptime_s` (millisecond
+/// wire resolution) and `revision` — the monotonic metrics-snapshot
+/// revision of the service's Timeseries sampler — let a poller detect a
+/// daemon restart: either one moving backwards between polls means a
+/// different process is answering.
 struct StatusReply {
     std::uint64_t epoch = 0;
     std::uint16_t queue_depth = 0;
     std::uint64_t served = 0;
     std::uint64_t rejected = 0;
     std::uint64_t expired = 0;
+    double uptime_s = 0.0;       ///< service clock since construction
+    std::uint64_t revision = 0;  ///< telemetry snapshot revision
+};
+
+/// Subscribe::flags bits.
+inline constexpr std::uint8_t kSubscribeExemplars = 0x01;
+inline constexpr std::uint8_t kSubscribeFlightTap = 0x02;
+
+/// Client -> service: stream telemetry frames on this session. The
+/// service answers immediately with the newest TelemetryFrame (the
+/// subscription ack) and then pushes one frame roughly every
+/// `interval_us` of service-clock time, filtered to metric names
+/// starting with `prefix`. `interval_us == 0` cancels the stream (also
+/// acked with a final frame). Telemetry pushes ride the normal session
+/// outbox but are drop-oldest under backpressure — they can displace
+/// each other, never a reply.
+struct Subscribe {
+    std::string prefix;                   ///< metric name filter ("" = all)
+    std::uint32_t interval_us = 500000;   ///< push cadence; 0 = unsubscribe
+    std::uint8_t flags =
+        kSubscribeExemplars | kSubscribeFlightTap;
+};
+
+/// Service -> client: one sampled telemetry window. `payload` is a
+/// `press.timeseries/v1` JSON document (obs/timeseries.hpp); `revision`
+/// duplicates the document's revision so a client can drop stale or
+/// repeated windows without parsing.
+struct TelemetryFrame {
+    std::uint64_t revision = 0;
+    std::string payload;
+};
+
+/// Why the service dumped its flight recorder (FlightTap::reason).
+enum class FlightTapReason : std::uint8_t {
+    kWatchdog = 1,  ///< stuck/failed optimize cycle
+    kSloBurn = 2,   ///< deadline-miss burn rate crossed the alarm
+};
+
+const char* to_string(FlightTapReason reason);
+
+/// Service -> client (subscribers with kSubscribeFlightTap): the flight
+/// recorder was just dumped; `path` is where the press.flight/v1
+/// document landed (empty if the write failed).
+struct FlightTap {
+    std::uint8_t reason = 0;     ///< FlightTapReason
+    std::uint64_t revision = 0;  ///< telemetry revision at the dump
+    std::string path;
 };
 
 using Message =
     std::variant<SetConfig, SetConfigAck, MeasureRequest, MeasureReport,
                  Hello, HelloAck, OptimizeRequest, OptimizeReply,
                  MutateRequest, MutateReply, Reject, StatusRequest,
-                 StatusReply>;
+                 StatusReply, Subscribe, TelemetryFrame, FlightTap>;
 
 /// Serializes a message with header, sequence number and CRC as a
 /// version 1 frame (no trace header).

@@ -50,10 +50,18 @@ std::int32_t to_centi_i32(double value) {
     return static_cast<std::int32_t>(std::clamp(centi, lo, hi));
 }
 
+// Headroom under the wire's u16 payload length field: a telemetry
+// payload larger than this degrades to a minimal frame instead of
+// aborting in the encoder.
+constexpr std::size_t kMaxTelemetryPayload = 60000;
+
 }  // namespace
 
 Service::Service(ServiceEngine engine, ServiceOptions options)
-    : engine_(std::move(engine)), options_(std::move(options)) {
+    : engine_(std::move(engine)),
+      options_(std::move(options)),
+      timeseries_(options_.telemetry),
+      slo_(options_.slo) {
     PRESS_EXPECTS(engine_.optimize != nullptr,
                   "service engine needs an optimize callback");
     PRESS_EXPECTS(engine_.mutate != nullptr,
@@ -72,6 +80,11 @@ Service::Service(ServiceEngine engine, ServiceOptions options)
                   "watchdog threshold must be positive");
     queue_.reserve(options_.queue_capacity);
     if (options_.arm_flight && !obs::flight_armed()) obs::flight_arm();
+    start_sim_s_ = clock_.now_s();
+    next_sample_s_ = start_sim_s_ + options_.telemetry.interval_s;
+    // Warm the sampler's registry handles so the first sample() in
+    // steady state is already alloc-free.
+    if (options_.telemetry.interval_s > 0.0) timeseries_.refresh();
 }
 
 std::size_t Service::outbox_watermark() const {
@@ -144,7 +157,7 @@ void Service::push_frame(SessionId id, std::vector<std::uint8_t> frame) {
         drop_session(id, /*slow=*/true);
         return;
     }
-    it->second.outbox.push_back(std::move(frame));
+    it->second.outbox.push_back(OutFrame{std::move(frame), false});
 }
 
 std::vector<std::vector<std::uint8_t>> Service::take_outgoing(
@@ -154,7 +167,7 @@ std::vector<std::vector<std::uint8_t>> Service::take_outgoing(
     if (it == sessions_.end()) return out;
     auto& outbox = it->second.outbox;
     while (!outbox.empty() && out.size() < max_frames) {
-        out.push_back(std::move(outbox.front()));
+        out.push_back(std::move(outbox.front().bytes));
         outbox.pop_front();
     }
     return out;
@@ -168,7 +181,7 @@ std::size_t Service::outbox_depth(SessionId id) const {
 const std::vector<std::uint8_t>* Service::peek_outgoing(SessionId id) const {
     const auto it = sessions_.find(id);
     if (it == sessions_.end() || it->second.outbox.empty()) return nullptr;
-    return &it->second.outbox.front();
+    return &it->second.outbox.front().bytes;
 }
 
 void Service::pop_outgoing(SessionId id) {
@@ -241,8 +254,14 @@ void Service::handle(SessionId id, Session& session, const Decoded& decoded) {
         reply.served = stats_.served;
         reply.rejected = stats_.rejected;
         reply.expired = stats_.expired;
+        reply.uptime_s = uptime_s();
+        reply.revision = timeseries_.revision();
         push_frame(
             id, encode(Message{reply}, decoded.seq, obs::current_context()));
+        return;
+    }
+    if (const auto* sub = std::get_if<Subscribe>(&decoded.message)) {
+        handle_subscribe(id, session, decoded, *sub);
         return;
     }
     if (const auto* req = std::get_if<OptimizeRequest>(&decoded.message)) {
@@ -405,6 +424,7 @@ bool Service::pop_next(Pending& out) {
             queue_.erase(best);
             ++stats_.expired;
             count("service.expired");
+            slo_.record_miss(clock_.now_s());
             reject(session, seq, RejectReason::kExpired);
             continue;
         }
@@ -451,10 +471,13 @@ void Service::execute(const Pending& pending) {
         // known to be good, answer degraded — and keep serving.
         ++stats_.watchdog_trips;
         count("service.watchdog_trips");
-        if (obs::write_flight(options_.flight_dump_name)) {
+        std::string dump_path;
+        if (const auto path = obs::write_flight(options_.flight_dump_name)) {
+            dump_path = *path;
             ++stats_.flight_dumps;
             count("service.flight_dumps");
         }
+        tap_subscribers(FlightTapReason::kWatchdog, dump_path);
         if (engine_.revert) (void)engine_.revert();
     } else if (engine_.checkpoint) {
         engine_.checkpoint();
@@ -471,9 +494,16 @@ void Service::execute(const Pending& pending) {
                encode(Message{reply}, pending.seq, obs::current_context()));
     ++stats_.served;
     count("service.served");
+    const double request_us = (queue_wait_s + result.compute_s) * 1e6;
     observe_us("service.queue_wait_us", queue_wait_s * 1e6);
     observe_us("service.compute_us", result.compute_s * 1e6);
-    observe_us("service.request_us", (queue_wait_s + result.compute_s) * 1e6);
+    observe_us("service.request_us", request_us);
+    // SLO accounting and exemplar sampling ride the same observation:
+    // a slow request lowers compliance, and its trace_id is what a
+    // streamed frame links the latency spike back to.
+    slo_.record_ok(clock_.now_s(), request_us);
+    timeseries_.note_exemplar(request_us, span.context().trace_id,
+                              clock_.now_s());
 }
 
 void Service::close_epoch() {
@@ -509,7 +539,12 @@ bool Service::run_cycle() {
         execute(pending);
         did_work = true;
     }
-    if (stats_.expired != expired_before) did_work = true;
+    if (stats_.expired != expired_before) {
+        did_work = true;
+        // Expiries are the SLO's miss signal; a burst may cross the
+        // burn-rate alarm right here.
+        check_slo_alarm();
+    }
     if (!mutations_.empty()) {
         close_epoch();
         did_work = true;
@@ -523,6 +558,11 @@ bool Service::run_cycle() {
                 .set(static_cast<double>(queue_.size()));
         }
     }
+    // The introspection pump runs even on idle cycles — pressd calls
+    // run_cycle() every poll tick, which is what keeps telemetry flowing
+    // while no requests arrive. Cadence-gated, so this terminates
+    // run_until_idle().
+    if (pump_telemetry()) did_work = true;
     return did_work;
 }
 
@@ -530,6 +570,180 @@ std::size_t Service::run_until_idle() {
     std::size_t cycles = 0;
     while (run_cycle()) ++cycles;
     return cycles;
+}
+
+void Service::handle_subscribe(SessionId id, Session& session,
+                               const Decoded& decoded, const Subscribe& sub) {
+    if (options_.telemetry.interval_s <= 0.0) {
+        // Introspection is off for this instance; refuse rather than
+        // accept a stream that would never push.
+        ++stats_.bad_requests;
+        count("service.bad_requests");
+        reject(id, decoded.seq, RejectReason::kBadRequest);
+        return;
+    }
+    if (sub.interval_us == 0) {
+        // Unsubscribe. Acked with one final frame (under the previous
+        // subscription's prefix/flags) so the client knows the cancel
+        // landed and what the last window looked like.
+        session.subscribed = false;
+        push_telemetry(id, session, Message{make_telemetry_frame(session)});
+        return;
+    }
+    session.subscribed = true;
+    session.sub_prefix = sub.prefix;
+    session.sub_interval_s =
+        std::max(options_.min_subscribe_interval_s,
+                 static_cast<double>(sub.interval_us) * 1e-6);
+    session.sub_flags = sub.flags;
+    session.next_push_s = clock_.now_s() + session.sub_interval_s;
+    ++stats_.subscriptions;
+    count("service.telemetry.subscriptions");
+    // Immediate ack: the newest window, so a dashboard paints without
+    // waiting out the first interval.
+    push_telemetry(id, session, Message{make_telemetry_frame(session)});
+}
+
+TelemetryFrame Service::make_telemetry_frame(const Session& session) {
+    obs::Json doc = timeseries_.latest_frame(
+        session.sub_prefix, (session.sub_flags & kSubscribeExemplars) != 0);
+    // Live service state rides every frame: queue depth, per-session
+    // outbox depths and the backpressure watermark they are judged
+    // against. These are injected here rather than exported as metrics
+    // because per-session gauges would grow the registry without bound.
+    obs::Json session_depths = obs::Json::object();
+    for (const auto& [sid, sess] : sessions_) {
+        obs::Json entry = obs::Json::object();
+        entry["outbox"] = static_cast<double>(sess.outbox.size());
+        entry["subscribed"] = sess.subscribed;
+        session_depths[std::to_string(sid)] = std::move(entry);
+    }
+    doc["queue_depth"] = static_cast<double>(queue_.size());
+    doc["outbox_watermark"] = static_cast<double>(outbox_watermark());
+    doc["sessions"] = std::move(session_depths);
+
+    TelemetryFrame frame;
+    frame.revision = timeseries_.revision();
+    frame.payload = doc.dump();
+    if (frame.payload.size() > kMaxTelemetryPayload) {
+        // The wire's u16 length field caps payloads. A frame that would
+        // not fit degrades to a minimal (still schema-valid) header so
+        // the stream keeps flowing — counted, never silent.
+        ++stats_.telemetry_frames_truncated;
+        count("service.telemetry.frames_truncated");
+        obs::Json fallback = obs::Json::object();
+        fallback["schema"] = "press.timeseries/v1";
+        fallback["revision"] = static_cast<double>(timeseries_.revision());
+        fallback["t_s"] = timeseries_.last_sample_s();
+        fallback["interval_s"] = options_.telemetry.interval_s;
+        fallback["counters"] = obs::Json::object();
+        fallback["gauges"] = obs::Json::object();
+        fallback["histograms"] = obs::Json::object();
+        fallback["exemplars"] = obs::Json::array();
+        frame.payload = fallback.dump();
+    }
+    return frame;
+}
+
+bool Service::push_telemetry(SessionId id, Session& session,
+                             const Message& msg) {
+    std::vector<std::uint8_t> frame =
+        encode(msg, session.sub_seq++, obs::current_context());
+    // Telemetry never competes with replies for the headroom between
+    // watermark and capacity: at the watermark it displaces the oldest
+    // queued telemetry frame (stale windows make way for fresh ones) or,
+    // when the outbox is all replies, drops itself. Either way the drop
+    // is counted — and a reply is never displaced, a session never
+    // closed, an OptimizeReply never delayed.
+    const std::size_t limit =
+        std::min(outbox_watermark(), options_.outbox_capacity);
+    if (session.outbox.size() >= limit) {
+        const auto oldest = std::find_if(
+            session.outbox.begin(), session.outbox.end(),
+            [](const OutFrame& f) { return f.telemetry; });
+        ++stats_.telemetry_frames_dropped;
+        count("service.telemetry.frames_dropped");
+        if (oldest == session.outbox.end()) return false;  // all replies
+        session.outbox.erase(oldest);
+    }
+    session.outbox.push_back(OutFrame{std::move(frame), true});
+    ++stats_.telemetry_frames_sent;
+    count("service.telemetry.frames_sent");
+    (void)id;
+    return true;
+}
+
+bool Service::pump_telemetry() {
+    if (options_.telemetry.interval_s <= 0.0) return false;
+    const double now = clock_.now_s();
+    bool did_work = false;
+    if (now >= next_sample_s_) {
+        // Close one window: SLO gauges first so they land in it, then
+        // the alloc-free registry sweep.
+        publish_slo_gauges(now);
+        timeseries_.refresh_if_grown();
+        timeseries_.sample(now);
+        ++stats_.telemetry_samples;
+        count("service.telemetry.samples");
+        next_sample_s_ = now + options_.telemetry.interval_s;
+        did_work = true;
+    }
+    for (auto& [id, session] : sessions_) {
+        if (!session.subscribed || now < session.next_push_s) continue;
+        push_telemetry(id, session, Message{make_telemetry_frame(session)});
+        session.next_push_s = now + session.sub_interval_s;
+        did_work = true;
+    }
+    return did_work;
+}
+
+void Service::tap_subscribers(FlightTapReason reason,
+                              const std::string& path) {
+    FlightTap tap;
+    tap.reason = static_cast<std::uint8_t>(reason);
+    tap.revision = timeseries_.revision();
+    tap.path = path;
+    for (auto& [id, session] : sessions_) {
+        if (!session.subscribed ||
+            (session.sub_flags & kSubscribeFlightTap) == 0)
+            continue;
+        if (push_telemetry(id, session, Message{tap})) {
+            ++stats_.flight_taps;
+            count("service.flight_taps");
+        }
+    }
+}
+
+void Service::check_slo_alarm() {
+    if (options_.slo_burn_alarm <= 0.0) return;
+    const double now = clock_.now_s();
+    if (now < slo_alarm_ready_s_) return;  // cooldown
+    if (slo_.window_total(now) < options_.slo_alarm_min_requests) return;
+    if (slo_.burn_rate(now) < options_.slo_burn_alarm) return;
+    // The deadline-miss rate is burning through the budget fast enough
+    // to call it an incident: leave a post-mortem and tell whoever is
+    // watching.
+    ++stats_.slo_alarms;
+    count("service.slo.alarms");
+    slo_alarm_ready_s_ = now + options_.slo_alarm_cooldown_s;
+    std::string dump_path;
+    if (const auto path = obs::write_flight(options_.slo_flight_dump_name)) {
+        dump_path = *path;
+        ++stats_.flight_dumps;
+        count("service.flight_dumps");
+    }
+    tap_subscribers(FlightTapReason::kSloBurn, dump_path);
+}
+
+void Service::publish_slo_gauges(double now_s) {
+    if (!obs::enabled()) return;
+    auto& registry = obs::MetricsRegistry::global();
+    registry.gauge("service.slo.burn_rate").set(slo_.burn_rate(now_s));
+    registry.gauge("service.slo.compliance").set(slo_.compliance(now_s));
+    registry.gauge("service.slo.window_requests")
+        .set(static_cast<double>(slo_.window_total(now_s)));
+    registry.gauge("service.slo.window_misses")
+        .set(static_cast<double>(slo_.window_misses(now_s)));
 }
 
 }  // namespace press::control

@@ -63,6 +63,8 @@
 
 #include "control/message.hpp"
 #include "control/plane.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 
 namespace press::control {
 
@@ -128,6 +130,24 @@ struct ServiceOptions {
     /// revert, degraded reply — runs for real; tests and the chaos soak
     /// use it to prove the service survives its own recovery.
     std::size_t inject_stall_every = 0;
+    /// Introspection plane: sampler cadence (on the service SimClock)
+    /// and ring sizing. telemetry.interval_s <= 0 turns the sampler off,
+    /// which also refuses Subscribe with kBadRequest.
+    obs::TimeseriesOptions telemetry;
+    /// Rolling SLO window/targets; derived figures export as
+    /// service.slo.* gauges and ride every telemetry frame.
+    obs::SloOptions slo;
+    /// Burn rate at which the service treats the deadline-miss rate as
+    /// an incident: it dumps the flight recorder and taps subscribers
+    /// (FlightTap, reason kSloBurn). 0 disables the alarm.
+    double slo_burn_alarm = 10.0;
+    /// The alarm needs at least this many in-window requests (a single
+    /// early miss in an empty window is 100% miss rate, not an incident).
+    std::uint64_t slo_alarm_min_requests = 8;
+    double slo_alarm_cooldown_s = 5.0;
+    std::string slo_flight_dump_name = "service_slo_burn";
+    /// Floor on a Subscribe's requested cadence.
+    double min_subscribe_interval_s = 0.001;
 };
 
 /// Deterministic single-threaded service core. Not thread-safe: pressd
@@ -208,11 +228,33 @@ public:
         std::uint64_t mutations_rejected = 0;
         std::uint64_t sessions_dropped_slow = 0;
         std::uint64_t watchdog_trips = 0;
-        std::uint64_t flight_dumps = 0;  ///< watchdog dumps written
+        std::uint64_t flight_dumps = 0;  ///< watchdog/SLO dumps written
         std::uint64_t cycles = 0;        ///< run_cycle calls doing work
+        // Introspection plane. Telemetry pushes are fire-and-forget by
+        // contract, but never silently: every frame that could not be
+        // delivered is counted here, the push-frame side of the
+        // no-silent-drops ledger.
+        std::uint64_t subscriptions = 0;      ///< Subscribe frames accepted
+        std::uint64_t telemetry_samples = 0;  ///< sampler windows closed
+        std::uint64_t telemetry_frames_sent = 0;
+        std::uint64_t telemetry_frames_dropped = 0;  ///< drop-oldest hits
+        std::uint64_t telemetry_frames_truncated = 0;
+        std::uint64_t flight_taps = 0;  ///< FlightTap frames delivered
+        std::uint64_t slo_alarms = 0;   ///< burn-rate alarm trips
     };
     const Stats& stats() const { return stats_; }
     const ServiceOptions& options() const { return options_; }
+
+    /// The introspection sampler (rings of counter deltas, gauge samples,
+    /// histogram window digests, exemplars). Read-only from outside; the
+    /// service owns the sampling cadence.
+    const obs::Timeseries& timeseries() const { return timeseries_; }
+    /// Monotonic snapshot revision (StatusReply::revision).
+    std::uint64_t telemetry_revision() const { return timeseries_.revision(); }
+    /// Service-clock seconds since construction (StatusReply::uptime_s).
+    double uptime_s() const { return clock_.now_s() - start_sim_s_; }
+    /// Rolling SLO window over executed/expired requests.
+    obs::SloTracker& slo() { return slo_; }
 
     /// The no-silent-drops ledger: every admitted request is either
     /// still queued or accounted in exactly one terminal counter.
@@ -223,13 +265,31 @@ public:
     }
 
 private:
+    /// One outbound frame. Telemetry pushes are tagged so backpressure
+    /// can apply a different policy to them: replies are never dropped
+    /// (a full outbox closes the session instead), telemetry frames are
+    /// drop-oldest — stale windows make way for fresh ones, counted in
+    /// service.telemetry.frames_dropped.
+    struct OutFrame {
+        std::vector<std::uint8_t> bytes;
+        bool telemetry = false;
+    };
+
     struct Session {
         std::uint8_t priority_cap = 255;
         bool hello_seen = false;
-        std::deque<std::vector<std::uint8_t>> outbox;
+        std::deque<OutFrame> outbox;
         /// Recently seen request seqs (dedupe window for chaos-duplicated
         /// or client-retransmitted frames).
         std::deque<std::uint32_t> seen_seqs;
+        // Telemetry subscription (Subscribe frame; interval_us == 0
+        // clears it).
+        bool subscribed = false;
+        std::string sub_prefix;
+        double sub_interval_s = 0.0;
+        std::uint8_t sub_flags = 0;
+        double next_push_s = 0.0;  ///< SimClock time of the next push
+        std::uint32_t sub_seq = 0; ///< seq counter for pushed frames
     };
 
     struct Pending {
@@ -249,6 +309,25 @@ private:
     /// Appends a frame to a session's outbox; closes the session (slow
     /// reader) when the outbox is full. Safe to call for closed ids.
     void push_frame(SessionId id, std::vector<std::uint8_t> frame);
+    void handle_subscribe(SessionId id, Session& session,
+                          const Decoded& decoded, const Subscribe& sub);
+    /// Samples the registry on cadence and pushes due telemetry frames.
+    /// Returns true if a sample was taken or any frame pushed.
+    bool pump_telemetry();
+    /// Encodes and enqueues one telemetry push for a subscribed session,
+    /// applying drop-oldest under backpressure. Returns false (and
+    /// counts the drop) when the frame could not be delivered.
+    bool push_telemetry(SessionId id, Session& session, const Message& msg);
+    /// Builds the TelemetryFrame payload for one subscription: the
+    /// sampler's latest window plus live service state (queue depth,
+    /// per-session outbox depths, SLO figures).
+    TelemetryFrame make_telemetry_frame(const Session& session);
+    /// Fires FlightTap at every subscriber that opted in.
+    void tap_subscribers(FlightTapReason reason, const std::string& path);
+    /// Trips the SLO burn alarm (flight dump + taps) when the windowed
+    /// burn rate crosses options_.slo_burn_alarm.
+    void check_slo_alarm();
+    void publish_slo_gauges(double now_s);
     void drop_session(SessionId id, bool slow);
     bool seen_before(const Session& session, std::uint32_t seq) const;
     /// Enters a seq into the dedupe window — called only when the request
@@ -280,6 +359,13 @@ private:
     std::uint64_t epoch_ = 1;
     std::uint64_t executed_ = 0;  ///< for inject_stall_every
     Stats stats_;
+    // Introspection plane (declaration order matters: the ctor init list
+    // builds timeseries_/slo_ from options_).
+    obs::Timeseries timeseries_;
+    obs::SloTracker slo_;
+    double start_sim_s_ = 0.0;
+    double next_sample_s_ = 0.0;
+    double slo_alarm_ready_s_ = 0.0;  ///< cooldown gate
 };
 
 }  // namespace press::control

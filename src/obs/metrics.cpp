@@ -207,6 +207,12 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     return snap;
 }
 
+std::size_t MetricsRegistry::metric_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           series_.size();
+}
+
 void MetricsRegistry::reset() {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [name, c] : counters_) c->reset();

@@ -108,6 +108,12 @@ public:
     const std::vector<double>& bounds() const { return bounds_; }
     /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
     std::vector<std::uint64_t> bucket_counts() const;
+    /// One bucket's count without materializing the vector — the
+    /// alloc-free read the Timeseries sampler uses. `i` must be
+    /// < bounds().size() + 1.
+    std::uint64_t bucket_value(std::size_t i) const noexcept {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
     std::uint64_t count() const noexcept {
         return count_.load(std::memory_order_relaxed);
     }
@@ -176,6 +182,11 @@ public:
         std::vector<SeriesData> series;
     };
     Snapshot snapshot() const;
+
+    /// Total registered metrics of all four kinds. Cheap (one lock, no
+    /// allocation): the Timeseries store polls it to decide whether a
+    /// re-resolve of its handle set is due.
+    std::size_t metric_count() const;
 
     /// Zeroes every registered metric (handles stay valid). For tests and
     /// benches that want a per-phase export.

@@ -1,0 +1,102 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+
+namespace press::obs {
+
+SloTracker::SloTracker(SloOptions options) : options_(options) {
+    if (options_.buckets == 0) options_.buckets = 1;
+    if (options_.window_s <= 0.0) options_.window_s = 1.0;
+    if (options_.miss_budget <= 0.0) options_.miss_budget = 1e-9;
+    bucket_span_s_ = options_.window_s /
+                     static_cast<double>(options_.buckets);
+    buckets_.resize(options_.buckets);
+}
+
+void SloTracker::rotate(double now_s) {
+    const std::int64_t index =
+        static_cast<std::int64_t>(std::floor(now_s / bucket_span_s_));
+    if (!started_) {
+        started_ = true;
+        newest_index_ = index;
+        return;
+    }
+    if (index <= newest_index_) return;  // same bucket (or time stood still)
+    const std::int64_t advance = index - newest_index_;
+    // Clear every bucket the window slid past; cap at a full wipe.
+    const std::int64_t steps =
+        advance >= static_cast<std::int64_t>(buckets_.size())
+            ? static_cast<std::int64_t>(buckets_.size())
+            : advance;
+    for (std::int64_t i = 1; i <= steps; ++i) {
+        const std::size_t slot = static_cast<std::size_t>(
+            ((newest_index_ + i) % static_cast<std::int64_t>(
+                                       buckets_.size()) +
+             static_cast<std::int64_t>(buckets_.size())) %
+            static_cast<std::int64_t>(buckets_.size()));
+        buckets_[slot] = Bucket{};
+    }
+    newest_index_ = index;
+}
+
+SloTracker::Bucket& SloTracker::current(double now_s) {
+    rotate(now_s);
+    const std::size_t slot = static_cast<std::size_t>(
+        (newest_index_ % static_cast<std::int64_t>(buckets_.size()) +
+         static_cast<std::int64_t>(buckets_.size())) %
+        static_cast<std::int64_t>(buckets_.size()));
+    return buckets_[slot];
+}
+
+void SloTracker::record_ok(double now_s, double latency_us) {
+    Bucket& b = current(now_s);
+    ++b.total;
+    if (latency_us > options_.latency_target_us) ++b.slow;
+}
+
+void SloTracker::record_miss(double now_s) {
+    Bucket& b = current(now_s);
+    ++b.total;
+    ++b.misses;
+}
+
+std::uint64_t SloTracker::window_total(double now_s) {
+    rotate(now_s);
+    std::uint64_t total = 0;
+    for (const Bucket& b : buckets_) total += b.total;
+    return total;
+}
+
+std::uint64_t SloTracker::window_misses(double now_s) {
+    rotate(now_s);
+    std::uint64_t misses = 0;
+    for (const Bucket& b : buckets_) misses += b.misses;
+    return misses;
+}
+
+double SloTracker::burn_rate(double now_s) {
+    rotate(now_s);
+    std::uint64_t total = 0, misses = 0;
+    for (const Bucket& b : buckets_) {
+        total += b.total;
+        misses += b.misses;
+    }
+    if (total == 0) return 0.0;
+    const double miss_fraction =
+        static_cast<double>(misses) / static_cast<double>(total);
+    return miss_fraction / options_.miss_budget;
+}
+
+double SloTracker::compliance(double now_s) {
+    rotate(now_s);
+    std::uint64_t total = 0, bad = 0;
+    for (const Bucket& b : buckets_) {
+        total += b.total;
+        bad += b.misses + b.slow;
+    }
+    if (total == 0) return 1.0;
+    return 1.0 -
+           static_cast<double>(bad) / static_cast<double>(total);
+}
+
+}  // namespace press::obs

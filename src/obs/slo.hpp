@@ -1,0 +1,90 @@
+// Observability: rolling-window SLO arithmetic for a request-serving
+// loop.
+//
+// The service's raw counters (served, expired) are monotonic; an
+// operator deciding whether the system is *currently* violating its
+// objective needs a windowed view: of the requests that terminated in
+// the last W seconds, what fraction missed their deadline, and how fast
+// is that burning the error budget? SloTracker keeps that window as a
+// fixed set of time buckets rotated in place (no allocation after
+// construction, no per-request division), the standard multi-bucket
+// approximation of a sliding window.
+//
+// Two derived figures, both exported by the service as `service.slo.*`
+// gauges and streamed in telemetry frames:
+//
+//   burn_rate    windowed deadline-miss fraction divided by the miss
+//                budget: 1.0 means the budget is being consumed exactly
+//                as provisioned, >1 means the error budget is burning
+//                down faster than sustainable (the alerting convention
+//                popularized by SRE multi-window burn alerts).
+//   compliance   fraction of windowed requests that met the latency
+//                target (deadline misses count against it).
+//
+// Time is supplied by the caller (`now_s`), so the tracker runs on the
+// service SimClock in-process and on mapped wall time under pressd —
+// the same convention obs::Timeseries uses. Single-writer, like the
+// service that owns it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace press::obs {
+
+struct SloOptions {
+    double window_s = 5.0;      ///< rolling window span
+    std::size_t buckets = 16;   ///< rotation granularity
+    /// Deadline-miss fraction the budget provisions for; the burn rate
+    /// is the observed miss fraction over this.
+    double miss_budget = 0.01;
+    /// Latency target for compliance (microseconds).
+    double latency_target_us = 100000.0;
+};
+
+class SloTracker {
+public:
+    explicit SloTracker(SloOptions options = {});
+
+    const SloOptions& options() const { return options_; }
+
+    /// One request served within its deadline; `latency_us` is judged
+    /// against the latency target for compliance.
+    void record_ok(double now_s, double latency_us);
+    /// One request whose deadline passed (rejected kExpired).
+    void record_miss(double now_s);
+
+    /// Requests/misses/latency-target violations currently in-window.
+    std::uint64_t window_total(double now_s);
+    std::uint64_t window_misses(double now_s);
+
+    /// Miss fraction over the provisioned budget; 0 when the window is
+    /// empty.
+    double burn_rate(double now_s);
+    /// Fraction of in-window requests that met both deadline and
+    /// latency target; 1 when the window is empty.
+    double compliance(double now_s);
+
+private:
+    struct Bucket {
+        std::uint64_t total = 0;
+        std::uint64_t misses = 0;   ///< deadline misses
+        std::uint64_t slow = 0;     ///< served but over the latency target
+    };
+
+    /// Rotates stale buckets so the live set covers (now_s - window_s,
+    /// now_s].
+    void rotate(double now_s);
+    Bucket& current(double now_s);
+
+    SloOptions options_;
+    double bucket_span_s_ = 0.0;
+    std::vector<Bucket> buckets_;
+    /// Absolute index of the newest bucket (monotonic; index %
+    /// buckets.size() addresses storage).
+    std::int64_t newest_index_ = 0;
+    bool started_ = false;
+};
+
+}  // namespace press::obs

@@ -1,0 +1,406 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace press::obs {
+
+namespace {
+
+bool is_uint(const Json& v) {
+    if (!v.is_number()) return false;
+    const double d = v.as_double();
+    return d >= 0.0 && std::floor(d) == d;
+}
+
+bool is_hex_id(const std::string& s) {
+    if (s.size() < 3 || s.compare(0, 2, "0x") != 0) return false;
+    for (std::size_t i = 2; i < s.size(); ++i) {
+        const char c = s[i];
+        const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex) return false;
+    }
+    return true;
+}
+
+std::string hex_id(std::uint64_t id) {
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(id));
+    return buf;
+}
+
+}  // namespace
+
+Timeseries::Timeseries(TimeseriesOptions options)
+    : options_(std::move(options)) {
+    if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+    if (options_.exemplar_capacity == 0) options_.exemplar_capacity = 1;
+    pending_.resize(options_.exemplar_capacity);
+    closed_.resize(options_.exemplar_capacity);
+}
+
+std::size_t Timeseries::refresh() {
+    MetricsRegistry& registry = MetricsRegistry::global();
+    const MetricsRegistry::Snapshot snap = registry.snapshot();
+
+    auto known = [](const auto& tracks, const std::string& name) {
+        for (const auto& t : tracks)
+            if (t.name == name) return true;
+        return false;
+    };
+
+    for (const auto& [name, value] : snap.counters) {
+        if (known(counters_, name)) continue;
+        CounterTrack track;
+        track.name = name;
+        track.handle = &registry.counter(name);
+        // Baseline at discovery: the first window reports activity since
+        // tracking began, not since process start.
+        track.last = value;
+        track.ring.slots.resize(options_.ring_capacity);
+        counters_.push_back(std::move(track));
+    }
+    for (const auto& [name, value] : snap.gauges) {
+        if (known(gauges_, name)) continue;
+        GaugeTrack track;
+        track.name = name;
+        track.handle = &registry.gauge(name);
+        track.ring.slots.resize(options_.ring_capacity);
+        gauges_.push_back(std::move(track));
+    }
+    for (const auto& h : snap.histograms) {
+        if (known(histograms_, h.name)) continue;
+        HistogramTrack track;
+        track.name = h.name;
+        track.handle = &registry.histogram(h.name, h.bounds);
+        track.bounds = h.bounds;
+        track.last_counts = h.counts;
+        track.delta_counts.resize(h.counts.size());
+        track.last_count = h.count;
+        track.last_sum = h.sum;
+        track.ring.slots.resize(options_.ring_capacity);
+        histograms_.push_back(std::move(track));
+    }
+    // Series are deliberately not sampled: they are already bounded
+    // per-run vectors, and replaying them per window would dwarf every
+    // frame.
+    known_registry_size_ = registry.metric_count();
+    return tracked_metrics();
+}
+
+void Timeseries::refresh_if_grown() {
+    if (MetricsRegistry::global().metric_count() != known_registry_size_)
+        refresh();
+}
+
+std::size_t Timeseries::tracked_metrics() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+double Timeseries::percentile_from_deltas(
+    const std::vector<double>& bounds,
+    const std::vector<std::uint64_t>& deltas, std::uint64_t total,
+    double q) {
+    if (total == 0) return 0.0;
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < deltas.size(); ++i) {
+        cumulative += deltas[i];
+        if (cumulative >= target) {
+            // Overflow bucket: everything beyond the last bound reports
+            // the last bound — approximate, like the export digests.
+            if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+            return bounds[i];
+        }
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::uint64_t Timeseries::sample(double now_s) {
+    for (auto& t : counters_) {
+        const std::uint64_t value = t.handle->value();
+        // A registry reset() moves a counter backwards; treat the new
+        // value as the whole window's activity rather than underflowing.
+        const std::uint64_t delta = value >= t.last ? value - t.last : value;
+        t.last = value;
+        t.ring.push(delta);
+    }
+    for (auto& t : gauges_) t.ring.push(t.handle->value());
+    for (auto& t : histograms_) {
+        const std::uint64_t count = t.handle->count();
+        const double sum = t.handle->sum();
+        const bool reset = count < t.last_count;
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < t.delta_counts.size(); ++i) {
+            const std::uint64_t bucket = t.handle->bucket_value(i);
+            t.delta_counts[i] =
+                reset || bucket < t.last_counts[i]
+                    ? bucket
+                    : bucket - t.last_counts[i];
+            t.last_counts[i] = bucket;
+            total += t.delta_counts[i];
+        }
+        HistogramWindow window;
+        window.count = reset ? count : count - t.last_count;
+        window.sum = reset ? sum : sum - t.last_sum;
+        window.p50 =
+            percentile_from_deltas(t.bounds, t.delta_counts, total, 0.50);
+        window.p99 =
+            percentile_from_deltas(t.bounds, t.delta_counts, total, 0.99);
+        t.last_count = count;
+        t.last_sum = sum;
+        t.ring.push(window);
+    }
+
+    // Rotate the exemplar window: pending becomes the closed window the
+    // next frame reports; the accumulator restarts empty.
+    std::swap(pending_, closed_);
+    closed_size_ = pending_size_;
+    pending_size_ = 0;
+    pending_has_max_ = false;
+    // Slowest first, so a frame trimmed to capacity keeps the worst.
+    std::sort(closed_.begin(),
+              closed_.begin() + static_cast<std::ptrdiff_t>(closed_size_),
+              [](const Exemplar& a, const Exemplar& b) {
+                  return a.value_us > b.value_us;
+              });
+
+    prev_sample_s_ = last_sample_s_;
+    last_sample_s_ = now_s;
+    return ++revision_;
+}
+
+void Timeseries::note_exemplar(double value_us, std::uint64_t trace_id,
+                               double now_s) {
+    // Slot 0 always tracks the window's worst observation, so every
+    // window with any traffic yields at least one exemplar; the
+    // remaining slots collect threshold-crossers first come. An
+    // observation lives in exactly one slot: a new maximum takes slot 0
+    // and the max it displaced — if it crossed the threshold on its own
+    // merits — moves into a threshold slot, so no frame ever lists the
+    // same observation twice.
+    if (!pending_has_max_ || value_us > pending_[0].value_us) {
+        const Exemplar displaced = pending_[0];
+        const bool had_max = pending_has_max_;
+        pending_[0] = Exemplar{value_us, trace_id, now_s};
+        pending_has_max_ = true;
+        if (pending_size_ == 0) pending_size_ = 1;
+        if (had_max && displaced.value_us >= options_.exemplar_threshold_us &&
+            pending_size_ < pending_.size()) {
+            pending_[pending_size_++] = displaced;
+        }
+    } else if (value_us >= options_.exemplar_threshold_us &&
+               pending_size_ < pending_.size()) {
+        pending_[pending_size_++] = Exemplar{value_us, trace_id, now_s};
+    }
+}
+
+Json Timeseries::latest_frame(const std::string& prefix,
+                              bool with_exemplars) const {
+    auto matches = [&prefix](const std::string& name) {
+        return prefix.empty() || name.rfind(prefix, 0) == 0;
+    };
+
+    Json counters = Json::object();
+    for (const auto& t : counters_) {
+        if (t.ring.size == 0 || !matches(t.name)) continue;
+        counters[t.name] = static_cast<double>(t.ring.newest());
+    }
+    Json gauges = Json::object();
+    for (const auto& t : gauges_) {
+        if (t.ring.size == 0 || !matches(t.name)) continue;
+        gauges[t.name] = t.ring.newest();
+    }
+    Json histograms = Json::object();
+    for (const auto& t : histograms_) {
+        if (t.ring.size == 0 || !matches(t.name)) continue;
+        const HistogramWindow& w = t.ring.newest();
+        Json digest = Json::object();
+        digest["count"] = static_cast<double>(w.count);
+        digest["sum"] = w.sum;
+        digest["p50"] = w.p50;
+        digest["p99"] = w.p99;
+        histograms[t.name] = std::move(digest);
+    }
+    Json exemplars = Json::array();
+    if (with_exemplars && matches(options_.exemplar_metric)) {
+        for (std::size_t i = 0; i < closed_size_; ++i) {
+            Json e = Json::object();
+            e["metric"] = options_.exemplar_metric;
+            e["value_us"] = closed_[i].value_us;
+            e["trace_id"] = hex_id(closed_[i].trace_id);
+            e["t_s"] = closed_[i].t_s;
+            exemplars.as_array().push_back(std::move(e));
+        }
+    }
+
+    Json frame = Json::object();
+    frame["schema"] = "press.timeseries/v1";
+    frame["revision"] = static_cast<double>(revision_);
+    frame["t_s"] = last_sample_s_;
+    frame["interval_s"] =
+        revision_ > 1 ? last_sample_s_ - prev_sample_s_ : options_.interval_s;
+    frame["counters"] = std::move(counters);
+    frame["gauges"] = std::move(gauges);
+    frame["histograms"] = std::move(histograms);
+    frame["exemplars"] = std::move(exemplars);
+    return frame;
+}
+
+std::vector<double> Timeseries::counter_deltas(
+    const std::string& name) const {
+    std::vector<double> out;
+    for (const auto& t : counters_) {
+        if (t.name != name) continue;
+        out.reserve(t.ring.size);
+        for (std::size_t i = 0; i < t.ring.size; ++i)
+            out.push_back(static_cast<double>(t.ring.at(i)));
+    }
+    return out;
+}
+
+std::vector<double> Timeseries::gauge_samples(
+    const std::string& name) const {
+    std::vector<double> out;
+    for (const auto& t : gauges_) {
+        if (t.name != name) continue;
+        out.reserve(t.ring.size);
+        for (std::size_t i = 0; i < t.ring.size; ++i)
+            out.push_back(t.ring.at(i));
+    }
+    return out;
+}
+
+std::vector<HistogramWindow> Timeseries::histogram_windows(
+    const std::string& name) const {
+    std::vector<HistogramWindow> out;
+    for (const auto& t : histograms_) {
+        if (t.name != name) continue;
+        out.reserve(t.ring.size);
+        for (std::size_t i = 0; i < t.ring.size; ++i)
+            out.push_back(t.ring.at(i));
+    }
+    return out;
+}
+
+std::vector<Exemplar> Timeseries::window_exemplars() const {
+    return std::vector<Exemplar>(
+        closed_.begin(),
+        closed_.begin() + static_cast<std::ptrdiff_t>(closed_size_));
+}
+
+namespace {
+
+std::string validate_frame(const Json& frame) {
+    if (!frame.is_object()) return "frame is not an object";
+    for (const char* key : {"schema", "revision", "t_s", "interval_s",
+                            "counters", "gauges", "histograms",
+                            "exemplars"}) {
+        if (!frame.contains(key))
+            return std::string("frame missing key: ") + key;
+    }
+    if (!frame.at("schema").is_string() ||
+        frame.at("schema").as_string() != "press.timeseries/v1")
+        return "frame schema is not press.timeseries/v1";
+    if (!is_uint(frame.at("revision"))) return "revision must be a uint";
+    if (!frame.at("t_s").is_number()) return "t_s must be a number";
+    if (!frame.at("interval_s").is_number() ||
+        frame.at("interval_s").as_double() < 0.0)
+        return "interval_s must be a non-negative number";
+    if (!frame.at("counters").is_object())
+        return "counters must be an object";
+    for (const auto& [name, v] : frame.at("counters").as_object()) {
+        if (!is_uint(v))
+            return "counter delta must be a uint: " + name;
+    }
+    if (!frame.at("gauges").is_object()) return "gauges must be an object";
+    for (const auto& [name, v] : frame.at("gauges").as_object()) {
+        if (!v.is_number()) return "gauge sample must be a number: " + name;
+    }
+    if (!frame.at("histograms").is_object())
+        return "histograms must be an object";
+    for (const auto& [name, digest] : frame.at("histograms").as_object()) {
+        if (!digest.is_object())
+            return "histogram digest must be an object: " + name;
+        for (const char* key : {"count", "sum", "p50", "p99"}) {
+            if (!digest.contains(key))
+                return "histogram digest missing " + std::string(key) +
+                       ": " + name;
+        }
+        if (!is_uint(digest.at("count")))
+            return "histogram count must be a uint: " + name;
+        for (const char* key : {"sum", "p50", "p99"}) {
+            if (!digest.at(key).is_number())
+                return "histogram " + std::string(key) +
+                       " must be a number: " + name;
+        }
+    }
+    // Optional live-state keys the control-plane service injects into
+    // pushed frames (per-session outbox depths and the backpressure
+    // watermark they are judged against).
+    if (frame.contains("queue_depth") && !is_uint(frame.at("queue_depth")))
+        return "queue_depth must be a uint";
+    if (frame.contains("outbox_watermark") &&
+        !is_uint(frame.at("outbox_watermark")))
+        return "outbox_watermark must be a uint";
+    if (frame.contains("sessions")) {
+        if (!frame.at("sessions").is_object())
+            return "sessions must be an object";
+        for (const auto& [sid, entry] : frame.at("sessions").as_object()) {
+            if (!entry.is_object())
+                return "session entry must be an object: " + sid;
+            if (!entry.contains("outbox") || !is_uint(entry.at("outbox")))
+                return "session entry needs a uint outbox: " + sid;
+            if (entry.contains("subscribed") &&
+                !entry.at("subscribed").is_bool())
+                return "session subscribed must be a bool: " + sid;
+        }
+    }
+    if (!frame.at("exemplars").is_array())
+        return "exemplars must be an array";
+    for (const Json& e : frame.at("exemplars").as_array()) {
+        if (!e.is_object()) return "exemplar must be an object";
+        for (const char* key : {"metric", "value_us", "trace_id", "t_s"}) {
+            if (!e.contains(key))
+                return std::string("exemplar missing key: ") + key;
+        }
+        if (!e.at("metric").is_string() || e.at("metric").as_string().empty())
+            return "exemplar metric must be a non-empty string";
+        if (!e.at("value_us").is_number() ||
+            e.at("value_us").as_double() < 0.0)
+            return "exemplar value_us must be non-negative";
+        if (!e.at("trace_id").is_string() ||
+            !is_hex_id(e.at("trace_id").as_string()))
+            return "exemplar trace_id must be a 0x-prefixed hex string";
+        if (!e.at("t_s").is_number()) return "exemplar t_s must be a number";
+    }
+    return std::string();
+}
+
+}  // namespace
+
+std::string validate_timeseries(const Json& doc) {
+    if (!doc.is_object()) return "document is not an object";
+    if (!doc.contains("schema") || !doc.at("schema").is_string())
+        return "missing schema string";
+    if (doc.at("schema").as_string() != "press.timeseries/v1")
+        return "schema is not press.timeseries/v1";
+    if (doc.contains("frames")) {
+        // Captured subscription stream: {schema, frames: [frame...]}.
+        if (!doc.at("frames").is_array()) return "frames must be an array";
+        std::size_t index = 0;
+        for (const Json& frame : doc.at("frames").as_array()) {
+            const std::string violation = validate_frame(frame);
+            if (!violation.empty())
+                return "frame " + std::to_string(index) + ": " + violation;
+            ++index;
+        }
+        return std::string();
+    }
+    return validate_frame(doc);
+}
+
+}  // namespace press::obs

@@ -1,0 +1,204 @@
+// Observability: the Timeseries store — a rolling window on the metrics
+// registry.
+//
+// The registry (obs/metrics.hpp) answers "what happened since the
+// process started"; a live operator needs "what is happening *now*".
+// Timeseries closes that gap: on a fixed cadence (the caller supplies
+// `now_s`, so the same store runs on a SimClock or on wall time) it
+// samples every tracked metric into a fixed-capacity ring of windows:
+//
+//   Counter    the delta accumulated during the window,
+//   Gauge      the value at the window boundary,
+//   Histogram  a per-window digest — count/sum deltas plus approximate
+//              p50/p99 derived from the window's bucket deltas.
+//
+// On top of the numeric windows ride trace *exemplars*: sampled
+// trace_ids attached to slow observations of one latency metric (the
+// service feeds `service.request_us`), so a p99 spike in a streamed
+// frame links directly to a span tree in the Perfetto export instead of
+// being an anonymous number. Each window always keeps its worst
+// observation plus every observation above `exemplar_threshold_us`, up
+// to a fixed capacity.
+//
+// The sampling path is alloc-free and lock-free by construction:
+// refresh() (cold, allocating) resolves stable registry handles and
+// sizes every ring up front; sample() then only reads relaxed atomics
+// through those handles and writes into preallocated slots — this is
+// what lets the perf gate assert zero operator-new calls on the path.
+// Like control::Service, a Timeseries is single-writer: one thread owns
+// refresh()/sample()/note_exemplar(); the metrics being sampled may be
+// written from anywhere (they are atomics).
+//
+// latest_frame() renders the newest window as a `press.timeseries/v1`
+// JSON document (the payload of a control-plane TelemetryFrame);
+// validate_timeseries() checks a parsed frame — or a captured stream of
+// frames — against that schema, the same emit/validate pairing
+// obs/export.hpp uses for press.telemetry/v2.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace press::obs {
+
+struct TimeseriesOptions {
+    /// Windows retained per metric (ring capacity).
+    std::size_t ring_capacity = 120;
+    /// Sampling cadence, in the caller's clock domain. <= 0 disables
+    /// sampling entirely (Service treats it as "introspection off").
+    double interval_s = 0.5;
+    /// Exemplar slots kept per window (the window max plus the slowest
+    /// threshold-crossers).
+    std::size_t exemplar_capacity = 4;
+    /// Observations above this are exemplar-worthy on their own; the
+    /// per-window maximum is kept regardless.
+    double exemplar_threshold_us = 5000.0;
+    /// Metric name exemplars are attributed to in emitted frames.
+    std::string exemplar_metric = "service.request_us";
+};
+
+/// One sampled trace exemplar: a slow observation and the trace it
+/// belongs to.
+struct Exemplar {
+    double value_us = 0.0;
+    std::uint64_t trace_id = 0;
+    double t_s = 0.0;  ///< clock reading when the observation was noted
+};
+
+/// Per-window digest of one histogram's activity.
+struct HistogramWindow {
+    std::uint64_t count = 0;  ///< observations during the window
+    double sum = 0.0;         ///< sum delta during the window
+    double p50 = 0.0;         ///< approximate (bucket upper bound)
+    double p99 = 0.0;
+};
+
+class Timeseries {
+public:
+    explicit Timeseries(TimeseriesOptions options = {});
+
+    const TimeseriesOptions& options() const { return options_; }
+
+    /// Resolves registry handles for every metric currently registered
+    /// and (re)sizes rings for newly seen names. Cold path: allocates.
+    /// Existing rings and baselines are preserved. Returns the number of
+    /// tracked metrics.
+    std::size_t refresh();
+
+    /// refresh() only when the registry has grown since the last call —
+    /// the cheap steady-state guard Service runs before each sample.
+    void refresh_if_grown();
+
+    /// Closes the current window at `now_s`: every tracked metric gets
+    /// one ring slot (counter delta, gauge value, histogram digest), the
+    /// accumulating exemplar set rotates into the closed window, and the
+    /// revision advances. Alloc-free after refresh().
+    std::uint64_t sample(double now_s);
+
+    /// Feeds one latency observation to the exemplar sampler (the
+    /// service calls this alongside its service.request_us observe).
+    /// Alloc-free; a zero trace_id is kept but marks "no trace".
+    void note_exemplar(double value_us, std::uint64_t trace_id,
+                       double now_s);
+
+    /// Monotonic count of completed sample() calls — the metrics
+    /// snapshot revision StatusReply advertises.
+    std::uint64_t revision() const { return revision_; }
+    /// Clock reading of the newest closed window (0 before the first).
+    double last_sample_s() const { return last_sample_s_; }
+
+    std::size_t tracked_metrics() const;
+
+    /// The newest closed window rendered as a `press.timeseries/v1`
+    /// document, restricted to metric names starting with `prefix`
+    /// (empty = everything). `with_exemplars` gates the exemplars array.
+    /// Cold path: allocates. Valid (if empty) even before any sample().
+    Json latest_frame(const std::string& prefix = std::string(),
+                      bool with_exemplars = true) const;
+
+    /// Ring contents oldest-first, for tests and offline rendering.
+    std::vector<double> counter_deltas(const std::string& name) const;
+    std::vector<double> gauge_samples(const std::string& name) const;
+    std::vector<HistogramWindow> histogram_windows(
+        const std::string& name) const;
+    /// Exemplars of the newest closed window, slowest first.
+    std::vector<Exemplar> window_exemplars() const;
+
+private:
+    template <typename Slot>
+    struct Ring {
+        std::vector<Slot> slots;  ///< capacity fixed at refresh()
+        std::size_t head = 0;     ///< next write position
+        std::size_t size = 0;
+
+        void push(const Slot& s) {
+            slots[head] = s;
+            head = (head + 1) % slots.size();
+            if (size < slots.size()) ++size;
+        }
+        /// i = 0 is the oldest retained slot.
+        const Slot& at(std::size_t i) const {
+            return slots[(head + slots.size() - size + i) % slots.size()];
+        }
+        const Slot& newest() const { return at(size - 1); }
+    };
+
+    struct CounterTrack {
+        std::string name;
+        const Counter* handle = nullptr;
+        std::uint64_t last = 0;
+        Ring<std::uint64_t> ring;
+    };
+    struct GaugeTrack {
+        std::string name;
+        const Gauge* handle = nullptr;
+        Ring<double> ring;
+    };
+    struct HistogramTrack {
+        std::string name;
+        const Histogram* handle = nullptr;
+        std::vector<double> bounds;
+        std::vector<std::uint64_t> last_counts;   ///< bounds+1 entries
+        std::vector<std::uint64_t> delta_counts;  ///< scratch, bounds+1
+        std::uint64_t last_count = 0;
+        double last_sum = 0.0;
+        Ring<HistogramWindow> ring;
+    };
+
+    static double percentile_from_deltas(
+        const std::vector<double>& bounds,
+        const std::vector<std::uint64_t>& deltas, std::uint64_t total,
+        double q);
+
+    TimeseriesOptions options_;
+    std::vector<CounterTrack> counters_;
+    std::vector<GaugeTrack> gauges_;
+    std::vector<HistogramTrack> histograms_;
+    std::size_t known_registry_size_ = 0;
+
+    // Exemplars: `pending_` accumulates during the open window (slot 0
+    // reserved for the running max), `closed_` is the last completed
+    // window. Fixed capacity, swap on sample().
+    std::vector<Exemplar> pending_;
+    std::size_t pending_size_ = 0;
+    bool pending_has_max_ = false;
+    std::vector<Exemplar> closed_;
+    std::size_t closed_size_ = 0;
+
+    std::uint64_t revision_ = 0;
+    double last_sample_s_ = 0.0;
+    double prev_sample_s_ = 0.0;
+};
+
+/// Validates a parsed document against the `press.timeseries/v1` schema:
+/// either one frame (objects of counters/gauges/histogram digests plus
+/// an exemplars array) or a captured stream `{schema, frames: [...]}`.
+/// Returns an empty string when valid, else the first violation.
+std::string validate_timeseries(const Json& doc);
+
+}  // namespace press::obs

@@ -26,6 +26,8 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "press/config.hpp"
 #include "util/rng.hpp"
@@ -559,6 +561,219 @@ TEST_F(ObsTest, DiffToleranceEnvOverride) {
     EXPECT_DOUBLE_EQ(diff_tolerance_from_env(), kDefaultDiffTolerancePct);
     ::unsetenv("PRESS_BENCH_DIFF_TOLERANCE_PCT");
     EXPECT_DOUBLE_EQ(diff_tolerance_from_env(), kDefaultDiffTolerancePct);
+}
+
+// ---- timeseries store and SLO tracker ----------------------------------
+
+TEST_F(ObsTest, TimeseriesBaselinesAtDiscoveryAndTracksDeltas) {
+    Counter& c = MetricsRegistry::global().counter("ts.counter");
+    c.add(5);  // pre-tracking history must not leak into the first window
+    Timeseries ts;
+    ts.refresh();
+    c.add(3);
+    ts.sample(1.0);
+    c.add(2);
+    ts.sample(2.0);
+    const auto deltas = ts.counter_deltas("ts.counter");
+    ASSERT_EQ(deltas.size(), 2u);
+    EXPECT_DOUBLE_EQ(deltas[0], 3.0);
+    EXPECT_DOUBLE_EQ(deltas[1], 2.0);
+    EXPECT_EQ(ts.revision(), 2u);
+    EXPECT_DOUBLE_EQ(ts.last_sample_s(), 2.0);
+}
+
+TEST_F(ObsTest, TimeseriesCounterResetIsGuardedNotUnderflowed) {
+    Counter& c = MetricsRegistry::global().counter("ts.reset");
+    Timeseries ts;
+    ts.refresh();
+    c.add(7);
+    ts.sample(1.0);
+    c.reset();
+    c.add(4);  // value (4) moved backwards past last (7)
+    ts.sample(2.0);
+    const auto deltas = ts.counter_deltas("ts.reset");
+    ASSERT_EQ(deltas.size(), 2u);
+    EXPECT_DOUBLE_EQ(deltas[0], 7.0);
+    EXPECT_DOUBLE_EQ(deltas[1], 4.0);  // the whole new value, no wrap
+}
+
+TEST_F(ObsTest, TimeseriesRingKeepsNewestWindows) {
+    TimeseriesOptions options;
+    options.ring_capacity = 3;
+    Counter& c = MetricsRegistry::global().counter("ts.ring");
+    Timeseries ts(options);
+    ts.refresh();
+    for (int i = 1; i <= 5; ++i) {
+        c.add(static_cast<std::uint64_t>(i));
+        ts.sample(static_cast<double>(i));
+    }
+    const auto deltas = ts.counter_deltas("ts.ring");
+    ASSERT_EQ(deltas.size(), 3u);  // oldest two windows rolled off
+    EXPECT_DOUBLE_EQ(deltas[0], 3.0);
+    EXPECT_DOUBLE_EQ(deltas[1], 4.0);
+    EXPECT_DOUBLE_EQ(deltas[2], 5.0);
+}
+
+TEST_F(ObsTest, TimeseriesHistogramDigestIsPerWindow) {
+    Histogram& h = MetricsRegistry::global().histogram(
+        "ts.hist", {100.0, 1000.0, 10000.0});
+    Timeseries ts;
+    ts.refresh();
+    h.observe(50.0);
+    h.observe(500.0);
+    h.observe(500.0);
+    ts.sample(1.0);
+    h.observe(5000.0);
+    ts.sample(2.0);
+    const auto windows = ts.histogram_windows("ts.hist");
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_EQ(windows[0].count, 3u);
+    EXPECT_DOUBLE_EQ(windows[0].sum, 1050.0);
+    EXPECT_DOUBLE_EQ(windows[0].p50, 1000.0);  // bucket upper bound
+    // The second window digests only its own observation, not history.
+    EXPECT_EQ(windows[1].count, 1u);
+    EXPECT_DOUBLE_EQ(windows[1].sum, 5000.0);
+    EXPECT_DOUBLE_EQ(windows[1].p50, 10000.0);
+}
+
+TEST_F(ObsTest, TimeseriesRefreshIfGrownPicksUpNewMetrics) {
+    MetricsRegistry::global().counter("ts.grow.first");
+    Timeseries ts;
+    ts.refresh();
+    Counter& late = MetricsRegistry::global().counter("ts.grow.second");
+    ts.refresh_if_grown();  // baselines the newcomer at discovery
+    late.add(9);
+    ts.sample(1.0);
+    const auto deltas = ts.counter_deltas("ts.grow.second");
+    ASSERT_EQ(deltas.size(), 1u);
+    EXPECT_DOUBLE_EQ(deltas[0], 9.0);
+}
+
+TEST_F(ObsTest, ExemplarsKeepWindowMaxAndThresholdCrossersOnce) {
+    TimeseriesOptions options;
+    options.exemplar_capacity = 4;
+    options.exemplar_threshold_us = 1000.0;
+    Timeseries ts(options);
+    ts.refresh();
+    ts.note_exemplar(500.0, 0xA, 0.1);   // below threshold, still the max
+    ts.note_exemplar(2000.0, 0xB, 0.2);  // new max; 500 wasn't a crosser
+    ts.note_exemplar(1500.0, 0xC, 0.3);  // threshold slot
+    ts.note_exemplar(3000.0, 0xD, 0.4);  // new max; 2000 moves to a slot
+    ts.note_exemplar(600.0, 0xE, 0.5);   // neither max nor crosser: gone
+    ts.sample(1.0);
+    const auto exemplars = ts.window_exemplars();
+    ASSERT_EQ(exemplars.size(), 3u);
+    // Slowest first, each observation listed exactly once.
+    EXPECT_DOUBLE_EQ(exemplars[0].value_us, 3000.0);
+    EXPECT_EQ(exemplars[0].trace_id, 0xDu);
+    EXPECT_DOUBLE_EQ(exemplars[1].value_us, 2000.0);
+    EXPECT_EQ(exemplars[1].trace_id, 0xBu);
+    EXPECT_DOUBLE_EQ(exemplars[2].value_us, 1500.0);
+    EXPECT_EQ(exemplars[2].trace_id, 0xCu);
+    // The rotation emptied the accumulator: a quiet window has none.
+    ts.sample(2.0);
+    EXPECT_TRUE(ts.window_exemplars().empty());
+}
+
+TEST_F(ObsTest, LatestFrameFiltersByPrefixAndValidates) {
+    MetricsRegistry::global().counter("service.ts.requests").add(3);
+    MetricsRegistry::global().counter("other.ts.noise").add(1);
+    TimeseriesOptions options;
+    options.exemplar_threshold_us = 100.0;
+    Timeseries ts(options);
+    ts.refresh();
+    ts.note_exemplar(250.0, 0x1234ABCD, 0.5);
+    ts.sample(1.0);
+
+    const Json all = ts.latest_frame();
+    EXPECT_TRUE(validate_timeseries(all).empty());
+    EXPECT_TRUE(all.at("counters").contains("service.ts.requests"));
+    EXPECT_TRUE(all.at("counters").contains("other.ts.noise"));
+    ASSERT_EQ(all.at("exemplars").as_array().size(), 1u);
+    const Json& e = all.at("exemplars").as_array()[0];
+    EXPECT_EQ(e.at("metric").as_string(), "service.request_us");
+    // Trace ids ride as hex strings: a u64 does not survive a double.
+    EXPECT_EQ(e.at("trace_id").as_string(), "0x1234abcd");
+
+    const Json scoped = ts.latest_frame("service.", false);
+    EXPECT_TRUE(validate_timeseries(scoped).empty());
+    EXPECT_TRUE(scoped.at("counters").contains("service.ts.requests"));
+    EXPECT_FALSE(scoped.at("counters").contains("other.ts.noise"));
+    EXPECT_TRUE(scoped.at("exemplars").as_array().empty());
+}
+
+TEST_F(ObsTest, ValidateTimeseriesAcceptsStreamsAndFlagsDrift) {
+    Timeseries ts;
+    ts.refresh();
+    ts.sample(1.0);
+    Json frame = ts.latest_frame();
+
+    Json::Object stream_obj;
+    stream_obj.emplace("schema", Json(std::string("press.timeseries/v1")));
+    Json::Array frames;
+    frames.push_back(frame);
+    frames.push_back(frame);
+    stream_obj.emplace("frames", Json(std::move(frames)));
+    EXPECT_TRUE(validate_timeseries(Json(std::move(stream_obj))).empty());
+
+    // Optional service-injected keys are typed.
+    frame["queue_depth"] = 4.0;
+    Json session = Json::object();
+    session["outbox"] = 2.0;
+    session["subscribed"] = true;
+    Json sessions = Json::object();
+    sessions["7"] = std::move(session);
+    frame["sessions"] = std::move(sessions);
+    EXPECT_TRUE(validate_timeseries(frame).empty());
+    frame["queue_depth"] = -1.0;
+    EXPECT_NE(validate_timeseries(frame), "");
+    frame["queue_depth"] = 4.0;
+    frame["sessions"].as_object().at("7").as_object().erase("outbox");
+    EXPECT_NE(validate_timeseries(frame), "");
+
+    // Schema drift is named, not silently accepted.
+    Json bad = ts.latest_frame();
+    bad["counters"]["service.x"] = -3.0;
+    EXPECT_NE(validate_timeseries(bad), "");
+    Json wrong_schema = ts.latest_frame();
+    wrong_schema["schema"] = "press.telemetry/v2";
+    EXPECT_NE(validate_timeseries(wrong_schema), "");
+    Json bad_exemplar = ts.latest_frame();
+    Json e = Json::object();
+    e["metric"] = "service.request_us";
+    e["value_us"] = 10.0;
+    e["trace_id"] = 123.0;  // not a hex string
+    e["t_s"] = 1.0;
+    bad_exemplar["exemplars"].as_array().push_back(std::move(e));
+    EXPECT_NE(validate_timeseries(bad_exemplar), "");
+}
+
+TEST_F(ObsTest, SloTrackerBurnAndComplianceOverRollingWindow) {
+    SloOptions options;
+    options.window_s = 4.0;
+    options.buckets = 4;
+    options.miss_budget = 0.1;
+    options.latency_target_us = 1000.0;
+    SloTracker slo(options);
+
+    // Empty window: no burn, full compliance (not a division by zero).
+    EXPECT_DOUBLE_EQ(slo.burn_rate(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(slo.compliance(0.0), 1.0);
+
+    for (int i = 0; i < 8; ++i) slo.record_ok(1.0, 100.0);
+    slo.record_ok(1.0, 5000.0);  // met the deadline, blew the target
+    slo.record_miss(1.0);
+    EXPECT_EQ(slo.window_total(1.0), 10u);
+    EXPECT_EQ(slo.window_misses(1.0), 1u);
+    // 10% misses against a 10% budget: burning at exactly 1x.
+    EXPECT_NEAR(slo.burn_rate(1.0), 1.0, 1e-9);
+    // One miss and one slow request out of ten.
+    EXPECT_NEAR(slo.compliance(1.0), 0.8, 1e-9);
+
+    // Once the window slides past the activity, the incident ages out.
+    EXPECT_EQ(slo.window_total(10.0), 0u);
+    EXPECT_DOUBLE_EQ(slo.burn_rate(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(slo.compliance(10.0), 1.0);
 }
 
 TEST_F(ObsTest, JsonParserHandlesEscapesAndNumbers) {

@@ -15,7 +15,9 @@
 #include "core/scenarios.hpp"
 #include "core/serve.hpp"
 #include "fault/chaos.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "press/element.hpp"
 #include "util/contracts.hpp"
 
@@ -669,6 +671,281 @@ TEST(Service, BadRequestsAreRejectedByValidation) {
     bad_mut.element = 999;
     client.send(Message{bad_mut});
     EXPECT_EQ(service.stats().bad_requests, 2u);
+}
+
+// ---- introspection plane -----------------------------------------------
+
+TEST(ServiceWire, SubscribeRoundtrip) {
+    Subscribe msg;
+    msg.prefix = "service.";
+    msg.interval_us = 250000;
+    msg.flags = kSubscribeExemplars;
+    const auto out = roundtrip(msg);
+    EXPECT_EQ(out.prefix, "service.");
+    EXPECT_EQ(out.interval_us, 250000u);
+    EXPECT_EQ(out.flags, kSubscribeExemplars);
+}
+
+TEST(ServiceWire, TelemetryFrameRoundtrip) {
+    TelemetryFrame msg;
+    msg.revision = 0xDEADBEEFCAFEull;
+    msg.payload = "{\"schema\": \"press.timeseries/v1\"}";
+    const auto out = roundtrip(msg);
+    EXPECT_EQ(out.revision, 0xDEADBEEFCAFEull);
+    EXPECT_EQ(out.payload, msg.payload);
+}
+
+TEST(ServiceWire, FlightTapRoundtripAndReasonNames) {
+    FlightTap msg;
+    msg.reason = static_cast<std::uint8_t>(FlightTapReason::kSloBurn);
+    msg.revision = 77;
+    msg.path = "flight_service_slo_burn.json";
+    const auto out = roundtrip(msg);
+    EXPECT_EQ(out.reason, msg.reason);
+    EXPECT_EQ(out.revision, 77u);
+    EXPECT_EQ(out.path, msg.path);
+    EXPECT_STREQ(to_string(FlightTapReason::kWatchdog), "watchdog");
+    EXPECT_STREQ(to_string(FlightTapReason::kSloBurn), "slo-burn");
+}
+
+TEST(ServiceWire, StatusReplyCarriesUptimeAndRevision) {
+    StatusReply msg;
+    msg.queue_depth = 3;
+    msg.uptime_s = 12.345;
+    msg.revision = 42;
+    const auto out = roundtrip(msg);
+    EXPECT_EQ(out.queue_depth, 3u);
+    // Uptime rides the wire at millisecond resolution.
+    EXPECT_NEAR(out.uptime_s, 12.345, 0.001);
+    EXPECT_EQ(out.revision, 42u);
+}
+
+std::vector<const TelemetryFrame*> telemetry_frames(
+    const std::vector<Decoded>& replies) {
+    std::vector<const TelemetryFrame*> out;
+    for (const auto& d : replies)
+        if (const auto* tf = std::get_if<TelemetryFrame>(&d.message))
+            out.push_back(tf);
+    return out;
+}
+
+TEST(Service, SubscriptionStreamsValidFramesAtCadence) {
+    obs::set_enabled(true);
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.telemetry.interval_s = 0.5;
+    Service service(stub_engine(counters), options);
+    TestClient client(service);
+    client.send(Message{Hello{}});
+    (void)client.read();
+
+    Subscribe sub;
+    sub.interval_us = 500000;
+    client.send(Message{sub});
+    auto replies = client.read();
+    // The subscription is acked immediately with the newest frame.
+    auto frames = telemetry_frames(replies);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_TRUE(obs::validate_timeseries(obs::Json::parse(frames[0]->payload))
+                    .empty());
+    EXPECT_EQ(service.stats().subscriptions, 1u);
+
+    for (int i = 0; i < 3; ++i) {
+        service.advance_clock(0.5);
+        (void)service.run_cycle();
+    }
+    replies = client.read();
+    frames = telemetry_frames(replies);
+    ASSERT_EQ(frames.size(), 3u);
+    std::uint64_t last_revision = 0;
+    for (const auto* tf : frames) {
+        EXPECT_GT(tf->revision, last_revision);
+        last_revision = tf->revision;
+        const obs::Json doc = obs::Json::parse(tf->payload);
+        EXPECT_TRUE(obs::validate_timeseries(doc).empty());
+        // Service-injected liveness keys ride every pushed frame.
+        EXPECT_TRUE(doc.contains("queue_depth"));
+        EXPECT_TRUE(doc.contains("sessions"));
+    }
+    EXPECT_EQ(service.stats().telemetry_frames_sent, 4u);
+    EXPECT_EQ(service.telemetry_revision(), last_revision);
+    EXPECT_TRUE(service.accounting_balanced());
+}
+
+TEST(Service, SubscribeWithTelemetryOffIsRejected) {
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.telemetry.interval_s = 0.0;  // introspection plane disabled
+    Service service(stub_engine(counters), options);
+    TestClient client(service);
+    client.send(Message{Hello{}});
+    (void)client.read();
+
+    const std::uint32_t seq = client.send(Message{Subscribe{}});
+    const auto replies = client.read();
+    const Reject* reject = find_reject(replies, seq);
+    ASSERT_NE(reject, nullptr);
+    EXPECT_EQ(static_cast<RejectReason>(reject->reason),
+              RejectReason::kBadRequest);
+    EXPECT_EQ(service.stats().subscriptions, 0u);
+}
+
+TEST(Service, UnsubscribeSendsFinalFrameAndStopsStream) {
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.telemetry.interval_s = 0.5;
+    Service service(stub_engine(counters), options);
+    TestClient client(service);
+    client.send(Message{Hello{}});
+    (void)client.read();
+    client.send(Message{Subscribe{}});
+    (void)client.read();  // ack frame
+
+    Subscribe cancel;
+    cancel.interval_us = 0;
+    client.send(Message{cancel});
+    auto frames = telemetry_frames(client.read());
+    ASSERT_EQ(frames.size(), 1u);  // the final frame
+
+    for (int i = 0; i < 3; ++i) {
+        service.advance_clock(0.5);
+        (void)service.run_cycle();
+    }
+    EXPECT_TRUE(telemetry_frames(client.read()).empty());
+}
+
+TEST(Service, SlowSubscriberDropsOldestTelemetryNotReplies) {
+    obs::set_enabled(true);
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.telemetry.interval_s = 0.25;
+    options.outbox_capacity = 8;
+    Service service(stub_engine(counters), options);
+
+    // The watcher subscribes and then never reads a single frame.
+    TestClient watcher(service);
+    watcher.send(Message{Hello{}});
+    Subscribe sub;
+    sub.interval_us = 250000;
+    watcher.send(Message{sub});
+
+    // A concurrent client keeps working while the watcher stalls.
+    TestClient worker(service);
+    worker.send(Message{Hello{}});
+    (void)worker.read();
+
+    std::size_t worker_replies = 0;
+    for (int i = 0; i < 64; ++i) {
+        worker.send_optimize(128, 5'000'000);  // outlives the clock walk
+        service.advance_clock(0.25);
+        service.run_until_idle();
+        for (const auto& d : worker.read())
+            if (std::get_if<OptimizeReply>(&d.message) != nullptr)
+                ++worker_replies;
+    }
+
+    // Telemetry hit the watermark and dropped oldest-first — visibly.
+    EXPECT_GT(service.stats().telemetry_frames_dropped, 0u);
+    // The stalled subscriber is throttled, not executed: its session
+    // stays open and its outbox stays bounded.
+    EXPECT_TRUE(service.session_open(watcher.id));
+    EXPECT_LE(service.outbox_depth(watcher.id), options.outbox_capacity);
+    // Every optimize made its deadline; no reply was displaced.
+    EXPECT_EQ(worker_replies, 64u);
+    EXPECT_EQ(service.stats().sessions_dropped_slow, 0u);
+    EXPECT_TRUE(service.accounting_balanced());
+
+    // Once the watcher finally drains, the newest frames are intact and
+    // strictly ordered by revision.
+    const auto frames = telemetry_frames(watcher.read());
+    ASSERT_GT(frames.size(), 0u);
+    std::uint64_t last_revision = 0;
+    for (const auto* tf : frames) {
+        EXPECT_GT(tf->revision, last_revision);
+        last_revision = tf->revision;
+    }
+}
+
+TEST(Service, SloBurnBurstAlarmsAndTapsSubscriber) {
+    obs::set_enabled(true);
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.queue_capacity = 16;
+    options.telemetry.interval_s = 0.25;
+    Service service(stub_engine(counters), options);
+
+    TestClient watcher(service);
+    watcher.send(Message{Hello{}});
+    watcher.send(Message{Subscribe{}});  // default flags include taps
+    (void)watcher.read();
+
+    // Sixteen requests expire in-queue: a 100% miss window, far past
+    // the 10x burn alarm with the 1% default miss budget.
+    TestClient burst(service);
+    burst.send(Message{Hello{}});
+    for (int i = 0; i < 16; ++i)
+        burst.send_optimize(128, /*deadline_us=*/100);
+    service.advance_clock(1.0);
+    service.run_until_idle();
+
+    EXPECT_EQ(service.stats().expired, 16u);
+    EXPECT_GE(service.stats().slo_alarms, 1u);
+    EXPECT_GE(service.stats().flight_taps, 1u);
+
+    const auto replies = watcher.read();
+    const FlightTap* tap = nullptr;
+    double burn = 0.0;
+    for (const auto& d : replies) {
+        if (const auto* t = std::get_if<FlightTap>(&d.message)) tap = t;
+        if (const auto* tf = std::get_if<TelemetryFrame>(&d.message)) {
+            const obs::Json doc = obs::Json::parse(tf->payload);
+            EXPECT_TRUE(obs::validate_timeseries(doc).empty());
+            if (doc.contains("gauges") &&
+                doc.at("gauges").contains("service.slo.burn_rate"))
+                burn = std::max(
+                    burn,
+                    doc.at("gauges").at("service.slo.burn_rate").as_double());
+        }
+    }
+    ASSERT_NE(tap, nullptr);
+    EXPECT_EQ(static_cast<FlightTapReason>(tap->reason),
+              FlightTapReason::kSloBurn);
+    EXPECT_FALSE(tap->path.empty());
+    EXPECT_GT(burn, 1.0);
+    EXPECT_TRUE(service.accounting_balanced());
+}
+
+TEST(Service, StatusReportsUptimeAndAdvancingRevision) {
+    obs::set_enabled(true);
+    auto counters = std::make_shared<StubCounters>();
+    ServiceOptions options;
+    options.telemetry.interval_s = 0.5;
+    Service service(stub_engine(counters), options);
+    TestClient client(service);
+    client.send(Message{Hello{}});
+    (void)client.read();
+
+    service.advance_clock(2.0);
+    (void)service.run_cycle();  // one sampler window closes
+    client.send(Message{StatusRequest{}});
+    auto replies = client.read();
+    ASSERT_EQ(replies.size(), 1u);
+    const auto* status = std::get_if<StatusReply>(&replies[0].message);
+    ASSERT_NE(status, nullptr);
+    EXPECT_NEAR(status->uptime_s, 2.0, 1e-3);
+    EXPECT_GE(status->revision, 1u);
+
+    // The revision is monotonic: more windows, larger revision — the
+    // restart-detection contract documented in docs/SERVICE.md.
+    service.advance_clock(1.0);
+    (void)service.run_cycle();
+    client.send(Message{StatusRequest{}});
+    replies = client.read();
+    ASSERT_EQ(replies.size(), 1u);
+    const auto* later = std::get_if<StatusReply>(&replies[0].message);
+    ASSERT_NE(later, nullptr);
+    EXPECT_GT(later->revision, status->revision);
+    EXPECT_GT(later->uptime_s, status->uptime_s);
 }
 
 // ---- chaos link --------------------------------------------------------

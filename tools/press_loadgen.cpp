@@ -22,16 +22,25 @@
 //   - --inject-stuck N is given and the watchdog never tripped or never
 //     wrote a flight dump.
 //
+// --subscribe attaches one extra in-process session that streams
+// telemetry (Subscribe/TelemetryFrame) for the whole run, validates
+// every received frame against press.timeseries/v1, and reports an
+// "introspection" block in the summary — the live-subscriber soak the
+// bench compares against an unsubscribed run. --capture-telemetry PATH
+// writes the received stream for validate_telemetry.
+//
 //   press_loadgen [--sessions N] [--requests N] [--chaos L]
 //                 [--slow-readers K] [--inject-stuck N] [--seed S]
 //                 [--assert-rps R] [--budget-us N] [--deadline-us N]
-//                 [--queue N] [--quiet] [--connect PATH]
+//                 [--queue N] [--subscribe] [--telemetry-interval-s S]
+//                 [--capture-telemetry PATH] [--quiet] [--connect PATH]
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -41,7 +50,9 @@
 #include "core/serve.hpp"
 #include "fault/chaos.hpp"
 #include "obs/flight.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "util/rng.hpp"
 
 #ifndef _WIN32
@@ -76,6 +87,9 @@ struct Args {
     std::size_t queue = 64;
     bool quiet = false;
     std::string connect_path;
+    bool subscribe = false;
+    double telemetry_interval_s = 0.1;  ///< sampler + push cadence
+    std::string capture_telemetry_path;
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -114,9 +128,15 @@ bool parse_args(int argc, char** argv, Args& args) {
             args.queue = std::strtoull(v, nullptr, 10);
         else if (a == "--connect" && (v = next()))
             args.connect_path = v;
+        else if (a == "--telemetry-interval-s" && (v = next()))
+            args.telemetry_interval_s = std::strtod(v, nullptr);
+        else if (a == "--capture-telemetry" && (v = next()))
+            args.capture_telemetry_path = v;
+        else if (a == "--subscribe")
+            args.subscribe = true;
         else if (a == "--quiet")
             args.quiet = true;
-        else if (v == nullptr && a != "--quiet") {
+        else if (v == nullptr && a != "--quiet" && a != "--subscribe") {
             std::fprintf(stderr, "press_loadgen: unknown flag %s\n",
                          a.c_str());
             return false;
@@ -177,9 +197,62 @@ int run_in_process(const Args& args) {
     press::control::ServiceOptions options;
     options.queue_capacity = args.queue;
     options.inject_stall_every = args.inject_stuck;
+    options.telemetry.interval_s = args.telemetry_interval_s;
     Service service(
         press::core::make_service_engine(scenario.system, serve_config),
         options);
+
+    // Live subscriber: one extra session streaming telemetry for the
+    // whole run, drained every tick like a fast reader (its cost is the
+    // thing the bench's introspection block measures).
+    Service::SessionId sub_session = 0;
+    std::uint64_t sub_frames = 0, sub_taps = 0, sub_exemplars = 0,
+                  sub_invalid = 0;
+    press::obs::Json::Array captured;
+    if (args.subscribe) {
+        sub_session = service.connect();
+        press::control::Hello hello;
+        service.submit(sub_session, encode(Message{hello}, 1, {}));
+        press::control::Subscribe sub;
+        sub.interval_us = static_cast<std::uint32_t>(
+            std::max(1.0, args.telemetry_interval_s * 1e6));
+        service.submit(sub_session, encode(Message{sub}, 2, {}));
+    }
+    auto drain_subscriber = [&]() {
+        if (!args.subscribe || !service.session_open(sub_session)) return;
+        for (auto& frame : service.take_outgoing(sub_session)) {
+            press::control::Decoded decoded;
+            try {
+                decoded = press::control::decode(frame);
+            } catch (const press::control::ProtocolError&) {
+                ++sub_invalid;
+                continue;
+            }
+            if (const auto* telemetry =
+                    std::get_if<press::control::TelemetryFrame>(
+                        &decoded.message)) {
+                ++sub_frames;
+                try {
+                    press::obs::Json doc =
+                        press::obs::Json::parse(telemetry->payload);
+                    if (!press::obs::validate_timeseries(doc).empty()) {
+                        ++sub_invalid;
+                        continue;
+                    }
+                    if (doc.contains("exemplars"))
+                        sub_exemplars +=
+                            doc.at("exemplars").as_array().size();
+                    if (!args.capture_telemetry_path.empty())
+                        captured.push_back(std::move(doc));
+                } catch (const std::exception&) {
+                    ++sub_invalid;
+                }
+            } else if (std::get_if<press::control::FlightTap>(
+                           &decoded.message) != nullptr) {
+                ++sub_taps;
+            }
+        }
+    };
 
     const ChaosOptions chaos = ChaosOptions::uniform(args.chaos);
     press::util::Rng root_rng(args.seed * 77777 + 13);
@@ -347,6 +420,7 @@ int run_in_process(const Args& args) {
             for (auto& frame : service.take_outgoing(c.session))
                 c.from_service.send(frame, vnow);
         }
+        drain_subscriber();
 
         if (all_done) {
             draining = true;
@@ -365,6 +439,7 @@ int run_in_process(const Args& args) {
         }
     }
     service.run_until_idle();
+    drain_subscriber();
     const double wall_s = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
@@ -425,6 +500,33 @@ int run_in_process(const Args& args) {
             ok = false;
         }
     }
+    if (args.subscribe) {
+        if (sub_frames == 0) {
+            std::fprintf(stderr,
+                         "press_loadgen: FAIL subscribed but no telemetry "
+                         "frame arrived\n");
+            ok = false;
+        }
+        if (sub_invalid > 0) {
+            std::fprintf(stderr,
+                         "press_loadgen: FAIL %llu telemetry frame(s) "
+                         "failed press.timeseries/v1 validation\n",
+                         static_cast<unsigned long long>(sub_invalid));
+            ok = false;
+        }
+        if (!args.capture_telemetry_path.empty()) {
+            press::obs::Json doc = press::obs::Json::object();
+            doc["schema"] = "press.timeseries/v1";
+            doc["frames"] = press::obs::Json(std::move(captured));
+            std::ofstream out(args.capture_telemetry_path);
+            out << doc.dump() << "\n";
+            if (!out) {
+                std::fprintf(stderr, "press_loadgen: cannot write %s\n",
+                             args.capture_telemetry_path.c_str());
+                ok = false;
+            }
+        }
+    }
 
     if (!args.quiet) {
         std::printf(
@@ -442,6 +544,10 @@ int run_in_process(const Args& args) {
             "\"chaos_links\":{\"sent\":%llu,\"dropped\":%llu,"
             "\"corrupted\":%llu,\"duplicated\":%llu,\"reordered\":%llu,"
             "\"severed_loss\":%llu},"
+            "\"introspection\":{\"subscribed\":%s,\"frames\":%llu,"
+            "\"taps\":%llu,\"exemplars\":%llu,\"invalid\":%llu,"
+            "\"samples\":%llu,\"frames_sent\":%llu,\"frames_dropped\":%llu,"
+            "\"slo_alarms\":%llu},"
             "\"balanced\":%s}\n",
             clients.size(), args.chaos, wall_s, rps,
             static_cast<unsigned long long>(s.admitted),
@@ -470,6 +576,15 @@ int run_in_process(const Args& args) {
             static_cast<unsigned long long>(chaos_dup),
             static_cast<unsigned long long>(chaos_reordered),
             static_cast<unsigned long long>(chaos_severed),
+            args.subscribe ? "true" : "false",
+            static_cast<unsigned long long>(sub_frames),
+            static_cast<unsigned long long>(sub_taps),
+            static_cast<unsigned long long>(sub_exemplars),
+            static_cast<unsigned long long>(sub_invalid),
+            static_cast<unsigned long long>(s.telemetry_samples),
+            static_cast<unsigned long long>(s.telemetry_frames_sent),
+            static_cast<unsigned long long>(s.telemetry_frames_dropped),
+            static_cast<unsigned long long>(s.slo_alarms),
             ok ? "true" : "false");
     }
     return ok ? 0 : 1;

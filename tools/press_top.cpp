@@ -1,0 +1,339 @@
+// press_top — live terminal dashboard for a running pressd.
+//
+// Connects to the daemon's AF_UNIX SOCK_SEQPACKET socket as an ordinary
+// session, sends Subscribe, and renders every pushed TelemetryFrame
+// (`press.timeseries/v1`): request rate, latency digest (p50/p99),
+// queue depth, the reject-reason breakdown, per-session outbox depths
+// against the backpressure watermark, SLO burn rate/compliance, the
+// worst-link SNR gauge, and the window's trace exemplars. FlightTap
+// frames surface as an alert banner — the daemon just dumped its flight
+// recorder (watchdog trip or SLO burn) and the tap names the file.
+//
+// The same binary is the CI smoke client: --frames N exits after N
+// telemetry frames, --capture PATH writes the received stream as one
+// `{schema, frames: [...]}` document for validate_telemetry, and
+// --plain skips the ANSI screen clearing so output is loggable.
+//
+//   press_top --socket /tmp/pressd.sock [--interval-us N] [--prefix P]
+//             [--frames N] [--timeout-s S] [--capture PATH] [--plain]
+//
+// Exit code: 0 when at least one telemetry frame arrived (and, with
+// --frames N, all N arrived before --timeout-s), 1 otherwise.
+
+#ifdef _WIN32
+#include <cstdio>
+int main() {
+    std::fprintf(stderr, "press_top: needs POSIX sockets\n");
+    return 2;
+}
+#else
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "control/message.hpp"
+#include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+
+namespace {
+
+using press::control::Decoded;
+using press::control::FlightTap;
+using press::control::FlightTapReason;
+using press::control::Message;
+using press::control::Subscribe;
+using press::control::TelemetryFrame;
+using press::obs::Json;
+
+struct Args {
+    std::string socket_path = "/tmp/pressd.sock";
+    std::uint32_t interval_us = 500000;
+    std::string prefix;
+    std::uint64_t frames = 0;  // 0 = run until killed
+    double timeout_s = 10.0;   // bound on waiting for the next frame
+    std::string capture_path;
+    bool plain = false;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "press_top: %s needs a value\n",
+                             a.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const char* v = nullptr;
+        if (a == "--socket" && (v = next()))
+            args.socket_path = v;
+        else if (a == "--interval-us" && (v = next()))
+            args.interval_us =
+                static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (a == "--prefix" && (v = next()))
+            args.prefix = v;
+        else if (a == "--frames" && (v = next()))
+            args.frames = std::strtoull(v, nullptr, 10);
+        else if (a == "--timeout-s" && (v = next()))
+            args.timeout_s = std::strtod(v, nullptr);
+        else if (a == "--capture" && (v = next()))
+            args.capture_path = v;
+        else if (a == "--plain")
+            args.plain = true;
+        else if (v == nullptr && a != "--plain") {
+            std::fprintf(stderr, "press_top: unknown flag %s\n", a.c_str());
+            return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+double num_or(const Json& obj, const std::string& key, double fallback) {
+    if (!obj.is_object() || !obj.contains(key)) return fallback;
+    const Json& v = obj.at(key);
+    return v.is_number() ? v.as_double() : fallback;
+}
+
+/// Counter delta by name from the frame's counters object (0 if absent).
+double counter(const Json& frame, const std::string& name) {
+    return frame.contains("counters") ? num_or(frame.at("counters"), name, 0.0)
+                                      : 0.0;
+}
+
+double gauge(const Json& frame, const std::string& name, double fallback) {
+    return frame.contains("gauges")
+               ? num_or(frame.at("gauges"), name, fallback)
+               : fallback;
+}
+
+void render(const Json& frame, const std::string& alert, bool plain) {
+    if (!plain) std::printf("\x1b[2J\x1b[H");
+
+    const double interval =
+        std::max(num_or(frame, "interval_s", 0.0), 1e-9);
+    const double served = counter(frame, "service.served");
+    const double t_s = num_or(frame, "t_s", 0.0);
+    const double revision = num_or(frame, "revision", 0.0);
+
+    std::printf("press_top — t=%.2fs  window=%.2fs  revision=%.0f\n", t_s,
+                num_or(frame, "interval_s", 0.0), revision);
+    if (!alert.empty()) std::printf("!! %s\n", alert.c_str());
+
+    // Request rate and latency digest.
+    double p50 = 0.0, p99 = 0.0, req_count = 0.0;
+    if (frame.contains("histograms") &&
+        frame.at("histograms").contains("service.request_us")) {
+        const Json& digest =
+            frame.at("histograms").at("service.request_us");
+        p50 = num_or(digest, "p50", 0.0);
+        p99 = num_or(digest, "p99", 0.0);
+        req_count = num_or(digest, "count", 0.0);
+    }
+    std::printf("rate     %8.1f req/s   served=%.0f in window (%.0f obs)\n",
+                served / interval, served, req_count);
+    std::printf("latency  p50=%.0fus  p99=%.0fus\n", p50, p99);
+
+    // Queue and SLO.
+    std::printf("queue    depth=%.0f\n",
+                num_or(frame, "queue_depth",
+                       gauge(frame, "service.queue_depth", 0.0)));
+    std::printf("slo      burn=%.2fx  compliance=%.4f  window_req=%.0f  "
+                "window_miss=%.0f\n",
+                gauge(frame, "service.slo.burn_rate", 0.0),
+                gauge(frame, "service.slo.compliance", 1.0),
+                gauge(frame, "service.slo.window_requests", 0.0),
+                gauge(frame, "service.slo.window_misses", 0.0));
+    std::printf("link     worst=%.2f dB\n",
+                gauge(frame, "control.multilink.worst_link_db", 0.0));
+
+    // Reject-reason breakdown (window deltas).
+    std::printf(
+        "rejects  expired=%.0f shed=%.0f queue_full=%.0f backpressure=%.0f "
+        "dup=%.0f bad=%.0f\n",
+        counter(frame, "service.expired"), counter(frame, "service.shed"),
+        counter(frame, "service.queue_full"),
+        counter(frame, "service.backpressure"),
+        counter(frame, "service.duplicates"),
+        counter(frame, "service.bad_requests"));
+    std::printf("teleme   sent=%.0f dropped=%.0f taps=%.0f\n",
+                counter(frame, "service.telemetry.frames_sent"),
+                counter(frame, "service.telemetry.frames_dropped"),
+                counter(frame, "service.flight_taps"));
+
+    // Per-session outboxes against the watermark.
+    const double watermark = num_or(frame, "outbox_watermark", 0.0);
+    if (frame.contains("sessions") && frame.at("sessions").is_object()) {
+        std::printf("sessions (outbox / watermark %.0f):\n", watermark);
+        for (const auto& [sid, entry] :
+             frame.at("sessions").as_object()) {
+            const double depth = num_or(entry, "outbox", 0.0);
+            const bool sub = entry.is_object() &&
+                             entry.contains("subscribed") &&
+                             entry.at("subscribed").is_bool() &&
+                             entry.at("subscribed").as_bool();
+            std::printf("  #%-5s %5.0f%s%s\n", sid.c_str(), depth,
+                        sub ? "  [subscriber]" : "",
+                        (watermark > 0 && depth >= watermark)
+                            ? "  << at watermark"
+                            : "");
+        }
+    }
+
+    // Trace exemplars: the slowest requests of the window, by trace id.
+    if (frame.contains("exemplars") && frame.at("exemplars").is_array() &&
+        !frame.at("exemplars").as_array().empty()) {
+        std::printf("exemplars:\n");
+        for (const Json& e : frame.at("exemplars").as_array()) {
+            if (!e.is_object()) continue;
+            std::printf("  %10.0fus  trace=%s\n", num_or(e, "value_us", 0.0),
+                        e.contains("trace_id") && e.at("trace_id").is_string()
+                            ? e.at("trace_id").as_string().c_str()
+                            : "0x0");
+        }
+    }
+    std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, args)) return 2;
+
+    const int fd = ::socket(AF_UNIX, SOCK_SEQPACKET, 0);
+    if (fd < 0) {
+        std::perror("press_top: socket");
+        return 1;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, args.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        std::perror("press_top: connect");
+        ::close(fd);
+        return 1;
+    }
+
+    std::uint32_t seq = 1;
+    {
+        press::control::Hello hello;
+        const auto frame = encode(Message{hello}, seq++, {});
+        (void)::send(fd, frame.data(), frame.size(), 0);
+    }
+    {
+        Subscribe sub;
+        sub.prefix = args.prefix;
+        sub.interval_us = args.interval_us;
+        const auto frame = encode(Message{sub}, seq++, {});
+        (void)::send(fd, frame.data(), frame.size(), 0);
+    }
+
+    std::vector<std::uint8_t> buffer(64 * 1024);
+    std::uint64_t telemetry_frames = 0;
+    std::string alert;
+    Json::Array captured;
+    auto last_frame = std::chrono::steady_clock::now();
+    bool timed_out = false;
+
+    while (args.frames == 0 || telemetry_frames < args.frames) {
+        pollfd pfd{fd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration<double>(now - last_frame).count() >
+            args.timeout_s) {
+            std::fprintf(stderr,
+                         "press_top: no telemetry for %.1fs, giving up\n",
+                         args.timeout_s);
+            timed_out = true;
+            break;
+        }
+        if (ready <= 0) continue;
+        const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+        if (n == 0) {
+            std::fprintf(stderr, "press_top: daemon closed the session\n");
+            break;
+        }
+        if (n < 0) continue;
+        Decoded decoded;
+        try {
+            decoded = press::control::decode(std::vector<std::uint8_t>(
+                buffer.begin(), buffer.begin() + n));
+        } catch (const press::control::ProtocolError& e) {
+            std::fprintf(stderr, "press_top: bad frame: %s\n", e.what());
+            continue;
+        }
+        if (const auto* telemetry =
+                std::get_if<TelemetryFrame>(&decoded.message)) {
+            last_frame = now;
+            ++telemetry_frames;
+            try {
+                Json frame = Json::parse(telemetry->payload);
+                const std::string violation =
+                    press::obs::validate_timeseries(frame);
+                if (!violation.empty()) {
+                    std::fprintf(stderr,
+                                 "press_top: invalid frame: %s\n",
+                                 violation.c_str());
+                    ::close(fd);
+                    return 1;
+                }
+                render(frame, alert, args.plain);
+                if (!args.capture_path.empty())
+                    captured.push_back(std::move(frame));
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "press_top: unparseable payload: %s\n",
+                             e.what());
+                ::close(fd);
+                return 1;
+            }
+        } else if (const auto* tap =
+                       std::get_if<FlightTap>(&decoded.message)) {
+            alert = std::string("flight dump (") +
+                    press::control::to_string(
+                        static_cast<FlightTapReason>(tap->reason)) +
+                    "): " + (tap->path.empty() ? "<write failed>" : tap->path);
+            if (args.plain)
+                std::printf("!! %s\n", alert.c_str());
+        }
+        // HelloAck and anything else: informational.
+    }
+    ::close(fd);
+
+    if (!args.capture_path.empty()) {
+        Json doc = Json::object();
+        doc["schema"] = "press.timeseries/v1";
+        doc["frames"] = Json(std::move(captured));
+        std::ofstream out(args.capture_path);
+        out << doc.dump() << "\n";
+        if (!out) {
+            std::fprintf(stderr, "press_top: cannot write %s\n",
+                         args.capture_path.c_str());
+            return 1;
+        }
+    }
+    if (telemetry_frames == 0) {
+        std::fprintf(stderr, "press_top: no telemetry received\n");
+        return 1;
+    }
+    if (args.frames > 0 && (timed_out || telemetry_frames < args.frames))
+        return 1;
+    std::fprintf(stderr, "press_top: %llu frame(s) received\n",
+                 static_cast<unsigned long long>(telemetry_frames));
+    return 0;
+}
+#endif  // _WIN32

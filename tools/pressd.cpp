@@ -12,9 +12,13 @@
 // drives it from another process; the in-process loadgen mode and the
 // tests exercise the identical Service core without sockets.
 //
+// Clients may also Subscribe for streamed telemetry (press_top renders
+// it); --telemetry-interval-s sets the sampler cadence (0 disables the
+// introspection plane entirely).
+//
 //   pressd --socket /tmp/pressd.sock [--seed N] [--queue N] [--threads N]
 //          [--budget-us N] [--duration-s S] [--max-requests N]
-//          [--stall-every N] [--quiet]
+//          [--stall-every N] [--telemetry-interval-s S] [--quiet]
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -51,6 +55,7 @@ struct Args {
     double duration_s = 0.0;       // 0 = run until killed
     std::uint64_t max_requests = 0;  // 0 = unlimited
     std::size_t stall_every = 0;
+    double telemetry_interval_s = 0.5;
     bool quiet = false;
 };
 
@@ -92,6 +97,10 @@ bool parse_args(int argc, char** argv, Args& args) {
             const char* v = next("--stall-every");
             if (v == nullptr) return false;
             args.stall_every = std::strtoull(v, nullptr, 10);
+        } else if (a == "--telemetry-interval-s") {
+            const char* v = next("--telemetry-interval-s");
+            if (v == nullptr) return false;
+            args.telemetry_interval_s = std::strtod(v, nullptr);
         } else if (a == "--quiet") {
             args.quiet = true;
         } else {
@@ -150,6 +159,7 @@ int main(int argc, char** argv) {
     press::control::ServiceOptions options;
     options.queue_capacity = args.queue;
     options.inject_stall_every = args.stall_every;
+    options.telemetry.interval_s = args.telemetry_interval_s;
     Service service(
         press::core::make_service_engine(scenario.system, serve_config),
         options);
@@ -274,6 +284,17 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(s.watchdog_trips),
                      static_cast<unsigned long long>(service.epoch()),
                      service.accounting_balanced() ? 1 : 0);
+        std::fprintf(
+            stderr,
+            "pressd: telemetry samples=%llu subs=%llu frames_sent=%llu "
+            "frames_dropped=%llu taps=%llu slo_alarms=%llu revision=%llu\n",
+            static_cast<unsigned long long>(s.telemetry_samples),
+            static_cast<unsigned long long>(s.subscriptions),
+            static_cast<unsigned long long>(s.telemetry_frames_sent),
+            static_cast<unsigned long long>(s.telemetry_frames_dropped),
+            static_cast<unsigned long long>(s.flight_taps),
+            static_cast<unsigned long long>(s.slo_alarms),
+            static_cast<unsigned long long>(service.telemetry_revision()));
     }
     return service.accounting_balanced() ? 0 : 1;
 }

@@ -1,8 +1,18 @@
-// CI schema gate: validates press.telemetry/v1 exports against the schema
-// documented in docs/TELEMETRY.md (as enforced by obs::validate_telemetry,
-// the same checker the exporter round-trip test uses).
+// CI schema gate: validates telemetry artifacts against the schemas
+// documented in docs/TELEMETRY.md, using the same checkers the
+// exporter/sampler round-trip tests use. Two document families are
+// recognized by their `schema` field:
 //
-//   $ validate_telemetry telemetry_perf_snapshot.json [...]
+//   press.telemetry/v*   full metric exports (obs::validate_telemetry)
+//   press.timeseries/v1  streamed window frames or a captured
+//                        subscription stream (obs::validate_timeseries)
+//
+//   $ validate_telemetry [--require-exemplars] telemetry.json [...]
+//
+// --require-exemplars additionally fails any press.timeseries/v1
+// document that does not contain at least one exemplar with a nonzero
+// trace id — the CI smoke uses it to prove the live exemplar path end
+// to end (sampler -> wire -> press_top capture).
 //
 // Exits 0 when every file parses and validates; prints the first violation
 // and exits 1 otherwise, failing the build on schema drift.
@@ -10,19 +20,49 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+
+namespace {
+
+using press::obs::Json;
+
+std::size_t count_traced_exemplars(const Json& frame) {
+    if (!frame.is_object() || !frame.contains("exemplars") ||
+        !frame.at("exemplars").is_array())
+        return 0;
+    std::size_t n = 0;
+    for (const Json& e : frame.at("exemplars").as_array()) {
+        if (e.is_object() && e.contains("trace_id") &&
+            e.at("trace_id").is_string() &&
+            e.at("trace_id").as_string() != "0x0")
+            ++n;
+    }
+    return n;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) {
+    bool require_exemplars = false;
+    std::vector<const char*> paths;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--require-exemplars")
+            require_exemplars = true;
+        else
+            paths.push_back(argv[i]);
+    }
+    if (paths.empty()) {
         std::fprintf(stderr,
-                     "usage: validate_telemetry <telemetry.json> [...]\n");
+                     "usage: validate_telemetry [--require-exemplars] "
+                     "<telemetry.json> [...]\n");
         return 2;
     }
     int failures = 0;
-    for (int i = 1; i < argc; ++i) {
-        const char* path = argv[i];
+    for (const char* path : paths) {
         std::ifstream in(path);
         if (!in) {
             std::fprintf(stderr, "%s: cannot open\n", path);
@@ -32,19 +72,54 @@ int main(int argc, char** argv) {
         std::ostringstream buffer;
         buffer << in.rdbuf();
         try {
-            const press::obs::Json doc =
-                press::obs::Json::parse(buffer.str());
+            const Json doc = Json::parse(buffer.str());
+            const bool timeseries =
+                doc.is_object() && doc.contains("schema") &&
+                doc.at("schema").is_string() &&
+                doc.at("schema").as_string() == "press.timeseries/v1";
             const std::string violation =
-                press::obs::validate_telemetry(doc);
+                timeseries ? press::obs::validate_timeseries(doc)
+                           : press::obs::validate_telemetry(doc);
             if (!violation.empty()) {
                 std::fprintf(stderr, "%s: schema violation: %s\n", path,
                              violation.c_str());
                 ++failures;
                 continue;
             }
-            std::printf("%s: ok (%s, scenario \"%s\")\n", path,
-                        doc.at("schema").as_string().c_str(),
-                        doc.at("manifest").at("scenario").as_string().c_str());
+            if (timeseries) {
+                std::size_t frames = 1;
+                std::size_t exemplars = count_traced_exemplars(doc);
+                if (doc.contains("frames")) {
+                    const auto& list = doc.at("frames").as_array();
+                    frames = list.size();
+                    exemplars = 0;
+                    for (const Json& frame : list)
+                        exemplars += count_traced_exemplars(frame);
+                }
+                if (require_exemplars && exemplars == 0) {
+                    std::fprintf(stderr,
+                                 "%s: no exemplar with a nonzero trace id\n",
+                                 path);
+                    ++failures;
+                    continue;
+                }
+                std::printf("%s: ok (press.timeseries/v1, %zu frame(s), "
+                            "%zu traced exemplar(s))\n",
+                            path, frames, exemplars);
+            } else {
+                if (require_exemplars) {
+                    std::fprintf(stderr,
+                                 "%s: --require-exemplars needs a "
+                                 "press.timeseries/v1 document\n",
+                                 path);
+                    ++failures;
+                    continue;
+                }
+                std::printf(
+                    "%s: ok (%s, scenario \"%s\")\n", path,
+                    doc.at("schema").as_string().c_str(),
+                    doc.at("manifest").at("scenario").as_string().c_str());
+            }
         } catch (const std::exception& e) {
             std::fprintf(stderr, "%s: parse error: %s\n", path, e.what());
             ++failures;
