@@ -10,7 +10,9 @@
 #include "core/scenarios.hpp"
 #include "em/channel.hpp"
 #include "phy/frame.hpp"
+#include "phy/ru.hpp"
 #include "util/fft.hpp"
+#include "util/fft_plan.hpp"
 #include "util/kernels.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
@@ -33,17 +35,41 @@ void BM_Fft(benchmark::State& state) {
         benchmark::DoNotOptimize(y.data());
     }
 }
-BENCHMARK(BM_Fft)->Arg(64)->Arg(128)->Arg(1024);
+BENCHMARK(BM_Fft)->Arg(64)->Arg(128)->Arg(1024)->Arg(2048)->Arg(4096);
 
 void BM_FftBluestein(benchmark::State& state) {
     util::Rng rng(1);
-    util::CVec x = random_cvec(100, rng);  // non-power-of-two
+    // Non-powers-of-two: 100 (the historical case) and 996 (the Wi-Fi 6E
+    // used-tone count, whose Bluestein convolution runs at 2048).
+    util::CVec x =
+        random_cvec(static_cast<std::size_t>(state.range(0)), rng);
     for (auto _ : state) {
         auto y = util::fft(x);
         benchmark::DoNotOptimize(y.data());
     }
 }
-BENCHMARK(BM_FftBluestein);
+BENCHMARK(BM_FftBluestein)->Arg(100)->Arg(996);
+
+// Planned execution against the process-wide FftPlan cache: all twiddle,
+// bit-reversal and Bluestein chirp setup hoisted into the plan, output
+// and scratch reused — the steady-state transform cost at the wideband
+// sizes (996 exercises the planned Bluestein path; 64/2048/4096 the
+// planned radix-2 path). Compare with BM_Fft/BM_FftBluestein at the same
+// length for the per-call setup the plan removes.
+void BM_FftPlanForward(benchmark::State& state) {
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const util::FftPlan& plan = util::plan_for(n);
+    util::Rng rng(1);
+    const util::CVec x = random_cvec(n, rng);
+    util::CVec out;
+    util::FftScratch scratch;
+    plan.forward(x, out, scratch);  // size the output and scratch once
+    for (auto _ : state) {
+        plan.forward(x, out, scratch);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FftPlanForward)->Arg(64)->Arg(996)->Arg(2048)->Arg(4096);
 
 void BM_SingularValues(benchmark::State& state) {
     util::Rng rng(2);
@@ -270,6 +296,123 @@ BENCHMARK(BM_GatherAccumulate)
     ->Args({1, 16})
     ->Args({0, 64})
     ->Args({1, 64});
+
+// Helper for the masked-kernel benches: the bench's RU-mask shapes at a
+// given tone count. shape 0 = full mask (one aligned span at offset 0);
+// shape 1 = 8 uniform RUs with RUs 2 and 5 punctured (ragged,
+// non-lane-aligned span offsets — the preamble-puncturing case).
+phy::RuMask bench_mask(std::size_t n, int shape) {
+    if (shape == 0) return phy::RuMask::full(n);
+    return phy::RuMask::uniform(n, 8).punctured({2, 5});
+}
+
+// Masked row accumulate over the mask's active ranges — the tile-bounded
+// delta sweep's row-add. Args: {dispatch, n, shape} with dispatch 0 =
+// scalar / 1 = native and shape as in bench_mask (aligned full span vs
+// ragged punctured spans), at the narrowband and wideband tone counts.
+void BM_MaskedAccumulate(benchmark::State& state) {
+    const auto d = state.range(0) == 0 ? util::kernels::Dispatch::kScalar
+                                       : util::kernels::Dispatch::kNative;
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    const phy::RuMask mask = bench_mask(n, static_cast<int>(state.range(2)));
+    std::vector<util::kernels::IndexRange> ranges;
+    for (const phy::RuRange& r : mask.active_ranges())
+        ranges.push_back({r.first, r.last - r.first});
+    util::Rng rng(11);
+    std::vector<double> row_re(n), row_im(n), dst_re(n, 0.0), dst_im(n, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+        row_re[k] = rng.uniform(-1.0, 1.0);
+        row_im[k] = rng.uniform(-1.0, 1.0);
+    }
+    for (auto _ : state) {
+        util::kernels::masked_accumulate(d, row_re.data(), row_im.data(),
+                                         dst_re.data(), dst_im.data(),
+                                         ranges.data(), ranges.size());
+        benchmark::DoNotOptimize(dst_re.data());
+    }
+}
+BENCHMARK(BM_MaskedAccumulate)
+    ->Args({0, 64, 1})
+    ->Args({1, 64, 1})
+    ->Args({0, 996, 0})
+    ->Args({1, 996, 0})
+    ->Args({0, 996, 1})
+    ->Args({1, 996, 1})
+    ->Args({0, 2048, 1})
+    ->Args({1, 2048, 1})
+    ->Args({0, 4096, 1})
+    ->Args({1, 4096, 1});
+
+// The fused coordinate delta (dst = base + row in one pass) against the
+// same spans — compare with BM_MaskedAccumulate plus a copy for the
+// traffic the fusion removes. Args as in BM_MaskedAccumulate.
+void BM_MaskedCopyAccumulate(benchmark::State& state) {
+    const auto d = state.range(0) == 0 ? util::kernels::Dispatch::kScalar
+                                       : util::kernels::Dispatch::kNative;
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    const phy::RuMask mask = bench_mask(n, static_cast<int>(state.range(2)));
+    std::vector<util::kernels::IndexRange> ranges;
+    for (const phy::RuRange& r : mask.active_ranges())
+        ranges.push_back({r.first, r.last - r.first});
+    util::Rng rng(11);
+    std::vector<double> base_re(n), base_im(n), row_re(n), row_im(n);
+    std::vector<double> dst_re(n, 0.0), dst_im(n, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+        base_re[k] = rng.uniform(-1.0, 1.0);
+        base_im[k] = rng.uniform(-1.0, 1.0);
+        row_re[k] = rng.uniform(-1.0, 1.0);
+        row_im[k] = rng.uniform(-1.0, 1.0);
+    }
+    for (auto _ : state) {
+        util::kernels::masked_copy_accumulate(
+            d, base_re.data(), base_im.data(), row_re.data(), row_im.data(),
+            dst_re.data(), dst_im.data(), ranges.data(), ranges.size());
+        benchmark::DoNotOptimize(dst_re.data());
+    }
+}
+BENCHMARK(BM_MaskedCopyAccumulate)
+    ->Args({0, 64, 1})
+    ->Args({1, 64, 1})
+    ->Args({0, 996, 0})
+    ->Args({1, 996, 0})
+    ->Args({0, 996, 1})
+    ->Args({1, 996, 1})
+    ->Args({0, 2048, 1})
+    ->Args({1, 2048, 1})
+    ->Args({0, 4096, 1})
+    ->Args({1, 4096, 1});
+
+// The masked fused min-SNR reduction through the mask's dense index
+// list — the scoring tail of a MaskedSnrObjective candidate. Args as in
+// BM_MaskedAccumulate (shape 0 reduces every tone via the list).
+void BM_MaskedSnrDbMin(benchmark::State& state) {
+    const auto d = state.range(0) == 0 ? util::kernels::Dispatch::kScalar
+                                       : util::kernels::Dispatch::kNative;
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    const phy::RuMask mask = bench_mask(n, static_cast<int>(state.range(2)));
+    const std::vector<std::size_t>& idx = mask.active_indices();
+    util::Rng rng(13);
+    std::vector<double> mean_re(n), mean_im(n), noise_var(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        mean_re[k] = rng.uniform(-1.0, 1.0);
+        mean_im[k] = rng.uniform(-1.0, 1.0);
+        noise_var[k] = rng.uniform(1e-9, 1e-6);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(util::kernels::masked_snr_db_min(
+            d, mean_re.data(), mean_im.data(), noise_var.data(), idx.data(),
+            idx.size(), 60.0, 0.0));
+    }
+}
+BENCHMARK(BM_MaskedSnrDbMin)
+    ->Args({0, 64, 1})
+    ->Args({1, 64, 1})
+    ->Args({0, 996, 0})
+    ->Args({1, 996, 0})
+    ->Args({0, 996, 1})
+    ->Args({1, 996, 1})
+    ->Args({0, 4096, 1})
+    ->Args({1, 4096, 1});
 
 // The fused single-link score: sounding draws + LTF combining + log-SNR
 // min, straight from a split response — the entire per-candidate cost of

@@ -26,6 +26,37 @@ double MeanSnrObjective::score(const Observation& obs) const {
     return util::mean(link_snr(obs, link_));
 }
 
+MaskedSnrObjective::MaskedSnrObjective(phy::RuMask mask,
+                                       FusedSpec::Kind reduce,
+                                       std::size_t link)
+    : mask_(std::move(mask)), reduce_(reduce), link_(link) {
+    PRESS_EXPECTS(reduce_ != FusedSpec::Kind::kNone,
+                  "a masked objective must reduce to a scalar");
+    PRESS_EXPECTS(mask_.num_active() > 0,
+                  "mask must leave at least one active tone");
+}
+
+double MaskedSnrObjective::score(const Observation& obs) const {
+    const std::vector<double>& snr = link_snr(obs, link_);
+    PRESS_EXPECTS(mask_.num_used() == snr.size(),
+                  "mask must span the observed subcarriers");
+    const std::vector<std::size_t>& idx = mask_.active_indices();
+    if (reduce_ == FusedSpec::Kind::kMinSnr) {
+        double worst = snr[idx[0]];
+        for (std::size_t i = 1; i < idx.size(); ++i)
+            worst = std::min(worst, snr[idx[i]]);
+        return worst;
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < idx.size(); ++i) acc += snr[idx[i]];
+    return acc / static_cast<double>(idx.size());
+}
+
+std::string MaskedSnrObjective::name() const {
+    return reduce_ == FusedSpec::Kind::kMinSnr ? "masked-min-SNR"
+                                               : "masked-mean-SNR";
+}
+
 double ThroughputObjective::score(const Observation& obs) const {
     return phy::expected_throughput_mbps(link_snr(obs, link_));
 }

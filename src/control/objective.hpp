@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "phy/ru.hpp"
+
 namespace press::control {
 
 /// What a controller sees after measuring under one configuration.
@@ -33,6 +35,13 @@ struct FusedSpec {
     enum class Kind { kNone, kMinSnr, kMeanSnr };
     Kind kind = Kind::kNone;
     std::size_t link = 0;
+    /// Optional RU mask (wideband preamble puncturing, DESIGN.md §15):
+    /// when non-null, the reduction runs over only the mask's active
+    /// tones, and a cache-backed owner may restrict both the basis
+    /// accumulation and the sounding to the tiles the mask touches. The
+    /// pointer must outlive the optimization run (objectives returning
+    /// one point at a mask they own).
+    const phy::RuMask* mask = nullptr;
 };
 
 /// One link's contribution to a composite multi-link objective: the
@@ -110,6 +119,35 @@ public:
     std::string name() const override { return "max-mean-SNR"; }
 
 private:
+    std::size_t link_;
+};
+
+/// Per-RU masked single-link objective: the min or mean per-subcarrier
+/// SNR over ONLY the active tones of an RU mask (996-tone and wider
+/// numerologies schedule per-RU and puncture preamble-incumbent RUs; see
+/// docs/OBJECTIVES.md). Fusable: fused_spec() carries the mask, so
+/// System::optimize_fast sounds and reduces only the active tones and
+/// bounds the basis accumulation to the subcarrier tiles the mask
+/// intersects. The general Observation path reads the same tones out of
+/// the full-width SNR span (min matches the fused scorer exactly, mean
+/// up to blocked-vs-sequential association ulps — the FusedSpec
+/// contract; the noise draws differ because the fused path sounds only
+/// active tones).
+class MaskedSnrObjective : public Objective {
+public:
+    MaskedSnrObjective(phy::RuMask mask, FusedSpec::Kind reduce,
+                       std::size_t link = 0);
+    double score(const Observation& obs) const override;
+    FusedSpec fused_spec() const override {
+        return {reduce_, link_, &mask_};
+    }
+    std::string name() const override;
+
+    const phy::RuMask& mask() const { return mask_; }
+
+private:
+    phy::RuMask mask_;
+    FusedSpec::Kind reduce_;
     std::size_t link_;
 };
 

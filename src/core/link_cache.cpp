@@ -120,30 +120,46 @@ void LinkCache::rebuild(const sdr::Medium& medium, Entry& entry,
 void LinkCache::add_rows(util::kernels::SplitVec& h, const ArrayBasis& basis,
                          const surface::Config& config,
                          std::size_t skip_element) {
+    const util::kernels::IndexRange full{0, h.size()};
+    add_rows_ranges(h, basis, config, &full, 1, skip_element);
+}
+
+void LinkCache::add_rows_ranges(util::kernels::SplitVec& h,
+                                const ArrayBasis& basis,
+                                const surface::Config& config,
+                                const util::kernels::IndexRange* ranges,
+                                std::size_t num_ranges,
+                                std::size_t skip_element) {
     PRESS_EXPECTS(config.size() == basis.radices.size(),
                   "configuration arity must match the cached array");
-    const std::size_t num_sc = h.size();
     for (std::size_t e = 0; e < config.size(); ++e) {
         if (e == skip_element) continue;
         PRESS_EXPECTS(config[e] >= 0 && config[e] < basis.radices[e],
                       "configuration state out of the cached range");
     }
     const util::kernels::Dispatch d = util::kernels::active();
-    // Tile over subcarrier blocks with the element walk innermost: the
-    // scratch tile stays L1-resident while the selected rows stream past.
-    // Each subcarrier still receives its element terms in ascending
-    // element order, so the tiling is bit-transparent.
-    for (std::size_t sc = 0; sc < num_sc; sc += kTileSubcarriers) {
-        const std::size_t len = std::min(kTileSubcarriers, num_sc - sc);
-        double* tile_re = h.re.data() + sc;
-        double* tile_im = h.im.data() + sc;
-        for (std::size_t e = 0; e < config.size(); ++e) {
-            if (e == skip_element) continue;
-            const std::size_t row =
-                basis.row_offset[e] + static_cast<std::size_t>(config[e]);
-            util::kernels::accumulate(d, basis.row_re(row) + sc,
-                                      basis.row_im(row) + sc, tile_re,
-                                      tile_im, len);
+    // Tile over subcarrier blocks of each span with the element walk
+    // innermost: the scratch tile stays L1-resident while the selected
+    // rows stream past. Each subcarrier still receives its element terms
+    // in ascending element order, so neither the tiling nor the span
+    // bounding changes the bits of any touched subcarrier.
+    for (std::size_t ri = 0; ri < num_ranges; ++ri) {
+        const std::size_t end = ranges[ri].offset + ranges[ri].len;
+        PRESS_EXPECTS(end <= h.size(), "span exceeds the response width");
+        for (std::size_t sc = ranges[ri].offset; sc < end;
+             sc += kTileSubcarriers) {
+            const std::size_t len = std::min(kTileSubcarriers, end - sc);
+            double* tile_re = h.re.data() + sc;
+            double* tile_im = h.im.data() + sc;
+            for (std::size_t e = 0; e < config.size(); ++e) {
+                if (e == skip_element) continue;
+                const std::size_t row =
+                    basis.row_offset[e] +
+                    static_cast<std::size_t>(config[e]);
+                util::kernels::accumulate(d, basis.row_re(row) + sc,
+                                          basis.row_im(row) + sc, tile_re,
+                                          tile_im, len);
+            }
         }
     }
 }
@@ -185,28 +201,46 @@ util::CVec LinkCache::response(const sdr::Medium& medium,
     return out;
 }
 
+void LinkCache::accumulate_response_ranges(
+    const sdr::Medium& medium, const Entry& entry, std::size_t array_id,
+    const surface::Config& config, std::size_t skip_element,
+    const util::kernels::IndexRange* ranges, std::size_t num_ranges,
+    util::kernels::SplitVec& out) const {
+    const std::size_t num_sc = entry.h_static.size();
+    out.resize(num_sc);
+    const util::kernels::Dispatch d = util::kernels::active();
+    for (std::size_t ri = 0; ri < num_ranges; ++ri) {
+        const std::size_t o = ranges[ri].offset;
+        PRESS_EXPECTS(o + ranges[ri].len <= num_sc,
+                      "span exceeds the cached subcarrier count");
+        util::kernels::copy(d, entry.h_static.re.data() + o,
+                            entry.h_static.im.data() + o, out.re.data() + o,
+                            out.im.data() + o, ranges[ri].len);
+    }
+    for (std::size_t a = 0; a < entry.arrays.size(); ++a) {
+        // Branch instead of a ternary: a `ref : prvalue` conditional's
+        // common type is a prvalue, which would copy (allocate) `config`
+        // on every read of the candidate's own array.
+        if (a == array_id) {
+            add_rows_ranges(out, entry.arrays[a], config, ranges,
+                            num_ranges, skip_element);
+        } else {
+            add_rows_ranges(out, entry.arrays[a],
+                            medium.array(a).current_config(), ranges,
+                            num_ranges, kNoSkip);
+        }
+    }
+}
+
 void LinkCache::accumulate_response(const sdr::Medium& medium,
                                     const Entry& entry,
                                     std::size_t array_id,
                                     const surface::Config& config,
                                     std::size_t skip_element,
                                     util::kernels::SplitVec& out) const {
-    const std::size_t num_sc = entry.h_static.size();
-    out.resize(num_sc);
-    util::kernels::copy(util::kernels::active(), entry.h_static.re.data(),
-                        entry.h_static.im.data(), out.re.data(),
-                        out.im.data(), num_sc);
-    for (std::size_t a = 0; a < entry.arrays.size(); ++a) {
-        // Branch instead of a ternary: a `ref : prvalue` conditional's
-        // common type is a prvalue, which would copy (allocate) `config`
-        // on every read of the candidate's own array.
-        if (a == array_id) {
-            add_rows(out, entry.arrays[a], config, skip_element);
-        } else {
-            add_rows(out, entry.arrays[a], medium.array(a).current_config(),
-                     kNoSkip);
-        }
-    }
+    const util::kernels::IndexRange full{0, entry.h_static.size()};
+    accumulate_response_ranges(medium, entry, array_id, config,
+                               skip_element, &full, 1, out);
 }
 
 util::CVec LinkCache::response_with(const sdr::Medium& medium,
@@ -254,6 +288,67 @@ void LinkCache::response_base_into(const sdr::Medium& medium,
     accumulate_response(medium, entry, array_id, config, element, out);
 }
 
+void LinkCache::response_ranges_into(const sdr::Medium& medium,
+                                     std::size_t link_id,
+                                     const sdr::Link& link,
+                                     std::size_t array_id,
+                                     const surface::Config& config,
+                                     const util::kernels::IndexRange* ranges,
+                                     std::size_t num_ranges,
+                                     util::kernels::SplitVec& out) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(current(medium, entry, link),
+                  "cache entry is stale; call warm() before batch reads");
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    accumulate_response_ranges(medium, entry, array_id, config, kNoSkip,
+                               ranges, num_ranges, out);
+}
+
+void LinkCache::response_base_ranges_into(
+    const sdr::Medium& medium, std::size_t link_id, const sdr::Link& link,
+    std::size_t array_id, const surface::Config& config, std::size_t element,
+    const util::kernels::IndexRange* ranges, std::size_t num_ranges,
+    util::kernels::SplitVec& out) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(current(medium, entry, link),
+                  "cache entry is stale; call warm() before batch reads");
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    PRESS_EXPECTS(element < entry.arrays[array_id].radices.size(),
+                  "element id out of the cached range");
+    accumulate_response_ranges(medium, entry, array_id, config, element,
+                               ranges, num_ranges, out);
+}
+
+void LinkCache::accumulate_element_row_ranges(
+    std::size_t link_id, std::size_t array_id, std::size_t element,
+    int state, const util::kernels::IndexRange* ranges,
+    std::size_t num_ranges, util::kernels::SplitVec& h) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    const ArrayBasis& basis = entry.arrays[array_id];
+    PRESS_EXPECTS(element < basis.radices.size(),
+                  "element id out of the cached range");
+    PRESS_EXPECTS(state >= 0 && state < basis.radices[element],
+                  "configuration state out of the cached range");
+    PRESS_EXPECTS(h.size() == entry.h_static.size(),
+                  "scratch does not match the cached subcarrier count");
+    for (std::size_t ri = 0; ri < num_ranges; ++ri)
+        PRESS_EXPECTS(ranges[ri].offset + ranges[ri].len <= h.size(),
+                      "span exceeds the cached subcarrier count");
+    const std::size_t row =
+        basis.row_offset[element] + static_cast<std::size_t>(state);
+    util::kernels::masked_accumulate(util::kernels::active(),
+                                     basis.row_re(row), basis.row_im(row),
+                                     h.re.data(), h.im.data(), ranges,
+                                     num_ranges);
+}
+
 void LinkCache::accumulate_element_row(std::size_t link_id,
                                        std::size_t array_id,
                                        std::size_t element, int state,
@@ -275,6 +370,62 @@ void LinkCache::accumulate_element_row(std::size_t link_id,
     util::kernels::accumulate(util::kernels::active(), basis.row_re(row),
                               basis.row_im(row), h.re.data(), h.im.data(),
                               num_sc);
+}
+
+void LinkCache::element_row_delta(std::size_t link_id, std::size_t array_id,
+                                  std::size_t element, int state,
+                                  const util::kernels::SplitVec& base,
+                                  util::kernels::SplitVec& out) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    const ArrayBasis& basis = entry.arrays[array_id];
+    PRESS_EXPECTS(element < basis.radices.size(),
+                  "element id out of the cached range");
+    PRESS_EXPECTS(state >= 0 && state < basis.radices[element],
+                  "configuration state out of the cached range");
+    const std::size_t num_sc = entry.h_static.size();
+    PRESS_EXPECTS(base.size() == num_sc,
+                  "base does not match the cached subcarrier count");
+    PRESS_EXPECTS(out.size() == num_sc,
+                  "out must be pre-sized to the cached subcarrier count");
+    const std::size_t row =
+        basis.row_offset[element] + static_cast<std::size_t>(state);
+    util::kernels::copy_accumulate(util::kernels::active(), base.re.data(),
+                                   base.im.data(), basis.row_re(row),
+                                   basis.row_im(row), out.re.data(),
+                                   out.im.data(), num_sc);
+}
+
+void LinkCache::element_row_delta_ranges(
+    std::size_t link_id, std::size_t array_id, std::size_t element,
+    int state, const util::kernels::IndexRange* ranges,
+    std::size_t num_ranges, const util::kernels::SplitVec& base,
+    util::kernels::SplitVec& out) const {
+    PRESS_EXPECTS(link_id < entries_.size(), "link has no cache entry");
+    const Entry& entry = entries_[link_id];
+    PRESS_EXPECTS(array_id < entry.arrays.size(),
+                  "array id out of the cached range");
+    const ArrayBasis& basis = entry.arrays[array_id];
+    PRESS_EXPECTS(element < basis.radices.size(),
+                  "element id out of the cached range");
+    PRESS_EXPECTS(state >= 0 && state < basis.radices[element],
+                  "configuration state out of the cached range");
+    const std::size_t num_sc = entry.h_static.size();
+    PRESS_EXPECTS(base.size() == num_sc,
+                  "base does not match the cached subcarrier count");
+    PRESS_EXPECTS(out.size() == num_sc,
+                  "out must be pre-sized to the cached subcarrier count");
+    for (std::size_t ri = 0; ri < num_ranges; ++ri)
+        PRESS_EXPECTS(ranges[ri].offset + ranges[ri].len <= num_sc,
+                      "span exceeds the cached subcarrier count");
+    const std::size_t row =
+        basis.row_offset[element] + static_cast<std::size_t>(state);
+    util::kernels::masked_copy_accumulate(
+        util::kernels::active(), base.re.data(), base.im.data(),
+        basis.row_re(row), basis.row_im(row), out.re.data(), out.im.data(),
+        ranges, num_ranges);
 }
 
 LinkCache::BasisLayout LinkCache::basis_layout(std::size_t link_id,

@@ -169,6 +169,67 @@ public:
                                 std::size_t element, int state,
                                 util::kernels::SplitVec& h) const;
 
+    /// Fused coordinate delta: out = base + element `element`'s basis row
+    /// for load state `state`, in ONE pass over out (base untouched) —
+    /// bit-identical to copying `base` into `out` and calling
+    /// accumulate_element_row(), at 60% of the memory traffic. `out` must
+    /// already be sized to `base` (resize it once outside the sweep; the
+    /// call itself never allocates) and must not alias `base`.
+    void element_row_delta(std::size_t link_id, std::size_t array_id,
+                           std::size_t element, int state,
+                           const util::kernels::SplitVec& base,
+                           util::kernels::SplitVec& out) const;
+
+    // Tile-bounded reads (DESIGN.md §15): the same arithmetic restricted
+    // to half-open subcarrier spans. A masked objective only ever reads
+    // the tones inside an RU mask's active spans, so the accumulation can
+    // skip every basis tile the mask never touches. `out` is still
+    // resized to the full subcarrier count, but ONLY the doubles inside
+    // the given spans are written — bit-identical to the full-width call
+    // on those positions (per subcarrier the element addition order is
+    // unchanged); everything outside is left untouched and must not be
+    // read. Spans must be ascending, non-overlapping, and inside
+    // [0, num_sc) — phy::RuMask::tile_spans(kTileSubcarriers) produces
+    // exactly that.
+
+    /// Tile-bounded response_into(): writes only the given spans.
+    void response_ranges_into(const sdr::Medium& medium, std::size_t link_id,
+                              const sdr::Link& link, std::size_t array_id,
+                              const surface::Config& config,
+                              const util::kernels::IndexRange* ranges,
+                              std::size_t num_ranges,
+                              util::kernels::SplitVec& out) const;
+
+    /// Tile-bounded response_base_into(): writes only the given spans.
+    void response_base_ranges_into(const sdr::Medium& medium,
+                                   std::size_t link_id,
+                                   const sdr::Link& link,
+                                   std::size_t array_id,
+                                   const surface::Config& config,
+                                   std::size_t element,
+                                   const util::kernels::IndexRange* ranges,
+                                   std::size_t num_ranges,
+                                   util::kernels::SplitVec& out) const;
+
+    /// Tile-bounded accumulate_element_row(): adds the row over only the
+    /// given spans of `h`.
+    void accumulate_element_row_ranges(std::size_t link_id,
+                                       std::size_t array_id,
+                                       std::size_t element, int state,
+                                       const util::kernels::IndexRange* ranges,
+                                       std::size_t num_ranges,
+                                       util::kernels::SplitVec& h) const;
+
+    /// Tile-bounded element_row_delta(): out = base + row over only the
+    /// given spans (one fused pass; outside the spans `out` is left
+    /// untouched). Same sizing/aliasing contract as element_row_delta().
+    void element_row_delta_ranges(std::size_t link_id, std::size_t array_id,
+                                  std::size_t element, int state,
+                                  const util::kernels::IndexRange* ranges,
+                                  std::size_t num_ranges,
+                                  const util::kernels::SplitVec& base,
+                                  util::kernels::SplitVec& out) const;
+
     /// Builds (or refreshes) the entry for `link_id` so that subsequent
     /// response_with() calls are pure reads.
     void warm(const sdr::Medium& medium, std::size_t link_id,
@@ -238,14 +299,30 @@ private:
     void rebuild(const sdr::Medium& medium, Entry& entry,
                  const sdr::Link& link);
 
-    /// Accumulates the rows selected by `config` into the split response,
-    /// optionally skipping one element (kNoSkip = none).
+    /// Accumulates the rows selected by `config` into the split response
+    /// over each span, optionally skipping one element (kNoSkip = none).
+    /// add_rows() is the full-width special case (one span covering the
+    /// whole axis), so the two cannot drift.
     static constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
     static void add_rows(util::kernels::SplitVec& h, const ArrayBasis& basis,
                          const surface::Config& config,
                          std::size_t skip_element = kNoSkip);
+    static void add_rows_ranges(util::kernels::SplitVec& h,
+                                const ArrayBasis& basis,
+                                const surface::Config& config,
+                                const util::kernels::IndexRange* ranges,
+                                std::size_t num_ranges,
+                                std::size_t skip_element);
 
-    /// Shared body of response_with / response_into / response_base_into.
+    /// Shared body of response_with / response_into / response_base_into
+    /// and their tile-bounded forms (full-width calls pass one span).
+    void accumulate_response_ranges(const sdr::Medium& medium,
+                                    const Entry& entry, std::size_t array_id,
+                                    const surface::Config& config,
+                                    std::size_t skip_element,
+                                    const util::kernels::IndexRange* ranges,
+                                    std::size_t num_ranges,
+                                    util::kernels::SplitVec& out) const;
     void accumulate_response(const sdr::Medium& medium, const Entry& entry,
                              std::size_t array_id,
                              const surface::Config& config,

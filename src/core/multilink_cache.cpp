@@ -227,6 +227,88 @@ void MultiLinkCache::add_rows(util::kernels::SplitVec& h,
     }
 }
 
+void MultiLinkCache::add_rows_ranges(util::kernels::SplitVec& h,
+                                     const GroupBasis& basis,
+                                     const surface::Config& config,
+                                     std::size_t num_slots,
+                                     std::size_t link_stride,
+                                     const util::kernels::IndexRange* ranges,
+                                     std::size_t num_ranges,
+                                     std::size_t skip_element) {
+    PRESS_EXPECTS(config.size() == basis.radices.size(),
+                  "configuration arity must match the cached array");
+    for (std::size_t e = 0; e < config.size(); ++e) {
+        if (e == skip_element) continue;
+        PRESS_EXPECTS(config[e] >= 0 && config[e] < basis.radices[e],
+                      "configuration state out of the cached range");
+    }
+    const util::kernels::Dispatch d = util::kernels::active();
+    // Slots outer, spans and tiles inner, element walk innermost — the
+    // same L1-resident streaming as add_rows, restricted to each member
+    // segment's masked spans. Any single double still receives its
+    // element terms in ascending element order.
+    constexpr std::size_t kTile = LinkCache::kTileSubcarriers;
+    for (std::size_t s = 0; s < num_slots; ++s) {
+        const std::size_t seg = s * link_stride;
+        for (std::size_t ri = 0; ri < num_ranges; ++ri) {
+            const std::size_t begin = seg + ranges[ri].offset;
+            const std::size_t end = begin + ranges[ri].len;
+            PRESS_EXPECTS(end <= h.size(),
+                          "span exceeds the group response width");
+            for (std::size_t sc = begin; sc < end; sc += kTile) {
+                const std::size_t len = std::min(kTile, end - sc);
+                double* tile_re = h.re.data() + sc;
+                double* tile_im = h.im.data() + sc;
+                for (std::size_t e = 0; e < config.size(); ++e) {
+                    if (e == skip_element) continue;
+                    const std::size_t row =
+                        basis.row_offset[e] +
+                        static_cast<std::size_t>(config[e]);
+                    util::kernels::accumulate(d, basis.row_re(row) + sc,
+                                              basis.row_im(row) + sc,
+                                              tile_re, tile_im, len);
+                }
+            }
+        }
+    }
+}
+
+void MultiLinkCache::group_response_ranges_into(
+    const sdr::Medium& medium, std::size_t group, std::size_t array_id,
+    const surface::Config& config, const util::kernels::IndexRange* ranges,
+    std::size_t num_ranges, util::kernels::SplitVec& out) const {
+    PRESS_EXPECTS(valid_, "cache is cold; call warm() before group reads");
+    PRESS_EXPECTS(group < groups_.size(), "group id out of range");
+    const Group& g = groups_[group];
+    PRESS_EXPECTS(array_id < g.arrays.size(),
+                  "array id out of the cached range");
+    for (std::size_t ri = 0; ri < num_ranges; ++ri)
+        PRESS_EXPECTS(ranges[ri].offset + ranges[ri].len <= num_sc_,
+                      "span exceeds the cached subcarrier count");
+    out.resize(g.width);
+    const util::kernels::Dispatch d = util::kernels::active();
+    for (std::size_t s = 0; s < g.links.size(); ++s) {
+        const std::size_t seg = s * link_stride_;
+        for (std::size_t ri = 0; ri < num_ranges; ++ri) {
+            const std::size_t o = seg + ranges[ri].offset;
+            util::kernels::copy(d, g.h_static.re.data() + o,
+                                g.h_static.im.data() + o, out.re.data() + o,
+                                out.im.data() + o, ranges[ri].len);
+        }
+    }
+    for (std::size_t a = 0; a < g.arrays.size(); ++a) {
+        if (a == array_id) {
+            add_rows_ranges(out, g.arrays[a], config, g.links.size(),
+                            link_stride_, ranges, num_ranges, kNoSkip);
+        } else {
+            add_rows_ranges(out, g.arrays[a],
+                            medium.array(a).current_config(),
+                            g.links.size(), link_stride_, ranges,
+                            num_ranges, kNoSkip);
+        }
+    }
+}
+
 void MultiLinkCache::accumulate_group(const sdr::Medium& medium,
                                       const Group& group,
                                       std::size_t array_id,

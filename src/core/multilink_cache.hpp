@@ -141,6 +141,20 @@ public:
                              const surface::Config& config,
                              util::kernels::SplitVec& out) const;
 
+    /// Tile-bounded group_response_into() (DESIGN.md §15): the spans are
+    /// half-open subcarrier ranges applied inside EVERY member segment —
+    /// slot s's doubles [s * link_stride + offset, + len) are written
+    /// with exactly the full call's arithmetic, everything outside the
+    /// spans is left untouched and must not be read. Spans must be
+    /// ascending, non-overlapping and inside [0, num_sc);
+    /// phy::RuMask::tile_spans produces exactly that.
+    void group_response_ranges_into(const sdr::Medium& medium,
+                                    std::size_t group, std::size_t array_id,
+                                    const surface::Config& config,
+                                    const util::kernels::IndexRange* ranges,
+                                    std::size_t num_ranges,
+                                    util::kernels::SplitVec& out) const;
+
     /// Coordinate-sweep base: like group_response_into() but element
     /// `element` of array `array_id` contributes no row (its state in
     /// `config` is ignored). Adding one wide element row afterwards
@@ -234,6 +248,17 @@ private:
     static void add_rows(util::kernels::SplitVec& h, const GroupBasis& basis,
                          const surface::Config& config,
                          std::size_t skip_element = kNoSkip);
+    /// Span-bounded add_rows: per member slot, only the doubles inside
+    /// each subcarrier span receive row terms (ascending element order
+    /// per double, so bit-identical to the full walk on those positions).
+    static void add_rows_ranges(util::kernels::SplitVec& h,
+                                const GroupBasis& basis,
+                                const surface::Config& config,
+                                std::size_t num_slots,
+                                std::size_t link_stride,
+                                const util::kernels::IndexRange* ranges,
+                                std::size_t num_ranges,
+                                std::size_t skip_element);
 
     void accumulate_group(const sdr::Medium& medium, const Group& group,
                           std::size_t array_id,

@@ -273,6 +273,52 @@ LinkScenario make_massive_scenario(std::size_t n_elements,
     return scenario;
 }
 
+WidebandScenario make_wideband_scenario(std::uint64_t seed,
+                                        const WidebandParams& p) {
+    PRESS_EXPECTS(p.num_elements >= 1, "need at least one element");
+    PRESS_EXPECTS(p.num_states >= 2, "elements need at least two states");
+    PRESS_EXPECTS(p.num_ru >= 1, "need at least one RU");
+    // The study room at the wideband numerology's 6 GHz carrier; the
+    // same clutter and blocker give the delay spread that makes a
+    // 160/320 MHz channel deeply frequency-selective.
+    StudyParams sp;
+    sp.carrier_hz = p.ofdm.carrier_hz();
+
+    util::Rng rng(seed);
+    Environment env = make_room_environment(rng, sp);
+    add_blocker(env, sp);
+    sdr::Medium medium(std::move(env), p.ofdm);
+
+    const Aabb region = element_region(sp);
+    util::Rng placement_rng = rng.fork();
+    surface::Array array;
+    for (int i = 0; i < p.num_elements; ++i) {
+        const Vec3 pos{placement_rng.uniform(region.lo.x, region.hi.x),
+                       placement_rng.uniform(region.lo.y, region.hi.y),
+                       placement_rng.uniform(region.lo.z, region.hi.z)};
+        array.add_element(surface::Element::uniform_phases(
+            pos, Antenna::omni(sp.element_gain_dbi), sp.carrier_hz,
+            /*num_phases=*/p.num_states, /*include_off=*/false));
+    }
+
+    phy::RuMask mask = phy::RuMask::uniform(p.ofdm.num_used(), p.num_ru);
+    if (!p.punctured_rus.empty()) mask = mask.punctured(p.punctured_rus);
+
+    WidebandScenario scenario{System(std::move(medium)), 0, 0,
+                              std::move(mask)};
+    scenario.array_id = scenario.system.medium().add_array(std::move(array));
+
+    sdr::Link link;
+    util::Rng jitter_rng = rng.fork();
+    link.tx = make_endpoint(jitter(tx_position(sp), jitter_rng),
+                            sp.endpoint_gain_dbi);
+    link.rx = make_endpoint(jitter(rx_position(sp), jitter_rng),
+                            sp.endpoint_gain_dbi);
+    link.profile = sdr::RadioProfile::warp_v3();
+    scenario.link_id = scenario.system.add_link(link);
+    return scenario;
+}
+
 MultiLinkScenario make_multi_link_scenario(std::uint64_t seed,
                                            const MultiLinkParams& p) {
     PRESS_EXPECTS(p.num_aps >= 1, "need at least one AP");

@@ -110,6 +110,45 @@ LinkScenario make_massive_scenario(std::size_t n_elements,
                                    const MassiveParams& params =
                                        MassiveParams::defaults());
 
+/// Knobs of the wideband Wi-Fi 6E/7 scene (DESIGN.md §15): a 996-tone
+/// (160 MHz) or 1960-tone (320 MHz) numerology in the 6 GHz band over a
+/// small multi-phase panel, scored per-RU under a preamble-puncturing
+/// mask.
+struct WidebandParams {
+    /// Numerology: wifi6e_160() (996 used tones) or wifi7_320() (1960).
+    phy::OfdmParams ofdm = phy::OfdmParams::wifi6e_160();
+    int num_elements = 16;  ///< panel elements
+    int num_states = 4;     ///< phases per element
+    /// RU partition arity of the scenario's mask (uniform split of the
+    /// used tones, the modeled regularization of the 802.11ax RU ladder).
+    std::size_t num_ru = 8;
+    /// RUs punctured out of the mask (incumbent avoidance). Empty keeps
+    /// the full mask.
+    std::vector<std::size_t> punctured_rus = {5};
+
+    static WidebandParams defaults() { return {}; }
+};
+
+/// The wideband scene: link 0 across the study room, array 0 the panel,
+/// plus the scenario's RU mask (uniform partition with the configured
+/// RUs punctured). Pair with control::MaskedSnrObjective(mask, ...) and
+/// System::optimize_fast for the tile-bounded masked evaluation path.
+struct WidebandScenario {
+    System system;
+    std::size_t array_id = 0;
+    std::size_t link_id = 0;
+    phy::RuMask mask;
+};
+
+/// Builds the wideband scene: the study room and clutter at the
+/// numerology's 6 GHz carrier, the standard metal blocker for NLoS
+/// frequency selectivity, `num_elements` seeded-placement multi-phase
+/// elements in the study's element band, and a punctured uniform RU
+/// mask over the used tones.
+WidebandScenario make_wideband_scenario(std::uint64_t seed,
+                                        const WidebandParams& params =
+                                            WidebandParams::defaults());
+
 /// Knobs of the multi-user (N-link) scene: several APs, each serving a
 /// population of clients, all sharing one element field. The defaults
 /// give 4 x 8 = 32 links over a 16-element 4-phase panel — the

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "phy/chanest.hpp"
+#include "phy/ru.hpp"
 #include "util/contracts.hpp"
 #include "util/kernels.hpp"
 
@@ -220,6 +221,30 @@ control::OptimizationOutcome System::optimize_fast(
     const std::size_t responses_per_eval = fuse ? 1 : num_links;
     const std::size_t repeats = sounding_repeats_;
 
+    // Masked fused objectives (DESIGN.md §15) score only the RU mask's
+    // active tones: the basis accumulation is bounded to the subcarrier
+    // tiles the mask intersects (tile_spans), the sounding draws one
+    // noise sample per ACTIVE tone per repetition (ascending active-index
+    // order — identical rng consumption on the delta and recompute
+    // paths), and the reduction runs over the dense masked axis.
+    const bool masked = fuse && fused.mask != nullptr;
+    std::vector<util::kernels::IndexRange> mask_spans;
+    const std::size_t* mask_idx = nullptr;
+    std::size_t mask_m = 0;
+    if (masked) {
+        PRESS_EXPECTS(fused.mask->num_used() == medium_.ofdm().num_used(),
+                      "RU mask must span the numerology's used tones");
+        PRESS_EXPECTS(fused.mask->num_active() > 0,
+                      "RU mask must leave at least one active tone");
+        const std::vector<phy::RuRange> spans =
+            fused.mask->tile_spans(LinkCache::kTileSubcarriers);
+        mask_spans.reserve(spans.size());
+        for (const phy::RuRange& r : spans)
+            mask_spans.push_back({r.first, r.last - r.first});
+        mask_idx = fused.mask->active_indices().data();
+        mask_m = fused.mask->active_indices().size();
+    }
+
     // Simulates the sounding of link `link_id` whose cached response is
     // already in s.h: raw LTF draws (same r-outer / k-inner rng order as
     // Medium::sound_with_response) then the combining kernel, leaving the
@@ -268,6 +293,48 @@ control::OptimizationOutcome System::optimize_fast(
                          phy::kSnrFloorDb);
     };
 
+    // Masked fused finish: sound ONLY the active tones of the candidate
+    // response already in s.h (one gaussian per active tone per
+    // repetition, ascending active order), combine through the masked
+    // LTF kernel into dense length-m spans, and reduce densely. The
+    // blocked reduction runs over the dense masked axis, so the score is
+    // bit-identical to gathering the active tones first and running the
+    // unmasked fused finish on the dense vectors.
+    const auto finish_fused_masked = [&link_noise, repeats, fused, mask_idx,
+                                      mask_m](util::Rng& crng,
+                                              control::EvalScratch& s) {
+        const std::size_t n = s.h.size();
+        const double var = link_noise[fused.link];
+        s.resize_tracked(s.raw_re, repeats * n);
+        s.resize_tracked(s.raw_im, repeats * n);
+        s.resize_tracked(s.mean_re, mask_m);
+        s.resize_tracked(s.mean_im, mask_m);
+        s.resize_tracked(s.noise_var, mask_m);
+        for (std::size_t r = 0; r < repeats; ++r) {
+            double* rr = s.raw_re.data() + r * n;
+            double* ri = s.raw_im.data() + r * n;
+            for (std::size_t i = 0; i < mask_m; ++i) {
+                const std::size_t k = mask_idx[i];
+                const std::complex<double> w = crng.complex_gaussian(var);
+                rr[k] = s.h.re[k] + w.real();
+                ri[k] = s.h.im[k] + w.imag();
+            }
+        }
+        const util::kernels::Dispatch d = util::kernels::active();
+        util::kernels::masked_ltf_mean_var(
+            d, s.raw_re.data(), s.raw_im.data(), repeats, n, mask_idx,
+            mask_m, s.mean_re.data(), s.mean_im.data(), s.noise_var.data());
+        return fused.kind == control::FusedSpec::Kind::kMinSnr
+                   ? util::kernels::snr_db_min(
+                         d, s.mean_re.data(), s.mean_im.data(),
+                         s.noise_var.data(), mask_m, phy::kSnrCapDb,
+                         phy::kSnrFloorDb)
+                   : util::kernels::snr_db_mean(
+                         d, s.mean_re.data(), s.mean_im.data(),
+                         s.noise_var.data(), mask_m, phy::kSnrCapDb,
+                         phy::kSnrFloorDb);
+    };
+
     // General finish: rebuild the Observation in the scratch arena — one
     // response + sounding + SNR fill per link — and score it.
     const auto finish_general =
@@ -291,13 +358,20 @@ control::OptimizationOutcome System::optimize_fast(
         };
 
     control::BatchEvaluator pool(
-        [this, array_id, fm, &baseline, fuse, fused, &finish_fused,
+        [this, array_id, fm, &baseline, fuse, fused, masked, &mask_spans,
+         &finish_fused, &finish_fused_masked,
          &finish_general](const surface::Config& c, util::Rng& crng,
                           control::EvalScratch& s) {
             const surface::Config* actual = &c;
             if (fm) {
                 fm->distorted_into(c, baseline, crng, s.config);
                 actual = &s.config;
+            }
+            if (masked) {
+                link_cache_.response_ranges_into(
+                    medium_, fused.link, links_[fused.link], array_id,
+                    *actual, mask_spans.data(), mask_spans.size(), s.h);
+                return finish_fused_masked(crng, s);
             }
             if (fuse) {
                 link_cache_.response_into(medium_, fused.link,
@@ -317,28 +391,56 @@ control::OptimizationOutcome System::optimize_fast(
     const bool delta = control::coordinate_delta_enabled();
     std::vector<util::kernels::SplitVec> coord_base(num_links);
     pool.set_coordinate_score(
-        [this, array_id, fuse, fused, num_links, delta, &coord_base,
-         &objective, &sound_scratch, &finish_fused](
+        [this, array_id, fuse, fused, masked, &mask_spans, num_links, delta,
+         &coord_base, &objective, &sound_scratch, &finish_fused,
+         &finish_fused_masked](
             const control::CoordinateBatch& cb, std::size_t idx,
             util::Rng& crng, control::EvalScratch& s) {
             const int state = (*cb.states)[idx];
             const util::kernels::Dispatch d = util::kernels::active();
             const auto load_candidate = [&](std::size_t link_id) {
                 if (delta) {
+                    // Fused delta: candidate = base + swept row in one
+                    // pass — bit-identical to copy-then-add (same single
+                    // addition per tone), 60% of the memory traffic.
                     const util::kernels::SplitVec& base =
                         coord_base[link_id];
                     s.resize_tracked(s.h, base.size());
-                    util::kernels::copy(d, base.re.data(), base.im.data(),
-                                        s.h.re.data(), s.h.im.data(),
-                                        base.size());
+                    link_cache_.element_row_delta(link_id, array_id,
+                                                  cb.element, state, base,
+                                                  s.h);
                 } else {
                     link_cache_.response_base_into(
                         medium_, link_id, links_[link_id], array_id,
                         *cb.base, cb.element, s.h);
+                    link_cache_.accumulate_element_row(
+                        link_id, array_id, cb.element, state, s.h);
                 }
-                link_cache_.accumulate_element_row(link_id, array_id,
-                                                   cb.element, state, s.h);
             };
+            if (masked) {
+                // Tile-bounded delta sweep: the fused base-plus-row pass
+                // and the base recompute both walk only the mask's tile
+                // spans. The swept row still combines with the base as
+                // the last addition on each tone, so the delta and
+                // recompute paths agree bitwise on every span double.
+                if (delta) {
+                    const util::kernels::SplitVec& base =
+                        coord_base[fused.link];
+                    s.resize_tracked(s.h, base.size());
+                    link_cache_.element_row_delta_ranges(
+                        fused.link, array_id, cb.element, state,
+                        mask_spans.data(), mask_spans.size(), base, s.h);
+                } else {
+                    link_cache_.response_base_ranges_into(
+                        medium_, fused.link, links_[fused.link], array_id,
+                        *cb.base, cb.element, mask_spans.data(),
+                        mask_spans.size(), s.h);
+                    link_cache_.accumulate_element_row_ranges(
+                        fused.link, array_id, cb.element, state,
+                        mask_spans.data(), mask_spans.size(), s.h);
+                }
+                return finish_fused_masked(crng, s);
+            }
             if (fuse) {
                 load_candidate(fused.link);
                 return finish_fused(crng, s);
@@ -385,11 +487,18 @@ control::OptimizationOutcome System::optimize_fast(
         fm ? control::CoordinateEvalFn{}
            : control::CoordinateEvalFn(
                  [this, &pool, &clock, trial_cost, responses_per_eval,
-                  delta, fuse, fused, num_links, array_id, &coord_base](
+                  delta, fuse, fused, masked, &mask_spans, num_links,
+                  array_id, &coord_base](
                      const surface::Config& base, std::size_t element,
                      const std::vector<int>& states) {
                      if (delta) {
-                         if (fuse)
+                         if (masked)
+                             link_cache_.response_base_ranges_into(
+                                 medium_, fused.link, links_[fused.link],
+                                 array_id, base, element,
+                                 mask_spans.data(), mask_spans.size(),
+                                 coord_base[fused.link]);
+                         else if (fuse)
                              link_cache_.response_base_into(
                                  medium_, fused.link, links_[fused.link],
                                  array_id, base, element,

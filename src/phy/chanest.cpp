@@ -27,6 +27,29 @@ std::vector<double> ChannelEstimate::snr_db(double cap_db,
     return out;
 }
 
+std::vector<double> ChannelEstimate::snr_db_masked(const RuMask& mask,
+                                                   double cap_db,
+                                                   double floor_db) const {
+    PRESS_EXPECTS(h.size() == noise_var.size(),
+                  "estimate and noise vectors must align");
+    PRESS_EXPECTS(mask.num_used() == h.size(),
+                  "mask must span the estimate's subcarriers");
+    PRESS_EXPECTS(floor_db < cap_db, "floor must sit below the cap");
+    const std::vector<std::size_t>& idx = mask.active_indices();
+    std::vector<double> out(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        const std::size_t k = idx[i];
+        const double sig = std::norm(h[k]);
+        if (noise_var[k] <= 0.0 || sig <= 0.0) {
+            out[i] = sig <= 0.0 ? floor_db : cap_db;
+            continue;
+        }
+        out[i] = std::clamp(util::linear_to_db(sig / noise_var[k]),
+                            floor_db, cap_db);
+    }
+    return out;
+}
+
 ChannelEstimate combine_ltf_estimates(const std::vector<util::CVec>& raw) {
     PRESS_EXPECTS(raw.size() >= 2,
                   "noise estimation needs at least two repetitions");

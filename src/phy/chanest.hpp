@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "phy/ru.hpp"
 #include "util/cvec.hpp"
 
 namespace press::phy {
@@ -37,6 +38,17 @@ struct ChannelEstimate {
     /// no longer locks (the paper's SNR plots bottom out at 0 dB).
     std::vector<double> snr_db(double cap_db = kSnrCapDb,
                                double floor_db = kSnrFloorDb) const;
+
+    /// SNR over only `mask`'s active tones, densely packed in
+    /// active-index order (one entry per active tone). Per-tone
+    /// arithmetic is identical to snr_db() — entry i equals
+    /// snr_db()[mask.active_indices()[i]] to the bit — which is the
+    /// reference the masked fused kernels (util::kernels
+    /// masked_snr_db_*) are tested against. The mask must span this
+    /// estimate's subcarrier count.
+    std::vector<double> snr_db_masked(const RuMask& mask,
+                                      double cap_db = kSnrCapDb,
+                                      double floor_db = kSnrFloorDb) const;
 };
 
 /// Combines raw per-repetition estimates (all the same length) into a

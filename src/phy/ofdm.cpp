@@ -12,6 +12,18 @@ std::vector<int> symmetric_offsets(int half) {
         if (o != 0) offsets.push_back(o);
     return offsets;
 }
+
+// Symmetric offsets with a widened DC null: |o| in [dc_null + 1, half] on
+// both sides. The wideband Wi-Fi 6E/7 formats leave several bins around
+// the carrier unmodulated (DC plus its neighbors), unlike the legacy
+// formats' single-bin null.
+std::vector<int> symmetric_offsets_dc_null(int half, int dc_null) {
+    std::vector<int> offsets;
+    offsets.reserve(static_cast<std::size_t>(2 * (half - dc_null)));
+    for (int o = -half; o <= half; ++o)
+        if (o < -dc_null || o > dc_null) offsets.push_back(o);
+    return offsets;
+}
 }  // namespace
 
 OfdmParams::OfdmParams(std::size_t fft_size, std::size_t cp_length,
@@ -43,6 +55,19 @@ OfdmParams OfdmParams::wifi20() {
 
 OfdmParams OfdmParams::n210_wideband() {
     return OfdmParams(128, 32, 20e6, 2.462e9, symmetric_offsets(51));
+}
+
+OfdmParams OfdmParams::wifi6e_160() {
+    // 6 GHz band plan: channel centers sit at 5950 + 5*ch MHz; the first
+    // 160 MHz channel is centered on ch 15 -> 6.025 GHz.
+    return OfdmParams(2048, 512, 160e6, 6.025e9,
+                      symmetric_offsets_dc_null(500, 2));
+}
+
+OfdmParams OfdmParams::wifi7_320() {
+    // The first 320 MHz channel is centered on ch 31 -> 6.105 GHz.
+    return OfdmParams(4096, 1024, 320e6, 6.105e9,
+                      symmetric_offsets_dc_null(984, 4));
 }
 
 int OfdmParams::used_offset(std::size_t i) const {

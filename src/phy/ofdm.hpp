@@ -32,6 +32,18 @@ public:
     /// 20 MHz at 2.462 GHz, 102 used subcarriers (offsets -51..-1, +1..+51).
     static OfdmParams n210_wideband();
 
+    /// The Wi-Fi 6E 160 MHz regime (modeled): 2048-point FFT, 512-sample
+    /// CP, 160 MHz at 6.025 GHz (6 GHz U-NII-5, 160 MHz channel centered
+    /// on channel 15), 996 used subcarriers — offsets ±3..±500 with a
+    /// 5-bin DC null, the 996-tone-RU shape of 802.11ax channelization.
+    static OfdmParams wifi6e_160();
+
+    /// The Wi-Fi 7 320 MHz regime (modeled): 4096-point FFT, 1024-sample
+    /// CP, 320 MHz at 6.105 GHz (6 GHz, 320 MHz channel centered on
+    /// channel 31), 1960 used subcarriers — offsets ±5..±984 with a
+    /// 9-bin DC null.
+    static OfdmParams wifi7_320();
+
     std::size_t fft_size() const { return fft_size_; }
     std::size_t cp_length() const { return cp_length_; }
     double sample_rate_hz() const { return sample_rate_hz_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/contracts.hpp"
+#include "util/kernels.hpp"
 #include "util/units.hpp"
 
 namespace press::phy {
@@ -22,6 +23,14 @@ const std::vector<Mcs>& mcs_table() {
 }
 
 double effective_snr_db(const std::vector<double>& per_subcarrier_snr_db) {
+    PRESS_EXPECTS(!per_subcarrier_snr_db.empty(), "empty SNR profile");
+    return util::kernels::effective_snr_db(util::kernels::active(),
+                                           per_subcarrier_snr_db.data(),
+                                           per_subcarrier_snr_db.size());
+}
+
+double effective_snr_db_reference(
+    const std::vector<double>& per_subcarrier_snr_db) {
     PRESS_EXPECTS(!per_subcarrier_snr_db.empty(), "empty SNR profile");
     double acc = 0.0;
     for (double snr_db : per_subcarrier_snr_db)

@@ -1,0 +1,101 @@
+#include "phy/ru.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace press::phy {
+
+RuMask RuMask::full(std::size_t num_used) {
+    RuMask mask;
+    mask.num_used_ = num_used;
+    if (num_used > 0) {
+        mask.rus_.push_back(RuRange{0, num_used});
+        mask.active_.push_back(true);
+    }
+    mask.rebuild_views();
+    return mask;
+}
+
+RuMask RuMask::uniform(std::size_t num_used, std::size_t num_ru) {
+    PRESS_EXPECTS(num_ru >= 1, "need at least one resource unit");
+    PRESS_EXPECTS(num_ru <= num_used || num_used == 0,
+                  "more resource units than tones");
+    RuMask mask;
+    mask.num_used_ = num_used;
+    const std::size_t base = num_used / num_ru;
+    const std::size_t remainder = num_used % num_ru;
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < num_ru && num_used > 0; ++i) {
+        const std::size_t width = base + (i < remainder ? 1 : 0);
+        mask.rus_.push_back(RuRange{cursor, cursor + width});
+        mask.active_.push_back(true);
+        cursor += width;
+    }
+    PRESS_ENSURES(cursor == num_used, "RU partition must cover every tone");
+    mask.rebuild_views();
+    return mask;
+}
+
+RuMask RuMask::punctured(const std::vector<std::size_t>& rus) const {
+    RuMask mask = *this;
+    for (const std::size_t i : rus) {
+        PRESS_EXPECTS(i < mask.rus_.size(), "punctured RU out of range");
+        mask.active_[i] = false;
+    }
+    mask.rebuild_views();
+    return mask;
+}
+
+RuMask RuMask::complement() const {
+    RuMask mask = *this;
+    for (std::size_t i = 0; i < mask.active_.size(); ++i)
+        mask.active_[i] = !mask.active_[i];
+    mask.rebuild_views();
+    return mask;
+}
+
+const RuRange& RuMask::ru(std::size_t i) const {
+    PRESS_EXPECTS(i < rus_.size(), "RU index out of range");
+    return rus_[i];
+}
+
+bool RuMask::ru_active(std::size_t i) const {
+    PRESS_EXPECTS(i < rus_.size(), "RU index out of range");
+    return active_[i];
+}
+
+std::vector<RuRange> RuMask::tile_spans(std::size_t tile_width) const {
+    PRESS_EXPECTS(tile_width >= 1, "tile width must be positive");
+    std::vector<RuRange> spans;
+    for (const RuRange& r : active_ranges_) {
+        const std::size_t first = (r.first / tile_width) * tile_width;
+        const std::size_t last =
+            std::min(num_used_, ((r.last + tile_width - 1) / tile_width) *
+                                    tile_width);
+        if (!spans.empty() && first <= spans.back().last)
+            spans.back().last = std::max(spans.back().last, last);
+        else
+            spans.push_back(RuRange{first, last});
+    }
+    return spans;
+}
+
+void RuMask::rebuild_views() {
+    active_ranges_.clear();
+    active_indices_.clear();
+    for (std::size_t i = 0; i < rus_.size(); ++i) {
+        if (!active_[i] || rus_[i].size() == 0) continue;
+        // RUs are a contiguous ascending partition, so an active RU either
+        // extends the previous merged range or starts a new one.
+        if (!active_ranges_.empty() &&
+            active_ranges_.back().last == rus_[i].first)
+            active_ranges_.back().last = rus_[i].last;
+        else
+            active_ranges_.push_back(rus_[i]);
+        for (std::size_t k = rus_[i].first; k < rus_[i].last; ++k)
+            active_indices_.push_back(k);
+    }
+}
+
+}  // namespace press::phy

@@ -1,0 +1,111 @@
+// Resource-unit masks over the used-subcarrier axis.
+//
+// 802.11ax/be OFDMA splits a wide channel's used tones into resource
+// units (RUs), and preamble puncturing turns whole RUs off — a 160 MHz
+// transmission may skip the 20 MHz slice an incumbent occupies. An
+// RuMask captures both: a partition of the used-subcarrier index space
+// [0, num_used) into contiguous RU ranges, plus a per-RU active flag.
+//
+// Everything downstream consumes the mask through two precomputed views:
+//   - active_ranges(): the active tones as merged ascending half-open
+//     ranges (what the masked accumulate/gather kernels walk), and
+//   - active_indices(): the active tones as a flat ascending index list
+//     (the dense compaction order of masked scoring — see
+//     util::kernels masked_* and DESIGN.md §15).
+// Masks are immutable after construction; punctured()/complement()
+// return new masks, so a mask shared across worker threads is safe.
+//
+// Indices are positions on the used-subcarrier axis (0..num_used-1 in
+// OfdmParams::used_offsets() order), NOT FFT bins — the mask composes
+// with any numerology width and never cares about the DC null.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace press::phy {
+
+/// Half-open range [first, last) of used-subcarrier indices.
+struct RuRange {
+    std::size_t first = 0;
+    std::size_t last = 0;
+
+    std::size_t size() const { return last - first; }
+    friend bool operator==(const RuRange& a, const RuRange& b) {
+        return a.first == b.first && a.last == b.last;
+    }
+};
+
+/// A partition of [0, num_used) into contiguous resource units with
+/// per-RU active flags. See file comment for the index convention.
+class RuMask {
+public:
+    /// Empty mask (no tones, no RUs).
+    RuMask() = default;
+
+    /// One RU spanning every used tone, active — the "no masking" shape.
+    static RuMask full(std::size_t num_used);
+
+    /// `num_ru` contiguous equal-split RUs over [0, num_used), all
+    /// active. When num_ru does not divide num_used the remainder tones
+    /// go one-per-RU to the lowest RUs (sizes differ by at most one).
+    /// A modeled regularization of the 26/52/…/996-tone 802.11ax RU
+    /// ladder: partitioning and puncturing algebra is what the control
+    /// plane consumes, not the exact standard tone plan.
+    static RuMask uniform(std::size_t num_used, std::size_t num_ru);
+
+    /// A copy of this mask with the listed RUs punctured (marked
+    /// inactive). RU indices must be < num_ru(); puncturing an already
+    /// inactive RU is a no-op.
+    RuMask punctured(const std::vector<std::size_t>& rus) const;
+
+    /// A copy with every RU's active flag flipped. complement() of a
+    /// punctured mask selects exactly the punctured tones — the "steer
+    /// the null INTO the punctured RU" objective reads through this.
+    RuMask complement() const;
+
+    std::size_t num_used() const { return num_used_; }
+    std::size_t num_ru() const { return rus_.size(); }
+    const RuRange& ru(std::size_t i) const;
+    bool ru_active(std::size_t i) const;
+
+    /// Number of active tones (sum of active RU sizes).
+    std::size_t num_active() const { return active_indices_.size(); }
+
+    /// True when every tone is active.
+    bool is_full() const { return num_active() == num_used_; }
+
+    /// Active tones as maximal merged half-open ranges, ascending.
+    const std::vector<RuRange>& active_ranges() const {
+        return active_ranges_;
+    }
+
+    /// Active tone indices, ascending — the dense order masked kernels
+    /// compact into.
+    const std::vector<std::size_t>& active_indices() const {
+        return active_indices_;
+    }
+
+    /// The active ranges widened to `tile_width` boundaries and merged:
+    /// the minimal set of tile-aligned spans a tiled basis must stream to
+    /// cover every active tone (the last span is clipped to num_used).
+    /// Used to bound cache accumulation to the tiles masked objectives
+    /// actually read (core::LinkCache::kTileSubcarriers).
+    std::vector<RuRange> tile_spans(std::size_t tile_width) const;
+
+    friend bool operator==(const RuMask& a, const RuMask& b) {
+        return a.num_used_ == b.num_used_ && a.rus_ == b.rus_ &&
+               a.active_ == b.active_;
+    }
+
+private:
+    void rebuild_views();
+
+    std::size_t num_used_ = 0;
+    std::vector<RuRange> rus_;   ///< contiguous partition of [0, num_used)
+    std::vector<bool> active_;   ///< per-RU flag, parallel to rus_
+    std::vector<RuRange> active_ranges_;
+    std::vector<std::size_t> active_indices_;
+};
+
+}  // namespace press::phy

@@ -1,99 +1,44 @@
 #include "util/fft.hpp"
 
-#include <cmath>
-
-#include "util/contracts.hpp"
-#include "util/units.hpp"
+#include "util/fft_plan.hpp"
 
 namespace press::util {
 
+// Both legacy entry points route through the process-wide plan cache
+// (util/fft_plan.hpp): the plan replays the exact radix-2 / Bluestein
+// arithmetic this file used to inline — same bit-reversal swap set, same
+// rolling-recurrence twiddles, same chirp construction — so outputs are
+// bit-identical to the historical per-call kernels while the per-call
+// setup (chirp tables, next_power_of_two scratch, the forward FFT of the
+// input-independent chirp filter) is computed once per size.
+// tests/test_wideband.cpp pins the plan-vs-legacy-arithmetic identity.
+
 namespace {
 
-// In-place iterative radix-2 Cooley-Tukey. `sign` is -1 for the forward
-// transform and +1 for the inverse (normalization handled by the caller).
-void radix2(CVec& a, int sign) {
-    const std::size_t n = a.size();
-    // Bit-reversal permutation.
-    for (std::size_t i = 1, j = 0; i < n; ++i) {
-        std::size_t bit = n >> 1;
-        for (; j & bit; bit >>= 1) j ^= bit;
-        j ^= bit;
-        if (i < j) std::swap(a[i], a[j]);
-    }
-    for (std::size_t len = 2; len <= n; len <<= 1) {
-        const double ang = sign * kTwoPi / static_cast<double>(len);
-        const cd wlen{std::cos(ang), std::sin(ang)};
-        for (std::size_t i = 0; i < n; i += len) {
-            cd w{1.0, 0.0};
-            for (std::size_t k = 0; k < len / 2; ++k) {
-                const cd u = a[i + k];
-                const cd v = a[i + k + len / 2] * w;
-                a[i + k] = u + v;
-                a[i + k + len / 2] = u - v;
-                w *= wlen;
-            }
-        }
-    }
-}
-
-std::size_t next_power_of_two(std::size_t n) {
-    std::size_t p = 1;
-    while (p < n) p <<= 1;
-    return p;
-}
-
-// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
-// convolution, evaluated with power-of-two FFTs.
-CVec bluestein(const CVec& x, int sign) {
-    const std::size_t n = x.size();
-    const std::size_t m = next_power_of_two(2 * n + 1);
-    CVec a(m, cd{0, 0});
-    CVec b(m, cd{0, 0});
-    // Chirp w_k = e^{sign * j * pi * k^2 / n}.
-    std::vector<cd> chirp(n);
-    for (std::size_t k = 0; k < n; ++k) {
-        // k^2 mod 2n keeps the argument small for numerical stability.
-        const std::size_t k2 = (k * k) % (2 * n);
-        const double ang = sign * kPi * static_cast<double>(k2) /
-                           static_cast<double>(n);
-        chirp[k] = cd{std::cos(ang), std::sin(ang)};
-    }
-    for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
-    b[0] = std::conj(chirp[0]);
-    for (std::size_t k = 1; k < n; ++k)
-        b[k] = b[m - k] = std::conj(chirp[k]);
-    radix2(a, -1);
-    radix2(b, -1);
-    for (std::size_t i = 0; i < m; ++i) a[i] *= b[i];
-    radix2(a, +1);
-    CVec out(n);
-    for (std::size_t k = 0; k < n; ++k)
-        out[k] = a[k] * chirp[k] / static_cast<double>(m);
-    return out;
-}
-
-CVec transform(const CVec& x, int sign) {
-    if (x.empty()) return {};
-    if (x.size() == 1) return x;
-    if (is_power_of_two(x.size())) {
-        CVec a = x;
-        radix2(a, sign);
-        return a;
-    }
-    return bluestein(x, sign);
+// Per-thread convolution scratch for the legacy value-returning API; the
+// zero-allocation callers hold their own FftScratch instead.
+FftScratch& thread_scratch() {
+    thread_local FftScratch scratch;
+    return scratch;
 }
 
 }  // namespace
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-CVec fft(const CVec& x) { return transform(x, -1); }
+CVec fft(const CVec& x) {
+    if (x.empty()) return {};
+    if (x.size() == 1) return x;
+    CVec out;
+    plan_for(x.size()).forward(x, out, thread_scratch());
+    return out;
+}
 
 CVec ifft(const CVec& x) {
-    CVec a = transform(x, +1);
-    const double inv = a.empty() ? 1.0 : 1.0 / static_cast<double>(a.size());
-    for (cd& v : a) v *= inv;
-    return a;
+    if (x.empty()) return {};
+    CVec out;
+    plan_for(x.size()).inverse(x, out, thread_scratch());
+    return out;
 }
 
 CVec rotate_left(const CVec& v, std::size_t k) {

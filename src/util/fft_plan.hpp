@@ -1,0 +1,93 @@
+// Precomputed FFT plans with caller-owned scratch.
+//
+// util::fft()/ifft() recompute everything a transform needs on every call:
+// radix-2 derives each stage's twiddles with a rolling complex multiply,
+// and Bluestein additionally rebuilds its chirp tables, the zero-padded
+// convolution operands and the forward FFT of the (input-independent!)
+// chirp filter. At the wideband numerologies (2048/4096-point FFTs, plus
+// Bluestein at the N210's 128-used-of-102 odd sizes) that per-call setup
+// dominates. An FftPlan hoists every input-independent quantity:
+//
+//   - the bit-reversal permutation table,
+//   - per-stage twiddle tables for both transform directions, filled by
+//     the SAME rolling recurrence the legacy kernel iterates (so the
+//     butterflies consume bitwise-identical twiddles — plan outputs are
+//     bit-identical to fft()/ifft(), which tests/test_wideband.cpp
+//     asserts at power-of-two and Bluestein sizes),
+//   - for non-power-of-two sizes: both-direction chirp tables and the
+//     precomputed m-point FFT of the chirp filter.
+//
+// Execution touches only the plan tables and an FftScratch the caller
+// owns, so steady-state transforms allocate nothing (the perf_snapshot
+// operator-new gate covers the wideband scene's plan executions).
+//
+// plan_for(n) is the process-wide cache (mutex-protected, plans are
+// immutable once built); the legacy fft()/ifft() entry points route
+// through it, so existing callers get the win without an API change.
+// Cache traffic is observable as phy.fft.plan_builds / phy.fft.plan_hits.
+#pragma once
+
+#include <cstddef>
+
+#include "util/cvec.hpp"
+
+namespace press::util {
+
+/// Caller-owned work space for FftPlan executions. Reused across calls;
+/// buffers grow to the plan's convolution length on first use and then
+/// stay put (zero steady-state allocations).
+struct FftScratch {
+    CVec work;
+};
+
+/// An immutable, size-specific transform plan. Build once (all setup cost
+/// lives in the constructor), execute many times against caller scratch.
+class FftPlan {
+public:
+    /// Plans an n-point transform. n == 0 and n == 1 are valid (identity
+    /// plans, matching fft()'s empty/singleton behavior).
+    explicit FftPlan(std::size_t n);
+
+    std::size_t size() const { return n_; }
+
+    /// True when this size runs Bluestein's chirp-z algorithm (any
+    /// non-power-of-two n >= 2); power-of-two sizes run radix-2 directly.
+    bool uses_bluestein() const { return !chirp_fwd_.empty(); }
+
+    /// Forward DFT (unnormalized), bit-identical to util::fft(x).
+    /// `out` is resized to n; `out` must not alias `x`.
+    void forward(const CVec& x, CVec& out, FftScratch& scratch) const;
+
+    /// Inverse DFT (normalized by 1/n), bit-identical to util::ifft(x).
+    void inverse(const CVec& x, CVec& out, FftScratch& scratch) const;
+
+private:
+    // Runs the planned radix-2 kernel in place over `a` (length m_) using
+    // the direction's twiddle table.
+    void radix2_planned(CVec& a, const CVec& twiddles) const;
+    void bluestein_planned(const CVec& x, CVec& out, FftScratch& scratch,
+                           const CVec& chirp, const CVec& filter_fft) const;
+
+    std::size_t n_ = 0;  ///< transform length
+    std::size_t m_ = 0;  ///< radix-2 kernel length (== n_ unless Bluestein)
+    /// Bit-reversal targets for the m-point kernel: swap (i, rev_[i]) when
+    /// i < rev_[i] — the exact swap set the legacy incremental walk applies.
+    std::vector<std::size_t> rev_;
+    /// Flat per-stage twiddles for the m-point kernel, both directions.
+    /// Stage `len`'s block starts at len/2 - 1 and holds len/2 entries
+    /// t[k], filled by the legacy rolling recurrence t[k] = t[k-1] * wlen.
+    CVec twiddle_fwd_;  ///< sign = -1
+    CVec twiddle_inv_;  ///< sign = +1
+    /// Bluestein tables (empty for power-of-two sizes). chirp_*[k] =
+    /// e^{sign j pi (k^2 mod 2n) / n}; filter_fft_* is the m-point forward
+    /// FFT of the symmetric conjugate-chirp filter for that direction.
+    CVec chirp_fwd_, chirp_inv_;
+    CVec filter_fft_fwd_, filter_fft_inv_;
+};
+
+/// Process-wide plan cache: returns the (immutable, never-evicted) plan
+/// for length n, building it on first request. Thread-safe. Counts
+/// phy.fft.plan_builds / phy.fft.plan_hits when telemetry is enabled.
+const FftPlan& plan_for(std::size_t n);
+
+}  // namespace press::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
 
 #include "obs/manifest.hpp"
@@ -54,6 +55,15 @@ void accumulate(const double* rr, const double* ri, double* dr, double* di,
     for (std::size_t k = 0; k < n; ++k) {
         dr[k] += rr[k];
         di[k] += ri[k];
+    }
+}
+
+void copy_accumulate(const double* sr, const double* si, const double* rr,
+                     const double* ri, double* dr, double* di,
+                     std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+        dr[k] = sr[k] + rr[k];
+        di[k] = si[k] + ri[k];
     }
 }
 
@@ -117,6 +127,18 @@ void copy(const double* __restrict__ sr, const double* __restrict__ si,
     for (std::size_t k = 0; k < n; ++k) {
         dr[k] = sr[k];
         di[k] = si[k];
+    }
+}
+
+void copy_accumulate(const double* __restrict__ sr,
+                     const double* __restrict__ si,
+                     const double* __restrict__ rr,
+                     const double* __restrict__ ri, double* __restrict__ dr,
+                     double* __restrict__ di, std::size_t n) {
+#pragma GCC ivdep
+    for (std::size_t k = 0; k < n; ++k) {
+        dr[k] = sr[k] + rr[k];
+        di[k] = si[k] + ri[k];
     }
 }
 
@@ -239,6 +261,17 @@ void accumulate(Dispatch d, const double* row_re, const double* row_im,
         native::accumulate(row_re, row_im, dst_re, dst_im, n);
 }
 
+void copy_accumulate(Dispatch d, const double* src_re, const double* src_im,
+                     const double* row_re, const double* row_im,
+                     double* dst_re, double* dst_im, std::size_t n) {
+    if (d == Dispatch::kScalar)
+        scalar::copy_accumulate(src_re, src_im, row_re, row_im, dst_re,
+                                dst_im, n);
+    else
+        native::copy_accumulate(src_re, src_im, row_re, row_im, dst_re,
+                                dst_im, n);
+}
+
 void gather_accumulate(Dispatch d, const double* table_re,
                        const double* table_im, const std::size_t* rows,
                        std::size_t num_rows, double* dst_re, double* dst_im,
@@ -350,6 +383,118 @@ double snr_db_mean(Dispatch d, const double* mean_re,
                            ? scalar::reduce_sum(n, value)
                            : native::reduce_sum(n, value);
     return sum / static_cast<double>(n);
+}
+
+void masked_gather(Dispatch d, const double* src_re, const double* src_im,
+                   const std::size_t* idx, std::size_t m, double* dst_re,
+                   double* dst_im) {
+    // Element-wise compaction: the flavor distinction is vacuous.
+    (void)d;
+    for (std::size_t i = 0; i < m; ++i) {
+        dst_re[i] = src_re[idx[i]];
+        dst_im[i] = src_im[idx[i]];
+    }
+}
+
+void masked_accumulate(Dispatch d, const double* row_re,
+                       const double* row_im, double* dst_re, double* dst_im,
+                       const IndexRange* ranges, std::size_t num_ranges) {
+    for (std::size_t r = 0; r < num_ranges; ++r) {
+        const std::size_t o = ranges[r].offset;
+        accumulate(d, row_re + o, row_im + o, dst_re + o, dst_im + o,
+                   ranges[r].len);
+    }
+}
+
+void masked_copy_accumulate(Dispatch d, const double* src_re,
+                            const double* src_im, const double* row_re,
+                            const double* row_im, double* dst_re,
+                            double* dst_im, const IndexRange* ranges,
+                            std::size_t num_ranges) {
+    for (std::size_t r = 0; r < num_ranges; ++r) {
+        const std::size_t o = ranges[r].offset;
+        copy_accumulate(d, src_re + o, src_im + o, row_re + o, row_im + o,
+                        dst_re + o, dst_im + o, ranges[r].len);
+    }
+}
+
+void masked_ltf_mean_var(Dispatch d, const double* raw_re,
+                         const double* raw_im, std::size_t repeats,
+                         std::size_t row_stride, const std::size_t* idx,
+                         std::size_t m, double* mean_re, double* mean_im,
+                         double* noise_var) {
+    PRESS_EXPECTS(repeats >= 2,
+                  "noise estimation needs at least two repetitions");
+    // Per-tone arithmetic is element-wise across the dense axis (no
+    // cross-tone reduction), so one indirected loop serves both flavors
+    // bit-identically — same structure as ltf_mean_var with k := idx[i].
+    (void)d;
+    const double count = static_cast<double>(repeats);
+    for (std::size_t i = 0; i < m; ++i) {
+        mean_re[i] = 0.0;
+        mean_im[i] = 0.0;
+        noise_var[i] = 0.0;
+    }
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double* rr = raw_re + r * row_stride;
+        const double* ri = raw_im + r * row_stride;
+        for (std::size_t i = 0; i < m; ++i) {
+            mean_re[i] += rr[idx[i]] / count;
+            mean_im[i] += ri[idx[i]] / count;
+        }
+    }
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double* rr = raw_re + r * row_stride;
+        const double* ri = raw_im + r * row_stride;
+        for (std::size_t i = 0; i < m; ++i) {
+            const double dre = rr[idx[i]] - mean_re[i];
+            const double dim = ri[idx[i]] - mean_im[i];
+            noise_var[i] += (dre * dre + dim * dim) / (count - 1.0);
+        }
+    }
+}
+
+double masked_snr_db_min(Dispatch d, const double* mean_re,
+                         const double* mean_im, const double* noise_var,
+                         const std::size_t* idx, std::size_t m,
+                         double cap_db, double floor_db) {
+    PRESS_EXPECTS(m > 0, "min of an empty mask");
+    PRESS_EXPECTS(floor_db < cap_db, "floor must sit below the cap");
+    const auto value = [=](std::size_t i) {
+        const std::size_t k = idx[i];
+        return snr_db_value(mean_re[k], mean_im[k], noise_var[k], cap_db,
+                            floor_db);
+    };
+    return d == Dispatch::kScalar ? scalar::reduce_min(m, value)
+                                  : native::reduce_min(m, value);
+}
+
+double masked_snr_db_mean(Dispatch d, const double* mean_re,
+                          const double* mean_im, const double* noise_var,
+                          const std::size_t* idx, std::size_t m,
+                          double cap_db, double floor_db) {
+    PRESS_EXPECTS(m > 0, "mean of an empty mask");
+    PRESS_EXPECTS(floor_db < cap_db, "floor must sit below the cap");
+    const auto value = [=](std::size_t i) {
+        const std::size_t k = idx[i];
+        return snr_db_value(mean_re[k], mean_im[k], noise_var[k], cap_db,
+                            floor_db);
+    };
+    const double sum = d == Dispatch::kScalar
+                           ? scalar::reduce_sum(m, value)
+                           : native::reduce_sum(m, value);
+    return sum / static_cast<double>(m);
+}
+
+double effective_snr_db(Dispatch d, const double* snr_db, std::size_t n) {
+    PRESS_EXPECTS(n > 0, "empty SNR profile");
+    const auto value = [snr_db](std::size_t i) {
+        return std::log2(1.0 + db_to_linear(snr_db[i]));
+    };
+    const double acc = d == Dispatch::kScalar ? scalar::reduce_sum(n, value)
+                                              : native::reduce_sum(n, value);
+    const double mean_bits = acc / static_cast<double>(n);
+    return linear_to_db(std::pow(2.0, mean_bits) - 1.0);
 }
 
 }  // namespace press::util::kernels

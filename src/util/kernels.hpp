@@ -86,6 +86,15 @@ void copy(Dispatch d, const double* src_re, const double* src_im,
 void accumulate(Dispatch d, const double* row_re, const double* row_im,
                 double* dst_re, double* dst_im, std::size_t n);
 
+/// dst = src + row (both components), n elements — the coordinate
+/// delta's fused form. One pass over dst instead of copy() followed by
+/// accumulate(); the per-element sum is the same single addition, so the
+/// result is bit-identical to the two-step form (and across flavors).
+/// dst must not alias src or row.
+void copy_accumulate(Dispatch d, const double* src_re, const double* src_im,
+                     const double* row_re, const double* row_im,
+                     double* dst_re, double* dst_im, std::size_t n);
+
 /// dst += sum of `num_rows` table rows: row r spans
 /// table_re/_im[rows[r]*n .. rows[r]*n + n). Rows are added in index
 /// order, so the result is bit-identical to calling accumulate() per row.
@@ -137,5 +146,85 @@ double snr_db_min(Dispatch d, const double* mean_re, const double* mean_im,
 double snr_db_mean(Dispatch d, const double* mean_re,
                    const double* mean_im, const double* noise_var,
                    std::size_t n, double cap_db, double floor_db);
+
+// ---------------------------------------------------------------------
+// Masked kernels: the wideband RU-mask pipeline (DESIGN.md §15).
+//
+// A preamble-puncturing mask selects a subset of the subcarrier axis.
+// The masked kernels come in two shapes mirroring how the hot path uses
+// them: RANGE kernels walk half-open [offset, offset+len) spans of the
+// full-width axis (basis accumulation bounded to the tiles a mask
+// touches), and INDEX kernels read through an ascending index list and
+// produce densely packed outputs (masked scoring over num_active tones).
+// The reduction kernels run their kLanes-blocked reduction over the
+// DENSE masked axis i — not the raw subcarrier k — so a masked reduction
+// is bit-identical to gathering the masked tones densely first and
+// reducing with the unmasked kernel; the scalar and native flavors stay
+// bit-identical exactly as above. Index lists must be strictly ascending
+// (phy::RuMask::active_indices() order).
+// ---------------------------------------------------------------------
+
+/// Half-open span [offset, offset + len) of the full subcarrier axis.
+struct IndexRange {
+    std::size_t offset = 0;
+    std::size_t len = 0;
+};
+
+/// Dense compaction: dst[i] = src[idx[i]] for i in [0, m), both
+/// components. Element-wise, so bit-identical across flavors by
+/// construction.
+void masked_gather(Dispatch d, const double* src_re, const double* src_im,
+                   const std::size_t* idx, std::size_t m, double* dst_re,
+                   double* dst_im);
+
+/// dst += row over each range (both components), ranges in order. Per
+/// touched subcarrier this is exactly one accumulate() addition, so a
+/// range walk is bit-identical to a full accumulate() on the covered
+/// subcarriers (untouched ones are left alone entirely).
+void masked_accumulate(Dispatch d, const double* row_re,
+                       const double* row_im, double* dst_re, double* dst_im,
+                       const IndexRange* ranges, std::size_t num_ranges);
+
+/// dst = src + row over each range (both components) — the fused
+/// coordinate delta, tile-bounded. Bit-identical to per-span copy()
+/// followed by masked_accumulate(); untouched outside the spans. dst
+/// must not alias src or row.
+void masked_copy_accumulate(Dispatch d, const double* src_re,
+                            const double* src_im, const double* row_re,
+                            const double* row_im, double* dst_re,
+                            double* dst_im, const IndexRange* ranges,
+                            std::size_t num_ranges);
+
+/// ltf_mean_var over only the masked tones: repetition r's tone idx[i]
+/// is read at raw_re/_im[r * row_stride + idx[i]] (row_stride >= the
+/// full subcarrier width), outputs are DENSE length-m arrays. Per-tone
+/// arithmetic matches ltf_mean_var exactly, so the dense outputs equal a
+/// full-width ltf_mean_var followed by masked_gather of the results.
+void masked_ltf_mean_var(Dispatch d, const double* raw_re,
+                         const double* raw_im, std::size_t repeats,
+                         std::size_t row_stride, const std::size_t* idx,
+                         std::size_t m, double* mean_re, double* mean_im,
+                         double* noise_var);
+
+/// Fused masked log-SNR reductions: min / mean of the snr_db values of
+/// tones idx[0..m), reading the FULL-width mean/noise arrays through the
+/// index list. Bit-identical to masked_gather + snr_db_min/mean over the
+/// dense result (the blocked reduction runs over the dense axis).
+double masked_snr_db_min(Dispatch d, const double* mean_re,
+                         const double* mean_im, const double* noise_var,
+                         const std::size_t* idx, std::size_t m,
+                         double cap_db, double floor_db);
+double masked_snr_db_mean(Dispatch d, const double* mean_re,
+                          const double* mean_im, const double* noise_var,
+                          const std::size_t* idx, std::size_t m,
+                          double cap_db, double floor_db);
+
+/// Capacity-equivalent effective SNR of a per-subcarrier SNR profile in
+/// dB: 2^(mean_k log2(1 + snr_k)) - 1 (phy::effective_snr_db's formula)
+/// with the capacity sum folded through the blocked reduction. Scalar
+/// and native flavors are bit-identical; versus the serial reference
+/// loop (phy::effective_snr_db_reference) the blocked association may
+/// differ in the last ulps, which the phy layer documents.
+double effective_snr_db(Dispatch d, const double* snr_db, std::size_t n);
 
 }  // namespace press::util::kernels
